@@ -1,0 +1,285 @@
+//! Collective-agreement disambiguation and ρ-pruning.
+
+use crate::spot::{spot_anchors, Spot};
+use rightcrowd_kb::KnowledgeBase;
+use rightcrowd_text::tokenize;
+use rightcrowd_types::EntityId;
+
+/// Tuning knobs of the annotator. The defaults mirror TAGME's published
+/// operating point, adapted to the synthetic KB's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatorConfig {
+    /// Anchors with link probability below this are never spotted.
+    pub min_link_probability: f64,
+    /// Annotations with ρ (dScore) below this are pruned.
+    pub min_dscore: f64,
+    /// ε-selection band: among candidates whose vote is within `epsilon`
+    /// of the best vote, the most common sense wins.
+    pub epsilon: f64,
+}
+
+impl Default for AnnotatorConfig {
+    fn default() -> Self {
+        AnnotatorConfig {
+            min_link_probability: 0.05,
+            min_dscore: 0.10,
+            epsilon: 0.3,
+        }
+    }
+}
+
+/// One accepted entity annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// The disambiguated entity.
+    pub entity: EntityId,
+    /// The anchor surface form that produced it.
+    pub surface: String,
+    /// Token offset of the anchor.
+    pub start: usize,
+    /// Anchor length in tokens.
+    pub len: usize,
+    /// Disambiguation confidence ρ ∈ [0, 1] — the paper's `dScore`,
+    /// plugged into Eq. 2 as `we = 1 + dScore`.
+    pub dscore: f64,
+}
+
+/// A TAGME-style annotator bound to a knowledge base.
+#[derive(Debug, Clone)]
+pub struct Annotator<'kb> {
+    kb: &'kb KnowledgeBase,
+    config: AnnotatorConfig,
+}
+
+impl<'kb> Annotator<'kb> {
+    /// Binds an annotator with the default configuration.
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        Annotator { kb, config: AnnotatorConfig::default() }
+    }
+
+    /// Binds an annotator with a custom configuration.
+    pub fn with_config(kb: &'kb KnowledgeBase, config: AnnotatorConfig) -> Self {
+        Annotator { kb, config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnnotatorConfig {
+        &self.config
+    }
+
+    /// Annotates raw text (tokenised internally).
+    pub fn annotate(&self, text: &str) -> Vec<Annotation> {
+        self.annotate_tokens(&tokenize(text))
+    }
+
+    /// Annotates an already-tokenised text.
+    pub fn annotate_tokens(&self, tokens: &[String]) -> Vec<Annotation> {
+        let spots = spot_anchors(self.kb, tokens, self.config.min_link_probability);
+        if spots.is_empty() {
+            return Vec::new();
+        }
+
+        // Phase 2: collective agreement — pick a sense per spot.
+        let selected: Vec<EntityId> = spots
+            .iter()
+            .enumerate()
+            .map(|(i, spot)| self.disambiguate(spot, i, &spots))
+            .collect();
+
+        // Phase 3: ρ scoring against the other *selected* senses + pruning.
+        let mut annotations = Vec::with_capacity(spots.len());
+        for (i, spot) in spots.iter().enumerate() {
+            let entity = selected[i];
+            let coherence = self.coherence(entity, i, &selected, spot);
+            let dscore = 0.5 * spot.link_probability + 0.5 * coherence;
+            if dscore >= self.config.min_dscore {
+                annotations.push(Annotation {
+                    entity,
+                    surface: spot.surface.clone(),
+                    start: spot.start,
+                    len: spot.len,
+                    dscore,
+                });
+            }
+        }
+        annotations
+    }
+
+    /// Votes for every candidate sense of `spot` and applies ε-selection.
+    fn disambiguate(&self, spot: &Spot, index: usize, spots: &[Spot]) -> EntityId {
+        debug_assert!(!spot.candidates.is_empty());
+        if spot.candidates.len() == 1 || spots.len() == 1 {
+            // Unambiguous, or no context to vote with: commonest sense.
+            return spot.candidates[0].entity;
+        }
+        let votes: Vec<f64> = spot
+            .candidates
+            .iter()
+            .map(|cand| self.vote(cand.entity, index, spots))
+            .collect();
+        let best_vote = votes.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        // ε-selection: among near-top-voted candidates, highest commonness
+        // (candidates are already sorted by commonness, so the first
+        // qualifying one wins).
+        let threshold = best_vote - self.config.epsilon * best_vote.abs().max(1e-9);
+        spot.candidates
+            .iter()
+            .zip(&votes)
+            .find(|(_, &v)| v >= threshold - 1e-12)
+            .map(|(c, _)| c.entity)
+            .unwrap_or(spot.candidates[0].entity)
+    }
+
+    /// TAGME vote: the average, over all *other* spots, of the
+    /// commonness-weighted relatedness between `entity` and the other
+    /// spot's candidate senses.
+    fn vote(&self, entity: EntityId, index: usize, spots: &[Spot]) -> f64 {
+        let mut total = 0.0;
+        let mut others = 0usize;
+        for (j, other) in spots.iter().enumerate() {
+            if j == index {
+                continue;
+            }
+            let weight_sum: u32 = other.candidates.iter().map(|c| c.links).sum();
+            if weight_sum == 0 {
+                continue;
+            }
+            let mut spot_vote = 0.0;
+            for cand in &other.candidates {
+                let commonness = cand.links as f64 / weight_sum as f64;
+                spot_vote += self.kb.relatedness(entity, cand.entity) * commonness;
+            }
+            total += spot_vote;
+            others += 1;
+        }
+        if others == 0 {
+            0.0
+        } else {
+            total / others as f64
+        }
+    }
+
+    /// Coherence of the selected `entity` with the other selected senses.
+    /// With no other spots, falls back to the sense's commonness so that
+    /// single-entity snippets (common in tweets and queries) survive
+    /// pruning when the sense is dominant.
+    fn coherence(&self, entity: EntityId, index: usize, selected: &[EntityId], spot: &Spot) -> f64 {
+        if selected.len() <= 1 {
+            let weight_sum: u32 = spot.candidates.iter().map(|c| c.links).sum();
+            let links = spot
+                .candidates
+                .iter()
+                .find(|c| c.entity == entity)
+                .map_or(0, |c| c.links);
+            return if weight_sum == 0 { 0.0 } else { links as f64 / weight_sum as f64 };
+        }
+        let mut total = 0.0;
+        for (j, &other) in selected.iter().enumerate() {
+            if j != index {
+                total += self.kb.relatedness(entity, other);
+            }
+        }
+        total / (selected.len() - 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rightcrowd_kb::seed;
+
+    fn annotate(text: &str) -> Vec<(String, String, f64)> {
+        let kb = seed::standard();
+        Annotator::new(&kb)
+            .annotate(text)
+            .into_iter()
+            .map(|a| (a.surface.clone(), kb.entity(a.entity).title.clone(), a.dscore))
+            .collect()
+    }
+
+    #[test]
+    fn annotates_unambiguous_entity() {
+        let anns = annotate("Michael Phelps swam a great race");
+        assert!(anns.iter().any(|(s, t, _)| s == "michael phelps" && t == "Michael Phelps"));
+    }
+
+    #[test]
+    fn milan_disambiguates_to_club_in_sports_context() {
+        let kb = seed::standard();
+        let annotator = Annotator::new(&kb);
+        let anns = annotator.annotate("milan won the derby against inter in the champions league");
+        let milan = anns
+            .iter()
+            .find(|a| a.surface == "milan")
+            .expect("milan annotated");
+        assert_eq!(kb.entity(milan.entity).title, "AC Milan");
+    }
+
+    #[test]
+    fn milan_disambiguates_to_city_in_travel_context() {
+        let kb = seed::standard();
+        let annotator = Annotator::new(&kb);
+        let anns = annotator.annotate("visiting milan the duomo and then venice by train");
+        let milan = anns
+            .iter()
+            .find(|a| a.surface == "milan")
+            .expect("milan annotated");
+        assert_eq!(kb.entity(milan.entity).title, "Milan");
+    }
+
+    #[test]
+    fn conductor_disambiguates_by_context() {
+        let kb = seed::standard();
+        let annotator = Annotator::new(&kb);
+        let science = annotator.annotate("copper is a great conductor because electrons move freely");
+        let sense = science
+            .iter()
+            .find(|a| a.surface == "conductor")
+            .expect("conductor annotated in science context");
+        assert_eq!(kb.entity(sense.entity).title, "Electrical Conductor");
+    }
+
+    #[test]
+    fn dscores_in_unit_interval_and_above_threshold() {
+        let anns = annotate("watching how i met your mother then playing diablo 3 on my new graphics card");
+        assert!(!anns.is_empty());
+        for (s, _, d) in &anns {
+            assert!((0.0..=1.0).contains(d), "{s} dscore {d}");
+            assert!(*d >= AnnotatorConfig::default().min_dscore);
+        }
+    }
+
+    #[test]
+    fn no_annotations_on_chatter() {
+        let anns = annotate("good morning everyone have a wonderful day ahead");
+        assert!(anns.is_empty(), "{anns:?}");
+    }
+
+    #[test]
+    fn single_dominant_sense_survives_alone() {
+        // "michael phelps" alone in the text: coherence falls back to
+        // commonness (1.0), dscore = (lp + 1)/2 ≥ threshold.
+        let anns = annotate("michael phelps");
+        assert_eq!(anns.len(), 1);
+    }
+
+    #[test]
+    fn strict_pruning_removes_all() {
+        let kb = seed::standard();
+        let strict = Annotator::with_config(
+            &kb,
+            AnnotatorConfig { min_dscore: 0.99, ..AnnotatorConfig::default() },
+        );
+        assert!(strict.annotate("michael phelps visited milan").is_empty());
+    }
+
+    #[test]
+    fn annotation_offsets_point_at_tokens() {
+        let kb = seed::standard();
+        let annotator = Annotator::new(&kb);
+        let tokens = tokenize("today michael phelps raced");
+        let anns = annotator.annotate_tokens(&tokens);
+        let a = &anns[0];
+        assert_eq!(&tokens[a.start..a.start + a.len].join(" "), &a.surface);
+    }
+}

@@ -1,0 +1,29 @@
+//! # rightcrowd-annotate
+//!
+//! Entity recognition and disambiguation for short texts — a from-scratch
+//! reimplementation of the TAGME annotator (Ferragina & Scaiella, *"TAGME:
+//! on-the-fly annotation of short text fragments (by Wikipedia entities)"*,
+//! CIKM 2010), which is the system the paper adopts for its Entity
+//! Recognition and Disambiguation stage (§2.3).
+//!
+//! The pipeline has the three classical TAGME phases:
+//!
+//! 1. **Spotting** — find anchor occurrences in the token stream
+//!    (leftmost-longest), pruning anchors whose *link probability* is below
+//!    a threshold;
+//! 2. **Disambiguation by collective agreement** — every spot's candidate
+//!    senses receive votes from all other spots, weighted by Milne–Witten
+//!    relatedness and commonness; the winning sense is chosen among the
+//!    near-top voted candidates by commonness (ε-selection);
+//! 3. **Pruning** — each kept annotation receives a confidence ρ (the
+//!    paper's `dScore`), the mean of link probability and coherence with
+//!    the other selected entities; low-ρ annotations are dropped.
+//!
+//! The returned `dScore` feeds directly into the paper's Eq. 2
+//! (`we(e,r) = 1 + dScore`).
+
+pub mod annotator;
+pub mod spot;
+
+pub use annotator::{Annotation, Annotator, AnnotatorConfig};
+pub use spot::{spot_anchors, Spot};

@@ -1,0 +1,141 @@
+//! Anchor spotting.
+//!
+//! Scans the token stream with windows up to the KB's longest anchor,
+//! emitting leftmost-longest non-overlapping anchor matches whose link
+//! probability clears the pruning threshold.
+
+use rightcrowd_kb::{AnchorTarget, KnowledgeBase};
+
+/// One spotted anchor occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spot {
+    /// Token offset of the first token of the anchor.
+    pub start: usize,
+    /// Number of tokens covered.
+    pub len: usize,
+    /// The normalised surface form (tokens joined by single spaces).
+    pub surface: String,
+    /// Candidate senses, sorted by descending commonness.
+    pub candidates: Vec<AnchorTarget>,
+    /// Link probability of the surface form.
+    pub link_probability: f64,
+}
+
+/// Spots anchors in `tokens` (already lower-cased, e.g. from
+/// `rightcrowd_text::tokenize`).
+///
+/// Matching is greedy leftmost-longest: at each position the longest window
+/// that is a known anchor (with `lp ≥ min_link_probability`) wins, and
+/// scanning resumes after it, so spots never overlap.
+pub fn spot_anchors(
+    kb: &KnowledgeBase,
+    tokens: &[String],
+    min_link_probability: f64,
+) -> Vec<Spot> {
+    let max_window = kb.max_anchor_words().max(1);
+    let mut spots = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut matched = None;
+        let upper = max_window.min(tokens.len() - i);
+        for w in (1..=upper).rev() {
+            let surface = tokens[i..i + w].join(" ");
+            let candidates = kb.anchor_candidates(&surface);
+            if candidates.is_empty() {
+                continue;
+            }
+            let lp = kb.link_probability(&surface);
+            if lp < min_link_probability {
+                continue;
+            }
+            matched = Some(Spot {
+                start: i,
+                len: w,
+                surface,
+                candidates: candidates.to_vec(),
+                link_probability: lp,
+            });
+            break;
+        }
+        match matched {
+            Some(spot) => {
+                i += spot.len;
+                spots.push(spot);
+            }
+            None => i += 1,
+        }
+    }
+    spots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rightcrowd_kb::seed;
+    use rightcrowd_text::tokenize;
+
+    fn spots_for(text: &str) -> Vec<Spot> {
+        let kb = seed::standard();
+        spot_anchors(&kb, &tokenize(text), 0.05)
+    }
+
+    #[test]
+    fn finds_multiword_anchor_leftmost_longest() {
+        let spots = spots_for("Michael Phelps wins gold");
+        assert_eq!(spots.len(), 1);
+        assert_eq!(spots[0].surface, "michael phelps");
+        assert_eq!(spots[0].start, 0);
+        assert_eq!(spots[0].len, 2);
+    }
+
+    #[test]
+    fn longest_match_beats_inner_match() {
+        // "how i met your mother" contains no shorter anchors to prefer.
+        let spots = spots_for("watching How I Met Your Mother tonight");
+        assert!(spots.iter().any(|s| s.surface == "how i met your mother"));
+    }
+
+    #[test]
+    fn ambiguous_anchor_has_multiple_candidates() {
+        let spots = spots_for("I love milan so much");
+        let milan = spots.iter().find(|s| s.surface == "milan").expect("milan spotted");
+        assert!(milan.candidates.len() >= 2);
+        // Candidates sorted by commonness (descending links).
+        assert!(milan.candidates[0].links >= milan.candidates[1].links);
+    }
+
+    #[test]
+    fn threshold_prunes_weak_anchors() {
+        let kb = seed::standard();
+        let tokens = tokenize("the function returns a string");
+        let strict = spot_anchors(&kb, &tokens, 0.5);
+        let lax = spot_anchors(&kb, &tokens, 0.01);
+        assert!(strict.len() < lax.len(), "strict {} vs lax {}", strict.len(), lax.len());
+        // "function" and "string" have deliberately low link probability.
+        assert!(lax.iter().any(|s| s.surface == "string"));
+        assert!(!strict.iter().any(|s| s.surface == "string"));
+    }
+
+    #[test]
+    fn no_anchors_in_pure_chatter() {
+        let spots = spots_for("zzz qqq www some gibberish nothing here");
+        assert!(spots.is_empty());
+    }
+
+    #[test]
+    fn spots_do_not_overlap() {
+        let spots = spots_for("ac milan beat inter milan in the milan derby");
+        for w in spots.windows(2) {
+            assert!(w[0].start + w[0].len <= w[1].start);
+        }
+        // "ac milan" and "inter milan"... "inter milan" is not an anchor,
+        // but "inter" is; "milan" after it is separate.
+        assert!(spots.iter().any(|s| s.surface == "ac milan"));
+    }
+
+    #[test]
+    fn empty_token_stream() {
+        let kb = seed::standard();
+        assert!(spot_anchors(&kb, &[], 0.05).is_empty());
+    }
+}

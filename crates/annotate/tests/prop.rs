@@ -1,0 +1,71 @@
+//! Property tests for the TAGME-style annotator.
+
+use proptest::prelude::*;
+use rightcrowd_annotate::{spot_anchors, Annotator};
+use rightcrowd_kb::{seed, KnowledgeBase};
+use std::sync::OnceLock;
+
+fn kb() -> &'static KnowledgeBase {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    KB.get_or_init(seed::standard)
+}
+
+/// Random token streams mixing known anchors with noise words.
+fn tokens_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(
+        prop::sample::select(vec![
+            "michael", "phelps", "milan", "inter", "duomo", "freestyle", "swimming", "php",
+            "copper", "conductor", "diablo", "random", "noise", "words", "today", "great", "3",
+        ]),
+        0..20,
+    )
+    .prop_map(|ws| ws.into_iter().map(str::to_owned).collect())
+}
+
+proptest! {
+    #[test]
+    fn spots_are_in_bounds_and_disjoint(tokens in tokens_strategy(), lp in 0.0f64..0.5) {
+        let spots = spot_anchors(kb(), &tokens, lp);
+        let mut last_end = 0usize;
+        for s in &spots {
+            prop_assert!(s.start >= last_end, "overlap at {}", s.start);
+            prop_assert!(s.start + s.len <= tokens.len());
+            prop_assert!(!s.candidates.is_empty());
+            prop_assert!(s.link_probability >= lp);
+            prop_assert_eq!(&tokens[s.start..s.start + s.len].join(" "), &s.surface);
+            last_end = s.start + s.len;
+        }
+    }
+
+    #[test]
+    fn higher_threshold_spots_fewer(tokens in tokens_strategy()) {
+        let lax = spot_anchors(kb(), &tokens, 0.01);
+        let strict = spot_anchors(kb(), &tokens, 0.30);
+        prop_assert!(strict.len() <= lax.len());
+    }
+
+    #[test]
+    fn annotations_are_valid(tokens in tokens_strategy()) {
+        let annotator = Annotator::new(kb());
+        let annotations = annotator.annotate_tokens(&tokens);
+        for a in &annotations {
+            prop_assert!((0.0..=1.0).contains(&a.dscore), "dscore {}", a.dscore);
+            prop_assert!(a.dscore >= annotator.config().min_dscore);
+            prop_assert!(a.start + a.len <= tokens.len());
+            prop_assert!(a.entity.index() < kb().len());
+            // The chosen sense must be a candidate of its own surface.
+            prop_assert!(
+                kb().anchor_candidates(&a.surface).iter().any(|c| c.entity == a.entity),
+                "{} is not a sense of {:?}",
+                kb().entity(a.entity).title,
+                a.surface
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_is_deterministic(tokens in tokens_strategy()) {
+        let annotator = Annotator::new(kb());
+        prop_assert_eq!(annotator.annotate_tokens(&tokens), annotator.annotate_tokens(&tokens));
+    }
+}

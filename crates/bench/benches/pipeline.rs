@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for the engineering-critical paths: text
+//! processing, entity annotation, corpus indexing, query matching and
+//! end-to-end expert ranking.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rightcrowd_core::{
+    AnalysisPipeline, AnalyzedCorpus, Attribution, ExpertFinder, FinderConfig,
+};
+use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn tiny() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+    static CELL: OnceLock<(SyntheticDataset, AnalyzedCorpus)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let corpus = AnalyzedCorpus::build(&ds);
+        (ds, corpus)
+    })
+}
+
+fn bench_text_processing(c: &mut Criterion) {
+    let processor = rightcrowd_text::TextProcessor::default();
+    let tweet = "RT @alice: MichaelPhelps is the best! Great freestyle gold medal \
+                 at the London 2012 olympics http://t.co/xyz #swimming";
+    c.bench_function("text/process_tweet", |b| {
+        b.iter(|| black_box(processor.process(black_box(tweet))))
+    });
+    c.bench_function("text/porter_stem", |b| {
+        b.iter(|| black_box(rightcrowd_text::porter_stem(black_box("recommendations"))))
+    });
+}
+
+fn bench_langid(c: &mut Criterion) {
+    let ident = rightcrowd_langid::LanguageIdentifier::new();
+    let text = "I just finished a thirty minute training session at the swimming pool";
+    c.bench_function("langid/classify", |b| {
+        b.iter(|| black_box(ident.classify(black_box(text))))
+    });
+}
+
+fn bench_annotation(c: &mut Criterion) {
+    let kb = rightcrowd_kb::seed::standard();
+    let annotator = rightcrowd_annotate::Annotator::new(&kb);
+    let text = "milan won the derby against inter in the champions league \
+                while michael phelps took freestyle gold at the olympics";
+    c.bench_function("annotate/disambiguate", |b| {
+        b.iter(|| black_box(annotator.annotate(black_box(text))))
+    });
+}
+
+fn bench_corpus(c: &mut Criterion) {
+    let (ds, _) = tiny();
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("analyze_and_index_tiny", |b| {
+        b.iter(|| black_box(AnalyzedCorpus::build(black_box(ds))))
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (ds, corpus) = tiny();
+    let pipeline = AnalysisPipeline::new(ds.kb());
+    let config = FinderConfig::default();
+    let attribution = Attribution::compute(ds, corpus, &config);
+    let query = pipeline.analyze_query("Can you list some famous European football teams?");
+
+    c.bench_function("query/analyze", |b| {
+        b.iter(|| {
+            black_box(
+                pipeline.analyze_query(black_box("famous songs of Michael Jackson please")),
+            )
+        })
+    });
+    c.bench_function("query/score_all", |b| {
+        b.iter(|| black_box(corpus.index().score_all(black_box(&query), 0.6)))
+    });
+    c.bench_function("query/rank_experts", |b| {
+        b.iter(|| {
+            black_box(rightcrowd_core::ranker::rank_query(
+                corpus,
+                &attribution,
+                &config,
+                black_box(&query),
+                ds.candidates().len(),
+            ))
+        })
+    });
+}
+
+fn bench_attribution(c: &mut Criterion) {
+    let (ds, corpus) = tiny();
+    let mut group = c.benchmark_group("attribution");
+    group.sample_size(20);
+    group.bench_function("compute_default", |b| {
+        b.iter_batched(
+            FinderConfig::default,
+            |config| black_box(Attribution::compute(ds, corpus, &config)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (ds, _) = tiny();
+    let finder = ExpertFinder::build(ds, &FinderConfig::default());
+    c.bench_function("e2e/rank_text", |b| {
+        b.iter(|| black_box(finder.rank_text(black_box("why is copper a good conductor"))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_text_processing,
+    bench_langid,
+    bench_annotation,
+    bench_corpus,
+    bench_query,
+    bench_attribution,
+    bench_end_to_end
+);
+criterion_main!(benches);

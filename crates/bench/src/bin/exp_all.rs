@@ -1,0 +1,42 @@
+//! Runs every experiment binary in sequence (sharing one dataset build
+//! would require in-process orchestration; each binary is cheap at the
+//! default scale, and at paper scale the corpus analysis dominates once
+//! per binary — use the individual binaries for iteration).
+//!
+//! ```sh
+//! RIGHTCROWD_SCALE=paper cargo run --release -p rightcrowd-bench --bin exp_all
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 10] = [
+    "exp_dataset",
+    "exp_window",
+    "exp_alpha",
+    "exp_friends",
+    "exp_distance",
+    "exp_domains",
+    "exp_users",
+    "exp_delta",
+    "exp_ablation",
+    "exp_rankers",
+];
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        println!("\n################ {name} ################");
+        let status = Command::new(dir.join(name))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        if !status.success() {
+            failures.push(name);
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!("failed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,97 @@
+//! `rc` — the interactive command-line front end.
+//!
+//! ```sh
+//! cargo run --release -p rightcrowd-bench --bin rc -- query "why is copper a good conductor" --top 5
+//! RIGHTCROWD_SCALE=tiny cargo run --release -p rightcrowd-bench --bin rc -- eval --platform tw
+//! cargo run --release -p rightcrowd-bench --bin rc -- stats
+//! ```
+
+use rightcrowd_bench::cli::{parse, Command, USAGE};
+use rightcrowd_bench::table::{header4, row4};
+use rightcrowd_bench::Bench;
+use rightcrowd_core::baseline::random_baseline;
+use rightcrowd_core::{ExpertFinder, FinderConfig};
+use rightcrowd_synth::DatasetStats;
+use rightcrowd_types::{Domain, Platform};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match command {
+        Command::Help => print!("{USAGE}"),
+        Command::Stats => {
+            let bench = Bench::prepare();
+            let stats = DatasetStats::compute(&bench.ds);
+            println!(
+                "{} candidates, {} resources ({:.0}% English, {:.0}% with URLs)",
+                stats.candidates,
+                stats.total_resources,
+                stats.english_fraction * 100.0,
+                stats.url_fraction * 100.0
+            );
+            for platform in Platform::ALL {
+                let p = &stats.platforms[platform.index()];
+                println!(
+                    "  {:<9} d0 {:>7}  d1 {:>7}  d2 {:>7}  (generated {:>7})",
+                    platform.abbrev(),
+                    p.docs_at[0],
+                    p.docs_at[1],
+                    p.docs_at[2],
+                    p.resources_generated
+                );
+            }
+            for domain in Domain::ALL {
+                let d = &stats.domains[domain.index()];
+                println!(
+                    "  {:<22} {:>2} experts, avg expertise {:.2}",
+                    domain.label(),
+                    d.experts,
+                    d.avg_expertise
+                );
+            }
+        }
+        Command::Query { text, top, platforms, distance } => {
+            let bench = Bench::prepare();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            let finder = ExpertFinder::with_corpus(&bench.ds, bench.corpus, &config);
+            let ranking = finder.rank_text(&text);
+            if ranking.is_empty() {
+                println!("no candidate shows evidence for {text:?}");
+                return;
+            }
+            println!("top {} of {} candidates for {:?}:", top.min(ranking.len()), ranking.len(), text);
+            for (rank, expert) in ranking.iter().take(top).enumerate() {
+                println!(
+                    "  {:>2}. {:<24} {:>10.2}",
+                    rank + 1,
+                    bench.ds.candidates()[expert.person.index()].name,
+                    expert.score
+                );
+            }
+        }
+        Command::Eval { platforms, distance } => {
+            let bench = Bench::prepare();
+            let ctx = bench.ctx();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            let outcome = ctx.run(&config);
+            let random = random_baseline(&bench.ds, 0x0E7A1);
+            println!("{:<10} {}", "config", header4());
+            println!("{:<10} {}", "random", row4(&random));
+            println!(
+                "{:<10} {}",
+                format!("{} d{}", config.platforms.label(), distance.level()),
+                row4(&outcome.mean)
+            );
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Argument parsing for the `rc` command-line tool.
+//!
+//! Hand-rolled (the workspace's dependency policy keeps external crates to
+//! the algorithmic minimum); supports the three subcommands of
+//! `src/bin/rc.rs` with long-flag options.
+
+use rightcrowd_types::{Distance, Platform, PlatformMask};
+
+/// A parsed `rc` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `rc query "<text>" [--top N] [--platform P] [--distance D]`
+    Query {
+        /// The free-form expertise need.
+        text: String,
+        /// How many experts to print.
+        top: usize,
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
+    /// `rc stats` — print dataset statistics.
+    Stats,
+    /// `rc eval [--platform P] [--distance D]` — run the workload and
+    /// print the metric row.
+    Eval {
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
+    /// `rc help` or parse failure fallback.
+    Help,
+}
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage string printed by `rc help`.
+pub const USAGE: &str = "\
+rc — expert finding in (simulated) social networks
+
+USAGE:
+  rc query \"<expertise need>\" [--top N] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc stats
+  rc help
+
+ENVIRONMENT:
+  RIGHTCROWD_SCALE   dataset scale: tiny | small (default) | paper
+";
+
+fn parse_platform(value: &str) -> Result<PlatformMask, ParseError> {
+    match value.to_ascii_lowercase().as_str() {
+        "all" => Ok(PlatformMask::ALL),
+        "fb" | "facebook" => Ok(PlatformMask::only(Platform::Facebook)),
+        "tw" | "twitter" => Ok(PlatformMask::only(Platform::Twitter)),
+        "li" | "linkedin" => Ok(PlatformMask::only(Platform::LinkedIn)),
+        other => Err(ParseError(format!("unknown platform {other:?} (use all|fb|tw|li)"))),
+    }
+}
+
+fn parse_distance(value: &str) -> Result<Distance, ParseError> {
+    value
+        .parse::<usize>()
+        .ok()
+        .and_then(Distance::from_level)
+        .ok_or_else(|| ParseError(format!("invalid distance {value:?} (use 0, 1 or 2)")))
+}
+
+/// Parses `rc` arguments (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut iter = args.iter();
+    let Some(sub) = iter.next() else {
+        return Ok(Command::Help);
+    };
+
+    let mut top = 10usize;
+    let mut platforms = PlatformMask::ALL;
+    let mut distance = Distance::D2;
+    let mut positional: Vec<&String> = Vec::new();
+
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--top" => {
+                let value = iter.next().ok_or_else(|| ParseError("--top needs a number".into()))?;
+                top = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --top value {value:?}")))?;
+                if top == 0 {
+                    return Err(ParseError("--top must be at least 1".into()));
+                }
+            }
+            "--platform" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--platform needs a value".into()))?;
+                platforms = parse_platform(value)?;
+            }
+            "--distance" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--distance needs a value".into()))?;
+                distance = parse_distance(value)?;
+            }
+            other if other.starts_with("--") => {
+                return Err(ParseError(format!("unknown option {other:?}")));
+            }
+            _ => positional.push(arg),
+        }
+    }
+
+    match sub.as_str() {
+        "query" => {
+            let text = positional
+                .first()
+                .ok_or_else(|| ParseError("query needs the expertise need text".into()))?;
+            Ok(Command::Query { text: (*text).clone(), top, platforms, distance })
+        }
+        "stats" => Ok(Command::Stats),
+        "eval" => Ok(Command::Eval { platforms, distance }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(ParseError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_query_with_defaults() {
+        let cmd = parse(&args(&["query", "who knows php"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                text: "who knows php".into(),
+                top: 10,
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_query_with_options() {
+        let cmd = parse(&args(&[
+            "query", "swimming", "--top", "3", "--platform", "tw", "--distance", "1",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                text: "swimming".into(),
+                top: 3,
+                platforms: PlatformMask::only(Platform::Twitter),
+                distance: Distance::D1,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_eval_and_stats() {
+        assert_eq!(
+            parse(&args(&["eval", "--platform", "li"])).unwrap(),
+            Command::Eval {
+                platforms: PlatformMask::only(Platform::LinkedIn),
+                distance: Distance::D2
+            }
+        );
+        assert_eq!(parse(&args(&["stats"])).unwrap(), Command::Stats);
+        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&args(&["query"])).is_err());
+        assert!(parse(&args(&["query", "x", "--top", "zero"])).is_err());
+        assert!(parse(&args(&["query", "x", "--top", "0"])).is_err());
+        assert!(parse(&args(&["query", "x", "--platform", "myspace"])).is_err());
+        assert!(parse(&args(&["query", "x", "--distance", "9"])).is_err());
+        assert!(parse(&args(&["query", "x", "--bogus"])).is_err());
+        assert!(parse(&args(&["frobnicate"])).is_err());
+        assert!(parse(&args(&["query", "x", "--top"])).is_err());
+    }
+
+    #[test]
+    fn platform_aliases() {
+        assert_eq!(parse_platform("Facebook").unwrap(), PlatformMask::only(Platform::Facebook));
+        assert_eq!(parse_platform("TW").unwrap(), PlatformMask::only(Platform::Twitter));
+        assert_eq!(parse_platform("all").unwrap(), PlatformMask::ALL);
+    }
+}

@@ -1,0 +1,31 @@
+//! # rightcrowd-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§3), each printing the paper's reported values next to the
+//! values measured on the synthetic reproduction.
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `exp_dataset`  | Fig. 5a (resources/users per network & distance), Fig. 5b (experts per domain) |
+//! | `exp_window`   | Fig. 6 (metrics vs. window size, distances 1–2) |
+//! | `exp_alpha`    | Fig. 7 (metrics vs. α, distances 0–2) |
+//! | `exp_friends`  | Table 2 + Fig. 8 (Twitter friends on/off) |
+//! | `exp_distance` | Table 3 + Fig. 9 (All/FB/TW/LI × distance) |
+//! | `exp_domains`  | Table 4 (per-domain breakdown) |
+//! | `exp_users`    | Fig. 10 (per-user F1 vs. available resources) |
+//! | `exp_delta`    | Fig. 11 (retrieved-expert deltas per query) |
+//! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
+//! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
+//! | `exp_all`      | everything above, in order |
+//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats` |
+//!
+//! The dataset scale is selected with the `RIGHTCROWD_SCALE` environment
+//! variable: `tiny`, `small` (default) or `paper` (the full ~330k-resource
+//! study; expect a few minutes of corpus analysis).
+
+pub mod cli;
+pub mod paper;
+pub mod runner;
+pub mod table;
+
+pub use runner::{load_dataset, scale_label, Bench};

@@ -1,0 +1,116 @@
+//! Shared experiment plumbing.
+
+use rightcrowd_core::{AnalyzedCorpus, EvalContext};
+use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+
+/// The dataset scale selected by `RIGHTCROWD_SCALE` (tiny/small/paper).
+pub fn scale_label() -> String {
+    std::env::var("RIGHTCROWD_SCALE").unwrap_or_else(|_| "small".to_owned())
+}
+
+/// Loads the dataset at the selected scale.
+pub fn load_dataset() -> SyntheticDataset {
+    let config = match scale_label().as_str() {
+        "tiny" => DatasetConfig::tiny(),
+        "paper" => DatasetConfig::paper(),
+        "small" => DatasetConfig::small(),
+        other => {
+            eprintln!("unknown RIGHTCROWD_SCALE {other:?}, using small");
+            DatasetConfig::small()
+        }
+    };
+    SyntheticDataset::generate(&config)
+}
+
+/// A ready-to-run experiment bench: dataset + analysed corpus.
+pub struct Bench {
+    /// The generated dataset.
+    pub ds: SyntheticDataset,
+    /// The analysed corpus.
+    pub corpus: AnalyzedCorpus,
+}
+
+impl Bench {
+    /// Generates and analyses at the environment-selected scale, with
+    /// progress output on stderr.
+    pub fn prepare() -> Self {
+        eprintln!("[bench] generating dataset (scale: {})...", scale_label());
+        let started = std::time::Instant::now();
+        let ds = load_dataset();
+        let (persons, profiles, resources, containers) = ds.graph().counts();
+        eprintln!(
+            "[bench]   {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers ({:.1?})",
+            started.elapsed()
+        );
+        eprintln!("[bench] analysing corpus (pipeline + indexing)...");
+        let started = std::time::Instant::now();
+        let corpus = AnalyzedCorpus::build(&ds);
+        eprintln!(
+            "[bench]   {} retained, {} dropped as non-English ({:.1?})",
+            corpus.retained(),
+            corpus.dropped_non_english(),
+            started.elapsed()
+        );
+        Bench { ds, corpus }
+    }
+
+    /// The evaluation context over this bench.
+    pub fn ctx(&self) -> EvalContext<'_> {
+        EvalContext::new(&self.ds, &self.corpus)
+    }
+}
+
+/// Least-squares linear regression over (x, y) points.
+/// Returns `(slope, intercept, pearson_r)`; zeros on degenerate input.
+pub fn linear_regression(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return (0.0, 0.0, 0.0);
+    }
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let syy: f64 = points.iter().map(|p| p.1 * p.1).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let cov = sxy - sx * sy / n;
+    let var_x = sxx - sx * sx / n;
+    let var_y = syy - sy * sy / n;
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return (0.0, sy / n, 0.0);
+    }
+    let slope = cov / var_x;
+    let intercept = (sy - slope * sx) / n;
+    let r = cov / (var_x * var_y).sqrt();
+    (slope, intercept, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_recovers_a_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        let (slope, intercept, r) = linear_regression(&pts);
+        assert!((slope - 2.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_degenerate_cases() {
+        assert_eq!(linear_regression(&[]), (0.0, 0.0, 0.0));
+        assert_eq!(linear_regression(&[(1.0, 2.0)]), (0.0, 0.0, 0.0));
+        // Vertical spread with no x variance.
+        let (s, _, r) = linear_regression(&[(1.0, 1.0), (1.0, 3.0)]);
+        assert_eq!(s, 0.0);
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn negative_correlation() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, -(i as f64))).collect();
+        let (_, _, r) = linear_regression(&pts);
+        assert!((r + 1.0).abs() < 1e-9);
+    }
+}

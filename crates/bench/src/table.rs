@@ -1,0 +1,65 @@
+//! Plain-text table formatting for the experiment binaries.
+
+use rightcrowd_metrics::MeanEval;
+
+/// Formats a metric quadruple.
+pub fn row4(m: &MeanEval) -> String {
+    format!(
+        "{:>7.4} {:>7.4} {:>7.4} {:>8.4}",
+        m.map, m.mrr, m.ndcg, m.ndcg10
+    )
+}
+
+/// Formats a paper reference quadruple.
+pub fn paper_row4(r: crate::paper::Row4) -> String {
+    format!("{:>7.4} {:>7.4} {:>7.4} {:>8.4}", r.0, r.1, r.2, r.3)
+}
+
+/// The standard metric header.
+pub fn header4() -> &'static str {
+    "    MAP     MRR    NDCG  NDCG@10"
+}
+
+/// Formats an 11-point interpolated precision curve.
+pub fn p11(curve: &[f64; 11]) -> String {
+    curve
+        .iter()
+        .map(|p| format!("{p:.3}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Formats a DCG curve at cutoffs 5/10/15/20.
+pub fn dcg_curve(curve: &[f64; 4]) -> String {
+    curve
+        .iter()
+        .map(|d| format!("{d:>7.1}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// A section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} {}", "=".repeat(66usize.saturating_sub(title.len())));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_have_stable_width() {
+        let m = MeanEval { map: 0.1234, mrr: 1.0, ndcg: 0.5, ndcg10: 0.25, ..Default::default() };
+        assert_eq!(row4(&m), " 0.1234  1.0000  0.5000   0.2500");
+        assert_eq!(row4(&m).len(), header4().len());
+        assert_eq!(paper_row4((0.1234, 1.0, 0.5, 0.25)), row4(&m));
+    }
+
+    #[test]
+    fn curves_format() {
+        let c = p11(&[0.0; 11]);
+        assert_eq!(c.split(' ').count(), 11);
+        let d = dcg_curve(&[1.0, 2.0, 3.0, 4.5]);
+        assert!(d.contains("4.5"));
+    }
+}

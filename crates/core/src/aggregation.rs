@@ -1,0 +1,140 @@
+//! Alternative expertise-aggregation models.
+//!
+//! The paper aggregates with Eq. 3 — a weighted *sum* of resource scores.
+//! The expert-search literature it builds on (Macdonald & Ounis, CIKM'09,
+//! the paper’s reference 18; Balog’s document-centric models, its reference 3) frames
+//! the same step as *data fusion over a document ranking*: each retrieved
+//! document "votes" for the candidates it is associated with. This module
+//! implements the classic voting techniques so the paper's choice can be
+//! compared against them on identical evidence (`exp_rankers`).
+
+use std::fmt;
+
+/// How per-document scores are fused into one candidate score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// The paper's Eq. 3: `Σ score(q, ri) · wr(ri, ex)`.
+    WeightedSum,
+    /// Plain vote counting: the number of window documents attributed to
+    /// the candidate (Macdonald & Ounis' *Votes*).
+    Votes,
+    /// CombMNZ: vote count × weighted score sum — rewards candidates
+    /// supported by *many* documents.
+    CombMnz,
+    /// Reciprocal-rank fusion: `Σ 1/rank(ri)` over the candidate's
+    /// documents in the relevance ranking (Macdonald & Ounis' *RR*).
+    ReciprocalRank,
+    /// CombMAX: the candidate's best single document score (weighted).
+    CombMax,
+}
+
+impl Aggregation {
+    /// All implemented techniques.
+    pub const ALL: [Aggregation; 5] = [
+        Aggregation::WeightedSum,
+        Aggregation::Votes,
+        Aggregation::CombMnz,
+        Aggregation::ReciprocalRank,
+        Aggregation::CombMax,
+    ];
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aggregation::WeightedSum => "weighted-sum (paper Eq. 3)",
+            Aggregation::Votes => "votes",
+            Aggregation::CombMnz => "CombMNZ",
+            Aggregation::ReciprocalRank => "reciprocal-rank",
+            Aggregation::CombMax => "CombMAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Per-candidate fusion state, updated document by document.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusionAcc {
+    /// Weighted score sum.
+    pub sum: f64,
+    /// Number of contributing documents.
+    pub votes: u32,
+    /// Reciprocal-rank sum.
+    pub rr: f64,
+    /// Best weighted score.
+    pub max: f64,
+}
+
+impl FusionAcc {
+    /// Records one contributing document: its weighted score and its
+    /// 1-based rank in the relevance ranking.
+    pub fn record(&mut self, weighted_score: f64, rank: usize) {
+        self.sum += weighted_score;
+        self.votes += 1;
+        self.rr += 1.0 / rank as f64;
+        if weighted_score > self.max {
+            self.max = weighted_score;
+        }
+    }
+
+    /// The fused score under `method`.
+    pub fn fuse(&self, method: Aggregation) -> f64 {
+        match method {
+            Aggregation::WeightedSum => self.sum,
+            Aggregation::Votes => self.votes as f64,
+            Aggregation::CombMnz => self.votes as f64 * self.sum,
+            Aggregation::ReciprocalRank => self.rr,
+            Aggregation::CombMax => self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_all_statistics() {
+        let mut acc = FusionAcc::default();
+        acc.record(2.0, 1);
+        acc.record(1.0, 4);
+        assert_eq!(acc.sum, 3.0);
+        assert_eq!(acc.votes, 2);
+        assert!((acc.rr - 1.25).abs() < 1e-12);
+        assert_eq!(acc.max, 2.0);
+    }
+
+    #[test]
+    fn fuse_per_method() {
+        let mut acc = FusionAcc::default();
+        acc.record(2.0, 1);
+        acc.record(1.0, 2);
+        assert_eq!(acc.fuse(Aggregation::WeightedSum), 3.0);
+        assert_eq!(acc.fuse(Aggregation::Votes), 2.0);
+        assert_eq!(acc.fuse(Aggregation::CombMnz), 6.0);
+        assert!((acc.fuse(Aggregation::ReciprocalRank) - 1.5).abs() < 1e-12);
+        assert_eq!(acc.fuse(Aggregation::CombMax), 2.0);
+    }
+
+    #[test]
+    fn empty_acc_scores_zero_everywhere() {
+        let acc = FusionAcc::default();
+        for m in Aggregation::ALL {
+            assert_eq!(acc.fuse(m), 0.0, "{m}");
+        }
+    }
+
+    #[test]
+    fn single_doc_makes_methods_agree_up_to_monotone() {
+        // With one document of weighted score s at rank 1, all methods
+        // rank candidates in the same order as s (or are constant).
+        let mut a = FusionAcc::default();
+        a.record(3.0, 1);
+        let mut b = FusionAcc::default();
+        b.record(1.0, 1);
+        for m in [Aggregation::WeightedSum, Aggregation::CombMnz, Aggregation::CombMax] {
+            assert!(a.fuse(m) > b.fuse(m), "{m}");
+        }
+        assert_eq!(a.fuse(Aggregation::Votes), b.fuse(Aggregation::Votes));
+    }
+}

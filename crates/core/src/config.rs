@@ -1,0 +1,173 @@
+//! Finder configuration — the paper's tunable parameters.
+
+use rightcrowd_types::{Distance, PlatformMask};
+
+/// How many of the top-scoring matching resources feed the expert ranking
+/// (the paper's *window size*, §2.4.1 / §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowSize {
+    /// A fixed number of resources (the paper settles on 100).
+    Count(usize),
+    /// A fraction of the matching resources (the x-axis of Fig. 6).
+    Fraction(f64),
+    /// No window: every matching resource contributes.
+    All,
+}
+
+impl WindowSize {
+    /// Resolves the window against a match-set of `matching` resources.
+    pub fn resolve(self, matching: usize) -> usize {
+        match self {
+            WindowSize::Count(n) => n.min(matching),
+            WindowSize::Fraction(f) => {
+                ((matching as f64 * f.clamp(0.0, 1.0)).ceil() as usize).min(matching)
+            }
+            WindowSize::All => matching,
+        }
+    }
+}
+
+/// Full configuration of one expert-finding run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinderConfig {
+    /// Eq. 1 mixing weight between term and entity evidence. The paper's
+    /// sensitivity analysis (§3.3.2) settles on 0.6.
+    pub alpha: f64,
+    /// The resource window (paper default: 100).
+    pub window: WindowSize,
+    /// Maximum graph distance explored (paper default: 2).
+    pub max_distance: Distance,
+    /// Include friends' (bidirectional ties') resources — off by default,
+    /// per the paper's finding that they do not help (§3.3.3).
+    pub include_friends: bool,
+    /// Platforms contributing evidence (Table 3 compares All/FB/TW/LI).
+    pub platforms: PlatformMask,
+    /// Per-distance resource weights `wr` (paper: fixed in `[0.5, 1]`,
+    /// linearly decreasing with distance).
+    pub distance_weights: [f64; Distance::COUNT],
+    /// Divide each candidate's Eq. 3 score by their number of contributing
+    /// resources. The paper deliberately does *not* normalise — it assumes
+    /// evidence volume correlates with expertise (§2.4.1); this flag exists
+    /// for the ablation that justifies the choice.
+    pub normalize_by_evidence: bool,
+    /// How per-document scores fuse into candidate scores (paper: Eq. 3
+    /// weighted sum; alternatives implement the voting models of the
+    /// expert-search literature the paper cites).
+    pub aggregation: crate::aggregation::Aggregation,
+    /// The document retrieval model behind Eq. 1 (paper: tf·irf² VSM;
+    /// BM25 provided for the retrieval-model ablation).
+    pub retrieval: Retrieval,
+}
+
+/// Document-scoring model used by the matcher.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Retrieval {
+    /// The paper's Eq. 1 vector-space model (`tf·irf²` / `ef·eirf²·we`).
+    PaperVsm,
+    /// Okapi BM25 with the Eq. 2 entity weight preserved.
+    Bm25(rightcrowd_index::Bm25Params),
+}
+
+impl Default for FinderConfig {
+    fn default() -> Self {
+        FinderConfig {
+            alpha: 0.6,
+            window: WindowSize::Count(100),
+            max_distance: Distance::D2,
+            include_friends: false,
+            platforms: PlatformMask::ALL,
+            distance_weights: [
+                Distance::D0.paper_weight(),
+                Distance::D1.paper_weight(),
+                Distance::D2.paper_weight(),
+            ],
+            normalize_by_evidence: false,
+            aggregation: crate::aggregation::Aggregation::WeightedSum,
+            retrieval: Retrieval::PaperVsm,
+        }
+    }
+}
+
+impl FinderConfig {
+    /// The `wr` weight for a resource at `distance`.
+    pub fn weight(&self, distance: Distance) -> f64 {
+        self.distance_weights[distance.level()]
+    }
+
+    /// Builder-style: set the distance cap.
+    pub fn with_distance(mut self, d: Distance) -> Self {
+        self.max_distance = d;
+        self
+    }
+
+    /// Builder-style: set the platform mask.
+    pub fn with_platforms(mut self, platforms: PlatformMask) -> Self {
+        self.platforms = platforms;
+        self
+    }
+
+    /// Builder-style: set α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Builder-style: set the window.
+    pub fn with_window(mut self, window: WindowSize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Builder-style: include friends' resources.
+    pub fn with_friends(mut self, include: bool) -> Self {
+        self.include_friends = include;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_operating_point() {
+        let c = FinderConfig::default();
+        assert!((c.alpha - 0.6).abs() < 1e-12);
+        assert_eq!(c.window.resolve(10_000), 100);
+        assert_eq!(c.max_distance, Distance::D2);
+        assert!(!c.include_friends);
+        assert_eq!(c.platforms, PlatformMask::ALL);
+        assert_eq!(c.distance_weights, [1.0, 0.75, 0.5]);
+    }
+
+    #[test]
+    fn window_resolution() {
+        assert_eq!(WindowSize::Count(100).resolve(40), 40);
+        assert_eq!(WindowSize::Count(100).resolve(4000), 100);
+        assert_eq!(WindowSize::Fraction(0.05).resolve(1000), 50);
+        assert_eq!(WindowSize::Fraction(0.001).resolve(100), 1); // ceil
+        assert_eq!(WindowSize::Fraction(2.0).resolve(10), 10); // clamped
+        assert_eq!(WindowSize::All.resolve(77), 77);
+        assert_eq!(WindowSize::Fraction(0.0).resolve(10), 0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = FinderConfig::default()
+            .with_alpha(0.3)
+            .with_distance(Distance::D1)
+            .with_friends(true)
+            .with_window(WindowSize::All);
+        assert!((c.alpha - 0.3).abs() < 1e-12);
+        assert_eq!(c.max_distance, Distance::D1);
+        assert!(c.include_friends);
+        assert_eq!(c.window, WindowSize::All);
+    }
+
+    #[test]
+    fn distance_weight_lookup() {
+        let c = FinderConfig::default();
+        assert_eq!(c.weight(Distance::D0), 1.0);
+        assert_eq!(c.weight(Distance::D2), 0.5);
+    }
+}

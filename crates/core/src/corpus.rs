@@ -1,0 +1,240 @@
+//! Corpus analysis and indexing.
+//!
+//! Runs the Fig. 4 pipeline over every document of a dataset's social
+//! graph — profiles, resources, container descriptions, each enriched with
+//! its linked web pages — and builds the dual inverted index. Non-English
+//! documents are dropped, reproducing the paper's 330k → 230k reduction.
+
+use crate::pipeline::AnalysisPipeline;
+use rightcrowd_annotate::AnnotatorConfig;
+use rightcrowd_graph::DocId;
+use rightcrowd_index::{DocIdx, IndexBuilder, InvertedIndex};
+use rightcrowd_synth::SyntheticDataset;
+use std::collections::HashMap;
+
+/// Ablation switches for corpus analysis. The defaults are the paper's
+/// pipeline; the experiment harness flips individual stages off to measure
+/// their contribution.
+#[derive(Debug, Clone)]
+pub struct CorpusOptions {
+    /// Append the text of linked web pages to each document (the paper's
+    /// URL-content-extraction stage).
+    pub enrich_urls: bool,
+    /// Annotator settings. `AnnotatorConfig { epsilon: 1.0, .. }` turns
+    /// collective-agreement voting into commonness-only disambiguation —
+    /// the classic ablation of TAGME's voting step.
+    pub annotator: AnnotatorConfig,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions { enrich_urls: true, annotator: AnnotatorConfig::default() }
+    }
+}
+
+impl CorpusOptions {
+    /// Commonness-only disambiguation (no context voting).
+    pub fn commonness_only() -> Self {
+        CorpusOptions {
+            annotator: AnnotatorConfig { epsilon: 1.0, ..AnnotatorConfig::default() },
+            ..Default::default()
+        }
+    }
+
+    /// No URL-content enrichment.
+    pub fn without_enrichment() -> Self {
+        CorpusOptions { enrich_urls: false, ..Default::default() }
+    }
+}
+
+/// The analysed, indexed corpus of one dataset.
+#[derive(Debug)]
+pub struct AnalyzedCorpus {
+    index: InvertedIndex,
+    docs: Vec<DocId>,
+    doc_of: HashMap<DocId, DocIdx>,
+    dropped_non_english: usize,
+}
+
+impl AnalyzedCorpus {
+    /// Analyses and indexes every document of `ds` with the paper's
+    /// default pipeline.
+    pub fn build(ds: &SyntheticDataset) -> Self {
+        Self::build_with(ds, &CorpusOptions::default())
+    }
+
+    /// Analyses and indexes with explicit ablation options.
+    ///
+    /// Analysis is embarrassingly parallel and runs on scoped threads
+    /// (one chunk per available core); results are merged back in
+    /// document order, so the produced index is byte-identical to a
+    /// sequential build.
+    pub fn build_with(ds: &SyntheticDataset, options: &CorpusOptions) -> Self {
+        let pipeline = AnalysisPipeline::with_config(ds.kb(), options.annotator.clone());
+
+        // Work list: every document of the meta-model, profiles first
+        // (ungated — see the pipeline docs), then resources, containers.
+        enum Job {
+            Ungated(DocId),
+            Gated(DocId),
+        }
+        let mut jobs: Vec<Job> = Vec::with_capacity(
+            ds.graph().profiles().len()
+                + ds.graph().resources().len()
+                + ds.graph().containers().len(),
+        );
+        jobs.extend(ds.graph().profiles().iter().map(|p| Job::Ungated(DocId::Profile(p.id))));
+        jobs.extend(ds.graph().resources().iter().map(|r| Job::Gated(DocId::Res(r.id))));
+        jobs.extend(ds.graph().containers().iter().map(|c| Job::Gated(DocId::Cont(c.id))));
+
+        let web = ds.web();
+        let enrich = options.enrich_urls;
+        let analyze_one = |job: &Job| -> (DocId, Option<crate::pipeline::AnalyzedDoc>) {
+            let (doc_id, raw, links, ungated) = match job {
+                Job::Ungated(id @ DocId::Profile(u)) => {
+                    let p = ds.graph().profile(*u);
+                    (*id, p.text.as_str(), &p.links, true)
+                }
+                Job::Gated(id @ DocId::Res(r)) => {
+                    let res = ds.graph().resource(*r);
+                    (*id, res.text.as_str(), &res.links, false)
+                }
+                Job::Gated(id @ DocId::Cont(c)) => {
+                    let cont = ds.graph().container(*c);
+                    (*id, cont.text.as_str(), &cont.links, false)
+                }
+                _ => unreachable!("job kinds are fixed above"),
+            };
+            let pages: Vec<&str> = if enrich {
+                links.iter().map(|&p| web.text(p)).collect()
+            } else {
+                Vec::new()
+            };
+            let analyzed = if ungated {
+                pipeline.analyze_doc_ungated(raw, &pages)
+            } else {
+                pipeline.analyze_doc(raw, &pages)
+            };
+            let keep = ungated || analyzed.retained();
+            (doc_id, keep.then_some(analyzed))
+        };
+
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let chunk_size = jobs.len().div_ceil(threads.max(1)).max(1);
+        let analyzed: Vec<Vec<(DocId, Option<crate::pipeline::AnalyzedDoc>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk_size)
+                    .map(|chunk| scope.spawn(|| chunk.iter().map(analyze_one).collect()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("analysis worker")).collect()
+            });
+
+        // Sequential merge in job order keeps DocIdx assignment (and
+        // therefore every downstream tie-break) deterministic.
+        let mut builder = IndexBuilder::new();
+        let mut docs = Vec::new();
+        let mut doc_of = HashMap::new();
+        let mut dropped = 0usize;
+        for (doc_id, maybe_doc) in analyzed.into_iter().flatten() {
+            match maybe_doc {
+                Some(doc) => {
+                    let idx = builder.add_document(&doc.terms, &doc.entities);
+                    docs.push(doc_id);
+                    doc_of.insert(doc_id, idx);
+                }
+                None => dropped += 1,
+            }
+        }
+
+        AnalyzedCorpus {
+            index: builder.build(),
+            docs,
+            doc_of,
+            dropped_non_english: dropped,
+        }
+    }
+
+    /// The inverted index over retained documents.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// The graph document behind an index handle.
+    pub fn doc_id(&self, idx: DocIdx) -> DocId {
+        self.docs[idx.index()]
+    }
+
+    /// The index handle of a graph document (absent when the document was
+    /// dropped as non-English).
+    pub fn doc_idx(&self, id: DocId) -> Option<DocIdx> {
+        self.doc_of.get(&id).copied()
+    }
+
+    /// Number of retained (indexed) documents.
+    pub fn retained(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Number of documents dropped by the language gate.
+    pub fn dropped_non_english(&self) -> usize {
+        self.dropped_non_english
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_corpus() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+        crate::testkit::tiny()
+    }
+
+    #[test]
+    fn corpus_indexes_most_english_documents() {
+        let (ds, corpus) = tiny_corpus();
+        let total = ds.graph().profiles().len()
+            + ds.graph().resources().len()
+            + ds.graph().containers().len();
+        assert!(corpus.retained() > total / 2, "{} of {total}", corpus.retained());
+        assert!(corpus.dropped_non_english() > 0, "language gate must drop something");
+        assert_eq!(
+            corpus.retained() + corpus.dropped_non_english(),
+            total,
+            "every document is either retained or dropped"
+        );
+    }
+
+    #[test]
+    fn doc_mapping_roundtrips() {
+        let (_ds, corpus) = tiny_corpus();
+        for raw in 0..corpus.retained().min(200) {
+            let idx = DocIdx(raw as u32);
+            let id = corpus.doc_id(idx);
+            assert_eq!(corpus.doc_idx(id), Some(idx));
+        }
+    }
+
+    #[test]
+    fn candidate_profiles_always_indexed() {
+        let (ds, corpus) = tiny_corpus();
+        for person in ds.candidates() {
+            for (_, account) in person.existing_accounts() {
+                assert!(
+                    corpus.doc_idx(DocId::Profile(account)).is_some(),
+                    "profile of {} must be indexed",
+                    person.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_domain_query() {
+        let (ds, corpus) = tiny_corpus();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query("freestyle swimming training at the pool");
+        let hits = corpus.index().score_all(&q, 0.6);
+        assert!(!hits.is_empty(), "sport query must match generated content");
+    }
+}

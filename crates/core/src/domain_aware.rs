@@ -1,0 +1,100 @@
+//! Domain-aware configuration — the paper's suggested future work.
+//!
+//! §3.7 observes that Location queries suffer from a specific confound:
+//! profiles leak location information ("lives in Milan") for *everyone*,
+//! so profile evidence for Location needs is widespread but uninformative.
+//! The paper concludes: "This result calls for domain-specific solutions
+//! for location related expertise needs."
+//!
+//! [`DomainPolicy`] implements that suggestion as a per-domain override of
+//! the finder configuration. The default policy:
+//!
+//! - **Location** — drop distance-0 (profile) evidence entirely and lean
+//!   on entity matching (lower α): a restaurant recommendation should come
+//!   from someone who *writes about* Milan, not someone who lives there.
+//! - every other domain — the paper's baseline configuration.
+
+use crate::config::FinderConfig;
+use rightcrowd_types::{Distance, Domain};
+
+/// Per-domain configuration overrides.
+#[derive(Debug, Clone)]
+pub struct DomainPolicy {
+    configs: [FinderConfig; Domain::COUNT],
+}
+
+impl DomainPolicy {
+    /// The uniform policy: the same configuration for every domain.
+    pub fn uniform(config: &FinderConfig) -> Self {
+        DomainPolicy {
+            configs: std::array::from_fn(|_| config.clone()),
+        }
+    }
+
+    /// The paper-motivated policy: baseline everywhere, with the Location
+    /// fix (no profile evidence, entity-leaning α).
+    pub fn location_aware(base: &FinderConfig) -> Self {
+        let mut policy = Self::uniform(base);
+        let location = base
+            .clone()
+            .with_alpha((base.alpha - 0.2).max(0.0));
+        // Suppress distance-0 evidence by zeroing its weight: the
+        // traversal still runs, but profile matches contribute nothing.
+        let mut weights = location.distance_weights;
+        weights[Distance::D0.level()] = 0.0;
+        policy.configs[Domain::Location.index()] = FinderConfig {
+            distance_weights: weights,
+            ..location
+        };
+        policy
+    }
+
+    /// Overrides the configuration of one domain.
+    pub fn with_domain(mut self, domain: Domain, config: FinderConfig) -> Self {
+        self.configs[domain.index()] = config;
+        self
+    }
+
+    /// The configuration used for `domain`.
+    pub fn config_for(&self, domain: Domain) -> &FinderConfig {
+        &self.configs[domain.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_policy_is_uniform() {
+        let base = FinderConfig::default();
+        let policy = DomainPolicy::uniform(&base);
+        for d in Domain::ALL {
+            assert_eq!(policy.config_for(d), &base);
+        }
+    }
+
+    #[test]
+    fn location_aware_only_touches_location() {
+        let base = FinderConfig::default();
+        let policy = DomainPolicy::location_aware(&base);
+        for d in Domain::ALL {
+            if d == Domain::Location {
+                let cfg = policy.config_for(d);
+                assert_eq!(cfg.distance_weights[0], 0.0, "profile evidence muted");
+                assert!(cfg.alpha < base.alpha, "entity-leaning α");
+            } else {
+                assert_eq!(policy.config_for(d), &base);
+            }
+        }
+    }
+
+    #[test]
+    fn with_domain_overrides() {
+        let base = FinderConfig::default();
+        let custom = base.clone().with_alpha(0.1);
+        let policy = DomainPolicy::uniform(&base).with_domain(Domain::Music, custom.clone());
+        assert_eq!(policy.config_for(Domain::Music), &custom);
+        assert_eq!(policy.config_for(Domain::Sport), &base);
+    }
+}

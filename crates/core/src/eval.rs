@@ -1,0 +1,272 @@
+//! The evaluation harness: run a configuration over the 30-query workload
+//! and compute every §3.2 metric, plus the per-user reliability analysis
+//! (Fig. 10) and the retrieved-expert deltas (Fig. 11).
+
+use crate::attribution::Attribution;
+use crate::config::FinderConfig;
+use crate::corpus::AnalyzedCorpus;
+use crate::pipeline::AnalysisPipeline;
+use crate::ranker::{rank_query, RankedExpert};
+use rightcrowd_metrics::{mean_eval, Confusion, MeanEval, QueryEval};
+use rightcrowd_synth::SyntheticDataset;
+use rightcrowd_types::PersonId;
+
+/// The complete outcome of one configuration run.
+#[derive(Debug, Clone)]
+pub struct ConfigOutcome {
+    /// Across-query means (one table row of the paper).
+    pub mean: MeanEval,
+    /// Per-query evaluations, workload order.
+    pub per_query: Vec<QueryEval>,
+    /// Per-query rankings, workload order.
+    pub rankings: Vec<Vec<RankedExpert>>,
+}
+
+/// Per-candidate reliability (one point of the paper's Fig. 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserReliability {
+    /// The candidate.
+    pub person: PersonId,
+    /// F1 of "retrieved for query" vs. "is expert of the query's domain"
+    /// over the whole workload.
+    pub f1: f64,
+    /// Precision component.
+    pub precision: f64,
+    /// Recall component.
+    pub recall: f64,
+    /// Number of documents attributed to the candidate (their available
+    /// social information).
+    pub resources: usize,
+}
+
+/// Shared evaluation context: one dataset, one analysed corpus.
+pub struct EvalContext<'a> {
+    ds: &'a SyntheticDataset,
+    corpus: &'a AnalyzedCorpus,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Binds the context.
+    pub fn new(ds: &'a SyntheticDataset, corpus: &'a AnalyzedCorpus) -> Self {
+        EvalContext { ds, corpus }
+    }
+
+    /// The dataset under evaluation.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        self.ds
+    }
+
+    /// The analysed corpus.
+    pub fn corpus(&self) -> &AnalyzedCorpus {
+        self.corpus
+    }
+
+    /// Runs the whole workload under `config`.
+    pub fn run(&self, config: &FinderConfig) -> ConfigOutcome {
+        let attribution = Attribution::compute(self.ds, self.corpus, config);
+        self.run_with_attribution(config, &attribution)
+    }
+
+    /// Runs the workload reusing a precomputed attribution (for sweeps
+    /// that vary only α or the window).
+    pub fn run_with_attribution(
+        &self,
+        config: &FinderConfig,
+        attribution: &Attribution,
+    ) -> ConfigOutcome {
+        let pipeline = AnalysisPipeline::new(self.ds.kb());
+        let gt = self.ds.ground_truth();
+        let n = self.ds.candidates().len();
+        let mut per_query = Vec::with_capacity(self.ds.queries().len());
+        let mut rankings = Vec::with_capacity(self.ds.queries().len());
+        for need in self.ds.queries() {
+            let query = pipeline.analyze_query(&need.text);
+            let ranking = rank_query(self.corpus, attribution, config, &query, n);
+            let rels: Vec<bool> = ranking
+                .iter()
+                .map(|r| gt.is_expert(r.person, need.domain))
+                .collect();
+            per_query.push(QueryEval::evaluate(&rels, gt.experts(need.domain).len()));
+            rankings.push(ranking);
+        }
+        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
+    }
+
+    /// Runs the workload under a per-domain policy: each query is ranked
+    /// with its domain's configuration (the paper's suggested
+    /// domain-specific solutions, see [`crate::domain_aware`]).
+    pub fn run_policy(&self, policy: &crate::domain_aware::DomainPolicy) -> ConfigOutcome {
+        let pipeline = AnalysisPipeline::new(self.ds.kb());
+        let gt = self.ds.ground_truth();
+        let n = self.ds.candidates().len();
+        // Attributions depend only on the traversal shape (distance cap,
+        // friends flag, platform mask); configs differing only in
+        // α/window/weights share one.
+        let mut attributions: Vec<(FinderConfig, Attribution)> = Vec::new();
+        let mut per_query = Vec::with_capacity(self.ds.queries().len());
+        let mut rankings = Vec::with_capacity(self.ds.queries().len());
+        for need in self.ds.queries() {
+            let config = policy.config_for(need.domain);
+            let position = attributions.iter().position(|(other, _)| {
+                other.max_distance == config.max_distance
+                    && other.include_friends == config.include_friends
+                    && other.platforms == config.platforms
+            });
+            let index = match position {
+                Some(i) => i,
+                None => {
+                    attributions.push((
+                        config.clone(),
+                        Attribution::compute(self.ds, self.corpus, config),
+                    ));
+                    attributions.len() - 1
+                }
+            };
+            let attribution = &attributions[index].1;
+            let query = pipeline.analyze_query(&need.text);
+            let ranking = rank_query(self.corpus, attribution, config, &query, n);
+            let rels: Vec<bool> = ranking
+                .iter()
+                .map(|r| gt.is_expert(r.person, need.domain))
+                .collect();
+            per_query.push(QueryEval::evaluate(&rels, gt.experts(need.domain).len()));
+            rankings.push(ranking);
+        }
+        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
+    }
+
+    /// Runs only the queries of one domain (Table 4 rows).
+    pub fn run_domain(
+        &self,
+        config: &FinderConfig,
+        domain: rightcrowd_types::Domain,
+    ) -> ConfigOutcome {
+        let outcome = self.run(config);
+        let mut per_query = Vec::new();
+        let mut rankings = Vec::new();
+        for (i, need) in self.ds.queries().iter().enumerate() {
+            if need.domain == domain {
+                per_query.push(outcome.per_query[i].clone());
+                rankings.push(outcome.rankings[i].clone());
+            }
+        }
+        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
+    }
+
+    /// Per-candidate reliability under `config` (Fig. 10).
+    pub fn user_reliability(&self, config: &FinderConfig) -> Vec<UserReliability> {
+        let attribution = Attribution::compute(self.ds, self.corpus, config);
+        let outcome = self.run_with_attribution(config, &attribution);
+        let gt = self.ds.ground_truth();
+        self.ds
+            .candidates()
+            .iter()
+            .map(|person| {
+                let mut confusion = Confusion::default();
+                for (need, ranking) in self.ds.queries().iter().zip(&outcome.rankings) {
+                    let predicted = ranking.iter().any(|r| r.person == person.id);
+                    let actual = gt.is_expert(person.id, need.domain);
+                    confusion.record(predicted, actual);
+                }
+                UserReliability {
+                    person: person.id,
+                    f1: confusion.f1(),
+                    precision: confusion.precision(),
+                    recall: confusion.recall(),
+                    resources: attribution.doc_count(person.id),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-query Δ = retrieved candidates − expected experts (Fig. 11).
+    pub fn retrieved_deltas(&self, config: &FinderConfig) -> Vec<i64> {
+        let outcome = self.run(config);
+        self.ds
+            .queries()
+            .iter()
+            .zip(&outcome.rankings)
+            .map(|(need, ranking)| {
+                ranking.len() as i64 - self.ds.ground_truth().experts(need.domain).len() as i64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::random_baseline;
+    use rightcrowd_types::{Distance, Domain};
+
+    fn setup() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+        crate::testkit::tiny()
+    }
+
+    #[test]
+    fn full_run_produces_thirty_query_evals() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let outcome = ctx.run(&FinderConfig::default());
+        assert_eq!(outcome.per_query.len(), 30);
+        assert_eq!(outcome.rankings.len(), 30);
+        assert!(outcome.mean.map > 0.0, "MAP {}", outcome.mean.map);
+        assert!(outcome.mean.mrr > 0.0);
+    }
+
+    #[test]
+    fn distance2_beats_distance0_and_random() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let d0 = ctx.run(&FinderConfig::default().with_distance(Distance::D0));
+        let d2 = ctx.run(&FinderConfig::default());
+        let random = random_baseline(ds, 99);
+        // The paper's headline ordering: profiles alone are the worst,
+        // full social context the best.
+        assert!(
+            d2.mean.map > d0.mean.map,
+            "d2 {} must beat d0 {}",
+            d2.mean.map,
+            d0.mean.map
+        );
+        assert!(
+            d2.mean.map > random.map,
+            "d2 {} must beat random {}",
+            d2.mean.map,
+            random.map
+        );
+    }
+
+    #[test]
+    fn domain_run_selects_matching_queries() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let sport = ctx.run_domain(&FinderConfig::default(), Domain::Sport);
+        let expected = ds.queries().iter().filter(|q| q.domain == Domain::Sport).count();
+        assert_eq!(sport.per_query.len(), expected);
+    }
+
+    #[test]
+    fn reliability_covers_all_candidates() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let rel = ctx.user_reliability(&FinderConfig::default());
+        assert_eq!(rel.len(), ds.candidates().len());
+        for r in &rel {
+            assert!((0.0..=1.0).contains(&r.f1));
+            assert!(r.resources > 0);
+        }
+        // Reliability must vary across users (some silent users exist).
+        let max = rel.iter().map(|r| r.f1).fold(0.0, f64::max);
+        let min = rel.iter().map(|r| r.f1).fold(1.0, f64::min);
+        assert!(max > min, "F1 must spread: min {min} max {max}");
+    }
+
+    #[test]
+    fn deltas_have_workload_length() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let deltas = ctx.retrieved_deltas(&FinderConfig::default());
+        assert_eq!(deltas.len(), 30);
+    }
+}

@@ -1,0 +1,147 @@
+//! The public façade: build once, rank queries.
+
+use crate::attribution::Attribution;
+use crate::config::FinderConfig;
+use crate::corpus::AnalyzedCorpus;
+use crate::pipeline::AnalysisPipeline;
+pub use crate::ranker::RankedExpert;
+use crate::ranker::rank_query;
+use rightcrowd_synth::{ExpertiseNeed, SyntheticDataset};
+
+/// The end-to-end social expert finding system of the paper's Fig. 1,
+/// bound to one dataset and one configuration.
+///
+/// ```
+/// use rightcrowd_core::{ExpertFinder, FinderConfig};
+/// use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+///
+/// let dataset = SyntheticDataset::generate(&DatasetConfig::tiny());
+/// let finder = ExpertFinder::build(&dataset, &FinderConfig::default());
+/// let ranking = finder.rank(&dataset.queries()[0]);
+/// assert!(ranking.len() <= dataset.candidates().len());
+/// ```
+pub struct ExpertFinder<'a> {
+    ds: &'a SyntheticDataset,
+    pipeline: AnalysisPipeline<'a>,
+    corpus: AnalyzedCorpus,
+    attribution: Attribution,
+    config: FinderConfig,
+}
+
+impl<'a> ExpertFinder<'a> {
+    /// Analyses and indexes the dataset's documents, then computes the
+    /// evidence attribution for `config`. The expensive part is the corpus
+    /// analysis; see [`ExpertFinder::with_corpus`] to reuse one.
+    pub fn build(ds: &'a SyntheticDataset, config: &FinderConfig) -> Self {
+        let corpus = AnalyzedCorpus::build(ds);
+        Self::with_corpus(ds, corpus, config)
+    }
+
+    /// Wraps an already-analysed corpus (cheap: only attribution is
+    /// recomputed). This is how the experiment harness sweeps
+    /// configurations without re-analysing 300k documents per point.
+    pub fn with_corpus(ds: &'a SyntheticDataset, corpus: AnalyzedCorpus, config: &FinderConfig) -> Self {
+        let attribution = Attribution::compute(ds, &corpus, config);
+        ExpertFinder {
+            ds,
+            pipeline: AnalysisPipeline::new(ds.kb()),
+            corpus,
+            attribution,
+            config: config.clone(),
+        }
+    }
+
+    /// Re-targets the finder to a new configuration, reusing the corpus.
+    pub fn reconfigure(self, config: &FinderConfig) -> Self {
+        Self::with_corpus(self.ds, self.corpus, config)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FinderConfig {
+        &self.config
+    }
+
+    /// The analysed corpus.
+    pub fn corpus(&self) -> &AnalyzedCorpus {
+        &self.corpus
+    }
+
+    /// The evidence attribution of the active configuration.
+    pub fn attribution(&self) -> &Attribution {
+        &self.attribution
+    }
+
+    /// Ranks the candidates for a workload query.
+    pub fn rank(&self, need: &ExpertiseNeed) -> Vec<RankedExpert> {
+        self.rank_text(&need.text)
+    }
+
+    /// Ranks the candidates for a free-form expertise need.
+    pub fn rank_text(&self, text: &str) -> Vec<RankedExpert> {
+        let query = self.pipeline.analyze_query(text);
+        rank_query(
+            &self.corpus,
+            &self.attribution,
+            &self.config,
+            &query,
+            self.ds.candidates().len(),
+        )
+    }
+
+    /// The top-k experts for a need — the "small crowd" the paper routes
+    /// questions to.
+    pub fn top_k(&self, need: &ExpertiseNeed, k: usize) -> Vec<RankedExpert> {
+        let mut ranking = self.rank(need);
+        ranking.truncate(k);
+        ranking
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rightcrowd_synth::DatasetConfig;
+
+    #[test]
+    fn build_and_rank_all_queries() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let finder = ExpertFinder::build(&ds, &FinderConfig::default());
+        let mut non_empty = 0;
+        for need in ds.queries() {
+            let ranking = finder.rank(need);
+            if !ranking.is_empty() {
+                non_empty += 1;
+            }
+        }
+        assert!(non_empty >= 25, "most queries must retrieve someone: {non_empty}/30");
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let finder = ExpertFinder::build(&ds, &FinderConfig::default());
+        let top3 = finder.top_k(&ds.queries()[5], 3);
+        assert!(top3.len() <= 3);
+        let full = finder.rank(&ds.queries()[5]);
+        assert_eq!(&full[..top3.len()], &top3[..]);
+    }
+
+    #[test]
+    fn reconfigure_reuses_corpus() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let finder = ExpertFinder::build(&ds, &FinderConfig::default());
+        let retained = finder.corpus().retained();
+        let finder = finder.reconfigure(&FinderConfig::default().with_alpha(0.1));
+        assert_eq!(finder.corpus().retained(), retained);
+        assert!((finder.config().alpha - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_text_accepts_free_form_needs() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let finder = ExpertFinder::build(&ds, &FinderConfig::default());
+        let ranking = finder.rank_text("who knows about freestyle swimming training");
+        // The tiny dataset always has sporty content.
+        assert!(!ranking.is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # rightcrowd-core
+//!
+//! The paper's social expert finding system (Fig. 1): resource analysis,
+//! expertise-need analysis, expertise-to-candidate matching, and expert
+//! ranking.
+//!
+//! The flow mirrors §2 of the paper end to end:
+//!
+//! 1. **Analysis** ([`pipeline`]) — every social document (profile,
+//!    resource, container description) runs through URL-content enrichment,
+//!    language identification (non-English documents are dropped), text
+//!    processing, and TAGME-style entity recognition & disambiguation.
+//! 2. **Indexing** ([`corpus`]) — analysed documents enter a dual
+//!    term+entity inverted index; inverse resource frequencies are computed
+//!    over the whole retained collection.
+//! 3. **Matching** — an expertise need is analysed symmetrically and scored
+//!    against the collection with Eq. 1 (`α`-mix of `tf·irf²` and
+//!    `ef·eirf²·we`, with `we = 1 + dScore` per Eq. 2).
+//! 4. **Ranking** ([`ranker`]) — the top-window matching resources are
+//!    attributed to candidate experts through the social graph (Table 1
+//!    distances) and aggregated with Eq. 3
+//!    (`score(q,ex) = Σ score(q,ri)·wr(ri,ex)`), with `wr` linearly
+//!    decreasing in distance over `[0.5, 1]`.
+//!
+//! [`ExpertFinder`] packages the flow behind one call; [`eval`] adds the
+//! evaluation harness (metrics vs. ground truth, the paper's random
+//! baseline, per-user reliability, retrieved-expert deltas) that the
+//! experiment binaries build on.
+
+pub mod aggregation;
+pub mod attribution;
+pub mod baseline;
+pub mod config;
+pub mod corpus;
+pub mod domain_aware;
+pub mod eval;
+pub mod finder;
+pub mod pipeline;
+pub mod ranker;
+pub mod routing;
+pub mod testkit;
+
+pub use aggregation::Aggregation;
+pub use attribution::Attribution;
+pub use config::{FinderConfig, Retrieval, WindowSize};
+pub use corpus::{AnalyzedCorpus, CorpusOptions};
+pub use domain_aware::DomainPolicy;
+pub use eval::{ConfigOutcome, EvalContext, UserReliability};
+pub use finder::{ExpertFinder, RankedExpert};
+pub use pipeline::{AnalysisPipeline, AnalyzedDoc};
+pub use routing::{RoutingOutcome, RoutingStrategy};

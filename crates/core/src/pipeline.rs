@@ -1,0 +1,201 @@
+//! The analysis pipeline of the paper's Fig. 4.
+//!
+//! `Resource Extraction → URL Content Extraction → Language Identification
+//! → Text Processing → Entity Recognition and Disambiguation`, applied
+//! symmetrically to social documents and to expertise needs.
+
+use rightcrowd_annotate::Annotator;
+use rightcrowd_index::Query;
+use rightcrowd_kb::KnowledgeBase;
+use rightcrowd_langid::LanguageIdentifier;
+use rightcrowd_text::{sanitize, tokenize, TextProcessor};
+use rightcrowd_types::{EntityId, Language};
+
+/// The analysed form of one document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedDoc {
+    /// Normalised terms (stemmed, stop-word-free), including the enriched
+    /// content of linked web pages.
+    pub terms: Vec<String>,
+    /// Entity annotations as `(entity, dScore)` occurrence pairs.
+    pub entities: Vec<(EntityId, f64)>,
+    /// The detected main language of the document's own text.
+    pub language: Language,
+}
+
+impl AnalyzedDoc {
+    /// Whether the paper's pipeline keeps this document (English only).
+    pub fn retained(&self) -> bool {
+        self.language.retained()
+    }
+}
+
+/// The reusable analysis pipeline, bound to a knowledge base.
+pub struct AnalysisPipeline<'kb> {
+    identifier: LanguageIdentifier,
+    processor: TextProcessor,
+    annotator: Annotator<'kb>,
+}
+
+impl<'kb> AnalysisPipeline<'kb> {
+    /// Builds the pipeline with the paper's default stages.
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        Self::with_config(kb, rightcrowd_annotate::AnnotatorConfig::default())
+    }
+
+    /// Builds the pipeline with a custom annotator configuration (used by
+    /// the disambiguation ablations).
+    pub fn with_config(kb: &'kb KnowledgeBase, annotator: rightcrowd_annotate::AnnotatorConfig) -> Self {
+        AnalysisPipeline {
+            identifier: LanguageIdentifier::new(),
+            processor: TextProcessor::default(),
+            annotator: Annotator::with_config(kb, annotator),
+        }
+    }
+
+    /// Analyses one document: `raw` is the document's own text, `pages`
+    /// the extracted texts of its linked web pages (URL enrichment).
+    ///
+    /// Language identification runs on the document's own text — a
+    /// non-English post is dropped even when it links an English page.
+    pub fn analyze_doc(&self, raw: &str, pages: &[&str]) -> AnalyzedDoc {
+        let sanitized = sanitize(raw);
+        let language = self.identifier.detect(&sanitized.text);
+        if !language.retained() {
+            return AnalyzedDoc { terms: Vec::new(), entities: Vec::new(), language };
+        }
+        self.extract(sanitized.text, pages, language)
+    }
+
+    /// Analyses a document *without* the language gate. Used for candidate
+    /// profiles: they are too short for reliable language identification
+    /// and the study population is English-speaking, so profiles are
+    /// analysed unconditionally (like queries).
+    pub fn analyze_doc_ungated(&self, raw: &str, pages: &[&str]) -> AnalyzedDoc {
+        let sanitized = sanitize(raw);
+        let language = self.identifier.detect(&sanitized.text);
+        self.extract(sanitized.text, pages, language)
+    }
+
+    /// Shared term/entity extraction over sanitised, page-enriched text.
+    fn extract(&self, mut enriched: String, pages: &[&str], language: Language) -> AnalyzedDoc {
+        for page in pages {
+            enriched.push(' ');
+            enriched.push_str(page);
+        }
+        // Entity recognition runs on the unstemmed token stream (anchors
+        // are surface forms); term extraction applies the full normaliser.
+        let tokens = tokenize(&enriched);
+        let entities = self
+            .annotator
+            .annotate_tokens(&tokens)
+            .into_iter()
+            .map(|a| (a.entity, a.dscore))
+            .collect();
+        let terms = self.processor.process_clean(&enriched);
+        AnalyzedDoc { terms, entities, language }
+    }
+
+    /// Analyses an expertise need into an index [`Query`]. Needs are
+    /// assumed in-scope (the paper's workload is English); no language
+    /// gate is applied.
+    pub fn analyze_query(&self, text: &str) -> Query {
+        let sanitized = sanitize(text);
+        let tokens = tokenize(&sanitized.text);
+        let entities = self
+            .annotator
+            .annotate_tokens(&tokens)
+            .into_iter()
+            .map(|a| a.entity)
+            .collect();
+        Query {
+            terms: self.processor.process_clean(&sanitized.text),
+            entities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rightcrowd_kb::seed;
+
+    fn pipeline(kb: &KnowledgeBase) -> AnalysisPipeline<'_> {
+        AnalysisPipeline::new(kb)
+    }
+
+    #[test]
+    fn english_doc_fully_analyzed() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let doc = p.analyze_doc(
+            "Michael Phelps is the best! Great freestyle gold medal http://t.co/x",
+            &[],
+        );
+        assert!(doc.retained());
+        assert!(doc.terms.contains(&"freestyl".to_owned()));
+        assert!(doc.terms.contains(&"medal".to_owned()));
+        let phelps = kb.entity_by_title("Michael Phelps").unwrap().id;
+        assert!(doc.entities.iter().any(|&(e, _)| e == phelps));
+    }
+
+    #[test]
+    fn non_english_doc_dropped() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let doc = p.analyze_doc(
+            "ho appena finito trenta minuti di allenamento in piscina con gli amici",
+            &[],
+        );
+        assert!(!doc.retained());
+        assert!(doc.terms.is_empty());
+        assert!(doc.entities.is_empty());
+    }
+
+    #[test]
+    fn url_enrichment_adds_page_evidence() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let bare = p.analyze_doc("interesting read about this", &[]);
+        let enriched = p.analyze_doc(
+            "interesting read about this",
+            &["copper is an excellent electrical conductor for electricity experiments"],
+        );
+        assert!(enriched.terms.len() > bare.terms.len());
+        assert!(enriched.terms.contains(&"copper".to_owned()));
+        let copper = kb.entity_by_title("Copper").unwrap().id;
+        assert!(enriched.entities.iter().any(|&(e, _)| e == copper));
+    }
+
+    #[test]
+    fn query_analysis_is_symmetric() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let q = p.analyze_query("Can you list some famous songs of Michael Jackson?");
+        assert!(q.terms.contains(&"song".to_owned()));
+        assert!(q.terms.contains(&"famou".to_owned()));
+        let mj = kb.entity_by_title("Michael Jackson").unwrap().id;
+        assert!(q.entities.contains(&mj));
+    }
+
+    #[test]
+    fn dscores_propagate_into_entity_pairs() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let doc = p.analyze_doc("milan won the champions league derby against inter", &[]);
+        for &(_, d) in &doc.entities {
+            assert!((0.0..=1.0).contains(&d));
+        }
+        assert!(!doc.entities.is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let kb = seed::standard();
+        let p = pipeline(&kb);
+        let doc = p.analyze_doc("", &[]);
+        assert!(!doc.retained()); // too short to identify → Unknown
+        let q = p.analyze_query("");
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Expert ranking — Eq. 3 of the paper.
+//!
+//! Given the scored match set `RR` of a query, keep the top-window
+//! resources that are attributable to at least one candidate, and
+//! aggregate per candidate:
+//!
+//! ```text
+//! score(q, ex) = Σ_{ri ∈ RR_window}  score(q, ri) · wr(ri, ex)
+//! ```
+//!
+//! No normalisation by resource count is applied — the paper explicitly
+//! assumes a direct correlation between the *number* of matching resources
+//! and expertise (§2.4.1); the window bounds the sum instead.
+
+use crate::attribution::Attribution;
+use crate::config::FinderConfig;
+use crate::corpus::AnalyzedCorpus;
+use rightcrowd_index::Query;
+use rightcrowd_types::PersonId;
+
+/// One ranked candidate expert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankedExpert {
+    /// The candidate.
+    pub person: PersonId,
+    /// The Eq. 3 expertise score (strictly positive).
+    pub score: f64,
+}
+
+/// Ranks the candidates of a dataset for one analysed query.
+///
+/// Returns only candidates with `score > 0`, best first (ties broken by
+/// person id for determinism).
+pub fn rank_query(
+    corpus: &AnalyzedCorpus,
+    attribution: &Attribution,
+    config: &FinderConfig,
+    query: &Query,
+    candidate_count: usize,
+) -> Vec<RankedExpert> {
+    // RR: matching documents that are evidence for at least one candidate
+    // under the active configuration. A fixed-count window under the
+    // paper's VSM can use the bounded-heap retrieval path;
+    // fractional/unbounded windows (and BM25) take the full-sort path.
+    let (eligible, window) = match (config.retrieval, config.window) {
+        (crate::config::Retrieval::PaperVsm, crate::config::WindowSize::Count(n)) => {
+            let top = corpus
+                .index()
+                .score_top_k(query, config.alpha, n, |d| attribution.is_attributed(d));
+            let window = top.len();
+            (top, window)
+        }
+        (retrieval, window_size) => {
+            let scored = match retrieval {
+                crate::config::Retrieval::PaperVsm => {
+                    corpus.index().score_all(query, config.alpha)
+                }
+                crate::config::Retrieval::Bm25(params) => {
+                    corpus.index().score_all_bm25(query, config.alpha, params)
+                }
+            };
+            let eligible: Vec<_> = scored
+                .into_iter()
+                .filter(|s| attribution.is_attributed(s.doc))
+                .collect();
+            let window = window_size.resolve(eligible.len());
+            (eligible, window)
+        }
+    };
+
+    let mut acc = vec![crate::aggregation::FusionAcc::default(); candidate_count];
+    for (rank0, s) in eligible[..window].iter().enumerate() {
+        for &(person, distance) in attribution.owners(s.doc) {
+            acc[person.index()].record(s.score * config.weight(distance), rank0 + 1);
+        }
+    }
+
+    let mut ranked: Vec<RankedExpert> = acc
+        .into_iter()
+        .enumerate()
+        .map(|(i, fusion)| {
+            let mut score = fusion.fuse(config.aggregation);
+            if config.normalize_by_evidence && fusion.votes > 0 {
+                score /= fusion.votes as f64;
+            }
+            (i, score)
+        })
+        .filter(|&(_, score)| score > 0.0)
+        .map(|(i, score)| RankedExpert { person: PersonId::new(i as u32), score })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.person.cmp(&b.person))
+    });
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnalysisPipeline;
+    use rightcrowd_synth::SyntheticDataset;
+    use rightcrowd_types::Distance;
+
+    fn setup() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+        crate::testkit::tiny()
+    }
+
+    #[test]
+    fn ranking_is_sorted_positive_and_bounded() {
+        let (ds, corpus) = setup();
+        let config = FinderConfig::default();
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        for need in ds.queries().iter().take(6) {
+            let q = pipeline.analyze_query(&need.text);
+            let ranked = rank_query(corpus, &attribution, &config, &q, ds.candidates().len());
+            assert!(ranked.len() <= ds.candidates().len());
+            for w in ranked.windows(2) {
+                assert!(w[0].score >= w[1].score);
+            }
+            for r in &ranked {
+                assert!(r.score > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn distance0_retrieves_fewer_candidates_than_distance2() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query(&ds.queries()[5].text); // sport example
+        let cfg0 = FinderConfig::default().with_distance(Distance::D0);
+        let cfg2 = FinderConfig::default();
+        let a0 = Attribution::compute(ds, corpus, &cfg0);
+        let a2 = Attribution::compute(ds, corpus, &cfg2);
+        let r0 = rank_query(corpus, &a0, &cfg0, &q, ds.candidates().len());
+        let r2 = rank_query(corpus, &a2, &cfg2, &q, ds.candidates().len());
+        assert!(r0.len() <= r2.len(), "d0 {} vs d2 {}", r0.len(), r2.len());
+        assert!(!r2.is_empty());
+    }
+
+    #[test]
+    fn zero_window_yields_empty_ranking() {
+        let (ds, corpus) = setup();
+        let config = FinderConfig::default().with_window(crate::config::WindowSize::Fraction(0.0));
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query(&ds.queries()[0].text);
+        let ranked = rank_query(corpus, &attribution, &config, &q, ds.candidates().len());
+        assert!(ranked.is_empty());
+    }
+
+    #[test]
+    fn bm25_and_alternative_fusions_produce_sane_rankings() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query(&ds.queries()[5].text);
+        let attribution = Attribution::compute(ds, corpus, &FinderConfig::default());
+        for retrieval in [
+            crate::config::Retrieval::PaperVsm,
+            crate::config::Retrieval::Bm25(Default::default()),
+        ] {
+            for aggregation in crate::aggregation::Aggregation::ALL {
+                let config = FinderConfig { retrieval, aggregation, ..FinderConfig::default() };
+                let ranked = rank_query(corpus, &attribution, &config, &q, ds.candidates().len());
+                assert!(!ranked.is_empty(), "{aggregation} retrieved nobody");
+                for w in ranked.windows(2) {
+                    assert!(w[0].score >= w[1].score, "{aggregation} unsorted");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vsm_count_window_paths_agree() {
+        // The heap path (Count window) and the sort path (Fraction window
+        // resolving to the same n) must produce identical rankings.
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query(&ds.queries()[2].text);
+        let attribution = Attribution::compute(ds, corpus, &FinderConfig::default());
+        let count_cfg = FinderConfig::default().with_window(crate::config::WindowSize::Count(50));
+        let by_heap = rank_query(corpus, &attribution, &count_cfg, &q, ds.candidates().len());
+
+        // Find the eligible size to build an equivalent fraction.
+        let eligible = corpus
+            .index()
+            .score_all(&q, count_cfg.alpha)
+            .into_iter()
+            .filter(|s| attribution.is_attributed(s.doc))
+            .count();
+        if eligible < 50 {
+            return;
+        }
+        let fraction = (50.0 - 0.5) / eligible as f64; // ceil(f·n) == 50
+        let frac_cfg =
+            FinderConfig::default().with_window(crate::config::WindowSize::Fraction(fraction));
+        let by_sort = rank_query(corpus, &attribution, &frac_cfg, &q, ds.candidates().len());
+        assert_eq!(by_heap, by_sort);
+    }
+
+    #[test]
+    fn larger_window_never_reduces_retrieved_experts() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let q = pipeline.analyze_query(&ds.queries()[1].text);
+        let mut prev = 0usize;
+        for n in [1usize, 10, 100, 1000] {
+            let config = FinderConfig::default().with_window(crate::config::WindowSize::Count(n));
+            let attribution = Attribution::compute(ds, corpus, &config);
+            let ranked = rank_query(corpus, &attribution, &config, &q, ds.candidates().len());
+            assert!(ranked.len() >= prev, "window {n}");
+            prev = ranked.len();
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Question routing — the application layer of the paper's Fig. 1.
+//!
+//! Once the candidates are ranked, Anna still has to decide *how* to ask:
+//! only the top expert, the top-k in parallel, or one at a time until an
+//! answer arrives ("just to Alice, or to Alice and then Charlie, or to
+//! both of them at the same time, and so on"). Social contacts are moved
+//! by non-monetary incentives and respond probabilistically, so each
+//! strategy trades answer quality against contact load and waiting time.
+//!
+//! [`simulate`] evaluates a [`RoutingStrategy`] against a response model:
+//! each contacted candidate answers with probability `response_rate`, and
+//! an answer is *good* when the candidate is a true domain expert.
+
+use crate::ranker::RankedExpert;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rightcrowd_types::PersonId;
+use std::collections::HashSet;
+
+/// How a question is routed to the ranked crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingStrategy {
+    /// Ask only the top-ranked candidate.
+    Top1,
+    /// Ask the top-k candidates in parallel.
+    Parallel(usize),
+    /// Ask one candidate at a time, in rank order, until one answers or
+    /// the list (capped at the given depth) is exhausted.
+    Sequential(usize),
+}
+
+/// The aggregate outcome of routing one question many times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingOutcome {
+    /// Probability that at least one answer arrived.
+    pub answer_rate: f64,
+    /// Probability that at least one *expert* answer arrived.
+    pub good_answer_rate: f64,
+    /// Mean number of candidates contacted.
+    pub mean_contacted: f64,
+    /// Mean number of rounds until the first answer (sequential rounds;
+    /// parallel strategies always take one round). Counts only runs that
+    /// got an answer.
+    pub mean_rounds_to_answer: f64,
+}
+
+/// Simulates `runs` independent routings of one question.
+///
+/// `ranking` is the system's ranked crowd; `experts` the ground-truth
+/// expert set for the question's domain; `response_rate` the per-contact
+/// probability of getting any answer. Deterministic in `seed`.
+pub fn simulate(
+    ranking: &[RankedExpert],
+    experts: &HashSet<PersonId>,
+    strategy: RoutingStrategy,
+    response_rate: f64,
+    runs: usize,
+    seed: u64,
+) -> RoutingOutcome {
+    assert!((0.0..=1.0).contains(&response_rate), "response rate is a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut answered = 0usize;
+    let mut good = 0usize;
+    let mut contacted_total = 0usize;
+    let mut rounds_total = 0usize;
+
+    for _ in 0..runs.max(1) {
+        let mut got_answer = false;
+        let mut got_good = false;
+        let mut contacted = 0usize;
+        let mut rounds = 0usize;
+        match strategy {
+            RoutingStrategy::Top1 | RoutingStrategy::Parallel(_) => {
+                let k = match strategy {
+                    RoutingStrategy::Top1 => 1,
+                    RoutingStrategy::Parallel(k) => k,
+                    RoutingStrategy::Sequential(_) => unreachable!(),
+                };
+                rounds = 1;
+                for expert in ranking.iter().take(k) {
+                    contacted += 1;
+                    if rng.gen_bool(response_rate) {
+                        got_answer = true;
+                        got_good |= experts.contains(&expert.person);
+                    }
+                }
+            }
+            RoutingStrategy::Sequential(depth) => {
+                for expert in ranking.iter().take(depth) {
+                    contacted += 1;
+                    rounds += 1;
+                    if rng.gen_bool(response_rate) {
+                        got_answer = true;
+                        got_good = experts.contains(&expert.person);
+                        break;
+                    }
+                }
+            }
+        }
+        if got_answer {
+            answered += 1;
+            rounds_total += rounds;
+        }
+        if got_good {
+            good += 1;
+        }
+        contacted_total += contacted;
+    }
+
+    let runs = runs.max(1) as f64;
+    RoutingOutcome {
+        answer_rate: answered as f64 / runs,
+        good_answer_rate: good as f64 / runs,
+        mean_contacted: contacted_total as f64 / runs,
+        mean_rounds_to_answer: if answered == 0 {
+            0.0
+        } else {
+            rounds_total as f64 / answered as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranking(n: u32) -> Vec<RankedExpert> {
+        (0..n)
+            .map(|i| RankedExpert { person: PersonId::new(i), score: (n - i) as f64 })
+            .collect()
+    }
+
+    fn experts(ids: &[u32]) -> HashSet<PersonId> {
+        ids.iter().map(|&i| PersonId::new(i)).collect()
+    }
+
+    #[test]
+    fn certain_responders_always_answer() {
+        let out = simulate(&ranking(5), &experts(&[0]), RoutingStrategy::Top1, 1.0, 200, 1);
+        assert_eq!(out.answer_rate, 1.0);
+        assert_eq!(out.good_answer_rate, 1.0);
+        assert_eq!(out.mean_contacted, 1.0);
+        assert_eq!(out.mean_rounds_to_answer, 1.0);
+    }
+
+    #[test]
+    fn unresponsive_crowd_never_answers() {
+        let out = simulate(&ranking(5), &experts(&[0]), RoutingStrategy::Parallel(3), 0.0, 100, 2);
+        assert_eq!(out.answer_rate, 0.0);
+        assert_eq!(out.good_answer_rate, 0.0);
+        assert_eq!(out.mean_contacted, 3.0);
+        assert_eq!(out.mean_rounds_to_answer, 0.0);
+    }
+
+    #[test]
+    fn parallel_beats_top1_on_answer_rate() {
+        let e = experts(&[0, 1, 2]);
+        let top1 = simulate(&ranking(10), &e, RoutingStrategy::Top1, 0.4, 4000, 3);
+        let par3 = simulate(&ranking(10), &e, RoutingStrategy::Parallel(3), 0.4, 4000, 3);
+        assert!(par3.answer_rate > top1.answer_rate);
+        assert!(par3.mean_contacted > top1.mean_contacted);
+    }
+
+    #[test]
+    fn sequential_contacts_fewer_than_parallel_at_same_depth() {
+        let e = experts(&[0]);
+        let par = simulate(&ranking(10), &e, RoutingStrategy::Parallel(5), 0.5, 4000, 4);
+        let seq = simulate(&ranking(10), &e, RoutingStrategy::Sequential(5), 0.5, 4000, 4);
+        assert!(seq.mean_contacted < par.mean_contacted);
+        // Both eventually reach similar answer rates (1 - 0.5^5).
+        assert!((seq.answer_rate - par.answer_rate).abs() < 0.05);
+    }
+
+    #[test]
+    fn good_answers_require_experts_in_ranking() {
+        let none = experts(&[]);
+        let out = simulate(&ranking(5), &none, RoutingStrategy::Parallel(5), 1.0, 100, 5);
+        assert_eq!(out.answer_rate, 1.0);
+        assert_eq!(out.good_answer_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_ranking_is_harmless() {
+        let out = simulate(&[], &experts(&[1]), RoutingStrategy::Sequential(4), 0.9, 50, 6);
+        assert_eq!(out.answer_rate, 0.0);
+        assert_eq!(out.mean_contacted, 0.0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let e = experts(&[0, 2]);
+        let a = simulate(&ranking(8), &e, RoutingStrategy::Sequential(8), 0.3, 500, 7);
+        let b = simulate(&ranking(8), &e, RoutingStrategy::Sequential(8), 0.3, 500, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_response_rate_panics() {
+        simulate(&ranking(1), &experts(&[]), RoutingStrategy::Top1, 1.5, 10, 8);
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared test fixtures.
+//!
+//! Generating a dataset and analysing its corpus is the expensive part of
+//! every test; this module memoises the tiny and small presets process-wide
+//! so that a test binary pays the cost once. Intended for `#[cfg(test)]`
+//! modules, integration tests and benches — not for production call sites,
+//! which should own their dataset lifetimes explicitly.
+
+use crate::corpus::AnalyzedCorpus;
+use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+use std::sync::OnceLock;
+
+/// The tiny preset dataset with its analysed corpus, built once per
+/// process.
+pub fn tiny() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+    static CELL: OnceLock<(SyntheticDataset, AnalyzedCorpus)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let corpus = AnalyzedCorpus::build(&ds);
+        (ds, corpus)
+    })
+}
+
+/// The small preset dataset with its analysed corpus, built once per
+/// process. Roughly 10× the tiny preset; used by integration tests that
+/// need paper-shaped statistics.
+pub fn small() -> &'static (SyntheticDataset, AnalyzedCorpus) {
+    static CELL: OnceLock<(SyntheticDataset, AnalyzedCorpus)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = SyntheticDataset::generate(&DatasetConfig::small());
+        let corpus = AnalyzedCorpus::build(&ds);
+        (ds, corpus)
+    })
+}

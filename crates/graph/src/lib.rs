@@ -1,0 +1,27 @@
+//! # rightcrowd-graph
+//!
+//! The social-graph meta-model of the paper's Fig. 2 and the distance-based
+//! resource collection of Table 1.
+//!
+//! The meta-model has four object classes — **User Profile**, **Resource**,
+//! **Resource Container**, **URL** — and the relationships *owns*,
+//! *creates*, *annotates*, *relatesTo*, *contains*, *links-to* and the
+//! social relationship (*follows* / *friendship*). Friendship is a
+//! *bidirectional* social relationship (mutual follows); followership is
+//! one-directional. The distinction matters: the paper shows (§2.2, §3.3.3)
+//! that friends' resources do **not** improve expertise matching, while
+//! followed users' resources do.
+//!
+//! [`SocialGraph`] stores one instance of the meta-model covering all three
+//! platforms (every node is tagged with its [`rightcrowd_types::Platform`]); a real person is
+//! a [`Person`] holding up to one [`rightcrowd_types::UserId`] per platform.
+//! [`SocialGraph::collect_evidence`] enumerates, for one candidate, the
+//! evidence documents at each graph distance exactly as Table 1 prescribes.
+
+pub mod model;
+pub mod store;
+pub mod traverse;
+
+pub use model::{Container, DocId, Person, Resource, UserProfile};
+pub use store::SocialGraph;
+pub use traverse::{CollectOptions, EvidenceItem};

@@ -1,0 +1,135 @@
+//! Node types of the social-graph meta-model (Fig. 2).
+
+use rightcrowd_types::{ContainerId, PageId, PersonId, Platform, ResourceId, UserId};
+
+/// A user profile on one platform.
+///
+/// Profile *content* richness varies by platform exactly as in the paper:
+/// a Twitter bio is a one-liner, a LinkedIn profile may describe a whole
+/// career (§2.2). The profile's text is its distance-0 evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// This profile's id.
+    pub id: UserId,
+    /// The platform the account lives on.
+    pub platform: Platform,
+    /// Display name.
+    pub name: String,
+    /// Profile text (bio, work history, hobbies…).
+    pub text: String,
+    /// The person behind the account, when the account belongs to one of
+    /// the candidate experts; `None` for external accounts (followed
+    /// celebrities, group members, friends outside the study).
+    pub person: Option<PersonId>,
+    /// External pages linked from the profile.
+    pub links: Vec<PageId>,
+}
+
+/// A social resource: post, tweet, status update, group/page post.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Resource {
+    /// This resource's id.
+    pub id: ResourceId,
+    /// The platform it was published on.
+    pub platform: Platform,
+    /// Raw text content.
+    pub text: String,
+    /// The user who created the resource (wrote it), if known.
+    pub creator: Option<UserId>,
+    /// The user who *owns* the resource: it appears on their wall/stream
+    /// even when written by someone else (paper §2.2).
+    pub owner: Option<UserId>,
+    /// The container the resource was posted into, if any.
+    pub container: Option<ContainerId>,
+    /// External pages linked from the resource body.
+    pub links: Vec<PageId>,
+}
+
+/// A resource container: group, page, or other topical aggregator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Container {
+    /// This container's id.
+    pub id: ContainerId,
+    /// The platform hosting the container.
+    pub platform: Platform,
+    /// Short textual description (always present, per the paper).
+    pub text: String,
+    /// External pages linked from the description.
+    pub links: Vec<PageId>,
+}
+
+/// A real person (candidate expert) with up to one account per platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Person {
+    /// This person's id.
+    pub id: PersonId,
+    /// Display name.
+    pub name: String,
+    /// Per-platform account, indexed by [`Platform::index`].
+    pub accounts: [Option<UserId>; Platform::COUNT],
+}
+
+impl Person {
+    /// The person's account on `platform`, if any.
+    pub fn account(&self, platform: Platform) -> Option<UserId> {
+        self.accounts[platform.index()]
+    }
+
+    /// Iterator over the person's existing accounts.
+    pub fn existing_accounts(&self) -> impl Iterator<Item = (Platform, UserId)> + '_ {
+        Platform::ALL
+            .into_iter()
+            .filter_map(|p| self.accounts[p.index()].map(|u| (p, u)))
+    }
+}
+
+/// A unified reference to any evidence-bearing document of the meta-model.
+///
+/// The matcher treats profiles, resources and container descriptions
+/// uniformly as indexable documents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DocId {
+    /// A user profile (distance-0 evidence for its owner; distance-1/2
+    /// evidence when reached through follows edges).
+    Profile(UserId),
+    /// A resource.
+    Res(ResourceId),
+    /// A container description.
+    Cont(ContainerId),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_accounts_by_platform() {
+        let p = Person {
+            id: PersonId::new(0),
+            name: "Alice".into(),
+            accounts: [Some(UserId::new(3)), None, Some(UserId::new(9))],
+        };
+        assert_eq!(p.account(Platform::Facebook), Some(UserId::new(3)));
+        assert_eq!(p.account(Platform::Twitter), None);
+        let existing: Vec<_> = p.existing_accounts().collect();
+        assert_eq!(
+            existing,
+            vec![
+                (Platform::Facebook, UserId::new(3)),
+                (Platform::LinkedIn, UserId::new(9))
+            ]
+        );
+    }
+
+    #[test]
+    fn doc_ids_are_ordered_and_distinct() {
+        let a = DocId::Profile(UserId::new(1));
+        let b = DocId::Res(ResourceId::new(1));
+        let c = DocId::Cont(ContainerId::new(1));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        let mut v = [c, b, a];
+        v.sort();
+        assert_eq!(v[0], a);
+    }
+}

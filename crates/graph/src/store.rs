@@ -1,0 +1,378 @@
+//! The social-graph store and its builder API.
+
+use crate::model::{Container, Person, Resource, UserProfile};
+use rightcrowd_types::{ContainerId, PageId, PersonId, Platform, ResourceId, UserId};
+
+/// One instance of the Fig. 2 meta-model spanning all three platforms.
+///
+/// The store is append-only: nodes and relationships are added through the
+/// builder methods, after which the traversal methods of
+/// [`crate::traverse`] can be used at any time (adjacency lists are kept
+/// sorted lazily via [`SocialGraph::finalize`], which traversal requires).
+#[derive(Debug, Clone, Default)]
+pub struct SocialGraph {
+    pub(crate) persons: Vec<Person>,
+    pub(crate) profiles: Vec<UserProfile>,
+    pub(crate) resources: Vec<Resource>,
+    pub(crate) containers: Vec<Container>,
+
+    /// user → resources the user created.
+    pub(crate) created: Vec<Vec<ResourceId>>,
+    /// user → resources the user owns (on their wall/stream).
+    pub(crate) owned: Vec<Vec<ResourceId>>,
+    /// user → resources the user annotated (liked / favourited).
+    pub(crate) annotated: Vec<Vec<ResourceId>>,
+    /// user → containers the user relates to (groups joined, pages liked).
+    pub(crate) member_of: Vec<Vec<ContainerId>>,
+    /// user → users they follow (directed).
+    pub(crate) follows: Vec<Vec<UserId>>,
+    /// container → resources it contains.
+    pub(crate) contains: Vec<Vec<ResourceId>>,
+
+    finalized: bool,
+}
+
+impl SocialGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ----- construction -------------------------------------------------
+
+    /// Registers a candidate person; accounts are attached by
+    /// [`SocialGraph::add_profile`].
+    pub fn add_person(&mut self, name: &str) -> PersonId {
+        let id = PersonId::new(self.persons.len() as u32);
+        self.persons.push(Person {
+            id,
+            name: name.to_owned(),
+            accounts: [None; Platform::COUNT],
+        });
+        id
+    }
+
+    /// Adds a user profile. When `person` is given, the account is linked
+    /// to that person (one account per person per platform; a second
+    /// account on the same platform replaces the link).
+    pub fn add_profile(
+        &mut self,
+        platform: Platform,
+        name: &str,
+        text: &str,
+        person: Option<PersonId>,
+        links: Vec<PageId>,
+    ) -> UserId {
+        let id = UserId::new(self.profiles.len() as u32);
+        self.profiles.push(UserProfile {
+            id,
+            platform,
+            name: name.to_owned(),
+            text: text.to_owned(),
+            person,
+            links,
+        });
+        self.created.push(Vec::new());
+        self.owned.push(Vec::new());
+        self.annotated.push(Vec::new());
+        self.member_of.push(Vec::new());
+        self.follows.push(Vec::new());
+        if let Some(pid) = person {
+            self.persons[pid.index()].accounts[platform.index()] = Some(id);
+        }
+        self.finalized = false;
+        id
+    }
+
+    /// Adds a container (group / page).
+    pub fn add_container(&mut self, platform: Platform, text: &str, links: Vec<PageId>) -> ContainerId {
+        let id = ContainerId::new(self.containers.len() as u32);
+        self.containers.push(Container {
+            id,
+            platform,
+            text: text.to_owned(),
+            links,
+        });
+        self.contains.push(Vec::new());
+        self.finalized = false;
+        id
+    }
+
+    /// Adds a resource. `creator` wrote it; `owner` hosts it on their
+    /// wall/stream; `container` is the group/page it was posted into.
+    /// All relationship lists are updated.
+    pub fn add_resource(
+        &mut self,
+        platform: Platform,
+        text: &str,
+        creator: Option<UserId>,
+        owner: Option<UserId>,
+        container: Option<ContainerId>,
+        links: Vec<PageId>,
+    ) -> ResourceId {
+        let id = ResourceId::new(self.resources.len() as u32);
+        self.resources.push(Resource {
+            id,
+            platform,
+            text: text.to_owned(),
+            creator,
+            owner,
+            container,
+            links,
+        });
+        if let Some(u) = creator {
+            self.created[u.index()].push(id);
+        }
+        if let Some(u) = owner {
+            self.owned[u.index()].push(id);
+        }
+        if let Some(c) = container {
+            self.contains[c.index()].push(id);
+        }
+        self.finalized = false;
+        id
+    }
+
+    /// Records that `user` annotated (liked / favourited) `resource`.
+    pub fn add_annotation(&mut self, user: UserId, resource: ResourceId) {
+        self.annotated[user.index()].push(resource);
+        self.finalized = false;
+    }
+
+    /// Records that `user` relates to `container` (joined the group /
+    /// liked the page).
+    pub fn add_membership(&mut self, user: UserId, container: ContainerId) {
+        self.member_of[user.index()].push(container);
+        self.finalized = false;
+    }
+
+    /// Adds a directed follow edge.
+    pub fn add_follow(&mut self, from: UserId, to: UserId) {
+        if from != to {
+            self.follows[from.index()].push(to);
+            self.finalized = false;
+        }
+    }
+
+    /// Adds a bidirectional friendship (two follow edges) — the only
+    /// relationship Facebook has, and the mutual-follow case on Twitter.
+    pub fn add_friendship(&mut self, a: UserId, b: UserId) {
+        self.add_follow(a, b);
+        self.add_follow(b, a);
+    }
+
+    /// Sorts and deduplicates all adjacency lists. Idempotent; called
+    /// automatically by the traversal entry points.
+    pub fn finalize(&mut self) {
+        if self.finalized {
+            return;
+        }
+        for list in self
+            .created
+            .iter_mut()
+            .chain(self.owned.iter_mut())
+            .chain(self.annotated.iter_mut())
+        {
+            list.sort_unstable();
+            list.dedup();
+        }
+        for list in self.member_of.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        for list in self.follows.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        for list in self.contains.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        self.finalized = true;
+    }
+
+    // ----- accessors -----------------------------------------------------
+
+    /// All persons (candidate experts).
+    pub fn persons(&self) -> &[Person] {
+        &self.persons
+    }
+
+    /// The person with id `id`.
+    pub fn person(&self, id: PersonId) -> &Person {
+        &self.persons[id.index()]
+    }
+
+    /// All user profiles.
+    pub fn profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// The profile with id `id`.
+    pub fn profile(&self, id: UserId) -> &UserProfile {
+        &self.profiles[id.index()]
+    }
+
+    /// All resources.
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// The resource with id `id`.
+    pub fn resource(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// All containers.
+    pub fn containers(&self) -> &[Container] {
+        &self.containers
+    }
+
+    /// The container with id `id`.
+    pub fn container(&self, id: ContainerId) -> &Container {
+        &self.containers[id.index()]
+    }
+
+    /// Users `u` follows (sorted after [`SocialGraph::finalize`]).
+    pub fn follows(&self, u: UserId) -> &[UserId] {
+        &self.follows[u.index()]
+    }
+
+    /// Resources created by `u`.
+    pub fn created_by(&self, u: UserId) -> &[ResourceId] {
+        &self.created[u.index()]
+    }
+
+    /// Resources owned by `u`.
+    pub fn owned_by(&self, u: UserId) -> &[ResourceId] {
+        &self.owned[u.index()]
+    }
+
+    /// Resources annotated by `u`.
+    pub fn annotated_by(&self, u: UserId) -> &[ResourceId] {
+        &self.annotated[u.index()]
+    }
+
+    /// Containers `u` relates to.
+    pub fn memberships(&self, u: UserId) -> &[ContainerId] {
+        &self.member_of[u.index()]
+    }
+
+    /// Resources inside container `c`.
+    pub fn contained_in(&self, c: ContainerId) -> &[ResourceId] {
+        &self.contains[c.index()]
+    }
+
+    /// Whether `a` and `b` are friends: the social relationship is
+    /// bidirectional (mutual follow edges). Requires [`SocialGraph::finalize`].
+    pub fn is_friend(&self, a: UserId, b: UserId) -> bool {
+        debug_assert!(self.finalized, "finalize() before querying friendship");
+        self.follows[a.index()].binary_search(&b).is_ok()
+            && self.follows[b.index()].binary_search(&a).is_ok()
+    }
+
+    /// Whether the graph has been finalized.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Node counts: (persons, profiles, resources, containers).
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (
+            self.persons.len(),
+            self.profiles.len(),
+            self.resources.len(),
+            self.containers.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_graph() {
+        let mut g = SocialGraph::new();
+        let anna = g.add_person("Anna");
+        let u = g.add_profile(Platform::Twitter, "anna", "swimmer", Some(anna), vec![]);
+        let v = g.add_profile(Platform::Twitter, "coach", "pro coach", None, vec![]);
+        let r = g.add_resource(Platform::Twitter, "training hard", Some(u), Some(u), None, vec![]);
+        g.add_follow(u, v);
+        g.finalize();
+        assert_eq!(g.counts(), (1, 2, 1, 0));
+        assert_eq!(g.person(anna).account(Platform::Twitter), Some(u));
+        assert_eq!(g.created_by(u), &[r]);
+        assert_eq!(g.owned_by(u), &[r]);
+        assert_eq!(g.follows(u), &[v]);
+        assert!(g.follows(v).is_empty());
+    }
+
+    #[test]
+    fn friendship_is_mutual_follow() {
+        let mut g = SocialGraph::new();
+        let a = g.add_profile(Platform::Twitter, "a", "", None, vec![]);
+        let b = g.add_profile(Platform::Twitter, "b", "", None, vec![]);
+        let c = g.add_profile(Platform::Twitter, "c", "", None, vec![]);
+        g.add_friendship(a, b);
+        g.add_follow(a, c);
+        g.finalize();
+        assert!(g.is_friend(a, b));
+        assert!(g.is_friend(b, a));
+        assert!(!g.is_friend(a, c));
+        assert!(!g.is_friend(c, a));
+    }
+
+    #[test]
+    fn self_follow_ignored() {
+        let mut g = SocialGraph::new();
+        let a = g.add_profile(Platform::Facebook, "a", "", None, vec![]);
+        g.add_follow(a, a);
+        g.finalize();
+        assert!(g.follows(a).is_empty());
+    }
+
+    #[test]
+    fn finalize_dedups_adjacency() {
+        let mut g = SocialGraph::new();
+        let a = g.add_profile(Platform::Facebook, "a", "", None, vec![]);
+        let b = g.add_profile(Platform::Facebook, "b", "", None, vec![]);
+        let c = g.add_container(Platform::Facebook, "group", vec![]);
+        g.add_follow(a, b);
+        g.add_follow(a, b);
+        g.add_membership(a, c);
+        g.add_membership(a, c);
+        let r = g.add_resource(Platform::Facebook, "post", Some(a), Some(a), Some(c), vec![]);
+        g.add_annotation(b, r);
+        g.add_annotation(b, r);
+        g.finalize();
+        assert_eq!(g.follows(a).len(), 1);
+        assert_eq!(g.memberships(a).len(), 1);
+        assert_eq!(g.annotated_by(b).len(), 1);
+        assert_eq!(g.contained_in(c), &[r]);
+    }
+
+    #[test]
+    fn container_membership_and_contents() {
+        let mut g = SocialGraph::new();
+        let u = g.add_profile(Platform::LinkedIn, "u", "engineer", None, vec![]);
+        let grp = g.add_container(Platform::LinkedIn, "PHP developers group", vec![]);
+        g.add_membership(u, grp);
+        let other = g.add_profile(Platform::LinkedIn, "o", "", None, vec![]);
+        let post = g.add_resource(Platform::LinkedIn, "php question", Some(other), None, Some(grp), vec![]);
+        g.finalize();
+        assert_eq!(g.memberships(u), &[grp]);
+        assert_eq!(g.contained_in(grp), &[post]);
+        assert_eq!(g.resource(post).container, Some(grp));
+    }
+
+    #[test]
+    fn second_account_on_same_platform_replaces_link() {
+        let mut g = SocialGraph::new();
+        let p = g.add_person("P");
+        let first = g.add_profile(Platform::Twitter, "p1", "", Some(p), vec![]);
+        let second = g.add_profile(Platform::Twitter, "p2", "", Some(p), vec![]);
+        assert_ne!(first, second);
+        assert_eq!(g.person(p).account(Platform::Twitter), Some(second));
+    }
+}

@@ -1,0 +1,155 @@
+//! Property tests for the social-graph store and its Table 1 traversal.
+
+use proptest::prelude::*;
+use rightcrowd_graph::{CollectOptions, SocialGraph};
+use rightcrowd_types::{Distance, Platform, PlatformMask, UserId};
+
+/// Abstract edit operations over a small random social world.
+#[derive(Debug, Clone)]
+enum Op {
+    Follow(u8, u8),
+    Friend(u8, u8),
+    Post(u8),
+    Annotate(u8, u8),
+    Join(u8, u8),
+    GroupPost(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Follow(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Friend(a, b)),
+        any::<u8>().prop_map(Op::Post),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Annotate(a, b)),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::Join(a, b)),
+        any::<u8>().prop_map(Op::GroupPost),
+    ]
+}
+
+const USERS: usize = 8;
+const GROUPS: usize = 3;
+
+/// Builds a graph from random ops; user 0 is the candidate person.
+fn build(ops: &[Op]) -> (SocialGraph, rightcrowd_types::PersonId) {
+    let mut g = SocialGraph::new();
+    let person = g.add_person("p");
+    let users: Vec<UserId> = (0..USERS)
+        .map(|i| {
+            g.add_profile(
+                Platform::Twitter,
+                &format!("u{i}"),
+                "bio",
+                (i == 0).then_some(person),
+                vec![],
+            )
+        })
+        .collect();
+    let groups: Vec<_> = (0..GROUPS)
+        .map(|i| g.add_container(Platform::Twitter, &format!("g{i}"), vec![]))
+        .collect();
+    let mut posts = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Follow(a, b) => g.add_follow(users[a as usize % USERS], users[b as usize % USERS]),
+            Op::Friend(a, b) => {
+                g.add_friendship(users[a as usize % USERS], users[b as usize % USERS])
+            }
+            Op::Post(a) => {
+                let u = users[a as usize % USERS];
+                posts.push(g.add_resource(Platform::Twitter, "post", Some(u), Some(u), None, vec![]));
+            }
+            Op::Annotate(a, p) => {
+                if !posts.is_empty() {
+                    let r = posts[p as usize % posts.len()];
+                    g.add_annotation(users[a as usize % USERS], r);
+                }
+            }
+            Op::Join(a, c) => g.add_membership(users[a as usize % USERS], groups[c as usize % GROUPS]),
+            Op::GroupPost(c) => {
+                posts.push(g.add_resource(
+                    Platform::Twitter,
+                    "group post",
+                    None,
+                    None,
+                    Some(groups[c as usize % GROUPS]),
+                    vec![],
+                ));
+            }
+        }
+    }
+    g.finalize();
+    (g, person)
+}
+
+proptest! {
+    #[test]
+    fn evidence_nests_across_distance_caps(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (g, person) = build(&ops);
+        let mut previous: Option<Vec<_>> = None;
+        for d in Distance::ALL {
+            let items = g.collect_evidence(
+                person,
+                &CollectOptions { max_distance: d, ..Default::default() },
+            );
+            if let Some(prev) = &previous {
+                // Every document reachable at a smaller cap stays
+                // reachable (at the same distance) with a larger cap.
+                for item in prev {
+                    prop_assert!(items.contains(item), "lost {item:?} at cap {d}");
+                }
+            }
+            for item in &items {
+                prop_assert!(item.distance <= d);
+            }
+            previous = Some(items);
+        }
+    }
+
+    #[test]
+    fn friends_only_ever_add_evidence(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (g, person) = build(&ops);
+        let without = g.collect_evidence(person, &CollectOptions::default());
+        let with = g.collect_evidence(
+            person,
+            &CollectOptions { include_friends: true, ..Default::default() },
+        );
+        prop_assert!(with.len() >= without.len());
+        for item in &without {
+            // Distances may *shrink* when friend edges open shortcuts, but
+            // no document disappears.
+            prop_assert!(
+                with.iter().any(|i| i.doc == item.doc && i.distance <= item.distance),
+                "{item:?} missing or demoted"
+            );
+        }
+    }
+
+    #[test]
+    fn traversal_is_deterministic(ops in prop::collection::vec(op_strategy(), 0..50)) {
+        let (g, person) = build(&ops);
+        let a = g.collect_evidence(person, &CollectOptions::default());
+        let b = g.collect_evidence(person, &CollectOptions::default());
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_platform_mask_yields_nothing(ops in prop::collection::vec(op_strategy(), 0..40)) {
+        let (g, person) = build(&ops);
+        let items = g.collect_evidence(
+            person,
+            &CollectOptions { platforms: PlatformMask::EMPTY, ..Default::default() },
+        );
+        prop_assert!(items.is_empty());
+    }
+
+    #[test]
+    fn friendship_is_symmetric(ops in prop::collection::vec(op_strategy(), 0..60)) {
+        let (g, _) = build(&ops);
+        for a in 0..USERS {
+            for b in 0..USERS {
+                let (ua, ub) = (UserId::new(a as u32), UserId::new(b as u32));
+                prop_assert_eq!(g.is_friend(ua, ub), g.is_friend(ub, ua));
+            }
+        }
+    }
+}

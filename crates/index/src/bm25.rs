@@ -1,0 +1,182 @@
+//! BM25 scoring — the standard probabilistic alternative to the paper's
+//! `tf·irf²` vector-space model.
+//!
+//! The paper adopts a deliberately simple VSM (Eq. 1) for its uniform
+//! term/entity representation; BM25 is the obvious "what if" and is
+//! provided for the retrieval-model ablation (`exp_rankers`). Entities are
+//! scored with the same saturation curve over `ef`, preserving the Eq. 2
+//! `we = 1 + dScore` multiplier.
+
+use crate::index::{DocIdx, InvertedIndex, ScoredDoc};
+use crate::query::Query;
+use std::collections::HashMap;
+
+/// BM25 hyper-parameters (classic defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (`k1`).
+    pub k1: f64,
+    /// Length normalisation strength (`b`).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// BM25 idf in the Lucene formulation
+/// `ln(1 + (N − df + 0.5)/(df + 0.5))` — strictly positive for any term
+/// that occurs, monotonically decreasing in df.
+fn bm25_idf(n: usize, df: usize) -> f64 {
+    if df == 0 {
+        return 0.0;
+    }
+    let num = (n as f64 - df as f64 + 0.5).max(0.0);
+    (1.0 + num / (df as f64 + 0.5)).ln()
+}
+
+impl InvertedIndex {
+    /// Mean term length of the documents in the collection.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_count() == 0 {
+            return 0.0;
+        }
+        self.doc_lens.iter().map(|&l| l as f64).sum::<f64>() / self.doc_count() as f64
+    }
+
+    /// Scores the collection with BM25 over terms and a saturated-entity
+    /// analogue, mixed by `alpha` like Eq. 1. Results are sorted like
+    /// [`InvertedIndex::score_all`].
+    pub fn score_all_bm25(&self, query: &Query, alpha: f64, params: Bm25Params) -> Vec<ScoredDoc> {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let n = self.doc_count();
+        let avg_len = self.avg_doc_len().max(1.0);
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+
+        if alpha > 0.0 {
+            for term in &query.terms {
+                let Some(postings) = self.term_postings.get(term) else {
+                    continue;
+                };
+                let idf = bm25_idf(n, postings.len());
+                for p in postings {
+                    let tf = p.tf as f64;
+                    let len = self.doc_lens[p.doc as usize] as f64;
+                    let denom = tf + params.k1 * (1.0 - params.b + params.b * len / avg_len);
+                    *acc.entry(p.doc).or_insert(0.0) += alpha * idf * tf * (params.k1 + 1.0) / denom;
+                }
+            }
+        }
+        if alpha < 1.0 {
+            for &entity in &query.entities {
+                let Some(postings) = self.entity_postings.get(&entity) else {
+                    continue;
+                };
+                let idf = bm25_idf(n, postings.len());
+                for p in postings {
+                    let ef = p.ef as f64;
+                    let we = 1.0 + p.dscore_sum / ef;
+                    // Entities are sparse; saturation without length
+                    // normalisation (annotation counts don't scale with
+                    // document length the way terms do).
+                    let sat = ef * (params.k1 + 1.0) / (ef + params.k1);
+                    *acc.entry(p.doc).or_insert(0.0) += (1.0 - alpha) * idf * sat * we;
+                }
+            }
+        }
+
+        let mut scored: Vec<ScoredDoc> = acc
+            .into_iter()
+            .filter(|&(_, s)| s > 0.0)
+            .map(|(doc, score)| ScoredDoc { doc: DocIdx(doc), score })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use rightcrowd_types::EntityId;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["swim", "pool", "swim"]), &[(EntityId::new(1), 0.9)]);
+        b.add_document(&terms(&["swim"]), &[]);
+        b.add_document(&terms(&["cook", "pasta", "cook", "cook", "cook"]), &[(EntityId::new(2), 0.5)]);
+        b.build()
+    }
+
+    #[test]
+    fn idf_behaviour() {
+        assert_eq!(bm25_idf(10, 0), 0.0);
+        assert!(bm25_idf(10, 1) > bm25_idf(10, 5));
+        // Floored at zero for df > n/2-ish.
+        assert!(bm25_idf(2, 2) >= 0.0);
+    }
+
+    #[test]
+    fn avg_doc_len() {
+        let idx = sample();
+        assert!((idx.avg_doc_len() - 3.0).abs() < 1e-12); // (3+1+5)/3
+    }
+
+    #[test]
+    fn ranks_matching_docs() {
+        let idx = sample();
+        let hits = idx.score_all_bm25(&Query::from_terms(["swim"]), 1.0, Bm25Params::default());
+        assert_eq!(hits.len(), 2);
+        // Doc 0 has tf 2 in a short doc → ranks above doc 1 (tf 1).
+        assert_eq!(hits[0].doc, DocIdx(0));
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn saturation_dampens_high_tf() {
+        let idx = sample();
+        let vsm = idx.score_all(&Query::from_terms(["cook"]), 1.0);
+        let bm25 = idx.score_all_bm25(&Query::from_terms(["cook"]), 1.0, Bm25Params::default());
+        // With tf = 4 in one doc, VSM's linear tf gives it 4× the weight
+        // of a tf-1 doc; BM25's ratio must be far below 4 (saturation).
+        assert_eq!(vsm.len(), 1);
+        assert_eq!(bm25.len(), 1);
+        // BM25 score is bounded by idf × (k1 + 1).
+        let bound = bm25_idf(3, 1) * 2.2;
+        assert!(bm25[0].score <= bound + 1e-9);
+    }
+
+    #[test]
+    fn entity_side_respects_eq2_weight(){
+        let idx = sample();
+        let q = Query { terms: vec![], entities: vec![EntityId::new(1)] };
+        let hits = idx.score_all_bm25(&q, 0.0, Bm25Params::default());
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, DocIdx(0));
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn alpha_mixing() {
+        let idx = sample();
+        let q = Query { terms: terms(&["pasta"]), entities: vec![EntityId::new(1)] };
+        let mixed = idx.score_all_bm25(&q, 0.5, Bm25Params::default());
+        assert_eq!(mixed.len(), 2); // term matches doc 2, entity matches doc 0
+        let text_only = idx.score_all_bm25(&q, 1.0, Bm25Params::default());
+        assert_eq!(text_only.len(), 1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Incremental index construction.
+
+use crate::index::{DocIdx, EntityPosting, InvertedIndex, TermPosting};
+use rightcrowd_types::EntityId;
+use std::collections::HashMap;
+
+/// Builds an [`InvertedIndex`] one document at a time.
+///
+/// Documents are assigned dense [`DocIdx`] handles in insertion order; the
+/// caller keeps its own mapping from domain objects (resources, profiles,
+/// containers) to these handles.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    term_postings: HashMap<String, Vec<TermPosting>>,
+    entity_postings: HashMap<EntityId, Vec<EntityPosting>>,
+    doc_lens: Vec<u32>,
+}
+
+impl IndexBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents added so far.
+    pub fn doc_count(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Adds one document.
+    ///
+    /// `terms` are the document's normalised term occurrences (duplicates
+    /// are the term frequency); `entities` are its entity annotations as
+    /// `(entity, dscore)` pairs — one pair per *annotation occurrence*, so
+    /// a twice-mentioned entity appears twice (its `ef` becomes 2).
+    pub fn add_document(&mut self, terms: &[String], entities: &[(EntityId, f64)]) -> DocIdx {
+        let doc = DocIdx(self.doc_lens.len() as u32);
+        self.doc_lens.push(terms.len() as u32);
+
+        // Aggregate term frequencies locally before touching the postings.
+        let mut tf: HashMap<&str, u32> = HashMap::new();
+        for t in terms {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        for (term, freq) in tf {
+            self.term_postings
+                .entry(term.to_owned())
+                .or_default()
+                .push(TermPosting { doc: doc.0, tf: freq });
+        }
+
+        let mut ef: HashMap<EntityId, (u32, f64)> = HashMap::new();
+        for &(entity, dscore) in entities {
+            let slot = ef.entry(entity).or_insert((0, 0.0));
+            slot.0 += 1;
+            slot.1 += dscore.clamp(0.0, 1.0);
+        }
+        for (entity, (freq, dscore_sum)) in ef {
+            self.entity_postings
+                .entry(entity)
+                .or_default()
+                .push(EntityPosting { doc: doc.0, ef: freq, dscore_sum });
+        }
+        doc
+    }
+
+    /// Finalises the index: sorts postings by document for deterministic,
+    /// cache-friendly scans.
+    pub fn build(self) -> InvertedIndex {
+        let mut term_postings = self.term_postings;
+        for list in term_postings.values_mut() {
+            list.sort_unstable_by_key(|p| p.doc);
+        }
+        let mut entity_postings = self.entity_postings;
+        for list in entity_postings.values_mut() {
+            list.sort_unstable_by_key(|p| p.doc);
+        }
+        InvertedIndex {
+            term_postings,
+            entity_postings,
+            doc_lens: self.doc_lens,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn doc_indices_are_dense() {
+        let mut b = IndexBuilder::new();
+        let d0 = b.add_document(&terms(&["a"]), &[]);
+        let d1 = b.add_document(&terms(&["b"]), &[]);
+        assert_eq!(d0.0, 0);
+        assert_eq!(d1.0, 1);
+        assert_eq!(b.doc_count(), 2);
+    }
+
+    #[test]
+    fn term_frequency_aggregated() {
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["swim", "swim", "pool"]), &[]);
+        let idx = b.build();
+        assert_eq!(idx.term_df("swim"), 1);
+        assert_eq!(idx.tf("swim", DocIdx(0)), 2);
+        assert_eq!(idx.tf("pool", DocIdx(0)), 1);
+        assert_eq!(idx.tf("missing", DocIdx(0)), 0);
+    }
+
+    #[test]
+    fn entity_frequency_and_dscore_aggregated() {
+        let mut b = IndexBuilder::new();
+        let e = EntityId::new(7);
+        b.add_document(&[], &[(e, 0.4), (e, 0.8)]);
+        let idx = b.build();
+        assert_eq!(idx.entity_df(e), 1);
+        assert_eq!(idx.ef(e, DocIdx(0)), 2);
+        // Average dscore (0.4 + 0.8)/2 = 0.6 → we = 1.6.
+        assert!((idx.entity_weight(e, DocIdx(0)) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dscore_clamped_into_unit_interval() {
+        let mut b = IndexBuilder::new();
+        let e = EntityId::new(1);
+        b.add_document(&[], &[(e, 5.0), (e, -3.0)]);
+        let idx = b.build();
+        // Clamped to 1.0 and 0.0 → average 0.5 → we = 1.5.
+        assert!((idx.entity_weight(e, DocIdx(0)) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_document_is_allowed() {
+        let mut b = IndexBuilder::new();
+        let d = b.add_document(&[], &[]);
+        let idx = b.build();
+        assert_eq!(idx.doc_count(), 1);
+        assert_eq!(idx.doc_len(d), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The immutable dual inverted index and the Eq. 1 scorer.
+
+use crate::query::Query;
+use rightcrowd_types::EntityId;
+use std::collections::HashMap;
+
+/// Dense handle of a document inside one [`InvertedIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocIdx(pub u32);
+
+impl DocIdx {
+    /// The raw arena offset.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One (document, score) result of a match run, Eq. 1 applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDoc {
+    /// The matched document.
+    pub doc: DocIdx,
+    /// Its relevance score (strictly positive — zero-score documents are
+    /// not retrieved).
+    pub score: f64,
+}
+
+/// Term posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TermPosting {
+    pub doc: u32,
+    pub tf: u32,
+}
+
+/// Entity posting: a document, the entity's annotation frequency, and the
+/// sum of the annotations' disambiguation scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct EntityPosting {
+    pub doc: u32,
+    pub ef: u32,
+    pub dscore_sum: f64,
+}
+
+/// The immutable dual (term + entity) inverted index.
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    pub(crate) term_postings: HashMap<String, Vec<TermPosting>>,
+    pub(crate) entity_postings: HashMap<EntityId, Vec<EntityPosting>>,
+    pub(crate) doc_lens: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents (the collection size `N`).
+    pub fn doc_count(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Term length of a document (number of term occurrences).
+    pub fn doc_len(&self, doc: DocIdx) -> u32 {
+        self.doc_lens[doc.index()]
+    }
+
+    /// Document frequency of a term.
+    pub fn term_df(&self, term: &str) -> usize {
+        self.term_postings.get(term).map_or(0, Vec::len)
+    }
+
+    /// Document frequency of an entity.
+    pub fn entity_df(&self, entity: EntityId) -> usize {
+        self.entity_postings.get(&entity).map_or(0, Vec::len)
+    }
+
+    /// Inverse resource frequency: `ln(1 + N / df)`. Zero for unseen terms
+    /// (they can never contribute anyway).
+    pub fn irf(&self, term: &str) -> f64 {
+        let df = self.term_df(term);
+        if df == 0 {
+            return 0.0;
+        }
+        (1.0 + self.doc_count() as f64 / df as f64).ln()
+    }
+
+    /// Inverse resource frequency of an entity, same form as [`Self::irf`].
+    pub fn eirf(&self, entity: EntityId) -> f64 {
+        let df = self.entity_df(entity);
+        if df == 0 {
+            return 0.0;
+        }
+        (1.0 + self.doc_count() as f64 / df as f64).ln()
+    }
+
+    /// Term frequency of `term` in `doc` (0 when absent).
+    pub fn tf(&self, term: &str, doc: DocIdx) -> u32 {
+        self.term_postings
+            .get(term)
+            .and_then(|list| {
+                list.binary_search_by_key(&doc.0, |p| p.doc)
+                    .ok()
+                    .map(|i| list[i].tf)
+            })
+            .unwrap_or(0)
+    }
+
+    /// Entity frequency of `entity` in `doc` (0 when absent).
+    pub fn ef(&self, entity: EntityId, doc: DocIdx) -> u32 {
+        self.entity_postings
+            .get(&entity)
+            .and_then(|list| {
+                list.binary_search_by_key(&doc.0, |p| p.doc)
+                    .ok()
+                    .map(|i| list[i].ef)
+            })
+            .unwrap_or(0)
+    }
+
+    /// The Eq. 2 entity weight `we(e, doc) = 1 + dScore(e, doc)` (average
+    /// dscore over the entity's annotations in the document); 0 when the
+    /// entity is not annotated in the document.
+    pub fn entity_weight(&self, entity: EntityId, doc: DocIdx) -> f64 {
+        self.entity_postings
+            .get(&entity)
+            .and_then(|list| {
+                list.binary_search_by_key(&doc.0, |p| p.doc).ok().map(|i| {
+                    let p = &list[i];
+                    1.0 + p.dscore_sum / p.ef as f64
+                })
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Eq. 1 score accumulation: document → score, unsorted.
+    fn accumulate(&self, query: &Query, alpha: f64) -> HashMap<u32, f64> {
+        let alpha = alpha.clamp(0.0, 1.0);
+        let mut acc: HashMap<u32, f64> = HashMap::new();
+
+        if alpha > 0.0 {
+            for term in &query.terms {
+                let Some(postings) = self.term_postings.get(term) else {
+                    continue;
+                };
+                let irf = self.irf(term);
+                let w = alpha * irf * irf;
+                for p in postings {
+                    *acc.entry(p.doc).or_insert(0.0) += w * p.tf as f64;
+                }
+            }
+        }
+        if alpha < 1.0 {
+            for &entity in &query.entities {
+                let Some(postings) = self.entity_postings.get(&entity) else {
+                    continue;
+                };
+                let eirf = self.eirf(entity);
+                let w = (1.0 - alpha) * eirf * eirf;
+                for p in postings {
+                    let we = 1.0 + p.dscore_sum / p.ef as f64;
+                    *acc.entry(p.doc).or_insert(0.0) += w * p.ef as f64 * we;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Scores the whole collection against `query` with mixing weight
+    /// `alpha` (Eq. 1) and returns every positive-scoring document, sorted
+    /// by descending score (ties broken by ascending doc for determinism).
+    pub fn score_all(&self, query: &Query, alpha: f64) -> Vec<ScoredDoc> {
+        let mut scored: Vec<ScoredDoc> = self
+            .accumulate(query, alpha)
+            .into_iter()
+            .filter(|&(_, s)| s > 0.0)
+            .map(|(doc, score)| ScoredDoc { doc: DocIdx(doc), score })
+            .collect();
+        scored.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        scored
+    }
+
+    /// Like [`Self::score_all`] but returns only the `k` best matching
+    /// documents among those accepted by `filter`, using a bounded
+    /// min-heap instead of sorting the whole match set — O(n log k)
+    /// rather than O(n log n), the right tool when the ranking window is
+    /// much smaller than the match set.
+    ///
+    /// The result is identical (same documents, same order, same
+    /// tie-breaking) to filtering and truncating [`Self::score_all`].
+    pub fn score_top_k<F>(&self, query: &Query, alpha: f64, k: usize, filter: F) -> Vec<ScoredDoc>
+    where
+        F: Fn(DocIdx) -> bool,
+    {
+        use std::cmp::Ordering;
+        use std::collections::BinaryHeap;
+
+        if k == 0 {
+            return Vec::new();
+        }
+
+        /// Heap entry ordered so the heap root is the *worst* kept doc:
+        /// lower score first; among equal scores, larger doc id first
+        /// (doc ids ascend in the final output, so the largest id is the
+        /// first to evict).
+        struct Worst(ScoredDoc);
+        impl PartialEq for Worst {
+            fn eq(&self, other: &Self) -> bool {
+                self.cmp(other) == Ordering::Equal
+            }
+        }
+        impl Eq for Worst {}
+        impl PartialOrd for Worst {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Worst {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .0
+                    .score
+                    .partial_cmp(&self.0.score)
+                    .expect("scores are finite")
+                    .then_with(|| self.0.doc.cmp(&other.0.doc))
+            }
+        }
+
+        // Accumulate as in score_all, then keep only the top k in a
+        // bounded heap (no full sort).
+        // Capacity capped: k may be "effectively unbounded" (usize::MAX).
+        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
+        for (doc, score) in self.accumulate(query, alpha) {
+            if score <= 0.0 {
+                continue;
+            }
+            let s = ScoredDoc { doc: DocIdx(doc), score };
+            if !filter(s.doc) {
+                continue;
+            }
+            heap.push(Worst(s));
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut out: Vec<ScoredDoc> = heap.into_iter().map(|w| w.0).collect();
+        out.sort_unstable_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("scores are finite")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Three docs: one about swimming, one about cooking, one mixed.
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["swim", "pool", "train", "swim"]), &[(EntityId::new(1), 0.8)]);
+        b.add_document(&terms(&["cook", "pasta", "recipe"]), &[]);
+        b.add_document(&terms(&["swim", "cook"]), &[(EntityId::new(1), 0.2), (EntityId::new(2), 0.5)]);
+        b.build()
+    }
+
+    #[test]
+    fn irf_decreases_with_df() {
+        let idx = sample();
+        // "pool" occurs in 1 doc, "swim" in 2 → rarer term has higher irf.
+        assert!(idx.irf("pool") > idx.irf("swim"));
+        assert_eq!(idx.irf("unseen"), 0.0);
+        assert!(idx.eirf(EntityId::new(2)) > idx.eirf(EntityId::new(1)));
+        assert_eq!(idx.eirf(EntityId::new(99)), 0.0);
+    }
+
+    #[test]
+    fn pure_term_query_ranks_by_tf_irf() {
+        let idx = sample();
+        let hits = idx.score_all(&Query::from_terms(["swim"]), 1.0);
+        assert_eq!(hits.len(), 2);
+        // Doc 0 has tf=2, doc 2 has tf=1 → doc 0 first.
+        assert_eq!(hits[0].doc, DocIdx(0));
+        assert_eq!(hits[1].doc, DocIdx(2));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn pure_entity_query_uses_dscore_weight() {
+        let idx = sample();
+        let q = Query { terms: vec![], entities: vec![EntityId::new(1)] };
+        let hits = idx.score_all(&q, 0.0);
+        assert_eq!(hits.len(), 2);
+        // Same ef=1 in both docs, but doc 0 has higher dscore → we bigger.
+        assert_eq!(hits[0].doc, DocIdx(0));
+    }
+
+    #[test]
+    fn alpha_mixes_the_two_signals() {
+        let idx = sample();
+        let q = Query {
+            terms: terms(&["cook"]),
+            entities: vec![EntityId::new(1)],
+        };
+        let text_only = idx.score_all(&q, 1.0);
+        let entity_only = idx.score_all(&q, 0.0);
+        let mixed = idx.score_all(&q, 0.5);
+        // Text matches docs 1, 2; entity matches docs 0, 2; the mix
+        // matches the union.
+        assert_eq!(text_only.len(), 2);
+        assert_eq!(entity_only.len(), 2);
+        assert_eq!(mixed.len(), 3);
+        // Doc 2 gets both contributions in the mix.
+        assert_eq!(mixed[0].doc, DocIdx(2));
+    }
+
+    #[test]
+    fn alpha_is_clamped() {
+        let idx = sample();
+        let q = Query::from_terms(["swim"]);
+        let clamped = idx.score_all(&q, 42.0);
+        let one = idx.score_all(&q, 1.0);
+        assert_eq!(clamped, one);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let idx = sample();
+        assert!(idx.score_all(&Query::default(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn repeated_query_terms_double_contribution() {
+        let idx = sample();
+        let once = idx.score_all(&Query::from_terms(["swim"]), 1.0);
+        let twice = idx.score_all(&Query::from_terms(["swim", "swim"]), 1.0);
+        assert!((twice[0].score - 2.0 * once[0].score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_k_matches_truncated_score_all() {
+        let idx = sample();
+        let q = Query {
+            terms: terms(&["swim", "cook"]),
+            entities: vec![EntityId::new(1)],
+        };
+        let full = idx.score_all(&q, 0.5);
+        for k in 0..=full.len() + 2 {
+            let topk = idx.score_top_k(&q, 0.5, k, |_| true);
+            assert_eq!(topk.len(), k.min(full.len()));
+            assert_eq!(&topk[..], &full[..topk.len()], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn top_k_respects_filter() {
+        let idx = sample();
+        let q = Query::from_terms(["swim"]);
+        let only_doc2 = idx.score_top_k(&q, 1.0, 10, |d| d == DocIdx(2));
+        assert_eq!(only_doc2.len(), 1);
+        assert_eq!(only_doc2[0].doc, DocIdx(2));
+        let none = idx.score_top_k(&q, 1.0, 10, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn top_k_tie_break_matches_full_sort() {
+        let mut b = IndexBuilder::new();
+        for _ in 0..6 {
+            b.add_document(&terms(&["x"]), &[]);
+        }
+        let idx = b.build();
+        let q = Query::from_terms(["x"]);
+        let full = idx.score_all(&q, 1.0);
+        let top3 = idx.score_top_k(&q, 1.0, 3, |_| true);
+        assert_eq!(&top3[..], &full[..3]);
+        assert_eq!(top3[0].doc, DocIdx(0));
+        assert_eq!(top3[2].doc, DocIdx(2));
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_doc() {
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["x"]), &[]);
+        b.add_document(&terms(&["x"]), &[]);
+        let idx = b.build();
+        let hits = idx.score_all(&Query::from_terms(["x"]), 1.0);
+        assert_eq!(hits[0].doc, DocIdx(0));
+        assert_eq!(hits[1].doc, DocIdx(1));
+    }
+}

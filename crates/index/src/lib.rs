@@ -1,0 +1,25 @@
+//! # rightcrowd-index
+//!
+//! The dual inverted index (terms + entities) and the vector-space scorer
+//! of the paper's §2.4. Resources are represented *both* as bags of
+//! (stemmed) words and as sets of recognised entities; a query is scored
+//! against a resource by the weighted linear combination of Eq. 1:
+//!
+//! ```text
+//! score(q,r) = α · Σ_{t∈q}    tf(t,r) · irf(t)²
+//!           + (1−α) · Σ_{e∈E(q)} ef(e,r) · eirf(e)² · we(e,r)
+//! ```
+//!
+//! with the entity weight of Eq. 2, `we(e,r) = 1 + dScore(e,r)` for
+//! annotated entities. `irf`/`eirf` are inverse *resource* frequencies over
+//! the whole collection, as the paper prescribes.
+
+pub mod bm25;
+pub mod builder;
+pub mod index;
+pub mod query;
+
+pub use bm25::Bm25Params;
+pub use builder::IndexBuilder;
+pub use index::{DocIdx, InvertedIndex, ScoredDoc};
+pub use query::Query;

@@ -1,0 +1,55 @@
+//! The analysed form of an expertise need.
+
+use rightcrowd_types::EntityId;
+
+/// An expertise need after the analysis pipeline: normalised terms plus the
+/// entities recognised in the query text (the paper's `E(q)`).
+///
+/// Terms may repeat — Eq. 1 sums over query-term *occurrences*, so a
+/// repeated term contributes twice.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Query {
+    /// Normalised (stemmed, stop-word-free) query terms.
+    pub terms: Vec<String>,
+    /// Entities recognised in the query.
+    pub entities: Vec<EntityId>,
+}
+
+impl Query {
+    /// A query with terms only (no recognised entities).
+    pub fn from_terms<I, S>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Query {
+            terms: terms.into_iter().map(Into::into).collect(),
+            entities: Vec::new(),
+        }
+    }
+
+    /// Whether the query carries no matchable evidence at all.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty() && self.entities.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_terms_builder() {
+        let q = Query::from_terms(["copper", "conductor"]);
+        assert_eq!(q.terms.len(), 2);
+        assert!(q.entities.is_empty());
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Query::default().is_empty());
+        let q = Query { terms: vec![], entities: vec![EntityId::new(0)] };
+        assert!(!q.is_empty());
+    }
+}

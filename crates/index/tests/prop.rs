@@ -1,0 +1,126 @@
+//! Property tests for the dual inverted index.
+
+use proptest::prelude::*;
+use rightcrowd_index::{DocIdx, IndexBuilder, Query};
+use rightcrowd_types::EntityId;
+
+/// A small random document: a bag of words over a closed vocabulary plus
+/// entity annotations.
+fn doc_strategy() -> impl Strategy<Value = (Vec<String>, Vec<(EntityId, f64)>)> {
+    let words = prop::collection::vec(
+        prop::sample::select(vec!["swim", "pool", "code", "php", "song", "team", "city"]),
+        0..12,
+    )
+    .prop_map(|ws| ws.into_iter().map(str::to_owned).collect::<Vec<String>>());
+    let entities = prop::collection::vec((0u32..6, 0.0f64..1.0), 0..5)
+        .prop_map(|es| es.into_iter().map(|(e, d)| (EntityId::new(e), d)).collect());
+    (words, entities)
+}
+
+proptest! {
+    #[test]
+    fn df_equals_documents_containing_term(docs in prop::collection::vec(doc_strategy(), 1..20)) {
+        let mut builder = IndexBuilder::new();
+        for (terms, entities) in &docs {
+            builder.add_document(terms, entities);
+        }
+        let index = builder.build();
+        prop_assert_eq!(index.doc_count(), docs.len());
+        for term in ["swim", "code", "song"] {
+            let expected = docs
+                .iter()
+                .filter(|(terms, _)| terms.iter().any(|t| t == term))
+                .count();
+            prop_assert_eq!(index.term_df(term), expected, "df of {}", term);
+        }
+    }
+
+    #[test]
+    fn tf_matches_occurrences(docs in prop::collection::vec(doc_strategy(), 1..15)) {
+        let mut builder = IndexBuilder::new();
+        for (terms, entities) in &docs {
+            builder.add_document(terms, entities);
+        }
+        let index = builder.build();
+        for (i, (terms, entities)) in docs.iter().enumerate() {
+            let doc = DocIdx(i as u32);
+            for term in ["pool", "php"] {
+                let expected = terms.iter().filter(|t| *t == term).count() as u32;
+                prop_assert_eq!(index.tf(term, doc), expected);
+            }
+            for e in 0..6u32 {
+                let entity = EntityId::new(e);
+                let expected = entities.iter().filter(|(x, _)| *x == entity).count() as u32;
+                prop_assert_eq!(index.ef(entity, doc), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_positive_finite_and_sorted(
+        docs in prop::collection::vec(doc_strategy(), 1..20),
+        alpha in 0.0f64..1.0,
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (terms, entities) in &docs {
+            builder.add_document(terms, entities);
+        }
+        let index = builder.build();
+        let query = Query {
+            terms: vec!["swim".into(), "code".into()],
+            entities: vec![EntityId::new(0), EntityId::new(3)],
+        };
+        let hits = index.score_all(&query, alpha);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            prop_assert!(h.score > 0.0 && h.score.is_finite());
+            prop_assert!(h.doc.index() < docs.len());
+        }
+    }
+
+    #[test]
+    fn matched_set_is_union_of_term_and_entity_matches(
+        docs in prop::collection::vec(doc_strategy(), 1..20),
+    ) {
+        let mut builder = IndexBuilder::new();
+        for (terms, entities) in &docs {
+            builder.add_document(terms, entities);
+        }
+        let index = builder.build();
+        let query = Query {
+            terms: vec!["team".into()],
+            entities: vec![EntityId::new(1)],
+        };
+        let hits = index.score_all(&query, 0.5);
+        let expected: Vec<usize> = docs
+            .iter()
+            .enumerate()
+            .filter(|(_, (terms, entities))| {
+                terms.iter().any(|t| t == "team")
+                    || entities.iter().any(|(e, _)| *e == EntityId::new(1))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let mut got: Vec<usize> = hits.iter().map(|h| h.doc.index()).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn entity_weight_within_eq2_bounds(docs in prop::collection::vec(doc_strategy(), 1..15)) {
+        let mut builder = IndexBuilder::new();
+        for (terms, entities) in &docs {
+            builder.add_document(terms, entities);
+        }
+        let index = builder.build();
+        for (i, (_, entities)) in docs.iter().enumerate() {
+            for (entity, _) in entities {
+                let we = index.entity_weight(*entity, DocIdx(i as u32));
+                // Eq. 2: we = 1 + dScore with dScore ∈ [0, 1].
+                prop_assert!((1.0..=2.0).contains(&we), "we = {we}");
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Mutable construction of a [`KnowledgeBase`].
+
+use crate::entity::{Entity, EntityKind};
+use crate::kbase::{AnchorEntry, AnchorTarget, KnowledgeBase};
+use rightcrowd_types::{Domain, EntityId};
+use std::collections::HashMap;
+
+/// Default link probability assigned to anchors that never received an
+/// explicit [`KbBuilder::set_link_probability`]. TAGME prunes anchors with
+/// lp below a small threshold, so the default must sit comfortably above it.
+pub const DEFAULT_LINK_PROBABILITY: f64 = 0.25;
+
+/// Incremental builder for a [`KnowledgeBase`].
+#[derive(Debug, Default)]
+pub struct KbBuilder {
+    entities: Vec<Entity>,
+    anchors: HashMap<String, AnchorEntry>,
+    links: Vec<(EntityId, EntityId)>,
+}
+
+impl KbBuilder {
+    /// A fresh, empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entity and returns its freshly minted id. The entity's
+    /// lower-cased title is automatically registered as an anchor.
+    pub fn add_entity(
+        &mut self,
+        title: &str,
+        kind: EntityKind,
+        domain: Domain,
+        description: &str,
+    ) -> EntityId {
+        let id = EntityId::new(self.entities.len() as u32);
+        self.entities.push(Entity {
+            id,
+            title: title.to_owned(),
+            kind,
+            domain,
+            description: description.to_owned(),
+        });
+        self.add_anchor(title, id, 100);
+        id
+    }
+
+    /// Registers (or reinforces) an anchor: `surface` can refer to `entity`
+    /// with the given link count. Repeated calls for the same pair add up.
+    pub fn add_anchor(&mut self, surface: &str, entity: EntityId, links: u32) {
+        let key = KnowledgeBase::normalize_anchor(surface);
+        if key.is_empty() {
+            return;
+        }
+        let entry = self.anchors.entry(key).or_insert_with(|| AnchorEntry {
+            targets: Vec::new(),
+            link_probability: DEFAULT_LINK_PROBABILITY,
+        });
+        match entry.targets.iter_mut().find(|t| t.entity == entity) {
+            Some(t) => t.links += links,
+            None => entry.targets.push(AnchorTarget { entity, links }),
+        }
+    }
+
+    /// Sets the TAGME link probability of an anchor (clamped to `[0, 1]`).
+    /// The anchor must already exist (add an anchor first).
+    pub fn set_link_probability(&mut self, surface: &str, lp: f64) {
+        let key = KnowledgeBase::normalize_anchor(surface);
+        if let Some(entry) = self.anchors.get_mut(&key) {
+            entry.link_probability = lp.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Adds a directed link `from → to` in the entity graph.
+    pub fn add_link(&mut self, from: EntityId, to: EntityId) {
+        if from != to {
+            self.links.push((from, to));
+        }
+    }
+
+    /// Number of entities added so far.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Finalises the KB: sorts anchor targets by commonness, builds sorted
+    /// deduplicated in/out-link lists and the per-domain index.
+    pub fn build(self) -> KnowledgeBase {
+        let n = self.entities.len();
+        let mut out_links: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        let mut in_links: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        for (from, to) in self.links {
+            out_links[from.index()].push(to);
+            in_links[to.index()].push(from);
+        }
+        for list in out_links.iter_mut().chain(in_links.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut anchors = self.anchors;
+        for entry in anchors.values_mut() {
+            entry.targets.sort_by_key(|t| std::cmp::Reverse(t.links));
+        }
+        let mut by_domain: Vec<Vec<EntityId>> = vec![Vec::new(); Domain::COUNT];
+        for e in &self.entities {
+            by_domain[e.domain.index()].push(e.id);
+        }
+        KnowledgeBase {
+            entities: self.entities,
+            anchors,
+            out_links,
+            in_links,
+            by_domain,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn title_is_auto_anchor() {
+        let mut b = KbBuilder::new();
+        let id = b.add_entity("Michael Phelps", EntityKind::Person, Domain::Sport, "swimmer");
+        let kb = b.build();
+        let c = kb.anchor_candidates("michael phelps");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].entity, id);
+    }
+
+    #[test]
+    fn repeated_anchor_adds_links() {
+        let mut b = KbBuilder::new();
+        let id = b.add_entity("PHP", EntityKind::Product, Domain::ComputerEngineering, "language");
+        b.add_anchor("php", id, 50);
+        let kb = b.build();
+        // 100 (auto from title) + 50.
+        assert_eq!(kb.anchor_candidates("php")[0].links, 150);
+    }
+
+    #[test]
+    fn self_links_dropped_and_duplicates_deduped() {
+        let mut b = KbBuilder::new();
+        let a = b.add_entity("A", EntityKind::Concept, Domain::Science, "");
+        let c = b.add_entity("B", EntityKind::Concept, Domain::Science, "");
+        b.add_link(a, a);
+        b.add_link(a, c);
+        b.add_link(a, c);
+        let kb = b.build();
+        assert_eq!(kb.out_links(a), &[c]);
+        assert_eq!(kb.in_links(c), &[a]);
+        assert!(kb.out_links(c).is_empty());
+    }
+
+    #[test]
+    fn link_probability_requires_existing_anchor() {
+        let mut b = KbBuilder::new();
+        let id = b.add_entity("Copper", EntityKind::Concept, Domain::Science, "metal");
+        b.set_link_probability("copper", 0.9);
+        b.set_link_probability("nonexistent", 0.9); // silently ignored
+        b.add_anchor("cu", id, 10);
+        let kb = b.build();
+        assert!((kb.link_probability("copper") - 0.9).abs() < 1e-12);
+        assert!((kb.link_probability("cu") - DEFAULT_LINK_PROBABILITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_link_probability() {
+        let mut b = KbBuilder::new();
+        b.add_entity("X", EntityKind::Concept, Domain::Science, "");
+        b.set_link_probability("x", 7.0);
+        let kb = b.build();
+        assert_eq!(kb.link_probability("x"), 1.0);
+    }
+
+    #[test]
+    fn empty_surface_ignored() {
+        let mut b = KbBuilder::new();
+        let id = b.add_entity("Y", EntityKind::Concept, Domain::Science, "");
+        b.add_anchor("   ", id, 10);
+        let kb = b.build();
+        assert_eq!(kb.anchor_count(), 1); // only the title anchor
+    }
+}

@@ -1,0 +1,104 @@
+//! Knowledge-base entities.
+
+use rightcrowd_types::{Domain, EntityId};
+use std::fmt;
+
+/// The semantic type of an entity — the "type (e.g. Person, City, Sports
+/// Team, Athlete)" enrichment the paper attaches to recognised entities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntityKind {
+    /// A person (athlete, musician, actor, scientist…).
+    Person,
+    /// A city, country, landmark or venue.
+    Place,
+    /// A company, institution, band or other organisation.
+    Organization,
+    /// A sports team.
+    Team,
+    /// A creative work: film, series, song, album, videogame.
+    Work,
+    /// A product or technology (device, language, library).
+    Product,
+    /// A recurring or one-off event (championship, festival).
+    Event,
+    /// An abstract concept (electricity, freestyle, algorithm).
+    Concept,
+}
+
+impl EntityKind {
+    /// All kinds.
+    pub const ALL: [EntityKind; 8] = [
+        EntityKind::Person,
+        EntityKind::Place,
+        EntityKind::Organization,
+        EntityKind::Team,
+        EntityKind::Work,
+        EntityKind::Product,
+        EntityKind::Event,
+        EntityKind::Concept,
+    ];
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntityKind::Person => "Person",
+            EntityKind::Place => "Place",
+            EntityKind::Organization => "Organization",
+            EntityKind::Team => "Team",
+            EntityKind::Work => "Work",
+            EntityKind::Product => "Product",
+            EntityKind::Event => "Event",
+            EntityKind::Concept => "Concept",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One knowledge-base entity — the synthetic analogue of a Wikipedia page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Stable identifier (the stand-in for a Wikipedia URI).
+    pub id: EntityId,
+    /// Canonical title, e.g. `"Michael Phelps"`.
+    pub title: String,
+    /// Semantic type.
+    pub kind: EntityKind,
+    /// The expertise domain the entity belongs to.
+    pub domain: Domain,
+    /// One-line gloss used by the synthetic web-page generator.
+    pub description: String,
+}
+
+impl Entity {
+    /// The synthetic "Wikipedia URI" of the entity.
+    pub fn uri(&self) -> String {
+        format!("kb://{}/{}", self.domain.slug(), self.title.replace(' ', "_"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uri_encodes_domain_and_title() {
+        let e = Entity {
+            id: EntityId::new(0),
+            title: "Michael Phelps".into(),
+            kind: EntityKind::Person,
+            domain: Domain::Sport,
+            description: "American swimmer".into(),
+        };
+        assert_eq!(e.uri(), "kb://sport/Michael_Phelps");
+    }
+
+    #[test]
+    fn kinds_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for k in EntityKind::ALL {
+            assert!(set.insert(k));
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The immutable knowledge base.
+
+use crate::entity::Entity;
+use crate::relatedness::milne_witten;
+use rightcrowd_types::{Domain, EntityId};
+use std::collections::HashMap;
+
+/// One candidate meaning of an anchor, with its link statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorTarget {
+    /// The entity this anchor can refer to.
+    pub entity: EntityId,
+    /// How many links with this anchor text point at this entity (in the
+    /// simulated link corpus). Drives commonness.
+    pub links: u32,
+}
+
+/// Per-anchor statistics.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AnchorEntry {
+    /// Candidate entities, sorted by descending `links`.
+    pub targets: Vec<AnchorTarget>,
+    /// Fraction of occurrences of this surface text that are links —
+    /// TAGME's *link probability* lp(a).
+    pub link_probability: f64,
+}
+
+/// An immutable, queryable knowledge base.
+///
+/// Built once via [`crate::KbBuilder`]; all lookups are O(1) hash probes or
+/// O(log n) merges over sorted in-link lists.
+#[derive(Debug, Clone)]
+pub struct KnowledgeBase {
+    pub(crate) entities: Vec<Entity>,
+    pub(crate) anchors: HashMap<String, AnchorEntry>,
+    /// Out-links per entity (sorted, deduplicated).
+    pub(crate) out_links: Vec<Vec<EntityId>>,
+    /// In-links per entity (sorted, deduplicated) — the Milne–Witten input.
+    pub(crate) in_links: Vec<Vec<EntityId>>,
+    /// Entities per domain, for generators and tests.
+    pub(crate) by_domain: Vec<Vec<EntityId>>,
+}
+
+impl KnowledgeBase {
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the KB has no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The entity with id `id`. Panics on a foreign id — ids are only ever
+    /// minted by this KB's builder.
+    pub fn entity(&self, id: EntityId) -> &Entity {
+        &self.entities[id.index()]
+    }
+
+    /// All entities.
+    pub fn entities(&self) -> &[Entity] {
+        &self.entities
+    }
+
+    /// Entities belonging to `domain`.
+    pub fn entities_in_domain(&self, domain: Domain) -> &[EntityId] {
+        &self.by_domain[domain.index()]
+    }
+
+    /// Looks up an entity by exact (case-insensitive) title.
+    pub fn entity_by_title(&self, title: &str) -> Option<&Entity> {
+        let lowered = title.to_lowercase();
+        self.entities.iter().find(|e| e.title.to_lowercase() == lowered)
+    }
+
+    /// Normalises an anchor surface form: lower-case, whitespace-collapsed.
+    pub fn normalize_anchor(surface: &str) -> String {
+        surface
+            .split_whitespace()
+            .map(str::to_lowercase)
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Candidate entities for an anchor surface form (empty slice when the
+    /// surface is not an anchor). Candidates are sorted by descending link
+    /// count, i.e. descending commonness.
+    pub fn anchor_candidates(&self, surface: &str) -> &[AnchorTarget] {
+        self.anchors
+            .get(&Self::normalize_anchor(surface))
+            .map_or(&[], |e| e.targets.as_slice())
+    }
+
+    /// TAGME link probability lp(a) of a surface form; 0 for non-anchors.
+    pub fn link_probability(&self, surface: &str) -> f64 {
+        self.anchors
+            .get(&Self::normalize_anchor(surface))
+            .map_or(0.0, |e| e.link_probability)
+    }
+
+    /// Commonness P(e | a): the fraction of `a`'s links that point at `e`.
+    pub fn commonness(&self, surface: &str, entity: EntityId) -> f64 {
+        let Some(entry) = self.anchors.get(&Self::normalize_anchor(surface)) else {
+            return 0.0;
+        };
+        let total: u32 = entry.targets.iter().map(|t| t.links).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        entry
+            .targets
+            .iter()
+            .find(|t| t.entity == entity)
+            .map_or(0.0, |t| t.links as f64 / total as f64)
+    }
+
+    /// Milne–Witten semantic relatedness of two entities, in `[0, 1]`.
+    pub fn relatedness(&self, a: EntityId, b: EntityId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        milne_witten(
+            &self.in_links[a.index()],
+            &self.in_links[b.index()],
+            self.len(),
+        )
+    }
+
+    /// The entities `id` links to.
+    pub fn out_links(&self, id: EntityId) -> &[EntityId] {
+        &self.out_links[id.index()]
+    }
+
+    /// The entities linking to `id`.
+    pub fn in_links(&self, id: EntityId) -> &[EntityId] {
+        &self.in_links[id.index()]
+    }
+
+    /// Number of anchor surface forms.
+    pub fn anchor_count(&self) -> usize {
+        self.anchors.len()
+    }
+
+    /// Iterator over all anchor surface forms (arbitrary order).
+    pub fn anchor_surfaces(&self) -> impl Iterator<Item = &str> {
+        self.anchors.keys().map(String::as_str)
+    }
+
+    /// Longest anchor length in *words* — the spotter's window bound.
+    pub fn max_anchor_words(&self) -> usize {
+        self.anchors
+            .keys()
+            .map(|a| a.split(' ').count())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KbBuilder;
+    use crate::entity::EntityKind;
+
+    fn tiny_kb() -> KnowledgeBase {
+        let mut b = KbBuilder::new();
+        let milan_city = b.add_entity("Milan", EntityKind::Place, Domain::Location, "city in Italy");
+        let milan_club = b.add_entity("AC Milan", EntityKind::Team, Domain::Sport, "football club");
+        let inter = b.add_entity("Inter Milan", EntityKind::Team, Domain::Sport, "football club");
+        // Extra entities enlarge N so Milne–Witten has headroom; a KB of 3
+        // makes every non-identical pair degenerate.
+        b.add_entity("Rome", EntityKind::Place, Domain::Location, "city in Italy");
+        b.add_entity("Juventus", EntityKind::Team, Domain::Sport, "football club");
+        b.add_anchor("milan", milan_city, 60);
+        b.add_anchor("milan", milan_club, 40);
+        b.add_anchor("ac milan", milan_club, 100);
+        b.add_anchor("inter", inter, 30);
+        b.set_link_probability("milan", 0.4);
+        b.add_link(milan_club, milan_city);
+        b.add_link(inter, milan_city);
+        b.add_link(milan_club, inter);
+        b.add_link(inter, milan_club);
+        // Shared in-link (the city links to both clubs) for relatedness.
+        b.add_link(milan_city, milan_club);
+        b.add_link(milan_city, inter);
+        b.build()
+    }
+
+    #[test]
+    fn lookup_by_title_and_domain() {
+        let kb = tiny_kb();
+        assert_eq!(kb.len(), 5);
+        assert!(kb.entity_by_title("ac milan").is_some());
+        assert!(kb.entity_by_title("madrid").is_none());
+        assert_eq!(kb.entities_in_domain(Domain::Sport).len(), 3);
+        assert_eq!(kb.entities_in_domain(Domain::Music).len(), 0);
+    }
+
+    #[test]
+    fn anchor_candidates_sorted_by_commonness() {
+        let kb = tiny_kb();
+        let c = kb.anchor_candidates("Milan");
+        assert_eq!(c.len(), 2);
+        assert!(c[0].links >= c[1].links);
+        assert_eq!(kb.anchor_candidates("unknown"), &[]);
+    }
+
+    #[test]
+    fn commonness_is_a_distribution() {
+        let kb = tiny_kb();
+        let city = kb.entity_by_title("Milan").unwrap().id;
+        let club = kb.entity_by_title("AC Milan").unwrap().id;
+        let pc = kb.commonness("milan", city);
+        let pk = kb.commonness("milan", club);
+        assert!((pc + pk - 1.0).abs() < 1e-12);
+        assert!(pc > pk);
+        assert_eq!(kb.commonness("milan", EntityId::new(2)), 0.0);
+    }
+
+    #[test]
+    fn link_probability_defaults_and_overrides() {
+        let kb = tiny_kb();
+        assert!((kb.link_probability("milan") - 0.4).abs() < 1e-12);
+        assert!(kb.link_probability("ac milan") > 0.0); // builder default
+        assert_eq!(kb.link_probability("nonsense"), 0.0);
+    }
+
+    #[test]
+    fn relatedness_reflects_shared_inlinks() {
+        let kb = tiny_kb();
+        let city = kb.entity_by_title("Milan").unwrap().id;
+        let club = kb.entity_by_title("AC Milan").unwrap().id;
+        let inter = kb.entity_by_title("Inter Milan").unwrap().id;
+        // Both clubs link to the city; the clubs link to each other.
+        assert_eq!(kb.relatedness(city, city), 1.0);
+        assert!(kb.relatedness(club, inter) > 0.0);
+        let r = kb.relatedness(club, city);
+        assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn anchor_normalization() {
+        assert_eq!(KnowledgeBase::normalize_anchor("  AC   Milan "), "ac milan");
+        let kb = tiny_kb();
+        assert_eq!(kb.anchor_candidates("AC  MILAN").len(), 1);
+    }
+
+    #[test]
+    fn max_anchor_words() {
+        let kb = tiny_kb();
+        assert_eq!(kb.max_anchor_words(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rightcrowd-kb
+//!
+//! The knowledge base behind entity recognition and disambiguation — the
+//! synthetic stand-in for Wikipedia/Freebase that the paper's TAGME-based
+//! annotator (§2.3) links text snippets against.
+//!
+//! The KB provides exactly what a TAGME-style annotator needs:
+//!
+//! - an **entity inventory** — each entity has a title, a type (Person,
+//!   City, Sports Team, …) and a domain (tv, sports, education, …), the two
+//!   kinds of semantic enrichment the paper names;
+//! - an **anchor dictionary** — surface forms with per-anchor *link
+//!   probability* and per-target *commonness* P(e | anchor), including
+//!   genuinely ambiguous anchors ("milan" the city vs. "milan" the football
+//!   club) so that disambiguation is a real decision;
+//! - an **entity link graph** — in-link sets powering the Milne–Witten
+//!   semantic relatedness used for collective-agreement disambiguation.
+//!
+//! [`seed::standard()`] builds the default KB: a hand-written core of
+//! real-world entities for each of the paper's 7 expertise domains
+//! (including every entity mentioned in the paper's own examples — Michael
+//! Phelps, Michael Jackson, Diablo 3, PHP, Milan, "How I Met Your Mother"…)
+//! expanded programmatically for corpus breadth.
+
+pub mod builder;
+pub mod entity;
+pub mod kbase;
+pub mod relatedness;
+pub mod seed;
+pub mod vocab;
+
+pub use builder::KbBuilder;
+pub use entity::{Entity, EntityKind};
+pub use kbase::{AnchorTarget, KnowledgeBase};

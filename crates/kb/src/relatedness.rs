@@ -1,0 +1,124 @@
+//! Milne–Witten semantic relatedness.
+//!
+//! The TAGME annotator disambiguates collectively by letting candidate
+//! entities "vote" for each other proportionally to their semantic
+//! relatedness; TAGME uses the Milne–Witten measure (*An effective,
+//! low-cost measure of semantic relatedness obtained from Wikipedia links*,
+//! WIKIAI 2008), computed from the entities' in-link sets:
+//!
+//! ```text
+//! rel(a,b) = 1 − (log max(|A|,|B|) − log |A ∩ B|) / (log N − log min(|A|,|B|))
+//! ```
+//!
+//! where `A`, `B` are the sets of entities linking to `a` and `b` and `N`
+//! is the KB size. The value is clamped into `[0, 1]`; disjoint or empty
+//! in-link sets give 0.
+
+use rightcrowd_types::EntityId;
+
+/// Size of the intersection of two sorted, deduplicated id slices.
+pub fn sorted_intersection_len(a: &[EntityId], b: &[EntityId]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Milne–Witten relatedness of two in-link sets within a KB of `n` entities.
+///
+/// Both slices must be sorted and deduplicated (the KB builder guarantees
+/// this). Returns 0 for empty sets or no overlap, and clamps into `[0, 1]`.
+pub fn milne_witten(a: &[EntityId], b: &[EntityId], n: usize) -> f64 {
+    if a.is_empty() || b.is_empty() || n < 2 {
+        return 0.0;
+    }
+    let overlap = sorted_intersection_len(a, b);
+    if overlap == 0 {
+        return 0.0;
+    }
+    let (larger, smaller) = if a.len() >= b.len() {
+        (a.len() as f64, b.len() as f64)
+    } else {
+        (b.len() as f64, a.len() as f64)
+    };
+    let n = n as f64;
+    let denom = n.ln() - smaller.ln();
+    if denom <= 0.0 {
+        // The smaller set covers (almost) the whole KB — maximal relatedness.
+        return 1.0;
+    }
+    let raw = 1.0 - (larger.ln() - (overlap as f64).ln()) / denom;
+    raw.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().map(|&x| EntityId::new(x)).collect()
+    }
+
+    #[test]
+    fn intersection_of_sorted_slices() {
+        assert_eq!(sorted_intersection_len(&ids(&[1, 2, 3]), &ids(&[2, 3, 4])), 2);
+        assert_eq!(sorted_intersection_len(&ids(&[1]), &ids(&[2])), 0);
+        assert_eq!(sorted_intersection_len(&ids(&[]), &ids(&[1])), 0);
+        assert_eq!(sorted_intersection_len(&ids(&[5, 9]), &ids(&[5, 9])), 2);
+    }
+
+    #[test]
+    fn identical_inlink_sets_are_maximally_related() {
+        let a = ids(&[1, 2, 3]);
+        let r = milne_witten(&a, &a, 100);
+        assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn disjoint_sets_are_unrelated() {
+        assert_eq!(milne_witten(&ids(&[1, 2]), &ids(&[3, 4]), 100), 0.0);
+    }
+
+    #[test]
+    fn empty_sets_are_unrelated() {
+        assert_eq!(milne_witten(&ids(&[]), &ids(&[1]), 100), 0.0);
+        assert_eq!(milne_witten(&ids(&[1]), &ids(&[]), 100), 0.0);
+    }
+
+    #[test]
+    fn more_overlap_means_more_related() {
+        let base = ids(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let lo = ids(&[1, 10, 11, 12, 13, 14, 15, 16]);
+        let hi = ids(&[1, 2, 3, 4, 5, 6, 20, 21]);
+        let r_lo = milne_witten(&base, &lo, 1000);
+        let r_hi = milne_witten(&base, &hi, 1000);
+        assert!(r_hi > r_lo, "hi {r_hi} vs lo {r_lo}");
+    }
+
+    #[test]
+    fn result_always_in_unit_interval() {
+        let sets = [
+            ids(&[1]),
+            ids(&[1, 2]),
+            ids(&[1, 2, 3, 4, 5, 6, 7, 8, 9]),
+            ids(&[2, 4, 6, 8]),
+        ];
+        for a in &sets {
+            for b in &sets {
+                let r = milne_witten(a, b, 10);
+                assert!((0.0..=1.0).contains(&r), "rel {r}");
+            }
+        }
+    }
+}

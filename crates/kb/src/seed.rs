@@ -1,0 +1,509 @@
+//! The standard seed knowledge base.
+//!
+//! A hand-written core of real-world entities for each of the paper's seven
+//! expertise domains — including every entity the paper itself mentions
+//! (Michael Phelps, freestyle, Michael Jackson, Diablo 3, PHP, Milan, *How I
+//! Met Your Mother*, copper, …) — expanded programmatically with synthetic
+//! entities for corpus breadth, and wired into an intra-domain link graph
+//! with hand-placed cross-domain ambiguities ("milan" the city vs. the
+//! football club, "conductor" the physics concept vs. the orchestra role).
+
+use crate::builder::KbBuilder;
+use crate::entity::EntityKind;
+use crate::vocab;
+use rightcrowd_types::{Domain, EntityId};
+
+/// A hand-written seed entity.
+struct SeedEntity {
+    title: &'static str,
+    kind: EntityKind,
+    /// Extra surface forms (besides the lower-cased title) with link counts.
+    aliases: &'static [(&'static str, u32)],
+    /// Link probability of the *title* anchor (None = builder default).
+    lp: Option<f64>,
+    description: &'static str,
+}
+
+const fn e(
+    title: &'static str,
+    kind: EntityKind,
+    description: &'static str,
+) -> SeedEntity {
+    SeedEntity { title, kind, aliases: &[], lp: None, description }
+}
+
+const fn ea(
+    title: &'static str,
+    kind: EntityKind,
+    aliases: &'static [(&'static str, u32)],
+    description: &'static str,
+) -> SeedEntity {
+    SeedEntity { title, kind, aliases, lp: None, description }
+}
+
+const fn el(
+    title: &'static str,
+    kind: EntityKind,
+    lp: f64,
+    description: &'static str,
+) -> SeedEntity {
+    SeedEntity { title, kind, aliases: &[], lp: Some(lp), description }
+}
+
+use EntityKind::{Concept, Event, Organization, Person, Place, Product, Team, Work};
+
+const COMPUTER: &[SeedEntity] = &[
+    ea("PHP", Product, &[("php function", 40)], "server-side scripting language"),
+    el("String", Concept, 0.10, "sequence of characters in programming"),
+    el("Function", Concept, 0.08, "callable unit of code"),
+    e("Java", Product, "object-oriented programming language"),
+    e("Python", Product, "general-purpose programming language"),
+    e("JavaScript", Product, "scripting language of the web"),
+    e("SQL", Product, "structured query language"),
+    e("HTML", Product, "markup language of web pages"),
+    e("CSS", Product, "stylesheet language"),
+    e("Linux", Product, "open-source operating system kernel"),
+    e("Git", Product, "distributed version control system"),
+    e("MySQL", Product, "relational database management system"),
+    ea("Stack Overflow", Organization, &[("stackoverflow", 60)], "programming Q&A site"),
+    el("Algorithm", Concept, 0.15, "step-by-step computational procedure"),
+    el("Database", Concept, 0.15, "organised collection of data"),
+    e("Compiler", Concept, "translator from source code to machine code"),
+    ea("Regular Expression", Concept, &[("regex", 80)], "pattern language for text"),
+    e("Apache", Product, "open-source web server"),
+    e("Unicode", Product, "universal character encoding standard"),
+    e("Recursion", Concept, "self-referential computation"),
+    e("Hash Table", Concept, "key-value data structure"),
+    e("Open Source", Concept, "publicly developed software model"),
+];
+
+const LOCATION: &[SeedEntity] = &[
+    // "milan" is deliberately ambiguous with AC Milan (Sport).
+    ea("Milan", Place, &[("milano", 70)], "city in northern Italy"),
+    e("Rome", Place, "capital of Italy"),
+    e("Paris", Place, "capital of France"),
+    e("London", Place, "capital of the United Kingdom"),
+    ea("New York", Place, &[("new york city", 50), ("nyc", 40)], "largest city in the USA"),
+    e("Tokyo", Place, "capital of Japan"),
+    e("Berlin", Place, "capital of Germany"),
+    e("Barcelona", Place, "city in Catalonia, Spain"),
+    e("Venice", Place, "canal city in Italy"),
+    e("Florence", Place, "Renaissance city in Tuscany"),
+    ea("Duomo di Milano", Place, &[("duomo", 50)], "cathedral of Milan"),
+    e("Eiffel Tower", Place, "landmark tower in Paris"),
+    e("Colosseum", Place, "ancient amphitheatre in Rome"),
+    e("Central Park", Place, "urban park in Manhattan"),
+    e("Navigli", Place, "canal district of Milan"),
+    e("Lake Como", Place, "lake in Lombardy"),
+    e("Tuscany", Place, "region of central Italy"),
+    e("Times Square", Place, "commercial square in New York"),
+    e("Montmartre", Place, "hill district of Paris"),
+    e("Brera", Place, "art district of Milan"),
+    e("Trastevere", Place, "old quarter of Rome"),
+    e("Amalfi Coast", Place, "coastline in southern Italy"),
+];
+
+const MOVIES: &[SeedEntity] = &[
+    ea(
+        "How I Met Your Mother",
+        Work,
+        &[("himym", 60), ("how i met your mother", 20)],
+        "American sitcom (2005-2014)",
+    ),
+    e("Breaking Bad", Work, "American crime drama series"),
+    e("Game of Thrones", Work, "fantasy drama series"),
+    e("The Godfather", Work, "1972 crime film"),
+    e("Inception", Work, "2010 science-fiction film"),
+    e("Neil Patrick Harris", Person, "American actor, Barney in HIMYM"),
+    e("Jason Segel", Person, "American actor, Marshall in HIMYM"),
+    e("Cobie Smulders", Person, "Canadian actress, Robin in HIMYM"),
+    e("Leonardo DiCaprio", Person, "American actor"),
+    e("Al Pacino", Person, "American actor"),
+    e("Christopher Nolan", Person, "British-American film director"),
+    e("Steven Spielberg", Person, "American film director"),
+    e("Hollywood", Place, "centre of the US film industry"),
+    ea("Academy Awards", Event, &[("oscar", 50), ("oscars", 50)], "annual film awards"),
+    e("Netflix", Organization, "streaming service"),
+    e("HBO", Organization, "American TV network"),
+    e("Pixar", Organization, "animation studio"),
+    e("The Dark Knight", Work, "2008 superhero film"),
+    e("Pulp Fiction", Work, "1994 crime film"),
+    e("Friends", Work, "American sitcom (1994-2004)"),
+    e("The Simpsons", Work, "animated sitcom"),
+    e("Sherlock", Work, "British mystery series"),
+];
+
+const MUSIC: &[SeedEntity] = &[
+    ea("Michael Jackson", Person, &[("king of pop", 30), ("mj", 25)], "American singer, King of Pop"),
+    ea("Thriller", Work, &[("thriller album", 20)], "1982 Michael Jackson album"),
+    e("Billie Jean", Work, "1983 Michael Jackson single"),
+    e("Beat It", Work, "1983 Michael Jackson single"),
+    e("The Beatles", Organization, "English rock band"),
+    ea("Queen", Organization, &[("queen band", 20)], "British rock band"),
+    e("Madonna", Person, "American pop singer"),
+    e("U2", Organization, "Irish rock band"),
+    e("Rolling Stones", Organization, "English rock band"),
+    e("Freddie Mercury", Person, "lead singer of Queen"),
+    e("David Bowie", Person, "English singer-songwriter"),
+    e("Bob Dylan", Person, "American singer-songwriter"),
+    e("Mozart", Person, "classical composer"),
+    e("Beethoven", Person, "classical composer"),
+    e("La Scala", Place, "opera house in Milan"),
+    e("Woodstock", Event, "1969 music festival"),
+    e("Grammy Awards", Event, "annual music awards"),
+    e("Rock Music", Concept, "popular music genre"),
+    e("Jazz", Concept, "music genre born in New Orleans"),
+    e("Opera", Concept, "classical vocal art form"),
+    e("Hip Hop", Concept, "music genre and culture"),
+    e("Spotify", Organization, "music streaming service"),
+];
+
+const SCIENCE: &[SeedEntity] = &[
+    ea("Copper", Concept, &[("cu", 15)], "ductile metal, excellent electrical conductor"),
+    // "conductor" is ambiguous with the orchestra role (Music-flavoured).
+    el("Electrical Conductor", Concept, 0.12, "material that conducts electric current"),
+    e("Electricity", Concept, "set of phenomena from electric charge"),
+    e("Electron", Concept, "negatively charged subatomic particle"),
+    e("Atom", Concept, "basic unit of matter"),
+    e("Albert Einstein", Person, "theoretical physicist, relativity"),
+    e("Isaac Newton", Person, "physicist and mathematician"),
+    e("Marie Curie", Person, "physicist and chemist, radioactivity"),
+    e("Charles Darwin", Person, "naturalist, theory of evolution"),
+    e("DNA", Concept, "molecule carrying genetic information"),
+    e("Gravity", Concept, "attraction between masses"),
+    e("Quantum Mechanics", Concept, "physics of the very small"),
+    e("Photosynthesis", Concept, "light-to-energy conversion in plants"),
+    e("CERN", Organization, "European particle-physics laboratory"),
+    ea("Higgs Boson", Concept, &[("god particle", 20)], "elementary particle found at CERN"),
+    e("Periodic Table", Concept, "tabular arrangement of elements"),
+    e("Evolution", Concept, "change in heritable characteristics"),
+    e("Neuron", Concept, "nerve cell"),
+    e("Vaccine", Concept, "biological preparation providing immunity"),
+    e("NASA", Organization, "US space agency"),
+    e("Mars", Place, "fourth planet of the solar system"),
+    e("Relativity", Concept, "Einstein's theory of space-time"),
+];
+
+const SPORT: &[SeedEntity] = &[
+    ea("Michael Phelps", Person, &[("phelps", 70), ("michaelphelps", 30)], "American swimmer, most decorated Olympian"),
+    ea("Freestyle Swimming", Concept, &[("freestyle", 60), ("free style", 20)], "front-crawl swimming discipline"),
+    el("Swimming", Concept, 0.2, "water-based sport"),
+    ea("Olympic Games", Event, &[("olympics", 80), ("london 2012", 40), ("london2012", 30)], "international multi-sport event"),
+    ea("AC Milan", Team, &[("milan", 40), ("rossoneri", 30)], "Italian football club"),
+    ea("Inter Milan", Team, &[("inter", 50), ("nerazzurri", 25)], "Italian football club"),
+    e("Juventus", Team, "Italian football club"),
+    ea("Real Madrid", Team, &[("madrid", 30)], "Spanish football club"),
+    ea("FC Barcelona", Team, &[("barca", 40)], "Spanish football club"),
+    ea("Manchester United", Team, &[("man united", 35), ("man utd", 30)], "English football club"),
+    e("Bayern Munich", Team, "German football club"),
+    ea("Champions League", Event, &[("ucl", 20)], "European club football competition"),
+    e("World Cup", Event, "international football championship"),
+    e("Usain Bolt", Person, "Jamaican sprinter"),
+    e("Roger Federer", Person, "Swiss tennis player"),
+    e("Rafael Nadal", Person, "Spanish tennis player"),
+    e("Lionel Messi", Person, "Argentine footballer"),
+    e("Cristiano Ronaldo", Person, "Portuguese footballer"),
+    ea("Serie A", Event, &[("serie a", 10)], "Italian football league"),
+    e("Premier League", Event, "English football league"),
+    e("NBA", Organization, "North American basketball league"),
+    e("Wimbledon", Event, "tennis grand slam in London"),
+    e("Butterfly Stroke", Concept, "swimming discipline"),
+];
+
+const TECHNOLOGY: &[SeedEntity] = &[
+    ea("Diablo 3", Work, &[("diablo", 60), ("diablo iii", 25)], "2012 action role-playing game"),
+    ea("Graphics Card", Product, &[("gpu", 70), ("video card", 30)], "graphics processing hardware"),
+    e("Nvidia", Organization, "GPU manufacturer"),
+    ea("AMD", Organization, &[("radeon", 40)], "CPU and GPU manufacturer"),
+    e("Intel", Organization, "semiconductor manufacturer"),
+    ea("PlayStation", Product, &[("ps3", 40), ("playstation 3", 20)], "Sony game console"),
+    ea("Xbox", Product, &[("xbox 360", 40)], "Microsoft game console"),
+    e("Nintendo", Organization, "Japanese game company"),
+    ea("iPhone", Product, &[("iphone 5", 30)], "Apple smartphone"),
+    e("iPad", Product, "Apple tablet"),
+    e("Android", Product, "Google mobile operating system"),
+    ea("Apple Inc", Organization, &[("apple", 50)], "consumer-electronics company"),
+    e("Google", Organization, "search and software company"),
+    e("Microsoft", Organization, "software company"),
+    e("Samsung", Organization, "electronics company"),
+    ea("World of Warcraft", Work, &[("wow", 30)], "massively multiplayer online game"),
+    e("StarCraft", Work, "real-time strategy game"),
+    e("Skyrim", Work, "2011 open-world role-playing game"),
+    ea("Call of Duty", Work, &[("cod", 25)], "first-person shooter series"),
+    e("Minecraft", Work, "sandbox building game"),
+    e("Kickstarter", Organization, "crowdfunding platform"),
+    e("Blizzard", Organization, "game studio behind Diablo"),
+    e("Steam", Product, "PC game distribution platform"),
+];
+
+/// Hand-written seeds per domain, in [`Domain::ALL`] order.
+fn domain_seeds(domain: Domain) -> &'static [SeedEntity] {
+    match domain {
+        Domain::ComputerEngineering => COMPUTER,
+        Domain::Location => LOCATION,
+        Domain::MoviesTv => MOVIES,
+        Domain::Music => MUSIC,
+        Domain::Science => SCIENCE,
+        Domain::Sport => SPORT,
+        Domain::TechnologyGames => TECHNOLOGY,
+    }
+}
+
+/// Prefixes used to mint synthetic filler entities.
+const FILLER_PREFIXES: &[&str] = &[
+    "Nova", "Prime", "Vertex", "Zenith", "Aurora", "Titan", "Echo", "Atlas", "Orion", "Lyra",
+    "Delta", "Sigma", "Quantum", "Stellar", "Crimson", "Azure", "Golden", "Silver", "Iron",
+    "Crystal",
+];
+
+/// Number of synthetic filler entities per domain.
+pub const FILLERS_PER_DOMAIN: usize = 60;
+
+/// The filler entity kind used for a domain.
+fn filler_kind(domain: Domain) -> EntityKind {
+    match domain {
+        Domain::ComputerEngineering => Product,
+        Domain::Location => Place,
+        Domain::MoviesTv => Work,
+        Domain::Music => Organization,
+        Domain::Science => Concept,
+        Domain::Sport => Team,
+        Domain::TechnologyGames => Product,
+    }
+}
+
+fn capitalize(word: &str) -> String {
+    let mut chars = word.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().chain(chars).collect(),
+        None => String::new(),
+    }
+}
+
+/// Builds the standard seed knowledge base.
+///
+/// Deterministic: the same KB is produced on every call, so entity ids are
+/// stable across processes and test runs.
+pub fn standard() -> crate::KnowledgeBase {
+    let mut b = KbBuilder::new();
+    let mut domain_ids: Vec<Vec<EntityId>> = vec![Vec::new(); Domain::COUNT];
+
+    // 1. Hand-written core.
+    for domain in Domain::ALL {
+        for seed in domain_seeds(domain) {
+            let id = b.add_entity(seed.title, seed.kind, domain, seed.description);
+            for (alias, links) in seed.aliases {
+                b.add_anchor(alias, id, *links);
+            }
+            if let Some(lp) = seed.lp {
+                b.set_link_probability(seed.title, lp);
+            }
+            domain_ids[domain.index()].push(id);
+        }
+    }
+
+    // 2. Hand-placed cross-domain ambiguities. The city reading of "milan"
+    //    is the majority sense; the football club is a strong minority.
+    //    "conductor" leans towards the science sense in our corpus.
+    {
+        let milan_city = domain_ids[Domain::Location.index()][0];
+        b.add_anchor("milan", milan_city, 90);
+        b.set_link_probability("milan", 0.35);
+
+        let conductor = domain_ids[Domain::Science.index()][1];
+        b.add_anchor("conductor", conductor, 55);
+        let orchestra_conductor =
+            b.add_entity("Orchestra Conductor", Person, Domain::Music, "director of an orchestra");
+        b.add_anchor("conductor", orchestra_conductor, 25);
+        b.set_link_probability("conductor", 0.12);
+        domain_ids[Domain::Music.index()].push(orchestra_conductor);
+
+        // "java" the language vs. the island.
+        let java_island = b.add_entity("Java Island", Place, Domain::Location, "Indonesian island");
+        b.add_anchor("java", java_island, 15);
+        domain_ids[Domain::Location.index()].push(java_island);
+
+        // "thriller" the album vs. the film genre.
+        let thriller_genre =
+            b.add_entity("Thriller Film", Concept, Domain::MoviesTv, "suspense film genre");
+        b.add_anchor("thriller", thriller_genre, 30);
+        domain_ids[Domain::MoviesTv.index()].push(thriller_genre);
+    }
+
+    // 3. Programmatic filler entities for breadth. Titles are made unique
+    //    with a numeric suffix whenever the prefix×word walk collides.
+    let mut used_titles: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for domain in Domain::ALL {
+        let words = vocab::domain_words(domain);
+        for i in 0..FILLERS_PER_DOMAIN {
+            let prefix = FILLER_PREFIXES[i % FILLER_PREFIXES.len()];
+            let word = words[(i * 7 + 3) % words.len()];
+            let mut title = format!("{} {}", prefix, capitalize(word));
+            let mut bump = 2;
+            while !used_titles.insert(title.clone()) {
+                title = format!("{} {} {}", prefix, capitalize(word), bump);
+                bump += 1;
+            }
+            let description = format!("synthetic {} entity", domain.slug());
+            let id = b.add_entity(&title, filler_kind(domain), domain, &description);
+            domain_ids[domain.index()].push(id);
+        }
+    }
+
+    // 4. Intra-domain link structure: every entity links to its domain's
+    //    hub entities (the first few hand-written ones), hubs link to a
+    //    spread of domain members, plus a local "ring" for in-link overlap.
+    const HUBS: usize = 4;
+    for domain in Domain::ALL {
+        let ids = &domain_ids[domain.index()];
+        let hubs = &ids[..HUBS.min(ids.len())];
+        for (i, &id) in ids.iter().enumerate() {
+            for &hub in hubs {
+                if hub != id {
+                    b.add_link(id, hub);
+                    b.add_link(hub, id);
+                }
+            }
+            // Ring links give neighbouring entities shared in-links.
+            let next = ids[(i + 1) % ids.len()];
+            let nnext = ids[(i + 2) % ids.len()];
+            b.add_link(id, next);
+            b.add_link(id, nnext);
+        }
+    }
+
+    // 5. Hand-placed cross-domain links mirroring real-world relatedness:
+    //    the Milan clubs link to the city, La Scala links to Milan, the
+    //    Olympics link to London, Diablo 3 links to Blizzard's hardware
+    //    ecosystem, "Thriller" links across music and film.
+    {
+        let loc = &domain_ids[Domain::Location.index()];
+        let sport = &domain_ids[Domain::Sport.index()];
+        let music = &domain_ids[Domain::Music.index()];
+        let milan_city = loc[0]; // "Milan" is the first Location seed.
+        let london = loc[3];
+        let ac_milan = sport[4];
+        let inter = sport[5];
+        let olympics = sport[3];
+        let la_scala = music[14]; // "La Scala" position in the MUSIC table.
+        // Deliberately one-directional (club → city, not city → club):
+        // a reverse link would put the city into the clubs' in-link sets
+        // and leak Location relatedness into Sport disambiguation.
+        for (from, to) in [
+            (ac_milan, milan_city),
+            (inter, milan_city),
+            (la_scala, milan_city),
+            (olympics, london),
+        ] {
+            b.add_link(from, to);
+        }
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_kb_is_substantial() {
+        let kb = standard();
+        assert!(kb.len() > 500, "kb has {} entities", kb.len());
+        assert!(kb.anchor_count() > kb.len(), "anchors include aliases");
+    }
+
+    #[test]
+    fn every_domain_is_populated() {
+        let kb = standard();
+        for d in Domain::ALL {
+            assert!(
+                kb.entities_in_domain(d).len() >= 20 + FILLERS_PER_DOMAIN,
+                "{d}: {}",
+                kb.entities_in_domain(d).len()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_entities_present() {
+        let kb = standard();
+        for title in [
+            "Michael Phelps",
+            "Freestyle Swimming",
+            "Michael Jackson",
+            "Diablo 3",
+            "PHP",
+            "Milan",
+            "How I Met Your Mother",
+            "Copper",
+        ] {
+            assert!(kb.entity_by_title(title).is_some(), "missing {title}");
+        }
+    }
+
+    #[test]
+    fn milan_is_ambiguous_with_city_majority() {
+        let kb = standard();
+        let candidates = kb.anchor_candidates("milan");
+        assert!(candidates.len() >= 2, "milan should be ambiguous");
+        let city = kb.entity_by_title("Milan").unwrap();
+        assert_eq!(candidates[0].entity, city.id, "city must be the majority sense");
+        let club = kb.entity_by_title("AC Milan").unwrap();
+        assert!(candidates.iter().any(|c| c.entity == club.id));
+    }
+
+    #[test]
+    fn conductor_is_ambiguous() {
+        let kb = standard();
+        let candidates = kb.anchor_candidates("conductor");
+        assert!(candidates.len() >= 2);
+        let science = kb.entity_by_title("Electrical Conductor").unwrap();
+        let music = kb.entity_by_title("Orchestra Conductor").unwrap();
+        let ids: Vec<EntityId> = candidates.iter().map(|c| c.entity).collect();
+        assert!(ids.contains(&science.id) && ids.contains(&music.id));
+    }
+
+    #[test]
+    fn same_domain_entities_are_more_related_than_cross_domain() {
+        let kb = standard();
+        let phelps = kb.entity_by_title("Michael Phelps").unwrap().id;
+        let freestyle = kb.entity_by_title("Freestyle Swimming").unwrap().id;
+        let php = kb.entity_by_title("PHP").unwrap().id;
+        let same = kb.relatedness(phelps, freestyle);
+        let cross = kb.relatedness(phelps, php);
+        assert!(same > cross, "same-domain {same} vs cross-domain {cross}");
+        assert!(same > 0.3, "same-domain relatedness too weak: {same}");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = standard();
+        let c = standard();
+        assert_eq!(a.len(), c.len());
+        let pa = a.entity_by_title("Michael Phelps").unwrap().id;
+        let pb = c.entity_by_title("Michael Phelps").unwrap().id;
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    fn filler_entities_have_unique_titles() {
+        let kb = standard();
+        let mut titles: Vec<&str> = kb.entities().iter().map(|e| e.title.as_str()).collect();
+        let n = titles.len();
+        titles.sort_unstable();
+        titles.dedup();
+        assert_eq!(titles.len(), n, "duplicate entity titles");
+    }
+
+    #[test]
+    fn link_graph_is_connected_within_domains() {
+        let kb = standard();
+        for d in Domain::ALL {
+            for &id in kb.entities_in_domain(d) {
+                assert!(!kb.out_links(id).is_empty(), "{} has no out-links", kb.entity(id).title);
+                assert!(!kb.in_links(id).is_empty(), "{} has no in-links", kb.entity(id).title);
+            }
+        }
+    }
+}

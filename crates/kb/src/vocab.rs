@@ -1,0 +1,130 @@
+//! Per-domain context vocabulary.
+//!
+//! Besides entity mentions, domain-flavoured text contains ordinary content
+//! words ("training", "score", "recipe"…). These lists feed both the KB's
+//! programmatic entity expansion and the synthetic resource generator's
+//! topic models, guaranteeing that everything the generator emits is
+//! either a KB anchor or a plain term the index can match.
+
+use rightcrowd_types::Domain;
+
+/// Context words for the Computer Engineering domain.
+pub const COMPUTER: &[&str] = &[
+    "code", "function", "string", "length", "array", "variable", "compile", "debug", "server",
+    "query", "syntax", "library", "framework", "class", "method", "object", "loop", "pointer",
+    "thread", "cache", "deploy", "commit", "branch", "merge", "refactor", "test", "bug",
+    "release", "version", "script", "module", "interface", "runtime", "memory", "stack",
+    "queue", "parser", "token", "index", "database", "schema", "backend", "frontend", "api",
+];
+
+/// Context words for the Location domain.
+pub const LOCATION: &[&str] = &[
+    "restaurant", "city", "travel", "trip", "hotel", "flight", "museum", "square", "street",
+    "view", "tour", "guide", "beach", "mountain", "lake", "market", "cafe", "food", "dish",
+    "pizza", "wine", "booking", "ticket", "station", "airport", "downtown", "neighborhood",
+    "landmark", "cathedral", "bridge", "harbor", "sunset", "vacation", "holiday", "itinerary",
+    "local", "cuisine", "reservation", "terrace", "piazza", "gallery", "walking",
+];
+
+/// Context words for the Movies & TV domain.
+pub const MOVIES: &[&str] = &[
+    "movie", "film", "episode", "season", "series", "actor", "actress", "director", "scene",
+    "trailer", "premiere", "cinema", "screen", "cast", "plot", "character", "drama", "comedy",
+    "thriller", "finale", "sequel", "script", "audience", "award", "festival", "documentary",
+    "sitcom", "binge", "streaming", "blockbuster", "review", "rating", "spoiler", "remake",
+    "animation", "soundtrack", "dialogue", "performance", "studio",
+];
+
+/// Context words for the Music domain.
+pub const MUSIC: &[&str] = &[
+    "song", "album", "band", "concert", "guitar", "piano", "drums", "bass", "melody", "lyric",
+    "chorus", "tour", "stage", "singer", "vocalist", "record", "vinyl", "playlist", "remix",
+    "single", "chart", "festival", "gig", "rehearsal", "acoustic", "electric", "tune", "beat",
+    "rhythm", "harmony", "orchestra", "symphony", "track", "studio", "producer", "cover",
+    "encore", "ballad", "genre", "headphones",
+];
+
+/// Context words for the Science domain.
+pub const SCIENCE: &[&str] = &[
+    "copper", "conductor", "electricity", "electron", "atom", "molecule", "energy", "experiment",
+    "theory", "research", "laboratory", "physics", "chemistry", "biology", "cell", "gene",
+    "protein", "reaction", "particle", "quantum", "gravity", "orbit", "telescope", "microscope",
+    "hypothesis", "evidence", "measurement", "temperature", "pressure", "velocity", "mass",
+    "charge", "current", "voltage", "magnetic", "field", "wave", "frequency", "spectrum",
+    "paper", "journal", "study",
+];
+
+/// Context words for the Sport domain.
+pub const SPORT: &[&str] = &[
+    "swimming", "freestyle", "pool", "training", "coach", "medal", "gold", "race", "match",
+    "goal", "team", "player", "season", "league", "championship", "tournament", "final",
+    "stadium", "fans", "score", "defense", "attack", "penalty", "referee", "transfer",
+    "fitness", "marathon", "sprint", "record", "lap", "stroke", "butterfly", "backstroke",
+    "relay", "workout", "gym", "tactics", "striker", "keeper", "derby", "victory", "defeat",
+];
+
+/// Context words for the Technology & games domain.
+pub const TECHNOLOGY: &[&str] = &[
+    "game", "gaming", "graphics", "card", "gpu", "cpu", "console", "laptop", "smartphone",
+    "tablet", "gadget", "device", "screen", "battery", "charger", "upgrade", "driver",
+    "settings", "resolution", "frame", "rate", "multiplayer", "quest", "level", "boss",
+    "loot", "patch", "dlc", "expansion", "controller", "keyboard", "mouse", "headset",
+    "stream", "review", "benchmark", "overclock", "setup", "build", "spec", "hardware",
+    "firmware", "wireless",
+];
+
+/// Generic chatter words, domain-neutral (used for noise resources).
+pub const GENERIC: &[&str] = &[
+    "today", "tomorrow", "weekend", "morning", "evening", "coffee", "lunch", "dinner",
+    "friends", "family", "birthday", "party", "weather", "rain", "sunny", "happy", "tired",
+    "busy", "finally", "amazing", "awesome", "great", "nice", "love", "miss", "thanks",
+    "congratulations", "welcome", "photo", "picture", "video", "news", "story", "life",
+    "work", "home", "weeklong", "plans", "meeting", "project", "deadline",
+];
+
+/// The context vocabulary of `domain`.
+pub fn domain_words(domain: Domain) -> &'static [&'static str] {
+    match domain {
+        Domain::ComputerEngineering => COMPUTER,
+        Domain::Location => LOCATION,
+        Domain::MoviesTv => MOVIES,
+        Domain::Music => MUSIC,
+        Domain::Science => SCIENCE,
+        Domain::Sport => SPORT,
+        Domain::TechnologyGames => TECHNOLOGY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_domain_has_a_rich_vocabulary() {
+        for d in Domain::ALL {
+            assert!(domain_words(d).len() >= 35, "{d} vocabulary too small");
+        }
+        assert!(GENERIC.len() >= 35);
+    }
+
+    #[test]
+    fn words_are_lowercase_single_tokens() {
+        for d in Domain::ALL {
+            for w in domain_words(d) {
+                assert_eq!(*w, w.to_lowercase(), "{w}");
+                assert!(!w.contains(' '), "{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicates_within_a_domain() {
+        for d in Domain::ALL {
+            let mut v: Vec<&str> = domain_words(d).to_vec();
+            let n = v.len();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), n, "duplicates in {d}");
+        }
+    }
+}

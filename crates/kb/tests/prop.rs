@@ -1,0 +1,85 @@
+//! Property tests over the seed knowledge base.
+
+use proptest::prelude::*;
+use rightcrowd_kb::{seed, KnowledgeBase};
+use rightcrowd_types::EntityId;
+use std::sync::OnceLock;
+
+fn kb() -> &'static KnowledgeBase {
+    static KB: OnceLock<KnowledgeBase> = OnceLock::new();
+    KB.get_or_init(seed::standard)
+}
+
+proptest! {
+    #[test]
+    fn relatedness_is_symmetric_and_bounded(a in 0u32..500, b in 0u32..500) {
+        let kb = kb();
+        let n = kb.len() as u32;
+        let (a, b) = (EntityId::new(a % n), EntityId::new(b % n));
+        let ab = kb.relatedness(a, b);
+        let ba = kb.relatedness(b, a);
+        prop_assert!((ab - ba).abs() < 1e-12, "rel must be symmetric");
+        prop_assert!((0.0..=1.0).contains(&ab));
+        if a == b {
+            prop_assert_eq!(ab, 1.0);
+        }
+    }
+
+    #[test]
+    fn commonness_is_a_probability_distribution(idx in 0usize..2000) {
+        let kb = kb();
+        let surfaces: Vec<&str> = kb.anchor_surfaces().collect();
+        let surface = surfaces[idx % surfaces.len()];
+        let candidates = kb.anchor_candidates(surface);
+        prop_assert!(!candidates.is_empty(), "every surface has candidates");
+        let total: f64 = candidates
+            .iter()
+            .map(|c| kb.commonness(surface, c.entity))
+            .sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "{surface}: Σ commonness = {total}");
+        // Sorted by decreasing commonness.
+        for w in candidates.windows(2) {
+            prop_assert!(w[0].links >= w[1].links);
+        }
+    }
+
+    #[test]
+    fn link_probabilities_are_probabilities(idx in 0usize..2000) {
+        let kb = kb();
+        let surfaces: Vec<&str> = kb.anchor_surfaces().collect();
+        let surface = surfaces[idx % surfaces.len()];
+        let lp = kb.link_probability(surface);
+        prop_assert!((0.0..=1.0).contains(&lp), "{surface}: lp {lp}");
+    }
+
+    #[test]
+    fn link_graph_is_consistent(idx in 0u32..700) {
+        let kb = kb();
+        let id = EntityId::new(idx % kb.len() as u32);
+        for &to in kb.out_links(id) {
+            prop_assert!(
+                kb.in_links(to).binary_search(&id).is_ok(),
+                "out-link {id} -> {to} must appear as an in-link"
+            );
+        }
+        for &from in kb.in_links(id) {
+            prop_assert!(
+                kb.out_links(from).binary_search(&id).is_ok(),
+                "in-link {from} -> {id} must appear as an out-link"
+            );
+        }
+    }
+
+    #[test]
+    fn titles_resolve_to_their_own_entity(idx in 0u32..700) {
+        let kb = kb();
+        let id = EntityId::new(idx % kb.len() as u32);
+        let entity = kb.entity(id);
+        let candidates = kb.anchor_candidates(&entity.title);
+        prop_assert!(
+            candidates.iter().any(|c| c.entity == id),
+            "title {:?} must be an anchor of its own entity",
+            entity.title
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Embedded seed corpora for training language profiles.
+//!
+//! A few hundred words of ordinary prose per language — enough for the
+//! rank-order classifier to separate the five languages that occur in the
+//! simulated user pool. The texts deliberately mix registers (social chat,
+//! news-ish sentences, questions) to resemble social-feed content.
+
+use rightcrowd_types::Language;
+
+/// English seed corpus.
+pub const ENGLISH: &str = "\
+The quick brown fox jumps over the lazy dog while everyone is watching the game on television. \
+I just finished a thirty minute training session at the swimming pool and it felt great. \
+Can you list some famous songs or tell me which restaurants are open near the city centre tonight? \
+We are looking for a new graphics card to play the latest games but we do not want to spend too much money. \
+Why is copper such a good conductor of electricity and what makes the sky look blue in the evening? \
+She posted a photo of her holiday with friends and wrote that the weather was wonderful all week. \
+The team won the championship after a difficult season and the fans celebrated in the streets. \
+There is a new update for the application that fixes several bugs and improves performance on older phones. \
+My brother works as a software engineer and he often writes about programming languages on his blog. \
+Please remember to bring your ticket because the concert starts early and the doors close at eight. \
+This book explains how the human brain learns new skills through practice and constant feedback. \
+They travelled across the country by train and stopped in every small town along the river. \
+What do you think about the new movie that everyone keeps talking about this week? \
+The weather forecast says it will rain tomorrow so take an umbrella when you leave the house. \
+Our teacher asked us to read three chapters and write a short summary before the next lesson. \
+The market was full of fresh vegetables and the smell of baked bread filled the whole square.";
+
+/// Italian seed corpus.
+pub const ITALIAN: &str = "\
+Il gatto dorme sul divano mentre fuori piove e il vento muove le foglie degli alberi. \
+Ho appena finito trenta minuti di allenamento in piscina e adesso sono davvero stanco ma felice. \
+Puoi consigliarmi qualche ristorante buono vicino al centro di Milano per una cena con gli amici? \
+Sto cercando una nuova scheda grafica per giocare ma non voglio spendere troppi soldi questo mese. \
+Perché il rame è un buon conduttore di elettricità e come funziona davvero la corrente elettrica? \
+Ha pubblicato una foto delle vacanze con gli amici e ha scritto che il tempo era bellissimo. \
+La squadra ha vinto il campionato dopo una stagione difficile e i tifosi hanno festeggiato in piazza. \
+C'è un nuovo aggiornamento per l'applicazione che risolve molti problemi e migliora le prestazioni. \
+Mio fratello lavora come ingegnere informatico e scrive spesso di linguaggi di programmazione sul suo blog. \
+Ricordati di portare il biglietto perché il concerto comincia presto e le porte chiudono alle otto. \
+Questo libro spiega come il cervello umano impara nuove capacità con la pratica e l'esercizio costante. \
+Hanno viaggiato per tutto il paese in treno fermandosi in ogni piccolo paese lungo il fiume. \
+Cosa ne pensi del nuovo film di cui parlano tutti questa settimana al cinema? \
+Le previsioni dicono che domani pioverà quindi prendi l'ombrello quando esci di casa la mattina.";
+
+/// French seed corpus.
+pub const FRENCH: &str = "\
+Le chat dort sur le canapé pendant que la pluie tombe et que le vent agite les feuilles des arbres. \
+Je viens de terminer trente minutes d'entraînement à la piscine et je me sens vraiment très bien. \
+Peux-tu me conseiller quelques bons restaurants près du centre-ville pour un dîner entre amis ce soir? \
+Je cherche une nouvelle carte graphique pour jouer mais je ne veux pas dépenser trop d'argent ce mois-ci. \
+Pourquoi le cuivre est-il un bon conducteur d'électricité et comment fonctionne vraiment le courant? \
+Elle a publié une photo de ses vacances avec ses amis et a écrit que le temps était magnifique. \
+L'équipe a gagné le championnat après une saison difficile et les supporters ont fêté dans les rues. \
+Il y a une nouvelle mise à jour de l'application qui corrige plusieurs problèmes et améliore les performances. \
+Mon frère travaille comme ingénieur en informatique et il écrit souvent sur les langages de programmation. \
+N'oublie pas d'apporter ton billet parce que le concert commence tôt et les portes ferment à huit heures. \
+Ce livre explique comment le cerveau humain apprend de nouvelles compétences par la pratique régulière. \
+Ils ont voyagé à travers le pays en train en s'arrêtant dans chaque petite ville le long de la rivière. \
+Que penses-tu du nouveau film dont tout le monde parle cette semaine au cinéma? \
+La météo annonce de la pluie pour demain alors prends ton parapluie quand tu sors de la maison.";
+
+/// German seed corpus.
+pub const GERMAN: &str = "\
+Die Katze schläft auf dem Sofa während draußen der Regen fällt und der Wind die Blätter bewegt. \
+Ich habe gerade dreißig Minuten Training im Schwimmbad beendet und fühle mich wirklich sehr gut. \
+Kannst du mir ein paar gute Restaurants in der Nähe vom Stadtzentrum für ein Abendessen empfehlen? \
+Ich suche eine neue Grafikkarte zum Spielen aber ich möchte diesen Monat nicht zu viel Geld ausgeben. \
+Warum ist Kupfer ein guter Leiter für Elektrizität und wie funktioniert der elektrische Strom wirklich? \
+Sie hat ein Foto vom Urlaub mit ihren Freunden gepostet und geschrieben dass das Wetter wunderbar war. \
+Die Mannschaft hat die Meisterschaft nach einer schwierigen Saison gewonnen und die Fans haben gefeiert. \
+Es gibt ein neues Update für die Anwendung das mehrere Fehler behebt und die Leistung deutlich verbessert. \
+Mein Bruder arbeitet als Softwareentwickler und schreibt oft über Programmiersprachen in seinem Blog. \
+Bitte denk daran deine Karte mitzubringen weil das Konzert früh beginnt und die Türen um acht schließen. \
+Dieses Buch erklärt wie das menschliche Gehirn neue Fähigkeiten durch Übung und ständiges Lernen erwirbt. \
+Sie sind mit dem Zug durch das ganze Land gereist und haben in jeder kleinen Stadt am Fluss angehalten. \
+Was denkst du über den neuen Film über den diese Woche alle im Kino sprechen? \
+Der Wetterbericht sagt für morgen Regen voraus also nimm einen Schirm mit wenn du das Haus verlässt.";
+
+/// Spanish seed corpus.
+pub const SPANISH: &str = "\
+El gato duerme en el sofá mientras afuera llueve y el viento mueve las hojas de los árboles. \
+Acabo de terminar treinta minutos de entrenamiento en la piscina y me siento realmente muy bien. \
+¿Puedes recomendarme algunos buenos restaurantes cerca del centro de la ciudad para cenar con amigos? \
+Estoy buscando una nueva tarjeta gráfica para jugar pero no quiero gastar demasiado dinero este mes. \
+¿Por qué el cobre es un buen conductor de electricidad y cómo funciona realmente la corriente eléctrica? \
+Ella publicó una foto de sus vacaciones con sus amigas y escribió que el tiempo fue maravilloso. \
+El equipo ganó el campeonato después de una temporada difícil y los aficionados celebraron en las calles. \
+Hay una nueva actualización de la aplicación que corrige varios errores y mejora el rendimiento general. \
+Mi hermano trabaja como ingeniero de software y escribe a menudo sobre lenguajes de programación en su blog. \
+Recuerda traer tu entrada porque el concierto empieza temprano y las puertas cierran a las ocho en punto. \
+Este libro explica cómo el cerebro humano aprende nuevas habilidades con la práctica y el esfuerzo constante. \
+Viajaron por todo el país en tren deteniéndose en cada pequeño pueblo a lo largo del río. \
+¿Qué piensas de la nueva película de la que todos hablan esta semana en el cine? \
+El pronóstico dice que mañana va a llover así que lleva un paraguas cuando salgas de casa.";
+
+/// The (language, corpus) training pairs.
+pub fn training_pairs() -> [(Language, &'static str); 5] {
+    [
+        (Language::English, ENGLISH),
+        (Language::Italian, ITALIAN),
+        (Language::French, FRENCH),
+        (Language::German, GERMAN),
+        (Language::Spanish, SPANISH),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_distinct() {
+        let pairs = training_pairs();
+        assert_eq!(pairs.len(), 5);
+        for (lang, text) in &pairs {
+            assert!(text.split_whitespace().count() > 150, "{lang} corpus too small");
+        }
+        for i in 0..pairs.len() {
+            for j in i + 1..pairs.len() {
+                assert_ne!(pairs[i].1, pairs[j].1);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_known_languages_exactly() {
+        let langs: Vec<Language> = training_pairs().iter().map(|p| p.0).collect();
+        assert_eq!(langs, Language::KNOWN.to_vec());
+    }
+}

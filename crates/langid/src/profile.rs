@@ -1,0 +1,126 @@
+//! Language profiles: ranked n-gram tables.
+
+use rightcrowd_text::ngram::ngram_profile;
+use rightcrowd_types::Language;
+use std::collections::HashMap;
+
+/// Number of top-ranked n-grams retained per profile (Cavnar–Trenkle used
+/// 300; social snippets are short so a slightly larger table is forgiving).
+pub const PROFILE_SIZE: usize = 400;
+
+/// N-gram sizes mixed into one profile. Cavnar–Trenkle pool 1..=5-grams;
+/// 2- and 3-grams carry nearly all the signal at a fraction of the cost.
+pub const NGRAM_SIZES: [usize; 2] = [2, 3];
+
+/// A ranked n-gram profile for one language (or one input document).
+#[derive(Debug, Clone)]
+pub struct LanguageProfile {
+    /// The language this profile describes; `Unknown` for query documents.
+    pub language: Language,
+    /// Gram → rank (0 = most frequent). At most [`PROFILE_SIZE`] entries.
+    ranks: HashMap<String, usize>,
+}
+
+impl LanguageProfile {
+    /// Builds a profile from training text.
+    pub fn from_text(language: Language, text: &str) -> Self {
+        let mut merged: Vec<(String, usize)> = Vec::new();
+        for n in NGRAM_SIZES {
+            merged.extend(ngram_profile(text, n));
+        }
+        // Re-sort the merged multi-n profile by count desc, gram asc.
+        merged.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        merged.truncate(PROFILE_SIZE);
+        let ranks = merged
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (gram, _))| (gram, rank))
+            .collect();
+        LanguageProfile { language, ranks }
+    }
+
+    /// Number of grams in the profile.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the profile is empty (built from empty/degenerate text).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Rank of `gram`, if present.
+    pub fn rank(&self, gram: &str) -> Option<usize> {
+        self.ranks.get(gram).copied()
+    }
+
+    /// Cavnar–Trenkle out-of-place distance from a *document* profile to
+    /// this *language* profile: for every gram of the document, the absolute
+    /// rank difference, with a fixed maximum penalty for grams missing from
+    /// the language profile. Lower is closer.
+    pub fn out_of_place(&self, document: &LanguageProfile) -> usize {
+        let missing_penalty = PROFILE_SIZE;
+        let mut distance = 0usize;
+        for (gram, &doc_rank) in &document.ranks {
+            distance += match self.rank(gram) {
+                Some(lang_rank) => lang_rank.abs_diff(doc_rank),
+                None => missing_penalty,
+            };
+        }
+        distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_ranks_most_frequent_first() {
+        let p = LanguageProfile::from_text(Language::English, "the the the cat sat");
+        // "th"/"the" style grams from the repeated word must rank above the
+        // single-occurrence grams.
+        let the_rank = p.rank("the").expect("trigram 'the' present");
+        let cat_rank = p.rank("cat").expect("trigram 'cat' present");
+        assert!(the_rank < cat_rank);
+    }
+
+    #[test]
+    fn identical_profiles_have_small_distance() {
+        let text = "the quick brown fox jumps over the lazy dog and runs away";
+        let a = LanguageProfile::from_text(Language::English, text);
+        let b = LanguageProfile::from_text(Language::Unknown, text);
+        assert_eq!(a.out_of_place(&b), 0);
+    }
+
+    #[test]
+    fn disjoint_profiles_take_max_penalty() {
+        let a = LanguageProfile::from_text(Language::English, "aaaa aaaa");
+        let b = LanguageProfile::from_text(Language::Unknown, "zzzz zzzz");
+        // Every document gram is missing from the language profile.
+        assert_eq!(a.out_of_place(&b), b.len() * PROFILE_SIZE);
+    }
+
+    #[test]
+    fn empty_text_gives_empty_profile() {
+        let p = LanguageProfile::from_text(Language::English, "");
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+
+    #[test]
+    fn profile_capped_at_size() {
+        // Generate text with many distinct grams.
+        let mut text = String::new();
+        for a in b'a'..=b'z' {
+            for b in b'a'..=b'z' {
+                text.push(a as char);
+                text.push(b as char);
+                text.push(a as char);
+                text.push(' ');
+            }
+        }
+        let p = LanguageProfile::from_text(Language::English, &text);
+        assert_eq!(p.len(), PROFILE_SIZE);
+    }
+}

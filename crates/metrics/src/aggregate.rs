@@ -1,0 +1,158 @@
+//! Aggregation of per-query metrics into the paper's table rows.
+//!
+//! Each experiment evaluates 30 queries and reports the across-query means:
+//! MAP (mean of APs), MRR (mean of RRs), NDCG, NDCG@10, the averaged
+//! 11-point curve, and the *summed* DCG curve at cutoffs 5/10/15/20 used in
+//! Figs. 8–9.
+
+use crate::ranked::{
+    average_precision, dcg, interpolated_precision_11pt, ndcg, reciprocal_rank,
+};
+
+/// DCG curve cutoffs used by the paper's Figs. 8b and 9b.
+pub const DCG_CUTOFFS: [usize; 4] = [5, 10, 15, 20];
+
+/// The metrics of a single query's ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryEval {
+    /// Average precision.
+    pub ap: f64,
+    /// Reciprocal rank.
+    pub rr: f64,
+    /// NDCG over the full ranking.
+    pub ndcg: f64,
+    /// NDCG at cutoff 10.
+    pub ndcg10: f64,
+    /// 11-point interpolated precision curve.
+    pub p11: [f64; 11],
+    /// Raw (unnormalised) DCG at each of [`DCG_CUTOFFS`].
+    pub dcg_at: [f64; 4],
+    /// Number of retrieved items.
+    pub retrieved: usize,
+    /// Number of relevant items in the ground truth.
+    pub relevant: usize,
+}
+
+impl QueryEval {
+    /// Evaluates one ranking against a boolean ground truth.
+    pub fn evaluate(rels: &[bool], total_relevant: usize) -> Self {
+        let gains: Vec<f64> = rels.iter().map(|&r| if r { 1.0 } else { 0.0 }).collect();
+        let mut dcg_at = [0.0; 4];
+        for (slot, &k) in dcg_at.iter_mut().zip(DCG_CUTOFFS.iter()) {
+            *slot = dcg(&gains, Some(k));
+        }
+        QueryEval {
+            ap: average_precision(rels, total_relevant),
+            rr: reciprocal_rank(rels),
+            ndcg: ndcg(rels, total_relevant, None),
+            ndcg10: ndcg(rels, total_relevant, Some(10)),
+            p11: interpolated_precision_11pt(rels, total_relevant),
+            dcg_at,
+            retrieved: rels.len(),
+            relevant: total_relevant,
+        }
+    }
+}
+
+/// Across-query means (and the summed DCG curve) for one experiment
+/// configuration — one row of the paper's Tables 2–4.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MeanEval {
+    /// Mean average precision.
+    pub map: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Mean NDCG.
+    pub ndcg: f64,
+    /// Mean NDCG@10.
+    pub ndcg10: f64,
+    /// Mean 11-point interpolated precision curve.
+    pub p11: [f64; 11],
+    /// Summed DCG at cutoffs 5/10/15/20 (the paper's Fig. 8b/9b y-axis).
+    pub dcg_curve: [f64; 4],
+    /// Number of queries aggregated.
+    pub queries: usize,
+}
+
+/// Averages a set of per-query evaluations. Returns the zero row when
+/// `evals` is empty.
+pub fn mean_eval(evals: &[QueryEval]) -> MeanEval {
+    if evals.is_empty() {
+        return MeanEval::default();
+    }
+    let n = evals.len() as f64;
+    let mut out = MeanEval { queries: evals.len(), ..MeanEval::default() };
+    for e in evals {
+        out.map += e.ap;
+        out.mrr += e.rr;
+        out.ndcg += e.ndcg;
+        out.ndcg10 += e.ndcg10;
+        for (slot, v) in out.p11.iter_mut().zip(e.p11.iter()) {
+            *slot += v;
+        }
+        for (slot, v) in out.dcg_curve.iter_mut().zip(e.dcg_at.iter()) {
+            *slot += v;
+        }
+    }
+    out.map /= n;
+    out.mrr /= n;
+    out.ndcg /= n;
+    out.ndcg10 /= n;
+    for slot in out.p11.iter_mut() {
+        *slot /= n;
+    }
+    // dcg_curve stays summed, matching the figure's magnitude.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: bool = true;
+    const F: bool = false;
+
+    #[test]
+    fn query_eval_consistency() {
+        let rels = [T, F, T, F];
+        let e = QueryEval::evaluate(&rels, 3);
+        assert_eq!(e.retrieved, 4);
+        assert_eq!(e.relevant, 3);
+        assert_eq!(e.rr, 1.0);
+        assert!(e.ap > 0.0 && e.ap < 1.0);
+        assert!(e.ndcg10 >= e.ndcg - 1e-12); // @10 can only help with 3 relevant
+        assert_eq!(e.dcg_at.len(), 4);
+        // DCG cutoffs are monotone non-decreasing.
+        for w in e.dcg_at.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_of_identical_queries_is_identity() {
+        let e = QueryEval::evaluate(&[T, F, T], 2);
+        let m = mean_eval(&[e.clone(), e.clone()]);
+        assert!((m.map - e.ap).abs() < 1e-12);
+        assert!((m.mrr - e.rr).abs() < 1e-12);
+        assert!((m.ndcg - e.ndcg).abs() < 1e-12);
+        // DCG curve is summed, not averaged.
+        assert!((m.dcg_curve[0] - 2.0 * e.dcg_at[0]).abs() < 1e-12);
+        assert_eq!(m.queries, 2);
+    }
+
+    #[test]
+    fn mean_of_mixed_queries() {
+        let perfect = QueryEval::evaluate(&[T, T], 2);
+        let empty = QueryEval::evaluate(&[F, F], 2);
+        let m = mean_eval(&[perfect, empty]);
+        assert!((m.map - 0.5).abs() < 1e-12);
+        assert!((m.mrr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_eval_set_is_zero() {
+        let m = mean_eval(&[]);
+        assert_eq!(m.map, 0.0);
+        assert_eq!(m.queries, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Binary confusion counts and the derived precision / recall / F1.
+//!
+//! Used by the per-user reliability analysis of the paper's Fig. 10, where
+//! every (user, query) pair is a binary prediction: "the system retrieved
+//! this user for this query" versus "the user is a domain expert for it".
+
+/// Accumulated binary confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted positive, actually positive.
+    pub tp: usize,
+    /// Predicted positive, actually negative.
+    pub fp: usize,
+    /// Predicted negative, actually positive.
+    pub fn_: usize,
+    /// Predicted negative, actually negative.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Records one prediction/truth pair.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Merges another confusion table into this one.
+    pub fn merge(&mut self, other: Confusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total number of recorded pairs.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `tp / (tp + fp)`; 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; 0 when nothing is actually positive.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy `(tp + tn) / total`; 0 on an empty table.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_cells() {
+        let mut c = Confusion::default();
+        c.record(true, true);
+        c.record(true, false);
+        c.record(false, true);
+        c.record(false, false);
+        assert_eq!((c.tp, c.fp, c.fn_, c.tn), (1, 1, 1, 1));
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn perfect_predictor() {
+        let mut c = Confusion::default();
+        for _ in 0..5 {
+            c.record(true, true);
+        }
+        for _ in 0..5 {
+            c.record(false, false);
+        }
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let empty = Confusion::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+
+        let mut never_predicts = Confusion::default();
+        never_predicts.record(false, true);
+        assert_eq!(never_predicts.precision(), 0.0);
+        assert_eq!(never_predicts.recall(), 0.0);
+        assert_eq!(never_predicts.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_known_value() {
+        // P = 0.5 (1 TP, 1 FP), R = 1/3 (1 TP, 2 FN) → F1 = 0.4.
+        let c = Confusion { tp: 1, fp: 1, fn_: 2, tn: 0 };
+        assert!((c.f1() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_cells() {
+        let mut a = Confusion { tp: 1, fp: 2, fn_: 3, tn: 4 };
+        a.merge(Confusion { tp: 10, fp: 20, fn_: 30, tn: 40 });
+        assert_eq!(a, Confusion { tp: 11, fp: 22, fn_: 33, tn: 44 });
+    }
+}

@@ -1,0 +1,28 @@
+//! # rightcrowd-metrics
+//!
+//! The retrieval-evaluation metrics of the paper's §3.2, implemented from
+//! their textbook definitions:
+//!
+//! - **MAP** — Mean Average Precision;
+//! - **11-P** — 11-point interpolated average precision curve;
+//! - **MRR** — Mean Reciprocal Rank;
+//! - **DCG / NDCG / NDCG\@k** — (Normalised) Discounted Cumulative Gain,
+//!   in the original Järvelin–Kekäläinen formulation
+//!   (`DCG = g₁ + Σ_{i≥2} gᵢ/log₂ i`), which reproduces the magnitude of
+//!   the paper's summed DCG curves (Figs. 8–9);
+//! - **precision / recall / F1** — for the per-user analysis of Fig. 10.
+//!
+//! Rankings are represented as boolean relevance vectors (`rels[i]` = "the
+//! item returned at rank *i+1* is a domain expert"), the form the paper's
+//! boolean ground truth produces.
+
+pub mod aggregate;
+pub mod confusion;
+pub mod ranked;
+
+pub use aggregate::{mean_eval, MeanEval, QueryEval};
+pub use confusion::Confusion;
+pub use ranked::{
+    average_precision, dcg, idcg, interpolated_precision_11pt, ndcg, precision_at, recall_at,
+    reciprocal_rank,
+};

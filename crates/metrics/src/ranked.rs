@@ -1,0 +1,247 @@
+//! Per-query ranked-retrieval metrics.
+
+/// Average precision of one ranking.
+///
+/// `rels[i]` states whether the item at rank `i+1` is relevant;
+/// `total_relevant` is the number of relevant items in the ground truth
+/// (the denominator — unretrieved relevant items count against the score).
+/// Returns 0 when the ground truth is empty.
+pub fn average_precision(rels: &[bool], total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (i, &rel) in rels.iter().enumerate() {
+        if rel {
+            hits += 1;
+            sum += hits as f64 / (i + 1) as f64;
+        }
+    }
+    sum / total_relevant as f64
+}
+
+/// Reciprocal rank: `1/rank` of the first relevant item, 0 if none.
+pub fn reciprocal_rank(rels: &[bool]) -> f64 {
+    rels.iter()
+        .position(|&r| r)
+        .map_or(0.0, |i| 1.0 / (i + 1) as f64)
+}
+
+/// Precision at cutoff `k` (`k ≥ 1`). Items beyond the ranking's length
+/// count as non-relevant, matching trec_eval behaviour.
+pub fn precision_at(rels: &[bool], k: usize) -> f64 {
+    assert!(k >= 1, "cutoff must be at least 1");
+    let hits = rels.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / k as f64
+}
+
+/// Recall at cutoff `k`. Returns 0 when the ground truth is empty.
+pub fn recall_at(rels: &[bool], k: usize, total_relevant: usize) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let hits = rels.iter().take(k).filter(|&&r| r).count();
+    hits as f64 / total_relevant as f64
+}
+
+/// Discounted cumulative gain over graded gains, original Järvelin
+/// formulation: `DCG@k = g₁ + Σ_{i=2..k} gᵢ / log₂(i)`.
+///
+/// `k = None` means "no cutoff" (use the whole ranking).
+pub fn dcg(gains: &[f64], k: Option<usize>) -> f64 {
+    let cut = k.unwrap_or(gains.len()).min(gains.len());
+    gains
+        .iter()
+        .take(cut)
+        .enumerate()
+        .map(|(i, &g)| {
+            if i == 0 {
+                g
+            } else {
+                g / ((i + 1) as f64).log2()
+            }
+        })
+        .sum()
+}
+
+/// Ideal DCG for a boolean ground truth with `total_relevant` relevant
+/// items: the DCG of the ranking that lists all of them first.
+pub fn idcg(total_relevant: usize, k: Option<usize>) -> f64 {
+    let n = k.map_or(total_relevant, |k| k.min(total_relevant));
+    let ones = vec![1.0; n];
+    dcg(&ones, None)
+}
+
+/// Normalised DCG for a boolean relevance vector. Returns 0 when the
+/// ground truth is empty.
+pub fn ndcg(rels: &[bool], total_relevant: usize, k: Option<usize>) -> f64 {
+    if total_relevant == 0 {
+        return 0.0;
+    }
+    let gains: Vec<f64> = rels.iter().map(|&r| if r { 1.0 } else { 0.0 }).collect();
+    let ideal = idcg(total_relevant, k);
+    if ideal == 0.0 {
+        0.0
+    } else {
+        dcg(&gains, k) / ideal
+    }
+}
+
+/// The 11-point interpolated precision curve: for each recall level
+/// `r ∈ {0.0, 0.1, …, 1.0}`, the maximum precision attained at any point of
+/// the ranking whose recall is ≥ r.
+pub fn interpolated_precision_11pt(rels: &[bool], total_relevant: usize) -> [f64; 11] {
+    let mut curve = [0.0; 11];
+    if total_relevant == 0 {
+        return curve;
+    }
+    // (recall, precision) at every rank.
+    let mut points = Vec::with_capacity(rels.len());
+    let mut hits = 0usize;
+    for (i, &rel) in rels.iter().enumerate() {
+        if rel {
+            hits += 1;
+        }
+        points.push((
+            hits as f64 / total_relevant as f64,
+            hits as f64 / (i + 1) as f64,
+        ));
+    }
+    for (level, slot) in curve.iter_mut().enumerate() {
+        let r = level as f64 / 10.0;
+        *slot = points
+            .iter()
+            .filter(|(recall, _)| *recall >= r - 1e-12)
+            .map(|&(_, p)| p)
+            .fold(0.0, f64::max);
+    }
+    curve
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: bool = true;
+    const F: bool = false;
+
+    #[test]
+    fn ap_perfect_ranking() {
+        assert_eq!(average_precision(&[T, T, T], 3), 1.0);
+    }
+
+    #[test]
+    fn ap_textbook_example() {
+        // Relevant at ranks 1, 3, 5 out of 3 relevant total:
+        // AP = (1/1 + 2/3 + 3/5) / 3
+        let ap = average_precision(&[T, F, T, F, T], 3);
+        assert!((ap - (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_penalises_unretrieved_relevant() {
+        // Same ranking, but ground truth has 6 relevant items.
+        let ap = average_precision(&[T, F, T, F, T], 6);
+        assert!((ap - (1.0 + 2.0 / 3.0 + 3.0 / 5.0) / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_empty_cases() {
+        assert_eq!(average_precision(&[], 3), 0.0);
+        assert_eq!(average_precision(&[F, F], 2), 0.0);
+        assert_eq!(average_precision(&[T], 0), 0.0);
+    }
+
+    #[test]
+    fn rr_positions() {
+        assert_eq!(reciprocal_rank(&[T, F]), 1.0);
+        assert_eq!(reciprocal_rank(&[F, T]), 0.5);
+        assert_eq!(reciprocal_rank(&[F, F, F, T]), 0.25);
+        assert_eq!(reciprocal_rank(&[F, F]), 0.0);
+        assert_eq!(reciprocal_rank(&[]), 0.0);
+    }
+
+    #[test]
+    fn precision_recall_at_cutoffs() {
+        let rels = [T, F, T, T, F];
+        assert_eq!(precision_at(&rels, 1), 1.0);
+        assert_eq!(precision_at(&rels, 2), 0.5);
+        assert_eq!(precision_at(&rels, 5), 0.6);
+        // Cutoff beyond length pads with non-relevant.
+        assert_eq!(precision_at(&rels, 10), 0.3);
+        assert_eq!(recall_at(&rels, 2, 4), 0.25);
+        assert_eq!(recall_at(&rels, 5, 4), 0.75);
+        assert_eq!(recall_at(&rels, 5, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn precision_at_zero_panics() {
+        precision_at(&[T], 0);
+    }
+
+    #[test]
+    fn dcg_jarvelin_formulation() {
+        // DCG = g1 + g2/log2(2) + g3/log2(3)
+        let d = dcg(&[3.0, 2.0, 3.0], None);
+        assert!((d - (3.0 + 2.0 / 1.0 + 3.0 / 3.0f64.log2())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dcg_cutoff() {
+        let gains = [1.0, 1.0, 1.0, 1.0];
+        assert_eq!(dcg(&gains, Some(1)), 1.0);
+        assert_eq!(dcg(&gains, Some(2)), 2.0);
+        assert!(dcg(&gains, Some(4)) > dcg(&gains, Some(3)));
+        assert_eq!(dcg(&gains, Some(100)), dcg(&gains, None));
+        assert_eq!(dcg(&[], None), 0.0);
+    }
+
+    #[test]
+    fn ndcg_bounds_and_perfection() {
+        assert_eq!(ndcg(&[T, T, F, F], 2, None), 1.0);
+        let n = ndcg(&[F, T, F, T], 2, None);
+        assert!(n > 0.0 && n < 1.0);
+        assert_eq!(ndcg(&[F, F], 2, None), 0.0);
+        assert_eq!(ndcg(&[T], 0, None), 0.0);
+    }
+
+    #[test]
+    fn ndcg_at_10_ignores_tail() {
+        let mut rels = vec![F; 15];
+        rels[12] = T; // Only relevant item beyond the cutoff.
+        assert_eq!(ndcg(&rels, 1, Some(10)), 0.0);
+        rels[0] = T;
+        assert!(ndcg(&rels, 2, Some(10)) > 0.0);
+    }
+
+    #[test]
+    fn interp11_monotone_nonincreasing() {
+        let rels = [T, F, T, F, F, T, F, F];
+        let curve = interpolated_precision_11pt(&rels, 3);
+        for w in curve.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "curve must be non-increasing: {curve:?}");
+        }
+        // Precision at recall 0 is the max precision anywhere: 1.0 here.
+        assert_eq!(curve[0], 1.0);
+    }
+
+    #[test]
+    fn interp11_perfect_and_empty() {
+        let perfect = interpolated_precision_11pt(&[T, T], 2);
+        assert!(perfect.iter().all(|&p| (p - 1.0).abs() < 1e-12));
+        let none = interpolated_precision_11pt(&[F, F], 2);
+        assert!(none.iter().all(|&p| p == 0.0));
+        let empty_gt = interpolated_precision_11pt(&[T], 0);
+        assert!(empty_gt.iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn interp11_unreached_recall_levels_are_zero() {
+        // Only 1 of 2 relevant retrieved: recall never reaches 1.0.
+        let curve = interpolated_precision_11pt(&[T, F], 2);
+        assert_eq!(curve[10], 0.0);
+        assert!(curve[5] > 0.0); // Recall 0.5 reached at rank 1.
+    }
+}

@@ -1,0 +1,306 @@
+//! Generator configuration.
+//!
+//! Every lever called out in DESIGN.md §6 lives here. The
+//! [`DatasetConfig::paper`] preset reproduces the paper's scale (~330k
+//! resources); [`DatasetConfig::small`] and [`DatasetConfig::tiny`] shrink
+//! volumes for tests while keeping all structural properties.
+
+use rightcrowd_types::{Domain, Platform};
+
+/// Default RNG seed — every run with the same config is bit-identical.
+pub const DEFAULT_SEED: u64 = 0xEDB7_2013;
+
+/// Per-candidate volume knobs for one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformVolume {
+    /// Own posts (created & owned) per candidate.
+    pub own_posts: usize,
+    /// Posts written by others but owned by the candidate (wall posts).
+    pub foreign_wall_posts: usize,
+    /// Resources the candidate annotates (likes / favourites).
+    pub annotations: usize,
+    /// Containers (groups / pages) the candidate relates to.
+    pub memberships: usize,
+    /// Followed (one-directional) external accounts per candidate.
+    pub followed_accounts: usize,
+    /// Friend (bidirectional) accounts per candidate.
+    pub friends: usize,
+}
+
+/// Global (not per-candidate) volume knobs for one platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformPools {
+    /// Topical containers available per domain.
+    pub containers_per_domain: usize,
+    /// Recent posts retrieved per container.
+    pub posts_per_container: usize,
+    /// Followable topical accounts (celebrities / brands) per domain.
+    pub celebrities_per_domain: usize,
+    /// Posts per followable account.
+    pub posts_per_celebrity: usize,
+    /// Posts per friend account.
+    pub posts_per_friend: usize,
+}
+
+/// The complete generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetConfig {
+    /// RNG seed; same seed + same config ⇒ identical dataset.
+    pub seed: u64,
+    /// Number of candidate experts (the paper recruited 40).
+    pub candidates: usize,
+    /// Per-platform per-candidate volumes, indexed by [`Platform::index`].
+    pub volumes: [PlatformVolume; Platform::COUNT],
+    /// Per-platform global pools, indexed by [`Platform::index`].
+    pub pools: [PlatformPools; Platform::COUNT],
+    /// Probability that a resource is English (paper: ~230k of 330k).
+    pub english_rate: f64,
+    /// Probability that a resource links an external web page (paper: 70%).
+    pub url_rate: f64,
+    /// Fraction of candidates who are "silent" — their posting volume is
+    /// slashed regardless of self-assessed expertise (§3.7 trust analysis).
+    pub silent_rate: f64,
+    /// Fraction of candidates posting mostly off-topic chatter
+    /// ("flagship/promotional accounts" in the paper's terms).
+    pub flagship_rate: f64,
+    /// Probability that a candidate profile leaks location information
+    /// (city names) regardless of Location expertise — the confound the
+    /// paper blames for weak Location results.
+    pub profile_location_leak: f64,
+}
+
+/// Platform–domain affinity: how likely content of `domain` is on
+/// `platform`, before user interest is mixed in. Rows follow the paper's
+/// qualitative reading (§3.5–3.7): Facebook skews to entertainment
+/// (location, movies, music, sport); Twitter covers everything with a
+/// tech/science/sport lean; LinkedIn is work-only.
+pub fn platform_domain_affinity(platform: Platform, domain: Domain) -> f64 {
+    use Domain::*;
+    match platform {
+        Platform::Facebook => match domain {
+            ComputerEngineering => 0.3,
+            Location => 1.2,
+            MoviesTv => 1.4,
+            Music => 1.3,
+            Science => 0.25,
+            Sport => 1.2,
+            TechnologyGames => 0.7,
+        },
+        Platform::Twitter => match domain {
+            ComputerEngineering => 1.3,
+            Location => 0.7,
+            MoviesTv => 0.9,
+            Music => 0.9,
+            Science => 1.1,
+            Sport => 1.2,
+            TechnologyGames => 1.3,
+        },
+        Platform::LinkedIn => match domain {
+            ComputerEngineering => 1.6,
+            Location => 0.15,
+            MoviesTv => 0.1,
+            Music => 0.1,
+            Science => 0.8,
+            Sport => 0.15,
+            TechnologyGames => 0.6,
+        },
+    }
+}
+
+/// Probability that a resource on `platform` is generic chatter rather
+/// than domain content.
+pub fn platform_chatter_rate(platform: Platform) -> f64 {
+    match platform {
+        Platform::Facebook => 0.45,
+        Platform::Twitter => 0.30,
+        Platform::LinkedIn => 0.15,
+    }
+}
+
+impl DatasetConfig {
+    /// The paper-scale preset (~300k+ resources, 40 candidates).
+    pub fn paper() -> Self {
+        DatasetConfig {
+            seed: DEFAULT_SEED,
+            candidates: 40,
+            volumes: [
+                // Facebook: the most resources overall; rich walls; pages
+                // and groups; friends exist but are privacy-walled (the
+                // generator still creates them — traversal excludes them
+                // because all FB ties are friendships).
+                PlatformVolume {
+                    own_posts: 600,
+                    foreign_wall_posts: 90,
+                    annotations: 150,
+                    memberships: 10,
+                    followed_accounts: 0,
+                    friends: 25,
+                },
+                // Twitter: many own tweets and many followed accounts —
+                // the paper's "highest number of resources at distance 1".
+                PlatformVolume {
+                    own_posts: 700,
+                    foreign_wall_posts: 30,
+                    annotations: 120,
+                    memberships: 0,
+                    followed_accounts: 80,
+                    friends: 25,
+                },
+                // LinkedIn: almost everything is in groups.
+                PlatformVolume {
+                    own_posts: 12,
+                    foreign_wall_posts: 2,
+                    annotations: 8,
+                    memberships: 6,
+                    followed_accounts: 0,
+                    friends: 0,
+                },
+            ],
+            pools: [
+                PlatformPools {
+                    containers_per_domain: 9,
+                    posts_per_container: 1400,
+                    celebrities_per_domain: 0,
+                    posts_per_celebrity: 0,
+                    // Facebook friends are privacy-walled (the paper could
+                    // read only 0.6% of them): their posts are never
+                    // collected, so none are generated.
+                    posts_per_friend: 0,
+                },
+                PlatformPools {
+                    containers_per_domain: 0,
+                    posts_per_container: 0,
+                    celebrities_per_domain: 28,
+                    posts_per_celebrity: 420,
+                    posts_per_friend: 60,
+                },
+                PlatformPools {
+                    containers_per_domain: 5,
+                    posts_per_container: 550,
+                    celebrities_per_domain: 0,
+                    posts_per_celebrity: 0,
+                    posts_per_friend: 0,
+                },
+            ],
+            english_rate: 0.70,
+            url_rate: 0.70,
+            silent_rate: 0.15,
+            flagship_rate: 0.08,
+            profile_location_leak: 0.6,
+        }
+    }
+
+    /// A mid-size preset (~10× smaller than paper scale) for fast
+    /// experiment iterations and integration tests.
+    pub fn small() -> Self {
+        Self::paper().scaled(0.1)
+    }
+
+    /// A miniature preset for unit tests and doctests (a few thousand
+    /// documents). Keeps the paper's 40 candidates so that the random
+    /// baseline (20 of 40 users) and the ground-truth statistics stay in
+    /// the paper's regime; only volumes shrink.
+    pub fn tiny() -> Self {
+        Self::paper().scaled(0.02)
+    }
+
+    /// Returns a copy with all volume knobs multiplied by `factor`
+    /// (minimum 1 where the original was non-zero, so structure survives).
+    pub fn scaled(&self, factor: f64) -> Self {
+        fn scale(v: usize, factor: f64) -> usize {
+            if v == 0 {
+                0
+            } else {
+                ((v as f64 * factor).round() as usize).max(1)
+            }
+        }
+        let mut out = self.clone();
+        for vol in out.volumes.iter_mut() {
+            vol.own_posts = scale(vol.own_posts, factor);
+            vol.foreign_wall_posts = scale(vol.foreign_wall_posts, factor);
+            vol.annotations = scale(vol.annotations, factor);
+            vol.memberships = scale(vol.memberships, factor.sqrt());
+            vol.followed_accounts = scale(vol.followed_accounts, factor.sqrt());
+            vol.friends = scale(vol.friends, factor.sqrt());
+        }
+        for pool in out.pools.iter_mut() {
+            pool.containers_per_domain = scale(pool.containers_per_domain, factor.sqrt());
+            pool.posts_per_container = scale(pool.posts_per_container, factor.sqrt());
+            pool.celebrities_per_domain = scale(pool.celebrities_per_domain, factor.sqrt());
+            pool.posts_per_celebrity = scale(pool.posts_per_celebrity, factor.sqrt());
+            pool.posts_per_friend = scale(pool.posts_per_friend, factor.sqrt());
+        }
+        out
+    }
+
+    /// Volume knobs for `platform`.
+    pub fn volume(&self, platform: Platform) -> &PlatformVolume {
+        &self.volumes[platform.index()]
+    }
+
+    /// Pool knobs for `platform`.
+    pub fn pools(&self, platform: Platform) -> &PlatformPools {
+        &self.pools[platform.index()]
+    }
+}
+
+impl Default for DatasetConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_study_shape() {
+        let cfg = DatasetConfig::paper();
+        assert_eq!(cfg.candidates, 40);
+        assert!((cfg.english_rate - 0.70).abs() < 1e-12);
+        assert!((cfg.url_rate - 0.70).abs() < 1e-12);
+        // FB generates the most own+container volume; LI the least.
+        let fb = cfg.volume(Platform::Facebook);
+        let li = cfg.volume(Platform::LinkedIn);
+        assert!(fb.own_posts > 10 * li.own_posts);
+        // Twitter is the only platform with followed accounts.
+        assert!(cfg.volume(Platform::Twitter).followed_accounts > 0);
+        assert_eq!(cfg.volume(Platform::Facebook).followed_accounts, 0);
+    }
+
+    #[test]
+    fn affinity_encodes_platform_character() {
+        use Domain::*;
+        // LinkedIn loves work topics, shuns entertainment.
+        assert!(
+            platform_domain_affinity(Platform::LinkedIn, ComputerEngineering)
+                > platform_domain_affinity(Platform::LinkedIn, Music) * 5.0
+        );
+        // Facebook prefers entertainment over science.
+        assert!(
+            platform_domain_affinity(Platform::Facebook, MoviesTv)
+                > platform_domain_affinity(Platform::Facebook, Science) * 3.0
+        );
+        // Twitter is comparatively balanced and strong on tech.
+        assert!(platform_domain_affinity(Platform::Twitter, ComputerEngineering) > 1.0);
+    }
+
+    #[test]
+    fn scaled_preserves_structure() {
+        let tiny = DatasetConfig::tiny();
+        assert!(tiny.volume(Platform::Twitter).followed_accounts >= 1);
+        assert_eq!(tiny.volume(Platform::Facebook).followed_accounts, 0);
+        assert!(tiny.volume(Platform::Facebook).own_posts >= 1);
+        assert!(
+            tiny.volume(Platform::Facebook).own_posts
+                < DatasetConfig::paper().volume(Platform::Facebook).own_posts
+        );
+    }
+
+    #[test]
+    fn chatter_rates_ordered_fb_tw_li() {
+        assert!(platform_chatter_rate(Platform::Facebook) > platform_chatter_rate(Platform::Twitter));
+        assert!(platform_chatter_rate(Platform::Twitter) > platform_chatter_rate(Platform::LinkedIn));
+    }
+}

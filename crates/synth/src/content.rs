@@ -1,0 +1,188 @@
+//! Text generation: domain sentences, chatter, multilingual noise.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rightcrowd_kb::{vocab, KnowledgeBase};
+use rightcrowd_types::{Domain, EntityId, Language};
+
+/// Generates resource / profile / page text flavoured by domain topic
+/// models tied to the knowledge base (so that every entity mention is
+/// annotatable).
+#[derive(Debug, Clone, Copy)]
+pub struct ContentGenerator<'kb> {
+    kb: &'kb KnowledgeBase,
+}
+
+impl<'kb> ContentGenerator<'kb> {
+    /// Binds a generator to a knowledge base.
+    pub fn new(kb: &'kb KnowledgeBase) -> Self {
+        ContentGenerator { kb }
+    }
+
+    /// Picks an entity of `domain`, biased towards the hand-written core
+    /// (the first entities of each domain) — core entities are the
+    /// "famous" ones real users actually mention.
+    pub fn pick_entity(&self, rng: &mut StdRng, domain: Domain) -> EntityId {
+        let ids = self.kb.entities_in_domain(domain);
+        debug_assert!(!ids.is_empty());
+        let core = (ids.len() / 4).max(1);
+        if rng.gen_bool(0.7) {
+            ids[rng.gen_range(0..core)]
+        } else {
+            ids[rng.gen_range(0..ids.len())]
+        }
+    }
+
+    /// A short domain-flavoured text with `words` vocabulary words and
+    /// `entities` entity mentions, in natural lower-case prose order.
+    pub fn domain_text(
+        &self,
+        rng: &mut StdRng,
+        domain: Domain,
+        words: usize,
+        entities: usize,
+    ) -> String {
+        let pool = vocab::domain_words(domain);
+        let mut parts: Vec<String> = Vec::with_capacity(words + entities);
+        for _ in 0..words {
+            parts.push((*pool.choose(rng).expect("non-empty vocab")).to_owned());
+        }
+        for _ in 0..entities {
+            let id = self.pick_entity(rng, domain);
+            parts.push(self.kb.entity(id).title.to_lowercase());
+        }
+        parts.shuffle(rng);
+        // Sprinkle a couple of function words for naturalness.
+        let glue = ["the", "a", "my", "this", "really", "about", "with"];
+        let mut out = String::new();
+        for (i, p) in parts.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+                if rng.gen_bool(0.25) {
+                    out.push_str(glue.choose(rng).unwrap());
+                    out.push(' ');
+                }
+            }
+            out.push_str(p);
+        }
+        out
+    }
+
+    /// Generic domain-free chatter ("great coffee with the friends today").
+    /// Function words are mixed in so that language identification sees
+    /// natural English (real chatter is full of them).
+    pub fn chatter(&self, rng: &mut StdRng, words: usize) -> String {
+        const GLUE: [&str; 8] = ["the", "with", "and", "at", "for", "was", "so", "a"];
+        let mut out = String::new();
+        for i in 0..words {
+            if i > 0 {
+                out.push(' ');
+            }
+            if rng.gen_bool(0.35) {
+                out.push_str(GLUE.choose(rng).unwrap());
+                out.push(' ');
+            }
+            out.push_str(vocab::GENERIC.choose(rng).unwrap());
+        }
+        out
+    }
+
+    /// A non-English snippet in a random supported language, sampled from
+    /// the language-identification seed corpora (so langid reliably
+    /// filters it out).
+    pub fn non_english(&self, rng: &mut StdRng, words: usize) -> (Language, String) {
+        use rightcrowd_langid::corpora;
+        let (lang, corpus) = *[
+            (Language::Italian, corpora::ITALIAN),
+            (Language::French, corpora::FRENCH),
+            (Language::German, corpora::GERMAN),
+            (Language::Spanish, corpora::SPANISH),
+        ]
+        .choose(rng)
+        .unwrap();
+        let tokens: Vec<&str> = corpus.split_whitespace().collect();
+        let take = words.min(tokens.len()).max(1);
+        let start = rng.gen_range(0..=tokens.len() - take);
+        (lang, tokens[start..start + take].join(" "))
+    }
+
+    /// Long-form text for a generated web page about `domain`.
+    pub fn page_text(&self, rng: &mut StdRng, domain: Domain) -> String {
+        let words = rng.gen_range(25..45);
+        let entities = rng.gen_range(2..5);
+        self.domain_text(rng, domain, words, entities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rightcrowd_kb::seed;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn domain_text_contains_domain_vocabulary() {
+        let kb = seed::standard();
+        let g = ContentGenerator::new(&kb);
+        let text = g.domain_text(&mut rng(), Domain::Sport, 8, 1);
+        let pool: std::collections::HashSet<&str> = vocab::SPORT.iter().copied().collect();
+        let hits = text.split_whitespace().filter(|w| pool.contains(w)).count();
+        assert!(hits >= 4, "sporty words in: {text}");
+    }
+
+    #[test]
+    fn entity_mentions_are_annotatable() {
+        let kb = seed::standard();
+        let g = ContentGenerator::new(&kb);
+        let mut r = rng();
+        for _ in 0..20 {
+            let e = g.pick_entity(&mut r, Domain::Music);
+            let title = kb.entity(e).title.to_lowercase();
+            assert!(
+                !kb.anchor_candidates(&title).is_empty(),
+                "title {title} must be an anchor"
+            );
+        }
+    }
+
+    #[test]
+    fn chatter_is_generic() {
+        let kb = seed::standard();
+        let g = ContentGenerator::new(&kb);
+        let text = g.chatter(&mut rng(), 6);
+        assert!(text.split_whitespace().count() >= 6); // glue words may be added
+    }
+
+    #[test]
+    fn non_english_is_filtered_by_langid() {
+        let kb = seed::standard();
+        let g = ContentGenerator::new(&kb);
+        let ident = rightcrowd_langid::LanguageIdentifier::new();
+        let mut r = rng();
+        let mut non_english_hits = 0;
+        for _ in 0..20 {
+            let (lang, text) = g.non_english(&mut r, 12);
+            assert_ne!(lang, Language::English);
+            if !ident.retains(&text) {
+                non_english_hits += 1;
+            }
+        }
+        // Language ID is statistical; the overwhelming majority must be
+        // recognised as non-English.
+        assert!(non_english_hits >= 18, "{non_english_hits}/20");
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let kb = seed::standard();
+        let g = ContentGenerator::new(&kb);
+        let a = g.domain_text(&mut StdRng::seed_from_u64(3), Domain::Science, 10, 2);
+        let b = g.domain_text(&mut StdRng::seed_from_u64(3), Domain::Science, 10, 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,254 @@
+//! Orchestration: one call builds the whole synthetic study.
+
+use crate::config::DatasetConfig;
+use crate::content::ContentGenerator;
+use crate::ground_truth::{GroundTruth, LatentExpertise};
+use crate::names;
+use crate::platforms::{
+    generate_candidate_profiles, generate_celebrities, generate_containers, generate_facebook,
+    generate_linkedin, generate_twitter, GenContext, Persona,
+};
+use crate::queries::{workload, ExpertiseNeed};
+use crate::web::WebCorpus;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rightcrowd_graph::{Person, SocialGraph};
+use rightcrowd_kb::{seed, KnowledgeBase};
+use rightcrowd_types::Platform;
+
+/// A complete synthetic study: knowledge base, social graph, web corpus,
+/// query workload and ground truth — everything the paper's system needs.
+#[derive(Debug)]
+pub struct SyntheticDataset {
+    kb: KnowledgeBase,
+    graph: SocialGraph,
+    web: WebCorpus,
+    queries: Vec<ExpertiseNeed>,
+    ground_truth: GroundTruth,
+    latent: LatentExpertise,
+    personas: Vec<Persona>,
+    config: DatasetConfig,
+}
+
+impl SyntheticDataset {
+    /// Generates a dataset from `config`, deterministically in the seed.
+    pub fn generate(config: &DatasetConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let kb = seed::standard();
+        let queries = workload();
+
+        let latent = LatentExpertise::sample(&mut rng, config.candidates);
+        let ground_truth = GroundTruth::from_questionnaire(&mut rng, &latent, &queries);
+        let personas = Persona::sample_all(&mut rng, config, config.candidates);
+
+        let mut graph = SocialGraph::new();
+        let persons: Vec<_> = (0..config.candidates)
+            .map(|i| graph.add_person(&names::person_name(i)))
+            .collect();
+
+        let (graph, web) = {
+            let mut ctx = GenContext {
+                cfg: config,
+                content: ContentGenerator::new(&kb),
+                graph,
+                web: WebCorpus::new(),
+                latent: &latent,
+                personas: &personas,
+            };
+
+            let accounts = generate_candidate_profiles(&mut ctx, &mut rng, &persons);
+
+            let fb_containers = generate_containers(&mut ctx, &mut rng, Platform::Facebook);
+            let li_containers = generate_containers(&mut ctx, &mut rng, Platform::LinkedIn);
+            let celebrities = generate_celebrities(&mut ctx, &mut rng);
+
+            generate_facebook(
+                &mut ctx,
+                &mut rng,
+                &accounts[Platform::Facebook.index()],
+                &fb_containers,
+            );
+            generate_twitter(
+                &mut ctx,
+                &mut rng,
+                &accounts[Platform::Twitter.index()],
+                &celebrities,
+            );
+            generate_linkedin(
+                &mut ctx,
+                &mut rng,
+                &accounts[Platform::LinkedIn.index()],
+                &li_containers,
+            );
+
+            ctx.graph.finalize();
+            (ctx.graph, ctx.web)
+        };
+
+        SyntheticDataset {
+            kb,
+            graph,
+            web,
+            queries,
+            ground_truth,
+            latent,
+            personas,
+            config: config.clone(),
+        }
+    }
+
+    /// The knowledge base resources were generated against.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The social graph (finalized).
+    pub fn graph(&self) -> &SocialGraph {
+        &self.graph
+    }
+
+    /// The synthetic web corpus.
+    pub fn web(&self) -> &WebCorpus {
+        &self.web
+    }
+
+    /// The 30-query evaluation workload.
+    pub fn queries(&self) -> &[ExpertiseNeed] {
+        &self.queries
+    }
+
+    /// The questionnaire-derived ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// The latent expertise that drove generation (not visible to the
+    /// finding system; exposed for analysis and tests).
+    pub fn latent(&self) -> &LatentExpertise {
+        &self.latent
+    }
+
+    /// Behavioural personas (silent / flagship flags, activity levels).
+    pub fn personas(&self) -> &[Persona] {
+        &self.personas
+    }
+
+    /// The candidate experts.
+    pub fn candidates(&self) -> &[Person] {
+        self.graph.persons()
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rightcrowd_graph::CollectOptions;
+    use rightcrowd_types::{Distance, PlatformMask};
+
+    fn tiny() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetConfig::tiny())
+    }
+
+    #[test]
+    fn generates_complete_study() {
+        let ds = tiny();
+        let (persons, profiles, resources, containers) = ds.graph().counts();
+        assert_eq!(persons, DatasetConfig::tiny().candidates);
+        assert!(profiles > persons * 3, "profiles: {profiles}");
+        assert!(resources > 500, "resources: {resources}");
+        assert!(containers > 0);
+        assert_eq!(ds.queries().len(), 30);
+        assert!(!ds.web().is_empty());
+    }
+
+    #[test]
+    fn every_candidate_has_three_accounts() {
+        let ds = tiny();
+        for person in ds.candidates() {
+            for platform in Platform::ALL {
+                assert!(
+                    person.account(platform).is_some(),
+                    "{} missing {platform}",
+                    person.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.graph().counts(), b.graph().counts());
+        assert_eq!(a.web().len(), b.web().len());
+        let p0 = rightcrowd_types::PersonId::new(0);
+        let ia = a.graph().collect_evidence(p0, &CollectOptions::default());
+        let ib = b.graph().collect_evidence(p0, &CollectOptions::default());
+        assert_eq!(ia, ib);
+    }
+
+    #[test]
+    fn linkedin_resources_concentrate_at_distance_2() {
+        let ds = tiny();
+        let mut d1 = 0usize;
+        let mut d2 = 0usize;
+        for person in ds.candidates() {
+            let items = ds.graph().collect_evidence(
+                person.id,
+                &CollectOptions {
+                    platforms: PlatformMask::only(Platform::LinkedIn),
+                    ..Default::default()
+                },
+            );
+            for item in items {
+                match item.distance {
+                    Distance::D1 => d1 += 1,
+                    Distance::D2 => d2 += 1,
+                    Distance::D0 => {}
+                }
+            }
+        }
+        assert!(d2 > 5 * d1, "LinkedIn d1 {d1} vs d2 {d2}");
+    }
+
+    #[test]
+    fn twitter_has_rich_distance_1() {
+        let ds = tiny();
+        let count_d1 = |mask: PlatformMask| -> usize {
+            ds.candidates()
+                .iter()
+                .map(|p| {
+                    ds.graph()
+                        .collect_evidence(
+                            p.id,
+                            &CollectOptions { platforms: mask, ..Default::default() },
+                        )
+                        .iter()
+                        .filter(|i| i.distance == Distance::D1)
+                        .count()
+                })
+                .sum()
+        };
+        let tw = count_d1(PlatformMask::only(Platform::Twitter));
+        let li = count_d1(PlatformMask::only(Platform::LinkedIn));
+        assert!(tw > li * 3, "TW d1 {tw} vs LI d1 {li}");
+    }
+
+    #[test]
+    fn url_rate_roughly_matches_config() {
+        let ds = tiny();
+        let with_url = ds
+            .graph()
+            .resources()
+            .iter()
+            .filter(|r| !r.links.is_empty())
+            .count();
+        let rate = with_url as f64 / ds.graph().resources().len() as f64;
+        assert!((0.55..=0.85).contains(&rate), "url rate {rate}");
+    }
+}

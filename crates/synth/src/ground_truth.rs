@@ -1,0 +1,283 @@
+//! Latent expertise, the self-assessment questionnaire, and the derived
+//! ground truth (paper §3.1).
+//!
+//! Each candidate has a *latent* expertise level per domain on the 7-point
+//! scale. The questionnaire answer for a query is the latent level of the
+//! query's domain plus bounded self-report noise. Per-domain expertise is
+//! derived as the mean questionnaire answer over that domain's queries, and
+//! the boolean ground truth follows the paper's rule: a candidate is a
+//! *domain expert* iff their derived level exceeds the domain average.
+
+use crate::queries::ExpertiseNeed;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rightcrowd_types::{Domain, Likert, PersonId};
+
+/// Latent per-domain expertise of the candidate population.
+#[derive(Debug, Clone)]
+pub struct LatentExpertise {
+    /// `latent[person][domain]` on the 1–7 scale.
+    levels: Vec<[Likert; Domain::COUNT]>,
+}
+
+impl LatentExpertise {
+    /// Samples a population of `n` candidates.
+    ///
+    /// Levels are drawn from a low-skewed continuous scale (most people
+    /// rate themselves middling-low, mean ≈ 3.6 like the paper's 3.57),
+    /// and each candidate additionally gets 1–2 guaranteed strong domains.
+    /// The continuous spread matters: the paper's above-average expert
+    /// rule creates many *marginal* experts barely distinguishable from
+    /// marginal non-experts, which is what keeps absolute MAP moderate.
+    pub fn sample(rng: &mut StdRng, n: usize) -> Self {
+        let mut levels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut row = [Likert::clamped(1); Domain::COUNT];
+            for slot in row.iter_mut() {
+                let r: f64 = rng.gen();
+                *slot = Likert::clamped((1.0 + 6.0 * r.powf(2.0)).round() as i32);
+            }
+            let strong = if rng.gen_bool(0.5) { 2 } else { 1 };
+            for _ in 0..strong {
+                let d = rng.gen_range(0..Domain::COUNT);
+                row[d] = Likert::clamped(rng.gen_range(5..=7));
+            }
+            levels.push(row);
+        }
+        LatentExpertise { levels }
+    }
+
+    /// Latent level of `person` in `domain`.
+    pub fn level(&self, person: PersonId, domain: Domain) -> Likert {
+        self.levels[person.index()][domain.index()]
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+}
+
+/// The questionnaire answers and the ground truth derived from them.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// `answers[person][query]` — the 7-point self-assessments.
+    answers: Vec<Vec<Likert>>,
+    /// Derived per-domain expertise `derived[person][domain]`.
+    derived: Vec<[f64; Domain::COUNT]>,
+    /// Average derived expertise per domain.
+    domain_avg: [f64; Domain::COUNT],
+    /// Expert sets per domain (persons above the domain average).
+    experts: Vec<Vec<PersonId>>,
+}
+
+impl GroundTruth {
+    /// Runs the questionnaire: each person answers every query with their
+    /// latent domain level ± 1 point of self-report noise, then derives
+    /// the boolean ground truth with the paper's above-average rule.
+    pub fn from_questionnaire(
+        rng: &mut StdRng,
+        latent: &LatentExpertise,
+        queries: &[ExpertiseNeed],
+    ) -> Self {
+        let n = latent.len();
+        let mut answers = Vec::with_capacity(n);
+        for p in 0..n {
+            let person = PersonId::new(p as u32);
+            let mut row = Vec::with_capacity(queries.len());
+            for q in queries {
+                let base = latent.level(person, q.domain).value() as i32;
+                let noise = rng.gen_range(-1..=1);
+                row.push(Likert::clamped(base + noise));
+            }
+            answers.push(row);
+        }
+        Self::derive(answers, queries)
+    }
+
+    /// Derives per-domain levels, domain averages and expert sets from raw
+    /// questionnaire answers.
+    pub fn derive(answers: Vec<Vec<Likert>>, queries: &[ExpertiseNeed]) -> Self {
+        let n = answers.len();
+        let mut derived = vec![[0.0f64; Domain::COUNT]; n];
+        for (p, row) in answers.iter().enumerate() {
+            assert_eq!(row.len(), queries.len(), "answers must cover all queries");
+            let mut sums = [0.0f64; Domain::COUNT];
+            let mut counts = [0usize; Domain::COUNT];
+            for (q, &a) in queries.iter().zip(row) {
+                sums[q.domain.index()] += a.as_f64();
+                counts[q.domain.index()] += 1;
+            }
+            for d in 0..Domain::COUNT {
+                derived[p][d] = if counts[d] == 0 { 0.0 } else { sums[d] / counts[d] as f64 };
+            }
+        }
+        let mut domain_avg = [0.0f64; Domain::COUNT];
+        if n > 0 {
+            for d in 0..Domain::COUNT {
+                domain_avg[d] = derived.iter().map(|row| row[d]).sum::<f64>() / n as f64;
+            }
+        }
+        let mut experts: Vec<Vec<PersonId>> = vec![Vec::new(); Domain::COUNT];
+        for (p, row) in derived.iter().enumerate() {
+            for d in 0..Domain::COUNT {
+                if row[d] > domain_avg[d] {
+                    experts[d].push(PersonId::new(p as u32));
+                }
+            }
+        }
+        GroundTruth { answers, derived, domain_avg, experts }
+    }
+
+    /// Number of candidates covered.
+    pub fn population(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Raw questionnaire answer of `person` for query position `query_idx`.
+    pub fn answer(&self, person: PersonId, query_idx: usize) -> Likert {
+        self.answers[person.index()][query_idx]
+    }
+
+    /// Derived expertise level of `person` in `domain`.
+    pub fn expertise(&self, person: PersonId, domain: Domain) -> f64 {
+        self.derived[person.index()][domain.index()]
+    }
+
+    /// Average derived expertise of `domain` across the population.
+    pub fn domain_average(&self, domain: Domain) -> f64 {
+        self.domain_avg[domain.index()]
+    }
+
+    /// The experts of `domain` (above-average rule), in person order.
+    pub fn experts(&self, domain: Domain) -> &[PersonId] {
+        &self.experts[domain.index()]
+    }
+
+    /// Whether `person` is a domain expert.
+    pub fn is_expert(&self, person: PersonId, domain: Domain) -> bool {
+        self.experts[domain.index()].contains(&person)
+    }
+
+    /// Mean number of experts across domains (the paper reports ~17 for
+    /// its 40-person pool).
+    pub fn mean_experts_per_domain(&self) -> f64 {
+        self.experts.iter().map(Vec::len).sum::<usize>() as f64 / Domain::COUNT as f64
+    }
+
+    /// Mean derived expertise across domains and persons (paper: 3.57).
+    pub fn mean_expertise(&self) -> f64 {
+        if self.population() == 0 {
+            return 0.0;
+        }
+        self.domain_avg.iter().sum::<f64>() / Domain::COUNT as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::workload;
+    use rand::SeedableRng;
+
+    fn sample_gt(seed: u64, n: usize) -> GroundTruth {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let latent = LatentExpertise::sample(&mut rng, n);
+        GroundTruth::from_questionnaire(&mut rng, &latent, &workload())
+    }
+
+    #[test]
+    fn population_statistics_match_paper_regime() {
+        let gt = sample_gt(42, 40);
+        let mean_experts = gt.mean_experts_per_domain();
+        assert!(
+            (8.0..=25.0).contains(&mean_experts),
+            "experts per domain: {mean_experts}"
+        );
+        let mean_expertise = gt.mean_expertise();
+        assert!(
+            (2.5..=4.5).contains(&mean_expertise),
+            "mean expertise: {mean_expertise}"
+        );
+    }
+
+    #[test]
+    fn experts_are_exactly_above_average() {
+        let gt = sample_gt(1, 40);
+        for d in Domain::ALL {
+            let avg = gt.domain_average(d);
+            for p in 0..40 {
+                let person = PersonId::new(p);
+                assert_eq!(
+                    gt.is_expert(person, d),
+                    gt.expertise(person, d) > avg,
+                    "person {p} domain {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_domain_has_experts_and_non_experts() {
+        let gt = sample_gt(7, 40);
+        for d in Domain::ALL {
+            let n = gt.experts(d).len();
+            assert!(n > 0, "{d} has no experts");
+            assert!(n < 40, "{d}: everyone is an expert");
+        }
+    }
+
+    #[test]
+    fn latent_levels_in_scale() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let latent = LatentExpertise::sample(&mut rng, 10);
+        for p in 0..10 {
+            for d in Domain::ALL {
+                let l = latent.level(PersonId::new(p), d).value();
+                assert!((1..=7).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = sample_gt(99, 20);
+        let b = sample_gt(99, 20);
+        for d in Domain::ALL {
+            assert_eq!(a.experts(d), b.experts(d));
+        }
+    }
+
+    #[test]
+    fn empty_population() {
+        let gt = GroundTruth::derive(vec![], &workload());
+        assert_eq!(gt.population(), 0);
+        assert_eq!(gt.mean_expertise(), 0.0);
+        for d in Domain::ALL {
+            assert!(gt.experts(d).is_empty());
+        }
+    }
+
+    #[test]
+    fn answers_track_latent_levels() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let latent = LatentExpertise::sample(&mut rng, 40);
+        let queries = workload();
+        let gt = GroundTruth::from_questionnaire(&mut rng, &latent, &queries);
+        // Answers differ from latent by at most 1 (the noise bound).
+        for p in 0..40 {
+            let person = PersonId::new(p);
+            for (qi, q) in queries.iter().enumerate() {
+                let diff = (gt.answer(person, qi).value() as i32
+                    - latent.level(person, q.domain).value() as i32)
+                    .abs();
+                assert!(diff <= 1, "noise bound violated: {diff}");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # rightcrowd-synth
+//!
+//! The synthetic stand-in for the paper's data-collection campaign (§3.1).
+//!
+//! The paper recruited 40 volunteers active on Facebook, Twitter and
+//! LinkedIn and harvested ~330k resources through the platforms' APIs. None
+//! of that is reproducible offline, so this crate *generates* an equivalent
+//! study population: a seeded, deterministic social world whose structure
+//! follows the Fig. 2 meta-model and whose statistics follow the paper's
+//! published marginals —
+//!
+//! - 40 candidate experts, each with accounts on all three platforms;
+//! - 7 expertise domains with latent per-person expertise on a 7-point
+//!   scale, a self-assessment questionnaire with reporting noise, and the
+//!   paper's ground-truth rule (expert ⇔ above domain average);
+//! - platform-specific volume and topicality: Facebook has the most
+//!   resources overall and an entertainment bias; Twitter has the most
+//!   distance-1 resources (own tweets + followed profiles) and the most
+//!   topical content; LinkedIn is small, work-oriented, with ~95% of its
+//!   resources in groups (distance 2);
+//! - ~70% of resources carry URLs to generated web pages; ~70% of
+//!   resources are English (the rest it/fr/de/es, filtered by langid);
+//! - Twitter friends (mutual follows) whose content is drawn from *their
+//!   own* interests, reproducing the paper's friends-don't-help finding;
+//! - "silent experts" — self-declared experts with no matching activity —
+//!   reproducing the trust analysis of §3.7.
+
+pub mod config;
+pub mod content;
+pub mod dataset;
+pub mod ground_truth;
+pub mod names;
+pub mod platforms;
+pub mod queries;
+pub mod stats;
+pub mod web;
+
+pub use config::DatasetConfig;
+pub use dataset::SyntheticDataset;
+pub use ground_truth::GroundTruth;
+pub use queries::ExpertiseNeed;
+pub use stats::DatasetStats;
+pub use web::WebCorpus;

@@ -1,0 +1,65 @@
+//! Name pools for generated people and accounts.
+
+/// First names for candidates and friend accounts (the paper's running
+/// example characters lead the list).
+pub const FIRST_NAMES: &[&str] = &[
+    "Anna", "Alice", "Bob", "Charlie", "Chuck", "Peggy", "Marco", "Stefano", "Giulia", "Matteo",
+    "Laura", "Paolo", "Francesca", "Luca", "Elena", "Davide", "Sara", "Andrea", "Chiara",
+    "Simone", "Martina", "Federico", "Valentina", "Riccardo", "Silvia", "Tommaso", "Ilaria",
+    "Nicola", "Beatrice", "Giorgio", "Elisa", "Filippo", "Camilla", "Pietro", "Sofia",
+    "Lorenzo", "Aurora", "Gabriele", "Greta", "Edoardo",
+];
+
+/// Family names.
+pub const LAST_NAMES: &[&str] = &[
+    "Rossi", "Bianchi", "Ferrari", "Esposito", "Romano", "Colombo", "Ricci", "Marino", "Greco",
+    "Bruno", "Gallo", "Conti", "DeLuca", "Costa", "Giordano", "Mancini", "Rizzo", "Lombardi",
+    "Moretti", "Barbieri", "Fontana", "Santoro", "Mariani", "Rinaldi", "Caruso", "Ferrara",
+    "Galli", "Martini", "Leone", "Longo", "Gentile", "Martinelli", "Vitale", "Lombardo",
+    "Serra", "Coppola", "DeSantis", "Marchetti", "Parisi", "Villa",
+];
+
+/// Deterministically builds the `i`-th person name (unique for any `i`).
+pub fn person_name(i: usize) -> String {
+    let first = FIRST_NAMES[i % FIRST_NAMES.len()];
+    let last = LAST_NAMES[(i / FIRST_NAMES.len() + i) % LAST_NAMES.len()];
+    if i < FIRST_NAMES.len() * LAST_NAMES.len() {
+        format!("{first} {last}")
+    } else {
+        format!("{first} {last} {}", i)
+    }
+}
+
+/// Handle (account name) for a person name on a platform, e.g.
+/// `"anna.rossi.tw"`.
+pub fn handle(name: &str, platform_tag: &str) -> String {
+    let mut h = name.to_lowercase().replace(' ', ".");
+    h.push('.');
+    h.push_str(platform_tag);
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn names_unique_for_study_sizes() {
+        let mut seen = HashSet::new();
+        for i in 0..2000 {
+            assert!(seen.insert(person_name(i)), "duplicate at {i}");
+        }
+    }
+
+    #[test]
+    fn paper_characters_lead() {
+        assert!(person_name(0).starts_with("Anna"));
+        assert!(person_name(1).starts_with("Alice"));
+    }
+
+    #[test]
+    fn handle_format() {
+        assert_eq!(handle("Anna Rossi", "tw"), "anna.rossi.tw");
+    }
+}

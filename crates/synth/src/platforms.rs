@@ -1,0 +1,676 @@
+//! Per-platform social-graph generation.
+//!
+//! Each platform generator reproduces the structural character the paper
+//! observed (§3.1, Fig. 5a):
+//!
+//! - **Facebook** — bidirectional friendships only; walls with own and
+//!   foreign posts; topical groups/pages with large post volumes
+//!   (distance 2); friends exist but are privacy-walled (no posts).
+//! - **Twitter** — directed follows towards topical "celebrity" accounts
+//!   whose profiles are distance-1 evidence and whose tweets are
+//!   distance-2 evidence; mutual-follow friends with their *own*
+//!   (uncorrelated) interests; favourites as annotations.
+//! - **LinkedIn** — rich work profiles (strong distance-0 signal for
+//!   work domains), very few status updates, almost all resources in
+//!   groups (the paper's "95% of LinkedIn resources were group posts").
+
+use crate::config::{platform_chatter_rate, platform_domain_affinity, DatasetConfig};
+use crate::content::ContentGenerator;
+use crate::ground_truth::LatentExpertise;
+use crate::names;
+use crate::web::WebCorpus;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rightcrowd_graph::SocialGraph;
+use rightcrowd_kb::vocab;
+use rightcrowd_types::{ContainerId, Domain, PageId, PersonId, Platform, ResourceId, UserId};
+
+/// Per-candidate behavioural profile, fixed for the whole dataset.
+#[derive(Debug, Clone)]
+pub struct Persona {
+    /// The candidate.
+    pub person: PersonId,
+    /// Activity multiplier (log-normal-ish spread; silent users ≈ 0).
+    pub activity: f64,
+    /// Silent: declares expertise but barely posts (§3.7).
+    pub silent: bool,
+    /// Flagship/promotional account: posts mostly generic chatter.
+    pub flagship: bool,
+    /// Per-domain *expression*: how much of the candidate's interest in a
+    /// domain actually shows up in their feed. Real people are not their
+    /// questionnaires (§3.7): reticent experts (low expression) barely
+    /// mention their specialty; enthusiasts (high expression) flood their
+    /// feeds with a domain they are no expert of.
+    pub expression: [f64; Domain::COUNT],
+}
+
+impl Persona {
+    /// Samples the behavioural profile of every candidate.
+    pub fn sample_all(rng: &mut StdRng, cfg: &DatasetConfig, n: usize) -> Vec<Persona> {
+        (0..n)
+            .map(|i| {
+                let silent = rng.gen_bool(cfg.silent_rate);
+                let flagship = !silent && rng.gen_bool(cfg.flagship_rate);
+                let base: f64 = rng.gen_range(0.35f64..1.8);
+                let mut expression = [1.0f64; Domain::COUNT];
+                for slot in expression.iter_mut() {
+                    let roll: f64 = rng.gen();
+                    *slot = if roll < 0.12 {
+                        // An enthusiast: posts heavily about the domain
+                        // whatever their actual competence.
+                        rng.gen_range(2.0..3.5)
+                    } else if roll < 0.30 {
+                        // A mute domain: whatever the competence, it never
+                        // reaches the feed ("if a user claims to be a
+                        // super-expert in music but none of her social
+                        // actions include music…", §3.7).
+                        rng.gen_range(0.0..0.08)
+                    } else {
+                        rng.gen_range(0.25..1.0)
+                    };
+                }
+                Persona {
+                    person: PersonId::new(i as u32),
+                    activity: if silent { rng.gen_range(0.01..0.06) } else { base * base.sqrt() },
+                    silent,
+                    flagship,
+                    expression,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Shared state threaded through the platform generators.
+pub struct GenContext<'a> {
+    /// The generator configuration.
+    pub cfg: &'a DatasetConfig,
+    /// Topic-model content source.
+    pub content: ContentGenerator<'a>,
+    /// The graph under construction.
+    pub graph: SocialGraph,
+    /// The synthetic web under construction.
+    pub web: WebCorpus,
+    /// Latent expertise driving posting behaviour.
+    pub latent: &'a LatentExpertise,
+    /// Behavioural personas (index = person index).
+    pub personas: &'a [Persona],
+}
+
+impl<'a> GenContext<'a> {
+    /// How interested `person` is in `domain`, in `(0, ~2]`: experts
+    /// post about their domains far more than non-experts.
+    fn interest(&self, person: PersonId, domain: Domain) -> f64 {
+        let u = self.latent.level(person, domain).unit();
+        let expression = self.personas[person.index()].expression[domain.index()];
+        // The floor keeps non-experts posting about every domain now and
+        // then (real feeds are noisy); the quadratic term lets experts
+        // dominate their own domains; expression decouples what people
+        // *are* from what they *post* (§3.7).
+        (0.25 + 1.8 * u * u) * expression
+    }
+
+    /// Picks a posting topic for `person` on `platform`:
+    /// `None` = generic chatter.
+    fn pick_topic(&self, rng: &mut StdRng, person: PersonId, platform: Platform) -> Option<Domain> {
+        let persona = &self.personas[person.index()];
+        // Flagship accounts post announcements; silent users' rare posts
+        // are likewise non-topical (§3.7: accounts kept "for flagship or
+        // promotional reasons" expose nothing about expertise) — together
+        // they produce the paper's unassessable, near-zero-F1 users.
+        let chatter = if persona.flagship || persona.silent {
+            0.95
+        } else {
+            platform_chatter_rate(platform)
+        };
+        if rng.gen_bool(chatter) {
+            return None;
+        }
+        Some(self.pick_domain(rng, person, platform))
+    }
+
+    /// Weighted domain choice: platform affinity × personal interest.
+    fn pick_domain(&self, rng: &mut StdRng, person: PersonId, platform: Platform) -> Domain {
+        let weights: Vec<f64> = Domain::ALL
+            .iter()
+            .map(|&d| platform_domain_affinity(platform, d) * self.interest(person, d))
+            .collect();
+        weighted_choice(rng, &weights).map(Domain::from_index).unwrap_or(Domain::Sport)
+    }
+
+    /// Generates resource text (and possibly a linked page) about `topic`.
+    /// Returns `(text, links)`.
+    fn resource_text(&mut self, rng: &mut StdRng, topic: Option<Domain>) -> (String, Vec<PageId>) {
+        let mut text = if !rng.gen_bool(self.cfg.english_rate) {
+            let words = rng.gen_range(8..18);
+            self.content.non_english(rng, words).1
+        } else {
+            match topic {
+                Some(domain) => {
+                    let words = rng.gen_range(4..10);
+                    let entities = rng.gen_range(0..=2);
+                    self.content.domain_text(rng, domain, words, entities)
+                }
+                None => {
+                    let words = rng.gen_range(3..9);
+                    self.content.chatter(rng, words)
+                }
+            }
+        };
+        let mut links = Vec::new();
+        if rng.gen_bool(self.cfg.url_rate) {
+            // The linked page elaborates the same topic (or a random
+            // domain for chatter posts — people share arbitrary links).
+            let page_domain = topic.unwrap_or_else(|| Domain::from_index(rng.gen_range(0..Domain::COUNT)));
+            let page = self.web.add_page(self.content.page_text(rng, page_domain));
+            text.push(' ');
+            text.push_str(&WebCorpus::url(page));
+            links.push(page);
+        }
+        (text, links)
+    }
+
+    /// The candidate's strongest domain (for profile hobby hints).
+    fn top_domain(&self, person: PersonId) -> Domain {
+        Domain::ALL
+            .into_iter()
+            .max_by_key(|&d| self.latent.level(person, d).value())
+            .expect("domains are non-empty")
+    }
+}
+
+/// Weighted index choice; `None` on all-zero weights.
+fn weighted_choice(rng: &mut StdRng, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut roll = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            return Some(i);
+        }
+        roll -= w;
+    }
+    Some(weights.len() - 1)
+}
+
+/// A generated pool of topical containers for one platform.
+pub struct ContainerPool {
+    /// `(container, domain)` pairs.
+    pub containers: Vec<(ContainerId, Domain)>,
+    /// Posts inside each container (parallel to `containers`).
+    pub posts: Vec<Vec<ResourceId>>,
+}
+
+/// A generated pool of followable topical accounts (Twitter celebrities).
+pub struct CelebrityPool {
+    /// `(account, domain)` pairs.
+    pub accounts: Vec<(UserId, Domain)>,
+    /// Tweets of each account (parallel to `accounts`).
+    pub tweets: Vec<Vec<ResourceId>>,
+}
+
+/// Builds the topical container pool of `platform` with its posts.
+pub fn generate_containers(
+    ctx: &mut GenContext<'_>,
+    rng: &mut StdRng,
+    platform: Platform,
+) -> ContainerPool {
+    let pools = *ctx.cfg.pools(platform);
+    let mut containers = Vec::new();
+    let mut posts = Vec::new();
+    for domain in Domain::ALL {
+        for _ in 0..pools.containers_per_domain {
+            let description = {
+                let words = rng.gen_range(4..8);
+                let mut d = ctx.content.domain_text(rng, domain, words, 1);
+                d.push_str(&format!(" {} community", domain.slug()));
+                d
+            };
+            let c = ctx.graph.add_container(platform, &description, Vec::new());
+            let mut contained = Vec::with_capacity(pools.posts_per_container);
+            for _ in 0..pools.posts_per_container {
+                // Container posts are written by external authors the
+                // study never profiles (creator unknown); they stay firmly
+                // on-topic with occasional chatter.
+                let topic = if rng.gen_bool(0.8) { Some(domain) } else { None };
+                let (text, links) = ctx.resource_text(rng, topic);
+                contained.push(ctx.graph.add_resource(platform, &text, None, None, Some(c), links));
+            }
+            containers.push((c, domain));
+            posts.push(contained);
+        }
+    }
+    ContainerPool { containers, posts }
+}
+
+/// Builds the Twitter celebrity pool with profiles and tweets.
+pub fn generate_celebrities(ctx: &mut GenContext<'_>, rng: &mut StdRng) -> CelebrityPool {
+    let pools = *ctx.cfg.pools(Platform::Twitter);
+    let mut accounts = Vec::new();
+    let mut tweets = Vec::new();
+    let mut serial = 0usize;
+    for domain in Domain::ALL {
+        for _ in 0..pools.celebrities_per_domain {
+            serial += 1;
+            // Celebrity profiles are thematically focused, like Facebook
+            // pages (paper §2.2): rich domain text with entity mentions.
+            let bio = {
+                let words = rng.gen_range(10..18);
+                { let ents = rng.gen_range(2..4); ctx.content.domain_text(rng, domain, words, ents) }
+            };
+            let name = format!("{} voice {}", domain.slug(), serial);
+            let u = ctx.graph.add_profile(Platform::Twitter, &name, &bio, None, Vec::new());
+            let mut own = Vec::with_capacity(pools.posts_per_celebrity);
+            for _ in 0..pools.posts_per_celebrity {
+                let topic = if rng.gen_bool(0.85) { Some(domain) } else { None };
+                let (text, links) = ctx.resource_text(rng, topic);
+                own.push(ctx.graph.add_resource(Platform::Twitter, &text, Some(u), Some(u), None, links));
+            }
+            accounts.push((u, domain));
+            tweets.push(own);
+        }
+    }
+    CelebrityPool { accounts, tweets }
+}
+
+/// Scales a per-candidate volume by the candidate's activity level.
+fn scaled(count: usize, activity: f64) -> usize {
+    (count as f64 * activity).round() as usize
+}
+
+/// Generates the Facebook subgraph for every candidate.
+pub fn generate_facebook(
+    ctx: &mut GenContext<'_>,
+    rng: &mut StdRng,
+    candidate_accounts: &[UserId],
+    containers: &ContainerPool,
+) {
+    let vol = *ctx.cfg.volume(Platform::Facebook);
+    let mut friend_serial = 0usize;
+    for (p, &u) in candidate_accounts.iter().enumerate() {
+        let person = PersonId::new(p as u32);
+        let persona = ctx.personas[p].clone();
+
+        // Own wall posts.
+        for _ in 0..scaled(vol.own_posts, persona.activity) {
+            let topic = ctx.pick_topic(rng, person, Platform::Facebook);
+            let (text, links) = ctx.resource_text(rng, topic);
+            ctx.graph.add_resource(Platform::Facebook, &text, Some(u), Some(u), None, links);
+        }
+
+        // Friends: privacy-walled profiles; a share of them write on the
+        // candidate's wall (foreign posts, owned by the candidate).
+        let mut friend_ids = Vec::new();
+        for _ in 0..vol.friends {
+            friend_serial += 1;
+            let name = names::person_name(1000 + friend_serial);
+            let bio = { let w = rng.gen_range(1..4); ctx.content.chatter(rng, w) };
+            let f = ctx.graph.add_profile(Platform::Facebook, &name, &bio, None, Vec::new());
+            ctx.graph.add_friendship(u, f);
+            friend_ids.push(f);
+        }
+        for _ in 0..scaled(vol.foreign_wall_posts, persona.activity) {
+            let Some(&author) = friend_ids.choose(rng) else { break };
+            // Wall posts from friends mix chatter with the *owner's*
+            // interests ("saw this and thought of you" dynamics).
+            let topic = if rng.gen_bool(0.5) {
+                None
+            } else {
+                Some(ctx.pick_domain(rng, person, Platform::Facebook))
+            };
+            let (text, links) = ctx.resource_text(rng, topic);
+            ctx.graph.add_resource(Platform::Facebook, &text, Some(author), Some(u), None, links);
+        }
+
+        // Group/page memberships follow interests; likes land on posts of
+        // joined containers (pulling them from distance 2 to distance 1).
+        // Silent users' social activity is unreadable (privacy settings —
+        // the paper could access only 0.6% of friend profiles, and its
+        // eight F1=0 volunteers exposed nothing): no memberships, no likes.
+        let memberships = if persona.silent { Vec::new() } else { pick_memberships(
+            ctx,
+            rng,
+            person,
+            Platform::Facebook,
+            containers,
+            scaled(vol.memberships, persona.activity.min(1.5)),
+        ) };
+        for &ci in &memberships {
+            ctx.graph.add_membership(u, containers.containers[ci].0);
+        }
+        for _ in 0..scaled(vol.annotations, persona.activity) {
+            let Some(&ci) = memberships.choose(rng) else { break };
+            if let Some(&post) = containers.posts[ci].choose(rng) {
+                ctx.graph.add_annotation(u, post);
+            }
+        }
+    }
+}
+
+/// Generates the Twitter subgraph for every candidate.
+pub fn generate_twitter(
+    ctx: &mut GenContext<'_>,
+    rng: &mut StdRng,
+    candidate_accounts: &[UserId],
+    celebrities: &CelebrityPool,
+) {
+    let vol = *ctx.cfg.volume(Platform::Twitter);
+    let pools = *ctx.cfg.pools(Platform::Twitter);
+    let mut friend_serial = 0usize;
+    for (p, &u) in candidate_accounts.iter().enumerate() {
+        let person = PersonId::new(p as u32);
+        let persona = ctx.personas[p].clone();
+
+        // Own tweets.
+        for _ in 0..scaled(vol.own_posts, persona.activity) {
+            let topic = ctx.pick_topic(rng, person, Platform::Twitter);
+            let (text, links) = ctx.resource_text(rng, topic);
+            ctx.graph.add_resource(Platform::Twitter, &text, Some(u), Some(u), None, links);
+        }
+
+        // Follows: interest-weighted celebrity picks (with a noise tail).
+        // Silent users' follow lists are privacy-walled (see Facebook).
+        let followed = if persona.silent { Vec::new() } else { pick_celebrities(
+            ctx,
+            rng,
+            person,
+            celebrities,
+            scaled(vol.followed_accounts, persona.activity.min(1.5)),
+        ) };
+        for &ci in &followed {
+            ctx.graph.add_follow(u, celebrities.accounts[ci].0);
+        }
+
+        // Favourites: annotations on tweets of followed accounts.
+        for _ in 0..scaled(vol.annotations, persona.activity) {
+            let Some(&ci) = followed.choose(rng) else { break };
+            if let Some(&tweet) = celebrities.tweets[ci].choose(rng) {
+                ctx.graph.add_annotation(u, tweet);
+            }
+        }
+
+        // Friends: mutual follows. A friendship is a real-world bond,
+        // not shared expertise (paper §2.2): friend feeds are mostly
+        // chatter, and their occasional topical posts scatter across
+        // domains instead of concentrating on one — volume, not signal.
+        for _ in 0..vol.friends {
+            friend_serial += 1;
+            let name = names::person_name(5000 + friend_serial);
+            let bio = {
+                let w = rng.gen_range(1..4);
+                ctx.content.chatter(rng, w)
+            };
+            let f = ctx.graph.add_profile(Platform::Twitter, &name, &bio, None, Vec::new());
+            ctx.graph.add_friendship(u, f);
+            for _ in 0..pools.posts_per_friend {
+                // No URL enrichment on friend posts: a friend's shared
+                // links elaborate the *friend's* world, and modelling them
+                // as topical pages would hand every candidate a stream of
+                // strong cross-domain evidence — exactly the signal the
+                // paper shows friends do NOT provide.
+                let text = if rng.gen_bool(0.92) {
+                    let w = rng.gen_range(3..9);
+                    ctx.content.chatter(rng, w)
+                } else {
+                    let d = Domain::from_index(rng.gen_range(0..Domain::COUNT));
+                    let w = rng.gen_range(4..9);
+                    ctx.content.domain_text(rng, d, w, 0)
+                };
+                ctx.graph.add_resource(Platform::Twitter, &text, Some(f), Some(f), None, Vec::new());
+            }
+        }
+
+        // Mentions/retweets that land on the candidate's stream.
+        for _ in 0..scaled(vol.foreign_wall_posts, persona.activity) {
+            let Some(&ci) = followed.choose(rng) else { break };
+            let author = celebrities.accounts[ci].0;
+            let domain = celebrities.accounts[ci].1;
+            let (text, links) = ctx.resource_text(rng, Some(domain));
+            ctx.graph.add_resource(Platform::Twitter, &text, Some(author), Some(u), None, links);
+        }
+    }
+}
+
+/// Generates the LinkedIn subgraph for every candidate.
+pub fn generate_linkedin(
+    ctx: &mut GenContext<'_>,
+    rng: &mut StdRng,
+    candidate_accounts: &[UserId],
+    containers: &ContainerPool,
+) {
+    let vol = *ctx.cfg.volume(Platform::LinkedIn);
+    for (p, &u) in candidate_accounts.iter().enumerate() {
+        let person = PersonId::new(p as u32);
+        let persona = ctx.personas[p].clone();
+
+        // A few status updates.
+        for _ in 0..scaled(vol.own_posts, persona.activity) {
+            let topic = ctx.pick_topic(rng, person, Platform::LinkedIn);
+            let (text, links) = ctx.resource_text(rng, topic);
+            ctx.graph.add_resource(Platform::LinkedIn, &text, Some(u), Some(u), None, links);
+        }
+
+        // Group memberships (work-dominated by LinkedIn's affinity).
+        // Silent users' groups are privacy-walled (see Facebook).
+        let memberships = if persona.silent { Vec::new() } else { pick_memberships(
+            ctx,
+            rng,
+            person,
+            Platform::LinkedIn,
+            containers,
+            scaled(vol.memberships, persona.activity.min(1.5)),
+        ) };
+        for &ci in &memberships {
+            ctx.graph.add_membership(u, containers.containers[ci].0);
+        }
+        for _ in 0..scaled(vol.annotations, persona.activity) {
+            let Some(&ci) = memberships.choose(rng) else { break };
+            if let Some(&post) = containers.posts[ci].choose(rng) {
+                ctx.graph.add_annotation(u, post);
+            }
+        }
+    }
+}
+
+/// Picks `count` container indices weighted by interest × affinity.
+fn pick_memberships(
+    ctx: &GenContext<'_>,
+    rng: &mut StdRng,
+    person: PersonId,
+    platform: Platform,
+    containers: &ContainerPool,
+    count: usize,
+) -> Vec<usize> {
+    if containers.containers.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = containers
+        .containers
+        .iter()
+        .map(|&(_, d)| platform_domain_affinity(platform, d) * ctx.interest(person, d))
+        .collect();
+    pick_distinct_weighted(rng, &weights, count)
+}
+
+/// Picks `count` celebrity indices weighted by interest (with a flat noise
+/// floor so everyone follows a few off-interest accounts).
+fn pick_celebrities(
+    ctx: &GenContext<'_>,
+    rng: &mut StdRng,
+    person: PersonId,
+    celebrities: &CelebrityPool,
+    count: usize,
+) -> Vec<usize> {
+    if celebrities.accounts.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = celebrities
+        .accounts
+        .iter()
+        .map(|&(_, d)| 0.15 + ctx.interest(person, d))
+        .collect();
+    pick_distinct_weighted(rng, &weights, count)
+}
+
+/// Samples up to `count` distinct indices with probability proportional to
+/// `weights` (weights of picked indices are zeroed).
+fn pick_distinct_weighted(rng: &mut StdRng, weights: &[f64], count: usize) -> Vec<usize> {
+    let mut remaining = weights.to_vec();
+    let mut picked = Vec::with_capacity(count.min(weights.len()));
+    for _ in 0..count.min(weights.len()) {
+        match weighted_choice(rng, &remaining) {
+            Some(i) => {
+                picked.push(i);
+                remaining[i] = 0.0;
+            }
+            None => break,
+        }
+    }
+    picked
+}
+
+/// Generates the per-platform profiles of all candidates (distance-0
+/// evidence) and returns the per-platform account lists.
+pub fn generate_candidate_profiles(
+    ctx: &mut GenContext<'_>,
+    rng: &mut StdRng,
+    persons: &[PersonId],
+) -> [Vec<UserId>; Platform::COUNT] {
+    let mut accounts: [Vec<UserId>; Platform::COUNT] = Default::default();
+    for &person in persons {
+        let name = ctx.graph.person(person).name.clone();
+        let top = ctx.top_domain(person);
+        let leak_location = rng.gen_bool(ctx.cfg.profile_location_leak);
+
+        // Facebook: nearly empty — a hometown and maybe one hobby word.
+        let fb_bio = {
+            let mut parts: Vec<String> = Vec::new();
+            if leak_location {
+                parts.push("lives in milan italy".to_owned());
+            }
+            if rng.gen_bool(0.35) {
+                let w = vocab::domain_words(top);
+                parts.push(format!("hobby {}", w[rng.gen_range(0..w.len())]));
+            }
+            parts.join(" ")
+        };
+        let fb = ctx.graph.add_profile(
+            Platform::Facebook,
+            &names::handle(&name, "fb"),
+            &fb_bio,
+            Some(person),
+            Vec::new(),
+        );
+
+        // Twitter: a one-liner, topical for about half the users.
+        let tw_bio = if rng.gen_bool(0.5) {
+            { let w = rng.gen_range(2..5); ctx.content.domain_text(rng, top, w, 0) }
+        } else {
+            { let w = rng.gen_range(1..4); ctx.content.chatter(rng, w) }
+        };
+        let tw = ctx.graph.add_profile(
+            Platform::Twitter,
+            &names::handle(&name, "tw"),
+            &tw_bio,
+            Some(person),
+            Vec::new(),
+        );
+
+        // LinkedIn: a career description — rich and accurate for
+        // work-domain experts, generic otherwise, often with a location.
+        let li_bio = {
+            let mut s = String::new();
+            let work_level = ctx
+                .latent
+                .level(person, Domain::ComputerEngineering)
+                .value()
+                .max(ctx.latent.level(person, Domain::Science).value())
+                .max(ctx.latent.level(person, Domain::TechnologyGames).value());
+            if work_level >= 5 {
+                let domain = [Domain::ComputerEngineering, Domain::Science, Domain::TechnologyGames]
+                    .into_iter()
+                    .max_by_key(|&d| ctx.latent.level(person, d).value())
+                    .unwrap();
+                let (w, ents) = (rng.gen_range(10..18), rng.gen_range(1..3));
+                s.push_str(&ctx.content.domain_text(rng, domain, w, ents));
+                s.push_str(" professional experience engineer");
+            } else {
+                s.push_str("professional with experience in business and management");
+            }
+            if leak_location {
+                s.push_str(" milan area italy");
+            }
+            s
+        };
+        let li = ctx.graph.add_profile(
+            Platform::LinkedIn,
+            &names::handle(&name, "li"),
+            &li_bio,
+            Some(person),
+            Vec::new(),
+        );
+
+        accounts[Platform::Facebook.index()].push(fb);
+        accounts[Platform::Twitter.index()].push(tw);
+        accounts[Platform::LinkedIn.index()].push(li);
+    }
+    accounts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..50 {
+            assert_eq!(weighted_choice(&mut rng, &weights), Some(1));
+        }
+        assert_eq!(weighted_choice(&mut rng, &[0.0, 0.0]), None);
+        assert_eq!(weighted_choice(&mut rng, &[]), None);
+    }
+
+    #[test]
+    fn pick_distinct_weighted_is_distinct_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let picked = pick_distinct_weighted(&mut rng, &weights, 10);
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        let two = pick_distinct_weighted(&mut rng, &weights, 2);
+        assert_eq!(two.len(), 2);
+    }
+
+    #[test]
+    fn personas_have_silent_members_at_paper_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = DatasetConfig::paper();
+        let personas = Persona::sample_all(&mut rng, &cfg, 400);
+        let silent = personas.iter().filter(|p| p.silent).count();
+        // 15% of 400 ± generous slack.
+        assert!((30..=90).contains(&silent), "silent: {silent}");
+        for p in &personas {
+            if p.silent {
+                assert!(p.activity < 0.1);
+            } else {
+                assert!(p.activity > 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_volume_rounds() {
+        assert_eq!(scaled(100, 0.5), 50);
+        assert_eq!(scaled(10, 0.04), 0);
+        assert_eq!(scaled(3, 1.5), 5);
+    }
+}

@@ -1,0 +1,112 @@
+//! The evaluation workload: 30 expertise needs over 7 domains.
+//!
+//! The paper (§3.1) devised 30 textual queries spanning its seven domains
+//! and gives one example per domain; those seven are reproduced verbatim
+//! and the remaining 23 are written in the same register, each anchored to
+//! at least one knowledge-base entity so that entity matching has teeth.
+
+use rightcrowd_types::{Domain, QueryId};
+
+/// One expertise need of the workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpertiseNeed {
+    /// Stable query id (position in the workload).
+    pub id: QueryId,
+    /// The natural-language question.
+    pub text: String,
+    /// The domain the need refers to.
+    pub domain: Domain,
+}
+
+/// The raw (text, domain) workload. The first seven entries are the
+/// paper's own examples.
+const WORKLOAD: &[(&str, Domain)] = &[
+    // --- the paper's verbatim examples -------------------------------
+    ("Which PHP function can I use in order to obtain the length of a string?", Domain::ComputerEngineering),
+    ("Can you list some restaurants in Milan?", Domain::Location),
+    ("Can you list some famous actors in how I met your mother?", Domain::MoviesTv),
+    ("Can you list some famous songs of Michael Jackson?", Domain::Music),
+    ("Why is copper a good conductor?", Domain::Science),
+    ("Can you list some famous European football teams?", Domain::Sport),
+    ("I am looking for a graphic card to play Diablo 3 but I don't want to spend too much. What do you suggest?", Domain::TechnologyGames),
+    // --- computer engineering -----------------------------------------
+    ("How do I write a regular expression that matches an email address in Python?", Domain::ComputerEngineering),
+    ("What is the best way to index a large MySQL database table?", Domain::ComputerEngineering),
+    ("Can someone explain recursion with a simple Java example?", Domain::ComputerEngineering),
+    // --- location -------------------------------------------------------
+    ("What should I visit in Rome in two days, beyond the Colosseum?", Domain::Location),
+    ("Is the Navigli area of Milan nice for an evening walk?", Domain::Location),
+    ("Which museums in Paris are worth the ticket besides the Eiffel Tower area?", Domain::Location),
+    ("Any hotel recommendations near Central Park in New York?", Domain::Location),
+    // --- movies & tv ----------------------------------------------------
+    ("Is Breaking Bad worth watching after the first season?", Domain::MoviesTv),
+    ("Who directed Inception and what else did he make?", Domain::MoviesTv),
+    ("Which episodes of Game of Thrones are the best ones?", Domain::MoviesTv),
+    ("Can you suggest a sitcom similar to Friends?", Domain::MoviesTv),
+    // --- music ----------------------------------------------------------
+    ("What are the greatest songs by Queen to start with?", Domain::Music),
+    ("Which album of The Beatles should I listen to first?", Domain::Music),
+    ("Is the Thriller album really the best selling record ever?", Domain::Music),
+    ("Can you recommend a good live concert recording of U2?", Domain::Music),
+    // --- science --------------------------------------------------------
+    ("How does DNA store genetic information?", Domain::Science),
+    ("What exactly did the discovery of the Higgs boson at CERN prove?", Domain::Science),
+    ("Why does gravity bend light according to relativity?", Domain::Science),
+    // --- sport ----------------------------------------------------------
+    ("How many gold medals did Michael Phelps win at the Olympics?", Domain::Sport),
+    ("Who will win the derby between AC Milan and Inter this year?", Domain::Sport),
+    ("What is a good freestyle swimming training plan for beginners?", Domain::Sport),
+    // --- technology & games ----------------------------------------------
+    ("Should I buy a Nvidia or an AMD graphics card for gaming?", Domain::TechnologyGames),
+    ("Is the new iPhone better than the top Android phones?", Domain::TechnologyGames),
+];
+
+/// Builds the 30-query workload with stable ids.
+pub fn workload() -> Vec<ExpertiseNeed> {
+    WORKLOAD
+        .iter()
+        .enumerate()
+        .map(|(i, &(text, domain))| ExpertiseNeed {
+            id: QueryId::new(i as u32),
+            text: text.to_owned(),
+            domain,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirty_queries() {
+        // The table above has 31 entries? Count exactly — the workload
+        // must be 30, like the paper's.
+        assert_eq!(workload().len(), 30);
+    }
+
+    #[test]
+    fn every_domain_covered_by_at_least_three() {
+        let w = workload();
+        for d in Domain::ALL {
+            let n = w.iter().filter(|q| q.domain == d).count();
+            assert!(n >= 3, "{d}: only {n} queries");
+        }
+    }
+
+    #[test]
+    fn paper_examples_lead_the_workload() {
+        let w = workload();
+        assert!(w[0].text.contains("PHP function"));
+        assert_eq!(w[0].domain, Domain::ComputerEngineering);
+        assert!(w[4].text.contains("copper"));
+        assert_eq!(w[6].domain, Domain::TechnologyGames);
+    }
+
+    #[test]
+    fn ids_are_positional() {
+        for (i, q) in workload().iter().enumerate() {
+            assert_eq!(q.id.index(), i);
+        }
+    }
+}

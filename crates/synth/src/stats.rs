@@ -1,0 +1,193 @@
+//! Dataset statistics — the numbers behind the paper's Fig. 5.
+//!
+//! Fig. 5a plots, per social network, the number of expert candidates and
+//! the number of resources at each distance; Fig. 5b plots the number of
+//! experts and the average expertise per domain. [`DatasetStats::compute`]
+//! derives both from a generated dataset.
+
+use crate::dataset::SyntheticDataset;
+use rightcrowd_graph::CollectOptions;
+use rightcrowd_langid::LanguageIdentifier;
+use rightcrowd_types::{Distance, Domain, Platform, PlatformMask};
+
+/// Per-platform, per-distance document counts (union over candidates, each
+/// document counted at its minimum distance for each candidate and
+/// deduplicated globally per distance level).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlatformStats {
+    /// Documents reachable at each distance (0, 1, 2) for ≥ 1 candidate.
+    pub docs_at: [usize; Distance::COUNT],
+    /// Total unique documents reachable within distance 2.
+    pub total_docs: usize,
+    /// Raw resource count generated on this platform (reachable or not).
+    pub resources_generated: usize,
+}
+
+/// Per-domain ground-truth statistics (Fig. 5b).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DomainStats {
+    /// Number of domain experts (above-average rule).
+    pub experts: usize,
+    /// Average derived expertise over the whole population.
+    pub avg_expertise: f64,
+    /// Average derived expertise of the domain's experts only.
+    pub avg_expert_expertise: f64,
+}
+
+/// The full statistics bundle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DatasetStats {
+    /// Per-platform stats, indexed by [`Platform::index`].
+    pub platforms: [PlatformStats; Platform::COUNT],
+    /// Per-domain stats, indexed by [`Domain::index`].
+    pub domains: [DomainStats; Domain::COUNT],
+    /// Number of candidate experts.
+    pub candidates: usize,
+    /// Total resources generated across platforms.
+    pub total_resources: usize,
+    /// Fraction of resources carrying at least one URL.
+    pub url_fraction: f64,
+    /// Estimated fraction of English resources (langid over a sample).
+    pub english_fraction: f64,
+}
+
+/// Sample size for the language-fraction estimate.
+const LANG_SAMPLE: usize = 2000;
+
+impl DatasetStats {
+    /// Computes all statistics for `ds`.
+    pub fn compute(ds: &SyntheticDataset) -> Self {
+        let mut stats = DatasetStats {
+            candidates: ds.candidates().len(),
+            total_resources: ds.graph().resources().len(),
+            ..Default::default()
+        };
+
+        // Fig. 5a: per-platform reachable documents by distance.
+        for platform in Platform::ALL {
+            let mut at: [std::collections::BTreeSet<rightcrowd_graph::DocId>; Distance::COUNT] =
+                Default::default();
+            for person in ds.candidates() {
+                let items = ds.graph().collect_evidence(
+                    person.id,
+                    &CollectOptions {
+                        platforms: PlatformMask::only(platform),
+                        ..Default::default()
+                    },
+                );
+                for item in items {
+                    at[item.distance.level()].insert(item.doc);
+                }
+            }
+            let slot = &mut stats.platforms[platform.index()];
+            let mut union = std::collections::BTreeSet::new();
+            for (level, set) in at.iter().enumerate() {
+                slot.docs_at[level] = set.len();
+                union.extend(set.iter().copied());
+            }
+            slot.total_docs = union.len();
+            slot.resources_generated = ds
+                .graph()
+                .resources()
+                .iter()
+                .filter(|r| r.platform == platform)
+                .count();
+        }
+
+        // Fig. 5b: per-domain expert statistics.
+        let gt = ds.ground_truth();
+        for domain in Domain::ALL {
+            let experts = gt.experts(domain);
+            let slot = &mut stats.domains[domain.index()];
+            slot.experts = experts.len();
+            slot.avg_expertise = gt.domain_average(domain);
+            slot.avg_expert_expertise = if experts.is_empty() {
+                0.0
+            } else {
+                experts.iter().map(|&p| gt.expertise(p, domain)).sum::<f64>()
+                    / experts.len() as f64
+            };
+        }
+
+        // URL fraction.
+        let with_url = ds
+            .graph()
+            .resources()
+            .iter()
+            .filter(|r| !r.links.is_empty())
+            .count();
+        stats.url_fraction = if stats.total_resources == 0 {
+            0.0
+        } else {
+            with_url as f64 / stats.total_resources as f64
+        };
+
+        // English fraction over a deterministic sample.
+        let ident = LanguageIdentifier::new();
+        let resources = ds.graph().resources();
+        if !resources.is_empty() {
+            let step = (resources.len() / LANG_SAMPLE).max(1);
+            let mut english = 0usize;
+            let mut sampled = 0usize;
+            for r in resources.iter().step_by(step) {
+                sampled += 1;
+                if ident.retains(&r.text) {
+                    english += 1;
+                }
+            }
+            stats.english_fraction = english as f64 / sampled as f64;
+        }
+
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetConfig;
+
+    #[test]
+    fn stats_reflect_paper_marginals_in_tiny_dataset() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let stats = DatasetStats::compute(&ds);
+
+        assert_eq!(stats.candidates, DatasetConfig::tiny().candidates);
+        assert!(stats.total_resources > 500);
+
+        // URL rate near the configured 70%.
+        assert!((0.5..=0.9).contains(&stats.url_fraction), "{}", stats.url_fraction);
+
+        // English fraction near the configured 70%. Langid mislabels some
+        // very short chatter, so accept a broad band.
+        assert!(
+            (0.5..=0.95).contains(&stats.english_fraction),
+            "{}",
+            stats.english_fraction
+        );
+
+        // LinkedIn's reachable documents concentrate at distance 2.
+        let li = &stats.platforms[Platform::LinkedIn.index()];
+        assert!(li.docs_at[2] > li.docs_at[1]);
+
+        // Every domain has experts and a positive average.
+        for d in Domain::ALL {
+            let ds = &stats.domains[d.index()];
+            assert!(ds.experts > 0);
+            assert!(ds.avg_expertise > 1.0);
+            assert!(ds.avg_expert_expertise > ds.avg_expertise);
+        }
+    }
+
+    #[test]
+    fn distance_counts_are_cumulative_in_reach() {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let stats = DatasetStats::compute(&ds);
+        for platform in Platform::ALL {
+            let p = &stats.platforms[platform.index()];
+            // d0 docs = candidate profiles on that platform.
+            assert_eq!(p.docs_at[0], stats.candidates);
+            assert!(p.total_docs <= p.docs_at.iter().sum::<usize>());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! The synthetic web — the stand-in for URL content extraction.
+//!
+//! The paper enriches resources with the text of linked web pages (fetched
+//! through the Alchemy API). Here every generated URL resolves to a page in
+//! this corpus; the analysis pipeline appends the page text to the linking
+//! resource exactly as the paper's enrichment stage does.
+
+use rightcrowd_types::PageId;
+
+/// An in-memory corpus of generated web pages.
+#[derive(Debug, Clone, Default)]
+pub struct WebCorpus {
+    pages: Vec<String>,
+}
+
+impl WebCorpus {
+    /// An empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a page and returns its id (which doubles as its URL slug).
+    pub fn add_page(&mut self, text: String) -> PageId {
+        let id = PageId::new(self.pages.len() as u32);
+        self.pages.push(text);
+        id
+    }
+
+    /// The extracted text content of a page.
+    pub fn text(&self, id: PageId) -> &str {
+        &self.pages[id.index()]
+    }
+
+    /// The synthetic URL of a page, embeddable in resource text.
+    pub fn url(id: PageId) -> String {
+        format!("http://web.example/{}", id)
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the corpus is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_read_back() {
+        let mut web = WebCorpus::new();
+        let a = web.add_page("copper conducts electricity".into());
+        let b = web.add_page("freestyle training plan".into());
+        assert_eq!(web.text(a), "copper conducts electricity");
+        assert_eq!(web.text(b), "freestyle training plan");
+        assert_eq!(web.len(), 2);
+    }
+
+    #[test]
+    fn urls_are_unique_per_page() {
+        assert_ne!(WebCorpus::url(PageId::new(0)), WebCorpus::url(PageId::new(1)));
+        assert!(WebCorpus::url(PageId::new(5)).starts_with("http://"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the synthetic-study generator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rightcrowd_synth::ground_truth::{GroundTruth, LatentExpertise};
+use rightcrowd_synth::queries::workload;
+use rightcrowd_synth::DatasetConfig;
+use rightcrowd_types::{Domain, Likert, PersonId};
+
+proptest! {
+    #[test]
+    fn ground_truth_rule_is_exactly_above_average(seed in any::<u64>(), n in 2usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let latent = LatentExpertise::sample(&mut rng, n);
+        let queries = workload();
+        let gt = GroundTruth::from_questionnaire(&mut rng, &latent, &queries);
+        for d in Domain::ALL {
+            let avg = gt.domain_average(d);
+            let mut expert_count = 0;
+            for p in 0..n {
+                let person = PersonId::new(p as u32);
+                let is_expert = gt.is_expert(person, d);
+                prop_assert_eq!(is_expert, gt.expertise(person, d) > avg);
+                expert_count += is_expert as usize;
+            }
+            // "Above average" can never include everyone.
+            prop_assert!(expert_count < n);
+            prop_assert_eq!(expert_count, gt.experts(d).len());
+        }
+    }
+
+    #[test]
+    fn questionnaire_answers_stay_on_scale(seed in any::<u64>(), n in 1usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let latent = LatentExpertise::sample(&mut rng, n);
+        let queries = workload();
+        let gt = GroundTruth::from_questionnaire(&mut rng, &latent, &queries);
+        for p in 0..n {
+            for q in 0..queries.len() {
+                let a = gt.answer(PersonId::new(p as u32), q);
+                prop_assert!(a >= Likert::MIN && a <= Likert::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn latent_levels_on_scale(seed in any::<u64>(), n in 1usize..50) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let latent = LatentExpertise::sample(&mut rng, n);
+        prop_assert_eq!(latent.len(), n);
+        for p in 0..n {
+            let mut strongest = 0u8;
+            for d in Domain::ALL {
+                let v = latent.level(PersonId::new(p as u32), d).value();
+                prop_assert!((1..=7).contains(&v));
+                strongest = strongest.max(v);
+            }
+            // Every candidate has at least one guaranteed strong domain.
+            prop_assert!(strongest >= 5, "candidate {p} has no strong domain");
+        }
+    }
+
+    #[test]
+    fn scaling_is_monotone(factor in 0.01f64..1.0) {
+        let full = DatasetConfig::paper();
+        let scaled = full.scaled(factor);
+        prop_assert_eq!(scaled.candidates, full.candidates);
+        for (a, b) in scaled.volumes.iter().zip(&full.volumes) {
+            prop_assert!(a.own_posts <= b.own_posts);
+            prop_assert!(a.annotations <= b.annotations);
+            prop_assert!(a.friends <= b.friends);
+            // Non-zero knobs never scale to zero (structure survives).
+            if b.own_posts > 0 {
+                prop_assert!(a.own_posts >= 1);
+            }
+            if b.followed_accounts > 0 {
+                prop_assert!(a.followed_accounts >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_composes_reasonably(f1 in 0.1f64..1.0, f2 in 0.1f64..1.0) {
+        // scaled(f1).scaled(f2) stays within the volume envelope of
+        // scaled(min(f1·f2 rounded effects considered)) — coarse check:
+        // composition never exceeds a single scale by the larger factor.
+        let base = DatasetConfig::paper();
+        let composed = base.scaled(f1).scaled(f2);
+        let single = base.scaled(f1.max(f2));
+        for (c, s) in composed.volumes.iter().zip(&single.volumes) {
+            prop_assert!(c.own_posts <= s.own_posts + 1);
+        }
+    }
+}

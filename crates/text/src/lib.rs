@@ -1,0 +1,22 @@
+//! # rightcrowd-text
+//!
+//! Standard information-retrieval text processing, reimplemented from
+//! scratch as required by the paper's pipeline (§2.3, Fig. 4): sanitisation,
+//! tokenisation, stop-word removal, and stemming — plus the character
+//! n-gram utilities used by the language-identification crate.
+//!
+//! The central entry point is [`TextProcessor`], which turns raw social text
+//! ("RT @bob: Phelps takes GOLD!! http://t.co/x #london2012") into the
+//! normalised term stream the inverted index consumes.
+
+pub mod ngram;
+pub mod pipeline;
+pub mod sanitize;
+pub mod stem;
+pub mod stopwords;
+pub mod token;
+
+pub use pipeline::{ProcessedText, TextProcessor, TextProcessorConfig};
+pub use sanitize::{sanitize, Sanitized};
+pub use stem::porter_stem;
+pub use token::tokenize;

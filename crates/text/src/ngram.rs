@@ -1,0 +1,87 @@
+//! Character n-gram extraction.
+//!
+//! Used by `rightcrowd-langid` for Cavnar–Trenkle language profiles. Words
+//! are padded with `_` sentinels (the original paper's convention) so that
+//! prefix and suffix grams are distinguishable from interior grams.
+
+/// Extracts padded character n-grams of size `n` from `text`, word by word.
+///
+/// Each word `w` is treated as `_w_` and all windows of `n` characters are
+/// emitted, e.g. for `n = 3`, "the" yields `_th`, `the`, `he_`.
+pub fn char_ngrams(text: &str, n: usize) -> Vec<String> {
+    assert!(n >= 1, "n-gram size must be at least 1");
+    let mut grams = Vec::new();
+    for word in text.split(|c: char| !c.is_alphanumeric()) {
+        if word.is_empty() {
+            continue;
+        }
+        let padded: Vec<char> = std::iter::once('_')
+            .chain(word.chars().flat_map(char::to_lowercase))
+            .chain(std::iter::once('_'))
+            .collect();
+        if padded.len() < n {
+            continue;
+        }
+        for window in padded.windows(n) {
+            grams.push(window.iter().collect());
+        }
+    }
+    grams
+}
+
+/// Counts occurrences of each n-gram, returning (gram, count) pairs sorted
+/// by descending count, ties broken lexicographically — the canonical
+/// Cavnar–Trenkle profile ordering.
+pub fn ngram_profile(text: &str, n: usize) -> Vec<(String, usize)> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for g in char_ngrams(text, n) {
+        *counts.entry(g).or_insert(0) += 1;
+    }
+    let mut profile: Vec<(String, usize)> = counts.into_iter().collect();
+    profile.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_windows_with_padding() {
+        let grams = char_ngrams("the", 3);
+        assert_eq!(grams, vec!["_th", "the", "he_"]);
+    }
+
+    #[test]
+    fn short_words_skipped_when_smaller_than_n() {
+        // "a" padded is "_a_" (3 chars) so it yields one trigram.
+        assert_eq!(char_ngrams("a", 3), vec!["_a_"]);
+        // For n = 4 it is too short.
+        assert!(char_ngrams("a", 4).is_empty());
+    }
+
+    #[test]
+    fn multiple_words_and_case_folding() {
+        let grams = char_ngrams("To Be", 2);
+        assert_eq!(grams, vec!["_t", "to", "o_", "_b", "be", "e_"]);
+    }
+
+    #[test]
+    fn profile_sorted_by_count_then_gram() {
+        let profile = ngram_profile("aa aa ab", 2);
+        // "_a" occurs 3 times; "a_" twice (from "aa" twice); "aa" twice; "ab" once; "b_" once.
+        assert_eq!(profile[0].0, "_a");
+        assert_eq!(profile[0].1, 3);
+        let counts: Vec<usize> = profile.iter().map(|p| p.1).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_n_panics() {
+        char_ngrams("x", 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! The end-to-end text-processing pipeline.
+//!
+//! Composes sanitisation → tokenisation → stop-word removal → stemming into
+//! the "Text Processing" box of the paper's Fig. 4. The same processor is
+//! applied symmetrically to resources and to expertise needs (§2.3).
+
+use crate::sanitize::sanitize;
+use crate::stem::porter_stem;
+use crate::stopwords::is_english_stopword;
+use crate::token::tokenize;
+
+/// Configuration for [`TextProcessor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextProcessorConfig {
+    /// Remove English stop words (on in the paper's pipeline).
+    pub remove_stopwords: bool,
+    /// Apply Porter stemming (on in the paper's pipeline).
+    pub stem: bool,
+}
+
+impl Default for TextProcessorConfig {
+    fn default() -> Self {
+        TextProcessorConfig { remove_stopwords: true, stem: true }
+    }
+}
+
+/// The output of processing one piece of text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProcessedText {
+    /// Normalised terms, in original order (duplicates preserved — term
+    /// frequency is computed downstream by the index).
+    pub terms: Vec<String>,
+    /// URLs extracted by the sanitiser, for the enrichment stage.
+    pub urls: Vec<String>,
+}
+
+impl ProcessedText {
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether no term survived processing.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// A reusable text processor (sanitise → tokenise → stop → stem).
+#[derive(Debug, Clone, Default)]
+pub struct TextProcessor {
+    config: TextProcessorConfig,
+}
+
+impl TextProcessor {
+    /// Builds a processor with the given configuration.
+    pub fn new(config: TextProcessorConfig) -> Self {
+        TextProcessor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TextProcessorConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on `raw`.
+    pub fn process(&self, raw: &str) -> ProcessedText {
+        let sanitized = sanitize(raw);
+        let mut terms = Vec::new();
+        for token in tokenize(&sanitized.text) {
+            if self.config.remove_stopwords && is_english_stopword(&token) {
+                continue;
+            }
+            let term = if self.config.stem { porter_stem(&token) } else { token };
+            if !term.is_empty() {
+                terms.push(term);
+            }
+        }
+        ProcessedText { terms, urls: sanitized.urls }
+    }
+
+    /// Processes text that is already clean (no URLs/markup expected), e.g.
+    /// generator-produced web-page bodies. Skips the sanitiser.
+    pub fn process_clean(&self, clean: &str) -> Vec<String> {
+        let mut terms = Vec::new();
+        for token in tokenize(clean) {
+            if self.config.remove_stopwords && is_english_stopword(&token) {
+                continue;
+            }
+            let term = if self.config.stem { porter_stem(&token) } else { token };
+            if !term.is_empty() {
+                terms.push(term);
+            }
+        }
+        terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_on_tweet() {
+        let p = TextProcessor::default();
+        let out = p.process(
+            "RT @alice: MichaelPhelps is the best! Great freestyle gold medal http://t.co/xyz #London2012",
+        );
+        assert_eq!(out.urls, vec!["http://t.co/xyz"]);
+        assert_eq!(
+            out.terms,
+            vec!["michaelphelp", "best", "great", "freestyl", "gold", "medal", "london2012"]
+        );
+    }
+
+    #[test]
+    fn stopwords_removed() {
+        let p = TextProcessor::default();
+        let out = p.process("Why is copper a good conductor?");
+        assert_eq!(out.terms, vec!["copper", "good", "conductor"]);
+    }
+
+    #[test]
+    fn config_toggles() {
+        let raw = "the swimmers are swimming";
+        let nostem = TextProcessor::new(TextProcessorConfig { remove_stopwords: true, stem: false });
+        assert_eq!(nostem.process(raw).terms, vec!["swimmers", "swimming"]);
+        let nostop = TextProcessor::new(TextProcessorConfig { remove_stopwords: false, stem: false });
+        assert_eq!(nostop.process(raw).terms, vec!["the", "swimmers", "are", "swimming"]);
+    }
+
+    #[test]
+    fn process_clean_matches_process_when_no_markup() {
+        let p = TextProcessor::default();
+        let raw = "famous European football teams";
+        assert_eq!(p.process(raw).terms, p.process_clean(raw));
+    }
+
+    #[test]
+    fn empty_and_noise_inputs() {
+        let p = TextProcessor::default();
+        assert!(p.process("").is_empty());
+        assert!(p.process("!!! the of and a").is_empty());
+        assert_eq!(p.process("").len(), 0);
+    }
+}

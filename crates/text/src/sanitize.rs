@@ -1,0 +1,204 @@
+//! Sanitisation of raw social-network text.
+//!
+//! Social resources are noisy: they embed URLs, @-mentions, #hashtags, HTML
+//! tags and entities, and retweet markers. The sanitiser removes markup
+//! while *preserving the informative parts*: hashtag words are kept (minus
+//! the `#`), and embedded URLs are extracted into a side list so the
+//! URL-content-enrichment stage (paper §2.3) can resolve them.
+
+/// The result of sanitising one piece of raw text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sanitized {
+    /// The cleaned text, ready for tokenisation.
+    pub text: String,
+    /// Every URL found in the raw text, in order of appearance.
+    pub urls: Vec<String>,
+}
+
+/// Returns `true` for characters that terminate a URL token.
+fn ends_url(c: char) -> bool {
+    c.is_whitespace() || matches!(c, '"' | '\'' | '<' | '>' | ')' | ']' | '}')
+}
+
+/// Sanitises raw social text.
+///
+/// Performed transformations, mirroring the paper's preprocessing:
+/// - `http://…` / `https://…` / `www.…` URLs are removed from the text and
+///   collected into [`Sanitized::urls`];
+/// - `@mention` tokens are dropped entirely (they are routing markup, not
+///   content);
+/// - `#hashtag` keeps the bare word (`#freestyle` → `freestyle`);
+/// - HTML tags are stripped; the common HTML entities are decoded;
+/// - the retweet marker `RT` at the start of a message is dropped;
+/// - runs of whitespace collapse to single spaces.
+pub fn sanitize(raw: &str) -> Sanitized {
+    let mut out = String::with_capacity(raw.len());
+    let mut urls = Vec::new();
+    let decoded = decode_entities(raw);
+    let stripped = strip_html_tags(&decoded);
+
+    let mut chars = stripped.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        let rest = &stripped[i..];
+        if rest.starts_with("http://") || rest.starts_with("https://") || rest.starts_with("www.")
+        {
+            let end = rest
+                .char_indices()
+                .find(|&(_, ch)| ends_url(ch))
+                .map(|(j, _)| j)
+                .unwrap_or(rest.len());
+            let url = rest[..end].trim_end_matches(['.', ',', ';', ':', '!', '?']);
+            if !url.is_empty() {
+                urls.push(url.to_owned());
+            }
+            // Skip the characters belonging to the URL.
+            while let Some(&(j, _)) = chars.peek() {
+                if j < i + end {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(' ');
+            continue;
+        }
+        match c {
+            '@' => {
+                // Drop the mention handle that follows.
+                while let Some(&(_, ch)) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(' ');
+            }
+            '#' => {
+                // Keep the tag word itself.
+                out.push(' ');
+            }
+            _ => out.push(c),
+        }
+    }
+
+    let mut cleaned = String::with_capacity(out.len());
+    let mut first_token = true;
+    for token in out.split_whitespace() {
+        if first_token && (token == "RT" || token == "rt") {
+            first_token = false;
+            continue;
+        }
+        first_token = false;
+        if !cleaned.is_empty() {
+            cleaned.push(' ');
+        }
+        cleaned.push_str(token);
+    }
+
+    Sanitized { text: cleaned, urls }
+}
+
+/// Removes `<tag …>` spans. Unclosed `<` is treated as literal text.
+fn strip_html_tags(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(open) = rest.find('<') {
+        match rest[open..].find('>') {
+            Some(close) => {
+                out.push_str(&rest[..open]);
+                out.push(' ');
+                rest = &rest[open + close + 1..];
+            }
+            None => break,
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Decodes the HTML entities that actually occur in social feeds.
+fn decode_entities(s: &str) -> String {
+    // Fast path: no ampersand, no entities.
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&#39;", "'")
+        .replace("&apos;", "'")
+        .replace("&nbsp;", " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_urls_and_cleans_text() {
+        let s = sanitize("check this http://example.com/a?b=1 now");
+        assert_eq!(s.text, "check this now");
+        assert_eq!(s.urls, vec!["http://example.com/a?b=1"]);
+    }
+
+    #[test]
+    fn https_and_www_forms() {
+        let s = sanitize("see https://ex.org and www.ex.org/page.");
+        assert_eq!(s.urls, vec!["https://ex.org", "www.ex.org/page"]);
+        assert_eq!(s.text, "see and");
+    }
+
+    #[test]
+    fn url_trailing_punctuation_is_trimmed() {
+        let s = sanitize("go to http://a.b/c!");
+        assert_eq!(s.urls, vec!["http://a.b/c"]);
+    }
+
+    #[test]
+    fn mentions_dropped_hashtags_kept() {
+        let s = sanitize("RT @alice: great freestyle session #swimming #London2012");
+        assert_eq!(s.text, ": great freestyle session swimming London2012");
+        assert!(s.urls.is_empty());
+    }
+
+    #[test]
+    fn html_is_stripped_and_entities_decoded() {
+        let s = sanitize("<p>Tom &amp; Jerry</p> <b>rock&nbsp;on</b>");
+        assert_eq!(s.text, "Tom & Jerry rock on");
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert_eq!(sanitize("").text, "");
+        assert_eq!(sanitize("   \n\t ").text, "");
+    }
+
+    #[test]
+    fn rt_only_at_start() {
+        let s = sanitize("art RT art");
+        assert_eq!(s.text, "art RT art");
+        let s2 = sanitize("RT art");
+        assert_eq!(s2.text, "art");
+    }
+
+    #[test]
+    fn multiple_urls_in_order() {
+        let s = sanitize("a http://one.com b http://two.com c");
+        assert_eq!(s.urls, vec!["http://one.com", "http://two.com"]);
+        assert_eq!(s.text, "a b c");
+    }
+
+    #[test]
+    fn unclosed_tag_is_literal() {
+        let s = sanitize("x < y and z");
+        assert_eq!(s.text, "x < y and z");
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let s = sanitize("caffè città @bob naïve");
+        assert_eq!(s.text, "caffè città naïve");
+    }
+}

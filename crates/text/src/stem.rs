@@ -1,0 +1,383 @@
+//! The Porter stemming algorithm.
+//!
+//! A faithful implementation of M. F. Porter, *"An algorithm for suffix
+//! stripping"* (Program, 1980) — the stemmer the paper's "Text Processing"
+//! stage relies on. Operates on lower-case ASCII words; words containing
+//! non-ASCII characters are returned unchanged (social text may contain
+//! accented names that the classic algorithm was never defined for).
+
+/// Stems a single lower-case word with the Porter algorithm.
+///
+/// ```
+/// use rightcrowd_text::porter_stem;
+/// assert_eq!(porter_stem("swimming"), "swim");
+/// assert_eq!(porter_stem("relational"), "relat");
+/// assert_eq!(porter_stem("conductor"), "conductor");
+/// ```
+pub fn porter_stem(word: &str) -> String {
+    if word.len() <= 2 || !word.bytes().all(|b| b.is_ascii_lowercase()) {
+        return word.to_owned();
+    }
+    let mut w = word.as_bytes().to_vec();
+    step_1a(&mut w);
+    step_1b(&mut w);
+    step_1c(&mut w);
+    step_2(&mut w);
+    step_3(&mut w);
+    step_4(&mut w);
+    step_5a(&mut w);
+    step_5b(&mut w);
+    // SAFETY-free: the buffer only ever shrinks or has ASCII appended.
+    String::from_utf8(w).expect("porter stemmer produces ASCII")
+}
+
+/// Is `w[i]` a consonant under Porter's definition? (`y` is a consonant at
+/// position 0 or after a vowel, a vowel after a consonant.)
+fn is_consonant(w: &[u8], i: usize) -> bool {
+    match w[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => i == 0 || !is_consonant(w, i - 1),
+        _ => true,
+    }
+}
+
+/// Porter's *measure* m of the stem `w[..len]`: the number of VC sequences
+/// in the form `[C](VC)^m[V]`.
+fn measure(w: &[u8], len: usize) -> usize {
+    let mut m = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    while i < len && is_consonant(w, i) {
+        i += 1;
+    }
+    loop {
+        // Skip vowels.
+        while i < len && !is_consonant(w, i) {
+            i += 1;
+        }
+        if i >= len {
+            return m;
+        }
+        // Skip consonants — one full VC block seen.
+        while i < len && is_consonant(w, i) {
+            i += 1;
+        }
+        m += 1;
+        if i >= len {
+            return m;
+        }
+    }
+}
+
+/// `*v*` — the stem `w[..len]` contains a vowel.
+fn has_vowel(w: &[u8], len: usize) -> bool {
+    (0..len).any(|i| !is_consonant(w, i))
+}
+
+/// `*d` — the stem ends with a double consonant.
+fn ends_double_consonant(w: &[u8]) -> bool {
+    let n = w.len();
+    n >= 2 && w[n - 1] == w[n - 2] && is_consonant(w, n - 1)
+}
+
+/// `*o` — the stem ends consonant-vowel-consonant, where the final
+/// consonant is not `w`, `x` or `y`.
+fn ends_cvc(w: &[u8], len: usize) -> bool {
+    if len < 3 {
+        return false;
+    }
+    let (a, b, c) = (len - 3, len - 2, len - 1);
+    is_consonant(w, a)
+        && !is_consonant(w, b)
+        && is_consonant(w, c)
+        && !matches!(w[c], b'w' | b'x' | b'y')
+}
+
+fn ends_with(w: &[u8], suffix: &str) -> bool {
+    w.ends_with(suffix.as_bytes())
+}
+
+/// If the word ends with `suffix` and the remaining stem has measure > `min_m`,
+/// replace the suffix with `to` and return true.
+fn replace_if_m(w: &mut Vec<u8>, suffix: &str, to: &str, min_m: usize) -> bool {
+    if !ends_with(w, suffix) {
+        return false;
+    }
+    let stem_len = w.len() - suffix.len();
+    if measure(w, stem_len) > min_m {
+        w.truncate(stem_len);
+        w.extend_from_slice(to.as_bytes());
+    }
+    true // Suffix matched: the step's rule list stops here either way.
+}
+
+fn step_1a(w: &mut Vec<u8>) {
+    if ends_with(w, "sses") {
+        w.truncate(w.len() - 2); // sses → ss
+    } else if ends_with(w, "ies") {
+        w.truncate(w.len() - 2); // ies → i
+    } else if ends_with(w, "ss") {
+        // ss → ss (no change)
+    } else if ends_with(w, "s") {
+        w.truncate(w.len() - 1); // s → ""
+    }
+}
+
+fn step_1b(w: &mut Vec<u8>) {
+    if ends_with(w, "eed") {
+        let stem_len = w.len() - 3;
+        if measure(w, stem_len) > 0 {
+            w.truncate(w.len() - 1); // eed → ee
+        }
+        return;
+    }
+    let trimmed = if ends_with(w, "ed") && has_vowel(w, w.len() - 2) {
+        w.truncate(w.len() - 2);
+        true
+    } else if ends_with(w, "ing") && has_vowel(w, w.len() - 3) {
+        w.truncate(w.len() - 3);
+        true
+    } else {
+        false
+    };
+    if !trimmed {
+        return;
+    }
+    // Post-trim fix-ups.
+    if ends_with(w, "at") || ends_with(w, "bl") || ends_with(w, "iz") {
+        w.push(b'e'); // at → ate, bl → ble, iz → ize
+    } else if ends_double_consonant(w) && !matches!(w[w.len() - 1], b'l' | b's' | b'z') {
+        w.truncate(w.len() - 1); // hopp → hop
+    } else if measure(w, w.len()) == 1 && ends_cvc(w, w.len()) {
+        w.push(b'e'); // fil → file
+    }
+}
+
+fn step_1c(w: &mut [u8]) {
+    if ends_with(w, "y") && has_vowel(w, w.len() - 1) {
+        let n = w.len();
+        w[n - 1] = b'i'; // happy → happi
+    }
+}
+
+fn step_2(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    ];
+    for (suffix, to) in RULES {
+        if replace_if_m(w, suffix, to, 0) {
+            return;
+        }
+    }
+}
+
+fn step_3(w: &mut Vec<u8>) {
+    const RULES: &[(&str, &str)] = &[
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    ];
+    for (suffix, to) in RULES {
+        if replace_if_m(w, suffix, to, 0) {
+            return;
+        }
+    }
+}
+
+fn step_4(w: &mut Vec<u8>) {
+    const SUFFIXES: &[&str] = &[
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement", "ment", "ent", "ion",
+        "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    ];
+    for suffix in SUFFIXES {
+        if !ends_with(w, suffix) {
+            continue;
+        }
+        let stem_len = w.len() - suffix.len();
+        if *suffix == "ion" {
+            // (m>1 and (*S or *T)) ion → "": the stem must end in s or t.
+            if stem_len > 0
+                && matches!(w[stem_len - 1], b's' | b't')
+                && measure(w, stem_len) > 1
+            {
+                w.truncate(stem_len);
+            }
+        } else if measure(w, stem_len) > 1 {
+            w.truncate(stem_len);
+        }
+        return; // Longest-match semantics: first hit ends the step.
+    }
+}
+
+fn step_5a(w: &mut Vec<u8>) {
+    if !ends_with(w, "e") {
+        return;
+    }
+    let stem_len = w.len() - 1;
+    let m = measure(w, stem_len);
+    if m > 1 || (m == 1 && !ends_cvc(w, stem_len)) {
+        w.truncate(stem_len);
+    }
+}
+
+fn step_5b(w: &mut Vec<u8>) {
+    if measure(w, w.len()) > 1 && ends_double_consonant(w) && w[w.len() - 1] == b'l' {
+        w.truncate(w.len() - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plurals() {
+        assert_eq!(porter_stem("caresses"), "caress");
+        assert_eq!(porter_stem("ponies"), "poni");
+        assert_eq!(porter_stem("caress"), "caress");
+        assert_eq!(porter_stem("cats"), "cat");
+    }
+
+    #[test]
+    fn past_and_gerund() {
+        assert_eq!(porter_stem("feed"), "feed");
+        assert_eq!(porter_stem("agreed"), "agre"); // eed→ee in 1b, then 5a drops the e
+        assert_eq!(porter_stem("plastered"), "plaster");
+        assert_eq!(porter_stem("bled"), "bled");
+        assert_eq!(porter_stem("motoring"), "motor");
+        assert_eq!(porter_stem("sing"), "sing");
+    }
+
+    #[test]
+    fn post_trim_fixups() {
+        assert_eq!(porter_stem("conflated"), "conflat");
+        assert_eq!(porter_stem("troubled"), "troubl");
+        assert_eq!(porter_stem("sized"), "size");
+        assert_eq!(porter_stem("hopping"), "hop");
+        assert_eq!(porter_stem("tanned"), "tan");
+        assert_eq!(porter_stem("falling"), "fall");
+        assert_eq!(porter_stem("hissing"), "hiss");
+        assert_eq!(porter_stem("fizzed"), "fizz");
+        assert_eq!(porter_stem("failing"), "fail");
+        assert_eq!(porter_stem("filing"), "file");
+    }
+
+    #[test]
+    fn y_to_i() {
+        assert_eq!(porter_stem("happy"), "happi");
+        assert_eq!(porter_stem("sky"), "sky");
+    }
+
+    #[test]
+    fn step2_suffixes() {
+        assert_eq!(porter_stem("relational"), "relat");
+        assert_eq!(porter_stem("conditional"), "condit");
+        assert_eq!(porter_stem("rational"), "ration");
+        assert_eq!(porter_stem("valenci"), "valenc");
+        assert_eq!(porter_stem("digitizer"), "digit");
+        assert_eq!(porter_stem("operator"), "oper");
+        assert_eq!(porter_stem("feudalism"), "feudal");
+        assert_eq!(porter_stem("decisiveness"), "decis");
+        assert_eq!(porter_stem("hopefulness"), "hope");
+        assert_eq!(porter_stem("callousness"), "callous");
+        assert_eq!(porter_stem("formaliti"), "formal");
+        assert_eq!(porter_stem("sensitiviti"), "sensit");
+        assert_eq!(porter_stem("sensibiliti"), "sensibl");
+    }
+
+    #[test]
+    fn step3_suffixes() {
+        assert_eq!(porter_stem("triplicate"), "triplic");
+        assert_eq!(porter_stem("formative"), "form");
+        assert_eq!(porter_stem("formalize"), "formal");
+        assert_eq!(porter_stem("electriciti"), "electr");
+        assert_eq!(porter_stem("electrical"), "electr");
+        assert_eq!(porter_stem("hopeful"), "hope");
+        assert_eq!(porter_stem("goodness"), "good");
+    }
+
+    #[test]
+    fn step4_suffixes() {
+        assert_eq!(porter_stem("revival"), "reviv");
+        assert_eq!(porter_stem("allowance"), "allow");
+        assert_eq!(porter_stem("inference"), "infer");
+        assert_eq!(porter_stem("airliner"), "airlin");
+        assert_eq!(porter_stem("adjustable"), "adjust");
+        assert_eq!(porter_stem("defensible"), "defens");
+        assert_eq!(porter_stem("irritant"), "irrit");
+        assert_eq!(porter_stem("replacement"), "replac");
+        assert_eq!(porter_stem("adjustment"), "adjust");
+        assert_eq!(porter_stem("dependent"), "depend");
+        assert_eq!(porter_stem("adoption"), "adopt");
+        assert_eq!(porter_stem("homologou"), "homolog");
+        assert_eq!(porter_stem("communism"), "commun");
+        assert_eq!(porter_stem("activate"), "activ");
+        assert_eq!(porter_stem("angulariti"), "angular");
+        assert_eq!(porter_stem("homologous"), "homolog");
+        assert_eq!(porter_stem("effective"), "effect");
+        assert_eq!(porter_stem("bowdlerize"), "bowdler");
+    }
+
+    #[test]
+    fn step5_suffixes() {
+        assert_eq!(porter_stem("probate"), "probat");
+        assert_eq!(porter_stem("rate"), "rate");
+        assert_eq!(porter_stem("cease"), "ceas");
+        assert_eq!(porter_stem("controll"), "control");
+        assert_eq!(porter_stem("roll"), "roll");
+    }
+
+    #[test]
+    fn domain_words_from_paper() {
+        assert_eq!(porter_stem("swimming"), "swim");
+        assert_eq!(porter_stem("swimmers"), "swimmer");
+        assert_eq!(porter_stem("training"), "train");
+        assert_eq!(porter_stem("freestyle"), "freestyl");
+        assert_eq!(porter_stem("restaurants"), "restaur");
+    }
+
+    #[test]
+    fn short_and_non_ascii_untouched() {
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("città"), "città");
+        assert_eq!(porter_stem("Straße"), "Straße");
+    }
+
+    #[test]
+    fn idempotent_on_sample() {
+        for word in [
+            "swimming", "relational", "happiness", "organizations", "engineering",
+            "conductor", "technological", "recommendations",
+        ] {
+            let once = porter_stem(word);
+            let twice = porter_stem(&once);
+            // Porter is not idempotent in general, but it is on this sample;
+            // the guard mostly documents that re-stemming stays stable here.
+            assert_eq!(once, twice, "restem({word})");
+        }
+    }
+}

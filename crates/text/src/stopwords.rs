@@ -1,0 +1,119 @@
+//! Stop-word lists.
+//!
+//! The English list is the one relevant to retrieval quality (the pipeline
+//! retains only English resources); the other languages get compact lists
+//! used by tests and by the language-identification seed corpora.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// The English stop-word list (SMART-derived, trimmed to the function words
+/// that actually occur in social text and in the paper's query set).
+pub const ENGLISH: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "also", "am", "an", "and", "any",
+    "are", "aren", "as", "at", "be", "because", "been", "before", "being", "below", "between",
+    "both", "but", "by", "can", "cannot", "could", "couldn", "did", "didn", "do", "does",
+    "doesn", "doing", "don", "down", "during", "each", "few", "for", "from", "further", "had",
+    "hadn", "has", "hasn", "have", "haven", "having", "he", "her", "here", "hers", "herself",
+    "him", "himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it", "its", "itself",
+    "just", "let", "ll", "me", "more", "most", "mustn", "my", "myself", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "ought", "our", "ours",
+    "ourselves", "out", "over", "own", "re", "s", "same", "shan", "she", "should", "shouldn",
+    "so", "some", "such", "t", "than", "that", "the", "their", "theirs", "them", "themselves",
+    "then", "there", "these", "they", "this", "those", "through", "to", "too", "under",
+    "until", "up", "ve", "very", "was", "wasn", "we", "were", "weren", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "won", "would", "wouldn", "you",
+    "your", "yours", "yourself", "yourselves",
+];
+
+/// A compact Italian stop-word list.
+pub const ITALIAN: &[&str] = &[
+    "a", "ad", "al", "alla", "alle", "anche", "che", "chi", "ci", "come", "con", "cosa", "da",
+    "dai", "dal", "dalla", "degli", "dei", "del", "della", "delle", "di", "dove", "e", "ed",
+    "era", "essere", "gli", "ha", "hai", "hanno", "ho", "i", "il", "in", "io", "la", "le",
+    "lei", "lo", "loro", "lui", "ma", "mi", "mia", "mio", "ne", "nel", "nella", "noi", "non",
+    "nostro", "o", "per", "perché", "più", "quale", "quando", "questa", "questo", "se", "sei",
+    "si", "sia", "siamo", "sono", "su", "sua", "sul", "sulla", "suo", "ti", "tra", "tu", "tua",
+    "tuo", "un", "una", "uno", "vi", "voi",
+];
+
+/// A compact French stop-word list.
+pub const FRENCH: &[&str] = &[
+    "à", "au", "aux", "avec", "ce", "ces", "cette", "dans", "de", "des", "du", "elle", "en",
+    "est", "et", "être", "il", "ils", "je", "la", "le", "les", "leur", "lui", "ma", "mais",
+    "me", "même", "mes", "moi", "mon", "ne", "nos", "notre", "nous", "on", "ou", "où", "par",
+    "pas", "pour", "qu", "que", "qui", "sa", "se", "ses", "son", "sont", "sur", "ta", "te",
+    "tes", "toi", "ton", "tu", "un", "une", "vos", "votre", "vous",
+];
+
+/// A compact German stop-word list.
+pub const GERMAN: &[&str] = &[
+    "aber", "als", "am", "an", "auch", "auf", "aus", "bei", "bin", "bis", "bist", "da", "damit",
+    "das", "dem", "den", "der", "des", "die", "doch", "du", "ein", "eine", "einem", "einen",
+    "einer", "er", "es", "für", "habe", "haben", "hat", "ich", "ihr", "im", "in", "ist", "ja",
+    "kann", "mein", "mich", "mir", "mit", "nach", "nicht", "noch", "nur", "oder", "schon",
+    "sein", "sich", "sie", "sind", "so", "um", "und", "uns", "vom", "von", "vor", "war", "was",
+    "wenn", "wer", "wie", "wir", "zu", "zum", "zur",
+];
+
+/// A compact Spanish stop-word list.
+pub const SPANISH: &[&str] = &[
+    "a", "al", "algo", "como", "con", "de", "del", "donde", "el", "ella", "ellos", "en", "era",
+    "es", "esta", "este", "esto", "fue", "ha", "hay", "la", "las", "le", "lo", "los", "más",
+    "me", "mi", "muy", "no", "nos", "o", "para", "pero", "por", "porque", "que", "qué", "se",
+    "ser", "si", "sin", "sobre", "son", "su", "sus", "también", "te", "tiene", "todo", "tu",
+    "un", "una", "uno", "y", "ya", "yo",
+];
+
+fn english_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| ENGLISH.iter().copied().collect())
+}
+
+/// Whether `token` (already lower-cased) is an English stop word.
+///
+/// Single-character alphabetic tokens are always stopped: they carry no
+/// retrieval signal and inflate the index.
+pub fn is_english_stopword(token: &str) -> bool {
+    if token.chars().count() == 1 && token.chars().all(char::is_alphabetic) {
+        return true;
+    }
+    english_set().contains(token)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_function_words_are_stopped() {
+        for w in ["the", "and", "is", "of", "to", "can", "you", "some", "which"] {
+            assert!(is_english_stopword(w), "{w} should be a stop word");
+        }
+    }
+
+    #[test]
+    fn content_words_pass() {
+        for w in ["swimming", "copper", "conductor", "php", "milan", "diablo"] {
+            assert!(!is_english_stopword(w), "{w} should not be a stop word");
+        }
+    }
+
+    #[test]
+    fn single_letters_are_stopped_digits_not() {
+        assert!(is_english_stopword("x"));
+        assert!(is_english_stopword("q"));
+        assert!(!is_english_stopword("3"));
+    }
+
+    #[test]
+    fn lists_are_lowercase_and_unique() {
+        for list in [ENGLISH, ITALIAN, FRENCH, GERMAN, SPANISH] {
+            let mut seen = HashSet::new();
+            for w in list {
+                assert_eq!(*w, w.to_lowercase(), "{w} must be lower-case");
+                assert!(seen.insert(*w), "duplicate stop word {w}");
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Tokenisation.
+//!
+//! Splits sanitised text into lower-cased word tokens. A token is a maximal
+//! run of alphanumeric characters, with two social-text refinements:
+//! internal apostrophes are treated as joiners with the suffix dropped
+//! (`don't` → `don`), and internal hyphens split (`state-of-the-art` → four
+//! tokens). Pure-digit tokens are kept — queries like *"Diablo 3"* need
+//! them — but overly long digit strings (ids, phone numbers) are dropped.
+
+/// Maximum length of an all-digit token; longer runs are ids/noise.
+const MAX_DIGIT_RUN: usize = 4;
+
+/// Tokenises `text` into lower-cased word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = text.chars().peekable();
+
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() {
+            current.extend(c.to_lowercase());
+        } else if c == '\'' && !current.is_empty() {
+            // `don't` → `don`: drop the clitic suffix.
+            while let Some(&n) = chars.peek() {
+                if n.is_alphanumeric() {
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            flush(&mut tokens, &mut current);
+        } else {
+            flush(&mut tokens, &mut current);
+        }
+    }
+    flush(&mut tokens, &mut current);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, current: &mut String) {
+    if current.is_empty() {
+        return;
+    }
+    let token = std::mem::take(current);
+    let all_digits = token.chars().all(|c| c.is_ascii_digit());
+    if all_digits && token.len() > MAX_DIGIT_RUN {
+        return;
+    }
+    if token.chars().count() == 1 && all_digits {
+        // Single digits survive ("Diablo 3"); single letters are handled by
+        // the stop-word stage, not here.
+        tokens.push(token);
+        return;
+    }
+    tokens.push(token);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        assert_eq!(toks("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn hyphens_split() {
+        assert_eq!(toks("state-of-the-art"), vec!["state", "of", "the", "art"]);
+    }
+
+    #[test]
+    fn apostrophe_drops_clitic() {
+        assert_eq!(toks("don't can't Bob's"), vec!["don", "can", "bob"]);
+    }
+
+    #[test]
+    fn digits_kept_when_short() {
+        assert_eq!(toks("Diablo 3 and PS4"), vec!["diablo", "3", "and", "ps4"]);
+        assert_eq!(toks("year 2012"), vec!["year", "2012"]);
+    }
+
+    #[test]
+    fn long_digit_runs_dropped() {
+        assert_eq!(toks("call 5551234567 now"), vec!["call", "now"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        assert_eq!(toks("Città di Milano"), vec!["città", "di", "milano"]);
+        assert_eq!(toks("ÜBER Straße"), vec!["über", "straße"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(toks("").is_empty());
+        assert!(toks("!!! ... ???").is_empty());
+    }
+
+    #[test]
+    fn mixed_alphanumeric_kept_whole() {
+        assert_eq!(toks("php5 mp3 b2b"), vec!["php5", "mp3", "b2b"]);
+    }
+}

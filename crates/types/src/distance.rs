@@ -1,0 +1,106 @@
+//! Graph-distance levels of Table 1.
+//!
+//! The paper organises a candidate's resources by their distance from the
+//! candidate's profile in the social graph (Fig. 2 meta-model) and caps the
+//! exploration at distance 2 for privacy/cost/API reasons (§2.2).
+
+use std::fmt;
+
+/// Distance of a resource from a candidate-expert profile in the social
+/// graph. Table 1 of the paper enumerates exactly which meta-model paths
+/// produce each level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Distance {
+    /// Distance 0 — the candidate's own profile.
+    D0,
+    /// Distance 1 — resources the candidate owns/creates/annotates, the
+    /// containers the candidate relates to, and the profiles of followed
+    /// users.
+    D1,
+    /// Distance 2 — resources inside related containers; resources
+    /// owned/created/annotated by followed users; containers related to
+    /// followed users; profiles followed by followed users.
+    D2,
+}
+
+impl Distance {
+    /// All levels in increasing order.
+    pub const ALL: [Distance; 3] = [Distance::D0, Distance::D1, Distance::D2];
+
+    /// Number of levels.
+    pub const COUNT: usize = 3;
+
+    /// The numeric level (0, 1 or 2).
+    #[inline]
+    pub const fn level(self) -> usize {
+        match self {
+            Distance::D0 => 0,
+            Distance::D1 => 1,
+            Distance::D2 => 2,
+        }
+    }
+
+    /// Builds from a numeric level; `None` beyond the paper's cap of 2.
+    #[inline]
+    pub fn from_level(level: usize) -> Option<Self> {
+        match level {
+            0 => Some(Distance::D0),
+            1 => Some(Distance::D1),
+            2 => Some(Distance::D2),
+            _ => None,
+        }
+    }
+
+    /// The paper's resource weight `wr` for this distance: fixed in the
+    /// interval `[0.5, 1]`, linearly decreasing with distance (§3.3), i.e.
+    /// 1.0 at distance 0, 0.75 at distance 1, 0.5 at distance 2.
+    #[inline]
+    pub fn paper_weight(self) -> f64 {
+        1.0 - 0.25 * self.level() as f64
+    }
+
+    /// Levels up to and including `self` (a "distance ≤ d" experiment run).
+    pub fn up_to(self) -> impl Iterator<Item = Distance> {
+        Distance::ALL.into_iter().take(self.level() + 1)
+    }
+}
+
+impl fmt::Display for Distance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "distance {}", self.level())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_roundtrip() {
+        for d in Distance::ALL {
+            assert_eq!(Distance::from_level(d.level()), Some(d));
+        }
+        assert_eq!(Distance::from_level(3), None);
+    }
+
+    #[test]
+    fn paper_weights_linear_in_unit_interval() {
+        assert_eq!(Distance::D0.paper_weight(), 1.0);
+        assert_eq!(Distance::D1.paper_weight(), 0.75);
+        assert_eq!(Distance::D2.paper_weight(), 0.5);
+    }
+
+    #[test]
+    fn up_to_is_prefix() {
+        let upto1: Vec<Distance> = Distance::D1.up_to().collect();
+        assert_eq!(upto1, vec![Distance::D0, Distance::D1]);
+        assert_eq!(Distance::D0.up_to().count(), 1);
+        assert_eq!(Distance::D2.up_to().count(), 3);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Distance::D0 < Distance::D1);
+        assert!(Distance::D1 < Distance::D2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Expertise domains.
+//!
+//! The paper's evaluation workload spans seven domains (§3.1); every
+//! expertise need refers to exactly one of them, and ground truth is defined
+//! per domain ("expert in domain d" ⇔ self-assessed expertise above the
+//! domain average).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the seven expertise domains of the evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Domain {
+    /// Computer engineering (e.g. "Which PHP function returns the length of a string?").
+    ComputerEngineering,
+    /// Location (e.g. "Can you list some restaurants in Milan?").
+    Location,
+    /// Movies & TV (e.g. "famous actors in How I Met Your Mother").
+    MoviesTv,
+    /// Music (e.g. "famous songs of Michael Jackson").
+    Music,
+    /// Science (e.g. "Why is copper a good conductor?").
+    Science,
+    /// Sport (e.g. "famous European football teams").
+    Sport,
+    /// Technology & videogames (e.g. "a graphics card to play Diablo 3").
+    TechnologyGames,
+}
+
+impl Domain {
+    /// All domains in the paper's presentation order (Table 4).
+    pub const ALL: [Domain; 7] = [
+        Domain::ComputerEngineering,
+        Domain::Location,
+        Domain::MoviesTv,
+        Domain::Music,
+        Domain::Science,
+        Domain::Sport,
+        Domain::TechnologyGames,
+    ];
+
+    /// Number of domains.
+    pub const COUNT: usize = 7;
+
+    /// Dense index for per-domain arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Domain::ComputerEngineering => 0,
+            Domain::Location => 1,
+            Domain::MoviesTv => 2,
+            Domain::Music => 3,
+            Domain::Science => 4,
+            Domain::Sport => 5,
+            Domain::TechnologyGames => 6,
+        }
+    }
+
+    /// Inverse of [`Domain::index`]; panics on out-of-range input.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// Human-readable label as printed in the paper's tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Domain::ComputerEngineering => "Computer engineering",
+            Domain::Location => "Location",
+            Domain::MoviesTv => "Movies & TV",
+            Domain::Music => "Music",
+            Domain::Science => "Science",
+            Domain::Sport => "Sport",
+            Domain::TechnologyGames => "Technology & games",
+        }
+    }
+
+    /// Compact machine-friendly slug.
+    pub const fn slug(self) -> &'static str {
+        match self {
+            Domain::ComputerEngineering => "computer",
+            Domain::Location => "location",
+            Domain::MoviesTv => "movies",
+            Domain::Music => "music",
+            Domain::Science => "science",
+            Domain::Sport => "sport",
+            Domain::TechnologyGames => "technology",
+        }
+    }
+
+    /// Whether this domain is "entertainment-leaning"; the paper observes
+    /// (§3.7) that Facebook activity concentrates on such topics while
+    /// work/science topics concentrate on Twitter and LinkedIn.
+    pub const fn entertainment(self) -> bool {
+        matches!(
+            self,
+            Domain::Location | Domain::MoviesTv | Domain::Music | Domain::Sport
+        )
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error returned when parsing an unknown domain slug or label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDomainError(pub String);
+
+impl fmt::Display for ParseDomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown expertise domain: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseDomainError {}
+
+impl FromStr for Domain {
+    type Err = ParseDomainError;
+
+    /// Accepts both slugs (`"music"`) and paper labels (`"Movies & TV"`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.trim().to_ascii_lowercase();
+        Domain::ALL
+            .into_iter()
+            .find(|d| {
+                d.slug() == lowered
+                    || d.label().to_ascii_lowercase() == lowered
+            })
+            .ok_or_else(|| ParseDomainError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for d in Domain::ALL {
+            assert_eq!(Domain::from_index(d.index()), d);
+        }
+    }
+
+    #[test]
+    fn seven_domains() {
+        assert_eq!(Domain::ALL.len(), Domain::COUNT);
+        assert_eq!(Domain::COUNT, 7);
+    }
+
+    #[test]
+    fn parse_slug_and_label() {
+        assert_eq!("music".parse::<Domain>().unwrap(), Domain::Music);
+        assert_eq!("Movies & TV".parse::<Domain>().unwrap(), Domain::MoviesTv);
+        assert_eq!(
+            "COMPUTER ENGINEERING".parse::<Domain>().unwrap(),
+            Domain::ComputerEngineering
+        );
+        assert!("underwater basket weaving".parse::<Domain>().is_err());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Domain::TechnologyGames.label(), "Technology & games");
+        assert_eq!(Domain::ComputerEngineering.label(), "Computer engineering");
+    }
+
+    #[test]
+    fn entertainment_split() {
+        let fun: Vec<Domain> = Domain::ALL.into_iter().filter(|d| d.entertainment()).collect();
+        assert_eq!(
+            fun,
+            vec![Domain::Location, Domain::MoviesTv, Domain::Music, Domain::Sport]
+        );
+    }
+
+    #[test]
+    fn slugs_are_unique() {
+        let mut slugs: Vec<&str> = Domain::ALL.iter().map(|d| d.slug()).collect();
+        slugs.sort_unstable();
+        slugs.dedup();
+        assert_eq!(slugs.len(), Domain::COUNT);
+    }
+}

@@ -1,0 +1,135 @@
+//! Strongly-typed identifiers.
+//!
+//! Every object class of the social-graph meta-model (Fig. 2 of the paper)
+//! gets its own id newtype so that a [`ResourceId`] can never be confused
+//! with a [`UserId`] at a call site. Ids are dense `u32` handles allocated
+//! by the store that owns the objects; they index directly into `Vec`
+//! arenas, which keeps the hot ranking loops allocation-free.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Wraps a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Returns the raw index, for use as a `Vec` arena offset.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A social-network user profile (candidate expert or non-candidate).
+    UserId,
+    "u"
+);
+id_type!(
+    /// A social resource: post, tweet, status update, group/page post,
+    /// comment — any informative item inside a platform.
+    ResourceId,
+    "r"
+);
+id_type!(
+    /// A resource container: a group, page, or other logical aggregator of
+    /// resources, typically focused on one topic or real-world entity.
+    ContainerId,
+    "c"
+);
+id_type!(
+    /// An external web page reachable through a URL embedded in a profile,
+    /// resource, or container.
+    PageId,
+    "p"
+);
+id_type!(
+    /// A knowledge-base entity (the synthetic stand-in for a Wikipedia URI).
+    EntityId,
+    "e"
+);
+id_type!(
+    /// One of the expertise needs (queries) of the evaluation workload.
+    QueryId,
+    "q"
+);
+id_type!(
+    /// A real person — a candidate expert — who may hold one account
+    /// ([`UserId`]) on each social platform.
+    PersonId,
+    "P"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_raw() {
+        let id = ResourceId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(ResourceId::from(42u32), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(UserId::new(7).to_string(), "u7");
+        assert_eq!(ResourceId::new(0).to_string(), "r0");
+        assert_eq!(ContainerId::new(3).to_string(), "c3");
+        assert_eq!(PageId::new(9).to_string(), "p9");
+        assert_eq!(EntityId::new(1).to_string(), "e1");
+        assert_eq!(QueryId::new(29).to_string(), "q29");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        let mut set = HashSet::new();
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(1));
+        set.insert(UserId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(UserId::new(1) < UserId::new(2));
+    }
+
+    #[test]
+    fn distinct_types_do_not_unify() {
+        // Compile-time property; keep a runtime witness that the raw values
+        // can coincide while the types stay distinct.
+        let u = UserId::new(5);
+        let r = ResourceId::new(5);
+        assert_eq!(u.index(), r.index());
+        assert_ne!(u.to_string(), r.to_string());
+    }
+}

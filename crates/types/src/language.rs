@@ -1,0 +1,105 @@
+//! Resource languages.
+//!
+//! The paper (§2.3) runs a language-identification step and keeps only
+//! English resources for the downstream pipeline (230k of the 330k collected
+//! items). The `rightcrowd-langid` crate classifies into this enumeration.
+
+use std::fmt;
+
+/// A natural language a resource can be written in.
+///
+/// The set covers English plus the Romance/Germanic languages most common in
+/// the paper's Italian-recruited user pool; anything else maps to
+/// [`Language::Unknown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Language {
+    /// English — the only language retained by the paper's pipeline.
+    English,
+    /// Italian.
+    Italian,
+    /// French.
+    French,
+    /// German.
+    German,
+    /// Spanish.
+    Spanish,
+    /// Unidentifiable or out-of-inventory text.
+    Unknown,
+}
+
+impl Language {
+    /// The identifiable languages (excludes [`Language::Unknown`]).
+    pub const KNOWN: [Language; 5] = [
+        Language::English,
+        Language::Italian,
+        Language::French,
+        Language::German,
+        Language::Spanish,
+    ];
+
+    /// ISO 639-1 code ("en", "it", …); `"und"` for unknown.
+    pub const fn code(self) -> &'static str {
+        match self {
+            Language::English => "en",
+            Language::Italian => "it",
+            Language::French => "fr",
+            Language::German => "de",
+            Language::Spanish => "es",
+            Language::Unknown => "und",
+        }
+    }
+
+    /// Parses an ISO 639-1 code; unknown codes map to `Unknown`.
+    pub fn from_code(code: &str) -> Self {
+        match code {
+            "en" => Language::English,
+            "it" => Language::Italian,
+            "fr" => Language::French,
+            "de" => Language::German,
+            "es" => Language::Spanish,
+            _ => Language::Unknown,
+        }
+    }
+
+    /// Whether the paper's pipeline keeps resources in this language.
+    #[inline]
+    pub const fn retained(self) -> bool {
+        matches!(self, Language::English)
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Language::English => "English",
+            Language::Italian => "Italian",
+            Language::French => "French",
+            Language::German => "German",
+            Language::Spanish => "Spanish",
+            Language::Unknown => "Unknown",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for lang in Language::KNOWN {
+            assert_eq!(Language::from_code(lang.code()), lang);
+        }
+        assert_eq!(Language::from_code("zz"), Language::Unknown);
+        assert_eq!(Language::Unknown.code(), "und");
+    }
+
+    #[test]
+    fn only_english_retained() {
+        assert!(Language::English.retained());
+        for lang in [Language::Italian, Language::French, Language::German, Language::Spanish] {
+            assert!(!lang.retained());
+        }
+    }
+}

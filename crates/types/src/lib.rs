@@ -1,0 +1,23 @@
+//! # rightcrowd-types
+//!
+//! Shared vocabulary types for the `rightcrowd` workspace: strongly-typed
+//! identifiers, the social-platform and expertise-domain enumerations, the
+//! 7-point Likert scale used by the paper's self-assessment questionnaire,
+//! resource languages, and the graph-distance levels of Table 1.
+//!
+//! Everything here is deliberately tiny, `Copy` where possible, and free of
+//! dependencies so that every other crate can build on a stable base.
+
+pub mod distance;
+pub mod domain;
+pub mod ids;
+pub mod language;
+pub mod likert;
+pub mod platform;
+
+pub use distance::Distance;
+pub use domain::Domain;
+pub use ids::{ContainerId, EntityId, PageId, PersonId, QueryId, ResourceId, UserId};
+pub use language::Language;
+pub use likert::Likert;
+pub use platform::{Platform, PlatformMask};

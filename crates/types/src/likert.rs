@@ -1,0 +1,112 @@
+//! The 7-point Likert scale of the self-assessment questionnaire.
+//!
+//! The paper's ground truth (§3.1) is built from a questionnaire in which
+//! each of the 40 candidates rates their expertise for each of the 30 needs
+//! on a 7-point Likert scale; per-domain expertise is derived from those
+//! answers, and a candidate is a *domain expert* iff their level exceeds the
+//! domain's average.
+
+use std::fmt;
+
+/// A self-assessed expertise level on the questionnaire's 1–7 scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Likert(u8);
+
+impl Likert {
+    /// Lowest expressible expertise.
+    pub const MIN: Likert = Likert(1);
+    /// Highest expressible expertise.
+    pub const MAX: Likert = Likert(7);
+
+    /// Builds a level, clamping into the valid `1..=7` range.
+    #[inline]
+    pub fn clamped(value: i32) -> Self {
+        Likert(value.clamp(1, 7) as u8)
+    }
+
+    /// Builds a level, returning `None` when out of range.
+    #[inline]
+    pub fn new(value: u8) -> Option<Self> {
+        (1..=7).contains(&value).then_some(Likert(value))
+    }
+
+    /// The raw scale value in `1..=7`.
+    #[inline]
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The level as a floating-point score, for averaging.
+    #[inline]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Normalised position in `[0, 1]` (1 ↦ 0, 7 ↦ 1); used by the
+    /// generator to modulate how much a user posts about a domain.
+    #[inline]
+    pub fn unit(self) -> f64 {
+        (self.0 - 1) as f64 / 6.0
+    }
+
+    /// Mean of a set of levels; `None` when empty.
+    pub fn mean<I: IntoIterator<Item = Likert>>(levels: I) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for l in levels {
+            sum += l.as_f64();
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+impl fmt::Display for Likert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/7", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_range() {
+        assert!(Likert::new(0).is_none());
+        assert!(Likert::new(8).is_none());
+        assert_eq!(Likert::new(1), Some(Likert::MIN));
+        assert_eq!(Likert::new(7), Some(Likert::MAX));
+    }
+
+    #[test]
+    fn clamped_saturates() {
+        assert_eq!(Likert::clamped(-3), Likert::MIN);
+        assert_eq!(Likert::clamped(100), Likert::MAX);
+        assert_eq!(Likert::clamped(4).value(), 4);
+    }
+
+    #[test]
+    fn unit_maps_endpoints() {
+        assert_eq!(Likert::MIN.unit(), 0.0);
+        assert_eq!(Likert::MAX.unit(), 1.0);
+        assert!((Likert::clamped(4).unit() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_levels() {
+        let levels = [Likert::clamped(2), Likert::clamped(4), Likert::clamped(6)];
+        assert_eq!(Likert::mean(levels), Some(4.0));
+        assert_eq!(Likert::mean([]), None);
+    }
+
+    #[test]
+    fn ordering_follows_scale() {
+        assert!(Likert::clamped(2) < Likert::clamped(5));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Likert::clamped(5).to_string(), "5/7");
+    }
+}

@@ -1,0 +1,222 @@
+//! Social platforms and platform masks.
+//!
+//! The paper evaluates three networks — Facebook, Twitter, LinkedIn — both
+//! cumulatively ("All") and separately (Tables 3–4). [`Platform`] names one
+//! network; [`PlatformMask`] selects a subset for an experiment run.
+
+use std::fmt;
+
+/// One of the three social networks studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Platform {
+    /// Facebook: bidirectional friendships, walls, groups and pages.
+    Facebook,
+    /// Twitter: unidirectional `follows`, tweets, favourites; "friends" are
+    /// pairs of users who mutually follow each other.
+    Twitter,
+    /// LinkedIn: job-oriented profiles, groups; sparse general activity.
+    LinkedIn,
+}
+
+impl Platform {
+    /// All platforms, in the paper's presentation order (FB, TW, LI).
+    pub const ALL: [Platform; 3] = [Platform::Facebook, Platform::Twitter, Platform::LinkedIn];
+
+    /// Number of platforms.
+    pub const COUNT: usize = 3;
+
+    /// Dense index for per-platform arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Platform::Facebook => 0,
+            Platform::Twitter => 1,
+            Platform::LinkedIn => 2,
+        }
+    }
+
+    /// Inverse of [`Platform::index`]; panics on out-of-range input.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        Self::ALL[i]
+    }
+
+    /// The two-letter abbreviation used in the paper's tables.
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Platform::Facebook => "FB",
+            Platform::Twitter => "TW",
+            Platform::LinkedIn => "LI",
+        }
+    }
+
+    /// Whether social links on this platform are bidirectional by
+    /// construction. On Facebook every relationship is a friendship; on
+    /// Twitter and LinkedIn-as-modelled links are directed and friendship
+    /// is inferred from mutual links (paper §2.2).
+    pub const fn bidirectional_links(self) -> bool {
+        matches!(self, Platform::Facebook)
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Platform::Facebook => "Facebook",
+            Platform::Twitter => "Twitter",
+            Platform::LinkedIn => "LinkedIn",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A set of platforms an experiment draws resources from.
+///
+/// The paper's Table 3 compares `All` against each single network; a mask
+/// generalises that to any subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlatformMask(u8);
+
+impl PlatformMask {
+    /// The empty mask — matches no platform.
+    pub const EMPTY: PlatformMask = PlatformMask(0);
+    /// All three platforms (the paper's "All" configuration).
+    pub const ALL: PlatformMask = PlatformMask(0b111);
+
+    /// Mask selecting a single platform.
+    #[inline]
+    pub const fn only(p: Platform) -> Self {
+        PlatformMask(1 << p.index() as u8)
+    }
+
+    /// Returns a mask with `p` added.
+    #[inline]
+    pub const fn with(self, p: Platform) -> Self {
+        PlatformMask(self.0 | 1 << p.index() as u8)
+    }
+
+    /// Returns a mask with `p` removed.
+    #[inline]
+    pub const fn without(self, p: Platform) -> Self {
+        PlatformMask(self.0 & !(1 << p.index() as u8))
+    }
+
+    /// Whether the mask selects platform `p`.
+    #[inline]
+    pub const fn contains(self, p: Platform) -> bool {
+        self.0 & (1 << p.index() as u8) != 0
+    }
+
+    /// Number of selected platforms.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no platform is selected.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterator over the selected platforms in presentation order.
+    pub fn iter(self) -> impl Iterator<Item = Platform> {
+        Platform::ALL.into_iter().filter(move |p| self.contains(*p))
+    }
+
+    /// The label used in the paper's tables: "All", "FB", "TW", "LI", or a
+    /// `+`-joined combination for non-paper subsets.
+    pub fn label(self) -> String {
+        if self == PlatformMask::ALL {
+            return "All".to_owned();
+        }
+        let parts: Vec<&str> = self.iter().map(Platform::abbrev).collect();
+        if parts.is_empty() {
+            "None".to_owned()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+impl From<Platform> for PlatformMask {
+    fn from(p: Platform) -> Self {
+        PlatformMask::only(p)
+    }
+}
+
+impl FromIterator<Platform> for PlatformMask {
+    fn from_iter<T: IntoIterator<Item = Platform>>(iter: T) -> Self {
+        iter.into_iter()
+            .fold(PlatformMask::EMPTY, PlatformMask::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for p in Platform::ALL {
+            assert_eq!(Platform::from_index(p.index()), p);
+        }
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(Platform::Facebook.abbrev(), "FB");
+        assert_eq!(Platform::Twitter.abbrev(), "TW");
+        assert_eq!(Platform::LinkedIn.abbrev(), "LI");
+    }
+
+    #[test]
+    fn only_facebook_is_bidirectional() {
+        assert!(Platform::Facebook.bidirectional_links());
+        assert!(!Platform::Twitter.bidirectional_links());
+        assert!(!Platform::LinkedIn.bidirectional_links());
+    }
+
+    #[test]
+    fn mask_membership() {
+        let m = PlatformMask::only(Platform::Twitter).with(Platform::LinkedIn);
+        assert!(m.contains(Platform::Twitter));
+        assert!(m.contains(Platform::LinkedIn));
+        assert!(!m.contains(Platform::Facebook));
+        assert_eq!(m.len(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn mask_without_removes() {
+        let m = PlatformMask::ALL.without(Platform::Facebook);
+        assert!(!m.contains(Platform::Facebook));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.without(Platform::Facebook), m);
+    }
+
+    #[test]
+    fn mask_labels() {
+        assert_eq!(PlatformMask::ALL.label(), "All");
+        assert_eq!(PlatformMask::only(Platform::Facebook).label(), "FB");
+        assert_eq!(
+            PlatformMask::only(Platform::Twitter)
+                .with(Platform::LinkedIn)
+                .label(),
+            "TW+LI"
+        );
+        assert_eq!(PlatformMask::EMPTY.label(), "None");
+    }
+
+    #[test]
+    fn mask_iter_in_order() {
+        let all: Vec<Platform> = PlatformMask::ALL.iter().collect();
+        assert_eq!(all, Platform::ALL.to_vec());
+    }
+
+    #[test]
+    fn mask_from_iterator() {
+        let m: PlatformMask = [Platform::Facebook, Platform::Twitter].into_iter().collect();
+        assert_eq!(m, PlatformMask::only(Platform::Facebook).with(Platform::Twitter));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's Fig. 1 scenario: Anna needs opinions on freestyle swimmers
+//! and wants to route her question to the right small crowd of friends —
+//! choosing both *whom* to ask and *which platform* to reach them on.
+//!
+//! ```sh
+//! cargo run --release --example crowdsearch
+//! ```
+
+use rightcrowd::core::{ExpertFinder, FinderConfig};
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+use rightcrowd::types::{Platform, PlatformMask};
+
+fn main() {
+    let dataset = SyntheticDataset::generate(&DatasetConfig::small());
+    let question = "Who are the best freestyle swimmers right now?";
+    println!("Anna asks: {question:?}\n");
+
+    // Rank over all networks first: that's the crowd to address.
+    let finder = ExpertFinder::build(&dataset, &FinderConfig::default());
+    let crowd = finder.rank_text(question);
+    println!("candidate crowd ({} members ranked):", crowd.len());
+    for expert in crowd.iter().take(4) {
+        println!(
+            "  {:<22} score {:>9.2}",
+            dataset.candidates()[expert.person.index()].name,
+            expert.score
+        );
+    }
+
+    // Then ask, per platform, where each top candidate shows the
+    // strongest expertise evidence — the best route to contact them.
+    println!("\nbest contact platform for the top 3:");
+    let mut finder = finder;
+    let mut per_platform = Vec::new();
+    for platform in Platform::ALL {
+        finder = finder.reconfigure(
+            &FinderConfig::default().with_platforms(PlatformMask::only(platform)),
+        );
+        per_platform.push((platform, finder.rank_text(question)));
+    }
+    for expert in crowd.iter().take(3) {
+        let name = &dataset.candidates()[expert.person.index()].name;
+        let best = per_platform
+            .iter()
+            .map(|(platform, ranking)| {
+                let score = ranking
+                    .iter()
+                    .find(|r| r.person == expert.person)
+                    .map_or(0.0, |r| r.score);
+                (*platform, score)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        println!("  ask {:<22} via {:<9} (evidence score {:.2})", name, best.0.to_string(), best.1);
+    }
+}

@@ -1,0 +1,54 @@
+//! Which social network finds experts best? A miniature of the paper's
+//! Table 3: run the whole workload per platform mask and per distance cap,
+//! and print the four headline metrics next to the random baseline.
+//!
+//! ```sh
+//! cargo run --release --example platform_comparison
+//! ```
+
+use rightcrowd::core::baseline::random_baseline;
+use rightcrowd::core::{AnalyzedCorpus, EvalContext, FinderConfig};
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+use rightcrowd::types::{Distance, Platform, PlatformMask};
+
+fn main() {
+    let dataset = SyntheticDataset::generate(&DatasetConfig::small());
+    println!("analysing corpus...");
+    let corpus = AnalyzedCorpus::build(&dataset);
+    let ctx = EvalContext::new(&dataset, &corpus);
+
+    println!(
+        "\n{:<6} {:>5}  {:>7} {:>7} {:>7} {:>8}",
+        "SN", "dist", "MAP", "MRR", "NDCG", "NDCG@10"
+    );
+
+    let random = random_baseline(&dataset, 0xC0FFEE);
+    println!(
+        "{:<6} {:>5}  {:>7.4} {:>7.4} {:>7.4} {:>8.4}",
+        "Random", "-", random.map, random.mrr, random.ndcg, random.ndcg10
+    );
+
+    let masks = [
+        ("All", PlatformMask::ALL),
+        ("FB", PlatformMask::only(Platform::Facebook)),
+        ("TW", PlatformMask::only(Platform::Twitter)),
+        ("LI", PlatformMask::only(Platform::LinkedIn)),
+    ];
+    for (label, mask) in masks {
+        for distance in Distance::ALL {
+            let config = FinderConfig::default()
+                .with_platforms(mask)
+                .with_distance(distance);
+            let outcome = ctx.run(&config);
+            println!(
+                "{:<6} {:>5}  {:>7.4} {:>7.4} {:>7.4} {:>8.4}",
+                label,
+                distance.level(),
+                outcome.mean.map,
+                outcome.mean.mrr,
+                outcome.mean.ndcg,
+                outcome.mean.ndcg10
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: generate a synthetic social world, build the expert finder,
+//! and answer one expertise need.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rightcrowd::core::{ExpertFinder, FinderConfig};
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+
+fn main() {
+    // A small world keeps the example snappy; DatasetConfig::paper() is
+    // the full ~330k-resource study.
+    println!("generating synthetic dataset (small preset)...");
+    let dataset = SyntheticDataset::generate(&DatasetConfig::small());
+    let (persons, profiles, resources, containers) = dataset.graph().counts();
+    println!(
+        "  {persons} candidates, {profiles} profiles, {resources} resources, {containers} containers"
+    );
+
+    println!("analysing and indexing the corpus...");
+    let finder = ExpertFinder::build(&dataset, &FinderConfig::default());
+    println!(
+        "  {} documents retained, {} dropped by the language gate",
+        finder.corpus().retained(),
+        finder.corpus().dropped_non_english()
+    );
+
+    let need = &dataset.queries()[5]; // "famous European football teams"
+    println!("\nexpertise need: {:?} [{}]", need.text, need.domain);
+
+    let gt = dataset.ground_truth();
+    println!("\ntop-5 ranked experts:");
+    for (rank, expert) in finder.top_k(need, 5).iter().enumerate() {
+        let person = &dataset.candidates()[expert.person.index()];
+        let truth = if gt.is_expert(expert.person, need.domain) {
+            "expert ✓"
+        } else {
+            "non-expert ✗"
+        };
+        println!(
+            "  {}. {:<22} score {:>9.2}  ({truth}, self-assessed {:.1}/7)",
+            rank + 1,
+            person.name,
+            expert.score,
+            gt.expertise(expert.person, need.domain),
+        );
+    }
+}

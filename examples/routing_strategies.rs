@@ -1,0 +1,62 @@
+//! Routing strategies: once the crowd is ranked, how should the question
+//! actually be asked? Social contacts answer voluntarily and sporadically
+//! (the paper's motivation for careful top-k selection), so asking
+//! everyone is wasteful and asking one person is fragile.
+//!
+//! This example ranks a question, then simulates the three strategies of
+//! `rightcrowd::core::routing` under different response rates.
+//!
+//! ```sh
+//! cargo run --release --example routing_strategies
+//! ```
+
+use rightcrowd::core::routing::{simulate, RoutingStrategy};
+use rightcrowd::core::{ExpertFinder, FinderConfig};
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+use std::collections::HashSet;
+
+fn main() {
+    let dataset = SyntheticDataset::generate(&DatasetConfig::small());
+    let finder = ExpertFinder::build(&dataset, &FinderConfig::default());
+
+    let need = &dataset.queries()[3]; // "famous songs of Michael Jackson"
+    println!("question: {:?} [{}]\n", need.text, need.domain);
+    let ranking = finder.rank(need);
+    let experts: HashSet<_> = dataset
+        .ground_truth()
+        .experts(need.domain)
+        .iter()
+        .copied()
+        .collect();
+
+    println!(
+        "{:<18} {:>9} {:>10} {:>12} {:>12} {:>10}",
+        "strategy", "resp.rate", "answered", "good answer", "contacted", "rounds"
+    );
+    for response_rate in [0.2, 0.5, 0.8] {
+        for (label, strategy) in [
+            ("top-1", RoutingStrategy::Top1),
+            ("parallel-3", RoutingStrategy::Parallel(3)),
+            ("parallel-5", RoutingStrategy::Parallel(5)),
+            ("sequential-5", RoutingStrategy::Sequential(5)),
+        ] {
+            let outcome = simulate(&ranking, &experts, strategy, response_rate, 5000, 42);
+            println!(
+                "{:<18} {:>9.0}% {:>9.0}% {:>11.0}% {:>12.2} {:>10.2}",
+                label,
+                response_rate * 100.0,
+                outcome.answer_rate * 100.0,
+                outcome.good_answer_rate * 100.0,
+                outcome.mean_contacted,
+                outcome.mean_rounds_to_answer
+            );
+        }
+        println!();
+    }
+    println!(
+        "reading: parallel-k maximises the chance of a (good) answer at the cost\n\
+         of contacting more people; sequential matches its answer rate while\n\
+         contacting fewer, paying in rounds — the trade-off behind the paper's\n\
+         'choose the right small crowd' framing."
+    );
+}

@@ -1,0 +1,40 @@
+//! # rightcrowd
+//!
+//! A from-scratch Rust reproduction of *"Choosing the Right Crowd: Expert
+//! Finding in Social Networks"* (Bozzon, Brambilla, Ceri, Silvestri, Vesci —
+//! EDBT 2013).
+//!
+//! Given an *expertise need* (a natural-language question) and a pool of
+//! candidate experts active on simulated Facebook / Twitter / LinkedIn
+//! graphs, the library ranks candidates by the expertise evidence found in
+//! their social resources — profiles, posts, annotated items, group/page
+//! posts — organised by graph distance from the candidate.
+//!
+//! This facade crate re-exports every member crate of the workspace so that
+//! downstream users can depend on a single crate:
+//!
+//! ```
+//! use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+//! use rightcrowd::core::{ExpertFinder, FinderConfig};
+//!
+//! // A miniature dataset (the default config reproduces the paper's scale).
+//! let dataset = SyntheticDataset::generate(&DatasetConfig::tiny());
+//! let finder = ExpertFinder::build(&dataset, &FinderConfig::default());
+//! let query = &dataset.queries()[0];
+//! let ranking = finder.rank(query);
+//! assert!(ranking.len() <= dataset.candidates().len());
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+pub use rightcrowd_annotate as annotate;
+pub use rightcrowd_core as core;
+pub use rightcrowd_graph as graph;
+pub use rightcrowd_index as index;
+pub use rightcrowd_kb as kb;
+pub use rightcrowd_langid as langid;
+pub use rightcrowd_metrics as metrics;
+pub use rightcrowd_synth as synth;
+pub use rightcrowd_text as text;
+pub use rightcrowd_types as types;

@@ -1,0 +1,182 @@
+//! Programmatic checks of the paper's qualitative findings ("shapes").
+//!
+//! EXPERIMENTS.md records the quantitative side; these tests pin the
+//! *orderings* the paper reports so that a regression in the generator,
+//! the pipeline or the ranker that silently flips a conclusion fails CI.
+//! They run on the tiny preset (shared, built once per test binary).
+
+use rightcrowd::core::baseline::random_baseline;
+use rightcrowd::core::{testkit, EvalContext, FinderConfig, WindowSize};
+use rightcrowd::types::{Distance, Platform, PlatformMask};
+
+fn ctx() -> EvalContext<'static> {
+    let (ds, corpus) = testkit::tiny();
+    EvalContext::new(ds, corpus)
+}
+
+#[test]
+fn finding1_profiles_alone_are_worse_than_random() {
+    let (ds, _) = testkit::tiny();
+    let d0 = ctx().run(&FinderConfig::default().with_distance(Distance::D0));
+    let random = random_baseline(ds, 0x5EED);
+    assert!(
+        d0.mean.map < random.map,
+        "distance-0 MAP {} must undercut random {}",
+        d0.mean.map,
+        random.map
+    );
+    assert!(d0.mean.ndcg < random.ndcg);
+}
+
+#[test]
+fn finding1_metrics_grow_with_distance() {
+    let c = ctx();
+    let maps: Vec<f64> = Distance::ALL
+        .iter()
+        .map(|&d| c.run(&FinderConfig::default().with_distance(d)).mean.map)
+        .collect();
+    assert!(maps[0] < maps[1], "d0 {} < d1 {}", maps[0], maps[1]);
+    assert!(maps[1] < maps[2], "d1 {} < d2 {}", maps[1], maps[2]);
+}
+
+#[test]
+fn finding2_distance2_beats_random_on_every_metric() {
+    let (ds, _) = testkit::tiny();
+    let d2 = ctx().run(&FinderConfig::default());
+    let random = random_baseline(ds, 0xABCD);
+    assert!(d2.mean.map > random.map);
+    assert!(d2.mean.mrr > random.mrr);
+    assert!(d2.mean.ndcg > random.ndcg);
+    assert!(d2.mean.ndcg10 > random.ndcg10);
+}
+
+#[test]
+fn finding3_twitter_is_the_strongest_single_network() {
+    let c = ctx();
+    let map_at = |p: Platform| {
+        c.run(
+            &FinderConfig::default().with_platforms(PlatformMask::only(p)),
+        )
+        .mean
+        .map
+    };
+    let tw = map_at(Platform::Twitter);
+    let fb = map_at(Platform::Facebook);
+    let li = map_at(Platform::LinkedIn);
+    assert!(tw > fb, "TW {tw} must beat FB {fb}");
+    assert!(tw > li, "TW {tw} must beat LI {li}");
+}
+
+#[test]
+fn finding3_linkedin_is_the_weakest_network() {
+    let c = ctx();
+    let map_at = |p: Platform| {
+        c.run(&FinderConfig::default().with_platforms(PlatformMask::only(p)))
+            .mean
+            .map
+    };
+    let li = map_at(Platform::LinkedIn);
+    assert!(li < map_at(Platform::Twitter));
+    assert!(li < map_at(Platform::Facebook));
+}
+
+#[test]
+fn finding4_friends_do_not_lift_map_at_distance_2() {
+    let c = ctx();
+    let base = FinderConfig::default().with_platforms(PlatformMask::only(Platform::Twitter));
+    let without = c.run(&base.clone().with_friends(false));
+    let with = c.run(&base.with_friends(true));
+    // The paper reports a slight degradation; we allow a small tolerance
+    // band but reject any solid improvement.
+    assert!(
+        with.mean.map <= without.mean.map * 1.05,
+        "friends lifted MAP {} → {}",
+        without.mean.map,
+        with.mean.map
+    );
+}
+
+#[test]
+fn finding5_window_grows_map_but_not_mrr() {
+    let c = ctx();
+    let small = c.run(
+        &FinderConfig::default().with_window(WindowSize::Fraction(0.01)),
+    );
+    let large = c.run(
+        &FinderConfig::default().with_window(WindowSize::Fraction(0.10)),
+    );
+    assert!(
+        large.mean.map >= small.mean.map,
+        "MAP must not shrink with the window: {} → {}",
+        small.mean.map,
+        large.mean.map
+    );
+    // MRR is about the first hit; the window barely moves it.
+    assert!(
+        (large.mean.mrr - small.mean.mrr).abs() <= 0.30,
+        "MRR should stay roughly flat: {} → {}",
+        small.mean.mrr,
+        large.mean.mrr
+    );
+}
+
+#[test]
+fn finding6_pure_entity_matching_collapses_on_profiles() {
+    let c = ctx();
+    let base = FinderConfig::default().with_distance(Distance::D0);
+    let entity_only = c.run(&base.clone().with_alpha(0.0));
+    let mixed = c.run(&base.with_alpha(0.6));
+    assert!(
+        entity_only.mean.map <= mixed.mean.map,
+        "α=0 {} must not beat α=0.6 {} at distance 0",
+        entity_only.mean.map,
+        mixed.mean.map
+    );
+}
+
+#[test]
+fn finding7_silent_users_are_harder_to_assess() {
+    let (ds, _) = testkit::tiny();
+    let reliability = ctx().user_reliability(&FinderConfig::default());
+    let mut silent = Vec::new();
+    let mut active = Vec::new();
+    for r in &reliability {
+        if ds.personas()[r.person.index()].silent {
+            silent.push(r.f1);
+        } else {
+            active.push(r.f1);
+        }
+    }
+    if silent.is_empty() {
+        return; // Tiny preset may sample zero silent users; nothing to check.
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    assert!(
+        mean(&silent) < mean(&active),
+        "silent {} vs active {}",
+        mean(&silent),
+        mean(&active)
+    );
+}
+
+#[test]
+fn finding8_thin_footprints_are_harder_to_assess() {
+    // The paper's Fig. 10 reads as a noisy positive relationship between a
+    // user's available social information and the system's ability to
+    // assess them; the robust core of that claim is that the users with
+    // the *least* information (the silent ones) are the hardest to judge.
+    // Pearson correlation on a 12-person tiny preset is too unstable to
+    // pin; exp_users reports the regression at full scale.
+    let mut reliability = ctx().user_reliability(&FinderConfig::default());
+    reliability.sort_by_key(|r| r.resources);
+    let quartile = (reliability.len() / 4).max(1);
+    let mean = |rs: &[rightcrowd::core::UserReliability]| {
+        rs.iter().map(|r| r.f1).sum::<f64>() / rs.len() as f64
+    };
+    let thin = mean(&reliability[..quartile]);
+    let rest = mean(&reliability[quartile..]);
+    assert!(
+        thin < rest,
+        "bottom-quartile-by-resources F1 {thin} must undercut the rest {rest}"
+    );
+}

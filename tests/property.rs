@@ -1,0 +1,189 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates through the facade.
+
+use proptest::prelude::*;
+use rightcrowd::metrics::{
+    average_precision, dcg, interpolated_precision_11pt, ndcg, precision_at, recall_at,
+    reciprocal_rank, Confusion,
+};
+use rightcrowd::text::{porter_stem, sanitize, tokenize, TextProcessor};
+use rightcrowd::types::{Distance, Domain, Likert, Platform, PlatformMask};
+
+proptest! {
+    // ---------- text ----------------------------------------------------
+
+    #[test]
+    fn stemmer_never_panics_and_never_grows(word in "[a-z]{1,24}") {
+        let stem = porter_stem(&word);
+        prop_assert!(stem.len() <= word.len(), "{word} -> {stem}");
+        prop_assert!(!stem.is_empty());
+        prop_assert!(stem.bytes().all(|b| b.is_ascii_lowercase()));
+    }
+
+    #[test]
+    fn stemmer_total_on_arbitrary_unicode(word in "\\PC{0,24}") {
+        // Non-ASCII input must pass through unchanged, never panic.
+        let stem = porter_stem(&word);
+        if !word.bytes().all(|b| b.is_ascii_lowercase()) || word.len() <= 2 {
+            prop_assert_eq!(stem, word);
+        }
+    }
+
+    #[test]
+    fn tokenizer_output_is_normalized(text in "\\PC{0,200}") {
+        for token in tokenize(&text) {
+            prop_assert!(!token.is_empty());
+            prop_assert!(
+                token.chars().all(|c| c.is_alphanumeric()),
+                "token {token:?} has non-alphanumeric characters"
+            );
+            prop_assert_eq!(token.clone(), token.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_total_and_extracts_urls(text in "\\PC{0,200}") {
+        let out = sanitize(&text);
+        // No URL scheme survives in the cleaned text.
+        prop_assert!(!out.text.contains("http://"));
+        prop_assert!(!out.text.contains("https://"));
+        for url in &out.urls {
+            prop_assert!(!url.is_empty());
+        }
+    }
+
+    #[test]
+    fn reprocessing_never_grows_terms(text in "[a-zA-Z ]{0,120}") {
+        // Porter stemming is not idempotent ("oase" → "oas" → "oa"), so
+        // exact stability cannot hold; what must hold is that reprocessing
+        // keeps the term count and never lengthens a term.
+        // A stem may even fall into the stop list ("ued" → "u"), so the
+        // count can shrink too — it just can never grow.
+        let p = TextProcessor::default();
+        let once = p.process(&text).terms;
+        let again = p.process_clean(&once.join(" "));
+        prop_assert!(again.len() <= once.len());
+        let total_before: usize = once.iter().map(String::len).sum();
+        let total_after: usize = again.iter().map(String::len).sum();
+        prop_assert!(total_after <= total_before);
+    }
+
+    // ---------- metrics --------------------------------------------------
+
+    #[test]
+    fn ranked_metrics_stay_in_unit_interval(
+        rels in prop::collection::vec(any::<bool>(), 0..60),
+        extra_relevant in 0usize..20,
+    ) {
+        let total = rels.iter().filter(|&&r| r).count() + extra_relevant;
+        let ap = average_precision(&rels, total);
+        prop_assert!((0.0..=1.0).contains(&ap), "AP {ap}");
+        let rr = reciprocal_rank(&rels);
+        prop_assert!((0.0..=1.0).contains(&rr), "RR {rr}");
+        let n = ndcg(&rels, total, None);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n), "NDCG {n}");
+        let n10 = ndcg(&rels, total, Some(10));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&n10), "NDCG@10 {n10}");
+        for k in 1..=rels.len().max(1) {
+            prop_assert!((0.0..=1.0).contains(&precision_at(&rels, k)));
+            prop_assert!((0.0..=1.0).contains(&recall_at(&rels, k, total)));
+        }
+    }
+
+    #[test]
+    fn interpolated_curve_is_monotone(
+        rels in prop::collection::vec(any::<bool>(), 0..60),
+        extra_relevant in 0usize..10,
+    ) {
+        let total = rels.iter().filter(|&&r| r).count() + extra_relevant;
+        let curve = interpolated_precision_11pt(&rels, total);
+        for w in curve.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12, "{curve:?}");
+        }
+    }
+
+    #[test]
+    fn dcg_is_monotone_in_cutoff(gains in prop::collection::vec(0.0f64..5.0, 0..40)) {
+        let mut previous = 0.0;
+        for k in 0..=gains.len() {
+            let d = dcg(&gains, Some(k));
+            prop_assert!(d + 1e-12 >= previous, "DCG must not shrink with k");
+            previous = d;
+        }
+    }
+
+    #[test]
+    fn promoting_any_relevant_item_never_hurts_ap(
+        rels in prop::collection::vec(any::<bool>(), 2..40),
+    ) {
+        // For every adjacent (non-relevant, relevant) pair, swapping the
+        // relevant item earlier must not decrease average precision.
+        let total = rels.iter().filter(|&&r| r).count().max(1);
+        let before = average_precision(&rels, total);
+        for pos in 1..rels.len() {
+            if rels[pos] && !rels[pos - 1] {
+                let mut improved = rels.clone();
+                improved.swap(pos - 1, pos);
+                let after = average_precision(&improved, total);
+                prop_assert!(after >= before - 1e-12, "{before} -> {after} at {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_counts_are_conserved(pairs in prop::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        let mut c = Confusion::default();
+        for (pred, act) in &pairs {
+            c.record(*pred, *act);
+        }
+        prop_assert_eq!(c.total(), pairs.len());
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        prop_assert!((0.0..=1.0).contains(&c.accuracy()));
+        // F1 is bounded by twice the smaller of P and R.
+        let bound = 2.0 * c.precision().min(c.recall());
+        prop_assert!(c.f1() <= bound + 1e-12);
+    }
+
+    // ---------- types ----------------------------------------------------
+
+    #[test]
+    fn platform_mask_algebra(bits in prop::collection::vec(any::<bool>(), 3)) {
+        let mask: PlatformMask = Platform::ALL
+            .into_iter()
+            .zip(&bits)
+            .filter(|(_, &b)| b)
+            .map(|(p, _)| p)
+            .collect();
+        prop_assert_eq!(mask.len(), bits.iter().filter(|&&b| b).count());
+        for (p, &b) in Platform::ALL.into_iter().zip(&bits) {
+            prop_assert_eq!(mask.contains(p), b);
+            prop_assert!(!mask.without(p).contains(p));
+            prop_assert!(mask.with(p).contains(p));
+        }
+        prop_assert_eq!(mask.iter().count(), mask.len());
+    }
+
+    #[test]
+    fn likert_clamp_is_idempotent(v in -100i32..100) {
+        let l = Likert::clamped(v);
+        prop_assert!((1..=7).contains(&l.value()));
+        prop_assert_eq!(Likert::clamped(l.value() as i32), l);
+        prop_assert!((0.0..=1.0).contains(&l.unit()));
+    }
+
+    #[test]
+    fn distance_weights_fit_paper_interval(level in 0usize..3) {
+        let d = Distance::from_level(level).unwrap();
+        let w = d.paper_weight();
+        prop_assert!((0.5..=1.0).contains(&w));
+    }
+
+    #[test]
+    fn domain_parse_roundtrip(idx in 0usize..7) {
+        let d = Domain::from_index(idx);
+        prop_assert_eq!(d.slug().parse::<Domain>().unwrap(), d);
+        prop_assert_eq!(d.label().parse::<Domain>().unwrap(), d);
+    }
+}
