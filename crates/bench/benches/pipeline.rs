@@ -76,6 +76,29 @@ fn bench_query(c: &mut Criterion) {
     c.bench_function("query/score_all", |b| {
         b.iter(|| black_box(corpus.index().score_all(black_box(&query), 0.6)))
     });
+    c.bench_function("query/score_top_k", |b| {
+        b.iter(|| {
+            black_box(corpus.index().score_top_k(black_box(&query), 0.6, 100, |d| {
+                attribution.is_attributed(d)
+            }))
+        })
+    });
+    c.bench_function("query/score_components", |b| {
+        b.iter(|| black_box(corpus.index().score_components(black_box(&query))))
+    });
+    // One recombination = the marginal cost of an extra α point in a
+    // factored sweep; compare against score_all (the naive per-α cost).
+    let components = corpus.index().score_components(&query);
+    c.bench_function("query/recombine", |b| {
+        b.iter(|| black_box(rightcrowd_index::recombine(black_box(&components), 0.6)))
+    });
+    c.bench_function("query/recombine_top_k", |b| {
+        b.iter(|| {
+            black_box(rightcrowd_index::recombine_top_k(black_box(&components), 0.6, 100, |d| {
+                attribution.is_attributed(d)
+            }))
+        })
+    });
     c.bench_function("query/rank_experts", |b| {
         b.iter(|| {
             black_box(rightcrowd_core::ranker::rank_query(
@@ -103,6 +126,33 @@ fn bench_attribution(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_alpha_sweep(c: &mut Criterion) {
+    // The whole-workload Fig. 7 sweep at distance 2: the naive path pays
+    // one posting traversal per (query, α), the factored path one per
+    // query plus a recombination per α.
+    let (ds, corpus) = tiny();
+    let ctx = rightcrowd_core::EvalContext::new(ds, corpus);
+    let config = FinderConfig::default();
+    let attribution = ctx.attribution(&config);
+    let alphas: Vec<f64> = (0..=10).map(|step| step as f64 / 10.0).collect();
+
+    let mut group = c.benchmark_group("alpha_sweep");
+    group.sample_size(10);
+    group.bench_function("naive_11_points", |b| {
+        b.iter(|| {
+            for &alpha in &alphas {
+                black_box(
+                    ctx.run_with_attribution(&config.clone().with_alpha(alpha), &attribution),
+                );
+            }
+        })
+    });
+    group.bench_function("factored_11_points", |b| {
+        b.iter(|| black_box(ctx.run_alpha_sweep(&config, &alphas)))
+    });
+    group.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     let (ds, _) = tiny();
     let finder = ExpertFinder::build(ds, &FinderConfig::default());
@@ -119,6 +169,7 @@ criterion_group!(
     bench_corpus,
     bench_query,
     bench_attribution,
+    bench_alpha_sweep,
     bench_end_to_end
 );
 criterion_main!(benches);

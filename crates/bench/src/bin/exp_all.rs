@@ -1,42 +1,21 @@
-//! Runs every experiment binary in sequence (sharing one dataset build
-//! would require in-process orchestration; each binary is cheap at the
-//! default scale, and at paper scale the corpus analysis dominates once
-//! per binary — use the individual binaries for iteration).
+//! Runs every experiment in sequence, **in-process**, against one shared
+//! bench: the dataset is generated and the corpus analysed exactly once,
+//! then every experiment body borrows the same [`Bench`]. At paper scale
+//! the corpus analysis dominates, so this is ~10× cheaper than launching
+//! the individual binaries.
 //!
 //! ```sh
 //! RIGHTCROWD_SCALE=paper cargo run --release -p rightcrowd-bench --bin exp_all
 //! ```
+//!
+//! [`Bench`]: rightcrowd_bench::Bench
 
-use std::process::Command;
-
-const EXPERIMENTS: [&str; 10] = [
-    "exp_dataset",
-    "exp_window",
-    "exp_alpha",
-    "exp_friends",
-    "exp_distance",
-    "exp_domains",
-    "exp_users",
-    "exp_delta",
-    "exp_ablation",
-    "exp_rankers",
-];
+use rightcrowd_bench::{experiments, Bench};
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    let mut failures = Vec::new();
-    for name in EXPERIMENTS {
+    let bench = Bench::prepare();
+    for (name, run) in experiments::ALL {
         println!("\n################ {name} ################");
-        let status = Command::new(dir.join(name))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
-        if !status.success() {
-            failures.push(name);
-        }
-    }
-    if !failures.is_empty() {
-        eprintln!("failed experiments: {failures:?}");
-        std::process::exit(1);
+        run(&bench);
     }
 }

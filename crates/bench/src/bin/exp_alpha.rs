@@ -1,45 +1,10 @@
-//! Experiment: α sensitivity — the paper's Fig. 7.
-//!
-//! Sweeps the Eq. 1 term/entity mixing weight α from 0 (entities only) to
-//! 1 (terms only) at distances 0, 1 and 2 with window = 100, reporting the
-//! four headline metrics.
+//! Thin binary wrapper; see [`rightcrowd_bench::experiments::alpha`].
 //!
 //! ```sh
 //! RIGHTCROWD_SCALE=paper cargo run --release -p rightcrowd-bench --bin exp_alpha
 //! ```
 
-use rightcrowd_bench::table::{banner, header4, row4};
-use rightcrowd_bench::Bench;
-use rightcrowd_core::baseline::random_baseline;
-use rightcrowd_core::{Attribution, FinderConfig};
-use rightcrowd_types::Distance;
-
 fn main() {
-    let bench = Bench::prepare();
-    let ctx = bench.ctx();
-
-    banner("Fig. 7 — sensitivity to the α parameter (window = 100)");
-    println!(
-        "paper shape: α = 0 (entities only) collapses at distance 0 (profiles\n\
-         are too sparse to annotate); metrics are stable for α ∈ [0.3, 0.8];\n\
-         the paper fixes α = 0.6.\n"
-    );
-    let random = random_baseline(&bench.ds, 0xA1FA);
-    println!("{:<16} {}", "config", header4());
-    println!("{:<16} {}", "random", row4(&random));
-
-    for distance in Distance::ALL {
-        let base = FinderConfig::default().with_distance(distance);
-        let attribution = Attribution::compute(&bench.ds, &bench.corpus, &base);
-        for step in 0..=10 {
-            let alpha = step as f64 / 10.0;
-            let config = base.clone().with_alpha(alpha);
-            let outcome = ctx.run_with_attribution(&config, &attribution);
-            println!(
-                "{:<16} {}",
-                format!("dist {} α={alpha:.1}", distance.level()),
-                row4(&outcome.mean)
-            );
-        }
-    }
+    let bench = rightcrowd_bench::Bench::prepare();
+    rightcrowd_bench::experiments::alpha::run(&bench);
 }

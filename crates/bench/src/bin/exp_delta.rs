@@ -1,58 +1,10 @@
-//! Experiment: retrieved-expert deltas — the paper's Fig. 11.
-//!
-//! For every query and every distance cap, the difference Δ between the
-//! number of candidates the system retrieves and the number of experts the
-//! ground truth expects. The paper reads the tightening of Δ with distance
-//! as evidence that more social context → better-calibrated retrieval, but
-//! notes that at distance 2 a third of the questions remain
-//! under-represented and five are clearly over-represented.
+//! Thin binary wrapper; see [`rightcrowd_bench::experiments::delta`].
 //!
 //! ```sh
 //! RIGHTCROWD_SCALE=paper cargo run --release -p rightcrowd-bench --bin exp_delta
 //! ```
 
-use rightcrowd_bench::table::banner;
-use rightcrowd_bench::Bench;
-use rightcrowd_core::FinderConfig;
-use rightcrowd_types::Distance;
-
 fn main() {
-    let bench = Bench::prepare();
-    let ctx = bench.ctx();
-
-    banner("Fig. 11 — Δ(retrieved − expected experts) per question");
-    let mut per_distance = Vec::new();
-    for distance in Distance::ALL {
-        let config = FinderConfig::default().with_distance(distance);
-        per_distance.push(ctx.retrieved_deltas(&config));
-    }
-
-    println!(
-        "{:<4} {:<24} {:>8} {:>8} {:>8}",
-        "q#", "domain", "Δ d0", "Δ d1", "Δ d2"
-    );
-    for (i, need) in bench.ds.queries().iter().enumerate() {
-        println!(
-            "{:<4} {:<24} {:>8} {:>8} {:>8}",
-            i + 1,
-            need.domain.slug(),
-            per_distance[0][i],
-            per_distance[1][i],
-            per_distance[2][i]
-        );
-    }
-
-    for (d, deltas) in per_distance.iter().enumerate() {
-        let avg = deltas.iter().sum::<i64>() as f64 / deltas.len() as f64;
-        let under = deltas.iter().filter(|&&x| x < 0).count();
-        let over = deltas.iter().filter(|&&x| x > 3).count();
-        println!(
-            "\ndistance {d}: average Δ {avg:+.1}; {under}/30 under-represented; \
-             {over} clearly over-represented (Δ > 3)"
-        );
-    }
-    println!(
-        "\npaper shape: at distance 2 about one third of the questions are\n\
-         under-represented and ~5 clearly over-represented."
-    );
+    let bench = rightcrowd_bench::Bench::prepare();
+    rightcrowd_bench::experiments::delta::run(&bench);
 }

@@ -1,74 +1,10 @@
-//! Experiment: contribution of resource distance and of each social
-//! network — the paper's Table 3 and Fig. 9.
-//!
-//! Runs every (network mask, distance cap) combination at the paper's
-//! operating point (window = 100, α = 0.6, no friends) and prints the four
-//! headline metrics next to the paper's Table 3, plus the 11-point
-//! precision/recall and DCG curves for the All configuration (Fig. 9).
+//! Thin binary wrapper; see [`rightcrowd_bench::experiments::distance`].
 //!
 //! ```sh
 //! RIGHTCROWD_SCALE=paper cargo run --release -p rightcrowd-bench --bin exp_distance
 //! ```
 
-use rightcrowd_bench::table::{banner, dcg_curve, header4, p11, paper_row4, row4};
-use rightcrowd_bench::{paper, Bench};
-use rightcrowd_core::baseline::random_baseline;
-use rightcrowd_core::FinderConfig;
-use rightcrowd_types::{Distance, Platform, PlatformMask};
-
 fn main() {
-    let bench = Bench::prepare();
-    let ctx = bench.ctx();
-
-    banner("Table 3 — networks × distances (window = 100, α = 0.6)");
-    let random = random_baseline(&bench.ds, 0xD157);
-    println!("{:<12} {}   (paper)", "config", header4());
-    println!(
-        "{:<12} {}   {}",
-        "random",
-        row4(&random),
-        paper_row4(paper::RANDOM)
-    );
-
-    let masks = [
-        ("All", PlatformMask::ALL),
-        ("FB", PlatformMask::only(Platform::Facebook)),
-        ("TW", PlatformMask::only(Platform::Twitter)),
-        ("LI", PlatformMask::only(Platform::LinkedIn)),
-    ];
-    let mut all_curves = Vec::new();
-    for (label, mask) in masks {
-        for distance in Distance::ALL {
-            let config = FinderConfig::default()
-                .with_platforms(mask)
-                .with_distance(distance);
-            let outcome = ctx.run(&config);
-            let reference = paper::table3(label, distance.level()).unwrap();
-            println!(
-                "{:<12} {}   {}",
-                format!("{label} d{}", distance.level()),
-                row4(&outcome.mean),
-                paper_row4(reference)
-            );
-            if label == "All" {
-                all_curves.push((distance, outcome.mean.p11, outcome.mean.dcg_curve));
-            }
-        }
-    }
-    println!(
-        "\npaper shape: distance 0 is *below* random; adding distance 1 then 2\n\
-         lifts every metric; TW@2 wins MAP/NDCG/NDCG@10 outright; LI trails."
-    );
-
-    banner("Fig. 9a — 11-point interpolated P/R, All networks");
-    println!("{:<10} {}", "random", p11(&random.p11));
-    for (distance, curve, _) in &all_curves {
-        println!("{:<10} {}", format!("dist {}", distance.level()), p11(curve));
-    }
-
-    banner("Fig. 9b — DCG at 5/10/15/20 retrieved users, All networks");
-    println!("{:<10} {}", "random", dcg_curve(&random.dcg_curve));
-    for (distance, _, curve) in &all_curves {
-        println!("{:<10} {}", format!("dist {}", distance.level()), dcg_curve(curve));
-    }
+    let bench = rightcrowd_bench::Bench::prepare();
+    rightcrowd_bench::experiments::distance::run(&bench);
 }

@@ -4,11 +4,12 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- query "why is copper a good conductor" --top 5
 //! RIGHTCROWD_SCALE=tiny cargo run --release -p rightcrowd-bench --bin rc -- eval --platform tw
 //! cargo run --release -p rightcrowd-bench --bin rc -- stats
+//! RIGHTCROWD_SCALE=small cargo run --release -p rightcrowd-bench --bin rc -- bench
 //! ```
 
 use rightcrowd_bench::cli::{parse, Command, USAGE};
 use rightcrowd_bench::table::{header4, row4};
-use rightcrowd_bench::Bench;
+use rightcrowd_bench::{Bench, BenchReport};
 use rightcrowd_core::baseline::random_baseline;
 use rightcrowd_core::{ExpertFinder, FinderConfig};
 use rightcrowd_synth::DatasetStats;
@@ -75,6 +76,28 @@ fn main() {
                     bench.ds.candidates()[expert.person.index()].name,
                     expert.score
                 );
+            }
+        }
+        Command::Bench { out } => {
+            let bench = Bench::prepare();
+            let report = BenchReport::measure(&bench);
+            println!(
+                "query latency p50 {:.2} ms / p99 {:.2} ms ({:.0} queries/sec)",
+                report.query_p50_ms, report.query_p99_ms, report.queries_per_sec
+            );
+            println!(
+                "α sweep ({} points × 3 distances): naive {:.0} ms, factored {:.0} ms — {:.1}× speedup",
+                report.alpha_points,
+                report.alpha_sweep_naive_ms,
+                report.alpha_sweep_factored_ms,
+                report.alpha_sweep_speedup
+            );
+            match report.write_to(&out) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", out.display());
+                    std::process::exit(1);
+                }
             }
         }
         Command::Eval { platforms, distance } => {

@@ -30,6 +30,12 @@ pub enum Command {
         /// Distance cap.
         distance: Distance,
     },
+    /// `rc bench [--out DIR]` — measure the retrieval hot path and write
+    /// a `BENCH_<scale>.json` snapshot.
+    Bench {
+        /// Directory the snapshot is written into.
+        out: std::path::PathBuf,
+    },
     /// `rc help` or parse failure fallback.
     Help,
 }
@@ -53,6 +59,7 @@ rc — expert finding in (simulated) social networks
 USAGE:
   rc query \"<expertise need>\" [--top N] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc bench [--out DIR]
   rc stats
   rc help
 
@@ -88,10 +95,16 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
     let mut top = 10usize;
     let mut platforms = PlatformMask::ALL;
     let mut distance = Distance::D2;
+    let mut out = std::path::PathBuf::from(".");
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--out" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--out needs a directory".into()))?;
+                out = std::path::PathBuf::from(value);
+            }
             "--top" => {
                 let value = iter.next().ok_or_else(|| ParseError("--top needs a number".into()))?;
                 top = value
@@ -129,6 +142,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "stats" => Ok(Command::Stats),
         "eval" => Ok(Command::Eval { platforms, distance }),
+        "bench" => Ok(Command::Bench { out }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(ParseError(format!("unknown subcommand {other:?}"))),
     }
@@ -185,6 +199,19 @@ mod tests {
         assert_eq!(parse(&args(&["stats"])).unwrap(), Command::Stats);
         assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
         assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_bench() {
+        assert_eq!(
+            parse(&args(&["bench"])).unwrap(),
+            Command::Bench { out: std::path::PathBuf::from(".") }
+        );
+        assert_eq!(
+            parse(&args(&["bench", "--out", "target/perf"])).unwrap(),
+            Command::Bench { out: std::path::PathBuf::from("target/perf") }
+        );
+        assert!(parse(&args(&["bench", "--out"])).is_err());
     }
 
     #[test]

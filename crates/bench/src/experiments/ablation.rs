@@ -1,0 +1,103 @@
+//! Ablations of the design choices DESIGN.md calls out.
+//!
+//! Not a paper table — these runs justify (or interrogate) choices the
+//! paper makes in passing:
+//!
+//! 1. **Distance weights** — the paper fixes `wr` in `[0.5, 1]`, linear
+//!    in distance; compared against uniform, steep, and profile-muted
+//!    schedules.
+//! 2. **Score normalisation** — Eq. 3 deliberately does not normalise by
+//!    evidence volume ("we assume a direct correlation between the number
+//!    of resources related to a query and the potential expertise");
+//!    the normalised variant shows what that assumption buys.
+//! 3. **URL-content enrichment** — the pipeline stage the paper borrows
+//!    the Alchemy API for.
+//! 4. **Collective-agreement disambiguation** — TAGME's voting versus
+//!    commonness-only sense picking.
+//! 5. **Location-aware policy** — the paper's own future-work suggestion
+//!    (§3.7), applied to the Location domain.
+
+use crate::table::{banner, header4, row4};
+use crate::Bench;
+use rightcrowd_core::{
+    AnalyzedCorpus, CorpusOptions, DomainPolicy, EvalContext, FinderConfig,
+};
+use rightcrowd_metrics::mean_eval;
+use rightcrowd_types::Domain;
+
+/// Prints the five ablations against the shared bench.
+pub fn run(bench: &Bench) {
+    let ctx = bench.ctx();
+    let base = FinderConfig::default();
+
+    banner("Ablation 1 — distance weight schedules wr");
+    println!("{:<26} {}", "schedule", header4());
+    for (label, weights) in [
+        ("paper [1, .75, .5]", [1.0, 0.75, 0.5]),
+        ("uniform [1, 1, 1]", [1.0, 1.0, 1.0]),
+        ("steep [1, .5, .25]", [1.0, 0.5, 0.25]),
+        ("no-profile [0, .75, .5]", [0.0, 0.75, 0.5]),
+        ("inverted [.5, .75, 1]", [0.5, 0.75, 1.0]),
+    ] {
+        let config = FinderConfig { distance_weights: weights, ..base.clone() };
+        let outcome = ctx.run(&config);
+        println!("{:<26} {}", label, row4(&outcome.mean));
+    }
+
+    banner("Ablation 2 — Eq. 3 score normalisation");
+    println!("{:<26} {}", "aggregation", header4());
+    for (label, normalize) in [("sum (paper)", false), ("mean per candidate", true)] {
+        let config = FinderConfig { normalize_by_evidence: normalize, ..base.clone() };
+        let outcome = ctx.run(&config);
+        println!("{:<26} {}", label, row4(&outcome.mean));
+    }
+
+    banner("Ablation 3 — URL-content enrichment");
+    println!("{:<26} {}", "pipeline", header4());
+    let enriched = ctx.run(&base);
+    println!("{:<26} {}", "with enrichment (paper)", row4(&enriched.mean));
+    {
+        let stripped = AnalyzedCorpus::build_with(&bench.ds, &CorpusOptions::without_enrichment());
+        let ctx2 = EvalContext::new(&bench.ds, &stripped);
+        let outcome = ctx2.run(&base);
+        println!("{:<26} {}", "without enrichment", row4(&outcome.mean));
+    }
+
+    banner("Ablation 4 — entity disambiguation strategy");
+    println!("{:<26} {}", "disambiguation", header4());
+    println!("{:<26} {}", "TAGME voting (paper)", row4(&enriched.mean));
+    {
+        let commonness =
+            AnalyzedCorpus::build_with(&bench.ds, &CorpusOptions::commonness_only());
+        let ctx2 = EvalContext::new(&bench.ds, &commonness);
+        let outcome = ctx2.run(&base);
+        println!("{:<26} {}", "commonness only", row4(&outcome.mean));
+    }
+
+    banner("Ablation 5 — location-aware domain policy (paper §3.7 future work)");
+    let location_queries = |outcome: &rightcrowd_core::ConfigOutcome| {
+        let evals: Vec<_> = bench
+            .ds
+            .queries()
+            .iter()
+            .zip(&outcome.per_query)
+            .filter(|(q, _)| q.domain == Domain::Location)
+            .map(|(_, e)| e.clone())
+            .collect();
+        mean_eval(&evals)
+    };
+    let uniform = ctx.run_policy(&DomainPolicy::uniform(&base));
+    let aware = ctx.run_policy(&DomainPolicy::location_aware(&base));
+    println!("{:<26} {}   <- all domains", "uniform policy", row4(&uniform.mean));
+    println!("{:<26} {}   <- all domains", "location-aware", row4(&aware.mean));
+    println!(
+        "{:<26} {}   <- Location queries only",
+        "uniform policy",
+        row4(&location_queries(&uniform))
+    );
+    println!(
+        "{:<26} {}   <- Location queries only",
+        "location-aware",
+        row4(&location_queries(&aware))
+    );
+}

@@ -1,0 +1,77 @@
+//! Experiment: dataset statistics — the paper's Fig. 5.
+//!
+//! Fig. 5a: distribution of resources and expert candidates among the
+//! social networks, split by graph distance. Fig. 5b: distribution of
+//! experts and average expertise per domain.
+
+use crate::table::banner;
+use crate::{paper, Bench};
+use rightcrowd_synth::DatasetStats;
+use rightcrowd_types::{Domain, Platform};
+
+/// Prints Fig. 5a/5b against the shared bench.
+pub fn run(bench: &Bench) {
+    let stats = DatasetStats::compute(&bench.ds);
+
+    banner("Fig. 5a — resources and candidates per social network");
+    println!(
+        "paper: {} candidates, ~{} resources (~{} English), {:.0}% with URLs",
+        paper::PAPER_CANDIDATES,
+        paper::PAPER_RESOURCES,
+        paper::PAPER_ENGLISH_RESOURCES,
+        paper::PAPER_URL_FRACTION * 100.0
+    );
+    println!(
+        "ours : {} candidates, {} resources ({:.0}% English est.), {:.0}% with URLs\n",
+        stats.candidates,
+        stats.total_resources,
+        stats.english_fraction * 100.0,
+        stats.url_fraction * 100.0
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "network", "docs@d0", "docs@d1", "docs@d2", "docs total", "generated"
+    );
+    for platform in Platform::ALL {
+        let p = &stats.platforms[platform.index()];
+        println!(
+            "{:<10} {:>10} {:>10} {:>10} {:>12} {:>12}",
+            platform.abbrev(),
+            p.docs_at[0],
+            p.docs_at[1],
+            p.docs_at[2],
+            p.total_docs,
+            p.resources_generated
+        );
+    }
+    println!(
+        "\npaper shape: FB generates the most resources overall; TW has the most\n\
+         distance-1 documents; ~95% of LI resources sit at distance 2."
+    );
+
+    banner("Fig. 5b — experts and expertise per domain");
+    println!(
+        "paper: ~{:.0} experts per domain on average, average expertise {:.2}",
+        paper::FIG5B_AVG_EXPERTS,
+        paper::FIG5B_AVG_EXPERTISE
+    );
+    println!(
+        "ours : {:.1} experts per domain on average, average expertise {:.2}\n",
+        bench.ds.ground_truth().mean_experts_per_domain(),
+        bench.ds.ground_truth().mean_expertise()
+    );
+    println!(
+        "{:<22} {:>8} {:>14} {:>18}",
+        "domain", "experts", "avg expertise", "avg (experts only)"
+    );
+    for domain in Domain::ALL {
+        let d = &stats.domains[domain.index()];
+        println!(
+            "{:<22} {:>8} {:>14.2} {:>18.2}",
+            domain.label(),
+            d.experts,
+            d.avg_expertise,
+            d.avg_expert_expertise
+        );
+    }
+}

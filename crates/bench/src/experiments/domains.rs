@@ -1,0 +1,88 @@
+//! Experiment: per-domain breakdown — the paper's Table 4.
+//!
+//! For each of the seven expertise domains, evaluates the domain's queries
+//! under every (network, distance) combination and reports MAP, MRR and
+//! NDCG@10 (the three metrics Table 4 carries). The paper's All-network
+//! reference values are printed alongside.
+
+use crate::table::banner;
+use crate::{paper, Bench};
+use rightcrowd_core::{ConfigOutcome, FinderConfig};
+use rightcrowd_metrics::mean_eval;
+use rightcrowd_types::{Distance, Domain, Platform, PlatformMask};
+
+const MASKS: [(&str, PlatformMask); 4] = [
+    ("All", PlatformMask::ALL),
+    ("FB", PlatformMask::only(Platform::Facebook)),
+    ("TW", PlatformMask::only(Platform::Twitter)),
+    ("LI", PlatformMask::only(Platform::LinkedIn)),
+];
+
+/// Prints Table 4 against the shared bench.
+pub fn run(bench: &Bench) {
+    let ctx = bench.ctx();
+
+    banner("Table 4 — per-domain metrics (window = 100, α = 0.6)");
+    println!(
+        "columns: MAP / MRR / NDCG@10 for All, FB, TW, LI; (paper) = the\n\
+         paper's All-network values.\n"
+    );
+
+    // One full-workload run per (mask, distance); domains then slice the
+    // per-query evaluations.
+    let mut outcomes: Vec<Vec<ConfigOutcome>> = Vec::new();
+    for (_, mask) in MASKS {
+        let mut per_distance = Vec::new();
+        for distance in Distance::ALL {
+            let config = FinderConfig::default()
+                .with_platforms(mask)
+                .with_distance(distance);
+            per_distance.push(ctx.run(&config));
+        }
+        outcomes.push(per_distance);
+    }
+
+    for domain in Domain::ALL {
+        println!("--- {} ---", domain.label());
+        println!(
+            "{:<6} {:>24} {:>24} {:>24} {:>24}   (paper All)",
+            "dist", "All", "FB", "TW", "LI"
+        );
+        for distance in Distance::ALL {
+            let mut cells = Vec::new();
+            for (mi, _) in MASKS.iter().enumerate() {
+                let outcome = &outcomes[mi][distance.level()];
+                let evals: Vec<_> = bench
+                    .ds
+                    .queries()
+                    .iter()
+                    .zip(&outcome.per_query)
+                    .filter(|(q, _)| q.domain == domain)
+                    .map(|(_, e)| e.clone())
+                    .collect();
+                let mean = mean_eval(&evals);
+                cells.push(format!(
+                    "{:>7.4} {:>7.4} {:>8.4}",
+                    mean.map, mean.mrr, mean.ndcg10
+                ));
+            }
+            let reference = paper::table4_all(domain.slug(), distance.level()).unwrap();
+            println!(
+                "{:<6} {:>24} {:>24} {:>24} {:>24}   {:>6.4} {:>6.4} {:>6.4}",
+                distance.level(),
+                cells[0],
+                cells[1],
+                cells[2],
+                cells[3],
+                reference.0,
+                reference.1,
+                reference.2
+            );
+        }
+    }
+    println!(
+        "\npaper shape: TW leads computer engineering, science, sport and\n\
+         technology; FB is strong on location, music, sport and movies & tv;\n\
+         LI trails everywhere except computer engineering at distance 0."
+    );
+}

@@ -1,0 +1,38 @@
+//! The experiment bodies, as library functions over a shared [`Bench`].
+//!
+//! Each submodule reproduces one table/figure of the paper (see the crate
+//! docs for the mapping) and exposes `run(&Bench)`. The thin binaries in
+//! `src/bin/` prepare a bench and delegate here; `exp_all` prepares **one**
+//! bench and runs every experiment against it in-process, so the dataset
+//! generation and corpus analysis — the dominant cost at paper scale —
+//! happen once instead of once per experiment.
+
+use crate::Bench;
+
+pub mod ablation;
+pub mod alpha;
+pub mod dataset;
+pub mod delta;
+pub mod distance;
+pub mod domains;
+pub mod friends;
+pub mod rankers;
+pub mod users;
+pub mod window;
+
+/// An experiment body: a name and a runner over the shared bench.
+pub type Experiment = (&'static str, fn(&Bench));
+
+/// Every experiment, in the paper's presentation order.
+pub const ALL: [Experiment; 10] = [
+    ("exp_dataset", dataset::run),
+    ("exp_window", window::run),
+    ("exp_alpha", alpha::run),
+    ("exp_friends", friends::run),
+    ("exp_distance", distance::run),
+    ("exp_domains", domains::run),
+    ("exp_users", users::run),
+    ("exp_delta", delta::run),
+    ("exp_ablation", ablation::run),
+    ("exp_rankers", rankers::run),
+];

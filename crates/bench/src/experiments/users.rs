@@ -1,0 +1,65 @@
+//! Experiment: per-user reliability — the paper's Fig. 10.
+//!
+//! For each expert candidate, the F1 of "system retrieved the user" versus
+//! "user is a domain expert" over the whole workload, next to the user's
+//! available social information (attributed documents). The paper observes
+//! a clear correlation between the two, six users above F1 = 0.70, and
+//! eight completely unpredictable users (F1 = 0).
+
+use crate::runner::linear_regression;
+use crate::table::banner;
+use crate::Bench;
+use rightcrowd_core::FinderConfig;
+
+/// Prints Fig. 10 against the shared bench.
+pub fn run(bench: &Bench) {
+    let ctx = bench.ctx();
+
+    banner("Fig. 10 — users' expertise predictability vs. social footprint");
+    let reliability = ctx.user_reliability(&FinderConfig::default());
+
+    println!(
+        "{:<6} {:<22} {:>7} {:>7} {:>7} {:>10} {:>8}",
+        "user", "name", "F1", "prec", "recall", "resources", "silent"
+    );
+    for r in &reliability {
+        let persona = &bench.ds.personas()[r.person.index()];
+        println!(
+            "{:<6} {:<22} {:>7.3} {:>7.3} {:>7.3} {:>10} {:>8}",
+            r.person.to_string(),
+            bench.ds.candidates()[r.person.index()].name,
+            r.f1,
+            r.precision,
+            r.recall,
+            r.resources,
+            if persona.silent { "yes" } else { "" }
+        );
+    }
+
+    let mut f1s: Vec<f64> = reliability.iter().map(|r| r.f1).collect();
+    f1s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = f1s[f1s.len() / 2];
+    let average = f1s.iter().sum::<f64>() / f1s.len() as f64;
+    let high = reliability.iter().filter(|r| r.f1 > 0.70).count();
+    let zero = reliability.iter().filter(|r| r.f1 == 0.0).count();
+    let above_avg = reliability.iter().filter(|r| r.f1 > average).count();
+
+    println!("\nmedian F1 {median:.3}, average F1 {average:.3}");
+    println!(
+        "{high} users above F1 = 0.70 (paper: 6); {zero} users at F1 = 0 (paper: 8); \
+         {above_avg} above average (paper: ~half)"
+    );
+
+    let points: Vec<(f64, f64)> = reliability
+        .iter()
+        .map(|r| (r.resources as f64, r.f1))
+        .collect();
+    let (slope, intercept, r) = linear_regression(&points);
+    println!(
+        "\nregression F1 ~ resources: slope {slope:.3e}, intercept {intercept:.3}, pearson r = {r:.3}"
+    );
+    println!(
+        "paper shape: positive correlation — users publishing more resources\n\
+         are easier to assess (and silent experts are unassessable)."
+    );
+}

@@ -1,0 +1,54 @@
+//! Experiment: window-size sensitivity — the paper's Fig. 6.
+//!
+//! Sweeps the fraction of matching resources fed to the expert ranker
+//! (0.5%–10%) at distances 1 and 2 with α = 0.5, reporting MAP, MRR, NDCG
+//! and NDCG@10; the fixed window of 100 resources (the paper's chosen
+//! operating point, dashed lines in the figure) is printed alongside.
+
+use crate::table::{banner, header4, row4};
+use crate::Bench;
+use rightcrowd_core::baseline::random_baseline;
+use rightcrowd_core::{FinderConfig, WindowSize};
+use rightcrowd_types::Distance;
+
+/// Window fractions swept (the figure's x-axis, 0%–10%).
+const FRACTIONS: [f64; 8] = [0.005, 0.01, 0.02, 0.03, 0.04, 0.06, 0.08, 0.10];
+
+/// Prints Fig. 6 against the shared bench.
+pub fn run(bench: &Bench) {
+    let ctx = bench.ctx();
+
+    banner("Fig. 6 — evaluation metrics at different window sizes (α = 0.5)");
+    println!(
+        "paper shape: MAP and NDCG grow with the window (up to ~+30% at\n\
+         distance 2); MRR and NDCG@10 stay flat. The paper fixes window = 100.\n"
+    );
+    let random = random_baseline(&bench.ds, 0xF166);
+    println!("{:<22} {}", "config", header4());
+    println!("{:<22} {}", "random", row4(&random));
+
+    for distance in [Distance::D1, Distance::D2] {
+        let base = FinderConfig::default()
+            .with_alpha(0.5)
+            .with_distance(distance);
+        // One attribution per distance serves the whole sweep (context
+        // cache, keyed by traversal shape).
+        let attribution = ctx.attribution(&base);
+        for fraction in FRACTIONS {
+            let config = base.clone().with_window(WindowSize::Fraction(fraction));
+            let outcome = ctx.run_with_attribution(&config, &attribution);
+            println!(
+                "{:<22} {}",
+                format!("dist {} @ {:>4.1}%", distance.level(), fraction * 100.0),
+                row4(&outcome.mean)
+            );
+        }
+        let fixed = base.clone().with_window(WindowSize::Count(100));
+        let outcome = ctx.run_with_attribution(&fixed, &attribution);
+        println!(
+            "{:<22} {}",
+            format!("dist {} @ 100 res", distance.level()),
+            row4(&outcome.mean)
+        );
+    }
+}

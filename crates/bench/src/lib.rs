@@ -2,13 +2,15 @@
 //!
 //! The experiment harness: one binary per table/figure of the paper's
 //! evaluation (§3), each printing the paper's reported values next to the
-//! values measured on the synthetic reproduction.
+//! values measured on the synthetic reproduction. The experiment bodies
+//! live in [`experiments`] as functions over a shared [`Bench`], so
+//! `exp_all` runs the full suite against **one** dataset build.
 //!
 //! | Binary | Reproduces |
 //! |---|---|
 //! | `exp_dataset`  | Fig. 5a (resources/users per network & distance), Fig. 5b (experts per domain) |
 //! | `exp_window`   | Fig. 6 (metrics vs. window size, distances 1–2) |
-//! | `exp_alpha`    | Fig. 7 (metrics vs. α, distances 0–2) |
+//! | `exp_alpha`    | Fig. 7 (metrics vs. α, distances 0–2) — factored single-traversal sweep |
 //! | `exp_friends`  | Table 2 + Fig. 8 (Twitter friends on/off) |
 //! | `exp_distance` | Table 3 + Fig. 9 (All/FB/TW/LI × distance) |
 //! | `exp_domains`  | Table 4 (per-domain breakdown) |
@@ -16,16 +18,23 @@
 //! | `exp_delta`    | Fig. 11 (retrieved-expert deltas per query) |
 //! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
 //! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
-//! | `exp_all`      | everything above, in order |
-//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats` |
+//! | `exp_all`      | everything above, in order, sharing one in-process [`Bench`] |
+//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats`, `rc bench` |
+//!
+//! `rc bench` measures the retrieval hot path (per-query latency, the
+//! factored-vs-naive α-sweep speedup) and writes a `BENCH_<scale>.json`
+//! snapshot — see [`report`].
 //!
 //! The dataset scale is selected with the `RIGHTCROWD_SCALE` environment
 //! variable: `tiny`, `small` (default) or `paper` (the full ~330k-resource
 //! study; expect a few minutes of corpus analysis).
 
 pub mod cli;
+pub mod experiments;
 pub mod paper;
+pub mod report;
 pub mod runner;
 pub mod table;
 
+pub use report::BenchReport;
 pub use runner::{load_dataset, scale_label, Bench};

@@ -1,0 +1,273 @@
+//! The `BENCH_<scale>.json` emitter — the recorded performance trajectory.
+//!
+//! Every `rc bench` run measures the pipeline's hot paths on the current
+//! machine and writes one JSON snapshot: corpus-build time, per-query
+//! retrieval latency (p50/p99, queries/sec), and the factored-vs-naive
+//! α-sweep comparison that certifies the single-traversal sweep of
+//! [`EvalContext::run_alpha_sweep`]. Snapshots are committed next to the
+//! code so the perf history rides the git history.
+//!
+//! The JSON is hand-rolled (flat object, numbers and strings only) to
+//! keep the workspace free of serialisation dependencies.
+//!
+//! [`EvalContext::run_alpha_sweep`]: rightcrowd_core::EvalContext::run_alpha_sweep
+
+use crate::{scale_label, Bench};
+use rightcrowd_core::FinderConfig;
+use rightcrowd_core::ranker::rank_query;
+use std::time::Instant;
+
+/// One performance snapshot, serialised to `BENCH_<scale>.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Dataset scale label (`tiny` / `small` / `paper`).
+    pub scale: String,
+    /// Short git revision the snapshot was taken at (`unknown` outside a
+    /// work tree).
+    pub git_rev: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub unix_time: u64,
+    /// Dataset generation wall-clock, milliseconds.
+    pub generate_ms: f64,
+    /// Corpus analysis + indexing wall-clock, milliseconds.
+    pub analyze_ms: f64,
+    /// Indexed documents after the language gate.
+    pub retained_docs: usize,
+    /// Workload size (number of queries measured).
+    pub queries: usize,
+    /// Median single-query latency (analyse + retrieve + rank), ms.
+    pub query_p50_ms: f64,
+    /// 99th-percentile single-query latency, ms.
+    pub query_p99_ms: f64,
+    /// Sequential single-query throughput.
+    pub queries_per_sec: f64,
+    /// Number of α points in the sweep comparison.
+    pub alpha_points: usize,
+    /// Naive sweep (one posting traversal per (query, distance, α)), ms.
+    pub alpha_sweep_naive_ms: f64,
+    /// Factored sweep (one traversal per (query, distance)), ms.
+    pub alpha_sweep_factored_ms: f64,
+    /// `alpha_sweep_naive_ms / alpha_sweep_factored_ms`.
+    pub alpha_sweep_speedup: f64,
+}
+
+/// The short revision of the repository containing the working directory.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+impl BenchReport {
+    /// Measures the bench: per-query latency over the full workload at the
+    /// paper's operating point, and the α sweep of Fig. 7 (all three
+    /// distances, eleven α points) on both the naive per-α path and the
+    /// factored single-traversal path.
+    pub fn measure(bench: &Bench) -> Self {
+        let ctx = bench.ctx();
+        let config = FinderConfig::default();
+        let attribution = ctx.attribution(&config);
+        let pipeline = rightcrowd_core::AnalysisPipeline::new(bench.ds.kb());
+        let n = bench.ds.candidates().len();
+
+        // Per-query latency: the full serving path (analysis, retrieval,
+        // ranking), sequential so percentiles reflect a single request.
+        eprintln!("[bench] measuring per-query latency...");
+        let mut latencies_ms = Vec::with_capacity(bench.ds.queries().len());
+        let started = Instant::now();
+        for need in bench.ds.queries() {
+            let one = Instant::now();
+            let query = pipeline.analyze_query(&need.text);
+            let ranking = rank_query(&bench.corpus, &attribution, &config, &query, n);
+            std::hint::black_box(ranking);
+            latencies_ms.push(one.elapsed().as_secs_f64() * 1e3);
+        }
+        let total_s = started.elapsed().as_secs_f64();
+        let mut sorted = latencies_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+        // α sweep, Fig. 7 shape: naive re-traverses postings per α, the
+        // factored path recombines per-query components.
+        let alphas = crate::experiments::alpha::alpha_grid();
+        eprintln!("[bench] measuring naive α sweep ({} points)...", alphas.len());
+        let started = Instant::now();
+        for distance in rightcrowd_types::Distance::ALL {
+            let base = FinderConfig::default().with_distance(distance);
+            let attribution = ctx.attribution(&base);
+            for &alpha in &alphas {
+                let swept = ctx.run_with_attribution(&base.clone().with_alpha(alpha), &attribution);
+                std::hint::black_box(swept);
+            }
+        }
+        let naive_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        eprintln!("[bench] measuring factored α sweep...");
+        let started = Instant::now();
+        for distance in rightcrowd_types::Distance::ALL {
+            let base = FinderConfig::default().with_distance(distance);
+            let swept = ctx.run_alpha_sweep(&base, &alphas);
+            std::hint::black_box(swept);
+        }
+        let factored_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        BenchReport {
+            scale: scale_label(),
+            git_rev: git_rev(),
+            unix_time: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map_or(0, |d| d.as_secs()),
+            generate_ms: bench.generate_ms,
+            analyze_ms: bench.analyze_ms,
+            retained_docs: bench.corpus.retained(),
+            queries: latencies_ms.len(),
+            query_p50_ms: percentile(&sorted, 0.50),
+            query_p99_ms: percentile(&sorted, 0.99),
+            queries_per_sec: if total_s > 0.0 { latencies_ms.len() as f64 / total_s } else { 0.0 },
+            alpha_points: alphas.len(),
+            alpha_sweep_naive_ms: naive_ms,
+            alpha_sweep_factored_ms: factored_ms,
+            alpha_sweep_speedup: if factored_ms > 0.0 { naive_ms / factored_ms } else { 0.0 },
+        }
+    }
+
+    /// The snapshot as a pretty-printed JSON object.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() { format!("{v:.3}") } else { "null".to_owned() }
+        }
+        fn text(v: &str) -> String {
+            let escaped: String = v
+                .chars()
+                .flat_map(|c| match c {
+                    '"' | '\\' => vec!['\\', c],
+                    '\n' => vec!['\\', 'n'],
+                    c if (c as u32) < 0x20 => " ".chars().collect(),
+                    c => vec![c],
+                })
+                .collect();
+            format!("\"{escaped}\"")
+        }
+        format!(
+            "{{\n  \"scale\": {},\n  \"git_rev\": {},\n  \"unix_time\": {},\n  \
+             \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"retained_docs\": {},\n  \
+             \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
+             \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
+             \"alpha_sweep_naive_ms\": {},\n  \"alpha_sweep_factored_ms\": {},\n  \
+             \"alpha_sweep_speedup\": {}\n}}\n",
+            text(&self.scale),
+            text(&self.git_rev),
+            self.unix_time,
+            num(self.generate_ms),
+            num(self.analyze_ms),
+            self.retained_docs,
+            self.queries,
+            num(self.query_p50_ms),
+            num(self.query_p99_ms),
+            num(self.queries_per_sec),
+            self.alpha_points,
+            num(self.alpha_sweep_naive_ms),
+            num(self.alpha_sweep_factored_ms),
+            num(self.alpha_sweep_speedup),
+        )
+    }
+
+    /// The conventional snapshot filename for this report's scale.
+    pub fn filename(&self) -> String {
+        format!("BENCH_{}.json", self.scale)
+    }
+
+    /// Writes the snapshot to `dir/BENCH_<scale>.json` and returns the
+    /// path.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = dir.join(self.filename());
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            scale: "tiny".into(),
+            git_rev: "abc1234".into(),
+            unix_time: 1_700_000_000,
+            generate_ms: 12.5,
+            analyze_ms: 800.25,
+            retained_docs: 4321,
+            queries: 30,
+            query_p50_ms: 1.25,
+            query_p99_ms: 4.75,
+            queries_per_sec: 600.0,
+            alpha_points: 11,
+            alpha_sweep_naive_ms: 500.0,
+            alpha_sweep_factored_ms: 50.0,
+            alpha_sweep_speedup: 10.0,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_flat_and_complete() {
+        let json = sample().to_json();
+        for key in [
+            "scale",
+            "git_rev",
+            "unix_time",
+            "generate_ms",
+            "analyze_ms",
+            "retained_docs",
+            "queries",
+            "query_p50_ms",
+            "query_p99_ms",
+            "queries_per_sec",
+            "alpha_points",
+            "alpha_sweep_naive_ms",
+            "alpha_sweep_factored_ms",
+            "alpha_sweep_speedup",
+        ] {
+            assert!(json.contains(&format!("\"{key}\": ")), "missing {key} in {json}");
+        }
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"alpha_sweep_speedup\": 10.000"));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut report = sample();
+        report.git_rev = "we\"ird\\rev".into();
+        let json = report.to_json();
+        assert!(json.contains(r#""git_rev": "we\"ird\\rev""#));
+    }
+
+    #[test]
+    fn filename_follows_scale() {
+        assert_eq!(sample().filename(), "BENCH_tiny.json");
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let sorted = [1.0, 2.0, 3.0, 4.0, 10.0];
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 0.99), 10.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

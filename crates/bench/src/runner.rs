@@ -22,12 +22,17 @@ pub fn load_dataset() -> SyntheticDataset {
     SyntheticDataset::generate(&config)
 }
 
-/// A ready-to-run experiment bench: dataset + analysed corpus.
+/// A ready-to-run experiment bench: dataset + analysed corpus, plus the
+/// build timings recorded for the perf trajectory (`BENCH_<scale>.json`).
 pub struct Bench {
     /// The generated dataset.
     pub ds: SyntheticDataset,
     /// The analysed corpus.
     pub corpus: AnalyzedCorpus,
+    /// Wall-clock milliseconds spent generating the dataset.
+    pub generate_ms: f64,
+    /// Wall-clock milliseconds spent analysing + indexing the corpus.
+    pub analyze_ms: f64,
 }
 
 impl Bench {
@@ -37,21 +42,21 @@ impl Bench {
         eprintln!("[bench] generating dataset (scale: {})...", scale_label());
         let started = std::time::Instant::now();
         let ds = load_dataset();
+        let generate_ms = started.elapsed().as_secs_f64() * 1e3;
         let (persons, profiles, resources, containers) = ds.graph().counts();
         eprintln!(
-            "[bench]   {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers ({:.1?})",
-            started.elapsed()
+            "[bench]   {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers ({generate_ms:.0} ms)",
         );
         eprintln!("[bench] analysing corpus (pipeline + indexing)...");
         let started = std::time::Instant::now();
         let corpus = AnalyzedCorpus::build(&ds);
+        let analyze_ms = started.elapsed().as_secs_f64() * 1e3;
         eprintln!(
-            "[bench]   {} retained, {} dropped as non-English ({:.1?})",
+            "[bench]   {} retained, {} dropped as non-English ({analyze_ms:.0} ms)",
             corpus.retained(),
             corpus.dropped_non_english(),
-            started.elapsed()
         );
-        Bench { ds, corpus }
+        Bench { ds, corpus, generate_ms, analyze_ms }
     }
 
     /// The evaluation context over this bench.

@@ -11,8 +11,9 @@ use crate::corpus::AnalyzedCorpus;
 use rightcrowd_graph::CollectOptions;
 use rightcrowd_index::DocIdx;
 use rightcrowd_synth::SyntheticDataset;
-use rightcrowd_types::{Distance, PersonId};
+use rightcrowd_types::{Distance, PersonId, PlatformMask};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The attribution table of one finder configuration.
 #[derive(Debug, Default)]
@@ -67,6 +68,75 @@ impl Attribution {
     /// Number of distinct attributed documents.
     pub fn attributed_docs(&self) -> usize {
         self.by_doc.len()
+    }
+}
+
+/// The part of a [`FinderConfig`] that an [`Attribution`] actually depends
+/// on: the graph-traversal shape. Configurations that differ only in
+/// α, window, weights, aggregation or retrieval model share one
+/// attribution, and sweeps over those knobs should reuse it via
+/// [`AttributionCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraversalShape {
+    /// Maximum graph distance of the evidence walk.
+    pub max_distance: Distance,
+    /// Whether friends' direct resources are pulled in at distance 2.
+    pub include_friends: bool,
+    /// Platforms evidence may come from.
+    pub platforms: PlatformMask,
+}
+
+impl TraversalShape {
+    /// The traversal shape of a configuration.
+    pub fn of(config: &FinderConfig) -> Self {
+        TraversalShape {
+            max_distance: config.max_distance,
+            include_friends: config.include_friends,
+            platforms: config.platforms,
+        }
+    }
+}
+
+/// Memoises [`Attribution::compute`] by [`TraversalShape`].
+///
+/// Attribution is by far the most expensive per-configuration step of an
+/// evaluation sweep (a full evidence walk per candidate), yet most sweep
+/// points only vary scoring knobs. The cache hands out [`Arc`]s so callers
+/// can hold a result across further lookups (and across threads) without
+/// cloning the table.
+#[derive(Debug, Default)]
+pub struct AttributionCache {
+    by_shape: HashMap<TraversalShape, Arc<Attribution>>,
+}
+
+impl AttributionCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The attribution for `config`'s traversal shape, computing and
+    /// memoising it on first use.
+    pub fn get_or_compute(
+        &mut self,
+        ds: &SyntheticDataset,
+        corpus: &AnalyzedCorpus,
+        config: &FinderConfig,
+    ) -> Arc<Attribution> {
+        self.by_shape
+            .entry(TraversalShape::of(config))
+            .or_insert_with(|| Arc::new(Attribution::compute(ds, corpus, config)))
+            .clone()
+    }
+
+    /// Number of distinct traversal shapes computed so far.
+    pub fn len(&self) -> usize {
+        self.by_shape.len()
+    }
+
+    /// Whether nothing has been computed yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_shape.is_empty()
     }
 }
 
@@ -130,6 +200,22 @@ mod tests {
             .filter(|owners| owners.len() > 1)
             .count();
         assert!(multi > 0, "some documents must serve several candidates");
+    }
+
+    #[test]
+    fn cache_shares_attributions_across_scoring_knobs() {
+        let (ds, corpus) = setup();
+        let mut cache = AttributionCache::new();
+        let base = FinderConfig::default();
+        let a = cache.get_or_compute(ds, corpus, &base);
+        // α and window differences must hit the same entry…
+        let b = cache.get_or_compute(ds, corpus, &base.clone().with_alpha(0.1));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        // …while a different traversal shape computes a new one.
+        let c = cache.get_or_compute(ds, corpus, &base.with_distance(Distance::D0));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -24,11 +24,20 @@ pub struct CorpusOptions {
     /// collective-agreement voting into commonness-only disambiguation —
     /// the classic ablation of TAGME's voting step.
     pub annotator: AnnotatorConfig,
+    /// Number of analysis worker threads; `None` uses every available
+    /// core. The produced corpus is identical for every value (see
+    /// [`AnalyzedCorpus::build_with`]) — pinning it only matters for
+    /// benchmarks and for the determinism test that proves the claim.
+    pub worker_threads: Option<usize>,
 }
 
 impl Default for CorpusOptions {
     fn default() -> Self {
-        CorpusOptions { enrich_urls: true, annotator: AnnotatorConfig::default() }
+        CorpusOptions {
+            enrich_urls: true,
+            annotator: AnnotatorConfig::default(),
+            worker_threads: None,
+        }
     }
 }
 
@@ -44,6 +53,12 @@ impl CorpusOptions {
     /// No URL-content enrichment.
     pub fn without_enrichment() -> Self {
         CorpusOptions { enrich_urls: false, ..Default::default() }
+    }
+
+    /// Pins the number of analysis worker threads.
+    pub fn with_worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = Some(threads);
+        self
     }
 }
 
@@ -66,9 +81,10 @@ impl AnalyzedCorpus {
     /// Analyses and indexes with explicit ablation options.
     ///
     /// Analysis is embarrassingly parallel and runs on scoped threads
-    /// (one chunk per available core); results are merged back in
+    /// (one chunk per worker, every available core unless
+    /// `options.worker_threads` pins a count); results are merged back in
     /// document order, so the produced index is byte-identical to a
-    /// sequential build.
+    /// sequential build regardless of the thread count.
     pub fn build_with(ds: &SyntheticDataset, options: &CorpusOptions) -> Self {
         let pipeline = AnalysisPipeline::with_config(ds.kb(), options.annotator.clone());
 
@@ -119,16 +135,8 @@ impl AnalyzedCorpus {
             (doc_id, keep.then_some(analyzed))
         };
 
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let chunk_size = jobs.len().div_ceil(threads.max(1)).max(1);
-        let analyzed: Vec<Vec<(DocId, Option<crate::pipeline::AnalyzedDoc>)>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = jobs
-                    .chunks(chunk_size)
-                    .map(|chunk| scope.spawn(|| chunk.iter().map(analyze_one).collect()))
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("analysis worker")).collect()
-            });
+        let threads = options.worker_threads.unwrap_or_else(crate::par::default_threads);
+        let analyzed = crate::par::par_map(&jobs, threads, analyze_one);
 
         // Sequential merge in job order keeps DocIdx assignment (and
         // therefore every downstream tie-break) deterministic.
@@ -136,7 +144,7 @@ impl AnalyzedCorpus {
         let mut docs = Vec::new();
         let mut doc_of = HashMap::new();
         let mut dropped = 0usize;
-        for (doc_id, maybe_doc) in analyzed.into_iter().flatten() {
+        for (doc_id, maybe_doc) in analyzed {
             match maybe_doc {
                 Some(doc) => {
                     let idx = builder.add_document(&doc.terms, &doc.entities);

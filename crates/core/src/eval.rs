@@ -2,14 +2,15 @@
 //! and compute every §3.2 metric, plus the per-user reliability analysis
 //! (Fig. 10) and the retrieved-expert deltas (Fig. 11).
 
-use crate::attribution::Attribution;
+use crate::attribution::{Attribution, AttributionCache};
 use crate::config::FinderConfig;
 use crate::corpus::AnalyzedCorpus;
 use crate::pipeline::AnalysisPipeline;
-use crate::ranker::{rank_query, RankedExpert};
+use crate::ranker::{rank_components, rank_query, RankedExpert};
 use rightcrowd_metrics::{mean_eval, Confusion, MeanEval, QueryEval};
 use rightcrowd_synth::SyntheticDataset;
 use rightcrowd_types::PersonId;
+use std::sync::{Arc, Mutex};
 
 /// The complete outcome of one configuration run.
 #[derive(Debug, Clone)]
@@ -39,16 +40,23 @@ pub struct UserReliability {
     pub resources: usize,
 }
 
-/// Shared evaluation context: one dataset, one analysed corpus.
+/// Shared evaluation context: one dataset, one analysed corpus, and a
+/// cache of attribution tables keyed by traversal shape so configuration
+/// sweeps never recompute the evidence walk.
+///
+/// Queries of a workload are evaluated in parallel on scoped threads with
+/// an order-preserving merge, so every outcome is identical to a
+/// sequential run.
 pub struct EvalContext<'a> {
     ds: &'a SyntheticDataset,
     corpus: &'a AnalyzedCorpus,
+    attributions: Mutex<AttributionCache>,
 }
 
 impl<'a> EvalContext<'a> {
     /// Binds the context.
     pub fn new(ds: &'a SyntheticDataset, corpus: &'a AnalyzedCorpus) -> Self {
-        EvalContext { ds, corpus }
+        EvalContext { ds, corpus, attributions: Mutex::new(AttributionCache::new()) }
     }
 
     /// The dataset under evaluation.
@@ -61,10 +69,41 @@ impl<'a> EvalContext<'a> {
         self.corpus
     }
 
+    /// The attribution table for `config`'s traversal shape, from the
+    /// context's cache (computed at most once per shape for the lifetime
+    /// of the context).
+    pub fn attribution(&self, config: &FinderConfig) -> Arc<Attribution> {
+        self.attributions
+            .lock()
+            .expect("attribution cache poisoned")
+            .get_or_compute(self.ds, self.corpus, config)
+    }
+
     /// Runs the whole workload under `config`.
     pub fn run(&self, config: &FinderConfig) -> ConfigOutcome {
-        let attribution = Attribution::compute(self.ds, self.corpus, config);
+        let attribution = self.attribution(config);
         self.run_with_attribution(config, &attribution)
+    }
+
+    /// Evaluates one query's ranking against the ground truth.
+    fn evaluate_ranking(
+        &self,
+        need: &rightcrowd_synth::ExpertiseNeed,
+        ranking: Vec<RankedExpert>,
+    ) -> (QueryEval, Vec<RankedExpert>) {
+        let gt = self.ds.ground_truth();
+        let rels: Vec<bool> = ranking
+            .iter()
+            .map(|r| gt.is_expert(r.person, need.domain))
+            .collect();
+        (QueryEval::evaluate(&rels, gt.experts(need.domain).len()), ranking)
+    }
+
+    /// Folds per-query `(eval, ranking)` pairs (workload order) into an
+    /// outcome.
+    fn collect_outcome(results: Vec<(QueryEval, Vec<RankedExpert>)>) -> ConfigOutcome {
+        let (per_query, rankings): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
     }
 
     /// Runs the workload reusing a precomputed attribution (for sweeps
@@ -75,64 +114,102 @@ impl<'a> EvalContext<'a> {
         attribution: &Attribution,
     ) -> ConfigOutcome {
         let pipeline = AnalysisPipeline::new(self.ds.kb());
-        let gt = self.ds.ground_truth();
         let n = self.ds.candidates().len();
-        let mut per_query = Vec::with_capacity(self.ds.queries().len());
-        let mut rankings = Vec::with_capacity(self.ds.queries().len());
-        for need in self.ds.queries() {
-            let query = pipeline.analyze_query(&need.text);
-            let ranking = rank_query(self.corpus, attribution, config, &query, n);
-            let rels: Vec<bool> = ranking
-                .iter()
-                .map(|r| gt.is_expert(r.person, need.domain))
-                .collect();
-            per_query.push(QueryEval::evaluate(&rels, gt.experts(need.domain).len()));
-            rankings.push(ranking);
+        let results = crate::par::par_map(
+            self.ds.queries(),
+            crate::par::default_threads(),
+            |need| {
+                let query = pipeline.analyze_query(&need.text);
+                let ranking = rank_query(self.corpus, attribution, config, &query, n);
+                self.evaluate_ranking(need, ranking)
+            },
+        );
+        Self::collect_outcome(results)
+    }
+
+    /// Runs the workload once per α with a **single posting traversal per
+    /// query**: each query is analysed and factored into α-independent
+    /// score components once, then recombined and ranked for every sweep
+    /// point. All sweep points share `base`'s attribution (α does not
+    /// affect the traversal shape).
+    ///
+    /// Outcomes are in `alphas` order and agree with
+    /// `run_with_attribution` at each α up to float reassociation in the
+    /// recombined document scores. `base.retrieval` must be the paper's
+    /// VSM — components are Eq. 1 factorings.
+    pub fn run_alpha_sweep(&self, base: &FinderConfig, alphas: &[f64]) -> Vec<ConfigOutcome> {
+        debug_assert!(
+            matches!(base.retrieval, crate::config::Retrieval::PaperVsm),
+            "α sweeps factor the paper's VSM; BM25 has no component form"
+        );
+        let attribution = self.attribution(base);
+        let pipeline = AnalysisPipeline::new(self.ds.kb());
+        let n = self.ds.candidates().len();
+        let configs: Vec<FinderConfig> =
+            alphas.iter().map(|&a| base.clone().with_alpha(a)).collect();
+
+        // Rows: one per query, each holding every sweep point's result.
+        let rows: Vec<Vec<(QueryEval, Vec<RankedExpert>)>> = crate::par::par_map(
+            self.ds.queries(),
+            crate::par::default_threads(),
+            |need| {
+                let query = pipeline.analyze_query(&need.text);
+                let components = crate::ranker::attributed_components(
+                    &attribution,
+                    &self.corpus.index().score_components(&query),
+                );
+                configs
+                    .iter()
+                    .map(|config| {
+                        let ranking = rank_components(&attribution, config, &components, n);
+                        self.evaluate_ranking(need, ranking)
+                    })
+                    .collect()
+            },
+        );
+
+        // Transpose query-major rows into per-α outcomes.
+        let mut per_alpha: Vec<Vec<(QueryEval, Vec<RankedExpert>)>> =
+            configs.iter().map(|_| Vec::with_capacity(rows.len())).collect();
+        for row in rows {
+            for (ai, result) in row.into_iter().enumerate() {
+                per_alpha[ai].push(result);
+            }
         }
-        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
+        per_alpha.into_iter().map(Self::collect_outcome).collect()
     }
 
     /// Runs the workload under a per-domain policy: each query is ranked
     /// with its domain's configuration (the paper's suggested
     /// domain-specific solutions, see [`crate::domain_aware`]).
+    ///
+    /// Attributions depend only on the traversal shape, so configs
+    /// differing in α/window/weights share one via the context cache.
     pub fn run_policy(&self, policy: &crate::domain_aware::DomainPolicy) -> ConfigOutcome {
         let pipeline = AnalysisPipeline::new(self.ds.kb());
-        let gt = self.ds.ground_truth();
         let n = self.ds.candidates().len();
-        // Attributions depend only on the traversal shape (distance cap,
-        // friends flag, platform mask); configs differing only in
-        // α/window/weights share one.
-        let mut attributions: Vec<(FinderConfig, Attribution)> = Vec::new();
-        let mut per_query = Vec::with_capacity(self.ds.queries().len());
-        let mut rankings = Vec::with_capacity(self.ds.queries().len());
-        for need in self.ds.queries() {
-            let config = policy.config_for(need.domain);
-            let position = attributions.iter().position(|(other, _)| {
-                other.max_distance == config.max_distance
-                    && other.include_friends == config.include_friends
-                    && other.platforms == config.platforms
-            });
-            let index = match position {
-                Some(i) => i,
-                None => {
-                    attributions.push((
-                        config.clone(),
-                        Attribution::compute(self.ds, self.corpus, config),
-                    ));
-                    attributions.len() - 1
-                }
-            };
-            let attribution = &attributions[index].1;
-            let query = pipeline.analyze_query(&need.text);
-            let ranking = rank_query(self.corpus, attribution, config, &query, n);
-            let rels: Vec<bool> = ranking
-                .iter()
-                .map(|r| gt.is_expert(r.person, need.domain))
-                .collect();
-            per_query.push(QueryEval::evaluate(&rels, gt.experts(need.domain).len()));
-            rankings.push(ranking);
-        }
-        ConfigOutcome { mean: mean_eval(&per_query), per_query, rankings }
+        // Resolve each query's config and attribution up front (cache
+        // lookups are serialised; the table computes once per shape)…
+        let jobs: Vec<_> = self
+            .ds
+            .queries()
+            .iter()
+            .map(|need| {
+                let config = policy.config_for(need.domain);
+                (need, config, self.attribution(config))
+            })
+            .collect();
+        // …then evaluate the workload in parallel as usual.
+        let results = crate::par::par_map(
+            &jobs,
+            crate::par::default_threads(),
+            |(need, config, attribution)| {
+                let query = pipeline.analyze_query(&need.text);
+                let ranking = rank_query(self.corpus, attribution, config, &query, n);
+                self.evaluate_ranking(need, ranking)
+            },
+        );
+        Self::collect_outcome(results)
     }
 
     /// Runs only the queries of one domain (Table 4 rows).
@@ -155,7 +232,7 @@ impl<'a> EvalContext<'a> {
 
     /// Per-candidate reliability under `config` (Fig. 10).
     pub fn user_reliability(&self, config: &FinderConfig) -> Vec<UserReliability> {
-        let attribution = Attribution::compute(self.ds, self.corpus, config);
+        let attribution = self.attribution(config);
         let outcome = self.run_with_attribution(config, &attribution);
         let gt = self.ds.ground_truth();
         self.ds
@@ -235,6 +312,36 @@ mod tests {
             d2.mean.map,
             random.map
         );
+    }
+
+    #[test]
+    fn alpha_sweep_matches_independent_runs() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let base = FinderConfig::default();
+        let alphas = [0.0, 0.4, 1.0];
+        let swept = ctx.run_alpha_sweep(&base, &alphas);
+        assert_eq!(swept.len(), alphas.len());
+        for (&alpha, outcome) in alphas.iter().zip(&swept) {
+            let config = base.clone().with_alpha(alpha);
+            let attribution = ctx.attribution(&config);
+            let direct = ctx.run_with_attribution(&config, &attribution);
+            assert_eq!(outcome.per_query.len(), direct.per_query.len());
+            // Factored recombination reassociates float sums, so compare
+            // with a tolerance rather than bit equality.
+            assert!(
+                (outcome.mean.map - direct.mean.map).abs() < 1e-9,
+                "α {alpha}: swept MAP {} vs direct {}",
+                outcome.mean.map,
+                direct.mean.map
+            );
+            assert!((outcome.mean.mrr - direct.mean.mrr).abs() < 1e-9, "α {alpha}");
+            for (s, d) in outcome.rankings.iter().zip(&direct.rankings) {
+                assert_eq!(s.len(), d.len(), "α {alpha}");
+            }
+        }
+        // α and window sweeps share one attribution shape in the cache.
+        assert_eq!(ctx.attributions.lock().unwrap().len(), 1);
     }
 
     #[test]

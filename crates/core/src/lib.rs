@@ -35,13 +35,14 @@ pub mod corpus;
 pub mod domain_aware;
 pub mod eval;
 pub mod finder;
+pub(crate) mod par;
 pub mod pipeline;
 pub mod ranker;
 pub mod routing;
 pub mod testkit;
 
 pub use aggregation::Aggregation;
-pub use attribution::Attribution;
+pub use attribution::{Attribution, AttributionCache, TraversalShape};
 pub use config::{FinderConfig, Retrieval, WindowSize};
 pub use corpus::{AnalyzedCorpus, CorpusOptions};
 pub use domain_aware::DomainPolicy;

@@ -15,7 +15,7 @@
 use crate::attribution::Attribution;
 use crate::config::FinderConfig;
 use crate::corpus::AnalyzedCorpus;
-use rightcrowd_index::Query;
+use rightcrowd_index::{ComponentScore, Query, ScoredDoc};
 use rightcrowd_types::PersonId;
 
 /// One ranked candidate expert.
@@ -68,6 +68,22 @@ pub fn rank_query(
         }
     };
 
+    rank_scored(attribution, config, &eligible, window, candidate_count)
+}
+
+/// Ranks candidates for an already-retrieved, attribution-filtered match
+/// set (`RR`, best first): the Eq. 3 aggregation step shared by
+/// [`rank_query`] and [`rank_components`].
+///
+/// The first `window` entries of `eligible` are aggregated; the rest are
+/// the cut-off tail.
+pub fn rank_scored(
+    attribution: &Attribution,
+    config: &FinderConfig,
+    eligible: &[ScoredDoc],
+    window: usize,
+    candidate_count: usize,
+) -> Vec<RankedExpert> {
     let mut acc = vec![crate::aggregation::FusionAcc::default(); candidate_count];
     for (rank0, s) in eligible[..window].iter().enumerate() {
         for &(person, distance) in attribution.owners(s.doc) {
@@ -95,6 +111,59 @@ pub fn rank_query(
             .then_with(|| a.person.cmp(&b.person))
     });
     ranked
+}
+
+/// Filters a query's score components down to attributed documents — the
+/// α-independent half of the `RR` eligibility test, hoisted out of the
+/// per-α loop of [`rank_components`].
+pub fn attributed_components(
+    attribution: &Attribution,
+    components: &[ComponentScore],
+) -> Vec<ComponentScore> {
+    components
+        .iter()
+        .filter(|c| attribution.is_attributed(c.doc))
+        .copied()
+        .collect()
+}
+
+/// Ranks candidates from a query's precomputed, attribution-filtered
+/// Eq. 1 score components (see [`attributed_components`]).
+///
+/// `components` is the α-independent factoring of the paper's VSM
+/// ([`InvertedIndex::score_components`]): one posting traversal produces
+/// the term and entity sums of every matching document, and this function
+/// recombines them for `config.alpha` without touching the index again.
+/// An α sweep therefore costs one traversal (plus one attribution filter)
+/// total instead of one per sweep point.
+///
+/// Mirrors [`rank_query`]'s retrieval paths for the paper's VSM (the
+/// `retrieval` field is ignored — components *are* the VSM scores): a
+/// fixed-count window recombines through the bounded-heap top-k, other
+/// windows recombine fully and resolve the window on the eligible set.
+/// Scores agree with [`rank_query`] to within float reassociation (ulps);
+/// rankings agree wherever scores are not within an ulp of tied.
+///
+/// [`InvertedIndex::score_components`]: rightcrowd_index::InvertedIndex::score_components
+pub fn rank_components(
+    attribution: &Attribution,
+    config: &FinderConfig,
+    components: &[ComponentScore],
+    candidate_count: usize,
+) -> Vec<RankedExpert> {
+    let (eligible, window) = match config.window {
+        crate::config::WindowSize::Count(n) => {
+            let top = rightcrowd_index::recombine_top_k(components, config.alpha, n, |_| true);
+            let window = top.len();
+            (top, window)
+        }
+        window_size => {
+            let eligible = rightcrowd_index::recombine(components, config.alpha);
+            let window = window_size.resolve(eligible.len());
+            (eligible, window)
+        }
+    };
+    rank_scored(attribution, config, &eligible, window, candidate_count)
 }
 
 #[cfg(test)]
@@ -200,6 +269,44 @@ mod tests {
             FinderConfig::default().with_window(crate::config::WindowSize::Fraction(fraction));
         let by_sort = rank_query(corpus, &attribution, &frac_cfg, &q, ds.candidates().len());
         assert_eq!(by_heap, by_sort);
+    }
+
+    #[test]
+    fn components_path_matches_query_path() {
+        // rank_components over one score_components traversal must agree
+        // with rank_query for every α and window kind (scores to float
+        // reassociation tolerance, order exactly).
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let attribution = Attribution::compute(ds, corpus, &FinderConfig::default());
+        let n = ds.candidates().len();
+        for need in ds.queries().iter().take(4) {
+            let q = pipeline.analyze_query(&need.text);
+            let components =
+                attributed_components(&attribution, &corpus.index().score_components(&q));
+            for alpha in [0.0, 0.6, 1.0] {
+                for window in [
+                    crate::config::WindowSize::Count(50),
+                    crate::config::WindowSize::Fraction(0.5),
+                    crate::config::WindowSize::All,
+                ] {
+                    let config = FinderConfig::default().with_alpha(alpha).with_window(window);
+                    let direct = rank_query(corpus, &attribution, &config, &q, n);
+                    let factored = rank_components(&attribution, &config, &components, n);
+                    assert_eq!(direct.len(), factored.len(), "α {alpha} {window:?}");
+                    for (d, f) in direct.iter().zip(&factored) {
+                        assert_eq!(d.person, f.person, "α {alpha} {window:?}");
+                        let tol = 1e-9 * d.score.abs().max(1.0);
+                        assert!(
+                            (d.score - f.score).abs() <= tol,
+                            "α {alpha} {window:?}: {} vs {}",
+                            d.score,
+                            f.score
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

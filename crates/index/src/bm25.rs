@@ -57,32 +57,31 @@ impl InvertedIndex {
 
         if alpha > 0.0 {
             for term in &query.terms {
-                let Some(postings) = self.term_postings.get(term) else {
+                let Some((docs, tfs)) = self.term_list(term) else {
                     continue;
                 };
-                let idf = bm25_idf(n, postings.len());
-                for p in postings {
-                    let tf = p.tf as f64;
-                    let len = self.doc_lens[p.doc as usize] as f64;
+                let idf = bm25_idf(n, docs.len());
+                for (&doc, &tf) in docs.iter().zip(tfs) {
+                    let tf = tf as f64;
+                    let len = self.doc_lens[doc as usize] as f64;
                     let denom = tf + params.k1 * (1.0 - params.b + params.b * len / avg_len);
-                    *acc.entry(p.doc).or_insert(0.0) += alpha * idf * tf * (params.k1 + 1.0) / denom;
+                    *acc.entry(doc).or_insert(0.0) += alpha * idf * tf * (params.k1 + 1.0) / denom;
                 }
             }
         }
         if alpha < 1.0 {
             for &entity in &query.entities {
-                let Some(postings) = self.entity_postings.get(&entity) else {
+                let Some((docs, efs, wes)) = self.entity_list(entity) else {
                     continue;
                 };
-                let idf = bm25_idf(n, postings.len());
-                for p in postings {
-                    let ef = p.ef as f64;
-                    let we = 1.0 + p.dscore_sum / ef;
+                let idf = bm25_idf(n, docs.len());
+                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                    let ef = ef as f64;
                     // Entities are sparse; saturation without length
                     // normalisation (annotation counts don't scale with
                     // document length the way terms do).
                     let sat = ef * (params.k1 + 1.0) / (ef + params.k1);
-                    *acc.entry(p.doc).or_insert(0.0) += (1.0 - alpha) * idf * sat * we;
+                    *acc.entry(doc).or_insert(0.0) += (1.0 - alpha) * idf * sat * we;
                 }
             }
         }

@@ -1,14 +1,33 @@
 //! Incremental index construction.
 
-use crate::index::{DocIdx, EntityPosting, InvertedIndex, TermPosting};
+use crate::index::{DocIdx, EntityTable, InvertedIndex, TermTable};
 use rightcrowd_types::EntityId;
 use std::collections::HashMap;
+
+/// Term posting accumulated during building.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TermPosting {
+    doc: u32,
+    tf: u32,
+}
+
+/// Entity posting accumulated during building.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct EntityPosting {
+    doc: u32,
+    ef: u32,
+    dscore_sum: f64,
+}
 
 /// Builds an [`InvertedIndex`] one document at a time.
 ///
 /// Documents are assigned dense [`DocIdx`] handles in insertion order; the
 /// caller keeps its own mapping from domain objects (resources, profiles,
-/// containers) to these handles.
+/// containers) to these handles. [`IndexBuilder::build`] interns terms and
+/// entities to dense ids (lexicographic / ascending order, so the result
+/// depends only on the document set, never on hash iteration order) and
+/// lays the postings out in CSR form with precomputed `irf`/`eirf` and
+/// per-list bounds.
 #[derive(Debug, Default)]
 pub struct IndexBuilder {
     term_postings: HashMap<String, Vec<TermPosting>>,
@@ -64,20 +83,72 @@ impl IndexBuilder {
         doc
     }
 
-    /// Finalises the index: sorts postings by document for deterministic,
-    /// cache-friendly scans.
+    /// Finalises the index: interns terms (lexicographic) and entities
+    /// (ascending id), sorts each posting list by document, concatenates
+    /// the lists into CSR arrays and precomputes the `irf`/`eirf` tables
+    /// and per-list maxima for pruning.
     pub fn build(self) -> InvertedIndex {
-        let mut term_postings = self.term_postings;
-        for list in term_postings.values_mut() {
+        let doc_count = self.doc_lens.len();
+        let irf_of = |df: usize| (1.0 + doc_count as f64 / df as f64).ln();
+
+        let mut term_entries: Vec<(String, Vec<TermPosting>)> =
+            self.term_postings.into_iter().collect();
+        term_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let total: usize = term_entries.iter().map(|(_, l)| l.len()).sum();
+        let mut terms = TermTable {
+            ids: HashMap::with_capacity(term_entries.len()),
+            offsets: Vec::with_capacity(term_entries.len() + 1),
+            docs: Vec::with_capacity(total),
+            tfs: Vec::with_capacity(total),
+            irf: Vec::with_capacity(term_entries.len()),
+            max_tf: Vec::with_capacity(term_entries.len()),
+        };
+        terms.offsets.push(0);
+        for (id, (name, mut list)) in term_entries.into_iter().enumerate() {
             list.sort_unstable_by_key(|p| p.doc);
+            terms.ids.insert(name, id as u32);
+            terms.irf.push(irf_of(list.len()));
+            terms.max_tf.push(list.iter().map(|p| p.tf).max().unwrap_or(0));
+            for p in &list {
+                terms.docs.push(p.doc);
+                terms.tfs.push(p.tf);
+            }
+            terms.offsets.push(terms.docs.len());
         }
-        let mut entity_postings = self.entity_postings;
-        for list in entity_postings.values_mut() {
+
+        let mut entity_entries: Vec<(EntityId, Vec<EntityPosting>)> =
+            self.entity_postings.into_iter().collect();
+        entity_entries.sort_unstable_by_key(|(e, _)| *e);
+        let total: usize = entity_entries.iter().map(|(_, l)| l.len()).sum();
+        let mut entities = EntityTable {
+            ids: HashMap::with_capacity(entity_entries.len()),
+            offsets: Vec::with_capacity(entity_entries.len() + 1),
+            docs: Vec::with_capacity(total),
+            efs: Vec::with_capacity(total),
+            we: Vec::with_capacity(total),
+            eirf: Vec::with_capacity(entity_entries.len()),
+            max_contrib: Vec::with_capacity(entity_entries.len()),
+        };
+        entities.offsets.push(0);
+        for (id, (entity, mut list)) in entity_entries.into_iter().enumerate() {
             list.sort_unstable_by_key(|p| p.doc);
+            entities.ids.insert(entity, id as u32);
+            entities.eirf.push(irf_of(list.len()));
+            let mut max_contrib = 0.0f64;
+            for p in &list {
+                let we = 1.0 + p.dscore_sum / p.ef as f64;
+                max_contrib = max_contrib.max(p.ef as f64 * we);
+                entities.docs.push(p.doc);
+                entities.efs.push(p.ef);
+                entities.we.push(we);
+            }
+            entities.max_contrib.push(max_contrib);
+            entities.offsets.push(entities.docs.len());
         }
+
         InvertedIndex {
-            term_postings,
-            entity_postings,
+            terms,
+            entities,
             doc_lens: self.doc_lens,
         }
     }
@@ -141,5 +212,26 @@ mod tests {
         let idx = b.build();
         assert_eq!(idx.doc_count(), 1);
         assert_eq!(idx.doc_len(d), 0);
+    }
+
+    #[test]
+    fn interned_ids_are_independent_of_insertion_order() {
+        // Two builders fed the same documents in different orders (doc ids
+        // permuted) must intern identical vocabularies.
+        let mut a = IndexBuilder::new();
+        a.add_document(&terms(&["zebra", "ant"]), &[(EntityId::new(9), 0.5)]);
+        a.add_document(&terms(&["mole"]), &[(EntityId::new(2), 0.5)]);
+        let a = a.build();
+
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["mole"]), &[(EntityId::new(2), 0.5)]);
+        b.add_document(&terms(&["zebra", "ant"]), &[(EntityId::new(9), 0.5)]);
+        let b = b.build();
+
+        assert_eq!(a.term_count(), b.term_count());
+        assert_eq!(a.entity_count(), b.entity_count());
+        for t in ["ant", "mole", "zebra"] {
+            assert_eq!(a.irf(t), b.irf(t), "{t}");
+        }
     }
 }

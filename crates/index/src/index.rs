@@ -1,8 +1,36 @@
 //! The immutable dual inverted index and the Eq. 1 scorer.
+//!
+//! # Storage layout
+//!
+//! Both posting families live in interned CSR (compressed sparse row)
+//! form: [`IndexBuilder`](crate::builder::IndexBuilder) assigns every
+//! distinct term and entity a dense id, and the per-id posting lists are
+//! concatenated into flat parallel arrays addressed through an offsets
+//! table. A query resolves each term/entity to its id once, then scans a
+//! contiguous slice — no string hashing and no pointer chasing inside the
+//! hot loop. The `irf`/`eirf` tables (and per-list maxima used for
+//! pruning bounds) are precomputed at build time.
+//!
+//! # Scoring paths
+//!
+//! - [`InvertedIndex::score_all`] / [`InvertedIndex::score_top_k`] apply
+//!   Eq. 1 for one `α` over a dense epoch-stamped accumulator. The
+//!   accumulation order (query terms in order, postings in ascending doc
+//!   order, term side before entity side) matches the definitional
+//!   reference scorer in [`crate::reference`] bit for bit.
+//! - [`InvertedIndex::score_top_k`] additionally prunes documents that
+//!   provably cannot enter the top `k` (MaxScore-style upper bounds; see
+//!   the method docs for the invariant).
+//! - [`InvertedIndex::score_components`] factors Eq. 1 into its α-free
+//!   term and entity sums so that an α sweep recombines the two numbers
+//!   per document instead of re-traversing postings
+//!   ([`recombine`] / [`recombine_top_k`]).
 
 use crate::query::Query;
 use rightcrowd_types::EntityId;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Dense handle of a document inside one [`InvertedIndex`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -26,28 +54,172 @@ pub struct ScoredDoc {
     pub score: f64,
 }
 
-/// Term posting: a document and the term's frequency in it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct TermPosting {
-    pub doc: u32,
-    pub tf: u32,
+/// The α-free factorisation of Eq. 1 for one document: the final score is
+/// `α · term_sum + (1 − α) · entity_sum` for any mixing weight α.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentScore {
+    /// The matched document.
+    pub doc: DocIdx,
+    /// `Σ_t tf(t,doc) · irf(t)²` over the query terms.
+    pub term_sum: f64,
+    /// `Σ_e ef(e,doc) · eirf(e)² · we(e,doc)` over the query entities.
+    pub entity_sum: f64,
 }
 
-/// Entity posting: a document, the entity's annotation frequency, and the
-/// sum of the annotations' disambiguation scores.
+/// One entity posting as seen through [`InvertedIndex::entity_postings`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub(crate) struct EntityPosting {
-    pub doc: u32,
+pub struct EntityPostingView {
+    /// The annotated document.
+    pub doc: DocIdx,
+    /// Annotation occurrences of the entity in the document.
     pub ef: u32,
-    pub dscore_sum: f64,
+    /// The Eq. 2 weight `we = 1 + dScore` (average over the annotations).
+    pub we: f64,
+}
+
+/// Interned CSR postings for the term side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct TermTable {
+    /// Term → dense term id.
+    pub(crate) ids: HashMap<String, u32>,
+    /// CSR offsets; list `i` spans `docs[offsets[i]..offsets[i+1]]`.
+    pub(crate) offsets: Vec<usize>,
+    /// Posting documents, ascending within each list.
+    pub(crate) docs: Vec<u32>,
+    /// Term frequencies, parallel to `docs`.
+    pub(crate) tfs: Vec<u32>,
+    /// Precomputed `irf(t) = ln(1 + N/df)` per term id.
+    pub(crate) irf: Vec<f64>,
+    /// Max `tf` in each list — the pruning upper-bound ingredient.
+    pub(crate) max_tf: Vec<u32>,
+}
+
+impl TermTable {
+    #[inline]
+    fn list(&self, id: u32) -> (&[u32], &[u32]) {
+        let (a, b) = (self.offsets[id as usize], self.offsets[id as usize + 1]);
+        (&self.docs[a..b], &self.tfs[a..b])
+    }
+}
+
+/// Interned CSR postings for the entity side.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct EntityTable {
+    /// Entity → dense entity-slot id.
+    pub(crate) ids: HashMap<EntityId, u32>,
+    /// CSR offsets; list `i` spans `docs[offsets[i]..offsets[i+1]]`.
+    pub(crate) offsets: Vec<usize>,
+    /// Posting documents, ascending within each list.
+    pub(crate) docs: Vec<u32>,
+    /// Annotation frequencies, parallel to `docs`.
+    pub(crate) efs: Vec<u32>,
+    /// Precomputed Eq. 2 weights `1 + dscore_sum/ef`, parallel to `docs`.
+    pub(crate) we: Vec<f64>,
+    /// Precomputed `eirf(e)` per entity slot.
+    pub(crate) eirf: Vec<f64>,
+    /// Max `ef · we` in each list — the pruning upper-bound ingredient.
+    pub(crate) max_contrib: Vec<f64>,
+}
+
+impl EntityTable {
+    #[inline]
+    fn list(&self, id: u32) -> (&[u32], &[u32], &[f64]) {
+        let (a, b) = (self.offsets[id as usize], self.offsets[id as usize + 1]);
+        (&self.docs[a..b], &self.efs[a..b], &self.we[a..b])
+    }
 }
 
 /// The immutable dual (term + entity) inverted index.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares the full interned state — term/entity vocabularies,
+/// CSR layout, frequencies and precomputed irf/eirf/we tables — so equality
+/// means the indexes are observably identical on every scoring path.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InvertedIndex {
-    pub(crate) term_postings: HashMap<String, Vec<TermPosting>>,
-    pub(crate) entity_postings: HashMap<EntityId, Vec<EntityPosting>>,
+    pub(crate) terms: TermTable,
+    pub(crate) entities: EntityTable,
     pub(crate) doc_lens: Vec<u32>,
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread scoring scratch: a dense accumulator with epoch stamps, so a
+// query touches only the slots its postings hit and nothing is re-zeroed
+// between queries.
+
+#[derive(Default)]
+struct Scratch {
+    epoch: u32,
+    stamps: Vec<u32>,
+    /// Combined score (plain paths) or the term sum (component path).
+    acc: Vec<f64>,
+    /// The entity sum (component path only).
+    acc2: Vec<f64>,
+    touched: Vec<u32>,
+}
+
+impl Scratch {
+    fn begin(&mut self, doc_count: usize) {
+        if self.stamps.len() != doc_count {
+            self.stamps = vec![0; doc_count];
+            self.acc = vec![0.0; doc_count];
+            self.acc2 = vec![0.0; doc_count];
+            self.epoch = 0;
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Sorts by descending score, ties broken by ascending doc — the output
+/// order of every scoring path.
+fn sort_scored(scored: &mut [ScoredDoc]) {
+    scored.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+}
+
+/// Heap entry ordered so the heap root is the *worst* kept doc: lower
+/// score first; among equal scores, larger doc id first (doc ids ascend
+/// in the final output, so the largest id is the first to evict).
+struct Worst(ScoredDoc);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .expect("scores are finite")
+            .then_with(|| self.0.doc.cmp(&other.0.doc))
+    }
+}
+
+/// Bounded-heap top-k capacity: `k` may be "effectively unbounded"
+/// (`usize::MAX`), so cap the initial allocation.
+fn heap_capacity(k: usize) -> usize {
+    k.saturating_add(1).min(4096)
 }
 
 impl InvertedIndex {
@@ -61,131 +233,190 @@ impl InvertedIndex {
         self.doc_lens[doc.index()]
     }
 
+    /// Number of distinct interned terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.irf.len()
+    }
+
+    /// Number of distinct interned entities.
+    pub fn entity_count(&self) -> usize {
+        self.entities.eirf.len()
+    }
+
     /// Document frequency of a term.
     pub fn term_df(&self, term: &str) -> usize {
-        self.term_postings.get(term).map_or(0, Vec::len)
+        self.terms
+            .ids
+            .get(term)
+            .map_or(0, |&id| self.terms.list(id).0.len())
     }
 
     /// Document frequency of an entity.
     pub fn entity_df(&self, entity: EntityId) -> usize {
-        self.entity_postings.get(&entity).map_or(0, Vec::len)
+        self.entities
+            .ids
+            .get(&entity)
+            .map_or(0, |&id| self.entities.list(id).0.len())
     }
 
     /// Inverse resource frequency: `ln(1 + N / df)`. Zero for unseen terms
     /// (they can never contribute anyway).
     pub fn irf(&self, term: &str) -> f64 {
-        let df = self.term_df(term);
-        if df == 0 {
-            return 0.0;
-        }
-        (1.0 + self.doc_count() as f64 / df as f64).ln()
+        self.terms
+            .ids
+            .get(term)
+            .map_or(0.0, |&id| self.terms.irf[id as usize])
     }
 
     /// Inverse resource frequency of an entity, same form as [`Self::irf`].
     pub fn eirf(&self, entity: EntityId) -> f64 {
-        let df = self.entity_df(entity);
-        if df == 0 {
-            return 0.0;
-        }
-        (1.0 + self.doc_count() as f64 / df as f64).ln()
+        self.entities
+            .ids
+            .get(&entity)
+            .map_or(0.0, |&id| self.entities.eirf[id as usize])
     }
 
     /// Term frequency of `term` in `doc` (0 when absent).
     pub fn tf(&self, term: &str, doc: DocIdx) -> u32 {
-        self.term_postings
-            .get(term)
-            .and_then(|list| {
-                list.binary_search_by_key(&doc.0, |p| p.doc)
-                    .ok()
-                    .map(|i| list[i].tf)
-            })
-            .unwrap_or(0)
+        self.terms.ids.get(term).map_or(0, |&id| {
+            let (docs, tfs) = self.terms.list(id);
+            docs.binary_search(&doc.0).map_or(0, |i| tfs[i])
+        })
     }
 
     /// Entity frequency of `entity` in `doc` (0 when absent).
     pub fn ef(&self, entity: EntityId, doc: DocIdx) -> u32 {
-        self.entity_postings
-            .get(&entity)
-            .and_then(|list| {
-                list.binary_search_by_key(&doc.0, |p| p.doc)
-                    .ok()
-                    .map(|i| list[i].ef)
-            })
-            .unwrap_or(0)
+        self.entities.ids.get(&entity).map_or(0, |&id| {
+            let (docs, efs, _) = self.entities.list(id);
+            docs.binary_search(&doc.0).map_or(0, |i| efs[i])
+        })
     }
 
     /// The Eq. 2 entity weight `we(e, doc) = 1 + dScore(e, doc)` (average
     /// dscore over the entity's annotations in the document); 0 when the
     /// entity is not annotated in the document.
     pub fn entity_weight(&self, entity: EntityId, doc: DocIdx) -> f64 {
-        self.entity_postings
-            .get(&entity)
-            .and_then(|list| {
-                list.binary_search_by_key(&doc.0, |p| p.doc).ok().map(|i| {
-                    let p = &list[i];
-                    1.0 + p.dscore_sum / p.ef as f64
-                })
-            })
-            .unwrap_or(0.0)
+        self.entities.ids.get(&entity).map_or(0.0, |&id| {
+            let (docs, _, we) = self.entities.list(id);
+            docs.binary_search(&doc.0).map_or(0.0, |i| we[i])
+        })
     }
 
-    /// Eq. 1 score accumulation: document → score, unsorted.
-    fn accumulate(&self, query: &Query, alpha: f64) -> HashMap<u32, f64> {
-        let alpha = alpha.clamp(0.0, 1.0);
-        let mut acc: HashMap<u32, f64> = HashMap::new();
+    /// The postings of `term` as `(doc, tf)` pairs in ascending doc order
+    /// (empty for unseen terms).
+    pub fn term_postings(&self, term: &str) -> impl Iterator<Item = (DocIdx, u32)> + '_ {
+        let (docs, tfs) = self
+            .terms
+            .ids
+            .get(term)
+            .map_or((&[][..], &[][..]), |&id| self.terms.list(id));
+        docs.iter()
+            .zip(tfs)
+            .map(|(&d, &tf)| (DocIdx(d), tf))
+    }
 
+    /// The postings of `entity` in ascending doc order (empty for unseen
+    /// entities).
+    pub fn entity_postings(&self, entity: EntityId) -> impl Iterator<Item = EntityPostingView> + '_ {
+        let (docs, efs, we) = self
+            .entities
+            .ids
+            .get(&entity)
+            .map_or((&[][..], &[][..], &[][..]), |&id| self.entities.list(id));
+        docs.iter()
+            .zip(efs)
+            .zip(we)
+            .map(|((&d, &ef), &we)| EntityPostingView { doc: DocIdx(d), ef, we })
+    }
+
+    pub(crate) fn term_list(&self, term: &str) -> Option<(&[u32], &[u32])> {
+        self.terms.ids.get(term).map(|&id| self.terms.list(id))
+    }
+
+    pub(crate) fn entity_list(&self, entity: EntityId) -> Option<(&[u32], &[u32], &[f64])> {
+        self.entities.ids.get(&entity).map(|&id| self.entities.list(id))
+    }
+
+    /// Eq. 1 accumulation into the dense scratch: one combined score per
+    /// touched document. The contribution order per document — query terms
+    /// in order, then query entities in order, postings ascending by doc —
+    /// reproduces the reference scorer's float-addition sequence exactly.
+    fn accumulate(&self, query: &Query, alpha: f64, s: &mut Scratch) {
+        s.begin(self.doc_count());
         if alpha > 0.0 {
             for term in &query.terms {
-                let Some(postings) = self.term_postings.get(term) else {
+                let Some(&id) = self.terms.ids.get(term) else {
                     continue;
                 };
-                let irf = self.irf(term);
+                let irf = self.terms.irf[id as usize];
                 let w = alpha * irf * irf;
-                for p in postings {
-                    *acc.entry(p.doc).or_insert(0.0) += w * p.tf as f64;
+                let (docs, tfs) = self.terms.list(id);
+                for (&doc, &tf) in docs.iter().zip(tfs) {
+                    let d = doc as usize;
+                    if s.stamps[d] != s.epoch {
+                        s.stamps[d] = s.epoch;
+                        s.acc[d] = 0.0;
+                        s.touched.push(doc);
+                    }
+                    s.acc[d] += w * tf as f64;
                 }
             }
         }
         if alpha < 1.0 {
             for &entity in &query.entities {
-                let Some(postings) = self.entity_postings.get(&entity) else {
+                let Some(&id) = self.entities.ids.get(&entity) else {
                     continue;
                 };
-                let eirf = self.eirf(entity);
+                let eirf = self.entities.eirf[id as usize];
                 let w = (1.0 - alpha) * eirf * eirf;
-                for p in postings {
-                    let we = 1.0 + p.dscore_sum / p.ef as f64;
-                    *acc.entry(p.doc).or_insert(0.0) += w * p.ef as f64 * we;
+                let (docs, efs, wes) = self.entities.list(id);
+                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                    let d = doc as usize;
+                    if s.stamps[d] != s.epoch {
+                        s.stamps[d] = s.epoch;
+                        s.acc[d] = 0.0;
+                        s.touched.push(doc);
+                    }
+                    s.acc[d] += w * ef as f64 * we;
                 }
             }
         }
-        acc
     }
 
     /// Scores the whole collection against `query` with mixing weight
     /// `alpha` (Eq. 1) and returns every positive-scoring document, sorted
     /// by descending score (ties broken by ascending doc for determinism).
     pub fn score_all(&self, query: &Query, alpha: f64) -> Vec<ScoredDoc> {
-        let mut scored: Vec<ScoredDoc> = self
-            .accumulate(query, alpha)
-            .into_iter()
-            .filter(|&(_, s)| s > 0.0)
-            .map(|(doc, score)| ScoredDoc { doc: DocIdx(doc), score })
-            .collect();
-        scored.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
-        scored
+        let alpha = alpha.clamp(0.0, 1.0);
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            self.accumulate(query, alpha, s);
+            let mut scored: Vec<ScoredDoc> = s
+                .touched
+                .iter()
+                .filter_map(|&doc| {
+                    let score = s.acc[doc as usize];
+                    (score > 0.0).then_some(ScoredDoc { doc: DocIdx(doc), score })
+                })
+                .collect();
+            sort_scored(&mut scored);
+            scored
+        })
     }
 
     /// Like [`Self::score_all`] but returns only the `k` best matching
     /// documents among those accepted by `filter`, using a bounded
     /// min-heap instead of sorting the whole match set — O(n log k)
-    /// rather than O(n log n), the right tool when the ranking window is
-    /// much smaller than the match set.
+    /// rather than O(n log n) — plus MaxScore-style pruning: once `k`
+    /// eligible documents each hold a partial score that no unseen
+    /// document can still reach (per-list upper bounds from the
+    /// precomputed `irf`/`eirf` and per-list maxima), documents first
+    /// appearing in the remaining lists are skipped without accumulation.
+    ///
+    /// Pruning invariant: a skipped document's best achievable score is
+    /// strictly below the final `k`-th best eligible score, so pruning
+    /// never changes which documents are returned, their scores (documents
+    /// that survive accumulate every contribution), or their order.
     ///
     /// The result is identical (same documents, same order, same
     /// tie-breaking) to filtering and truncating [`Self::score_all`].
@@ -193,66 +424,243 @@ impl InvertedIndex {
     where
         F: Fn(DocIdx) -> bool,
     {
-        use std::cmp::Ordering;
-        use std::collections::BinaryHeap;
-
         if k == 0 {
             return Vec::new();
         }
+        let alpha = alpha.clamp(0.0, 1.0);
 
-        /// Heap entry ordered so the heap root is the *worst* kept doc:
-        /// lower score first; among equal scores, larger doc id first
-        /// (doc ids ascend in the final output, so the largest id is the
-        /// first to evict).
-        struct Worst(ScoredDoc);
-        impl PartialEq for Worst {
-            fn eq(&self, other: &Self) -> bool {
-                self.cmp(other) == Ordering::Equal
+        // Active posting lists in accumulation order (terms before
+        // entities, query order within each side), each with an upper
+        // bound on its per-document contribution.
+        enum ListRef {
+            Term(u32),
+            Entity(u32),
+        }
+        let mut lists: Vec<(ListRef, f64)> = Vec::new();
+        if alpha > 0.0 {
+            for term in &query.terms {
+                if let Some(&id) = self.terms.ids.get(term) {
+                    let irf = self.terms.irf[id as usize];
+                    let w = alpha * irf * irf;
+                    let ub = w * self.terms.max_tf[id as usize] as f64;
+                    lists.push((ListRef::Term(id), ub));
+                }
             }
         }
-        impl Eq for Worst {}
-        impl PartialOrd for Worst {
-            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-                Some(self.cmp(other))
-            }
-        }
-        impl Ord for Worst {
-            fn cmp(&self, other: &Self) -> Ordering {
-                other
-                    .0
-                    .score
-                    .partial_cmp(&self.0.score)
-                    .expect("scores are finite")
-                    .then_with(|| self.0.doc.cmp(&other.0.doc))
+        if alpha < 1.0 {
+            for &entity in &query.entities {
+                if let Some(&id) = self.entities.ids.get(&entity) {
+                    let eirf = self.entities.eirf[id as usize];
+                    let w = (1.0 - alpha) * eirf * eirf;
+                    let ub = w * self.entities.max_contrib[id as usize];
+                    lists.push((ListRef::Entity(id), ub));
+                }
             }
         }
 
-        // Accumulate as in score_all, then keep only the top k in a
-        // bounded heap (no full sort).
-        // Capacity capped: k may be "effectively unbounded" (usize::MAX).
-        let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k.saturating_add(1).min(4096));
-        for (doc, score) in self.accumulate(query, alpha) {
-            if score <= 0.0 {
-                continue;
-            }
-            let s = ScoredDoc { doc: DocIdx(doc), score };
-            if !filter(s.doc) {
-                continue;
-            }
-            heap.push(Worst(s));
-            if heap.len() > k {
-                heap.pop();
-            }
+        // remaining[j] bounds what lists j.. can still add to any document.
+        let mut remaining = vec![0.0f64; lists.len() + 1];
+        for j in (0..lists.len()).rev() {
+            remaining[j] = remaining[j + 1] + lists[j].1;
         }
-        let mut out: Vec<ScoredDoc> = heap.into_iter().map(|w| w.0).collect();
-        out.sort_unstable_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .expect("scores are finite")
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
-        out
+
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.begin(self.doc_count());
+
+            // filter() results, memoised so the predicate (which may be an
+            // attribution lookup) runs at most once per document.
+            let mut filter_cache: HashMap<u32, bool> = HashMap::new();
+            let mut eligible = |doc: u32| -> bool {
+                *filter_cache
+                    .entry(doc)
+                    .or_insert_with(|| filter(DocIdx(doc)))
+            };
+
+            let mut skip_new = false;
+            for (j, (list, _)) in lists.iter().enumerate() {
+                // θ = k-th best eligible partial score. Scores only grow,
+                // so θ lower-bounds the final k-th best; a document first
+                // seen now gains at most `remaining[j]`. The 1e-9 slack
+                // absorbs float reassociation between the bound sum and a
+                // document's actual accumulation order, keeping the skip
+                // decision sound.
+                if !skip_new && j > 0 && s.touched.len() >= k {
+                    let mut partials: Vec<f64> = s
+                        .touched
+                        .iter()
+                        .filter(|&&doc| eligible(doc))
+                        .map(|&doc| s.acc[doc as usize])
+                        .collect();
+                    if partials.len() >= k {
+                        let nth = partials.len() - k;
+                        let (_, &mut theta, _) = partials.select_nth_unstable_by(nth, |a, b| {
+                            a.partial_cmp(b).expect("scores are finite")
+                        });
+                        if remaining[j] * (1.0 + 1e-9) < theta {
+                            skip_new = true;
+                        }
+                    }
+                }
+
+                match list {
+                    ListRef::Term(id) => {
+                        let irf = self.terms.irf[*id as usize];
+                        let w = alpha * irf * irf;
+                        let (docs, tfs) = self.terms.list(*id);
+                        for (&doc, &tf) in docs.iter().zip(tfs) {
+                            let d = doc as usize;
+                            if s.stamps[d] != s.epoch {
+                                if skip_new {
+                                    continue;
+                                }
+                                s.stamps[d] = s.epoch;
+                                s.acc[d] = 0.0;
+                                s.touched.push(doc);
+                            }
+                            s.acc[d] += w * tf as f64;
+                        }
+                    }
+                    ListRef::Entity(id) => {
+                        let eirf = self.entities.eirf[*id as usize];
+                        let w = (1.0 - alpha) * eirf * eirf;
+                        let (docs, efs, wes) = self.entities.list(*id);
+                        for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                            let d = doc as usize;
+                            if s.stamps[d] != s.epoch {
+                                if skip_new {
+                                    continue;
+                                }
+                                s.stamps[d] = s.epoch;
+                                s.acc[d] = 0.0;
+                                s.touched.push(doc);
+                            }
+                            s.acc[d] += w * ef as f64 * we;
+                        }
+                    }
+                }
+            }
+
+            let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(heap_capacity(k));
+            for &doc in &s.touched {
+                let score = s.acc[doc as usize];
+                if score <= 0.0 || !eligible(doc) {
+                    continue;
+                }
+                heap.push(Worst(ScoredDoc { doc: DocIdx(doc), score }));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+            let mut out: Vec<ScoredDoc> = heap.into_iter().map(|w| w.0).collect();
+            sort_scored(&mut out);
+            out
+        })
     }
+
+    /// One posting traversal yielding the α-free factorisation of Eq. 1
+    /// per matching document, in ascending doc order. Feed the result to
+    /// [`recombine`] / [`recombine_top_k`] to obtain the ranking for any
+    /// α without touching the postings again.
+    pub fn score_components(&self, query: &Query) -> Vec<ComponentScore> {
+        SCRATCH.with(|cell| {
+            let s = &mut *cell.borrow_mut();
+            s.begin(self.doc_count());
+            for term in &query.terms {
+                let Some(&id) = self.terms.ids.get(term) else {
+                    continue;
+                };
+                let irf = self.terms.irf[id as usize];
+                let w = irf * irf;
+                let (docs, tfs) = self.terms.list(id);
+                for (&doc, &tf) in docs.iter().zip(tfs) {
+                    let d = doc as usize;
+                    if s.stamps[d] != s.epoch {
+                        s.stamps[d] = s.epoch;
+                        s.acc[d] = 0.0;
+                        s.acc2[d] = 0.0;
+                        s.touched.push(doc);
+                    }
+                    s.acc[d] += w * tf as f64;
+                }
+            }
+            for &entity in &query.entities {
+                let Some(&id) = self.entities.ids.get(&entity) else {
+                    continue;
+                };
+                let eirf = self.entities.eirf[id as usize];
+                let w = eirf * eirf;
+                let (docs, efs, wes) = self.entities.list(id);
+                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                    let d = doc as usize;
+                    if s.stamps[d] != s.epoch {
+                        s.stamps[d] = s.epoch;
+                        s.acc[d] = 0.0;
+                        s.acc2[d] = 0.0;
+                        s.touched.push(doc);
+                    }
+                    s.acc2[d] += w * ef as f64 * we;
+                }
+            }
+            s.touched.sort_unstable();
+            s.touched
+                .iter()
+                .map(|&doc| ComponentScore {
+                    doc: DocIdx(doc),
+                    term_sum: s.acc[doc as usize],
+                    entity_sum: s.acc2[doc as usize],
+                })
+                .collect()
+        })
+    }
+}
+
+/// Applies the Eq. 1 mix `α · term_sum + (1 − α) · entity_sum` to factored
+/// [`ComponentScore`]s and returns every positive-scoring document in the
+/// [`InvertedIndex::score_all`] order (descending score, then ascending
+/// doc).
+pub fn recombine(components: &[ComponentScore], alpha: f64) -> Vec<ScoredDoc> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mut scored: Vec<ScoredDoc> = components
+        .iter()
+        .filter_map(|c| {
+            let score = alpha * c.term_sum + (1.0 - alpha) * c.entity_sum;
+            (score > 0.0).then_some(ScoredDoc { doc: c.doc, score })
+        })
+        .collect();
+    sort_scored(&mut scored);
+    scored
+}
+
+/// Like [`recombine`] but keeps only the `k` best documents accepted by
+/// `filter`, mirroring [`InvertedIndex::score_top_k`] semantics.
+pub fn recombine_top_k<F>(
+    components: &[ComponentScore],
+    alpha: f64,
+    k: usize,
+    filter: F,
+) -> Vec<ScoredDoc>
+where
+    F: Fn(DocIdx) -> bool,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(heap_capacity(k));
+    for c in components {
+        let score = alpha * c.term_sum + (1.0 - alpha) * c.entity_sum;
+        if score <= 0.0 || !filter(c.doc) {
+            continue;
+        }
+        heap.push(Worst(ScoredDoc { doc: c.doc, score }));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut out: Vec<ScoredDoc> = heap.into_iter().map(|w| w.0).collect();
+    sort_scored(&mut out);
+    out
 }
 
 #[cfg(test)]
@@ -396,5 +804,113 @@ mod tests {
         let hits = idx.score_all(&Query::from_terms(["x"]), 1.0);
         assert_eq!(hits[0].doc, DocIdx(0));
         assert_eq!(hits[1].doc, DocIdx(1));
+    }
+
+    /// A wider index where pruning actually activates: many single-term
+    /// docs with spread-out tfs, so a small k lets θ beat the remaining
+    /// upper bounds after the first list.
+    fn wide() -> (InvertedIndex, Query) {
+        let mut b = IndexBuilder::new();
+        for i in 0..200u32 {
+            // tf varies 1..=20; "rare" appears only in a few docs.
+            let tf = (i % 20 + 1) as usize;
+            let mut ts = vec!["common".to_string(); tf];
+            if i % 37 == 0 {
+                ts.push("rare".to_string());
+            }
+            let ents = if i % 11 == 0 {
+                vec![(EntityId::new(1), (i % 10) as f64 / 10.0)]
+            } else {
+                vec![]
+            };
+            b.add_document(&ts, &ents);
+        }
+        let idx = b.build();
+        let q = Query {
+            terms: terms(&["common", "rare"]),
+            entities: vec![EntityId::new(1)],
+        };
+        (idx, q)
+    }
+
+    #[test]
+    fn pruned_top_k_matches_score_all_across_alphas_and_ks() {
+        let (idx, q) = wide();
+        for &alpha in &[0.0, 0.3, 0.6, 1.0] {
+            let full = idx.score_all(&q, alpha);
+            for &k in &[1usize, 3, 10, 50, 500] {
+                let topk = idx.score_top_k(&q, alpha, k, |_| true);
+                assert_eq!(&topk[..], &full[..k.min(full.len())], "alpha {alpha} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_top_k_matches_filtered_score_all() {
+        let (idx, q) = wide();
+        let filter = |d: DocIdx| !d.0.is_multiple_of(3);
+        let full: Vec<ScoredDoc> = idx
+            .score_all(&q, 0.6)
+            .into_iter()
+            .filter(|s| filter(s.doc))
+            .collect();
+        for &k in &[1usize, 5, 25] {
+            let topk = idx.score_top_k(&q, 0.6, k, filter);
+            assert_eq!(&topk[..], &full[..k.min(full.len())], "k {k}");
+        }
+    }
+
+    #[test]
+    fn components_recombine_to_score_all() {
+        let (idx, q) = wide();
+        let components = idx.score_components(&q);
+        // Components arrive in ascending doc order.
+        assert!(components.windows(2).all(|w| w[0].doc < w[1].doc));
+        for &alpha in &[0.0, 0.25, 0.6, 1.0] {
+            let direct = idx.score_all(&q, alpha);
+            let factored = recombine(&components, alpha);
+            assert_eq!(direct.len(), factored.len(), "alpha {alpha}");
+            for (a, b) in direct.iter().zip(&factored) {
+                assert_eq!(a.doc, b.doc, "alpha {alpha}");
+                assert!((a.score - b.score).abs() <= 1e-12 * a.score.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn recombine_top_k_matches_direct_top_k() {
+        let (idx, q) = wide();
+        let components = idx.score_components(&q);
+        let filter = |d: DocIdx| d.0.is_multiple_of(2);
+        for &alpha in &[0.0, 0.6, 1.0] {
+            let direct = idx.score_top_k(&q, alpha, 10, filter);
+            let factored = recombine_top_k(&components, alpha, 10, filter);
+            assert_eq!(direct.len(), factored.len());
+            for (a, b) in direct.iter().zip(&factored) {
+                assert_eq!(a.doc, b.doc, "alpha {alpha}");
+                assert!((a.score - b.score).abs() <= 1e-12 * a.score.max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn posting_iterators_expose_csr_lists() {
+        let idx = sample();
+        let swim: Vec<(DocIdx, u32)> = idx.term_postings("swim").collect();
+        assert_eq!(swim, vec![(DocIdx(0), 2), (DocIdx(2), 1)]);
+        assert_eq!(idx.term_postings("unseen").count(), 0);
+        let e1: Vec<EntityPostingView> = idx.entity_postings(EntityId::new(1)).collect();
+        assert_eq!(e1.len(), 2);
+        assert_eq!(e1[0].doc, DocIdx(0));
+        assert!((e1[0].we - 1.8).abs() < 1e-12);
+        assert_eq!(idx.entity_postings(EntityId::new(99)).count(), 0);
+    }
+
+    #[test]
+    fn interning_is_dense_and_counts_match() {
+        let idx = sample();
+        assert_eq!(idx.term_count(), 6); // swim pool train cook pasta recipe
+        assert_eq!(idx.entity_count(), 2);
+        assert_eq!(idx.doc_count(), 3);
     }
 }

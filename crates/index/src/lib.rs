@@ -13,13 +13,23 @@
 //! with the entity weight of Eq. 2, `we(e,r) = 1 + dScore(e,r)` for
 //! annotated entities. `irf`/`eirf` are inverse *resource* frequencies over
 //! the whole collection, as the paper prescribes.
+//!
+//! Postings are stored in interned CSR form with precomputed `irf`/`eirf`
+//! tables (see [`index`]); the factored scorer
+//! [`InvertedIndex::score_components`] + [`recombine`] evaluates an α
+//! sweep with a single posting traversal, and [`reference`] retains the
+//! definitional scorer as the parity oracle.
 
 pub mod bm25;
 pub mod builder;
 pub mod index;
 pub mod query;
+pub mod reference;
 
 pub use bm25::Bm25Params;
 pub use builder::IndexBuilder;
-pub use index::{DocIdx, InvertedIndex, ScoredDoc};
+pub use index::{
+    recombine, recombine_top_k, ComponentScore, DocIdx, EntityPostingView, InvertedIndex,
+    ScoredDoc,
+};
 pub use query::Query;

@@ -1,0 +1,137 @@
+//! The definitional Eq. 1 scorer, retained as the parity oracle for the
+//! CSR fast path.
+//!
+//! This module reimplements scoring the way the paper states it — a
+//! hash-map accumulator fed straight from the posting lists, no
+//! interning, no factoring, no pruning. It is deliberately boring: every
+//! optimisation in [`crate::index`] is validated against these functions
+//! (`tests/parity.rs` at the workspace root runs the comparison over a
+//! full synthetic corpus), so this code must stay a direct transcription
+//! of Eq. 1/Eq. 2 and never acquire shortcuts of its own.
+//!
+//! The float-addition order per document (query terms in order, then
+//! query entities in order, postings ascending by doc) matches the fast
+//! path's accumulation order, so `score_all` here is *bit-identical* to
+//! [`InvertedIndex::score_all`] — not merely close.
+
+use crate::index::{DocIdx, InvertedIndex, ScoredDoc};
+use crate::query::Query;
+use std::collections::HashMap;
+
+/// Eq. 1 score accumulation: document → score, unsorted.
+fn accumulate(index: &InvertedIndex, query: &Query, alpha: f64) -> HashMap<u32, f64> {
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    if alpha > 0.0 {
+        for term in &query.terms {
+            let irf = index.irf(term);
+            let w = alpha * irf * irf;
+            for (doc, tf) in index.term_postings(term) {
+                *acc.entry(doc.0).or_insert(0.0) += w * tf as f64;
+            }
+        }
+    }
+    if alpha < 1.0 {
+        for &entity in &query.entities {
+            let eirf = index.eirf(entity);
+            let w = (1.0 - alpha) * eirf * eirf;
+            for p in index.entity_postings(entity) {
+                *acc.entry(p.doc.0).or_insert(0.0) += w * p.ef as f64 * p.we;
+            }
+        }
+    }
+    acc
+}
+
+fn sort_scored(scored: &mut [ScoredDoc]) {
+    scored.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+}
+
+/// Scores the whole collection by the book: the reference for
+/// [`InvertedIndex::score_all`].
+pub fn score_all(index: &InvertedIndex, query: &Query, alpha: f64) -> Vec<ScoredDoc> {
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mut scored: Vec<ScoredDoc> = accumulate(index, query, alpha)
+        .into_iter()
+        .filter(|&(_, s)| s > 0.0)
+        .map(|(doc, score)| ScoredDoc { doc: DocIdx(doc), score })
+        .collect();
+    sort_scored(&mut scored);
+    scored
+}
+
+/// Filters and truncates [`score_all`]: the reference for
+/// [`InvertedIndex::score_top_k`] (which must agree on documents, scores
+/// and tie-breaks despite its bounded heap and pruning).
+pub fn score_top_k<F>(
+    index: &InvertedIndex,
+    query: &Query,
+    alpha: f64,
+    k: usize,
+    filter: F,
+) -> Vec<ScoredDoc>
+where
+    F: Fn(DocIdx) -> bool,
+{
+    let mut scored = score_all(index, query, alpha);
+    scored.retain(|s| filter(s.doc));
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use rightcrowd_types::EntityId;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document(&terms(&["swim", "pool", "swim"]), &[(EntityId::new(1), 0.8)]);
+        b.add_document(&terms(&["cook", "pasta"]), &[(EntityId::new(2), 0.4)]);
+        b.add_document(&terms(&["swim", "cook"]), &[(EntityId::new(1), 0.2)]);
+        b.build()
+    }
+
+    #[test]
+    fn reference_is_bit_identical_to_fast_path() {
+        let idx = sample();
+        let q = Query {
+            terms: terms(&["swim", "cook"]),
+            entities: vec![EntityId::new(1), EntityId::new(2)],
+        };
+        for &alpha in &[0.0, 0.3, 0.6, 1.0] {
+            let fast = idx.score_all(&q, alpha);
+            let slow = score_all(&idx, &q, alpha);
+            assert_eq!(fast.len(), slow.len());
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.doc, s.doc, "alpha {alpha}");
+                assert_eq!(
+                    f.score.to_bits(),
+                    s.score.to_bits(),
+                    "alpha {alpha} doc {:?}",
+                    f.doc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_top_k_oracle_shape() {
+        let idx = sample();
+        let q = Query::from_terms(["swim"]);
+        let top1 = score_top_k(&idx, &q, 1.0, 1, |_| true);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].doc, DocIdx(0));
+        let filtered = score_top_k(&idx, &q, 1.0, 10, |d| d != DocIdx(0));
+        assert!(filtered.iter().all(|s| s.doc != DocIdx(0)));
+    }
+}

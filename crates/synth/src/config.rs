@@ -8,7 +8,7 @@
 use rightcrowd_types::{Domain, Platform};
 
 /// Default RNG seed — every run with the same config is bit-identical.
-pub const DEFAULT_SEED: u64 = 0xEDB7_2013;
+pub const DEFAULT_SEED: u64 = 0xEDB7_2015;
 
 /// Per-candidate volume knobs for one platform.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -2,7 +2,7 @@
 //! ranking, baselines — must be bit-identical under a fixed seed, and must
 //! actually change under a different seed.
 
-use rightcrowd::core::{AnalyzedCorpus, EvalContext, FinderConfig};
+use rightcrowd::core::{AnalyzedCorpus, CorpusOptions, EvalContext, FinderConfig};
 use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
 
 fn outcome_fingerprint(ds: &SyntheticDataset) -> Vec<(u32, u64)> {
@@ -39,6 +39,26 @@ fn different_seed_different_world() {
     // Counts may coincide (volumes are config-driven) but the rankings of
     // a different world cannot be bit-identical.
     assert_ne!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+}
+
+#[test]
+fn corpus_build_is_thread_count_invariant() {
+    // The documented guarantee of `AnalyzedCorpus::build_with`: analysis is
+    // parallelised per document and merged in document order, so the index
+    // is byte-identical whatever the worker count.
+    let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+    let sequential = AnalyzedCorpus::build_with(&ds, &CorpusOptions::default().with_worker_threads(1));
+    for threads in [2, 3, 8] {
+        let parallel =
+            AnalyzedCorpus::build_with(&ds, &CorpusOptions::default().with_worker_threads(threads));
+        assert_eq!(sequential.retained(), parallel.retained(), "{threads} threads");
+        assert_eq!(
+            sequential.dropped_non_english(),
+            parallel.dropped_non_english(),
+            "{threads} threads"
+        );
+        assert_eq!(sequential.index(), parallel.index(), "{threads} threads");
+    }
 }
 
 #[test]

@@ -1,0 +1,112 @@
+//! Parity: every optimised scoring path must reproduce the retained Eq. 1
+//! reference scorer (`rightcrowd::index::reference`) over a full synthetic
+//! corpus — same documents, same tie-break order, scores within 1e-12.
+//!
+//! This is the guard rail for the query-path overhaul: the CSR fast path,
+//! the MaxScore-style pruned top-k path and the factored
+//! `score_components` → `recombine` path are pure performance changes and
+//! must never move a ranking.
+
+use rightcrowd::core::{AnalysisPipeline, AnalyzedCorpus, Attribution, FinderConfig};
+use rightcrowd::index::{recombine, recombine_top_k, reference, Query, ScoredDoc};
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+use rightcrowd::types::Distance;
+use std::sync::OnceLock;
+
+const ALPHAS: [f64; 3] = [0.0, 0.5, 1.0];
+const K: usize = 50;
+
+fn world() -> &'static (SyntheticDataset, AnalyzedCorpus, Vec<Query>) {
+    static CELL: OnceLock<(SyntheticDataset, AnalyzedCorpus, Vec<Query>)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+        let corpus = AnalyzedCorpus::build(&ds);
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let queries =
+            ds.queries().iter().map(|need| pipeline.analyze_query(&need.text)).collect();
+        (ds, corpus, queries)
+    })
+}
+
+/// Same documents in the same order; scores within 1e-12 relative.
+fn assert_parity(fast: &[ScoredDoc], slow: &[ScoredDoc], what: &str) {
+    assert_eq!(fast.len(), slow.len(), "{what}: result count");
+    for (f, s) in fast.iter().zip(slow) {
+        assert_eq!(f.doc, s.doc, "{what}: document / tie-break order");
+        let tol = 1e-12 * s.score.abs().max(1.0);
+        assert!(
+            (f.score - s.score).abs() <= tol,
+            "{what}: doc {:?} score {} vs reference {}",
+            f.doc,
+            f.score,
+            s.score
+        );
+    }
+}
+
+#[test]
+fn score_all_is_bit_identical_to_reference() {
+    let (_, corpus, queries) = world();
+    let index = corpus.index();
+    for (qi, query) in queries.iter().enumerate() {
+        for alpha in ALPHAS {
+            let fast = index.score_all(query, alpha);
+            let slow = reference::score_all(index, query, alpha);
+            // The fast path shares the reference's accumulation order, so
+            // this parity is exact, not merely within tolerance.
+            assert_eq!(fast.len(), slow.len(), "query {qi} alpha {alpha}");
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.doc, s.doc, "query {qi} alpha {alpha}");
+                assert_eq!(
+                    f.score.to_bits(),
+                    s.score.to_bits(),
+                    "query {qi} alpha {alpha} doc {:?}",
+                    f.doc
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_top_k_matches_reference_under_every_distance() {
+    let (ds, corpus, queries) = world();
+    let index = corpus.index();
+    for distance in Distance::ALL {
+        let config = FinderConfig::default().with_distance(distance);
+        let attribution = Attribution::compute(ds, corpus, &config);
+        for (qi, query) in queries.iter().enumerate() {
+            for alpha in ALPHAS {
+                let fast =
+                    index.score_top_k(query, alpha, K, |d| attribution.is_attributed(d));
+                let slow = reference::score_top_k(index, query, alpha, K, |d| {
+                    attribution.is_attributed(d)
+                });
+                assert_parity(&fast, &slow, &format!("query {qi} alpha {alpha} {distance:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn factored_recombination_matches_reference_on_both_window_paths() {
+    let (ds, corpus, queries) = world();
+    let index = corpus.index();
+    let config = FinderConfig::default();
+    let attribution = Attribution::compute(ds, corpus, &config);
+    for (qi, query) in queries.iter().enumerate() {
+        // One traversal per query; every α point recombines from it.
+        let components = index.score_components(query);
+        for alpha in ALPHAS {
+            let all = recombine(&components, alpha);
+            let slow_all = reference::score_all(index, query, alpha);
+            assert_parity(&all, &slow_all, &format!("recombine query {qi} alpha {alpha}"));
+
+            let top =
+                recombine_top_k(&components, alpha, K, |d| attribution.is_attributed(d));
+            let slow_top =
+                reference::score_top_k(index, query, alpha, K, |d| attribution.is_attributed(d));
+            assert_parity(&top, &slow_top, &format!("recombine_top_k query {qi} alpha {alpha}"));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BatchSize`] and the [`criterion_group!`] / [`criterion_main!`] macros —
+//! as a plain wall-clock harness: a short warmup calibrates
+//! iterations-per-sample, then each benchmark takes `sample_size` samples
+//! and reports the median, minimum and maximum time per iteration.
+//!
+//! No statistical analysis, no saved baselines, no HTML reports. Output is
+//! one line per benchmark on stdout, so `cargo bench` remains useful for
+//! eyeballing relative cost and catching order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; this harness always sets up one input per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Runs `routine` as a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.default_sample_size, routine);
+        self
+    }
+
+    /// Opens a named group whose benchmarks can share settings.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            prefix: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    prefix: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs `routine` under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        run_benchmark(&full, self.sample_size, routine);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure to time its routine.
+pub struct Bencher {
+    sample_size: usize,
+    result: Option<Samples>,
+}
+
+struct Samples {
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, which is called many times per sample.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let iters = calibrate(|| {
+            std::hint::black_box(routine());
+        });
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            per_iter.push(start.elapsed() / iters as u32);
+        }
+        self.result = Some(Samples { per_iter });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // One input per timed call keeps setup cost out of the clock
+        // without needing batch memory management.
+        let mut per_iter = Vec::with_capacity(self.sample_size);
+        // Warmup: one untimed pass.
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            per_iter.push(start.elapsed());
+        }
+        self.result = Some(Samples { per_iter });
+    }
+}
+
+/// Picks an iteration count so each sample runs ≥ ~2 ms (capped for slow
+/// routines), after a ~30 ms warmup.
+fn calibrate<F: FnMut()>(mut routine: F) -> u64 {
+    let warmup_budget = Duration::from_millis(30);
+    let start = Instant::now();
+    let mut iters: u64 = 0;
+    while start.elapsed() < warmup_budget {
+        routine();
+        iters += 1;
+        if iters >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = start.elapsed().as_nanos().max(1) / iters.max(1) as u128;
+    let target = Duration::from_millis(2).as_nanos();
+    ((target / per_iter.max(1)) as u64).clamp(1, 1_000_000)
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, mut routine: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { sample_size: sample_size.max(2), result: None };
+    routine(&mut bencher);
+    match bencher.result {
+        Some(samples) => report(name, samples),
+        None => println!("{name:<40} (no measurement taken)"),
+    }
+}
+
+fn report(name: &str, mut samples: Samples) {
+    samples.per_iter.sort();
+    let n = samples.per_iter.len();
+    let median = samples.per_iter[n / 2];
+    let min = samples.per_iter[0];
+    let max = samples.per_iter[n - 1];
+    println!(
+        "{name:<40} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running each group; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; this harness has
+            // no options, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` imports.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(1u64 + 2)));
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,733 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`/`boxed`,
+//! numeric-range and regex-pattern strategies, `prop::collection::vec`,
+//! `prop::sample::select`, tuple strategies, [`prop_oneof!`], `any::<T>()`
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **no shrinking** — a failing case reports its seed and case number
+//!   instead of a minimised input;
+//! - **fixed case count** — 64 per property (override with the
+//!   `PROPTEST_CASES` environment variable), deterministically seeded from
+//!   the property name, so failures reproduce exactly;
+//! - **regex strategies** cover the pattern subset the tests use: literal
+//!   runs, character classes, groups with alternation, `{m,n}`-style
+//!   quantifiers and the `\PC` (any printable char) escape.
+
+/// The deterministic generator handed to strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeds via SplitMix64 expansion of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, width)`, unbiased by rejection.
+    pub fn below(&mut self, width: u64) -> u64 {
+        debug_assert!(width > 0);
+        let zone = u64::MAX - (u64::MAX - width + 1) % width;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % width;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw from an inclusive `[lo, hi]` length range.
+    pub fn len_between(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of test-case inputs.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Produces one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (for heterogeneous unions).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, used behind [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Equal-weight choice among boxed alternatives ([`crate::prop_oneof!`]).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        /// A union over `alternatives` (must be non-empty).
+        pub fn new(alternatives: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+            Union(alternatives)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let pick = rng.below(self.0.len() as u64) as usize;
+            self.0[pick].generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = self.end.wrapping_sub(self.start) as u64;
+                    self.start.wrapping_add(rng.below(width) as $t)
+                }
+            }
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let width = hi.wrapping_sub(lo) as u64;
+                    if width == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(width + 1) as $t)
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, f64);
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    impl_tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F)
+    );
+}
+
+/// Full-range strategies behind [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced, spanning several orders of magnitude.
+        let magnitude = (rng.unit_f64() * 2.0 - 1.0) * 1e6;
+        magnitude * rng.unit_f64()
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+pub struct AnyStrategy<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> strategy::Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy of `T` (`any::<bool>()`, `any::<u64>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Inclusive element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.len_between(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T: Clone>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+
+    /// Uniform choice from a fixed set of values.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select(options)
+    }
+}
+
+pub mod pattern {
+    //! A generator for the regex subset the workspace's patterns use.
+
+    use super::TestRng;
+
+    enum Node {
+        Lit(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+        Group(Vec<Vec<Node>>),
+        Repeat(Box<Node>, usize, usize),
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let alternatives = parse_alternatives(&chars, &mut pos, false);
+        assert_eq!(pos, chars.len(), "trailing junk in pattern {pattern:?}");
+        let mut out = String::new();
+        emit_alt(&alternatives, rng, &mut out);
+        out
+    }
+
+    fn parse_alternatives(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Vec<Node>> {
+        let mut alternatives = vec![Vec::new()];
+        while *pos < chars.len() {
+            match chars[*pos] {
+                ')' if in_group => break,
+                '|' => {
+                    *pos += 1;
+                    alternatives.push(Vec::new());
+                }
+                _ => {
+                    let node = parse_atom(chars, pos);
+                    let node = parse_quantifier(chars, pos, node);
+                    alternatives.last_mut().expect("non-empty").push(node);
+                }
+            }
+        }
+        alternatives
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let alternatives = parse_alternatives(chars, pos, true);
+                assert!(
+                    *pos < chars.len() && chars[*pos] == ')',
+                    "unclosed group in pattern"
+                );
+                *pos += 1;
+                Node::Group(alternatives)
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let start = chars[*pos];
+                    *pos += 1;
+                    if *pos + 1 < chars.len() && chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                        let end = chars[*pos + 1];
+                        *pos += 2;
+                        ranges.push((start, end));
+                    } else {
+                        ranges.push((start, start));
+                    }
+                }
+                assert!(*pos < chars.len(), "unclosed class in pattern");
+                *pos += 1; // consume ']'
+                Node::Class(ranges)
+            }
+            '\\' => {
+                // Only the escapes the workspace actually writes: `\PC`
+                // (any non-control char) and single-char escapes.
+                if *pos + 2 < chars.len() + 1 && chars.get(*pos + 1) == Some(&'P') {
+                    let category = chars.get(*pos + 2).copied().unwrap_or('C');
+                    assert_eq!(category, 'C', "only \\PC is supported");
+                    *pos += 3;
+                    Node::AnyPrintable
+                } else {
+                    let literal = chars[*pos + 1];
+                    *pos += 2;
+                    Node::Lit(literal)
+                }
+            }
+            c => {
+                *pos += 1;
+                Node::Lit(c)
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize, node: Node) -> Node {
+        if *pos >= chars.len() {
+            return node;
+        }
+        match chars[*pos] {
+            '{' => {
+                *pos += 1;
+                let mut lo = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    lo.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let lo: usize = lo.parse().expect("quantifier lower bound");
+                let hi = if chars[*pos] == ',' {
+                    *pos += 1;
+                    let mut hi = String::new();
+                    while chars[*pos].is_ascii_digit() {
+                        hi.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    if hi.is_empty() { lo + 8 } else { hi.parse().expect("upper bound") }
+                } else {
+                    lo
+                };
+                assert_eq!(chars[*pos], '}', "unclosed quantifier");
+                *pos += 1;
+                Node::Repeat(Box::new(node), lo, hi)
+            }
+            '*' => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 8)
+            }
+            '+' => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 1, 8)
+            }
+            '?' => {
+                *pos += 1;
+                Node::Repeat(Box::new(node), 0, 1)
+            }
+            _ => node,
+        }
+    }
+
+    fn emit_alt(alternatives: &[Vec<Node>], rng: &mut TestRng, out: &mut String) {
+        let pick = rng.below(alternatives.len() as u64) as usize;
+        for node in &alternatives[pick] {
+            emit(node, rng, out);
+        }
+    }
+
+    fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Lit(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1)
+                    .sum();
+                let mut index = rng.below(total);
+                for &(a, b) in ranges {
+                    let span = (b as u64) - (a as u64) + 1;
+                    if index < span {
+                        out.push(char::from_u32(a as u32 + index as u32).unwrap_or(a));
+                        return;
+                    }
+                    index -= span;
+                }
+            }
+            Node::AnyPrintable => out.push(printable(rng)),
+            Node::Group(alternatives) => emit_alt(alternatives, rng, out),
+            Node::Repeat(inner, lo, hi) => {
+                let count = rng.len_between(*lo, *hi);
+                for _ in 0..count {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    /// A random non-control character, biased toward ASCII with a tail of
+    /// Latin-1, Greek, Cyrillic, CJK and emoji to exercise Unicode paths.
+    fn printable(rng: &mut TestRng) -> char {
+        let roll = rng.below(100);
+        let candidate = if roll < 70 {
+            0x20 + rng.below(0x5F) as u32 // ASCII printable
+        } else if roll < 80 {
+            0xA1 + rng.below(0xFF - 0xA1) as u32 // Latin-1 supplement
+        } else if roll < 88 {
+            0x391 + rng.below(0x3C9 - 0x391) as u32 // Greek
+        } else if roll < 94 {
+            0x410 + rng.below(0x44F - 0x410) as u32 // Cyrillic
+        } else if roll < 98 {
+            0x4E00 + rng.below(0x9FFF - 0x4E00) as u32 // CJK
+        } else {
+            0x1F300 + rng.below(0x1F5FF - 0x1F300) as u32 // emoji
+        };
+        char::from_u32(candidate).unwrap_or('□')
+    }
+}
+
+/// Aliased module tree matching `proptest::prelude::prop::*` paths.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Runs `property` for the configured number of cases, deterministically
+/// seeded from `name`; panics with seed and case number on failure.
+pub fn run_cases<F>(name: &str, mut property: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    // FNV-1a over the property name anchors the sequence per property.
+    let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+    for byte in name.bytes() {
+        seed ^= byte as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..cases {
+        let mut rng = TestRng::seed_from_u64(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if let Err(message) = property(&mut rng) {
+            panic!("property {name} failed at case {case}/{cases}: {message}");
+        }
+    }
+}
+
+/// Declares deterministic property tests over strategy-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, __proptest_rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), left, right,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), left, right,
+            ));
+        }
+    }};
+}
+
+/// Fails the current case when both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), left,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  both: {:?}", ::std::format!($($fmt)+), left,
+            ));
+        }
+    }};
+}
+
+/// Skips the current case unless the assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Equal-weight choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, prop, Arbitrary, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn pattern_generator_matches_shape() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let word = crate::pattern::generate("[a-z]{3,30}", &mut rng);
+            assert!((3..=30).contains(&word.len()), "{word:?}");
+            assert!(word.bytes().all(|b| b.is_ascii_lowercase()));
+
+            let mixed = crate::pattern::generate("([A-Z][a-z]{0,5}|[a-z]{1,2})", &mut rng);
+            assert!(!mixed.is_empty());
+
+            let printable = crate::pattern::generate("\\PC{0,24}", &mut rng);
+            assert!(printable.chars().count() <= 24);
+            assert!(printable.chars().all(|c| !c.is_control()));
+
+            let punct = crate::pattern::generate("[a-zA-Z ,.!?]{0,10}", &mut rng);
+            assert!(punct
+                .chars()
+                .all(|c| c.is_ascii_alphabetic() || " ,.!?".contains(c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u32..5).prop_map(|x| x * 2),
+            (10u32..15).prop_map(|x| x),
+        ]) {
+            prop_assert!(v < 15);
+            prop_assert_ne!(v, 9);
+        }
+    }
+}
