@@ -74,6 +74,7 @@ impl<'kb> Annotator<'kb> {
 
     /// Annotates an already-tokenised text.
     pub fn annotate_tokens(&self, tokens: &[String]) -> Vec<Annotation> {
+        let _span = rightcrowd_obs::span!("annotate.tokens");
         let spots = spot_anchors(self.kb, tokens, self.config.min_link_probability);
         if spots.is_empty() {
             return Vec::new();
@@ -102,6 +103,10 @@ impl<'kb> Annotator<'kb> {
                 });
             }
         }
+        rightcrowd_obs::add(
+            rightcrowd_obs::CounterId::EntitiesAnnotated,
+            annotations.len() as u64,
+        );
         annotations
     }
 

@@ -4,12 +4,14 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- query "why is copper a good conductor" --top 5
 //! RIGHTCROWD_SCALE=tiny cargo run --release -p rightcrowd-bench --bin rc -- eval --platform tw
 //! cargo run --release -p rightcrowd-bench --bin rc -- stats
-//! RIGHTCROWD_SCALE=small cargo run --release -p rightcrowd-bench --bin rc -- bench
+//! cargo run --release -p rightcrowd-bench --bin rc -- bench --scale small
+//! cargo run --release -p rightcrowd-bench --bin rc -- metrics --trace
+//! cargo run --release -p rightcrowd-bench --bin rc -- regress BENCH_small.json target/BENCH_small.json
 //! ```
 
 use rightcrowd_bench::cli::{parse, Command, USAGE};
 use rightcrowd_bench::table::{header4, row4};
-use rightcrowd_bench::{Bench, BenchReport};
+use rightcrowd_bench::{regress, Bench, BenchReport};
 use rightcrowd_core::baseline::random_baseline;
 use rightcrowd_core::{ExpertFinder, FinderConfig};
 use rightcrowd_synth::DatasetStats;
@@ -17,14 +19,19 @@ use rightcrowd_types::{Domain, Platform};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = match parse(&args) {
-        Ok(command) => command,
+    let invocation = match parse(&args) {
+        Ok(invocation) => invocation,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
             std::process::exit(2);
         }
     };
-    match command {
+    if let Some(scale) = &invocation.scale {
+        // Before any dataset loading; single-threaded here, so safe.
+        std::env::set_var("RIGHTCROWD_SCALE", scale);
+    }
+    let trace = invocation.trace;
+    match invocation.command {
         Command::Help => print!("{USAGE}"),
         Command::Stats => {
             let bench = Bench::prepare();
@@ -92,11 +99,46 @@ fn main() {
                 report.alpha_sweep_factored_ms,
                 report.alpha_sweep_speedup
             );
+            println!(
+                "metrics: {} postings traversed, {} pruned, {} attribution cache hits / {} misses",
+                report.metrics.counter(rightcrowd_obs::CounterId::PostingsTraversed),
+                report.metrics.counter(rightcrowd_obs::CounterId::MaxscorePruned),
+                report.metrics.counter(rightcrowd_obs::CounterId::AttributionCacheHits),
+                report.metrics.counter(rightcrowd_obs::CounterId::AttributionCacheMisses),
+            );
             match report.write_to(&out) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(e) => {
                     eprintln!("error: cannot write {}: {e}", out.display());
                     std::process::exit(1);
+                }
+            }
+        }
+        Command::Metrics { platforms, distance } => {
+            let bench = Bench::prepare();
+            let ctx = bench.ctx();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            let outcome = ctx.run(&config);
+            eprintln!(
+                "[metrics] workload MAP {:.3} over {} queries",
+                outcome.mean.map,
+                outcome.per_query.len()
+            );
+            print!("{}", rightcrowd_obs::snapshot().render());
+        }
+        Command::Regress { baseline, current, threshold, warn_only } => {
+            match regress::compare_files(&baseline, &current, threshold) {
+                Ok(report) => {
+                    print!("{}", report.render());
+                    if report.any_regressed() && !warn_only {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
                 }
             }
         }
@@ -115,6 +157,14 @@ fn main() {
                 format!("{} d{}", config.platforms.label(), distance.level()),
                 row4(&outcome.mean)
             );
+        }
+    }
+    if trace {
+        let spans = rightcrowd_obs::snapshot().spans;
+        if spans.is_empty() {
+            eprintln!("[trace] no spans recorded (built with obs-off?)");
+        } else {
+            eprint!("{}", rightcrowd_obs::span::render_tree(&spans));
         }
     }
 }

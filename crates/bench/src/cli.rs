@@ -36,8 +36,41 @@ pub enum Command {
         /// Directory the snapshot is written into.
         out: std::path::PathBuf,
     },
+    /// `rc metrics [--platform P] [--distance D]` — run the workload once
+    /// and print the observability registry (counters, histograms, span
+    /// tree).
+    Metrics {
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
+    /// `rc regress <baseline.json> <current.json> [--threshold F]
+    /// [--warn-only]` — compare two bench snapshots and fail on latency
+    /// regressions.
+    Regress {
+        /// The committed baseline snapshot.
+        baseline: std::path::PathBuf,
+        /// The freshly measured snapshot.
+        current: std::path::PathBuf,
+        /// Relative regression threshold (0.2 = +20%).
+        threshold: f64,
+        /// Report regressions without a failing exit code.
+        warn_only: bool,
+    },
     /// `rc help` or parse failure fallback.
     Help,
+}
+
+/// A fully parsed `rc` invocation: the subcommand plus global flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// The subcommand to run.
+    pub command: Command,
+    /// `--trace`: print the span tree on exit.
+    pub trace: bool,
+    /// `--scale`: overrides `RIGHTCROWD_SCALE` for this run.
+    pub scale: Option<String>,
 }
 
 /// A parse failure with a user-facing message.
@@ -60,8 +93,14 @@ USAGE:
   rc query \"<expertise need>\" [--top N] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
   rc bench [--out DIR]
+  rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc regress <baseline.json> <current.json> [--threshold F] [--warn-only]
   rc stats
   rc help
+
+GLOBAL OPTIONS:
+  --scale tiny|small|paper   dataset scale (overrides RIGHTCROWD_SCALE)
+  --trace                    print the span tree after the command
 
 ENVIRONMENT:
   RIGHTCROWD_SCALE   dataset scale: tiny | small (default) | paper
@@ -86,20 +125,50 @@ fn parse_distance(value: &str) -> Result<Distance, ParseError> {
 }
 
 /// Parses `rc` arguments (without the program name).
-pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut iter = args.iter();
     let Some(sub) = iter.next() else {
-        return Ok(Command::Help);
+        return Ok(Invocation { command: Command::Help, trace: false, scale: None });
     };
 
     let mut top = 10usize;
     let mut platforms = PlatformMask::ALL;
     let mut distance = Distance::D2;
     let mut out = std::path::PathBuf::from(".");
+    let mut threshold = 0.2f64;
+    let mut warn_only = false;
+    let mut trace = false;
+    let mut scale: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--trace" => trace = true,
+            "--warn-only" => warn_only = true,
+            "--scale" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--scale needs a value".into()))?;
+                match value.as_str() {
+                    "tiny" | "small" | "paper" => scale = Some(value.clone()),
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown scale {other:?} (use tiny|small|paper)"
+                        )))
+                    }
+                }
+            }
+            "--threshold" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--threshold needs a number".into()))?;
+                threshold = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --threshold value {value:?}")))?;
+                if !(threshold > 0.0 && threshold.is_finite()) {
+                    return Err(ParseError("--threshold must be a positive number".into()));
+                }
+            }
             "--out" => {
                 let value =
                     iter.next().ok_or_else(|| ParseError("--out needs a directory".into()))?;
@@ -133,19 +202,35 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
     }
 
-    match sub.as_str() {
+    let command = match sub.as_str() {
         "query" => {
             let text = positional
                 .first()
                 .ok_or_else(|| ParseError("query needs the expertise need text".into()))?;
-            Ok(Command::Query { text: (*text).clone(), top, platforms, distance })
+            Command::Query { text: (*text).clone(), top, platforms, distance }
         }
-        "stats" => Ok(Command::Stats),
-        "eval" => Ok(Command::Eval { platforms, distance }),
-        "bench" => Ok(Command::Bench { out }),
-        "help" | "--help" | "-h" => Ok(Command::Help),
-        other => Err(ParseError(format!("unknown subcommand {other:?}"))),
-    }
+        "stats" => Command::Stats,
+        "eval" => Command::Eval { platforms, distance },
+        "bench" => Command::Bench { out },
+        "metrics" => Command::Metrics { platforms, distance },
+        "regress" => {
+            let [baseline, current] = positional.as_slice() else {
+                return Err(ParseError(
+                    "regress needs exactly two snapshot paths: <baseline.json> <current.json>"
+                        .into(),
+                ));
+            };
+            Command::Regress {
+                baseline: std::path::PathBuf::from(baseline),
+                current: std::path::PathBuf::from(current),
+                threshold,
+                warn_only,
+            }
+        }
+        "help" | "--help" | "-h" => Command::Help,
+        other => return Err(ParseError(format!("unknown subcommand {other:?}"))),
+    };
+    Ok(Invocation { command, trace, scale })
 }
 
 #[cfg(test)]
@@ -156,11 +241,15 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
+    /// The command of a successfully parsed invocation.
+    fn cmd(v: &[&str]) -> Command {
+        parse(&args(v)).unwrap().command
+    }
+
     #[test]
     fn parses_query_with_defaults() {
-        let cmd = parse(&args(&["query", "who knows php"])).unwrap();
         assert_eq!(
-            cmd,
+            cmd(&["query", "who knows php"]),
             Command::Query {
                 text: "who knows php".into(),
                 top: 10,
@@ -172,12 +261,8 @@ mod tests {
 
     #[test]
     fn parses_query_with_options() {
-        let cmd = parse(&args(&[
-            "query", "swimming", "--top", "3", "--platform", "tw", "--distance", "1",
-        ]))
-        .unwrap();
         assert_eq!(
-            cmd,
+            cmd(&["query", "swimming", "--top", "3", "--platform", "tw", "--distance", "1"]),
             Command::Query {
                 text: "swimming".into(),
                 top: 3,
@@ -190,28 +275,77 @@ mod tests {
     #[test]
     fn parses_eval_and_stats() {
         assert_eq!(
-            parse(&args(&["eval", "--platform", "li"])).unwrap(),
+            cmd(&["eval", "--platform", "li"]),
             Command::Eval {
                 platforms: PlatformMask::only(Platform::LinkedIn),
                 distance: Distance::D2
             }
         );
-        assert_eq!(parse(&args(&["stats"])).unwrap(), Command::Stats);
-        assert_eq!(parse(&args(&[])).unwrap(), Command::Help);
-        assert_eq!(parse(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(cmd(&["stats"]), Command::Stats);
+        assert_eq!(cmd(&[]), Command::Help);
+        assert_eq!(cmd(&["help"]), Command::Help);
     }
 
     #[test]
     fn parses_bench() {
+        assert_eq!(cmd(&["bench"]), Command::Bench { out: std::path::PathBuf::from(".") });
         assert_eq!(
-            parse(&args(&["bench"])).unwrap(),
-            Command::Bench { out: std::path::PathBuf::from(".") }
-        );
-        assert_eq!(
-            parse(&args(&["bench", "--out", "target/perf"])).unwrap(),
+            cmd(&["bench", "--out", "target/perf"]),
             Command::Bench { out: std::path::PathBuf::from("target/perf") }
         );
         assert!(parse(&args(&["bench", "--out"])).is_err());
+    }
+
+    #[test]
+    fn parses_metrics() {
+        assert_eq!(
+            cmd(&["metrics"]),
+            Command::Metrics { platforms: PlatformMask::ALL, distance: Distance::D2 }
+        );
+        assert_eq!(
+            cmd(&["metrics", "--platform", "fb", "--distance", "0"]),
+            Command::Metrics {
+                platforms: PlatformMask::only(Platform::Facebook),
+                distance: Distance::D0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_regress() {
+        assert_eq!(
+            cmd(&["regress", "BENCH_small.json", "target/BENCH_small.json"]),
+            Command::Regress {
+                baseline: std::path::PathBuf::from("BENCH_small.json"),
+                current: std::path::PathBuf::from("target/BENCH_small.json"),
+                threshold: 0.2,
+                warn_only: false,
+            }
+        );
+        assert_eq!(
+            cmd(&["regress", "a.json", "b.json", "--threshold", "0.5", "--warn-only"]),
+            Command::Regress {
+                baseline: std::path::PathBuf::from("a.json"),
+                current: std::path::PathBuf::from("b.json"),
+                threshold: 0.5,
+                warn_only: true,
+            }
+        );
+        assert!(parse(&args(&["regress", "only-one.json"])).is_err());
+        assert!(parse(&args(&["regress", "a", "b", "--threshold", "nope"])).is_err());
+        assert!(parse(&args(&["regress", "a", "b", "--threshold", "-1"])).is_err());
+    }
+
+    #[test]
+    fn parses_global_flags() {
+        let inv = parse(&args(&["bench", "--trace", "--scale", "tiny"])).unwrap();
+        assert!(inv.trace);
+        assert_eq!(inv.scale.as_deref(), Some("tiny"));
+        let inv = parse(&args(&["eval"])).unwrap();
+        assert!(!inv.trace);
+        assert_eq!(inv.scale, None);
+        assert!(parse(&args(&["bench", "--scale", "galactic"])).is_err());
+        assert!(parse(&args(&["bench", "--scale"])).is_err());
     }
 
     #[test]

@@ -19,19 +19,24 @@
 //! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
 //! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
 //! | `exp_all`      | everything above, in order, sharing one in-process [`Bench`] |
-//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats`, `rc bench` |
+//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats`, `rc bench`, `rc metrics`, `rc regress` |
 //!
 //! `rc bench` measures the retrieval hot path (per-query latency, the
 //! factored-vs-naive α-sweep speedup) and writes a `BENCH_<scale>.json`
-//! snapshot — see [`report`].
+//! snapshot — see [`report`]. Since the observability layer landed the
+//! snapshot also embeds a `metrics` member (counters, histograms, span
+//! timings from [`rightcrowd_obs`]); `rc metrics` prints the same registry
+//! after a workload run, and `rc regress` diffs two snapshots, failing on
+//! latency regressions past a threshold — see [`regress`].
 //!
 //! The dataset scale is selected with the `RIGHTCROWD_SCALE` environment
-//! variable: `tiny`, `small` (default) or `paper` (the full ~330k-resource
-//! study; expect a few minutes of corpus analysis).
+//! variable (or `rc --scale`): `tiny`, `small` (default) or `paper` (the
+//! full ~330k-resource study; expect a few minutes of corpus analysis).
 
 pub mod cli;
 pub mod experiments;
 pub mod paper;
+pub mod regress;
 pub mod report;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,493 @@
+//! `rc regress` — the perf-regression harness.
+//!
+//! Diffs two `BENCH_<scale>.json` snapshots (a committed baseline and a
+//! fresh run) over the latency-bearing keys and fails when any regresses
+//! past a relative threshold. Snapshots are produced by
+//! [`crate::report::BenchReport`]; the parser below is a minimal
+//! recursive-descent JSON reader (objects, arrays, strings, numbers,
+//! booleans, null) — enough for the snapshot schema while keeping the
+//! workspace free of serialisation dependencies.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (the subset the snapshots use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (all snapshot numbers fit f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps key order deterministic.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Member lookup on an object (`None` on other variants).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, JsonError> {
+        Err(JsonError { at: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {:?}", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => self.err(format!("unexpected byte {:?}", b as char)),
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected {word}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ascii");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => self.err(format!("invalid number {text:?}")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            // \uXXXX — decode the BMP code point (snapshot
+                            // strings never need surrogate pairs).
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError {
+                            at: self.pos,
+                            message: "invalid utf-8".into(),
+                        })?;
+                    let c = rest.chars().next().expect("non-empty checked above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+pub fn parse_json(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after document");
+    }
+    Ok(value)
+}
+
+/// The latency-bearing snapshot keys compared by the harness, in report
+/// order. Throughput and metric counters are informational, not gated.
+pub const LATENCY_KEYS: &[&str] = &[
+    "generate_ms",
+    "analyze_ms",
+    "query_p50_ms",
+    "query_p99_ms",
+    "alpha_sweep_naive_ms",
+    "alpha_sweep_factored_ms",
+];
+
+/// Sub-millisecond latencies jitter hard between runs; a delta is only a
+/// regression when it also exceeds this absolute slack (ms).
+const ABS_SLACK_MS: f64 = 0.05;
+
+/// One compared key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeyDelta {
+    /// The snapshot key.
+    pub key: &'static str,
+    /// Baseline value (ms).
+    pub baseline: f64,
+    /// Current value (ms).
+    pub current: f64,
+    /// `(current − baseline) / baseline` (0 when the baseline is 0).
+    pub ratio: f64,
+    /// Whether this key regressed past the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of one baseline/current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegressReport {
+    /// Relative threshold the comparison ran with.
+    pub threshold: f64,
+    /// Per-key deltas, [`LATENCY_KEYS`] order (missing keys skipped).
+    pub deltas: Vec<KeyDelta>,
+}
+
+impl RegressReport {
+    /// Compares two parsed snapshots.
+    pub fn compare(baseline: &Json, current: &Json, threshold: f64) -> Self {
+        let mut deltas = Vec::new();
+        for &key in LATENCY_KEYS {
+            let (Some(b), Some(c)) = (
+                baseline.get(key).and_then(Json::as_f64),
+                current.get(key).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let ratio = if b > 0.0 { (c - b) / b } else { 0.0 };
+            let regressed = ratio > threshold && (c - b) > ABS_SLACK_MS;
+            deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
+        }
+        RegressReport { threshold, deltas }
+    }
+
+    /// Whether any key regressed.
+    pub fn any_regressed(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// The comparison as an aligned table with a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<26} {:>12} {:>12} {:>9}  verdict\n",
+            "key", "baseline ms", "current ms", "delta"
+        );
+        for d in &self.deltas {
+            out.push_str(&format!(
+                "{:<26} {:>12.3} {:>12.3} {:>+8.1}%  {}\n",
+                d.key,
+                d.baseline,
+                d.current,
+                d.ratio * 100.0,
+                if d.regressed { "REGRESSED" } else { "ok" },
+            ));
+        }
+        if self.any_regressed() {
+            out.push_str(&format!(
+                "FAIL: latency regression beyond {:.0}% threshold\n",
+                self.threshold * 100.0
+            ));
+        } else {
+            out.push_str(&format!(
+                "OK: all keys within {:.0}% of baseline\n",
+                self.threshold * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Reads and compares two snapshot files.
+pub fn compare_files(
+    baseline: &std::path::Path,
+    current: &std::path::Path,
+    threshold: f64,
+) -> Result<RegressReport, String> {
+    let read = |path: &std::path::Path| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    Ok(RegressReport::compare(&read(baseline)?, &read(current)?, threshold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json(" false ").unwrap(), Json::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), Json::Num(42.0));
+        assert_eq!(parse_json("-1.5e2").unwrap(), Json::Num(-150.0));
+        assert_eq!(parse_json(r#""hi""#).unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        assert_eq!(
+            parse_json(r#""a\"b\\c\ndé""#).unwrap(),
+            Json::Str("a\"b\\c\ndé".into())
+        );
+        assert_eq!(parse_json(r#""naïve""#).unwrap(), Json::Str("naïve".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = parse_json(r#"{"a": [1, 2, {"b": true}], "c": {"d": null}}"#).unwrap();
+        let a = doc.get("a").unwrap();
+        assert_eq!(a, &Json::Arr(vec![
+            Json::Num(1.0),
+            Json::Num(2.0),
+            Json::Obj([("b".to_string(), Json::Bool(true))].into_iter().collect()),
+        ]));
+        assert_eq!(doc.get("c").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(parse_json("{}").unwrap(), Json::Obj(BTreeMap::new()));
+        assert_eq!(parse_json("[]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", r#"{"a" 1}"#, "tru", "1 2", r#""open"#] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn parses_a_real_bench_snapshot() {
+        let report = crate::report::BenchReport {
+            scale: "tiny".into(),
+            git_rev: "abc1234".into(),
+            git_dirty: false,
+            threads: 4,
+            unix_time: 1_700_000_000,
+            generate_ms: 10.0,
+            analyze_ms: 900.0,
+            retained_docs: 100,
+            queries: 30,
+            query_p50_ms: 1.0,
+            query_p99_ms: 2.0,
+            queries_per_sec: 500.0,
+            alpha_points: 11,
+            alpha_sweep_naive_ms: 300.0,
+            alpha_sweep_factored_ms: 60.0,
+            alpha_sweep_speedup: 5.0,
+            metrics: rightcrowd_obs::snapshot(),
+        };
+        let doc = parse_json(&report.to_json()).unwrap();
+        assert_eq!(doc.get("query_p50_ms").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(doc.get("git_dirty"), Some(&Json::Bool(false)));
+        assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
+    }
+
+    fn snap(p50: f64, p99: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"generate_ms": 10.0, "analyze_ms": 1000.0, "query_p50_ms": {p50},
+                "query_p99_ms": {p99}, "alpha_sweep_naive_ms": 300.0,
+                "alpha_sweep_factored_ms": 60.0}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn unchanged_snapshots_pass() {
+        let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
+        assert_eq!(r.deltas.len(), LATENCY_KEYS.len());
+        assert!(!r.any_regressed());
+        assert!(r.render().contains("OK:"));
+    }
+
+    #[test]
+    fn large_regression_fails() {
+        let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.5, 2.0), 0.2);
+        assert!(r.any_regressed());
+        let d = r.deltas.iter().find(|d| d.key == "query_p50_ms").unwrap();
+        assert!(d.regressed);
+        assert!((d.ratio - 0.5).abs() < 1e-12);
+        assert!(r.render().contains("REGRESSED"));
+        assert!(r.render().contains("FAIL:"));
+    }
+
+    #[test]
+    fn improvement_is_never_a_regression() {
+        let r = RegressReport::compare(&snap(2.0, 4.0), &snap(1.0, 2.0), 0.2);
+        assert!(!r.any_regressed());
+    }
+
+    #[test]
+    fn absolute_slack_forgives_tiny_jitter() {
+        // +50% relative but only +0.02 ms absolute: not a regression.
+        let r = RegressReport::compare(&snap(0.04, 2.0), &snap(0.06, 2.0), 0.2);
+        assert!(!r.any_regressed());
+    }
+
+    #[test]
+    fn missing_keys_are_skipped() {
+        let partial = parse_json(r#"{"query_p50_ms": 1.0}"#).unwrap();
+        let r = RegressReport::compare(&partial, &snap(1.0, 2.0), 0.2);
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].key, "query_p50_ms");
+    }
+
+    #[test]
+    fn compare_files_roundtrip() {
+        let dir = std::env::temp_dir().join("rc-regress-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let curr = dir.join("curr.json");
+        std::fs::write(&base, r#"{"query_p50_ms": 1.0}"#).unwrap();
+        std::fs::write(&curr, r#"{"query_p50_ms": 1.1}"#).unwrap();
+        let r = compare_files(&base, &curr, 0.2).unwrap();
+        assert!(!r.any_regressed());
+        assert!(compare_files(&dir.join("missing.json"), &curr, 0.2).is_err());
+    }
+}

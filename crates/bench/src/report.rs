@@ -25,6 +25,11 @@ pub struct BenchReport {
     /// Short git revision the snapshot was taken at (`unknown` outside a
     /// work tree).
     pub git_rev: String,
+    /// Whether the work tree had uncommitted changes at measurement time
+    /// (a dirty-tree snapshot is not reproducible from `git_rev`).
+    pub git_dirty: bool,
+    /// Available hardware parallelism on the measuring machine.
+    pub threads: usize,
     /// Seconds since the Unix epoch at measurement time.
     pub unix_time: u64,
     /// Dataset generation wall-clock, milliseconds.
@@ -49,6 +54,9 @@ pub struct BenchReport {
     pub alpha_sweep_factored_ms: f64,
     /// `alpha_sweep_naive_ms / alpha_sweep_factored_ms`.
     pub alpha_sweep_speedup: f64,
+    /// Counters, histograms and span timings accumulated over the run
+    /// (corpus build included — the bench does not reset the registry).
+    pub metrics: rightcrowd_obs::MetricsSnapshot,
 }
 
 /// The short revision of the repository containing the working directory.
@@ -64,12 +72,32 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
+/// Whether the work tree has uncommitted changes (`false` when git is
+/// unavailable, matching `git_rev`'s `unknown`).
+fn git_dirty() -> bool {
+    std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .is_some_and(|out| !out.stdout.is_empty())
+}
+
+/// Linearly-interpolated percentile over an ascending sample, `p` in
+/// `[0, 1]` (the "linear" / type-7 estimator: rank `p·(n−1)`, interpolating
+/// between the straddling order statistics).
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
-    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
-    sorted_ms[rank.min(sorted_ms.len() - 1)]
+    let rank = p.clamp(0.0, 1.0) * (sorted_ms.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        return sorted_ms[lo];
+    }
+    let frac = rank - lo as f64;
+    sorted_ms[lo] + (sorted_ms[hi] - sorted_ms[lo]) * frac
 }
 
 impl BenchReport {
@@ -94,7 +122,9 @@ impl BenchReport {
             let query = pipeline.analyze_query(&need.text);
             let ranking = rank_query(&bench.corpus, &attribution, &config, &query, n);
             std::hint::black_box(ranking);
-            latencies_ms.push(one.elapsed().as_secs_f64() * 1e3);
+            let elapsed = one.elapsed();
+            rightcrowd_obs::record(rightcrowd_obs::HistId::QueryLatency, elapsed);
+            latencies_ms.push(elapsed.as_secs_f64() * 1e3);
         }
         let total_s = started.elapsed().as_secs_f64();
         let mut sorted = latencies_ms.clone();
@@ -127,6 +157,8 @@ impl BenchReport {
         BenchReport {
             scale: scale_label(),
             git_rev: git_rev(),
+            git_dirty: git_dirty(),
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             unix_time: std::time::SystemTime::now()
                 .duration_since(std::time::UNIX_EPOCH)
                 .map_or(0, |d| d.as_secs()),
@@ -141,6 +173,9 @@ impl BenchReport {
             alpha_sweep_naive_ms: naive_ms,
             alpha_sweep_factored_ms: factored_ms,
             alpha_sweep_speedup: if factored_ms > 0.0 { naive_ms / factored_ms } else { 0.0 },
+            // The registry is not reset at measure start, so corpus-build
+            // spans and pipeline counters survive into the snapshot.
+            metrics: rightcrowd_obs::snapshot(),
         }
     }
 
@@ -162,14 +197,17 @@ impl BenchReport {
             format!("\"{escaped}\"")
         }
         format!(
-            "{{\n  \"scale\": {},\n  \"git_rev\": {},\n  \"unix_time\": {},\n  \
+            "{{\n  \"scale\": {},\n  \"git_rev\": {},\n  \"git_dirty\": {},\n  \
+             \"threads\": {},\n  \"unix_time\": {},\n  \
              \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"retained_docs\": {},\n  \
              \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
              \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
              \"alpha_sweep_naive_ms\": {},\n  \"alpha_sweep_factored_ms\": {},\n  \
-             \"alpha_sweep_speedup\": {}\n}}\n",
+             \"alpha_sweep_speedup\": {},\n  \"metrics\": {}\n}}\n",
             text(&self.scale),
             text(&self.git_rev),
+            self.git_dirty,
+            self.threads,
             self.unix_time,
             num(self.generate_ms),
             num(self.analyze_ms),
@@ -182,6 +220,7 @@ impl BenchReport {
             num(self.alpha_sweep_naive_ms),
             num(self.alpha_sweep_factored_ms),
             num(self.alpha_sweep_speedup),
+            self.metrics.to_json(2),
         )
     }
 
@@ -190,9 +229,10 @@ impl BenchReport {
         format!("BENCH_{}.json", self.scale)
     }
 
-    /// Writes the snapshot to `dir/BENCH_<scale>.json` and returns the
-    /// path.
+    /// Writes the snapshot to `dir/BENCH_<scale>.json` (creating `dir` if
+    /// needed) and returns the path.
     pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
         let path = dir.join(self.filename());
         std::fs::write(&path, self.to_json())?;
         Ok(path)
@@ -207,6 +247,8 @@ mod tests {
         BenchReport {
             scale: "tiny".into(),
             git_rev: "abc1234".into(),
+            git_dirty: true,
+            threads: 8,
             unix_time: 1_700_000_000,
             generate_ms: 12.5,
             analyze_ms: 800.25,
@@ -219,6 +261,11 @@ mod tests {
             alpha_sweep_naive_ms: 500.0,
             alpha_sweep_factored_ms: 50.0,
             alpha_sweep_speedup: 10.0,
+            metrics: rightcrowd_obs::MetricsSnapshot {
+                counters: vec![("postings_traversed", 1234)],
+                histograms: vec![],
+                spans: vec![],
+            },
         }
     }
 
@@ -228,6 +275,8 @@ mod tests {
         for key in [
             "scale",
             "git_rev",
+            "git_dirty",
+            "threads",
             "unix_time",
             "generate_ms",
             "analyze_ms",
@@ -240,13 +289,18 @@ mod tests {
             "alpha_sweep_naive_ms",
             "alpha_sweep_factored_ms",
             "alpha_sweep_speedup",
+            "metrics",
         ] {
             assert!(json.contains(&format!("\"{key}\": ")), "missing {key} in {json}");
         }
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("}\n"));
         assert!(json.contains("\"scale\": \"tiny\""));
+        assert!(json.contains("\"git_dirty\": true"));
+        assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"alpha_sweep_speedup\": 10.000"));
+        // The embedded metrics snapshot keeps its nested shape.
+        assert!(json.contains("\"postings_traversed\": 1234"));
     }
 
     #[test]
@@ -263,11 +317,52 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_pick_order_statistics() {
+    fn percentiles_interpolate_between_order_statistics() {
         let sorted = [1.0, 2.0, 3.0, 4.0, 10.0];
-        assert_eq!(percentile(&sorted, 0.5), 3.0);
-        assert_eq!(percentile(&sorted, 0.99), 10.0);
+        // Exact order statistics where the rank lands on a sample.
         assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 0.5), 3.0);
+        assert_eq!(percentile(&sorted, 1.0), 10.0);
+        // p99 over 5 samples: rank 3.96 → between 4.0 and 10.0.
+        assert!((percentile(&sorted, 0.99) - 9.76).abs() < 1e-12);
+        // p25 over 5 samples: rank exactly 1.0.
+        assert_eq!(percentile(&sorted, 0.25), 2.0);
+    }
+
+    #[test]
+    fn percentile_empty_input_is_zero() {
         assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_single_sample_is_constant() {
+        for p in [0.0, 0.37, 0.5, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.5], p), 7.5);
+        }
+    }
+
+    #[test]
+    fn percentile_even_count_interpolates_median() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        // Median rank 1.5 → midpoint of 2.0 and 3.0.
+        assert_eq!(percentile(&sorted, 0.5), 2.5);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        // rank 2.97 → 3.0 + 0.97·(4.0 − 3.0).
+        assert!((percentile(&sorted, 0.99) - 3.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_odd_count_hits_middle_sample() {
+        let sorted = [5.0, 6.0, 7.0];
+        assert_eq!(percentile(&sorted, 0.5), 6.0);
+        assert_eq!(percentile(&sorted, 0.25), 5.5);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let sorted = [1.0, 2.0];
+        assert_eq!(percentile(&sorted, -0.5), 1.0);
+        assert_eq!(percentile(&sorted, 1.5), 2.0);
     }
 }

@@ -29,6 +29,8 @@ pub struct Attribution {
 impl Attribution {
     /// Computes the attribution of `ds`'s candidates under `config`.
     pub fn compute(ds: &SyntheticDataset, corpus: &AnalyzedCorpus, config: &FinderConfig) -> Self {
+        let _span = rightcrowd_obs::span!("attribution.compute");
+        let _timer = rightcrowd_obs::time(rightcrowd_obs::HistId::AttributionComputeLatency);
         let opts = CollectOptions {
             max_distance: config.max_distance,
             include_friends: config.include_friends,
@@ -36,6 +38,7 @@ impl Attribution {
         };
         let mut by_doc: HashMap<DocIdx, Vec<(PersonId, Distance)>> = HashMap::new();
         let mut doc_counts = vec![0usize; ds.candidates().len()];
+        let mut by_distance = [0u64; 3];
         for person in ds.candidates() {
             for item in ds.graph().collect_evidence(person.id, &opts) {
                 // Documents dropped by the language gate are not indexed
@@ -43,10 +46,15 @@ impl Attribution {
                 let Some(idx) = corpus.doc_idx(item.doc) else {
                     continue;
                 };
+                by_distance[item.distance as usize] += 1;
                 by_doc.entry(idx).or_default().push((person.id, item.distance));
                 doc_counts[person.id.index()] += 1;
             }
         }
+        use rightcrowd_obs::CounterId;
+        rightcrowd_obs::add(CounterId::EvidenceDocsD0, by_distance[0]);
+        rightcrowd_obs::add(CounterId::EvidenceDocsD1, by_distance[1]);
+        rightcrowd_obs::add(CounterId::EvidenceDocsD2, by_distance[2]);
         Attribution { by_doc, doc_counts }
     }
 
@@ -107,6 +115,8 @@ impl TraversalShape {
 #[derive(Debug, Default)]
 pub struct AttributionCache {
     by_shape: HashMap<TraversalShape, Arc<Attribution>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl AttributionCache {
@@ -123,10 +133,26 @@ impl AttributionCache {
         corpus: &AnalyzedCorpus,
         config: &FinderConfig,
     ) -> Arc<Attribution> {
-        self.by_shape
-            .entry(TraversalShape::of(config))
-            .or_insert_with(|| Arc::new(Attribution::compute(ds, corpus, config)))
-            .clone()
+        use std::collections::hash_map::Entry;
+        match self.by_shape.entry(TraversalShape::of(config)) {
+            Entry::Occupied(e) => {
+                self.hits += 1;
+                rightcrowd_obs::incr(rightcrowd_obs::CounterId::AttributionCacheHits);
+                e.get().clone()
+            }
+            Entry::Vacant(e) => {
+                self.misses += 1;
+                rightcrowd_obs::incr(rightcrowd_obs::CounterId::AttributionCacheMisses);
+                e.insert(Arc::new(Attribution::compute(ds, corpus, config))).clone()
+            }
+        }
+    }
+
+    /// Lifetime `(hits, misses)` of this cache instance. The global
+    /// [`rightcrowd_obs`] counters aggregate across every cache in the
+    /// process; these stats isolate one cache for tests and sweeps.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     /// Number of distinct traversal shapes computed so far.

@@ -86,6 +86,7 @@ impl AnalyzedCorpus {
     /// document order, so the produced index is byte-identical to a
     /// sequential build regardless of the thread count.
     pub fn build_with(ds: &SyntheticDataset, options: &CorpusOptions) -> Self {
+        let _span = rightcrowd_obs::span!("corpus.build");
         let pipeline = AnalysisPipeline::with_config(ds.kb(), options.annotator.clone());
 
         // Work list: every document of the meta-model, profiles first
@@ -126,6 +127,7 @@ impl AnalyzedCorpus {
             } else {
                 Vec::new()
             };
+            let _timer = rightcrowd_obs::time(rightcrowd_obs::HistId::AnalyzeDocLatency);
             let analyzed = if ungated {
                 pipeline.analyze_doc_ungated(raw, &pages)
             } else {

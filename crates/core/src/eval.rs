@@ -79,6 +79,13 @@ impl<'a> EvalContext<'a> {
             .get_or_compute(self.ds, self.corpus, config)
     }
 
+    /// `(hits, misses)` of this context's attribution cache so far. Unlike
+    /// the process-global [`rightcrowd_obs`] counters, these stats are
+    /// scoped to one context and therefore stable under parallel tests.
+    pub fn attribution_cache_stats(&self) -> (u64, u64) {
+        self.attributions.lock().expect("attribution cache poisoned").stats()
+    }
+
     /// Runs the whole workload under `config`.
     pub fn run(&self, config: &FinderConfig) -> ConfigOutcome {
         let attribution = self.attribution(config);
@@ -113,6 +120,7 @@ impl<'a> EvalContext<'a> {
         config: &FinderConfig,
         attribution: &Attribution,
     ) -> ConfigOutcome {
+        let _span = rightcrowd_obs::span!("eval.run_workload");
         let pipeline = AnalysisPipeline::new(self.ds.kb());
         let n = self.ds.candidates().len();
         let results = crate::par::par_map(
@@ -138,6 +146,7 @@ impl<'a> EvalContext<'a> {
     /// recombined document scores. `base.retrieval` must be the paper's
     /// VSM — components are Eq. 1 factorings.
     pub fn run_alpha_sweep(&self, base: &FinderConfig, alphas: &[f64]) -> Vec<ConfigOutcome> {
+        let _span = rightcrowd_obs::span!("eval.alpha_sweep");
         debug_assert!(
             matches!(base.retrieval, crate::config::Retrieval::PaperVsm),
             "α sweeps factor the paper's VSM; BM25 has no component form"
@@ -342,6 +351,24 @@ mod tests {
         }
         // α and window sweeps share one attribution shape in the cache.
         assert_eq!(ctx.attributions.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn same_traversal_shape_hits_the_attribution_cache() {
+        let (ds, corpus) = setup();
+        let ctx = EvalContext::new(ds, corpus);
+        let base = FinderConfig::default();
+        assert_eq!(ctx.attribution_cache_stats(), (0, 0));
+        // Two runs whose configs share a traversal shape: one compute…
+        ctx.run(&base);
+        ctx.run(&base.clone().with_alpha(0.2));
+        let (hits, misses) = ctx.attribution_cache_stats();
+        assert_eq!(misses, 1, "same shape must compute exactly once");
+        assert!(hits >= 1, "second run must hit the cache, got {hits} hits");
+        // …and a different shape misses again.
+        ctx.run(&base.with_distance(Distance::D0));
+        let (_, misses) = ctx.attribution_cache_stats();
+        assert_eq!(misses, 2);
     }
 
     #[test]

@@ -59,9 +59,12 @@ impl<'kb> AnalysisPipeline<'kb> {
     /// Language identification runs on the document's own text — a
     /// non-English post is dropped even when it links an English page.
     pub fn analyze_doc(&self, raw: &str, pages: &[&str]) -> AnalyzedDoc {
+        let _span = rightcrowd_obs::span!("analyze.doc");
+        rightcrowd_obs::incr(rightcrowd_obs::CounterId::DocsAnalyzed);
         let sanitized = sanitize(raw);
         let language = self.identifier.detect(&sanitized.text);
         if !language.retained() {
+            rightcrowd_obs::incr(rightcrowd_obs::CounterId::DocsDroppedNonEnglish);
             return AnalyzedDoc { terms: Vec::new(), entities: Vec::new(), language };
         }
         self.extract(sanitized.text, pages, language)
@@ -72,6 +75,8 @@ impl<'kb> AnalysisPipeline<'kb> {
     /// and the study population is English-speaking, so profiles are
     /// analysed unconditionally (like queries).
     pub fn analyze_doc_ungated(&self, raw: &str, pages: &[&str]) -> AnalyzedDoc {
+        let _span = rightcrowd_obs::span!("analyze.doc");
+        rightcrowd_obs::incr(rightcrowd_obs::CounterId::DocsAnalyzed);
         let sanitized = sanitize(raw);
         let language = self.identifier.detect(&sanitized.text);
         self.extract(sanitized.text, pages, language)
@@ -79,6 +84,7 @@ impl<'kb> AnalysisPipeline<'kb> {
 
     /// Shared term/entity extraction over sanitised, page-enriched text.
     fn extract(&self, mut enriched: String, pages: &[&str], language: Language) -> AnalyzedDoc {
+        let _span = rightcrowd_obs::span!("analyze.enrich");
         for page in pages {
             enriched.push(' ');
             enriched.push_str(page);
@@ -100,6 +106,8 @@ impl<'kb> AnalysisPipeline<'kb> {
     /// assumed in-scope (the paper's workload is English); no language
     /// gate is applied.
     pub fn analyze_query(&self, text: &str) -> Query {
+        let _span = rightcrowd_obs::span!("analyze.query");
+        rightcrowd_obs::incr(rightcrowd_obs::CounterId::QueriesAnalyzed);
         let sanitized = sanitize(text);
         let tokens = tokenize(&sanitized.text);
         let entities = self

@@ -50,16 +50,19 @@ impl InvertedIndex {
     /// analogue, mixed by `alpha` like Eq. 1. Results are sorted like
     /// [`InvertedIndex::score_all`].
     pub fn score_all_bm25(&self, query: &Query, alpha: f64, params: Bm25Params) -> Vec<ScoredDoc> {
+        let _span = rightcrowd_obs::span!("index.score_all_bm25");
         let alpha = alpha.clamp(0.0, 1.0);
         let n = self.doc_count();
         let avg_len = self.avg_doc_len().max(1.0);
         let mut acc: HashMap<u32, f64> = HashMap::new();
+        let mut traversed = 0u64;
 
         if alpha > 0.0 {
             for term in &query.terms {
                 let Some((docs, tfs)) = self.term_list(term) else {
                     continue;
                 };
+                traversed += docs.len() as u64;
                 let idf = bm25_idf(n, docs.len());
                 for (&doc, &tf) in docs.iter().zip(tfs) {
                     let tf = tf as f64;
@@ -74,6 +77,7 @@ impl InvertedIndex {
                 let Some((docs, efs, wes)) = self.entity_list(entity) else {
                     continue;
                 };
+                traversed += docs.len() as u64;
                 let idf = bm25_idf(n, docs.len());
                 for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
                     let ef = ef as f64;
@@ -86,6 +90,7 @@ impl InvertedIndex {
             }
         }
 
+        rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
         let mut scored: Vec<ScoredDoc> = acc
             .into_iter()
             .filter(|&(_, s)| s > 0.0)

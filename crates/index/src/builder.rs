@@ -88,6 +88,7 @@ impl IndexBuilder {
     /// the lists into CSR arrays and precomputes the `irf`/`eirf` tables
     /// and per-list maxima for pruning.
     pub fn build(self) -> InvertedIndex {
+        let _span = rightcrowd_obs::span!("index.build");
         let doc_count = self.doc_lens.len();
         let irf_of = |df: usize| (1.0 + doc_count as f64 / df as f64).ln();
 

@@ -341,7 +341,12 @@ impl InvertedIndex {
     /// touched document. The contribution order per document — query terms
     /// in order, then query entities in order, postings ascending by doc —
     /// reproduces the reference scorer's float-addition sequence exactly.
-    fn accumulate(&self, query: &Query, alpha: f64, s: &mut Scratch) {
+    ///
+    /// Returns the number of postings traversed, accumulated locally so
+    /// the hot loop carries no atomic traffic; the caller publishes it to
+    /// the observability counters once.
+    fn accumulate(&self, query: &Query, alpha: f64, s: &mut Scratch) -> u64 {
+        let mut traversed = 0u64;
         s.begin(self.doc_count());
         if alpha > 0.0 {
             for term in &query.terms {
@@ -351,6 +356,7 @@ impl InvertedIndex {
                 let irf = self.terms.irf[id as usize];
                 let w = alpha * irf * irf;
                 let (docs, tfs) = self.terms.list(id);
+                traversed += docs.len() as u64;
                 for (&doc, &tf) in docs.iter().zip(tfs) {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
@@ -370,6 +376,7 @@ impl InvertedIndex {
                 let eirf = self.entities.eirf[id as usize];
                 let w = (1.0 - alpha) * eirf * eirf;
                 let (docs, efs, wes) = self.entities.list(id);
+                traversed += docs.len() as u64;
                 for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
@@ -381,16 +388,19 @@ impl InvertedIndex {
                 }
             }
         }
+        traversed
     }
 
     /// Scores the whole collection against `query` with mixing weight
     /// `alpha` (Eq. 1) and returns every positive-scoring document, sorted
     /// by descending score (ties broken by ascending doc for determinism).
     pub fn score_all(&self, query: &Query, alpha: f64) -> Vec<ScoredDoc> {
+        let _span = rightcrowd_obs::span!("index.score_all");
         let alpha = alpha.clamp(0.0, 1.0);
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
-            self.accumulate(query, alpha, s);
+            let traversed = self.accumulate(query, alpha, s);
+            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
             let mut scored: Vec<ScoredDoc> = s
                 .touched
                 .iter()
@@ -427,7 +437,13 @@ impl InvertedIndex {
         if k == 0 {
             return Vec::new();
         }
+        let _span = rightcrowd_obs::span!("index.score_top_k");
         let alpha = alpha.clamp(0.0, 1.0);
+
+        // Observability tallies, accumulated locally (no atomics in the
+        // hot loop) and published once on the way out.
+        let mut traversed = 0u64;
+        let mut pruned = 0u64;
 
         // Active posting lists in accumulation order (terms before
         // entities, query order within each side), each with an upper
@@ -508,10 +524,12 @@ impl InvertedIndex {
                         let irf = self.terms.irf[*id as usize];
                         let w = alpha * irf * irf;
                         let (docs, tfs) = self.terms.list(*id);
+                        traversed += docs.len() as u64;
                         for (&doc, &tf) in docs.iter().zip(tfs) {
                             let d = doc as usize;
                             if s.stamps[d] != s.epoch {
                                 if skip_new {
+                                    pruned += 1;
                                     continue;
                                 }
                                 s.stamps[d] = s.epoch;
@@ -525,10 +543,12 @@ impl InvertedIndex {
                         let eirf = self.entities.eirf[*id as usize];
                         let w = (1.0 - alpha) * eirf * eirf;
                         let (docs, efs, wes) = self.entities.list(*id);
+                        traversed += docs.len() as u64;
                         for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
                             let d = doc as usize;
                             if s.stamps[d] != s.epoch {
                                 if skip_new {
+                                    pruned += 1;
                                     continue;
                                 }
                                 s.stamps[d] = s.epoch;
@@ -540,6 +560,12 @@ impl InvertedIndex {
                     }
                 }
             }
+            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
+            rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscorePruned, pruned);
+            rightcrowd_obs::add(
+                rightcrowd_obs::CounterId::MaxscoreAdmitted,
+                s.touched.len() as u64,
+            );
 
             let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(heap_capacity(k));
             for &doc in &s.touched {
@@ -563,6 +589,8 @@ impl InvertedIndex {
     /// [`recombine`] / [`recombine_top_k`] to obtain the ranking for any
     /// α without touching the postings again.
     pub fn score_components(&self, query: &Query) -> Vec<ComponentScore> {
+        let _span = rightcrowd_obs::span!("index.score_components");
+        let mut traversed = 0u64;
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
             s.begin(self.doc_count());
@@ -573,6 +601,7 @@ impl InvertedIndex {
                 let irf = self.terms.irf[id as usize];
                 let w = irf * irf;
                 let (docs, tfs) = self.terms.list(id);
+                traversed += docs.len() as u64;
                 for (&doc, &tf) in docs.iter().zip(tfs) {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
@@ -591,6 +620,7 @@ impl InvertedIndex {
                 let eirf = self.entities.eirf[id as usize];
                 let w = eirf * eirf;
                 let (docs, efs, wes) = self.entities.list(id);
+                traversed += docs.len() as u64;
                 for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
@@ -602,6 +632,7 @@ impl InvertedIndex {
                     s.acc2[d] += w * ef as f64 * we;
                 }
             }
+            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
             s.touched.sort_unstable();
             s.touched
                 .iter()

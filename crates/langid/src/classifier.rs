@@ -55,6 +55,7 @@ impl LanguageIdentifier {
 
     /// Classifies `text`, returning the best language and a confidence.
     pub fn classify(&self, text: &str) -> Classification {
+        let _span = rightcrowd_obs::span!("langid.classify");
         let informative: usize = text.chars().filter(|c| c.is_alphabetic()).count();
         if informative < MIN_TEXT_LEN {
             return Classification::UNKNOWN;

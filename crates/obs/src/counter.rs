@@ -1,0 +1,154 @@
+//! The fixed counter taxonomy: relaxed atomic event counters on a static
+//! array, addressed by enum — no hashing, no locking, one `fetch_add` per
+//! publish.
+//!
+//! Hot loops must not increment per element; they accumulate into a local
+//! `u64` and [`add`] once per call (see `InvertedIndex::score_top_k` for
+//! the pattern). With feature `obs-off` every operation is an empty
+//! `#[inline]` function and reads return zero.
+
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// One global event counter. Names are the JSON keys of the
+/// `metrics.counters` section of `BENCH_<scale>.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// Postings visited by any Eq. 1 scoring path (term + entity sides).
+    PostingsTraversed,
+    /// Documents admitted into the scoring accumulator by the MaxScore
+    /// top-k path.
+    MaxscoreAdmitted,
+    /// First-appearance documents skipped by the MaxScore bound (their
+    /// best achievable score could not reach the top k).
+    MaxscorePruned,
+    /// `AttributionCache` lookups served from the memoised table.
+    AttributionCacheHits,
+    /// `AttributionCache` lookups that computed a new evidence walk.
+    AttributionCacheMisses,
+    /// Expertise needs analysed into queries.
+    QueriesAnalyzed,
+    /// Documents pushed through the Fig. 4 analysis pipeline.
+    DocsAnalyzed,
+    /// Documents dropped by the language gate.
+    DocsDroppedNonEnglish,
+    /// Evidence documents attributed at distance 0 (own profiles).
+    EvidenceDocsD0,
+    /// Evidence documents attributed at distance 1 (direct resources).
+    EvidenceDocsD1,
+    /// Evidence documents attributed at distance 2 (container/friend
+    /// resources).
+    EvidenceDocsD2,
+    /// Entity annotations produced by the TAGME-style annotator.
+    EntitiesAnnotated,
+    /// Normalised terms produced by the text processor.
+    TermsProcessed,
+}
+
+impl CounterId {
+    /// Every counter, in rendering order.
+    pub const ALL: [CounterId; 13] = [
+        CounterId::PostingsTraversed,
+        CounterId::MaxscoreAdmitted,
+        CounterId::MaxscorePruned,
+        CounterId::AttributionCacheHits,
+        CounterId::AttributionCacheMisses,
+        CounterId::QueriesAnalyzed,
+        CounterId::DocsAnalyzed,
+        CounterId::DocsDroppedNonEnglish,
+        CounterId::EvidenceDocsD0,
+        CounterId::EvidenceDocsD1,
+        CounterId::EvidenceDocsD2,
+        CounterId::EntitiesAnnotated,
+        CounterId::TermsProcessed,
+    ];
+
+    /// The counter's snake_case name (JSON key and table label).
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::PostingsTraversed => "postings_traversed",
+            CounterId::MaxscoreAdmitted => "maxscore_admitted",
+            CounterId::MaxscorePruned => "maxscore_pruned",
+            CounterId::AttributionCacheHits => "attribution_cache_hits",
+            CounterId::AttributionCacheMisses => "attribution_cache_misses",
+            CounterId::QueriesAnalyzed => "queries_analyzed",
+            CounterId::DocsAnalyzed => "docs_analyzed",
+            CounterId::DocsDroppedNonEnglish => "docs_dropped_non_english",
+            CounterId::EvidenceDocsD0 => "evidence_docs_d0",
+            CounterId::EvidenceDocsD1 => "evidence_docs_d1",
+            CounterId::EvidenceDocsD2 => "evidence_docs_d2",
+            CounterId::EntitiesAnnotated => "entities_annotated",
+            CounterId::TermsProcessed => "terms_processed",
+        }
+    }
+}
+
+// A const item is the MSRV-compatible way to repeat a non-Copy zero into
+// a static array; each repetition is a fresh atomic, not a shared one.
+#[cfg(not(feature = "obs-off"))]
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[cfg(not(feature = "obs-off"))]
+static COUNTERS: [AtomicU64; CounterId::ALL.len()] = [ZERO; CounterId::ALL.len()];
+
+/// Adds `n` to a counter (relaxed; a no-op under `obs-off`).
+#[inline]
+pub fn add(id: CounterId, n: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    COUNTERS[id as usize].fetch_add(n, Relaxed);
+    #[cfg(feature = "obs-off")]
+    let _ = (id, n);
+}
+
+/// The current value of a counter (zero under `obs-off`).
+#[inline]
+pub fn get(id: CounterId) -> u64 {
+    #[cfg(not(feature = "obs-off"))]
+    return COUNTERS[id as usize].load(Relaxed);
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = id;
+        0
+    }
+}
+
+/// Resets every counter to zero.
+pub fn reset_counters() {
+    #[cfg(not(feature = "obs-off"))]
+    for c in &COUNTERS {
+        c.store(0, Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counters are process-global, so tests only make monotonic
+    // (delta-based) assertions that stay valid under parallel execution.
+    #[test]
+    fn add_accumulates_relaxed() {
+        let before = get(CounterId::TermsProcessed);
+        add(CounterId::TermsProcessed, 5);
+        add(CounterId::TermsProcessed, 2);
+        let after = get(CounterId::TermsProcessed);
+        if cfg!(feature = "obs-off") {
+            assert_eq!(after, 0);
+        } else {
+            assert!(after >= before + 7, "{before} -> {after}");
+        }
+    }
+
+    #[test]
+    fn names_are_snake_case_and_unique() {
+        let names: Vec<_> = CounterId::ALL.iter().map(|c| c.name()).collect();
+        for name in &names {
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len());
+    }
+}

@@ -1,0 +1,299 @@
+//! Log-bucketed latency histograms.
+//!
+//! Each histogram is a fixed array of 64 power-of-two nanosecond buckets
+//! (`bucket b` covers `[2^(b-1), 2^b)` ns) plus exact count/sum, all
+//! relaxed atomics — recording from `par_map` workers needs no
+//! coordination, and two histograms merge bucket-wise. Percentiles are
+//! resolved to the upper bound of the covering bucket, i.e. within 2× of
+//! the true order statistic, which is plenty for regression tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(not(feature = "obs-off"))]
+use std::time::Instant;
+
+const BUCKETS: usize = 64;
+
+/// One global latency histogram. Names are the JSON keys of the
+/// `metrics.histograms` section of `BENCH_<scale>.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum HistId {
+    /// Full single-query serving latency (analyse + retrieve + rank).
+    QueryLatency,
+    /// Per-document Fig. 4 pipeline latency during corpus analysis.
+    AnalyzeDocLatency,
+    /// Full evidence-walk latency of one `Attribution::compute`.
+    AttributionComputeLatency,
+}
+
+impl HistId {
+    /// Every histogram, in rendering order.
+    pub const ALL: [HistId; 3] =
+        [HistId::QueryLatency, HistId::AnalyzeDocLatency, HistId::AttributionComputeLatency];
+
+    /// The histogram's snake_case name (JSON key and table label).
+    pub const fn name(self) -> &'static str {
+        match self {
+            HistId::QueryLatency => "query_latency",
+            HistId::AnalyzeDocLatency => "analyze_doc_latency",
+            HistId::AttributionComputeLatency => "attribution_compute_latency",
+        }
+    }
+}
+
+/// A mergeable, thread-safe log-bucketed histogram of nanosecond values.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+// See counter.rs: const-item repetition creates independent atomics.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram { buckets: [ZERO; BUCKETS], count: AtomicU64::new(0), sum_ns: AtomicU64::new(0) }
+    }
+
+    /// Records one nanosecond observation.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let b = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of recorded nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns.load(Relaxed)
+    }
+
+    /// Adds every observation of `other` into `self` (bucket-wise; used to
+    /// fold worker-local histograms into a global one).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count.load(Relaxed), Relaxed);
+        self.sum_ns.fetch_add(other.sum_ns.load(Relaxed), Relaxed);
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) in nanoseconds, resolved to the
+    /// upper bound of the covering bucket; 0 when empty.
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Nearest-rank over buckets: the smallest bucket whose cumulative
+        // count reaches ceil(p · count).
+        let target = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Relaxed);
+            if seen >= target {
+                return bucket_upper_ns(b);
+            }
+        }
+        bucket_upper_ns(BUCKETS - 1)
+    }
+
+    /// Freezes the histogram into a plain summary.
+    pub fn summarize(&self) -> HistogramSummary {
+        let count = self.count();
+        HistogramSummary {
+            count,
+            mean_us: if count == 0 { 0.0 } else { self.sum_ns() as f64 / count as f64 / 1e3 },
+            p50_us: self.percentile_ns(0.50) as f64 / 1e3,
+            p90_us: self.percentile_ns(0.90) as f64 / 1e3,
+            p99_us: self.percentile_ns(0.99) as f64 / 1e3,
+            max_us: self.percentile_ns(1.0) as f64 / 1e3,
+        }
+    }
+
+    /// Clears every bucket.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum_ns.store(0, Relaxed);
+    }
+}
+
+/// Upper bound of bucket `b` in nanoseconds.
+fn bucket_upper_ns(b: usize) -> u64 {
+    if b >= 63 {
+        u64::MAX
+    } else {
+        1u64 << b
+    }
+}
+
+/// A frozen histogram: exact count and mean, bucket-resolved percentiles
+/// in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Exact mean (from the atomic sum), microseconds.
+    pub mean_us: f64,
+    /// Median, resolved to the covering power-of-two bucket, microseconds.
+    pub p50_us: f64,
+    /// 90th percentile, bucket-resolved, microseconds.
+    pub p90_us: f64,
+    /// 99th percentile, bucket-resolved, microseconds.
+    pub p99_us: f64,
+    /// Largest observation's bucket bound, microseconds.
+    pub max_us: f64,
+}
+
+#[cfg(not(feature = "obs-off"))]
+static HISTS: [Histogram; HistId::ALL.len()] =
+    [Histogram::new(), Histogram::new(), Histogram::new()];
+
+/// Records `ns` into a global histogram (a no-op under `obs-off`).
+#[inline]
+pub fn record_ns(id: HistId, ns: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    HISTS[id as usize].record_ns(ns);
+    #[cfg(feature = "obs-off")]
+    let _ = (id, ns);
+}
+
+/// Summarises a global histogram (empty under `obs-off`).
+pub fn summarize(id: HistId) -> HistogramSummary {
+    #[cfg(not(feature = "obs-off"))]
+    return HISTS[id as usize].summarize();
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = id;
+        HistogramSummary::default()
+    }
+}
+
+/// Resets every global histogram.
+pub fn reset_hists() {
+    #[cfg(not(feature = "obs-off"))]
+    for h in &HISTS {
+        h.reset();
+    }
+}
+
+/// Records the wall time of a scope into a global histogram on drop.
+#[derive(Debug)]
+pub struct TimerGuard {
+    #[cfg(not(feature = "obs-off"))]
+    id: HistId,
+    #[cfg(not(feature = "obs-off"))]
+    start: Instant,
+}
+
+impl TimerGuard {
+    /// Starts timing for `id`.
+    #[inline]
+    pub fn start(id: HistId) -> Self {
+        #[cfg(not(feature = "obs-off"))]
+        return TimerGuard { id, start: Instant::now() };
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = id;
+            TimerGuard {}
+        }
+    }
+}
+
+impl Drop for TimerGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        record_ns(self.id, self.start.elapsed().as_nanos() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile_ns(0.5), 0);
+        assert_eq!(h.summarize(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_bounds() {
+        let h = Histogram::new();
+        for ns in [100u64, 200, 400, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 4);
+        // 100 lands in (64, 128]; p25 → 128.
+        assert_eq!(h.percentile_ns(0.25), 128);
+        // The outlier dominates the tail.
+        assert_eq!(h.percentile_ns(1.0), 131_072);
+        let s = h.summarize();
+        assert!((s.mean_us - 25.175).abs() < 1e-9, "{}", s.mean_us);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_sums() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns(1_000);
+        b.record_ns(2_000);
+        b.record_ns(3_000);
+        a.merge_from(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum_ns(), 6_000);
+    }
+
+    #[test]
+    fn zero_and_huge_values_stay_in_range() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile_ns(1.0) > 0);
+    }
+
+    #[test]
+    fn global_roundtrip() {
+        record_ns(HistId::AttributionComputeLatency, 5_000);
+        let s = summarize(HistId::AttributionComputeLatency);
+        if cfg!(feature = "obs-off") {
+            assert_eq!(s.count, 0);
+        } else {
+            assert!(s.count >= 1);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = HistId::ALL.iter().map(|h| h.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), HistId::ALL.len());
+    }
+}

@@ -1,0 +1,69 @@
+//! # rightcrowd-obs
+//!
+//! Zero-external-dependency observability for the expert-finding pipeline:
+//! the measurement substrate behind `rc bench`, `rc metrics` and the
+//! perf-regression harness.
+//!
+//! Three probe families, one global registry:
+//!
+//! - **Spans** ([`span!`]) — lightweight scoped timers with thread-local
+//!   nesting. Each scope records wall time and call count under its full
+//!   path (`corpus.build/analyze.doc/langid.classify`); the aggregate
+//!   table is rendered as a tree by `rc --trace` and serialised into
+//!   `BENCH_<scale>.json`.
+//! - **Counters** ([`counter::CounterId`]) — a fixed taxonomy of relaxed
+//!   atomic event counters for the hot query path: postings traversed,
+//!   documents admitted/pruned by the MaxScore top-k, attribution-cache
+//!   hits/misses, per-distance evidence volumes. Hot loops accumulate
+//!   locally and publish once per call, so the per-posting cost is zero.
+//! - **Histograms** ([`hist::HistId`]) — log-bucketed (power-of-two)
+//!   latency histograms with atomic buckets, safely shared across
+//!   `par_map` workers and mergeable.
+//!
+//! [`snapshot()`] freezes all three into a [`MetricsSnapshot`] that
+//! serialises to JSON (hand-rolled, dependency-free) or renders as human
+//! tables. [`reset()`] clears the registry between measurement phases.
+//!
+//! ## Cost model
+//!
+//! Probes are always-cheap-when-disabled: counters are single relaxed
+//! `fetch_add`s on a static array (no hashing), spans check an atomic
+//! enable flag before touching the clock, and the `obs-off` cargo feature
+//! compiles every probe into an empty inline function so the instrumented
+//! binary is bit-for-bit as fast as an uninstrumented one.
+
+pub mod counter;
+pub mod hist;
+pub mod snapshot;
+pub mod span;
+
+pub use counter::CounterId;
+pub use hist::HistId;
+pub use snapshot::{reset, snapshot, MetricsSnapshot};
+pub use span::{set_spans_enabled, SpanGuard, SpanStat};
+
+/// Convenience re-export: add `n` to a global counter.
+#[inline]
+pub fn add(id: CounterId, n: u64) {
+    counter::add(id, n);
+}
+
+/// Convenience re-export: increment a global counter by one.
+#[inline]
+pub fn incr(id: CounterId) {
+    counter::add(id, 1);
+}
+
+/// Convenience re-export: record a duration into a global histogram.
+#[inline]
+pub fn record(id: HistId, elapsed: std::time::Duration) {
+    hist::record_ns(id, elapsed.as_nanos() as u64);
+}
+
+/// Times the enclosed scope into a global histogram: returns a guard that
+/// records the elapsed wall time on drop.
+#[inline]
+#[must_use = "the timer records when the guard drops"]
+pub fn time(id: HistId) -> hist::TimerGuard {
+    hist::TimerGuard::start(id)
+}

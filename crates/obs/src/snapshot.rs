@@ -1,0 +1,212 @@
+//! The registry snapshot: freezes counters, histograms and spans into one
+//! serialisable [`MetricsSnapshot`].
+//!
+//! The JSON writer is hand-rolled (objects, strings, integers and fixed
+//! 3-decimal floats only) to keep the workspace free of serialisation
+//! dependencies; `BENCH_<scale>.json` embeds the snapshot verbatim as its
+//! `metrics` member.
+
+use crate::counter::{self, CounterId};
+use crate::hist::{self, HistId, HistogramSummary};
+use crate::span::{self, SpanStat};
+
+/// A frozen view of the whole metrics registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, [`CounterId::ALL`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, summary)` for every histogram, [`HistId::ALL`] order.
+    pub histograms: Vec<(&'static str, HistogramSummary)>,
+    /// `(path, stat)` for every recorded span, sorted by path.
+    pub spans: Vec<(String, SpanStat)>,
+}
+
+/// Freezes the registry. Flushes the calling thread's pending spans
+/// first; spans still open on *other* live threads are not included until
+/// those threads exit or flush.
+pub fn snapshot() -> MetricsSnapshot {
+    span::flush_thread();
+    MetricsSnapshot {
+        counters: CounterId::ALL.iter().map(|&c| (c.name(), counter::get(c))).collect(),
+        histograms: HistId::ALL.iter().map(|&h| (h.name(), hist::summarize(h))).collect(),
+        spans: span::spans_snapshot(),
+    }
+}
+
+/// Clears every counter, histogram and span (e.g. between measurement
+/// phases of a benchmark).
+pub fn reset() {
+    counter::reset_counters();
+    hist::reset_hists();
+    span::reset_spans();
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+impl MetricsSnapshot {
+    /// The value of a counter in this snapshot (0 when absent).
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters
+            .iter()
+            .find(|(name, _)| *name == id.name())
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// The stat recorded under a span path, if any.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|(p, _)| p == path).map(|(_, s)| s)
+    }
+
+    /// The snapshot as a pretty-printed JSON object, each line prefixed
+    /// with `indent` spaces (the opening brace is not indented, so the
+    /// result drops into a parent object after a key).
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::from("{\n");
+
+        out.push_str(&format!("{pad}  \"counters\": {{\n"));
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            let comma = if i + 1 < self.counters.len() { "," } else { "" };
+            out.push_str(&format!("{pad}    \"{name}\": {value}{comma}\n"));
+        }
+        out.push_str(&format!("{pad}  }},\n"));
+
+        out.push_str(&format!("{pad}  \"histograms\": {{\n"));
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            let comma = if i + 1 < self.histograms.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{pad}    \"{name}\": {{\"count\": {}, \"mean_us\": {}, \"p50_us\": {}, \
+                 \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}}}{comma}\n",
+                s.count,
+                fmt_f64(s.mean_us),
+                fmt_f64(s.p50_us),
+                fmt_f64(s.p90_us),
+                fmt_f64(s.p99_us),
+                fmt_f64(s.max_us),
+            ));
+        }
+        out.push_str(&format!("{pad}  }},\n"));
+
+        out.push_str(&format!("{pad}  \"spans\": {{\n"));
+        for (i, (path, stat)) in self.spans.iter().enumerate() {
+            let comma = if i + 1 < self.spans.len() { "," } else { "" };
+            out.push_str(&format!(
+                "{pad}    \"{}\": {{\"calls\": {}, \"total_ms\": {}, \"self_ms\": {}}}{comma}\n",
+                json_escape(path),
+                stat.calls,
+                fmt_f64(stat.total_ns as f64 / 1e6),
+                fmt_f64(stat.self_ns() as f64 / 1e6),
+            ));
+        }
+        out.push_str(&format!("{pad}  }}\n"));
+
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+
+    /// Human-readable tables: counters, histograms, then the span tree —
+    /// the body of `rc metrics`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== counters ==\n");
+        for (name, value) in &self.counters {
+            out.push_str(&format!("  {name:<28} {value:>14}\n"));
+        }
+        out.push_str("\n== histograms (µs) ==\n");
+        out.push_str(&format!(
+            "  {:<28} {:>9} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p90", "p99", "max"
+        ));
+        for (name, s) in &self.histograms {
+            out.push_str(&format!(
+                "  {:<28} {:>9} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                name, s.count, s.mean_us, s.p50_us, s.p90_us, s.p99_us, s.max_us
+            ));
+        }
+        out.push_str("\n== spans ==\n");
+        out.push_str(&span::render_tree(&self.spans));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_lists_full_taxonomy() {
+        let snap = snapshot();
+        assert_eq!(snap.counters.len(), CounterId::ALL.len());
+        assert_eq!(snap.histograms.len(), HistId::ALL.len());
+        assert_eq!(snap.counters[0].0, "postings_traversed");
+    }
+
+    #[test]
+    fn json_is_nested_and_complete() {
+        let snap = MetricsSnapshot {
+            counters: vec![("postings_traversed", 42), ("maxscore_pruned", 7)],
+            histograms: vec![(
+                "query_latency",
+                HistogramSummary {
+                    count: 3,
+                    mean_us: 1.5,
+                    p50_us: 1.0,
+                    p90_us: 2.0,
+                    p99_us: 2.0,
+                    max_us: 2.0,
+                },
+            )],
+            spans: vec![(
+                "a/b".to_string(),
+                SpanStat { calls: 2, total_ns: 3_000_000, child_ns: 1_000_000 },
+            )],
+        };
+        let json = snap.to_json(2);
+        assert!(json.contains("\"postings_traversed\": 42"));
+        assert!(json.contains("\"maxscore_pruned\": 7"));
+        assert!(json.contains("\"query_latency\": {\"count\": 3"));
+        assert!(json.contains("\"a/b\": {\"calls\": 2, \"total_ms\": 3.000, \"self_ms\": 2.000}"));
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("  }"));
+        // No trailing commas before closing braces.
+        assert!(!json.contains(",\n  }"));
+    }
+
+    #[test]
+    fn accessors_find_by_name() {
+        let snap = MetricsSnapshot {
+            counters: vec![("postings_traversed", 9)],
+            histograms: vec![],
+            spans: vec![("x".to_string(), SpanStat { calls: 1, total_ns: 10, child_ns: 0 })],
+        };
+        assert_eq!(snap.counter(CounterId::PostingsTraversed), 9);
+        assert_eq!(snap.counter(CounterId::MaxscorePruned), 0);
+        assert_eq!(snap.span("x").unwrap().calls, 1);
+        assert!(snap.span("y").is_none());
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let text = snapshot().render();
+        assert!(text.contains("== counters =="));
+        assert!(text.contains("== histograms"));
+        assert!(text.contains("== spans =="));
+    }
+}

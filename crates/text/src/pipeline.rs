@@ -65,6 +65,7 @@ impl TextProcessor {
 
     /// Runs the full pipeline on `raw`.
     pub fn process(&self, raw: &str) -> ProcessedText {
+        let _span = rightcrowd_obs::span!("text.process");
         let sanitized = sanitize(raw);
         let mut terms = Vec::new();
         for token in tokenize(&sanitized.text) {
@@ -76,12 +77,14 @@ impl TextProcessor {
                 terms.push(term);
             }
         }
+        rightcrowd_obs::add(rightcrowd_obs::CounterId::TermsProcessed, terms.len() as u64);
         ProcessedText { terms, urls: sanitized.urls }
     }
 
     /// Processes text that is already clean (no URLs/markup expected), e.g.
     /// generator-produced web-page bodies. Skips the sanitiser.
     pub fn process_clean(&self, clean: &str) -> Vec<String> {
+        let _span = rightcrowd_obs::span!("text.process");
         let mut terms = Vec::new();
         for token in tokenize(clean) {
             if self.config.remove_stopwords && is_english_stopword(&token) {
@@ -92,6 +95,7 @@ impl TextProcessor {
                 terms.push(term);
             }
         }
+        rightcrowd_obs::add(rightcrowd_obs::CounterId::TermsProcessed, terms.len() as u64);
         terms
     }
 }

@@ -1,0 +1,106 @@
+//! End-to-end observability: building a corpus and serving queries must
+//! leave a meaningful trail in the metrics registry — pipeline spans,
+//! postings-traversal counters, attribution-cache hits.
+//!
+//! Compiled out under `--features obs-off`, where every probe is a no-op
+//! and the registry stays empty (the parity suite covers that build).
+
+#![cfg(not(feature = "obs-off"))]
+
+use rightcrowd::core::{AnalysisPipeline, AnalyzedCorpus, EvalContext, FinderConfig};
+use rightcrowd::obs;
+use rightcrowd::synth::{DatasetConfig, SyntheticDataset};
+
+/// One test drives the whole flow so the registry assertions see a known
+/// sequence (the registry is process-global; parallel tests would race).
+#[test]
+fn pipeline_and_query_path_populate_the_registry() {
+    let before = obs::snapshot();
+
+    // Corpus analysis: spans from the Fig. 4 stages, pipeline counters.
+    let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+    let corpus = AnalyzedCorpus::build(&ds);
+    assert!(corpus.retained() > 0);
+
+    let after_build = obs::snapshot();
+    let delta = |id| after_build.counter(id) - before.counter(id);
+    assert!(delta(obs::CounterId::DocsAnalyzed) > 0, "analyze.doc probes missing");
+    assert!(
+        delta(obs::CounterId::DocsDroppedNonEnglish) > 0,
+        "the language gate drops documents on tiny"
+    );
+    assert!(delta(obs::CounterId::TermsProcessed) > 0);
+    assert!(delta(obs::CounterId::EntitiesAnnotated) > 0);
+    // Worker spans are roots of their own threads on multi-core machines
+    // but nest under the caller when `par_map` degrades to an inline map,
+    // so stages are matched by leaf name, not full path.
+    let leaf_calls = |snap: &obs::MetricsSnapshot, name: &str| -> u64 {
+        snap.spans
+            .iter()
+            .filter(|(p, _)| p.rsplit('/').next() == Some(name))
+            .map(|(_, s)| s.calls)
+            .sum()
+    };
+    for name in ["corpus.build", "analyze.doc", "analyze.enrich", "index.build"] {
+        assert!(
+            leaf_calls(&after_build, name) > 0,
+            "span {name:?} not recorded; have {:?}",
+            after_build.spans.iter().map(|(p, _)| p).collect::<Vec<_>>()
+        );
+    }
+    // Worker-thread spans are flushed when the scoped threads exit, so the
+    // per-document stages must be visible already.
+    assert!(leaf_calls(&after_build, "analyze.doc") >= delta(obs::CounterId::DocsAnalyzed));
+    // The per-doc latency histogram fills during the corpus build.
+    let analyze_hist = after_build
+        .histograms
+        .iter()
+        .find(|(name, _)| *name == "analyze_doc_latency")
+        .map(|(_, s)| s.count)
+        .unwrap_or(0);
+    assert!(analyze_hist > 0, "analyze_doc_latency histogram is empty");
+
+    // Query path: postings traversal + evaluation spans.
+    let ctx = EvalContext::new(&ds, &corpus);
+    let base = FinderConfig::default();
+    ctx.run(&base);
+    let after_run = obs::snapshot();
+    assert!(
+        after_run.counter(obs::CounterId::PostingsTraversed)
+            > after_build.counter(obs::CounterId::PostingsTraversed),
+        "running the workload must traverse postings"
+    );
+    assert!(
+        after_run.counter(obs::CounterId::QueriesAnalyzed)
+            >= after_build.counter(obs::CounterId::QueriesAnalyzed) + 30,
+        "30 workload queries analysed"
+    );
+    assert!(leaf_calls(&after_run, "eval.run_workload") > 0);
+    assert!(
+        leaf_calls(&after_run, "index.score_top_k") > 0,
+        "ranking goes through the pruned top-k scorer"
+    );
+
+    // A second run with a different α shares the attribution (cache hit).
+    ctx.run(&base.clone().with_alpha(0.3));
+    let final_snap = obs::snapshot();
+    assert!(
+        final_snap.counter(obs::CounterId::AttributionCacheHits)
+            > after_build.counter(obs::CounterId::AttributionCacheHits),
+        "same traversal shape must hit the attribution cache"
+    );
+    assert!(final_snap.counter(obs::CounterId::AttributionCacheMisses) >= 1);
+    assert!(final_snap.counter(obs::CounterId::EvidenceDocsD2) > 0);
+
+    // The snapshot serialises and renders without panicking and carries
+    // the counters it reports.
+    let json = final_snap.to_json(0);
+    assert!(json.contains("\"postings_traversed\""));
+    assert!(final_snap.render().contains("== counters =="));
+
+    // AnalysisPipeline used directly (not via a corpus) also counts.
+    let pipeline = AnalysisPipeline::new(ds.kb());
+    let before_q = obs::snapshot().counter(obs::CounterId::QueriesAnalyzed);
+    let _ = pipeline.analyze_query("famous freestyle swimmers");
+    assert_eq!(obs::snapshot().counter(obs::CounterId::QueriesAnalyzed), before_q + 1);
+}
