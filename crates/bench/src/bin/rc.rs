@@ -7,11 +7,14 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- bench --scale small
 //! cargo run --release -p rightcrowd-bench --bin rc -- metrics --trace
 //! cargo run --release -p rightcrowd-bench --bin rc -- regress BENCH_small.json target/BENCH_small.json
+//! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --top 3
+//! cargo run --release -p rightcrowd-bench --bin rc -- flight --slowest 10
+//! cargo run --release -p rightcrowd-bench --bin rc -- trace --chrome trace.chrome.json --check trace.chrome.json
 //! ```
 
 use rightcrowd_bench::cli::{parse, Command, USAGE};
 use rightcrowd_bench::table::{header4, row4};
-use rightcrowd_bench::{regress, Bench, BenchReport};
+use rightcrowd_bench::{explain_fmt, regress, Bench, BenchReport};
 use rightcrowd_core::baseline::random_baseline;
 use rightcrowd_core::{ExpertFinder, FinderConfig};
 use rightcrowd_synth::DatasetStats;
@@ -106,11 +109,127 @@ fn main() {
                 report.metrics.counter(rightcrowd_obs::CounterId::AttributionCacheHits),
                 report.metrics.counter(rightcrowd_obs::CounterId::AttributionCacheMisses),
             );
+            println!(
+                "flight: {} recorded, {} retained, mean {:.3} ms, slowest {:.3} ms ({:?})",
+                report.flight.recorded,
+                report.flight.retained,
+                report.flight.mean_ms,
+                report.flight.slowest_ms,
+                report.flight.slowest_label,
+            );
             match report.write_to(&out) {
                 Ok(path) => println!("wrote {}", path.display()),
                 Err(e) => {
                     eprintln!("error: cannot write {}: {e}", out.display());
                     std::process::exit(1);
+                }
+            }
+        }
+        Command::Explain { text, candidate, top, json, platforms, distance } => {
+            let bench = Bench::prepare();
+            let ctx = bench.ctx();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            let explained = ctx.explain_text(&config, &text);
+            let names: Vec<&str> =
+                bench.ds.candidates().iter().map(|p| p.name.as_str()).collect();
+            if json {
+                print!(
+                    "{}",
+                    explain_fmt::explain_json(
+                        &explained,
+                        &config,
+                        &names,
+                        candidate.as_deref(),
+                        top
+                    )
+                );
+            } else {
+                println!("explaining {text:?}");
+                print!(
+                    "{}",
+                    explain_fmt::render_explain(
+                        &explained,
+                        &config,
+                        &names,
+                        candidate.as_deref(),
+                        top
+                    )
+                );
+            }
+        }
+        Command::Flight { slowest, platforms, distance } => {
+            let bench = Bench::prepare();
+            let ctx = bench.ctx();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            rightcrowd_obs::flight::reset_flight();
+            rightcrowd_obs::flight::set_flight_enabled(true);
+            let outcome = ctx.run(&config);
+            rightcrowd_obs::flight::set_flight_enabled(false);
+            eprintln!(
+                "[flight] workload MAP {:.3} over {} queries",
+                outcome.mean.map,
+                outcome.per_query.len()
+            );
+            let summary = rightcrowd_obs::flight::flight_summary();
+            let records = match slowest {
+                Some(k) => rightcrowd_obs::flight::slowest(k),
+                None => {
+                    // Newest first, like a log tail.
+                    let mut recent = rightcrowd_obs::flight::recent();
+                    recent.reverse();
+                    recent
+                }
+            };
+            let names: Vec<&str> =
+                bench.ds.candidates().iter().map(|p| p.name.as_str()).collect();
+            print!("{}", explain_fmt::render_flight(&summary, &records, &names));
+        }
+        Command::Trace { chrome, check, platforms, distance } => {
+            if let Some(out_path) = &chrome {
+                let bench = Bench::prepare();
+                let ctx = bench.ctx();
+                let config = FinderConfig::default()
+                    .with_platforms(platforms)
+                    .with_distance(distance);
+                rightcrowd_obs::flight::reset_flight();
+                rightcrowd_obs::flight::set_flight_enabled(true);
+                let outcome = ctx.run(&config);
+                rightcrowd_obs::flight::set_flight_enabled(false);
+                eprintln!(
+                    "[trace] workload MAP {:.3} over {} queries",
+                    outcome.mean.map,
+                    outcome.per_query.len()
+                );
+                let trace_json = rightcrowd_obs::chrome_trace_json(
+                    &rightcrowd_obs::snapshot(),
+                    &rightcrowd_obs::flight::recent(),
+                );
+                if let Err(e) = std::fs::write(out_path, &trace_json) {
+                    eprintln!("error: cannot write {}: {e}", out_path.display());
+                    std::process::exit(1);
+                }
+                println!("wrote {} (load in chrome://tracing or Perfetto)", out_path.display());
+            }
+            if let Some(path) = &check {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("error: cannot read {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                };
+                match regress::validate_chrome_trace(&text) {
+                    Ok(events) => {
+                        println!("ok: {} valid trace events in {}", events, path.display())
+                    }
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
                 }
             }
         }

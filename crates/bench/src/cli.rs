@@ -45,9 +45,52 @@ pub enum Command {
         /// Distance cap.
         distance: Distance,
     },
+    /// `rc explain "<text>" [--candidate NAME] [--top K] [--json]
+    /// [--platform P] [--distance D]` — rank the query with the full score
+    /// decomposition and print why each candidate landed where they did.
+    Explain {
+        /// The free-form expertise need.
+        text: String,
+        /// Restrict the breakdown to candidates whose name contains this
+        /// (case-insensitive) needle.
+        candidate: Option<String>,
+        /// How many experts to break down.
+        top: usize,
+        /// Emit the decomposition as JSON instead of tables.
+        json: bool,
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
+    /// `rc flight [--slowest K] [--platform P] [--distance D]` — run the
+    /// workload with the flight recorder on and print the retained
+    /// records (all of them, or the K slowest).
+    Flight {
+        /// Print only the K slowest retained records.
+        slowest: Option<usize>,
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
+    /// `rc trace [--chrome OUT.json] [--check FILE.json]` — run the
+    /// workload and export spans + flight records as Chrome trace-event
+    /// JSON (chrome://tracing / Perfetto), and/or validate a trace file.
+    Trace {
+        /// Write the Chrome trace-event JSON here.
+        chrome: Option<std::path::PathBuf>,
+        /// Validate this trace file (well-formed JSON with a non-empty
+        /// `traceEvents` array) instead of — or after — exporting.
+        check: Option<std::path::PathBuf>,
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
+    },
     /// `rc regress <baseline.json> <current.json> [--threshold F]
     /// [--warn-only]` — compare two bench snapshots and fail on latency
-    /// regressions.
+    /// or counter-invariant regressions.
     Regress {
         /// The committed baseline snapshot.
         baseline: std::path::PathBuf,
@@ -91,8 +134,12 @@ rc — expert finding in (simulated) social networks
 
 USAGE:
   rc query \"<expertise need>\" [--top N] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc explain \"<expertise need>\" [--candidate NAME] [--top K] [--json]
+                               [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
   rc bench [--out DIR]
+  rc flight [--slowest K] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc trace [--chrome OUT.json] [--check FILE.json]
   rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
   rc regress <baseline.json> <current.json> [--threshold F] [--warn-only]
   rc stats
@@ -139,12 +186,46 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut warn_only = false;
     let mut trace = false;
     let mut scale: Option<String> = None;
+    let mut candidate: Option<String> = None;
+    let mut json = false;
+    let mut slowest: Option<usize> = None;
+    let mut chrome: Option<std::path::PathBuf> = None;
+    let mut check: Option<std::path::PathBuf> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--trace" => trace = true,
             "--warn-only" => warn_only = true,
+            "--json" => json = true,
+            "--candidate" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--candidate needs a name".into()))?;
+                candidate = Some(value.clone());
+            }
+            "--slowest" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--slowest needs a number".into()))?;
+                let k: usize = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --slowest value {value:?}")))?;
+                if k == 0 {
+                    return Err(ParseError("--slowest must be at least 1".into()));
+                }
+                slowest = Some(k);
+            }
+            "--chrome" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--chrome needs a path".into()))?;
+                chrome = Some(std::path::PathBuf::from(value));
+            }
+            "--check" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--check needs a path".into()))?;
+                check = Some(std::path::PathBuf::from(value));
+            }
             "--scale" => {
                 let value = iter
                     .next()
@@ -212,6 +293,28 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         "stats" => Command::Stats,
         "eval" => Command::Eval { platforms, distance },
         "bench" => Command::Bench { out },
+        "explain" => {
+            let text = positional
+                .first()
+                .ok_or_else(|| ParseError("explain needs the expertise need text".into()))?;
+            Command::Explain {
+                text: (*text).clone(),
+                candidate,
+                top,
+                json,
+                platforms,
+                distance,
+            }
+        }
+        "flight" => Command::Flight { slowest, platforms, distance },
+        "trace" => {
+            if chrome.is_none() && check.is_none() {
+                return Err(ParseError(
+                    "trace needs --chrome <out.json> and/or --check <file.json>".into(),
+                ));
+            }
+            Command::Trace { chrome, check, platforms, distance }
+        }
         "metrics" => Command::Metrics { platforms, distance },
         "regress" => {
             let [baseline, current] = positional.as_slice() else {
@@ -309,6 +412,89 @@ mod tests {
                 distance: Distance::D0
             }
         );
+    }
+
+    #[test]
+    fn parses_explain() {
+        assert_eq!(
+            cmd(&["explain", "who knows php"]),
+            Command::Explain {
+                text: "who knows php".into(),
+                candidate: None,
+                top: 10,
+                json: false,
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "explain", "swimming", "--candidate", "Riley", "--top", "2", "--json",
+                "--platform", "tw", "--distance", "1"
+            ]),
+            Command::Explain {
+                text: "swimming".into(),
+                candidate: Some("Riley".into()),
+                top: 2,
+                json: true,
+                platforms: PlatformMask::only(Platform::Twitter),
+                distance: Distance::D1,
+            }
+        );
+        assert!(parse(&args(&["explain"])).is_err());
+        assert!(parse(&args(&["explain", "x", "--candidate"])).is_err());
+    }
+
+    #[test]
+    fn parses_flight() {
+        assert_eq!(
+            cmd(&["flight"]),
+            Command::Flight { slowest: None, platforms: PlatformMask::ALL, distance: Distance::D2 }
+        );
+        assert_eq!(
+            cmd(&["flight", "--slowest", "5", "--platform", "fb"]),
+            Command::Flight {
+                slowest: Some(5),
+                platforms: PlatformMask::only(Platform::Facebook),
+                distance: Distance::D2,
+            }
+        );
+        assert!(parse(&args(&["flight", "--slowest", "0"])).is_err());
+        assert!(parse(&args(&["flight", "--slowest", "many"])).is_err());
+    }
+
+    #[test]
+    fn parses_trace() {
+        assert_eq!(
+            cmd(&["trace", "--chrome", "trace.chrome.json"]),
+            Command::Trace {
+                chrome: Some(std::path::PathBuf::from("trace.chrome.json")),
+                check: None,
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+            }
+        );
+        assert_eq!(
+            cmd(&["trace", "--check", "trace.chrome.json"]),
+            Command::Trace {
+                chrome: None,
+                check: Some(std::path::PathBuf::from("trace.chrome.json")),
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+            }
+        );
+        assert_eq!(
+            cmd(&["trace", "--chrome", "out.json", "--check", "out.json"]),
+            Command::Trace {
+                chrome: Some(std::path::PathBuf::from("out.json")),
+                check: Some(std::path::PathBuf::from("out.json")),
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+            }
+        );
+        // Neither output nor validation target: nothing to do.
+        assert!(parse(&args(&["trace"])).is_err());
+        assert!(parse(&args(&["trace", "--chrome"])).is_err());
     }
 
     #[test]

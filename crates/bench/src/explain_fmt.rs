@@ -1,0 +1,351 @@
+//! Rendering for `rc explain` and `rc flight`: aligned human tables and a
+//! hand-rolled JSON form of the score decomposition.
+//!
+//! The explain table replays the decomposition it prints: the Σ line is
+//! computed from the same [`ResourceContribution`]s shown above it via
+//! [`ExplainedExpert::decomposed_score`], so the output is self-checking —
+//! and `explain_output_sums_to_ranked_score` (below) enforces the sum
+//! against the production ranking on a real corpus.
+
+use rightcrowd_core::explain::{ExplainedExpert, ExplainedRanking};
+use rightcrowd_core::FinderConfig;
+use rightcrowd_obs::{FlightSummary, QueryRecord};
+
+/// How many contribution rows the human table prints per expert before
+/// folding the tail into a summary line.
+const MAX_ROWS: usize = 12;
+
+/// Resolves a candidate name, falling back to the raw id.
+fn name_of(names: &[&str], person: u32) -> String {
+    names
+        .get(person as usize)
+        .map_or_else(|| format!("person#{person}"), |n| (*n).to_string())
+}
+
+/// Clips a label for table cells (ASCII-safe ellipsis).
+fn clip(label: &str, max: usize) -> String {
+    if label.chars().count() <= max {
+        label.to_string()
+    } else {
+        let head: String = label.chars().take(max.saturating_sub(3)).collect();
+        format!("{head}...")
+    }
+}
+
+/// The experts an explain invocation covers: the top `top`, optionally
+/// filtered to names containing `candidate` (case-insensitive).
+fn selected<'a>(
+    explained: &'a ExplainedRanking,
+    names: &[&str],
+    candidate: Option<&str>,
+    top: usize,
+) -> Vec<(usize, &'a ExplainedExpert)> {
+    let needle = candidate.map(str::to_ascii_lowercase);
+    explained
+        .experts
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            needle.as_deref().is_none_or(|n| {
+                name_of(names, e.person.0).to_ascii_lowercase().contains(n)
+            })
+        })
+        .take(top)
+        .collect()
+}
+
+/// The human-readable decomposition table.
+pub fn render_explain(
+    explained: &ExplainedRanking,
+    config: &FinderConfig,
+    names: &[&str],
+    candidate: Option<&str>,
+    top: usize,
+) -> String {
+    let mut out = format!(
+        "α {:.2} · window {} → {} of {} matching resources in window ({} cut off)\n",
+        explained.alpha,
+        config.window.label(),
+        explained.window,
+        explained.matches,
+        explained.cutoff(),
+    );
+    let chosen = selected(explained, names, candidate, top);
+    if chosen.is_empty() {
+        match candidate {
+            Some(c) => out.push_str(&format!("no ranked candidate matches {c:?}\n")),
+            None => out.push_str("no candidate shows evidence for this query\n"),
+        }
+        return out;
+    }
+    for (position, expert) in chosen {
+        let cut = expert.contributions.iter().filter(|c| !c.in_window).count();
+        out.push_str(&format!(
+            "\n#{} {} — score {:.6} ({} resources in window, {} cut off)\n",
+            position + 1,
+            name_of(names, expert.person.0),
+            expert.score,
+            expert.votes,
+            cut,
+        ));
+        out.push_str(&format!(
+            "  {:>4} {:>8} {:>4} {:>5} {:>12} {:>12} {:>12} {:>14}\n",
+            "rank", "doc", "dist", "wr", "term", "entity", "doc score", "contribution"
+        ));
+        for c in expert.contributions.iter().take(MAX_ROWS) {
+            out.push_str(&format!(
+                "  {:>4} {:>8} {:>4} {:>5.2} {:>12.6} {:>12.6} {:>12.6} {:>14.6}{}\n",
+                c.rank,
+                c.doc.0,
+                c.distance.level(),
+                c.wr,
+                c.term_score,
+                c.entity_score,
+                c.doc_score,
+                c.contribution,
+                if c.in_window { "" } else { "  (cut by window)" },
+            ));
+        }
+        if expert.contributions.len() > MAX_ROWS {
+            out.push_str(&format!(
+                "  ... and {} more contributing resources\n",
+                expert.contributions.len() - MAX_ROWS
+            ));
+        }
+        match expert.decomposed_score(config) {
+            Some(sum) => out.push_str(&format!(
+                "  Σ in-window contributions = {:.6} (= ranked score)\n",
+                sum
+            )),
+            None => out.push_str(
+                "  (non-additive aggregation: score is not a sum of contributions)\n",
+            ),
+        }
+    }
+    out
+}
+
+/// The decomposition as JSON (`--json`): everything the table shows, plus
+/// every contribution row and the replayed `decomposed_score`, so tools
+/// can re-verify the sum.
+pub fn explain_json(
+    explained: &ExplainedRanking,
+    config: &FinderConfig,
+    names: &[&str],
+    candidate: Option<&str>,
+    top: usize,
+) -> String {
+    fn esc(v: &str) -> String {
+        let escaped: String = v
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                '\n' => vec!['\\', 'n'],
+                c if (c as u32) < 0x20 => " ".chars().collect(),
+                c => vec![c],
+            })
+            .collect();
+        format!("\"{escaped}\"")
+    }
+    fn num(v: f64) -> String {
+        if v.is_finite() { format!("{v:.9}") } else { "null".to_owned() }
+    }
+    let mut out = format!(
+        "{{\n  \"alpha\": {},\n  \"window\": {},\n  \"matches\": {},\n  \
+         \"window_size\": {},\n  \"cutoff\": {},\n  \"experts\": [",
+        num(explained.alpha),
+        esc(&config.window.label()),
+        explained.matches,
+        explained.window,
+        explained.cutoff(),
+    );
+    let chosen = selected(explained, names, candidate, top);
+    for (i, (position, expert)) in chosen.iter().enumerate() {
+        let comma = if i + 1 < chosen.len() { "," } else { "" };
+        let decomposed = expert
+            .decomposed_score(config)
+            .map_or("null".to_owned(), num);
+        let mut rows = String::new();
+        for (j, c) in expert.contributions.iter().enumerate() {
+            let comma = if j + 1 < expert.contributions.len() { "," } else { "" };
+            rows.push_str(&format!(
+                "\n        {{\"doc\": {}, \"rank\": {}, \"distance\": {}, \"wr\": {}, \
+                 \"term_score\": {}, \"entity_score\": {}, \"doc_score\": {}, \
+                 \"contribution\": {}, \"in_window\": {}}}{comma}",
+                c.doc.0,
+                c.rank,
+                c.distance.level(),
+                num(c.wr),
+                num(c.term_score),
+                num(c.entity_score),
+                num(c.doc_score),
+                num(c.contribution),
+                c.in_window,
+            ));
+        }
+        out.push_str(&format!(
+            "\n    {{\n      \"position\": {},\n      \"person\": {},\n      \
+             \"name\": {},\n      \"score\": {},\n      \"votes\": {},\n      \
+             \"decomposed_score\": {},\n      \"contributions\": [{}\n      ]\n    }}{comma}",
+            position + 1,
+            expert.person.0,
+            esc(&name_of(names, expert.person.0)),
+            num(expert.score),
+            expert.votes,
+            decomposed,
+            rows,
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// The `rc flight` table: one row per retained record, newest (or
+/// slowest) first, with the counter deltas and the head of the ranking.
+pub fn render_flight(
+    summary: &FlightSummary,
+    records: &[QueryRecord],
+    names: &[&str],
+) -> String {
+    let mut out = format!(
+        "flight: {} recorded · {} retained · mean {:.3} ms · slowest {:.3} ms ({:?})\n",
+        summary.recorded,
+        summary.retained,
+        summary.mean_ms,
+        summary.slowest_ms,
+        clip(&summary.slowest_label, 40),
+    );
+    if records.is_empty() {
+        out.push_str("no records retained (recorder disabled or obs-off build)\n");
+        return out;
+    }
+    out.push_str(&format!(
+        "{:>5} {:>10} {:>9} {:>7} {:>7} {:>5} {:>2} {:>8}  {:<28} {}\n",
+        "query", "latency_ms", "postings", "admit", "prune", "α", "d", "window", "top candidate", "text"
+    ));
+    for r in records {
+        let top = r
+            .top_candidates
+            .first()
+            .map_or_else(String::new, |&(p, s)| format!("{} ({s:.2})", name_of(names, p)));
+        out.push_str(&format!(
+            "{:>5} {:>10.3} {:>9} {:>7} {:>7} {:>5.2} {:>2} {:>8}  {:<28} {}\n",
+            r.query_id,
+            r.latency_ms(),
+            r.postings_traversed,
+            r.maxscore_admitted,
+            r.maxscore_pruned,
+            r.alpha,
+            r.max_distance,
+            clip(&r.window, 8),
+            clip(&top, 28),
+            clip(&r.label, 44),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regress::{parse_json, Json};
+    use rightcrowd_core::EvalContext;
+
+    fn explained_fixture() -> (ExplainedRanking, FinderConfig, Vec<String>) {
+        let (ds, corpus) = rightcrowd_core::testkit::tiny();
+        let ctx = EvalContext::new(ds, corpus);
+        let config = FinderConfig::default();
+        let explained = ctx.explain_text(&config, &ds.queries()[0].text);
+        let names: Vec<String> =
+            ds.candidates().iter().map(|p| p.name.clone()).collect();
+        (explained, config, names)
+    }
+
+    /// The acceptance check: the printed decomposition sums to the ranked
+    /// score, on a real corpus, through both output forms.
+    #[test]
+    fn explain_output_sums_to_ranked_score() {
+        let (explained, config, names) = explained_fixture();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        assert!(!explained.experts.is_empty(), "fixture query must rank someone");
+
+        // Human table: the Σ line replays the contributions exactly.
+        let table = render_explain(&explained, &config, &names, None, 3);
+        assert!(table.contains("(= ranked score)"), "missing Σ line:\n{table}");
+        for (i, e) in explained.experts.iter().take(3).enumerate() {
+            assert!(table.contains(&format!("#{} ", i + 1)));
+            assert_eq!(
+                e.decomposed_score(&config),
+                Some(e.score),
+                "decomposition must replay the ranked score bit-for-bit"
+            );
+        }
+
+        // JSON: parse it back and re-verify the sum independently.
+        let json = explain_json(&explained, &config, &names, None, 3);
+        let doc = parse_json(&json).expect("explain --json must be well-formed");
+        let Some(Json::Arr(experts)) = doc.get("experts").cloned() else {
+            panic!("experts array missing");
+        };
+        assert!(!experts.is_empty());
+        for expert in &experts {
+            let score = expert.get("score").and_then(Json::as_f64).unwrap();
+            let Some(Json::Arr(rows)) = expert.get("contributions").cloned() else {
+                panic!("contributions missing");
+            };
+            let sum: f64 = rows
+                .iter()
+                .filter(|r| r.get("in_window") == Some(&Json::Bool(true)))
+                .map(|r| r.get("contribution").and_then(Json::as_f64).unwrap())
+                .sum();
+            assert!(
+                (sum - score).abs() <= 1e-9 * score.abs().max(1.0),
+                "JSON contributions sum {sum} != score {score}"
+            );
+        }
+    }
+
+    #[test]
+    fn candidate_filter_narrows_the_table() {
+        let (explained, config, names) = explained_fixture();
+        let names: Vec<&str> = names.iter().map(String::as_str).collect();
+        let first = name_of(&names, explained.experts[0].person.0);
+        let needle = first.split_whitespace().next().unwrap();
+        let table =
+            render_explain(&explained, &config, &names, Some(&needle.to_ascii_lowercase()), 50);
+        assert!(table.contains(&first));
+        let miss = render_explain(&explained, &config, &names, Some("zzz-no-such-person"), 50);
+        assert!(miss.contains("no ranked candidate matches"));
+    }
+
+    #[test]
+    fn flight_table_lists_records_and_counters() {
+        let summary = FlightSummary {
+            recorded: 2,
+            retained: 2,
+            mean_ms: 1.5,
+            slowest_ms: 2.0,
+            slowest_label: "slow query".into(),
+        };
+        let records = vec![QueryRecord {
+            query_id: 7,
+            label: "who knows php".into(),
+            domain: "Technology & computers".into(),
+            alpha: 0.6,
+            max_distance: 2,
+            window: "top-100".into(),
+            latency_ns: 2_000_000,
+            postings_traversed: 1234,
+            maxscore_admitted: 56,
+            maxscore_pruned: 78,
+            top_candidates: vec![(0, 12.5)],
+        }];
+        let out = render_flight(&summary, &records, &["Alice Example"]);
+        assert!(out.contains("2 recorded"));
+        assert!(out.contains("1234"));
+        assert!(out.contains("Alice Example (12.50)"));
+        assert!(out.contains("who knows php"));
+        let empty = render_flight(&FlightSummary::default(), &[], &[]);
+        assert!(empty.contains("no records retained"));
+    }
+}

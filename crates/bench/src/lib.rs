@@ -19,15 +19,21 @@
 //! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
 //! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
 //! | `exp_all`      | everything above, in order, sharing one in-process [`Bench`] |
-//! | `rc`           | interactive CLI: `rc query`, `rc eval`, `rc stats`, `rc bench`, `rc metrics`, `rc regress` |
+//! | `rc`           | interactive CLI: `rc query`, `rc explain`, `rc eval`, `rc stats`, `rc bench`, `rc flight`, `rc trace`, `rc metrics`, `rc regress` |
 //!
 //! `rc bench` measures the retrieval hot path (per-query latency, the
 //! factored-vs-naive α-sweep speedup) and writes a `BENCH_<scale>.json`
 //! snapshot — see [`report`]. Since the observability layer landed the
 //! snapshot also embeds a `metrics` member (counters, histograms, span
-//! timings from [`rightcrowd_obs`]); `rc metrics` prints the same registry
-//! after a workload run, and `rc regress` diffs two snapshots, failing on
-//! latency regressions past a threshold — see [`regress`].
+//! timings from [`rightcrowd_obs`]) and a `flight` member (the query
+//! flight-recorder aggregate — the latency loop runs with recording on,
+//! so the snapshot certifies the recorder's overhead); `rc metrics`
+//! prints the same registry after a workload run, and `rc regress` diffs
+//! two snapshots, failing on latency regressions past a threshold and on
+//! traversal counter-invariant violations — see [`regress`]. `rc explain`
+//! prints the per-resource score decomposition of a query ([`explain_fmt`]),
+//! `rc flight` tails the flight recorder, and `rc trace --chrome` exports
+//! spans + flight records as Chrome trace-event JSON.
 //!
 //! The dataset scale is selected with the `RIGHTCROWD_SCALE` environment
 //! variable (or `rc --scale`): `tiny`, `small` (default) or `paper` (the
@@ -35,6 +41,7 @@
 
 pub mod cli;
 pub mod experiments;
+pub mod explain_fmt;
 pub mod paper;
 pub mod regress;
 pub mod report;

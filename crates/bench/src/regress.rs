@@ -266,6 +266,82 @@ pub const LATENCY_KEYS: &[&str] = &[
 /// regression when it also exceeds this absolute slack (ms).
 const ABS_SLACK_MS: f64 = 0.05;
 
+/// Admission ratios are noisy across machines but should be stable for
+/// the same corpus seed; drift beyond this absolute slack (in ratio
+/// points) flags a MaxScore accounting or bound-quality change.
+const ADMISSION_DRIFT_SLACK: f64 = 0.05;
+
+/// One counter-invariant verdict (see [`counter_checks`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterCheck {
+    /// Short invariant name.
+    pub name: &'static str,
+    /// Human-readable evidence (the numbers the verdict came from).
+    pub detail: String,
+    /// Whether the invariant failed.
+    pub failed: bool,
+}
+
+/// The MaxScore traversal counters of one snapshot's `metrics` block.
+fn traversal_counters(snapshot: &Json) -> Option<(f64, f64, f64)> {
+    let counters = snapshot.get("metrics")?.get("counters")?;
+    let get = |key: &str| counters.get(key).and_then(Json::as_f64);
+    Some((
+        get("postings_traversed")?,
+        get("maxscore_admitted")?,
+        get("maxscore_pruned")?,
+    ))
+}
+
+/// Counter-invariant checks over a snapshot pair, gated alongside the
+/// latency keys:
+///
+/// 1. **Accounting sanity** (each snapshot): every document the MaxScore
+///    scorer admits or prunes is discovered through at least one traversed
+///    posting, so `maxscore_admitted + maxscore_pruned` can never exceed
+///    `postings_traversed`. A violation means the counter plumbing drifted
+///    from the traversal (e.g. a probe was moved without its twin).
+/// 2. **Admission-ratio drift** (baseline vs current): the fraction of
+///    touched documents that get fully scored, `admitted / (admitted +
+///    pruned)`, is a property of the corpus and the bound quality — not of
+///    the machine — so it should be stable run-to-run. Large drift flags a
+///    pruning-logic change hiding inside a "pure perf" diff.
+///
+/// Snapshots without the traversal counters (pre-observability baselines)
+/// skip the checks, mirroring how missing latency keys are skipped.
+pub fn counter_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
+    let mut checks = Vec::new();
+    let mut ratios = Vec::new();
+    for (label, snap) in [("baseline", baseline), ("current", current)] {
+        let Some((traversed, admitted, pruned)) = traversal_counters(snap) else {
+            continue;
+        };
+        checks.push(CounterCheck {
+            name: "maxscore_accounting",
+            detail: format!(
+                "{label}: admitted {admitted:.0} + pruned {pruned:.0} vs traversed {traversed:.0}"
+            ),
+            failed: admitted + pruned > traversed,
+        });
+        if admitted + pruned > 0.0 {
+            ratios.push((label, admitted / (admitted + pruned)));
+        }
+    }
+    if let [(_, base), (_, curr)] = ratios.as_slice() {
+        checks.push(CounterCheck {
+            name: "admission_ratio_drift",
+            detail: format!(
+                "baseline {:.3} vs current {:.3} (|Δ| {:.3}, slack {ADMISSION_DRIFT_SLACK})",
+                base,
+                curr,
+                (curr - base).abs()
+            ),
+            failed: (curr - base).abs() > ADMISSION_DRIFT_SLACK,
+        });
+    }
+    checks
+}
+
 /// One compared key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KeyDelta {
@@ -288,6 +364,9 @@ pub struct RegressReport {
     pub threshold: f64,
     /// Per-key deltas, [`LATENCY_KEYS`] order (missing keys skipped).
     pub deltas: Vec<KeyDelta>,
+    /// Counter-invariant verdicts (empty when the snapshots predate the
+    /// traversal counters). See [`counter_checks`].
+    pub counters: Vec<CounterCheck>,
 }
 
 impl RegressReport {
@@ -305,12 +384,12 @@ impl RegressReport {
             let regressed = ratio > threshold && (c - b) > ABS_SLACK_MS;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
-        RegressReport { threshold, deltas }
+        RegressReport { threshold, deltas, counters: counter_checks(baseline, current) }
     }
 
-    /// Whether any key regressed.
+    /// Whether any latency key or counter invariant regressed.
     pub fn any_regressed(&self) -> bool {
-        self.deltas.iter().any(|d| d.regressed)
+        self.deltas.iter().any(|d| d.regressed) || self.counters.iter().any(|c| c.failed)
     }
 
     /// The comparison as an aligned table with a verdict line.
@@ -329,9 +408,20 @@ impl RegressReport {
                 if d.regressed { "REGRESSED" } else { "ok" },
             ));
         }
+        if !self.counters.is_empty() {
+            out.push_str("counter invariants:\n");
+            for c in &self.counters {
+                out.push_str(&format!(
+                    "  {:<24} {}  {}\n",
+                    c.name,
+                    c.detail,
+                    if c.failed { "VIOLATED" } else { "ok" },
+                ));
+            }
+        }
         if self.any_regressed() {
             out.push_str(&format!(
-                "FAIL: latency regression beyond {:.0}% threshold\n",
+                "FAIL: regression beyond {:.0}% threshold or counter-invariant violation\n",
                 self.threshold * 100.0
             ));
         } else {
@@ -342,6 +432,31 @@ impl RegressReport {
         }
         out
     }
+}
+
+/// Validates Chrome trace-event JSON (`rc trace --check`): the document
+/// must parse, carry a non-empty `traceEvents` array, and every event must
+/// be an object with the `ph`/`pid`/`name` members chrome://tracing and
+/// Perfetto key on. Returns the event count.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text).map_err(|e| e.to_string())?;
+    let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+        return Err("missing \"traceEvents\" array".into());
+    };
+    if events.is_empty() {
+        return Err("\"traceEvents\" is empty".into());
+    }
+    for (i, event) in events.iter().enumerate() {
+        if !matches!(event, Json::Obj(_)) {
+            return Err(format!("traceEvents[{i}] is not an object"));
+        }
+        for key in ["ph", "pid", "name"] {
+            if event.get(key).is_none() {
+                return Err(format!("traceEvents[{i}] is missing {key:?}"));
+            }
+        }
+    }
+    Ok(events.len())
 }
 
 /// Reads and compares two snapshot files.
@@ -421,6 +536,7 @@ mod tests {
             alpha_sweep_naive_ms: 300.0,
             alpha_sweep_factored_ms: 60.0,
             alpha_sweep_speedup: 5.0,
+            flight: rightcrowd_obs::FlightSummary::default(),
             metrics: rightcrowd_obs::snapshot(),
         };
         let doc = parse_json(&report.to_json()).unwrap();
@@ -476,6 +592,99 @@ mod tests {
         let r = RegressReport::compare(&partial, &snap(1.0, 2.0), 0.2);
         assert_eq!(r.deltas.len(), 1);
         assert_eq!(r.deltas[0].key, "query_p50_ms");
+    }
+
+    /// A minimal snapshot carrying only the traversal counters.
+    fn counter_snap(traversed: u64, admitted: u64, pruned: u64) -> Json {
+        parse_json(&format!(
+            r#"{{"metrics": {{"counters": {{"postings_traversed": {traversed},
+                "maxscore_admitted": {admitted}, "maxscore_pruned": {pruned}}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn validates_chrome_traces() {
+        // A real export: synthetic snapshot + one flight record.
+        let snap = rightcrowd_obs::MetricsSnapshot {
+            counters: vec![],
+            histograms: vec![],
+            spans: vec![(
+                "corpus.build".to_string(),
+                rightcrowd_obs::SpanStat { calls: 1, total_ns: 5_000_000, child_ns: 0 },
+            )],
+        };
+        let record = rightcrowd_obs::QueryRecord {
+            query_id: 1,
+            label: "q".into(),
+            latency_ns: 1_000_000,
+            ..Default::default()
+        };
+        let trace = rightcrowd_obs::chrome_trace_json(&snap, &[record]);
+        let events = validate_chrome_trace(&trace).expect("exported trace must validate");
+        assert!(events >= 2, "span + flight events expected, got {events}");
+
+        // Rejections: garbage, wrong shape, empty, malformed events.
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": []}"#).is_err());
+        assert!(validate_chrome_trace(r#"{"traceEvents": [1]}"#).is_err());
+        assert!(
+            validate_chrome_trace(r#"{"traceEvents": [{"ph": "X", "pid": 1}]}"#).is_err(),
+            "events without a name must fail"
+        );
+        assert!(validate_chrome_trace(
+            r#"{"traceEvents": [{"ph": "X", "pid": 1, "name": "a"}]}"#
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn stable_counters_pass_the_invariants() {
+        let base = counter_snap(1000, 300, 500);
+        let curr = counter_snap(2000, 610, 990);
+        let r = RegressReport::compare(&base, &curr, 0.2);
+        assert_eq!(r.counters.len(), 3, "two accounting checks + one drift check");
+        assert!(!r.any_regressed());
+        assert!(r.render().contains("counter invariants:"));
+        assert!(r.render().contains("admission_ratio_drift"));
+    }
+
+    #[test]
+    fn accounting_violation_fails() {
+        // admitted + pruned > traversed: impossible for a real traversal.
+        let bad = counter_snap(100, 80, 40);
+        let r = RegressReport::compare(&counter_snap(1000, 300, 500), &bad, 0.2);
+        assert!(r.any_regressed());
+        let check = r.counters.iter().find(|c| c.failed).unwrap();
+        assert_eq!(check.name, "maxscore_accounting");
+        assert!(r.render().contains("VIOLATED"));
+        assert!(r.render().contains("FAIL:"));
+    }
+
+    #[test]
+    fn admission_ratio_drift_fails() {
+        // Same accounting sanity, but the admitted fraction moves from
+        // 0.375 to 0.8 — far beyond the drift slack.
+        let base = counter_snap(1000, 300, 500);
+        let curr = counter_snap(1000, 640, 160);
+        let r = RegressReport::compare(&base, &curr, 0.2);
+        assert!(r.any_regressed());
+        let check = r.counters.iter().find(|c| c.failed).unwrap();
+        assert_eq!(check.name, "admission_ratio_drift");
+    }
+
+    #[test]
+    fn snapshots_without_counters_skip_the_checks() {
+        // Pre-observability snapshots carry no metrics block: no checks,
+        // no failure — mirroring the missing-latency-key behaviour.
+        let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
+        assert!(r.counters.is_empty());
+        assert!(!r.render().contains("counter invariants:"));
+        // One-sided counters run the sanity check but cannot diff ratios.
+        let r = RegressReport::compare(&snap(1.0, 2.0), &counter_snap(10, 4, 4), 0.2);
+        assert_eq!(r.counters.len(), 1);
+        assert_eq!(r.counters[0].name, "maxscore_accounting");
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub struct BenchReport {
     pub alpha_sweep_factored_ms: f64,
     /// `alpha_sweep_naive_ms / alpha_sweep_factored_ms`.
     pub alpha_sweep_speedup: f64,
+    /// Flight-recorder aggregate over the latency workload: the bench
+    /// measures latency *with* flight recording enabled, so the snapshot
+    /// certifies the recorder's overhead stays inside the latency budget.
+    pub flight: rightcrowd_obs::FlightSummary,
     /// Counters, histograms and span timings accumulated over the run
     /// (corpus build included — the bench does not reset the registry).
     pub metrics: rightcrowd_obs::MetricsSnapshot,
@@ -114,19 +118,43 @@ impl BenchReport {
 
         // Per-query latency: the full serving path (analysis, retrieval,
         // ranking), sequential so percentiles reflect a single request.
-        eprintln!("[bench] measuring per-query latency...");
+        // Flight recording is ON for this loop — the snapshot's latency
+        // figures certify the recorder's per-query overhead.
+        eprintln!("[bench] measuring per-query latency (flight recorder on)...");
+        rightcrowd_obs::flight::reset_flight();
+        rightcrowd_obs::flight::set_flight_enabled(true);
         let mut latencies_ms = Vec::with_capacity(bench.ds.queries().len());
         let started = Instant::now();
         for need in bench.ds.queries() {
+            let _ = rightcrowd_index::take_traversal_stats();
             let one = Instant::now();
             let query = pipeline.analyze_query(&need.text);
             let ranking = rank_query(&bench.corpus, &attribution, &config, &query, n);
-            std::hint::black_box(ranking);
             let elapsed = one.elapsed();
+            let stats = rightcrowd_index::take_traversal_stats();
+            rightcrowd_obs::flight::record(rightcrowd_obs::QueryRecord {
+                query_id: need.id.index() as u64,
+                label: need.text.clone(),
+                domain: need.domain.label().to_string(),
+                alpha: config.alpha,
+                max_distance: config.max_distance.level() as u8,
+                window: config.window.label(),
+                latency_ns: elapsed.as_nanos() as u64,
+                postings_traversed: stats.postings_traversed,
+                maxscore_admitted: stats.maxscore_admitted,
+                maxscore_pruned: stats.maxscore_pruned,
+                top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
+            });
+            std::hint::black_box(ranking);
             rightcrowd_obs::record(rightcrowd_obs::HistId::QueryLatency, elapsed);
             latencies_ms.push(elapsed.as_secs_f64() * 1e3);
         }
         let total_s = started.elapsed().as_secs_f64();
+        // Summarise before the sweeps so the flight block reflects the
+        // measured workload only, then disable recording so the
+        // naive-vs-factored comparison below stays apples-to-apples.
+        let flight = rightcrowd_obs::flight::flight_summary();
+        rightcrowd_obs::flight::set_flight_enabled(false);
         let mut sorted = latencies_ms.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
 
@@ -173,6 +201,7 @@ impl BenchReport {
             alpha_sweep_naive_ms: naive_ms,
             alpha_sweep_factored_ms: factored_ms,
             alpha_sweep_speedup: if factored_ms > 0.0 { naive_ms / factored_ms } else { 0.0 },
+            flight,
             // The registry is not reset at measure start, so corpus-build
             // spans and pipeline counters survive into the snapshot.
             metrics: rightcrowd_obs::snapshot(),
@@ -203,7 +232,10 @@ impl BenchReport {
              \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
              \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
              \"alpha_sweep_naive_ms\": {},\n  \"alpha_sweep_factored_ms\": {},\n  \
-             \"alpha_sweep_speedup\": {},\n  \"metrics\": {}\n}}\n",
+             \"alpha_sweep_speedup\": {},\n  \"flight\": {{\n    \
+             \"recorded\": {},\n    \"retained\": {},\n    \"mean_ms\": {},\n    \
+             \"slowest_ms\": {},\n    \"slowest_label\": {}\n  }},\n  \
+             \"metrics\": {}\n}}\n",
             text(&self.scale),
             text(&self.git_rev),
             self.git_dirty,
@@ -220,6 +252,11 @@ impl BenchReport {
             num(self.alpha_sweep_naive_ms),
             num(self.alpha_sweep_factored_ms),
             num(self.alpha_sweep_speedup),
+            self.flight.recorded,
+            self.flight.retained,
+            num(self.flight.mean_ms),
+            num(self.flight.slowest_ms),
+            text(&self.flight.slowest_label),
             self.metrics.to_json(2),
         )
     }
@@ -261,6 +298,13 @@ mod tests {
             alpha_sweep_naive_ms: 500.0,
             alpha_sweep_factored_ms: 50.0,
             alpha_sweep_speedup: 10.0,
+            flight: rightcrowd_obs::FlightSummary {
+                recorded: 30,
+                retained: 30,
+                mean_ms: 1.5,
+                slowest_ms: 4.75,
+                slowest_label: "slowest \"query\"".into(),
+            },
             metrics: rightcrowd_obs::MetricsSnapshot {
                 counters: vec![("postings_traversed", 1234)],
                 histograms: vec![],
@@ -289,6 +333,7 @@ mod tests {
             "alpha_sweep_naive_ms",
             "alpha_sweep_factored_ms",
             "alpha_sweep_speedup",
+            "flight",
             "metrics",
         ] {
             assert!(json.contains(&format!("\"{key}\": ")), "missing {key} in {json}");
@@ -299,6 +344,11 @@ mod tests {
         assert!(json.contains("\"git_dirty\": true"));
         assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"alpha_sweep_speedup\": 10.000"));
+        // The flight block is nested, escaped, and complete.
+        for key in ["recorded", "retained", "mean_ms", "slowest_ms", "slowest_label"] {
+            assert!(json.contains(&format!("\"{key}\": ")), "missing flight.{key}");
+        }
+        assert!(json.contains(r#""slowest_label": "slowest \"query\"""#));
         // The embedded metrics snapshot keeps its nested shape.
         assert!(json.contains("\"postings_traversed\": 1234"));
     }

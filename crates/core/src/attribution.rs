@@ -105,6 +105,20 @@ impl TraversalShape {
     }
 }
 
+/// Lifetime statistics of one [`AttributionCache`] instance: lookup
+/// outcomes plus the resident table size, so snapshots can report how
+/// many traversal shapes are actually held in memory — not just how the
+/// lookups went.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the memoised table.
+    pub hits: u64,
+    /// Lookups that computed a new evidence walk.
+    pub misses: u64,
+    /// Distinct traversal shapes currently resident.
+    pub resident: usize,
+}
+
 /// Memoises [`Attribution::compute`] by [`TraversalShape`].
 ///
 /// Attribution is by far the most expensive per-configuration step of an
@@ -143,16 +157,23 @@ impl AttributionCache {
             Entry::Vacant(e) => {
                 self.misses += 1;
                 rightcrowd_obs::incr(rightcrowd_obs::CounterId::AttributionCacheMisses);
-                e.insert(Arc::new(Attribution::compute(ds, corpus, config))).clone()
+                let out = e.insert(Arc::new(Attribution::compute(ds, corpus, config))).clone();
+                // Resident-size gauge: the snapshot JSON reports how many
+                // shapes are held, not just how the lookups went.
+                rightcrowd_obs::counter::set(
+                    rightcrowd_obs::CounterId::AttributionShapesResident,
+                    self.by_shape.len() as u64,
+                );
+                out
             }
         }
     }
 
-    /// Lifetime `(hits, misses)` of this cache instance. The global
+    /// Lifetime [`CacheStats`] of this cache instance. The global
     /// [`rightcrowd_obs`] counters aggregate across every cache in the
     /// process; these stats isolate one cache for tests and sweeps.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    pub fn stats(&self) -> CacheStats {
+        CacheStats { hits: self.hits, misses: self.misses, resident: self.by_shape.len() }
     }
 
     /// Number of distinct traversal shapes computed so far.

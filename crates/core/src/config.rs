@@ -15,6 +15,16 @@ pub enum WindowSize {
 }
 
 impl WindowSize {
+    /// Compact render of the window config for logs and flight records
+    /// (`"top-100"`, `"frac-0.30"`, `"all"`).
+    pub fn label(self) -> String {
+        match self {
+            WindowSize::Count(n) => format!("top-{n}"),
+            WindowSize::Fraction(f) => format!("frac-{f:.2}"),
+            WindowSize::All => "all".to_string(),
+        }
+    }
+
     /// Resolves the window against a match-set of `matching` resources.
     pub fn resolve(self, matching: usize) -> usize {
         match self {

@@ -79,11 +79,32 @@ impl<'a> EvalContext<'a> {
             .get_or_compute(self.ds, self.corpus, config)
     }
 
-    /// `(hits, misses)` of this context's attribution cache so far. Unlike
-    /// the process-global [`rightcrowd_obs`] counters, these stats are
-    /// scoped to one context and therefore stable under parallel tests.
-    pub fn attribution_cache_stats(&self) -> (u64, u64) {
+    /// Hit/miss/resident statistics of this context's attribution cache
+    /// so far. Unlike the process-global [`rightcrowd_obs`] counters,
+    /// these stats are scoped to one context and therefore stable under
+    /// parallel tests.
+    pub fn attribution_cache_stats(&self) -> crate::attribution::CacheStats {
         self.attributions.lock().expect("attribution cache poisoned").stats()
+    }
+
+    /// Full score decomposition of an ad-hoc expertise need under
+    /// `config` (see [`crate::explain::rank_explained`]); uses the
+    /// context's attribution cache.
+    pub fn explain_text(
+        &self,
+        config: &FinderConfig,
+        text: &str,
+    ) -> crate::explain::ExplainedRanking {
+        let attribution = self.attribution(config);
+        let pipeline = AnalysisPipeline::new(self.ds.kb());
+        let query = pipeline.analyze_query(text);
+        crate::explain::rank_explained(
+            self.corpus,
+            &attribution,
+            config,
+            &query,
+            self.ds.candidates().len(),
+        )
     }
 
     /// Runs the whole workload under `config`.
@@ -104,6 +125,43 @@ impl<'a> EvalContext<'a> {
             .map(|r| gt.is_expert(r.person, need.domain))
             .collect();
         (QueryEval::evaluate(&rels, gt.experts(need.domain).len()), ranking)
+    }
+
+    /// Starts a flight measurement: clears the thread's traversal delta
+    /// and reads the clock. Returns `None` (and touches nothing) when the
+    /// flight recorder is disabled — under `obs-off` the whole recording
+    /// path is dead-code-eliminated.
+    fn flight_start() -> Option<std::time::Instant> {
+        rightcrowd_obs::flight::flight_enabled().then(|| {
+            let _ = rightcrowd_index::take_traversal_stats();
+            std::time::Instant::now()
+        })
+    }
+
+    /// Finishes a flight measurement: captures the per-query traversal
+    /// delta and offers a [`rightcrowd_obs::QueryRecord`] to the
+    /// recorder.
+    fn flight_finish(
+        need: &rightcrowd_synth::ExpertiseNeed,
+        label: String,
+        config: &FinderConfig,
+        started: std::time::Instant,
+        ranking: &[RankedExpert],
+    ) {
+        let stats = rightcrowd_index::take_traversal_stats();
+        rightcrowd_obs::flight::record(rightcrowd_obs::QueryRecord {
+            query_id: need.id.index() as u64,
+            label,
+            domain: need.domain.label().to_string(),
+            alpha: config.alpha,
+            max_distance: config.max_distance.level() as u8,
+            window: config.window.label(),
+            latency_ns: started.elapsed().as_nanos() as u64,
+            postings_traversed: stats.postings_traversed,
+            maxscore_admitted: stats.maxscore_admitted,
+            maxscore_pruned: stats.maxscore_pruned,
+            top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
+        });
     }
 
     /// Folds per-query `(eval, ranking)` pairs (workload order) into an
@@ -127,8 +185,12 @@ impl<'a> EvalContext<'a> {
             self.ds.queries(),
             crate::par::default_threads(),
             |need| {
+                let started = Self::flight_start();
                 let query = pipeline.analyze_query(&need.text);
                 let ranking = rank_query(self.corpus, attribution, config, &query, n);
+                if let Some(started) = started {
+                    Self::flight_finish(need, need.text.clone(), config, started, &ranking);
+                }
                 self.evaluate_ranking(need, ranking)
             },
         );
@@ -162,18 +224,28 @@ impl<'a> EvalContext<'a> {
             self.ds.queries(),
             crate::par::default_threads(),
             |need| {
+                let started = Self::flight_start();
                 let query = pipeline.analyze_query(&need.text);
                 let components = crate::ranker::attributed_components(
                     &attribution,
                     &self.corpus.index().score_components(&query),
                 );
-                configs
+                let row: Vec<_> = configs
                     .iter()
                     .map(|config| {
                         let ranking = rank_components(&attribution, config, &components, n);
                         self.evaluate_ranking(need, ranking)
                     })
-                    .collect()
+                    .collect();
+                if let Some(started) = started {
+                    // One flight entry covers the whole sweep: a single
+                    // traversal served every α, so the counters are the
+                    // query's and the latency is the sweep's.
+                    let label = format!("{} (α-sweep ×{})", need.text, configs.len());
+                    let first = row.first().map_or(&[] as &[RankedExpert], |(_, r)| r);
+                    Self::flight_finish(need, label, base, started, first);
+                }
+                row
             },
         );
 
@@ -358,17 +430,19 @@ mod tests {
         let (ds, corpus) = setup();
         let ctx = EvalContext::new(ds, corpus);
         let base = FinderConfig::default();
-        assert_eq!(ctx.attribution_cache_stats(), (0, 0));
+        assert_eq!(ctx.attribution_cache_stats(), crate::attribution::CacheStats::default());
         // Two runs whose configs share a traversal shape: one compute…
         ctx.run(&base);
         ctx.run(&base.clone().with_alpha(0.2));
-        let (hits, misses) = ctx.attribution_cache_stats();
-        assert_eq!(misses, 1, "same shape must compute exactly once");
-        assert!(hits >= 1, "second run must hit the cache, got {hits} hits");
-        // …and a different shape misses again.
+        let stats = ctx.attribution_cache_stats();
+        assert_eq!(stats.misses, 1, "same shape must compute exactly once");
+        assert!(stats.hits >= 1, "second run must hit the cache, got {} hits", stats.hits);
+        assert_eq!(stats.resident, 1, "one shape resident");
+        // …and a different shape misses again (and stays resident).
         ctx.run(&base.with_distance(Distance::D0));
-        let (_, misses) = ctx.attribution_cache_stats();
-        assert_eq!(misses, 2);
+        let stats = ctx.attribution_cache_stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.resident, 2);
     }
 
     #[test]

@@ -1,0 +1,376 @@
+//! Score-explain traces: why did a candidate rank where it did?
+//!
+//! [`rank_explained`] runs the same pipeline as
+//! [`rank_query`](crate::ranker::rank_query) — Eq. 1 scoring, attribution
+//! filter, Eq. 3 window and aggregation — but keeps every intermediate:
+//! the term/entity split of each matching resource, its α-recombined
+//! score and window position, and each candidate's per-resource
+//! contribution `score(q, ri) · wr(ri, ex)` with distance and weight. The
+//! decomposition is built with the *identical* arithmetic and iteration
+//! order as the production ranker, so under the paper's weighted-sum
+//! aggregation the parts sum to the ranked score exactly (and to
+//! [`rank_query`] within float reassociation, see `tests/explain.rs`).
+
+use crate::aggregation::{Aggregation, FusionAcc};
+use crate::attribution::Attribution;
+use crate::config::FinderConfig;
+use crate::corpus::AnalyzedCorpus;
+use crate::ranker::{attributed_components, rank_components, RankedExpert};
+use rightcrowd_index::{ComponentScore, DocIdx, Query};
+use rightcrowd_types::{Distance, PersonId};
+
+/// One matching resource of an explained query, in relevance-rank order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainedResource {
+    /// The document.
+    pub doc: DocIdx,
+    /// 1-based position in the relevance ranking `RR`.
+    pub rank: usize,
+    /// α-free term evidence `Σ tf·irf²`.
+    pub term_sum: f64,
+    /// α-free entity evidence `Σ ef·eirf²·we`.
+    pub entity_sum: f64,
+    /// `α · term_sum` — the term side of Eq. 1 at the active α.
+    pub term_score: f64,
+    /// `(1−α) · entity_sum` — the entity side of Eq. 1.
+    pub entity_score: f64,
+    /// The recombined Eq. 1 document score (`term_score + entity_score`).
+    pub score: f64,
+    /// Whether the resource made the Eq. 3 window (false ⇒ cut off).
+    pub in_window: bool,
+}
+
+/// One resource's contribution to one candidate's Eq. 3 score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceContribution {
+    /// The contributing document.
+    pub doc: DocIdx,
+    /// Its 1-based relevance rank.
+    pub rank: usize,
+    /// Graph distance at which the document is attributed to the
+    /// candidate.
+    pub distance: Distance,
+    /// The distance weight `wr(ri, ex)` applied.
+    pub wr: f64,
+    /// Term side of the document's Eq. 1 score.
+    pub term_score: f64,
+    /// Entity side of the document's Eq. 1 score.
+    pub entity_score: f64,
+    /// The document's full Eq. 1 score.
+    pub doc_score: f64,
+    /// `doc_score · wr` — the Eq. 3 summand.
+    pub contribution: f64,
+    /// False when the document matched but fell outside the window (its
+    /// `contribution` is what the candidate *lost* to the cutoff).
+    pub in_window: bool,
+}
+
+/// One candidate with their score fully decomposed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainedExpert {
+    /// The candidate.
+    pub person: PersonId,
+    /// The ranked Eq. 3 score — identical to what
+    /// [`rank_components`] produces for this configuration.
+    pub score: f64,
+    /// Number of in-window resources that contributed.
+    pub votes: u32,
+    /// Every attributed matching resource, relevance-rank order,
+    /// including cut-off ones (flagged `in_window: false`).
+    pub contributions: Vec<ResourceContribution>,
+}
+
+impl ExplainedExpert {
+    /// Replays the decomposition: sums the in-window contributions in
+    /// recorded order (applying evidence normalisation when configured).
+    /// Additive only under the paper's weighted-sum aggregation — returns
+    /// `None` for voting/fusion aggregations, whose scores are not sums
+    /// of per-resource parts.
+    pub fn decomposed_score(&self, config: &FinderConfig) -> Option<f64> {
+        if config.aggregation != Aggregation::WeightedSum {
+            return None;
+        }
+        let mut sum = 0.0;
+        for c in self.contributions.iter().filter(|c| c.in_window) {
+            sum += c.contribution;
+        }
+        if config.normalize_by_evidence && self.votes > 0 {
+            sum /= self.votes as f64;
+        }
+        Some(sum)
+    }
+}
+
+/// A ranking with full score provenance, produced by [`rank_explained`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainedRanking {
+    /// The α the scores were recombined at.
+    pub alpha: f64,
+    /// Size of the attributed match set `RR`.
+    pub matches: usize,
+    /// The resolved Eq. 3 window `n` (first `window` resources count).
+    pub window: usize,
+    /// Every matching resource, relevance-rank order.
+    pub resources: Vec<ExplainedResource>,
+    /// Candidates with positive scores, best first.
+    pub experts: Vec<ExplainedExpert>,
+}
+
+impl ExplainedRanking {
+    /// Resources excluded by the window cutoff (`matches − window`).
+    pub fn cutoff(&self) -> usize {
+        self.matches - self.window
+    }
+
+    /// The explanation for one candidate, if they ranked.
+    pub fn expert(&self, person: PersonId) -> Option<&ExplainedExpert> {
+        self.experts.iter().find(|e| e.person == person)
+    }
+
+    /// The plain ranking view (what [`rank_components`] returns).
+    pub fn ranked(&self) -> Vec<RankedExpert> {
+        self.experts
+            .iter()
+            .map(|e| RankedExpert { person: e.person, score: e.score })
+            .collect()
+    }
+
+    /// Largest `|score − Σ contributions|` over all ranked experts, as a
+    /// relative error. Zero (to the last bit) for the weighted-sum
+    /// aggregation, because the decomposition replays the exact
+    /// accumulation; `None` when the aggregation is not additive.
+    pub fn max_decomposition_error(&self, config: &FinderConfig) -> Option<f64> {
+        let mut worst = 0.0f64;
+        for e in &self.experts {
+            let replayed = e.decomposed_score(config)?;
+            let rel = (e.score - replayed).abs() / e.score.abs().max(1.0);
+            worst = worst.max(rel);
+        }
+        Some(worst)
+    }
+}
+
+/// Ranks the candidates for one analysed query, keeping the full score
+/// decomposition. Same retrieval, filter, window and aggregation as
+/// [`rank_query`](crate::ranker::rank_query); the paper's VSM only
+/// (components are Eq. 1 factorings — BM25 has no term/entity split).
+pub fn rank_explained(
+    corpus: &AnalyzedCorpus,
+    attribution: &Attribution,
+    config: &FinderConfig,
+    query: &Query,
+    candidate_count: usize,
+) -> ExplainedRanking {
+    let _span = rightcrowd_obs::span!("core.rank_explained");
+    debug_assert!(
+        matches!(config.retrieval, crate::config::Retrieval::PaperVsm),
+        "explain decomposes the paper's VSM; BM25 has no component form"
+    );
+    let components =
+        attributed_components(attribution, &corpus.index().score_components(query));
+    let explained = explain_components(attribution, config, &components, candidate_count);
+    // The decomposition must be the ranking: identical candidates and
+    // bit-identical scores versus the factored production path, and —
+    // when the aggregation is additive — parts that sum to the score.
+    debug_assert_eq!(
+        explained.ranked(),
+        rank_components(attribution, config, &components, candidate_count),
+        "explained ranking diverged from rank_components"
+    );
+    debug_assert!(
+        explained.max_decomposition_error(config).is_none_or(|e| e <= 1e-12),
+        "per-resource contributions do not sum to the ranked score"
+    );
+    explained
+}
+
+/// [`rank_explained`] over precomputed, attribution-filtered components
+/// (the α-sweep form; see [`attributed_components`]).
+pub fn explain_components(
+    attribution: &Attribution,
+    config: &FinderConfig,
+    components: &[ComponentScore],
+    candidate_count: usize,
+) -> ExplainedRanking {
+    let alpha = config.alpha.clamp(0.0, 1.0);
+
+    // Mirror `recombine`: same score expression, same positivity filter,
+    // same (desc score, asc doc) order — so ranks and window membership
+    // are exactly the production ranker's.
+    let mut resources: Vec<ExplainedResource> = components
+        .iter()
+        .filter_map(|c| {
+            let score = alpha * c.term_sum + (1.0 - alpha) * c.entity_sum;
+            (score > 0.0).then_some(ExplainedResource {
+                doc: c.doc,
+                rank: 0,
+                term_sum: c.term_sum,
+                entity_sum: c.entity_sum,
+                term_score: alpha * c.term_sum,
+                entity_score: (1.0 - alpha) * c.entity_sum,
+                score,
+                in_window: false,
+            })
+        })
+        .collect();
+    resources.sort_unstable_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.doc.cmp(&b.doc))
+    });
+    let matches = resources.len();
+    let window = config.window.resolve(matches);
+    for (i, r) in resources.iter_mut().enumerate() {
+        r.rank = i + 1;
+        r.in_window = i < window;
+    }
+
+    // Mirror `rank_scored`: same accumulator, same iteration order over
+    // the window. Cut-off resources are *captured* but never recorded.
+    let mut accs = vec![FusionAcc::default(); candidate_count];
+    let mut contribs: Vec<Vec<ResourceContribution>> = vec![Vec::new(); candidate_count];
+    for r in &resources {
+        for &(person, distance) in attribution.owners(r.doc) {
+            let wr = config.weight(distance);
+            let contribution = r.score * wr;
+            if r.in_window {
+                accs[person.index()].record(contribution, r.rank);
+            }
+            contribs[person.index()].push(ResourceContribution {
+                doc: r.doc,
+                rank: r.rank,
+                distance,
+                wr,
+                term_score: r.term_score,
+                entity_score: r.entity_score,
+                doc_score: r.score,
+                contribution,
+                in_window: r.in_window,
+            });
+        }
+    }
+
+    let mut experts: Vec<ExplainedExpert> = accs
+        .into_iter()
+        .zip(contribs)
+        .enumerate()
+        .filter_map(|(i, (fusion, contributions))| {
+            let mut score = fusion.fuse(config.aggregation);
+            if config.normalize_by_evidence && fusion.votes > 0 {
+                score /= fusion.votes as f64;
+            }
+            (score > 0.0).then_some(ExplainedExpert {
+                person: PersonId::new(i as u32),
+                score,
+                votes: fusion.votes,
+                contributions,
+            })
+        })
+        .collect();
+    experts.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("scores are finite")
+            .then_with(|| a.person.cmp(&b.person))
+    });
+
+    ExplainedRanking { alpha, matches, window, resources, experts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WindowSize;
+    use crate::pipeline::AnalysisPipeline;
+    use crate::ranker::rank_query;
+
+    fn setup() -> &'static (rightcrowd_synth::SyntheticDataset, AnalyzedCorpus) {
+        crate::testkit::tiny()
+    }
+
+    #[test]
+    fn explained_scores_match_rank_query_and_parts_sum() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let config = FinderConfig::default();
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let n = ds.candidates().len();
+        for need in ds.queries().iter().take(6) {
+            let q = pipeline.analyze_query(&need.text);
+            let explained = rank_explained(corpus, &attribution, &config, &q, n);
+            let direct = rank_query(corpus, &attribution, &config, &q, n);
+            assert_eq!(explained.experts.len(), direct.len());
+            // The two paths reassociate float sums differently, so
+            // near-tied experts may swap positions; compare per person.
+            for d in &direct {
+                let e = explained.expert(d.person).expect("same expert set");
+                let tol = 1e-9 * d.score.abs().max(1.0);
+                assert!((e.score - d.score).abs() <= tol, "{} vs {}", e.score, d.score);
+                let replayed = e.decomposed_score(&config).expect("weighted-sum is additive");
+                assert_eq!(replayed, e.score, "decomposition must replay exactly");
+            }
+        }
+    }
+
+    #[test]
+    fn window_flags_count_the_cutoff() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let config = FinderConfig::default().with_window(WindowSize::Count(5));
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let q = pipeline.analyze_query(&ds.queries()[0].text);
+        let explained =
+            rank_explained(corpus, &attribution, &config, &q, ds.candidates().len());
+        let cut = explained.resources.iter().filter(|r| !r.in_window).count();
+        assert_eq!(cut, explained.cutoff());
+        assert_eq!(explained.cutoff(), explained.matches - explained.window);
+        assert!(explained.window <= 5);
+        // Ranks are 1..=matches in order, window prefix flagged.
+        for (i, r) in explained.resources.iter().enumerate() {
+            assert_eq!(r.rank, i + 1);
+            assert_eq!(r.in_window, i < explained.window);
+        }
+    }
+
+    #[test]
+    fn contributions_carry_distance_weights_and_splits() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let config = FinderConfig::default();
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let q = pipeline.analyze_query(&ds.queries()[2].text);
+        let explained =
+            rank_explained(corpus, &attribution, &config, &q, ds.candidates().len());
+        assert!(!explained.experts.is_empty());
+        for e in &explained.experts {
+            assert!(e.votes > 0);
+            for c in &e.contributions {
+                assert_eq!(c.wr, config.weight(c.distance));
+                assert_eq!(c.contribution, c.doc_score * c.wr);
+                assert_eq!(c.doc_score, c.term_score + c.entity_score);
+            }
+        }
+        // Lookup by person works.
+        let first = explained.experts[0].person;
+        assert_eq!(explained.expert(first).unwrap().person, first);
+    }
+
+    #[test]
+    fn non_additive_aggregations_refuse_decomposition() {
+        let (ds, corpus) = setup();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let config = FinderConfig {
+            aggregation: Aggregation::Votes,
+            ..FinderConfig::default()
+        };
+        let attribution = Attribution::compute(ds, corpus, &config);
+        let q = pipeline.analyze_query(&ds.queries()[1].text);
+        let explained =
+            rank_explained(corpus, &attribution, &config, &q, ds.candidates().len());
+        assert!(explained.max_decomposition_error(&config).is_none());
+        if let Some(e) = explained.experts.first() {
+            assert!(e.decomposed_score(&config).is_none());
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub mod config;
 pub mod corpus;
 pub mod domain_aware;
 pub mod eval;
+pub mod explain;
 pub mod finder;
 pub(crate) mod par;
 pub mod pipeline;
@@ -42,11 +43,14 @@ pub mod routing;
 pub mod testkit;
 
 pub use aggregation::Aggregation;
-pub use attribution::{Attribution, AttributionCache, TraversalShape};
+pub use attribution::{Attribution, AttributionCache, CacheStats, TraversalShape};
 pub use config::{FinderConfig, Retrieval, WindowSize};
 pub use corpus::{AnalyzedCorpus, CorpusOptions};
 pub use domain_aware::DomainPolicy;
 pub use eval::{ConfigOutcome, EvalContext, UserReliability};
+pub use explain::{
+    rank_explained, ExplainedExpert, ExplainedRanking, ExplainedResource, ResourceContribution,
+};
 pub use finder::{ExpertFinder, RankedExpert};
 pub use pipeline::{AnalysisPipeline, AnalyzedDoc};
 pub use routing::{RoutingOutcome, RoutingStrategy};

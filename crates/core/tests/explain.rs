@@ -1,0 +1,162 @@
+//! Property-style tests for the score-explain path: under *random* finder
+//! configurations, [`rank_explained`] must agree with the production
+//! ranker ([`rank_query`]) and its per-resource decomposition must sum to
+//! the ranked score.
+//!
+//! The two paths accumulate floats in different association orders (the
+//! production path mixes α per posting list, the explain path recombines
+//! per-document sums), so scores are compared within 1e-9 relative — but
+//! the *replay* of the decomposition is exact, because
+//! [`ExplainedExpert::decomposed_score`] re-runs the identical
+//! accumulation the explain ranker performed.
+//!
+//! [`ExplainedExpert::decomposed_score`]: rightcrowd_core::ExplainedExpert::decomposed_score
+
+use proptest::{prop_assert, prop_assert_eq, run_cases, TestRng};
+use rightcrowd_core::attribution::AttributionCache;
+use rightcrowd_core::explain::rank_explained;
+use rightcrowd_core::ranker::rank_query;
+use rightcrowd_core::{AnalysisPipeline, FinderConfig, WindowSize};
+use rightcrowd_index::Query;
+use rightcrowd_types::{Distance, Platform, PlatformMask};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The tiny corpus with its analysed queries, built once per process.
+fn fixture() -> &'static (
+    &'static rightcrowd_synth::SyntheticDataset,
+    &'static rightcrowd_core::AnalyzedCorpus,
+    Vec<Query>,
+) {
+    static CELL: OnceLock<(
+        &'static rightcrowd_synth::SyntheticDataset,
+        &'static rightcrowd_core::AnalyzedCorpus,
+        Vec<Query>,
+    )> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (ds, corpus) = rightcrowd_core::testkit::tiny();
+        let pipeline = AnalysisPipeline::new(ds.kb());
+        let queries =
+            ds.queries().iter().map(|need| pipeline.analyze_query(&need.text)).collect();
+        (ds, corpus, queries)
+    })
+}
+
+/// Attributions memoised across property cases (many random configs share
+/// a traversal shape; recomputing the evidence walk 64× would dominate).
+fn attribution(config: &FinderConfig) -> Arc<rightcrowd_core::Attribution> {
+    static CACHE: OnceLock<Mutex<AttributionCache>> = OnceLock::new();
+    let (ds, corpus, _) = fixture();
+    CACHE
+        .get_or_init(|| Mutex::new(AttributionCache::new()))
+        .lock()
+        .expect("attribution cache poisoned")
+        .get_or_compute(ds, corpus, config)
+}
+
+/// A random paper-shaped configuration: weighted-sum aggregation and the
+/// paper's VSM (the decomposition's domain), everything else free.
+fn random_config(rng: &mut TestRng) -> FinderConfig {
+    let window = match rng.below(3) {
+        0 => WindowSize::Count(1 + rng.below(150) as usize),
+        1 => WindowSize::Fraction(rng.unit_f64()),
+        _ => WindowSize::All,
+    };
+    let platforms = match rng.below(4) {
+        0 => PlatformMask::only(Platform::Facebook),
+        1 => PlatformMask::only(Platform::Twitter),
+        2 => PlatformMask::only(Platform::LinkedIn),
+        _ => PlatformMask::ALL,
+    };
+    FinderConfig {
+        alpha: rng.unit_f64(),
+        window,
+        max_distance: Distance::from_level(rng.below(3) as usize).expect("level < 3"),
+        include_friends: rng.below(2) == 1,
+        platforms,
+        distance_weights: [
+            0.1 + 0.9 * rng.unit_f64(),
+            0.1 + 0.9 * rng.unit_f64(),
+            0.1 + 0.9 * rng.unit_f64(),
+        ],
+        normalize_by_evidence: rng.below(2) == 1,
+        ..FinderConfig::default()
+    }
+}
+
+#[test]
+fn explained_ranking_matches_production_under_random_configs() {
+    run_cases("explained_matches_production", |rng| {
+        let (ds, corpus, queries) = fixture();
+        let config = random_config(rng);
+        let attribution = attribution(&config);
+        let n = ds.candidates().len();
+        // Two random queries per case keep the 64-case run fast while
+        // still crossing configs with every query over the seeds.
+        for _ in 0..2 {
+            let query = &queries[rng.below(queries.len() as u64) as usize];
+            let explained = rank_explained(corpus, &attribution, &config, query, n);
+            let direct = rank_query(corpus, &attribution, &config, query, n);
+
+            // Same expert set; scores within float-reassociation tolerance.
+            prop_assert_eq!(
+                explained.experts.len(),
+                direct.len(),
+                "expert counts diverge under {:?}",
+                config
+            );
+            for d in &direct {
+                let Some(e) = explained.expert(d.person) else {
+                    return Err(format!("{:?} missing from explained ranking", d.person));
+                };
+                let tol = 1e-9 * d.score.abs().max(1.0);
+                prop_assert!(
+                    (e.score - d.score).abs() <= tol,
+                    "score diverged for {:?}: explained {} vs direct {} under {:?}",
+                    d.person,
+                    e.score,
+                    d.score,
+                    config
+                );
+                // The decomposition replays the ranked score exactly.
+                prop_assert_eq!(
+                    e.decomposed_score(&config),
+                    Some(e.score),
+                    "Σ contributions must replay the score bit-for-bit"
+                );
+                // Only in-window rows carry weight; every row is consistent.
+                for c in &e.contributions {
+                    prop_assert!(c.rank >= 1 && c.rank <= explained.matches);
+                    prop_assert_eq!(c.in_window, c.rank <= explained.window);
+                    let product = c.doc_score * c.wr;
+                    prop_assert!((c.contribution - product).abs() == 0.0);
+                }
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn window_cutoff_excludes_exactly_matches_minus_n() {
+    run_cases("window_cutoff_exact", |rng| {
+        let (ds, corpus, queries) = fixture();
+        let config = random_config(rng);
+        let attribution = attribution(&config);
+        let query = &queries[rng.below(queries.len() as u64) as usize];
+        let explained =
+            rank_explained(corpus, &attribution, &config, query, ds.candidates().len());
+
+        // The resolved window obeys the configuration…
+        prop_assert_eq!(explained.window, config.window.resolve(explained.matches));
+        // …and the cutoff flags match it exactly: the first `window`
+        // resources are in, the remaining `matches − window` are out.
+        let cut = explained.resources.iter().filter(|r| !r.in_window).count();
+        prop_assert_eq!(cut, explained.cutoff());
+        prop_assert_eq!(explained.cutoff(), explained.matches - explained.window);
+        for (i, r) in explained.resources.iter().enumerate() {
+            prop_assert_eq!(r.rank, i + 1);
+            prop_assert_eq!(r.in_window, i < explained.window);
+        }
+        Ok(())
+    });
+}

@@ -90,7 +90,7 @@ impl InvertedIndex {
             }
         }
 
-        rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
+        crate::stats::publish(traversed, 0, 0);
         let mut scored: Vec<ScoredDoc> = acc
             .into_iter()
             .filter(|&(_, s)| s > 0.0)

@@ -400,7 +400,7 @@ impl InvertedIndex {
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
             let traversed = self.accumulate(query, alpha, s);
-            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
+            crate::stats::publish(traversed, 0, 0);
             let mut scored: Vec<ScoredDoc> = s
                 .touched
                 .iter()
@@ -560,12 +560,7 @@ impl InvertedIndex {
                     }
                 }
             }
-            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
-            rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscorePruned, pruned);
-            rightcrowd_obs::add(
-                rightcrowd_obs::CounterId::MaxscoreAdmitted,
-                s.touched.len() as u64,
-            );
+            crate::stats::publish(traversed, s.touched.len() as u64, pruned);
 
             let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(heap_capacity(k));
             for &doc in &s.touched {
@@ -632,7 +627,7 @@ impl InvertedIndex {
                     s.acc2[d] += w * ef as f64 * we;
                 }
             }
-            rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
+            crate::stats::publish(traversed, 0, 0);
             s.touched.sort_unstable();
             s.touched
                 .iter()

@@ -25,6 +25,7 @@ pub mod builder;
 pub mod index;
 pub mod query;
 pub mod reference;
+pub mod stats;
 
 pub use bm25::Bm25Params;
 pub use builder::IndexBuilder;
@@ -33,3 +34,4 @@ pub use index::{
     ScoredDoc,
 };
 pub use query::Query;
+pub use stats::{take_traversal_stats, TraversalStats};

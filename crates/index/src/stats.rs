@@ -1,0 +1,100 @@
+//! Per-thread traversal-counter deltas for the flight recorder.
+//!
+//! The global obs counters answer "how much work has the process done";
+//! a flight record needs "how much work did *this query* do". Every
+//! scoring path publishes through [`publish`], which feeds the global
+//! counters **and** a thread-local accumulator; callers bracket a query
+//! with [`take_traversal_stats`] (read-and-zero) to obtain the per-query
+//! delta without touching any shared state. Under feature `obs-off` on
+//! `rightcrowd-obs` the whole mechanism compiles to nothing.
+
+use std::cell::Cell;
+
+/// Counter deltas accumulated by the calling thread's scoring traversals
+/// since the last [`take_traversal_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Postings visited (term + entity sides, all scoring paths).
+    pub postings_traversed: u64,
+    /// Documents admitted into the MaxScore top-k accumulator.
+    pub maxscore_admitted: u64,
+    /// First-appearance documents skipped by the MaxScore bound.
+    pub maxscore_pruned: u64,
+}
+
+thread_local! {
+    static DELTA: Cell<TraversalStats> = const {
+        Cell::new(TraversalStats {
+            postings_traversed: 0,
+            maxscore_admitted: 0,
+            maxscore_pruned: 0,
+        })
+    };
+}
+
+/// Publishes one traversal's tallies: global counters plus the calling
+/// thread's delta. Compiled to nothing under `obs-off`.
+#[inline]
+pub(crate) fn publish(traversed: u64, admitted: u64, pruned: u64) {
+    if !rightcrowd_obs::PROBES_ENABLED {
+        return;
+    }
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscoreAdmitted, admitted);
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscorePruned, pruned);
+    DELTA.with(|d| {
+        let mut v = d.get();
+        v.postings_traversed += traversed;
+        v.maxscore_admitted += admitted;
+        v.maxscore_pruned += pruned;
+        d.set(v);
+    });
+}
+
+/// Reads and zeroes the calling thread's traversal delta. Call once
+/// before scoring (to discard unrelated history) and once after, on the
+/// same thread; the second read is the query's own counter delta.
+pub fn take_traversal_stats() -> TraversalStats {
+    DELTA.with(|d| d.replace(TraversalStats::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_read_and_zero_per_thread() {
+        let _ = take_traversal_stats();
+        publish(10, 3, 2);
+        publish(5, 0, 1);
+        let stats = take_traversal_stats();
+        if rightcrowd_obs::PROBES_ENABLED {
+            assert_eq!(
+                stats,
+                TraversalStats {
+                    postings_traversed: 15,
+                    maxscore_admitted: 3,
+                    maxscore_pruned: 3
+                }
+            );
+        } else {
+            assert_eq!(stats, TraversalStats::default());
+        }
+        assert_eq!(take_traversal_stats(), TraversalStats::default());
+    }
+
+    #[test]
+    fn deltas_are_thread_local() {
+        let _ = take_traversal_stats();
+        publish(7, 0, 0);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                assert_eq!(take_traversal_stats(), TraversalStats::default());
+            });
+        });
+        let stats = take_traversal_stats();
+        if rightcrowd_obs::PROBES_ENABLED {
+            assert_eq!(stats.postings_traversed, 7);
+        }
+    }
+}

@@ -44,11 +44,14 @@ pub enum CounterId {
     EntitiesAnnotated,
     /// Normalised terms produced by the text processor.
     TermsProcessed,
+    /// Gauge (written with [`set`]): traversal shapes currently resident
+    /// in the `AttributionCache`.
+    AttributionShapesResident,
 }
 
 impl CounterId {
     /// Every counter, in rendering order.
-    pub const ALL: [CounterId; 13] = [
+    pub const ALL: [CounterId; 14] = [
         CounterId::PostingsTraversed,
         CounterId::MaxscoreAdmitted,
         CounterId::MaxscorePruned,
@@ -62,6 +65,7 @@ impl CounterId {
         CounterId::EvidenceDocsD2,
         CounterId::EntitiesAnnotated,
         CounterId::TermsProcessed,
+        CounterId::AttributionShapesResident,
     ];
 
     /// The counter's snake_case name (JSON key and table label).
@@ -80,6 +84,7 @@ impl CounterId {
             CounterId::EvidenceDocsD2 => "evidence_docs_d2",
             CounterId::EntitiesAnnotated => "entities_annotated",
             CounterId::TermsProcessed => "terms_processed",
+            CounterId::AttributionShapesResident => "attribution_shapes_resident",
         }
     }
 }
@@ -99,6 +104,17 @@ pub fn add(id: CounterId, n: u64) {
     COUNTERS[id as usize].fetch_add(n, Relaxed);
     #[cfg(feature = "obs-off")]
     let _ = (id, n);
+}
+
+/// Stores an absolute value into a counter, turning it into a gauge
+/// (relaxed; a no-op under `obs-off`). Used for resident-size metrics
+/// where the latest level, not an event total, is the fact of interest.
+#[inline]
+pub fn set(id: CounterId, value: u64) {
+    #[cfg(not(feature = "obs-off"))]
+    COUNTERS[id as usize].store(value, Relaxed);
+    #[cfg(feature = "obs-off")]
+    let _ = (id, value);
 }
 
 /// The current value of a counter (zero under `obs-off`).

@@ -1,0 +1,360 @@
+//! The query flight recorder: a bounded, non-blocking buffer of structured
+//! per-query [`QueryRecord`]s for post-hoc debugging of individual
+//! rankings ("what did that slow query do?").
+//!
+//! Retention policy: **always keep the slowest P% plus the last N** —
+//! a ring of the [`RING_CAPACITY`] most recent records, plus a separate
+//! bounded set of the slowest records ([`SLOWEST_PERCENT`]% of the ring
+//! capacity) so a latency outlier survives long after the ring has lapped
+//! it.
+//!
+//! The write path never blocks: the ring index is claimed with one
+//! relaxed `fetch_add`, slot writes use `try_lock` (a contended slot
+//! drops the record rather than waiting), and the slowest-set is guarded
+//! by an atomic latency floor so the common case — a query faster than
+//! the current slowest cohort — costs a single relaxed load. Recording is
+//! off by default ([`set_flight_enabled`]); when disabled, or under
+//! feature `obs-off`, every entry point is an empty inline function.
+
+/// Number of most-recent records retained in the ring.
+pub const RING_CAPACITY: usize = 256;
+
+/// The slowest-cohort size, as a percentage of [`RING_CAPACITY`].
+pub const SLOWEST_PERCENT: usize = 10;
+
+const SLOWEST_CAPACITY: usize = RING_CAPACITY * SLOWEST_PERCENT / 100;
+
+/// One recorded query flight: identity, ranking configuration, latency,
+/// traversal-counter deltas and the top of the ranking. Plain data only —
+/// the obs crate stays dependency-free, so ids are raw integers and the
+/// window is a pre-rendered label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryRecord {
+    /// Caller-assigned query id (e.g. the `ExpertiseNeed` id).
+    pub query_id: u64,
+    /// Short human label (query text, possibly truncated).
+    pub label: String,
+    /// Domain label (`"Computer Engineering"`, …) or `""` when unknown.
+    pub domain: String,
+    /// Eq. 1 term/entity mix in effect.
+    pub alpha: f64,
+    /// Maximum evidence distance level (0, 1 or 2).
+    pub max_distance: u8,
+    /// Rendered Eq. 3 window config (`"top-100"`, `"frac-0.30"`, `"all"`).
+    pub window: String,
+    /// End-to-end query latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Postings visited by this query's scoring traversals.
+    pub postings_traversed: u64,
+    /// Documents admitted by the MaxScore top-k path.
+    pub maxscore_admitted: u64,
+    /// Documents pruned by the MaxScore bound.
+    pub maxscore_pruned: u64,
+    /// `(person id, score)` head of the ranking, best first.
+    pub top_candidates: Vec<(u32, f64)>,
+}
+
+impl QueryRecord {
+    /// Latency in milliseconds.
+    pub fn latency_ms(&self) -> f64 {
+        self.latency_ns as f64 / 1e6
+    }
+}
+
+/// Aggregate view of the recorder, for `BENCH_<scale>.json` and
+/// `rc flight` headers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FlightSummary {
+    /// Records ever offered to the recorder since the last reset.
+    pub recorded: u64,
+    /// Records currently resident (ring plus slowest-only survivors).
+    pub retained: usize,
+    /// Mean latency over the resident ring, milliseconds.
+    pub mean_ms: f64,
+    /// Slowest latency ever retained, milliseconds.
+    pub slowest_ms: f64,
+    /// Label of the slowest retained query (`""` when empty).
+    pub slowest_label: String,
+}
+
+// ---------------------------------------------------------------------------
+// Recorder (compiled out under obs-off)
+
+#[cfg(not(feature = "obs-off"))]
+mod imp {
+    use super::{FlightSummary, QueryRecord, RING_CAPACITY, SLOWEST_CAPACITY};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+    use std::sync::{Mutex, OnceLock};
+
+    pub(super) struct Recorder {
+        /// Ring slots; index claimed lock-free, slot body `try_lock`ed.
+        slots: Vec<Mutex<Option<QueryRecord>>>,
+        /// Total records ever offered; `cursor % RING_CAPACITY` is the
+        /// next slot.
+        cursor: AtomicU64,
+        /// Slowest cohort, unordered, at most `SLOWEST_CAPACITY` entries.
+        slowest: Mutex<Vec<QueryRecord>>,
+        /// Latency of the fastest member of a *full* slowest cohort;
+        /// records at or below it skip the lock entirely.
+        slowest_floor_ns: AtomicU64,
+    }
+
+    pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    pub(super) fn recorder() -> &'static Recorder {
+        static RECORDER: OnceLock<Recorder> = OnceLock::new();
+        RECORDER.get_or_init(|| Recorder {
+            slots: (0..RING_CAPACITY).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            slowest: Mutex::new(Vec::new()),
+            slowest_floor_ns: AtomicU64::new(0),
+        })
+    }
+
+    impl Recorder {
+        pub(super) fn record(&self, record: QueryRecord) {
+            // Slowest cohort first (the ring write consumes the record).
+            // One relaxed load filters out the common fast-query case.
+            if record.latency_ns > self.slowest_floor_ns.load(Relaxed) {
+                if let Ok(mut slowest) = self.slowest.try_lock() {
+                    slowest.push(record.clone());
+                    if slowest.len() > SLOWEST_CAPACITY {
+                        let (min_idx, _) = slowest
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| r.latency_ns)
+                            .expect("non-empty");
+                        slowest.swap_remove(min_idx);
+                        let floor =
+                            slowest.iter().map(|r| r.latency_ns).min().unwrap_or(0);
+                        self.slowest_floor_ns.store(floor, Relaxed);
+                    }
+                }
+            }
+            let seq = self.cursor.fetch_add(1, Relaxed);
+            let slot = &self.slots[(seq % RING_CAPACITY as u64) as usize];
+            // A contended slot means another writer lapped the ring onto
+            // the same index; dropping one record beats blocking.
+            if let Ok(mut guard) = slot.try_lock() {
+                *guard = Some(record);
+            }
+        }
+
+        pub(super) fn recent(&self) -> Vec<QueryRecord> {
+            let total = self.cursor.load(Relaxed);
+            let len = (total as usize).min(RING_CAPACITY);
+            let start = total.saturating_sub(len as u64);
+            // Oldest → newest: walk the ring from the oldest live slot.
+            (0..len as u64)
+                .filter_map(|i| {
+                    let idx = ((start + i) % RING_CAPACITY as u64) as usize;
+                    self.slots[idx].lock().ok().and_then(|g| g.clone())
+                })
+                .collect()
+        }
+
+        pub(super) fn slowest(&self, k: usize) -> Vec<QueryRecord> {
+            let mut pool = self.slowest.lock().map_or_else(|_| Vec::new(), |g| g.clone());
+            // Fold in the ring: early in a run the cohort may not yet
+            // have caught records the ring still holds.
+            for r in self.recent() {
+                if !pool.iter().any(|p| {
+                    p.query_id == r.query_id
+                        && p.latency_ns == r.latency_ns
+                        && p.label == r.label
+                }) {
+                    pool.push(r);
+                }
+            }
+            pool.sort_by_key(|r| std::cmp::Reverse(r.latency_ns));
+            pool.truncate(k);
+            pool
+        }
+
+        pub(super) fn reset(&self) {
+            for slot in &self.slots {
+                if let Ok(mut guard) = slot.lock() {
+                    *guard = None;
+                }
+            }
+            if let Ok(mut slowest) = self.slowest.lock() {
+                slowest.clear();
+            }
+            self.slowest_floor_ns.store(0, Relaxed);
+            self.cursor.store(0, Relaxed);
+        }
+
+        pub(super) fn summary(&self) -> FlightSummary {
+            let ring = self.recent();
+            let slowest = self.slowest(1);
+            let mean_ms = if ring.is_empty() {
+                0.0
+            } else {
+                ring.iter().map(QueryRecord::latency_ms).sum::<f64>() / ring.len() as f64
+            };
+            let resident_extra = self
+                .slowest
+                .lock()
+                .map_or(0, |g| g.iter().filter(|r| !ring.contains(r)).count());
+            FlightSummary {
+                recorded: self.cursor.load(Relaxed),
+                retained: ring.len() + resident_extra,
+                mean_ms,
+                slowest_ms: slowest.first().map_or(0.0, QueryRecord::latency_ms),
+                slowest_label: slowest.first().map_or(String::new(), |r| r.label.clone()),
+            }
+        }
+    }
+}
+
+/// Turns flight recording on or off (default off; independent of the
+/// span flag so benches can trace without paying per-query clones).
+#[inline]
+pub fn set_flight_enabled(enabled: bool) {
+    #[cfg(not(feature = "obs-off"))]
+    imp::ENABLED.store(enabled, std::sync::atomic::Ordering::Relaxed);
+    #[cfg(feature = "obs-off")]
+    let _ = enabled;
+}
+
+/// Whether [`record`] currently retains anything. Callers use this to
+/// skip building a [`QueryRecord`] (and reading the clock) entirely;
+/// under `obs-off` it is `false` at compile time, so guarded recording
+/// code is dead-code-eliminated.
+#[inline]
+pub fn flight_enabled() -> bool {
+    #[cfg(not(feature = "obs-off"))]
+    return imp::ENABLED.load(std::sync::atomic::Ordering::Relaxed);
+    #[cfg(feature = "obs-off")]
+    false
+}
+
+/// Offers a record to the recorder. A no-op when disabled.
+#[inline]
+pub fn record(record: QueryRecord) {
+    #[cfg(not(feature = "obs-off"))]
+    if flight_enabled() {
+        imp::recorder().record(record);
+    }
+    #[cfg(feature = "obs-off")]
+    let _ = record;
+}
+
+/// The resident ring, oldest first (empty under `obs-off`).
+pub fn recent() -> Vec<QueryRecord> {
+    #[cfg(not(feature = "obs-off"))]
+    return imp::recorder().recent();
+    #[cfg(feature = "obs-off")]
+    Vec::new()
+}
+
+/// The `k` slowest retained records, slowest first — drawn from the
+/// slowest cohort plus whatever the ring still holds.
+pub fn slowest(k: usize) -> Vec<QueryRecord> {
+    #[cfg(not(feature = "obs-off"))]
+    return imp::recorder().slowest(k);
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = k;
+        Vec::new()
+    }
+}
+
+/// Drops every retained record and zeroes the sequence counter.
+pub fn reset_flight() {
+    #[cfg(not(feature = "obs-off"))]
+    imp::recorder().reset();
+}
+
+/// Aggregate view of the recorder (all-zero under `obs-off`).
+pub fn flight_summary() -> FlightSummary {
+    #[cfg(not(feature = "obs-off"))]
+    return imp::recorder().summary();
+    #[cfg(feature = "obs-off")]
+    FlightSummary::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests serialise on a lock and
+    // reset it, using unique labels to stay debuggable.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn rec(id: u64, latency_ns: u64) -> QueryRecord {
+        QueryRecord {
+            query_id: id,
+            label: format!("q{id}"),
+            latency_ns,
+            ..QueryRecord::default()
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_retains_nothing() {
+        let _guard = lock();
+        reset_flight();
+        set_flight_enabled(false);
+        record(rec(1, 100));
+        assert!(recent().is_empty());
+        assert_eq!(flight_summary().recorded, 0);
+    }
+
+    #[test]
+    fn ring_keeps_last_n_and_slowest_survive_lapping() {
+        let _guard = lock();
+        reset_flight();
+        set_flight_enabled(true);
+        // One huge outlier early, then enough records to lap the ring.
+        record(rec(0, 1_000_000_000));
+        for i in 1..=(RING_CAPACITY as u64 * 2) {
+            record(rec(i, i));
+        }
+        set_flight_enabled(false);
+        let ring = recent();
+        if cfg!(feature = "obs-off") {
+            assert!(ring.is_empty());
+            return;
+        }
+        assert_eq!(ring.len(), RING_CAPACITY);
+        // Ring is chronological and holds only the most recent window.
+        assert!(ring.windows(2).all(|w| w[0].query_id < w[1].query_id));
+        assert!(ring[0].query_id > 0, "outlier lapped out of the ring");
+        // …but the slowest cohort still has it.
+        let slowest = slowest(3);
+        assert_eq!(slowest[0].query_id, 0);
+        assert_eq!(slowest[0].latency_ns, 1_000_000_000);
+        let summary = flight_summary();
+        assert_eq!(summary.recorded, RING_CAPACITY as u64 * 2 + 1);
+        assert!(summary.retained >= RING_CAPACITY);
+        assert_eq!(summary.slowest_label, "q0");
+        reset_flight();
+        assert!(recent().is_empty());
+    }
+
+    #[test]
+    fn slowest_cohort_is_bounded() {
+        let _guard = lock();
+        reset_flight();
+        set_flight_enabled(true);
+        let n = RING_CAPACITY as u64 * 3;
+        for i in 0..n {
+            // Strictly increasing latency: every record beats the floor.
+            record(rec(i, (i + 1) * 1_000));
+        }
+        set_flight_enabled(false);
+        if cfg!(feature = "obs-off") {
+            return;
+        }
+        // slowest(huge k) is bounded by cohort + ring, and its head is
+        // the true global maximum.
+        let all = slowest(usize::MAX);
+        assert!(all.len() <= RING_CAPACITY + RING_CAPACITY * SLOWEST_PERCENT / 100);
+        assert_eq!(all[0].latency_ns, n * 1_000);
+        reset_flight();
+    }
+}

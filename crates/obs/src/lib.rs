@@ -20,9 +20,17 @@
 //!   latency histograms with atomic buckets, safely shared across
 //!   `par_map` workers and mergeable.
 //!
-//! [`snapshot()`] freezes all three into a [`MetricsSnapshot`] that
-//! serialises to JSON (hand-rolled, dependency-free) or renders as human
-//! tables. [`reset()`] clears the registry between measurement phases.
+//! - **Flight recorder** ([`flight`]) — a bounded non-blocking buffer of
+//!   structured per-query [`QueryRecord`]s (config, latency, counter
+//!   deltas, top candidates) retaining the slowest P% plus the last N,
+//!   behind `rc flight` and the `flight` block of `BENCH_<scale>.json`.
+//!
+//! [`snapshot()`] freezes counters, histograms and spans into a
+//! [`MetricsSnapshot`] that serialises to JSON (hand-rolled,
+//! dependency-free) or renders as human tables. [`reset()`] clears the
+//! registry between measurement phases. [`chrome_trace_json`] exports
+//! spans and flight records as Chrome trace-event JSON for
+//! `chrome://tracing` / Perfetto (`rc trace --chrome`).
 //!
 //! ## Cost model
 //!
@@ -33,14 +41,23 @@
 //! binary is bit-for-bit as fast as an uninstrumented one.
 
 pub mod counter;
+pub mod flight;
 pub mod hist;
 pub mod snapshot;
 pub mod span;
+pub mod trace_export;
 
 pub use counter::CounterId;
+pub use flight::{FlightSummary, QueryRecord};
 pub use hist::HistId;
 pub use snapshot::{reset, snapshot, MetricsSnapshot};
 pub use span::{set_spans_enabled, SpanGuard, SpanStat};
+pub use trace_export::chrome_trace_json;
+
+/// `false` when the `obs-off` feature compiled the probes out. Lets
+/// dependent crates (which have no feature of their own) guard probe-side
+/// bookkeeping with an `if` the optimiser deletes.
+pub const PROBES_ENABLED: bool = cfg!(not(feature = "obs-off"));
 
 /// Convenience re-export: add `n` to a global counter.
 #[inline]

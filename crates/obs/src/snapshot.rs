@@ -41,7 +41,7 @@ pub fn reset() {
     span::reset_spans();
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' | '\\' => vec!['\\', c],
@@ -52,7 +52,7 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn fmt_f64(v: f64) -> String {
+pub(crate) fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.3}")
     } else {

@@ -1,0 +1,199 @@
+//! Chrome trace-event export: serialises a [`MetricsSnapshot`]'s span
+//! aggregates and the flight recorder's [`QueryRecord`]s as a JSON
+//! document loadable by `chrome://tracing` and Perfetto
+//! (<https://ui.perfetto.dev>).
+//!
+//! Span statistics are *aggregates* (per-path totals), not raw event
+//! streams, so the exporter synthesises a deterministic timeline: rows
+//! arrive sorted by path (parents before children), each span becomes one
+//! complete (`"ph":"X"`) event whose duration is its total wall time, and
+//! children are packed left-to-right inside their parent's extent
+//! (clamped when parallel workers make child totals exceed the parent's
+//! wall clock — the true totals are preserved in `args`). Flight records
+//! render on a second track as consecutive slices, one per query, with
+//! the ranking configuration and counter deltas in `args`.
+
+use crate::flight::QueryRecord;
+use crate::snapshot::{fmt_f64, json_escape, MetricsSnapshot};
+use std::collections::HashMap;
+
+/// `pid` used for every synthesised event.
+const PID: u32 = 1;
+/// `tid` of the aggregate span timeline.
+const TID_SPANS: u32 = 1;
+/// `tid` of the per-query flight timeline.
+const TID_FLIGHT: u32 = 2;
+
+fn event(name: &str, ts_us: f64, dur_us: f64, tid: u32, cat: &str, args: &str) -> String {
+    format!(
+        "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+         \"pid\": {PID}, \"tid\": {tid}, \"args\": {{{args}}}}}",
+        json_escape(name),
+        cat,
+        fmt_f64(ts_us),
+        fmt_f64(dur_us),
+    )
+}
+
+fn metadata(name: &str, tid: u32, value: &str) -> String {
+    format!(
+        "{{\"name\": \"{name}\", \"ph\": \"M\", \"pid\": {PID}, \"tid\": {tid}, \
+         \"args\": {{\"name\": \"{}\"}}}}",
+        json_escape(value)
+    )
+}
+
+/// Renders the snapshot's spans plus the given flight records as a Chrome
+/// trace-event JSON object (`{"traceEvents": [...]}`).
+pub fn chrome_trace_json(snapshot: &MetricsSnapshot, flights: &[QueryRecord]) -> String {
+    let mut events = vec![
+        metadata("process_name", TID_SPANS, "rightcrowd"),
+        metadata("thread_name", TID_SPANS, "spans (aggregate layout)"),
+        metadata("thread_name", TID_FLIGHT, "query flights"),
+    ];
+
+    // Synthesised span timeline: `cursors` maps a span path to the next
+    // free timestamp inside it, `ends` to the end of its extent so
+    // children can be clamped. `""` is the virtual root.
+    let mut cursors: HashMap<&str, f64> = HashMap::new();
+    let mut ends: HashMap<&str, f64> = HashMap::new();
+    cursors.insert("", 0.0);
+    ends.insert("", f64::INFINITY);
+    for (path, stat) in &snapshot.spans {
+        let parent = path.rfind('/').map_or("", |i| &path[..i]);
+        let start = cursors.get(parent).copied().unwrap_or(0.0);
+        let parent_end = ends.get(parent).copied().unwrap_or(f64::INFINITY);
+        let true_dur = stat.total_ns as f64 / 1e3;
+        let dur = true_dur.min((parent_end - start).max(0.0));
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let args = format!(
+            "\"path\": \"{}\", \"calls\": {}, \"total_ms\": {}, \"self_ms\": {}",
+            json_escape(path),
+            stat.calls,
+            fmt_f64(stat.total_ns as f64 / 1e6),
+            fmt_f64(stat.self_ns() as f64 / 1e6),
+        );
+        events.push(event(name, start, dur, TID_SPANS, "span", &args));
+        cursors.insert(path.as_str(), start);
+        ends.insert(path.as_str(), start + dur);
+        *cursors.entry(parent).or_insert(start) = start + dur;
+    }
+
+    // Flight timeline: consecutive slices, one per retained query.
+    let mut ts = 0.0;
+    for record in flights {
+        let dur = record.latency_ns as f64 / 1e3;
+        let top = record
+            .top_candidates
+            .first()
+            .map_or(String::new(), |&(person, score)| {
+                format!(", \"top_person\": {person}, \"top_score\": {}", fmt_f64(score))
+            });
+        let args = format!(
+            "\"query_id\": {}, \"domain\": \"{}\", \"alpha\": {}, \"max_distance\": {}, \
+             \"window\": \"{}\", \"latency_ms\": {}, \"postings_traversed\": {}, \
+             \"maxscore_admitted\": {}, \"maxscore_pruned\": {}{top}",
+            record.query_id,
+            json_escape(&record.domain),
+            fmt_f64(record.alpha),
+            record.max_distance,
+            json_escape(&record.window),
+            fmt_f64(record.latency_ms()),
+            record.postings_traversed,
+            record.maxscore_admitted,
+            record.maxscore_pruned,
+        );
+        let label = if record.label.is_empty() { "query" } else { &record.label };
+        events.push(event(label, ts, dur, TID_FLIGHT, "flight", &args));
+        ts += dur;
+    }
+
+    let mut out = String::from("{\n  \"traceEvents\": [\n");
+    for (i, e) in events.iter().enumerate() {
+        let comma = if i + 1 < events.len() { "," } else { "" };
+        out.push_str(&format!("    {e}{comma}\n"));
+    }
+    out.push_str("  ],\n  \"displayTimeUnit\": \"ms\"\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStat;
+
+    fn snap(spans: Vec<(String, SpanStat)>) -> MetricsSnapshot {
+        MetricsSnapshot { counters: vec![], histograms: vec![], spans }
+    }
+
+    #[test]
+    fn children_pack_inside_parent_extent() {
+        let spans = vec![
+            ("build".to_string(), SpanStat { calls: 1, total_ns: 10_000, child_ns: 7_000 }),
+            ("build/a".to_string(), SpanStat { calls: 2, total_ns: 4_000, child_ns: 0 }),
+            ("build/b".to_string(), SpanStat { calls: 1, total_ns: 3_000, child_ns: 0 }),
+        ];
+        let json = chrome_trace_json(&snap(spans), &[]);
+        // Parent at ts 0 for 10µs; children at 0 and 4µs.
+        assert!(json.contains("\"name\": \"build\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 10.000"));
+        assert!(json.contains("\"name\": \"a\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 4.000"));
+        assert!(json.contains("\"name\": \"b\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": 4.000, \"dur\": 3.000"));
+        assert!(json.contains("\"path\": \"build/b\""));
+    }
+
+    #[test]
+    fn oversized_children_are_clamped_not_dropped() {
+        // Parallel workers: child totals exceed the parent's wall clock.
+        let spans = vec![
+            ("par".to_string(), SpanStat { calls: 1, total_ns: 1_000, child_ns: 900 }),
+            ("par/worker".to_string(), SpanStat { calls: 8, total_ns: 7_000, child_ns: 0 }),
+        ];
+        let json = chrome_trace_json(&snap(spans), &[]);
+        // Clamped to the parent's 1µs extent; true total kept in args.
+        assert!(json.contains("\"name\": \"worker\", \"cat\": \"span\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 1.000"));
+        assert!(json.contains("\"total_ms\": 0.007"));
+    }
+
+    #[test]
+    fn flight_records_render_as_consecutive_slices() {
+        let flights = vec![
+            QueryRecord {
+                query_id: 7,
+                label: "ios app".to_string(),
+                domain: "Technology".to_string(),
+                alpha: 0.6,
+                max_distance: 2,
+                window: "top-100".to_string(),
+                latency_ns: 2_000_000,
+                postings_traversed: 50,
+                maxscore_admitted: 10,
+                maxscore_pruned: 5,
+                top_candidates: vec![(3, 1.25)],
+            },
+            QueryRecord { query_id: 8, latency_ns: 1_000_000, ..QueryRecord::default() },
+        ];
+        let json = chrome_trace_json(&snap(vec![]), &flights);
+        assert!(json.contains("\"name\": \"ios app\", \"cat\": \"flight\", \"ph\": \"X\", \"ts\": 0.000, \"dur\": 2000.000"));
+        assert!(json.contains("\"ts\": 2000.000, \"dur\": 1000.000"));
+        assert!(json.contains("\"alpha\": 0.600"));
+        assert!(json.contains("\"top_person\": 3"));
+        assert!(json.contains("\"maxscore_pruned\": 5"));
+        // Both tracks are named.
+        assert!(json.contains("query flights"));
+        assert!(json.contains("spans (aggregate layout)"));
+    }
+
+    #[test]
+    fn output_has_no_trailing_commas_and_balanced_brackets() {
+        let json = chrome_trace_json(&snap(vec![]), &[]);
+        assert!(json.trim_start().starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+        assert!(!json.contains(",\n  ]"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+        assert!(json.contains("\"traceEvents\""));
+    }
+}

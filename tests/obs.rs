@@ -103,4 +103,48 @@ fn pipeline_and_query_path_populate_the_registry() {
     let before_q = obs::snapshot().counter(obs::CounterId::QueriesAnalyzed);
     let _ = pipeline.analyze_query("famous freestyle swimmers");
     assert_eq!(obs::snapshot().counter(obs::CounterId::QueriesAnalyzed), before_q + 1);
+
+    // Flight recorder: enabling it around a workload run leaves one
+    // structured record per query, carrying the ranking configuration,
+    // the latency, and the per-query traversal-counter deltas.
+    obs::flight::reset_flight();
+    obs::flight::set_flight_enabled(true);
+    ctx.run(&base);
+    obs::flight::set_flight_enabled(false);
+    let summary = obs::flight::flight_summary();
+    assert_eq!(
+        summary.recorded as usize,
+        ds.queries().len(),
+        "one flight record per workload query"
+    );
+    let recent = obs::flight::recent();
+    assert_eq!(recent.len(), ds.queries().len());
+    assert!(recent.iter().all(|r| r.latency_ns > 0));
+    assert!(
+        recent.iter().any(|r| r.postings_traversed > 0),
+        "counter deltas must bracket the queries"
+    );
+    for r in &recent {
+        assert!((r.alpha - base.alpha).abs() < 1e-12);
+        assert_eq!(r.max_distance, 2);
+        assert_eq!(r.window, "top-100");
+        assert!(!r.domain.is_empty());
+    }
+    assert!(recent.iter().any(|r| !r.top_candidates.is_empty()));
+    let slowest = obs::flight::slowest(3);
+    assert_eq!(slowest.len(), 3);
+    assert!(slowest.windows(2).all(|w| w[0].latency_ns >= w[1].latency_ns));
+    assert!(summary.slowest_ms >= summary.mean_ms);
+
+    // …and recording stays off once disabled.
+    ctx.run(&base);
+    assert_eq!(obs::flight::flight_summary().recorded as usize, ds.queries().len());
+
+    // The Chrome trace export renders spans + flights as one well-formed
+    // trace-event document (the bench crate validates it structurally).
+    let trace = obs::chrome_trace_json(&obs::snapshot(), &recent);
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"cat\": \"flight\""));
+    assert!(trace.contains("\"path\": \"eval.run_workload\""));
+    assert_eq!(trace.matches('{').count(), trace.matches('}').count());
 }
