@@ -5,6 +5,9 @@
 //! RIGHTCROWD_SCALE=tiny cargo run --release -p rightcrowd-bench --bin rc -- eval --platform tw
 //! cargo run --release -p rightcrowd-bench --bin rc -- stats
 //! cargo run --release -p rightcrowd-bench --bin rc -- bench --scale small
+//! cargo run --release -p rightcrowd-bench --bin rc -- save --snapshot corpus.rcs
+//! cargo run --release -p rightcrowd-bench --bin rc -- load --snapshot corpus.rcs
+//! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --snapshot corpus.rcs
 //! cargo run --release -p rightcrowd-bench --bin rc -- metrics --trace
 //! cargo run --release -p rightcrowd-bench --bin rc -- regress BENCH_small.json target/BENCH_small.json
 //! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --top 3
@@ -19,6 +22,18 @@ use rightcrowd_core::baseline::random_baseline;
 use rightcrowd_core::{ExpertFinder, FinderConfig};
 use rightcrowd_synth::DatasetStats;
 use rightcrowd_types::{Domain, Platform};
+
+/// [`Bench::prepare_with`], exiting with a rendered error (a damaged
+/// snapshot is a hard failure, not a silent rebuild).
+fn prepare_or_exit(snapshot: Option<&std::path::Path>) -> Bench {
+    match Bench::prepare_with(snapshot) {
+        Ok(bench) => bench,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -88,12 +103,27 @@ fn main() {
                 );
             }
         }
-        Command::Bench { out } => {
+        Command::Bench { out, snapshot } => {
+            // The bench always cold-builds (snapshot_load_ms must be
+            // compared against a real cold_build_ms from the same run),
+            // then measures the save → load round trip against --snapshot
+            // or a temp file.
             let bench = Bench::prepare();
-            let report = BenchReport::measure(&bench);
+            let report = BenchReport::measure_with(&bench, snapshot.as_deref());
             println!(
                 "query latency p50 {:.2} ms / p99 {:.2} ms ({:.0} queries/sec)",
                 report.query_p50_ms, report.query_p99_ms, report.queries_per_sec
+            );
+            println!(
+                "snapshot: {} bytes; load {:.0} ms vs cold build {:.0} ms — {:.1}× faster",
+                report.snapshot_bytes,
+                report.snapshot_load_ms,
+                report.cold_build_ms,
+                if report.snapshot_load_ms > 0.0 {
+                    report.cold_build_ms / report.snapshot_load_ms
+                } else {
+                    f64::INFINITY
+                },
             );
             println!(
                 "α sweep ({} points × 3 distances): naive {:.0} ms, factored {:.0} ms — {:.1}× speedup",
@@ -125,8 +155,47 @@ fn main() {
                 }
             }
         }
-        Command::Explain { text, candidate, top, json, platforms, distance } => {
+        Command::Save { snapshot } => {
             let bench = Bench::prepare();
+            match rightcrowd_store::save(&snapshot, &bench.ds, &bench.corpus) {
+                Ok(stats) => println!(
+                    "wrote {} ({} bytes in {:.0} ms)",
+                    snapshot.display(),
+                    stats.bytes,
+                    stats.elapsed_ms
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot save {}: {e}", snapshot.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::Load { snapshot } => match rightcrowd_store::load(&snapshot) {
+            Ok((ds, corpus, stats)) => {
+                let (persons, profiles, resources, containers) = ds.graph().counts();
+                println!(
+                    "verified {} ({} bytes in {:.0} ms)",
+                    snapshot.display(),
+                    stats.bytes,
+                    stats.elapsed_ms
+                );
+                println!(
+                    "  {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers"
+                );
+                println!(
+                    "  {} retained docs, {} dropped as non-English, {} queries",
+                    corpus.retained(),
+                    corpus.dropped_non_english(),
+                    ds.queries().len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: snapshot {}: {e}", snapshot.display());
+                std::process::exit(1);
+            }
+        },
+        Command::Explain { text, candidate, top, json, platforms, distance, snapshot } => {
+            let bench = prepare_or_exit(snapshot.as_deref());
             let ctx = bench.ctx();
             let config = FinderConfig::default()
                 .with_platforms(platforms)
@@ -159,8 +228,8 @@ fn main() {
                 );
             }
         }
-        Command::Flight { slowest, platforms, distance } => {
-            let bench = Bench::prepare();
+        Command::Flight { slowest, platforms, distance, snapshot } => {
+            let bench = prepare_or_exit(snapshot.as_deref());
             let ctx = bench.ctx();
             let config = FinderConfig::default()
                 .with_platforms(platforms)
@@ -247,7 +316,24 @@ fn main() {
             );
             print!("{}", rightcrowd_obs::snapshot().render());
         }
-        Command::Regress { baseline, current, threshold, warn_only } => {
+        Command::Regress { baseline, current, threshold, warn_only, snapshot } => {
+            // The snapshot gate runs first: a container that fails its
+            // checksums is a regression regardless of the latency diff.
+            if let Some(path) = &snapshot {
+                match rightcrowd_store::load(path) {
+                    Ok((_, corpus, stats)) => println!(
+                        "snapshot {} ok: {} bytes verified in {:.0} ms ({} retained docs)",
+                        path.display(),
+                        stats.bytes,
+                        stats.elapsed_ms,
+                        corpus.retained()
+                    ),
+                    Err(e) => {
+                        eprintln!("error: snapshot {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
             match regress::compare_files(&baseline, &current, threshold) {
                 Ok(report) => {
                     print!("{}", report.render());

@@ -1,7 +1,7 @@
 //! Argument parsing for the `rc` command-line tool.
 //!
 //! Hand-rolled (the workspace's dependency policy keeps external crates to
-//! the algorithmic minimum); supports the three subcommands of
+//! the algorithmic minimum); supports every subcommand of
 //! `src/bin/rc.rs` with long-flag options.
 
 use rightcrowd_types::{Distance, Platform, PlatformMask};
@@ -30,11 +30,27 @@ pub enum Command {
         /// Distance cap.
         distance: Distance,
     },
-    /// `rc bench [--out DIR]` — measure the retrieval hot path and write
-    /// a `BENCH_<scale>.json` snapshot.
+    /// `rc bench [--out DIR] [--snapshot FILE.rcs]` — measure the
+    /// retrieval hot path (cold build *and* the store save → load round
+    /// trip) and write a `BENCH_<scale>.json` snapshot.
     Bench {
-        /// Directory the snapshot is written into.
+        /// Directory the JSON snapshot is written into.
         out: std::path::PathBuf,
+        /// Where the measured store container is kept (a temp file is
+        /// used — and removed — when absent).
+        snapshot: Option<std::path::PathBuf>,
+    },
+    /// `rc save --snapshot FILE.rcs` — build the corpus at the selected
+    /// scale and serialise it as a store container.
+    Save {
+        /// Where the container is written.
+        snapshot: std::path::PathBuf,
+    },
+    /// `rc load --snapshot FILE.rcs` — verify + reconstruct a store
+    /// container and print what it holds.
+    Load {
+        /// The container to load.
+        snapshot: std::path::PathBuf,
     },
     /// `rc metrics [--platform P] [--distance D]` — run the workload once
     /// and print the observability registry (counters, histograms, span
@@ -62,6 +78,9 @@ pub enum Command {
         platforms: PlatformMask,
         /// Distance cap.
         distance: Distance,
+        /// Serve from this store container instead of rebuilding (cold
+        /// build + cache when the file is absent).
+        snapshot: Option<std::path::PathBuf>,
     },
     /// `rc flight [--slowest K] [--platform P] [--distance D]` — run the
     /// workload with the flight recorder on and print the retained
@@ -73,6 +92,9 @@ pub enum Command {
         platforms: PlatformMask,
         /// Distance cap.
         distance: Distance,
+        /// Serve from this store container instead of rebuilding (cold
+        /// build + cache when the file is absent).
+        snapshot: Option<std::path::PathBuf>,
     },
     /// `rc trace [--chrome OUT.json] [--check FILE.json]` — run the
     /// workload and export spans + flight records as Chrome trace-event
@@ -100,6 +122,9 @@ pub enum Command {
         threshold: f64,
         /// Report regressions without a failing exit code.
         warn_only: bool,
+        /// Also integrity-verify this store container (typed error →
+        /// exit 1), so CI gates on snapshot health alongside latency.
+        snapshot: Option<std::path::PathBuf>,
     },
     /// `rc help` or parse failure fallback.
     Help,
@@ -134,16 +159,24 @@ rc — expert finding in (simulated) social networks
 
 USAGE:
   rc query \"<expertise need>\" [--top N] [--platform all|fb|tw|li] [--distance 0|1|2]
-  rc explain \"<expertise need>\" [--candidate NAME] [--top K] [--json]
+  rc explain \"<expertise need>\" [--candidate NAME] [--top K] [--json] [--snapshot FILE.rcs]
                                [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
-  rc bench [--out DIR]
-  rc flight [--slowest K] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc bench [--out DIR] [--snapshot FILE.rcs]
+  rc save --snapshot FILE.rcs
+  rc load --snapshot FILE.rcs
+  rc flight [--slowest K] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc trace [--chrome OUT.json] [--check FILE.json]
   rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
-  rc regress <baseline.json> <current.json> [--threshold F] [--warn-only]
+  rc regress <baseline.json> <current.json> [--threshold F] [--warn-only] [--snapshot FILE.rcs]
   rc stats
   rc help
+
+SNAPSHOTS (build once, query many):
+  --snapshot FILE.rcs points at a rightcrowd-store container. `explain`
+  and `flight` serve from it when it exists (and cold-build + cache it
+  when it does not); `bench` measures the save/load round trip against
+  it; `regress` additionally verifies its checksums.
 
 GLOBAL OPTIONS:
   --scale tiny|small|paper   dataset scale (overrides RIGHTCROWD_SCALE)
@@ -191,6 +224,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut slowest: Option<usize> = None;
     let mut chrome: Option<std::path::PathBuf> = None;
     let mut check: Option<std::path::PathBuf> = None;
+    let mut snapshot: Option<std::path::PathBuf> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -225,6 +259,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 let value =
                     iter.next().ok_or_else(|| ParseError("--check needs a path".into()))?;
                 check = Some(std::path::PathBuf::from(value));
+            }
+            "--snapshot" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--snapshot needs a path".into()))?;
+                snapshot = Some(std::path::PathBuf::from(value));
             }
             "--scale" => {
                 let value = iter
@@ -292,7 +332,15 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         }
         "stats" => Command::Stats,
         "eval" => Command::Eval { platforms, distance },
-        "bench" => Command::Bench { out },
+        "bench" => Command::Bench { out, snapshot },
+        "save" => Command::Save {
+            snapshot: snapshot
+                .ok_or_else(|| ParseError("save needs --snapshot <file.rcs>".into()))?,
+        },
+        "load" => Command::Load {
+            snapshot: snapshot
+                .ok_or_else(|| ParseError("load needs --snapshot <file.rcs>".into()))?,
+        },
         "explain" => {
             let text = positional
                 .first()
@@ -304,9 +352,10 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 json,
                 platforms,
                 distance,
+                snapshot,
             }
         }
-        "flight" => Command::Flight { slowest, platforms, distance },
+        "flight" => Command::Flight { slowest, platforms, distance, snapshot },
         "trace" => {
             if chrome.is_none() && check.is_none() {
                 return Err(ParseError(
@@ -328,6 +377,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 current: std::path::PathBuf::from(current),
                 threshold,
                 warn_only,
+                snapshot,
             }
         }
         "help" | "--help" | "-h" => Command::Help,
@@ -391,12 +441,34 @@ mod tests {
 
     #[test]
     fn parses_bench() {
-        assert_eq!(cmd(&["bench"]), Command::Bench { out: std::path::PathBuf::from(".") });
         assert_eq!(
-            cmd(&["bench", "--out", "target/perf"]),
-            Command::Bench { out: std::path::PathBuf::from("target/perf") }
+            cmd(&["bench"]),
+            Command::Bench { out: std::path::PathBuf::from("."), snapshot: None }
+        );
+        assert_eq!(
+            cmd(&["bench", "--out", "target/perf", "--snapshot", "target/perf/corpus.rcs"]),
+            Command::Bench {
+                out: std::path::PathBuf::from("target/perf"),
+                snapshot: Some(std::path::PathBuf::from("target/perf/corpus.rcs")),
+            }
         );
         assert!(parse(&args(&["bench", "--out"])).is_err());
+        assert!(parse(&args(&["bench", "--snapshot"])).is_err());
+    }
+
+    #[test]
+    fn parses_save_and_load() {
+        assert_eq!(
+            cmd(&["save", "--snapshot", "corpus.rcs"]),
+            Command::Save { snapshot: std::path::PathBuf::from("corpus.rcs") }
+        );
+        assert_eq!(
+            cmd(&["load", "--snapshot", "corpus.rcs"]),
+            Command::Load { snapshot: std::path::PathBuf::from("corpus.rcs") }
+        );
+        // The container path is the whole point of these subcommands.
+        assert!(parse(&args(&["save"])).is_err());
+        assert!(parse(&args(&["load"])).is_err());
     }
 
     #[test]
@@ -425,12 +497,13 @@ mod tests {
                 json: false,
                 platforms: PlatformMask::ALL,
                 distance: Distance::D2,
+                snapshot: None,
             }
         );
         assert_eq!(
             cmd(&[
                 "explain", "swimming", "--candidate", "Riley", "--top", "2", "--json",
-                "--platform", "tw", "--distance", "1"
+                "--platform", "tw", "--distance", "1", "--snapshot", "c.rcs"
             ]),
             Command::Explain {
                 text: "swimming".into(),
@@ -439,6 +512,7 @@ mod tests {
                 json: true,
                 platforms: PlatformMask::only(Platform::Twitter),
                 distance: Distance::D1,
+                snapshot: Some(std::path::PathBuf::from("c.rcs")),
             }
         );
         assert!(parse(&args(&["explain"])).is_err());
@@ -449,14 +523,20 @@ mod tests {
     fn parses_flight() {
         assert_eq!(
             cmd(&["flight"]),
-            Command::Flight { slowest: None, platforms: PlatformMask::ALL, distance: Distance::D2 }
+            Command::Flight {
+                slowest: None,
+                platforms: PlatformMask::ALL,
+                distance: Distance::D2,
+                snapshot: None,
+            }
         );
         assert_eq!(
-            cmd(&["flight", "--slowest", "5", "--platform", "fb"]),
+            cmd(&["flight", "--slowest", "5", "--platform", "fb", "--snapshot", "c.rcs"]),
             Command::Flight {
                 slowest: Some(5),
                 platforms: PlatformMask::only(Platform::Facebook),
                 distance: Distance::D2,
+                snapshot: Some(std::path::PathBuf::from("c.rcs")),
             }
         );
         assert!(parse(&args(&["flight", "--slowest", "0"])).is_err());
@@ -506,15 +586,20 @@ mod tests {
                 current: std::path::PathBuf::from("target/BENCH_small.json"),
                 threshold: 0.2,
                 warn_only: false,
+                snapshot: None,
             }
         );
         assert_eq!(
-            cmd(&["regress", "a.json", "b.json", "--threshold", "0.5", "--warn-only"]),
+            cmd(&[
+                "regress", "a.json", "b.json", "--threshold", "0.5", "--warn-only",
+                "--snapshot", "corpus.rcs"
+            ]),
             Command::Regress {
                 baseline: std::path::PathBuf::from("a.json"),
                 current: std::path::PathBuf::from("b.json"),
                 threshold: 0.5,
                 warn_only: true,
+                snapshot: Some(std::path::PathBuf::from("corpus.rcs")),
             }
         );
         assert!(parse(&args(&["regress", "only-one.json"])).is_err());

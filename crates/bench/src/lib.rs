@@ -19,7 +19,7 @@
 //! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
 //! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
 //! | `exp_all`      | everything above, in order, sharing one in-process [`Bench`] |
-//! | `rc`           | interactive CLI: `rc query`, `rc explain`, `rc eval`, `rc stats`, `rc bench`, `rc flight`, `rc trace`, `rc metrics`, `rc regress` |
+//! | `rc`           | interactive CLI: `rc query`, `rc explain`, `rc eval`, `rc stats`, `rc bench`, `rc save`, `rc load`, `rc flight`, `rc trace`, `rc metrics`, `rc regress` |
 //!
 //! `rc bench` measures the retrieval hot path (per-query latency, the
 //! factored-vs-naive α-sweep speedup) and writes a `BENCH_<scale>.json`
@@ -34,6 +34,15 @@
 //! prints the per-resource score decomposition of a query ([`explain_fmt`]),
 //! `rc flight` tails the flight recorder, and `rc trace --chrome` exports
 //! spans + flight records as Chrome trace-event JSON.
+//!
+//! Since the `rightcrowd-store` snapshot layer landed, `rc save` /
+//! `rc load` serialise and verify the built corpus as an on-disk
+//! container, `--snapshot FILE.rcs` serves `rc explain` / `rc flight`
+//! from such a container (cold-building and caching it when absent),
+//! `rc bench` measures — and records in the JSON snapshot as
+//! `cold_build_ms` / `snapshot_load_ms` / `snapshot_bytes` — the save →
+//! load round trip, and `rc regress` gates on those keys plus the
+//! container's integrity.
 //!
 //! The dataset scale is selected with the `RIGHTCROWD_SCALE` environment
 //! variable (or `rc --scale`): `tiny`, `small` (default) or `paper` (the

@@ -256,15 +256,27 @@ pub fn parse_json(text: &str) -> Result<Json, JsonError> {
 pub const LATENCY_KEYS: &[&str] = &[
     "generate_ms",
     "analyze_ms",
+    "cold_build_ms",
+    "snapshot_load_ms",
     "query_p50_ms",
     "query_p99_ms",
     "alpha_sweep_naive_ms",
     "alpha_sweep_factored_ms",
 ];
 
+/// The snapshot-size key, gated with the same relative-threshold policy as
+/// the latency keys (the encoder is deterministic, so unexplained growth
+/// is a format or content change, not noise).
+pub const SIZE_KEY: &str = "snapshot_bytes";
+
 /// Sub-millisecond latencies jitter hard between runs; a delta is only a
 /// regression when it also exceeds this absolute slack (ms).
 const ABS_SLACK_MS: f64 = 0.05;
+
+/// Container sizes only move when the encoded content moves; small
+/// corpus-statistics drift (varint-free fixed-width encoding keeps this
+/// rare) is forgiven below this absolute slack (bytes).
+const ABS_SLACK_BYTES: f64 = 1024.0;
 
 /// Admission ratios are noisy across machines but should be stable for
 /// the same corpus seed; drift beyond this absolute slack (in ratio
@@ -347,9 +359,9 @@ pub fn counter_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
 pub struct KeyDelta {
     /// The snapshot key.
     pub key: &'static str,
-    /// Baseline value (ms).
+    /// Baseline value (ms; bytes for [`SIZE_KEY`]).
     pub baseline: f64,
-    /// Current value (ms).
+    /// Current value (ms; bytes for [`SIZE_KEY`]).
     pub current: f64,
     /// `(current − baseline) / baseline` (0 when the baseline is 0).
     pub ratio: f64,
@@ -362,7 +374,8 @@ pub struct KeyDelta {
 pub struct RegressReport {
     /// Relative threshold the comparison ran with.
     pub threshold: f64,
-    /// Per-key deltas, [`LATENCY_KEYS`] order (missing keys skipped).
+    /// Per-key deltas, [`LATENCY_KEYS`] order then [`SIZE_KEY`] (missing
+    /// keys skipped).
     pub deltas: Vec<KeyDelta>,
     /// Counter-invariant verdicts (empty when the snapshots predate the
     /// traversal counters). See [`counter_checks`].
@@ -384,6 +397,14 @@ impl RegressReport {
             let regressed = ratio > threshold && (c - b) > ABS_SLACK_MS;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
+        if let (Some(b), Some(c)) = (
+            baseline.get(SIZE_KEY).and_then(Json::as_f64),
+            current.get(SIZE_KEY).and_then(Json::as_f64),
+        ) {
+            let ratio = if b > 0.0 { (c - b) / b } else { 0.0 };
+            let regressed = ratio > threshold && (c - b) > ABS_SLACK_BYTES;
+            deltas.push(KeyDelta { key: SIZE_KEY, baseline: b, current: c, ratio, regressed });
+        }
         RegressReport { threshold, deltas, counters: counter_checks(baseline, current) }
     }
 
@@ -394,9 +415,10 @@ impl RegressReport {
 
     /// The comparison as an aligned table with a verdict line.
     pub fn render(&self) -> String {
+        // Units: ms for the latency keys, bytes for `snapshot_bytes`.
         let mut out = format!(
             "{:<26} {:>12} {:>12} {:>9}  verdict\n",
-            "key", "baseline ms", "current ms", "delta"
+            "key", "baseline", "current", "delta"
         );
         for d in &self.deltas {
             out.push_str(&format!(
@@ -527,6 +549,9 @@ mod tests {
             unix_time: 1_700_000_000,
             generate_ms: 10.0,
             analyze_ms: 900.0,
+            cold_build_ms: 910.0,
+            snapshot_load_ms: 45.0,
+            snapshot_bytes: 987_654,
             retained_docs: 100,
             queries: 30,
             query_p50_ms: 1.0,
@@ -542,12 +567,20 @@ mod tests {
         let doc = parse_json(&report.to_json()).unwrap();
         assert_eq!(doc.get("query_p50_ms").and_then(Json::as_f64), Some(1.0));
         assert_eq!(doc.get("git_dirty"), Some(&Json::Bool(false)));
+        assert_eq!(doc.get("snapshot_load_ms").and_then(Json::as_f64), Some(45.0));
+        assert_eq!(doc.get("snapshot_bytes").and_then(Json::as_f64), Some(987_654.0));
         assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
     }
 
     fn snap(p50: f64, p99: f64) -> Json {
+        snap_sized(p50, p99, 1_000_000)
+    }
+
+    fn snap_sized(p50: f64, p99: f64, bytes: u64) -> Json {
         parse_json(&format!(
-            r#"{{"generate_ms": 10.0, "analyze_ms": 1000.0, "query_p50_ms": {p50},
+            r#"{{"generate_ms": 10.0, "analyze_ms": 1000.0, "cold_build_ms": 1010.0,
+                "snapshot_load_ms": 50.0, "snapshot_bytes": {bytes},
+                "query_p50_ms": {p50},
                 "query_p99_ms": {p99}, "alpha_sweep_naive_ms": 300.0,
                 "alpha_sweep_factored_ms": 60.0}}"#
         ))
@@ -557,9 +590,45 @@ mod tests {
     #[test]
     fn unchanged_snapshots_pass() {
         let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
-        assert_eq!(r.deltas.len(), LATENCY_KEYS.len());
+        // Every latency key plus the snapshot-size gate.
+        assert_eq!(r.deltas.len(), LATENCY_KEYS.len() + 1);
         assert!(!r.any_regressed());
         assert!(r.render().contains("OK:"));
+    }
+
+    #[test]
+    fn snapshot_size_growth_fails() {
+        // +50% and far beyond the byte slack: the container got fatter.
+        let r =
+            RegressReport::compare(&snap_sized(1.0, 2.0, 1_000_000), &snap_sized(1.0, 2.0, 1_500_000), 0.2);
+        assert!(r.any_regressed());
+        let d = r.deltas.iter().find(|d| d.key == SIZE_KEY).unwrap();
+        assert!(d.regressed);
+        assert!((d.ratio - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_size_slack_and_shrink_pass() {
+        // Growth within the absolute byte slack is forgiven even when the
+        // relative threshold trips (tiny baseline), and shrinking is never
+        // a regression.
+        let r = RegressReport::compare(&snap_sized(1.0, 2.0, 1_000), &snap_sized(1.0, 2.0, 1_900), 0.2);
+        assert!(!r.deltas.iter().find(|d| d.key == SIZE_KEY).unwrap().regressed);
+        let r =
+            RegressReport::compare(&snap_sized(1.0, 2.0, 2_000_000), &snap_sized(1.0, 2.0, 1_000_000), 0.2);
+        assert!(!r.any_regressed());
+    }
+
+    #[test]
+    fn snapshot_load_regression_fails() {
+        let mut slow = snap(1.0, 2.0);
+        if let Json::Obj(m) = &mut slow {
+            m.insert("snapshot_load_ms".into(), Json::Num(90.0));
+        }
+        let r = RegressReport::compare(&snap(1.0, 2.0), &slow, 0.2);
+        assert!(r.any_regressed());
+        let d = r.deltas.iter().find(|d| d.key == "snapshot_load_ms").unwrap();
+        assert!(d.regressed);
     }
 
     #[test]

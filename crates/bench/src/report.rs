@@ -36,6 +36,14 @@ pub struct BenchReport {
     pub generate_ms: f64,
     /// Corpus analysis + indexing wall-clock, milliseconds.
     pub analyze_ms: f64,
+    /// `generate_ms + analyze_ms`: what a snapshot load avoids.
+    pub cold_build_ms: f64,
+    /// Store-container load (read + verify + reconstruct) wall-clock,
+    /// milliseconds. The serving contract (ISSUE 4) wants this ≥10×
+    /// faster than `cold_build_ms`.
+    pub snapshot_load_ms: f64,
+    /// Store-container size, bytes.
+    pub snapshot_bytes: u64,
     /// Indexed documents after the language gate.
     pub retained_docs: usize,
     /// Workload size (number of queries measured).
@@ -110,6 +118,42 @@ impl BenchReport {
     /// distances, eleven α points) on both the naive per-α path and the
     /// factored single-traversal path.
     pub fn measure(bench: &Bench) -> Self {
+        Self::measure_with(bench, None)
+    }
+
+    /// [`BenchReport::measure`] with an explicit store-container path: the
+    /// save → load round trip is measured against `snapshot` (kept on
+    /// disk for later `--snapshot` consumers) instead of a temp file.
+    pub fn measure_with(bench: &Bench, snapshot: Option<&std::path::Path>) -> Self {
+        // Snapshot round trip first, on a quiet machine state: save the
+        // built corpus, then load + verify it back and check the
+        // reconstruction, so `snapshot_load_ms` certifies a *usable*
+        // container, not just an I/O pass.
+        eprintln!("[bench] measuring snapshot save/load round trip...");
+        let temp = std::env::temp_dir().join(format!("rc-bench-{}.rcs", std::process::id()));
+        let snap_path = snapshot.unwrap_or(&temp);
+        if let Some(dir) = snap_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("snapshot directory must be creatable");
+        }
+        let saved =
+            rightcrowd_store::save(snap_path, &bench.ds, &bench.corpus).expect("snapshot save");
+        let (_, loaded_corpus, load_stats) =
+            rightcrowd_store::load(snap_path).expect("snapshot load");
+        assert_eq!(
+            loaded_corpus.index(),
+            bench.corpus.index(),
+            "snapshot round trip must reconstruct the identical index"
+        );
+        if snapshot.is_none() {
+            std::fs::remove_file(&temp).ok();
+        }
+        eprintln!(
+            "[bench]   {} bytes; load {:.0} ms vs cold build {:.0} ms",
+            saved.bytes,
+            load_stats.elapsed_ms,
+            bench.generate_ms + bench.analyze_ms,
+        );
+
         let ctx = bench.ctx();
         let config = FinderConfig::default();
         let attribution = ctx.attribution(&config);
@@ -192,6 +236,9 @@ impl BenchReport {
                 .map_or(0, |d| d.as_secs()),
             generate_ms: bench.generate_ms,
             analyze_ms: bench.analyze_ms,
+            cold_build_ms: bench.generate_ms + bench.analyze_ms,
+            snapshot_load_ms: load_stats.elapsed_ms,
+            snapshot_bytes: saved.bytes,
             retained_docs: bench.corpus.retained(),
             queries: latencies_ms.len(),
             query_p50_ms: percentile(&sorted, 0.50),
@@ -228,7 +275,9 @@ impl BenchReport {
         format!(
             "{{\n  \"scale\": {},\n  \"git_rev\": {},\n  \"git_dirty\": {},\n  \
              \"threads\": {},\n  \"unix_time\": {},\n  \
-             \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"retained_docs\": {},\n  \
+             \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"cold_build_ms\": {},\n  \
+             \"snapshot_load_ms\": {},\n  \"snapshot_bytes\": {},\n  \
+             \"retained_docs\": {},\n  \
              \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
              \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
              \"alpha_sweep_naive_ms\": {},\n  \"alpha_sweep_factored_ms\": {},\n  \
@@ -243,6 +292,9 @@ impl BenchReport {
             self.unix_time,
             num(self.generate_ms),
             num(self.analyze_ms),
+            num(self.cold_build_ms),
+            num(self.snapshot_load_ms),
+            self.snapshot_bytes,
             self.retained_docs,
             self.queries,
             num(self.query_p50_ms),
@@ -289,6 +341,9 @@ mod tests {
             unix_time: 1_700_000_000,
             generate_ms: 12.5,
             analyze_ms: 800.25,
+            cold_build_ms: 812.75,
+            snapshot_load_ms: 40.5,
+            snapshot_bytes: 1_234_567,
             retained_docs: 4321,
             queries: 30,
             query_p50_ms: 1.25,
@@ -324,6 +379,9 @@ mod tests {
             "unix_time",
             "generate_ms",
             "analyze_ms",
+            "cold_build_ms",
+            "snapshot_load_ms",
+            "snapshot_bytes",
             "retained_docs",
             "queries",
             "query_p50_ms",
@@ -344,6 +402,9 @@ mod tests {
         assert!(json.contains("\"git_dirty\": true"));
         assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"alpha_sweep_speedup\": 10.000"));
+        // The snapshot size is an integer byte count, not a float.
+        assert!(json.contains("\"snapshot_bytes\": 1234567"));
+        assert!(json.contains("\"cold_build_ms\": 812.750"));
         // The flight block is nested, escaped, and complete.
         for key in ["recorded", "retained", "mean_ms", "slowest_ms", "slowest_label"] {
             assert!(json.contains(&format!("\"{key}\": ")), "missing flight.{key}");

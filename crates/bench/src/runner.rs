@@ -59,6 +59,42 @@ impl Bench {
         Bench { ds, corpus, generate_ms, analyze_ms }
     }
 
+    /// Like [`Bench::prepare`], but served from a store container when one
+    /// is given: an existing file is loaded (verified checksums, no
+    /// pipeline run — the *query many* half of the serving story), and a
+    /// missing file is populated after the cold build so the next run —
+    /// or the next CI job — hits the cache. A damaged or mismatched
+    /// container is an error (its typed [`rightcrowd_store::StoreError`]
+    /// rendered), never a silent rebuild.
+    pub fn prepare_with(snapshot: Option<&std::path::Path>) -> Result<Self, String> {
+        let Some(path) = snapshot else { return Ok(Self::prepare()) };
+        if path.exists() {
+            eprintln!("[bench] loading snapshot {}...", path.display());
+            let (ds, corpus, stats) = rightcrowd_store::load(path)
+                .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+            eprintln!(
+                "[bench]   {} retained docs from {} bytes in {:.0} ms (pipeline skipped)",
+                corpus.retained(),
+                stats.bytes,
+                stats.elapsed_ms,
+            );
+            // No pipeline ran, so there are no build timings to report.
+            return Ok(Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 });
+        }
+        let bench = Self::prepare();
+        match rightcrowd_store::save(path, &bench.ds, &bench.corpus) {
+            Ok(saved) => eprintln!(
+                "[bench]   cached snapshot {} ({} bytes, {:.0} ms)",
+                path.display(),
+                saved.bytes,
+                saved.elapsed_ms,
+            ),
+            // A failed cache write only costs the next run a rebuild.
+            Err(e) => eprintln!("[bench]   warning: cannot cache {}: {e}", path.display()),
+        }
+        Ok(bench)
+    }
+
     /// The evaluation context over this bench.
     pub fn ctx(&self) -> EvalContext<'_> {
         EvalContext::new(&self.ds, &self.corpus)
@@ -92,6 +128,20 @@ pub fn linear_regression(points: &[(f64, f64)]) -> (f64, f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn prepare_with_rejects_a_damaged_snapshot() {
+        let dir = std::env::temp_dir().join(format!("rc-runner-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.rcs");
+        std::fs::write(&path, b"definitely not a container").unwrap();
+        let err = match Bench::prepare_with(Some(&path)) {
+            Err(err) => err,
+            Ok(_) => panic!("damaged snapshot must fail"),
+        };
+        assert!(err.contains("bad.rcs"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn regression_recovers_a_line() {

@@ -165,6 +165,36 @@ impl AnalyzedCorpus {
         }
     }
 
+    /// Reassembles a corpus from snapshot parts (see `rightcrowd-store`):
+    /// the deserialized index plus the retained-document table in index
+    /// order. The `DocId → DocIdx` map is rebuilt here rather than
+    /// persisted — it is derived state.
+    pub fn from_parts(
+        index: InvertedIndex,
+        docs: Vec<DocId>,
+        dropped_non_english: usize,
+    ) -> Result<Self, String> {
+        if index.doc_count() != docs.len() {
+            return Err(format!(
+                "document table length {} != index document count {}",
+                docs.len(),
+                index.doc_count()
+            ));
+        }
+        let mut doc_of = HashMap::with_capacity(docs.len());
+        for (i, &id) in docs.iter().enumerate() {
+            if doc_of.insert(id, DocIdx(i as u32)).is_some() {
+                return Err(format!("duplicate document id {id:?} in document table"));
+            }
+        }
+        Ok(AnalyzedCorpus { index, docs, doc_of, dropped_non_english })
+    }
+
+    /// The retained documents in index order (`doc_ids()[idx] = DocId`).
+    pub fn doc_ids(&self) -> &[DocId] {
+        &self.docs
+    }
+
     /// The inverted index over retained documents.
     pub fn index(&self) -> &InvertedIndex {
         &self.index

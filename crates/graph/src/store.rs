@@ -38,6 +38,29 @@ impl SocialGraph {
         Self::default()
     }
 
+    /// An empty graph with arena capacity reserved for a known node
+    /// census. Snapshot loading (`rightcrowd-store`) knows the exact
+    /// counts up front, so replaying the builder never reallocates.
+    pub fn with_capacity(
+        persons: usize,
+        profiles: usize,
+        resources: usize,
+        containers: usize,
+    ) -> Self {
+        let mut g = Self::default();
+        g.persons.reserve_exact(persons);
+        g.profiles.reserve_exact(profiles);
+        g.resources.reserve_exact(resources);
+        g.containers.reserve_exact(containers);
+        g.created.reserve_exact(profiles);
+        g.owned.reserve_exact(profiles);
+        g.annotated.reserve_exact(profiles);
+        g.member_of.reserve_exact(profiles);
+        g.follows.reserve_exact(profiles);
+        g.contains.reserve_exact(containers);
+        g
+    }
+
     // ----- construction -------------------------------------------------
 
     /// Registers a candidate person; accounts are attached by

@@ -24,6 +24,7 @@ pub mod bm25;
 pub mod builder;
 pub mod index;
 pub mod query;
+pub mod raw;
 pub mod reference;
 pub mod stats;
 
@@ -34,4 +35,5 @@ pub use index::{
     ScoredDoc,
 };
 pub use query::Query;
+pub use raw::{EntityParts, IndexParts, TermParts};
 pub use stats::{take_traversal_stats, TraversalStats};

@@ -47,11 +47,15 @@ pub enum CounterId {
     /// Gauge (written with [`set`]): traversal shapes currently resident
     /// in the `AttributionCache`.
     AttributionShapesResident,
+    /// Bytes written by `store::save` (container header + sections).
+    SnapshotBytesWritten,
+    /// Bytes read and checksum-validated by `store::load`.
+    SnapshotBytesRead,
 }
 
 impl CounterId {
     /// Every counter, in rendering order.
-    pub const ALL: [CounterId; 14] = [
+    pub const ALL: [CounterId; 16] = [
         CounterId::PostingsTraversed,
         CounterId::MaxscoreAdmitted,
         CounterId::MaxscorePruned,
@@ -66,6 +70,8 @@ impl CounterId {
         CounterId::EntitiesAnnotated,
         CounterId::TermsProcessed,
         CounterId::AttributionShapesResident,
+        CounterId::SnapshotBytesWritten,
+        CounterId::SnapshotBytesRead,
     ];
 
     /// The counter's snake_case name (JSON key and table label).
@@ -85,6 +91,8 @@ impl CounterId {
             CounterId::EntitiesAnnotated => "entities_annotated",
             CounterId::TermsProcessed => "terms_processed",
             CounterId::AttributionShapesResident => "attribution_shapes_resident",
+            CounterId::SnapshotBytesWritten => "snapshot_bytes_written",
+            CounterId::SnapshotBytesRead => "snapshot_bytes_read",
         }
     }
 }

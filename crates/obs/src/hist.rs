@@ -24,12 +24,18 @@ pub enum HistId {
     AnalyzeDocLatency,
     /// Full evidence-walk latency of one `Attribution::compute`.
     AttributionComputeLatency,
+    /// Full `store::load` latency: read + checksum + reconstruction.
+    SnapshotLoadLatency,
 }
 
 impl HistId {
     /// Every histogram, in rendering order.
-    pub const ALL: [HistId; 3] =
-        [HistId::QueryLatency, HistId::AnalyzeDocLatency, HistId::AttributionComputeLatency];
+    pub const ALL: [HistId; 4] = [
+        HistId::QueryLatency,
+        HistId::AnalyzeDocLatency,
+        HistId::AttributionComputeLatency,
+        HistId::SnapshotLoadLatency,
+    ];
 
     /// The histogram's snake_case name (JSON key and table label).
     pub const fn name(self) -> &'static str {
@@ -37,6 +43,7 @@ impl HistId {
             HistId::QueryLatency => "query_latency",
             HistId::AnalyzeDocLatency => "analyze_doc_latency",
             HistId::AttributionComputeLatency => "attribution_compute_latency",
+            HistId::SnapshotLoadLatency => "snapshot_load_latency",
         }
     }
 }
@@ -169,7 +176,7 @@ pub struct HistogramSummary {
 
 #[cfg(not(feature = "obs-off"))]
 static HISTS: [Histogram; HistId::ALL.len()] =
-    [Histogram::new(), Histogram::new(), Histogram::new()];
+    [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()];
 
 /// Records `ns` into a global histogram (a no-op under `obs-off`).
 #[inline]

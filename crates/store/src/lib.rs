@@ -1,0 +1,183 @@
+//! # rightcrowd-store
+//!
+//! Versioned on-disk snapshots of the built corpus + CSR index — the
+//! *build once, query many* half of the serving story (DESIGN.md §10).
+//!
+//! A snapshot holds everything `EvalContext` needs to answer queries
+//! without re-running the synthesis + analysis pipeline: the social
+//! graph, the synthetic web, the ground-truth inputs, the
+//! retained-document table, and the interned CSR postings with their
+//! precomputed `irf`/`eirf` and MaxScore bounds. Compiled-in constants
+//! (knowledge base, query workload) are *not* stored; they are
+//! regenerated at load and verified against fingerprints, so a snapshot
+//! can never be silently interpreted against the wrong vocabulary.
+//!
+//! The container is hand-rolled (this crate has zero dependencies beyond
+//! the workspace), little-endian, and fully checksummed — magic, format
+//! version, feature flags, a section table, one CRC-64 per section, and a
+//! whole-file CRC. Loading streams, verifies, and reconstructs with
+//! pre-sized allocations; on any damage it returns a typed
+//! [`StoreError`] — never a panic — whose variant names exactly what went
+//! wrong (see `container` for the detection-order contract).
+//!
+//! ```no_run
+//! # use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+//! # use rightcrowd_core::AnalyzedCorpus;
+//! let ds = SyntheticDataset::generate(&DatasetConfig::small());
+//! let corpus = AnalyzedCorpus::build(&ds);
+//! rightcrowd_store::save("corpus.rcs", &ds, &corpus).unwrap();
+//! // …later, in another process:
+//! let (ds, corpus, stats) = rightcrowd_store::load("corpus.rcs").unwrap();
+//! assert!(stats.bytes > 0);
+//! ```
+
+pub mod codec;
+pub mod container;
+pub mod crc;
+pub mod err;
+pub mod wire;
+
+pub use codec::Census;
+pub use container::{layout, section_name, SectionInfo, FORMAT_VERSION, MAGIC};
+pub use crc::{crc64, Crc64};
+pub use err::StoreError;
+
+use container::{kind, Section, SECTION_ORDER};
+use rightcrowd_core::AnalyzedCorpus;
+use rightcrowd_index::InvertedIndex;
+use rightcrowd_synth::{queries::workload, SyntheticDataset};
+use std::io::Read;
+use std::path::Path;
+use std::time::Instant;
+
+/// What [`save`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaveStats {
+    /// Total container size written, in bytes.
+    pub bytes: u64,
+    /// Wall time of encode + write, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// What [`load`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Total container size read and verified, in bytes.
+    pub bytes: u64,
+    /// Wall time of read + verify + reconstruct, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Serialises a built study into a complete snapshot container.
+///
+/// Deterministic: the same `(ds, corpus)` always produces the same bytes
+/// (vocabularies travel in dense-id order, floats as bit patterns, and no
+/// timestamp enters the container), so saving a loaded snapshot again is
+/// byte-identical.
+pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
+    let _span = rightcrowd_obs::span!("store.encode");
+    let (persons, profiles, resources, containers) = ds.graph().counts();
+    let census = Census {
+        persons,
+        profiles,
+        resources,
+        containers,
+        pages: ds.web().len(),
+        retained: corpus.retained(),
+    };
+    let parts = corpus.index().to_parts();
+    let sections = [
+        Section {
+            kind: kind::META,
+            payload: codec::encode_meta(ds.config(), ds.kb(), ds.queries(), census),
+        },
+        Section { kind: kind::GRAPH, payload: codec::encode_graph(ds.graph()) },
+        Section { kind: kind::WEB, payload: codec::encode_web(ds.web()) },
+        Section {
+            kind: kind::TRUTH,
+            payload: codec::encode_truth(ds.latent(), ds.ground_truth().answers(), ds.personas()),
+        },
+        Section {
+            kind: kind::CORPUS,
+            payload: codec::encode_corpus(
+                corpus.doc_ids(),
+                corpus.dropped_non_english(),
+                &parts.doc_lens,
+            ),
+        },
+        Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&parts.terms) },
+        Section { kind: kind::ENTITY_INDEX, payload: codec::encode_entity_index(&parts.entities) },
+    ];
+    container::assemble(&sections)
+}
+
+/// Streams, verifies and reconstructs a snapshot from any reader.
+///
+/// Returns the dataset, the corpus, and the verified byte count. All
+/// failure modes are typed ([`StoreError`]); nothing in this path panics
+/// on hostile input.
+pub fn from_reader<R: Read>(reader: R) -> Result<(SyntheticDataset, AnalyzedCorpus, u64), StoreError> {
+    let _span = rightcrowd_obs::span!("store.load");
+    let _timer = rightcrowd_obs::time(rightcrowd_obs::HistId::SnapshotLoadLatency);
+
+    let (sections, bytes) = container::read_container(reader)?;
+
+    // Version 1 fixes the section order; anything else is a forged table.
+    if sections.len() != SECTION_ORDER.len()
+        || sections.iter().zip(SECTION_ORDER).any(|(s, k)| s.kind != k)
+    {
+        return Err(StoreError::Corrupt(format!(
+            "unexpected section layout {:?} (want {SECTION_ORDER:?})",
+            sections.iter().map(|s| s.kind).collect::<Vec<_>>()
+        )));
+    }
+
+    // Regenerate the compiled-in constants the fingerprints verify against.
+    let kb = rightcrowd_kb::seed::standard();
+    let queries = workload();
+
+    let (config, census) = codec::decode_meta(&sections[0].payload, &kb, &queries)?;
+    let graph = codec::decode_graph(&sections[1].payload, census)?;
+    let web = codec::decode_web(&sections[2].payload, census)?;
+    let (latent, answers, personas) =
+        codec::decode_truth(&sections[3].payload, census, queries.len())?;
+    let (docs, dropped, doc_lens) = codec::decode_corpus(&sections[4].payload, census)?;
+    let terms = codec::decode_term_index(&sections[5].payload)?;
+    let entities = codec::decode_entity_index(&sections[6].payload)?;
+
+    let index = InvertedIndex::from_parts(codec::assemble_index_parts(terms, entities, doc_lens))
+        .map_err(StoreError::Corrupt)?;
+    let corpus = AnalyzedCorpus::from_parts(index, docs, dropped).map_err(StoreError::Corrupt)?;
+    let ds = SyntheticDataset::from_parts(config, graph, web, latent, answers, personas);
+
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesRead, bytes);
+    Ok((ds, corpus, bytes))
+}
+
+/// [`from_reader`] over an in-memory buffer.
+pub fn from_bytes(bytes: &[u8]) -> Result<(SyntheticDataset, AnalyzedCorpus), StoreError> {
+    let (ds, corpus, _) = from_reader(bytes)?;
+    Ok((ds, corpus))
+}
+
+/// Writes a snapshot of `(ds, corpus)` to `path`.
+pub fn save(
+    path: impl AsRef<Path>,
+    ds: &SyntheticDataset,
+    corpus: &AnalyzedCorpus,
+) -> Result<SaveStats, StoreError> {
+    let _span = rightcrowd_obs::span!("store.save");
+    let start = Instant::now();
+    let bytes = to_bytes(ds, corpus);
+    std::fs::write(path, &bytes).map_err(StoreError::Io)?;
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesWritten, bytes.len() as u64);
+    Ok(SaveStats { bytes: bytes.len() as u64, elapsed_ms: start.elapsed().as_secs_f64() * 1e3 })
+}
+
+/// Reads, verifies and reconstructs a snapshot from `path`.
+pub fn load(path: impl AsRef<Path>) -> Result<(SyntheticDataset, AnalyzedCorpus, LoadStats), StoreError> {
+    let start = Instant::now();
+    let file = std::fs::File::open(path).map_err(StoreError::Io)?;
+    let (ds, corpus, bytes) = from_reader(std::io::BufReader::new(file))?;
+    Ok((ds, corpus, LoadStats { bytes, elapsed_ms: start.elapsed().as_secs_f64() * 1e3 }))
+}

@@ -1,0 +1,250 @@
+//! Fault-injection harness: bit-flips and truncations at every section
+//! boundary (and inside every byte region) of a real snapshot must
+//! produce the documented typed [`StoreError`] — and must never panic.
+//!
+//! The acceptance contract (ISSUE 4): *all fault-injection cases
+//! (bit-flip + truncation per section) return the expected typed
+//! `StoreError` with zero panics.*
+
+use rightcrowd_core::testkit;
+use rightcrowd_store::{from_bytes, layout, to_bytes, StoreError, FORMAT_VERSION};
+use std::sync::OnceLock;
+
+/// One snapshot of the tiny preset, built once for the whole suite.
+fn snapshot() -> &'static Vec<u8> {
+    static CELL: OnceLock<Vec<u8>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let (ds, corpus) = testkit::tiny();
+        to_bytes(ds, corpus)
+    })
+}
+
+#[test]
+fn pristine_snapshot_loads() {
+    let (ds, corpus) = from_bytes(snapshot()).expect("pristine snapshot must load");
+    let (orig_ds, orig_corpus) = testkit::tiny();
+    assert_eq!(ds.graph().counts(), orig_ds.graph().counts());
+    assert_eq!(corpus.retained(), orig_corpus.retained());
+}
+
+#[test]
+fn layout_maps_the_whole_file() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let names: Vec<_> = infos.iter().map(|i| i.name).collect();
+    assert_eq!(
+        names,
+        vec![
+            "header",
+            "table",
+            "meta",
+            "graph",
+            "web",
+            "truth",
+            "corpus",
+            "term_index",
+            "entity_index",
+            "file_crc"
+        ]
+    );
+    assert_eq!(infos.iter().map(|i| i.len).sum::<usize>(), bytes.len());
+}
+
+/// Flipping one bit inside a payload section must surface as that
+/// section's checksum failure (detected before the whole-file digest,
+/// which would also fail). Each section is probed at its first, middle
+/// and last byte.
+#[test]
+fn bit_flip_in_each_section_names_the_section() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    for info in infos.iter().filter(|i| i.kind != 0) {
+        for probe in [info.offset, info.offset + info.len / 2, info.offset + info.len - 1] {
+            let mut damaged = bytes.clone();
+            damaged[probe] ^= 0x01;
+            match from_bytes(&damaged) {
+                Err(StoreError::ChecksumMismatch { section }) => {
+                    assert_eq!(
+                        section, info.name,
+                        "flip at byte {probe} should blame `{}`",
+                        info.name
+                    );
+                }
+                other => panic!(
+                    "flip at byte {probe} in `{}`: expected ChecksumMismatch, got {other:?}",
+                    info.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flip_in_magic_is_bad_magic() {
+    let mut damaged = snapshot().clone();
+    damaged[0] ^= 0x01;
+    assert!(matches!(from_bytes(&damaged), Err(StoreError::BadMagic)));
+}
+
+#[test]
+fn bit_flip_in_version_is_version_mismatch() {
+    // The version word is validated before the header checksum on
+    // purpose: an old or future snapshot should say "wrong version", not
+    // "corrupt".
+    let mut damaged = snapshot().clone();
+    damaged[8] ^= 0x02;
+    match from_bytes(&damaged) {
+        Err(StoreError::VersionMismatch { found, expected }) => {
+            assert_eq!(found, FORMAT_VERSION ^ 0x02);
+            assert_eq!(expected, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn bit_flip_in_flags_is_unsupported_flags() {
+    let mut damaged = snapshot().clone();
+    damaged[12] ^= 0x04;
+    assert!(matches!(
+        from_bytes(&damaged),
+        Err(StoreError::UnsupportedFlags { flags: 4 })
+    ));
+}
+
+#[test]
+fn bit_flip_in_section_count_is_header_checksum() {
+    let mut damaged = snapshot().clone();
+    damaged[16] ^= 0x01;
+    assert!(matches!(
+        from_bytes(&damaged),
+        Err(StoreError::ChecksumMismatch { section: "header" })
+    ));
+}
+
+#[test]
+fn bit_flip_in_header_crc_is_header_checksum() {
+    let mut damaged = snapshot().clone();
+    damaged[20] ^= 0x01;
+    assert!(matches!(
+        from_bytes(&damaged),
+        Err(StoreError::ChecksumMismatch { section: "header" })
+    ));
+}
+
+#[test]
+fn bit_flip_in_table_is_table_checksum() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let table = infos.iter().find(|i| i.name == "table").unwrap();
+    for probe in [table.offset, table.offset + table.len / 2, table.offset + table.len - 1] {
+        let mut damaged = bytes.clone();
+        damaged[probe] ^= 0x01;
+        assert!(
+            matches!(
+                from_bytes(&damaged),
+                Err(StoreError::ChecksumMismatch { section: "table" })
+            ),
+            "flip at table byte {probe}"
+        );
+    }
+}
+
+#[test]
+fn bit_flip_in_trailing_digest_is_file_checksum() {
+    let bytes = snapshot();
+    let mut damaged = bytes.clone();
+    let last = damaged.len() - 1;
+    damaged[last] ^= 0x01;
+    assert!(matches!(
+        from_bytes(&damaged),
+        Err(StoreError::ChecksumMismatch { section: "file" })
+    ));
+}
+
+/// Truncating at every section boundary — and at interior points of each
+/// region — must always be `Truncated`, never a panic and never a
+/// misleading checksum error.
+#[test]
+fn truncation_at_every_boundary_is_truncated() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let mut cuts = vec![0usize];
+    for info in &infos {
+        cuts.push(info.offset); // start of each region
+        cuts.push(info.offset + info.len / 2); // mid-region
+        cuts.push(info.offset + info.len.saturating_sub(1)); // last byte
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    for cut in cuts {
+        assert!(cut < bytes.len());
+        match from_bytes(&bytes[..cut]) {
+            Err(StoreError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+/// A consistent rewrite — payload tampered *and* every checksum fixed up —
+/// defeats the envelope, so the structural validators must catch it as
+/// `Corrupt`. This re-signs a damaged `corpus` section (an out-of-range
+/// document tag) with valid CRCs.
+#[test]
+fn checksum_valid_structural_damage_is_corrupt() {
+    use rightcrowd_store::crc64;
+
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let corpus = infos.iter().find(|i| i.name == "corpus").unwrap();
+    let table = infos.iter().find(|i| i.name == "table").unwrap();
+
+    let mut damaged = bytes.clone();
+    // The corpus payload starts with dropped(u64) + count(u64) + first
+    // document entry (tag u8 + id u32). Forge an invalid tag.
+    let tag_at = corpus.offset + 16;
+    damaged[tag_at] = 9;
+
+    // Re-sign: section crc lives in this section's table entry
+    // (kind u32 | len u64 | crc u64); find the entry by scanning kinds.
+    let section_crc = crc64(&damaged[corpus.offset..corpus.offset + corpus.len]);
+    let entries_start = table.offset;
+    let entry_count = (table.len - 8) / 20;
+    let mut fixed = false;
+    for i in 0..entry_count {
+        let at = entries_start + i * 20;
+        let kind = u32::from_le_bytes(damaged[at..at + 4].try_into().unwrap());
+        if kind == corpus.kind {
+            damaged[at + 12..at + 20].copy_from_slice(&section_crc.to_le_bytes());
+            fixed = true;
+        }
+    }
+    assert!(fixed, "corpus table entry not found");
+    // Re-sign the table crc (last 8 bytes of the table region)…
+    let table_crc = crc64(&damaged[table.offset..table.offset + table.len - 8]);
+    let tc_at = table.offset + table.len - 8;
+    damaged[tc_at..tc_at + 8].copy_from_slice(&table_crc.to_le_bytes());
+    // …and the whole-file crc.
+    let end = damaged.len() - 8;
+    let file_crc = crc64(&damaged[..end]);
+    damaged[end..].copy_from_slice(&file_crc.to_le_bytes());
+
+    match from_bytes(&damaged) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(msg.contains("document tag"), "unexpected corruption report: {msg}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// Errors must render actionably (the CLI prints them verbatim).
+#[test]
+fn injected_errors_render_with_section_names() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let graph = infos.iter().find(|i| i.name == "graph").unwrap();
+    let mut damaged = bytes.clone();
+    damaged[graph.offset] ^= 0xFF;
+    let err = from_bytes(&damaged).unwrap_err();
+    assert!(err.to_string().contains("`graph`"), "{err}");
+}

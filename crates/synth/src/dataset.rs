@@ -97,6 +97,29 @@ impl SyntheticDataset {
         }
     }
 
+    /// Reassembles a dataset from snapshot parts (see `rightcrowd-store`).
+    ///
+    /// Only the *sampled* state travels through a snapshot: graph, web,
+    /// latent expertise, questionnaire answers, personas. The knowledge
+    /// base and query workload are compiled-in constants and are
+    /// regenerated here; the ground truth is re-derived from the answers.
+    /// The caller (the store's decoder) must have validated that every
+    /// answer row covers the full workload — `GroundTruth::derive`
+    /// requires it.
+    pub fn from_parts(
+        config: DatasetConfig,
+        graph: SocialGraph,
+        web: WebCorpus,
+        latent: LatentExpertise,
+        answers: Vec<Vec<rightcrowd_types::Likert>>,
+        personas: Vec<Persona>,
+    ) -> Self {
+        let kb = seed::standard();
+        let queries = workload();
+        let ground_truth = GroundTruth::derive(answers, &queries);
+        SyntheticDataset { kb, graph, web, queries, ground_truth, latent, personas, config }
+    }
+
     /// The knowledge base resources were generated against.
     pub fn kb(&self) -> &KnowledgeBase {
         &self.kb

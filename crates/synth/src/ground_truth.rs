@@ -47,6 +47,16 @@ impl LatentExpertise {
         LatentExpertise { levels }
     }
 
+    /// Rebuilds a population from persisted levels (snapshot load path).
+    pub fn from_levels(levels: Vec<[Likert; Domain::COUNT]>) -> Self {
+        LatentExpertise { levels }
+    }
+
+    /// The raw level matrix, `levels()[person][domain]`.
+    pub fn levels(&self) -> &[[Likert; Domain::COUNT]] {
+        &self.levels
+    }
+
     /// Latent level of `person` in `domain`.
     pub fn level(&self, person: PersonId, domain: Domain) -> Likert {
         self.levels[person.index()][domain.index()]
@@ -137,6 +147,11 @@ impl GroundTruth {
     /// Number of candidates covered.
     pub fn population(&self) -> usize {
         self.answers.len()
+    }
+
+    /// The raw answer matrix, `answers()[person][query]`.
+    pub fn answers(&self) -> &[Vec<Likert>] {
+        &self.answers
     }
 
     /// Raw questionnaire answer of `person` for query position `query_idx`.

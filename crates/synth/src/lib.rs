@@ -37,7 +37,8 @@ pub mod web;
 
 pub use config::DatasetConfig;
 pub use dataset::SyntheticDataset;
-pub use ground_truth::GroundTruth;
+pub use ground_truth::{GroundTruth, LatentExpertise};
+pub use platforms::Persona;
 pub use queries::ExpertiseNeed;
 pub use stats::DatasetStats;
 pub use web::WebCorpus;
