@@ -6,7 +6,9 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- stats
 //! cargo run --release -p rightcrowd-bench --bin rc -- bench --scale small
 //! cargo run --release -p rightcrowd-bench --bin rc -- save --snapshot corpus.rcs
+//! cargo run --release -p rightcrowd-bench --bin rc -- save --snapshot corpus.shards --shards 4
 //! cargo run --release -p rightcrowd-bench --bin rc -- load --snapshot corpus.rcs
+//! cargo run --release -p rightcrowd-bench --bin rc -- load --snapshot corpus.shards --threads 4
 //! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --snapshot corpus.rcs
 //! cargo run --release -p rightcrowd-bench --bin rc -- metrics --trace
 //! cargo run --release -p rightcrowd-bench --bin rc -- regress BENCH_small.json target/BENCH_small.json
@@ -103,13 +105,13 @@ fn main() {
                 );
             }
         }
-        Command::Bench { out, snapshot } => {
+        Command::Bench { out, snapshot, shards } => {
             // The bench always cold-builds (snapshot_load_ms must be
             // compared against a real cold_build_ms from the same run),
             // then measures the save → load round trip against --snapshot
-            // or a temp file.
+            // or a temp file, monolithic and sharded both.
             let bench = Bench::prepare();
-            let report = BenchReport::measure_with(&bench, snapshot.as_deref());
+            let report = BenchReport::measure_with(&bench, snapshot.as_deref(), shards);
             println!(
                 "query latency p50 {:.2} ms / p99 {:.2} ms ({:.0} queries/sec)",
                 report.query_p50_ms, report.query_p99_ms, report.queries_per_sec
@@ -124,6 +126,15 @@ fn main() {
                 } else {
                     f64::INFINITY
                 },
+            );
+            println!(
+                "sharded ({} shards, {} byte manifest): load {:.0} / {:.0} / {:.0} / {:.0} ms at 1/2/4/8 threads",
+                report.shard_count,
+                report.manifest_bytes,
+                report.sharded_load_ms_t1,
+                report.sharded_load_ms_t2,
+                report.sharded_load_ms_t4,
+                report.sharded_load_ms_t8,
             );
             println!(
                 "α sweep ({} points × 3 distances): naive {:.0} ms, factored {:.0} ms — {:.1}× speedup",
@@ -155,45 +166,86 @@ fn main() {
                 }
             }
         }
-        Command::Save { snapshot } => {
+        Command::Save { snapshot, shards, threads } => {
             let bench = Bench::prepare();
-            match rightcrowd_store::save(&snapshot, &bench.ds, &bench.corpus) {
-                Ok(stats) => println!(
-                    "wrote {} ({} bytes in {:.0} ms)",
-                    snapshot.display(),
-                    stats.bytes,
-                    stats.elapsed_ms
-                ),
+            let threads = threads.unwrap_or_else(rightcrowd_core::par::default_threads);
+            match shards {
+                Some(n) => {
+                    match rightcrowd_store::save_sharded(&snapshot, &bench.ds, &bench.corpus, n, threads) {
+                        Ok(stats) => println!(
+                            "wrote {} ({} shards + {} byte manifest, {} bytes total in {:.0} ms)",
+                            snapshot.display(),
+                            stats.shard_count,
+                            stats.manifest_bytes,
+                            stats.bytes,
+                            stats.elapsed_ms
+                        ),
+                        Err(e) => {
+                            eprintln!("error: cannot save {}: {e}", snapshot.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                None => match rightcrowd_store::save(&snapshot, &bench.ds, &bench.corpus) {
+                    Ok(stats) => println!(
+                        "wrote {} ({} bytes in {:.0} ms)",
+                        snapshot.display(),
+                        stats.bytes,
+                        stats.elapsed_ms
+                    ),
+                    Err(e) => {
+                        eprintln!("error: cannot save {}: {e}", snapshot.display());
+                        std::process::exit(1);
+                    }
+                },
+            }
+        }
+        Command::Load { snapshot, threads } => {
+            // Container kind is detected on disk, not declared: a
+            // directory with a manifest loads through the sharded path.
+            let threads = threads.unwrap_or_else(rightcrowd_core::par::default_threads);
+            let loaded = if rightcrowd_store::is_sharded(&snapshot) {
+                rightcrowd_store::load_sharded(&snapshot, threads).map(|(ds, corpus, stats)| {
+                    println!(
+                        "verified {} ({} shards, {} bytes in {:.0} ms, {} threads)",
+                        snapshot.display(),
+                        stats.shard_count,
+                        stats.bytes,
+                        stats.elapsed_ms,
+                        threads
+                    );
+                    (ds, corpus)
+                })
+            } else {
+                rightcrowd_store::load(&snapshot).map(|(ds, corpus, stats)| {
+                    println!(
+                        "verified {} ({} bytes in {:.0} ms)",
+                        snapshot.display(),
+                        stats.bytes,
+                        stats.elapsed_ms
+                    );
+                    (ds, corpus)
+                })
+            };
+            match loaded {
+                Ok((ds, corpus)) => {
+                    let (persons, profiles, resources, containers) = ds.graph().counts();
+                    println!(
+                        "  {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers"
+                    );
+                    println!(
+                        "  {} retained docs, {} dropped as non-English, {} queries",
+                        corpus.retained(),
+                        corpus.dropped_non_english(),
+                        ds.queries().len()
+                    );
+                }
                 Err(e) => {
-                    eprintln!("error: cannot save {}: {e}", snapshot.display());
+                    eprintln!("error: snapshot {}: {e}", snapshot.display());
                     std::process::exit(1);
                 }
             }
         }
-        Command::Load { snapshot } => match rightcrowd_store::load(&snapshot) {
-            Ok((ds, corpus, stats)) => {
-                let (persons, profiles, resources, containers) = ds.graph().counts();
-                println!(
-                    "verified {} ({} bytes in {:.0} ms)",
-                    snapshot.display(),
-                    stats.bytes,
-                    stats.elapsed_ms
-                );
-                println!(
-                    "  {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers"
-                );
-                println!(
-                    "  {} retained docs, {} dropped as non-English, {} queries",
-                    corpus.retained(),
-                    corpus.dropped_non_english(),
-                    ds.queries().len()
-                );
-            }
-            Err(e) => {
-                eprintln!("error: snapshot {}: {e}", snapshot.display());
-                std::process::exit(1);
-            }
-        },
         Command::Explain { text, candidate, top, json, platforms, distance, snapshot } => {
             let bench = prepare_or_exit(snapshot.as_deref());
             let ctx = bench.ctx();
@@ -319,18 +371,37 @@ fn main() {
         Command::Regress { baseline, current, threshold, warn_only, snapshot } => {
             // The snapshot gate runs first: a container that fails its
             // checksums is a regression regardless of the latency diff.
+            // Sharded directories gate the manifest plus every shard.
             if let Some(path) = &snapshot {
-                match rightcrowd_store::load(path) {
-                    Ok((_, corpus, stats)) => println!(
-                        "snapshot {} ok: {} bytes verified in {:.0} ms ({} retained docs)",
-                        path.display(),
-                        stats.bytes,
-                        stats.elapsed_ms,
-                        corpus.retained()
-                    ),
-                    Err(e) => {
-                        eprintln!("error: snapshot {}: {e}", path.display());
-                        std::process::exit(1);
+                if rightcrowd_store::is_sharded(path) {
+                    let threads = rightcrowd_core::par::default_threads();
+                    match rightcrowd_store::load_sharded(path, threads) {
+                        Ok((_, corpus, stats)) => println!(
+                            "snapshot {} ok: {} shards / {} bytes verified in {:.0} ms ({} retained docs)",
+                            path.display(),
+                            stats.shard_count,
+                            stats.bytes,
+                            stats.elapsed_ms,
+                            corpus.retained()
+                        ),
+                        Err(e) => {
+                            eprintln!("error: snapshot {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    match rightcrowd_store::load(path) {
+                        Ok((_, corpus, stats)) => println!(
+                            "snapshot {} ok: {} bytes verified in {:.0} ms ({} retained docs)",
+                            path.display(),
+                            stats.bytes,
+                            stats.elapsed_ms,
+                            corpus.retained()
+                        ),
+                        Err(e) => {
+                            eprintln!("error: snapshot {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
                     }
                 }
             }

@@ -30,27 +30,42 @@ pub enum Command {
         /// Distance cap.
         distance: Distance,
     },
-    /// `rc bench [--out DIR] [--snapshot FILE.rcs]` — measure the
-    /// retrieval hot path (cold build *and* the store save → load round
-    /// trip) and write a `BENCH_<scale>.json` snapshot.
+    /// `rc bench [--out DIR] [--snapshot FILE.rcs] [--shards N]` —
+    /// measure the retrieval hot path (cold build *and* the store
+    /// save → load round trip, including the sharded load-scaling curve)
+    /// and write a `BENCH_<scale>.json` snapshot.
     Bench {
         /// Directory the JSON snapshot is written into.
         out: std::path::PathBuf,
         /// Where the measured store container is kept (a temp file is
-        /// used — and removed — when absent).
+        /// used — and removed — when absent). With `--shards` this is a
+        /// sharded-snapshot *directory*.
         snapshot: Option<std::path::PathBuf>,
+        /// Shard count for the sharded load-scaling measurement
+        /// (default 4).
+        shards: Option<usize>,
     },
-    /// `rc save --snapshot FILE.rcs` — build the corpus at the selected
-    /// scale and serialise it as a store container.
+    /// `rc save --snapshot FILE.rcs [--shards N] [--threads N]` — build
+    /// the corpus at the selected scale and serialise it as a store
+    /// container (monolithic file, or a sharded directory with
+    /// `--shards`).
     Save {
-        /// Where the container is written.
+        /// Where the container is written (a directory with `--shards`).
         snapshot: std::path::PathBuf,
+        /// Split into this many per-term-range shards instead of one
+        /// monolithic file.
+        shards: Option<usize>,
+        /// Worker threads for the sharded encode.
+        threads: Option<usize>,
     },
-    /// `rc load --snapshot FILE.rcs` — verify + reconstruct a store
-    /// container and print what it holds.
+    /// `rc load --snapshot PATH [--threads N]` — verify + reconstruct a
+    /// store container (monolithic file or sharded directory, detected by
+    /// the manifest) and print what it holds.
     Load {
-        /// The container to load.
+        /// The container to load: a `.rcs` file or a sharded directory.
         snapshot: std::path::PathBuf,
+        /// Worker threads for the sharded decode.
+        threads: Option<usize>,
     },
     /// `rc metrics [--platform P] [--distance D]` — run the workload once
     /// and print the observability registry (counters, histograms, span
@@ -162,9 +177,9 @@ USAGE:
   rc explain \"<expertise need>\" [--candidate NAME] [--top K] [--json] [--snapshot FILE.rcs]
                                [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
-  rc bench [--out DIR] [--snapshot FILE.rcs]
-  rc save --snapshot FILE.rcs
-  rc load --snapshot FILE.rcs
+  rc bench [--out DIR] [--snapshot PATH] [--shards N]
+  rc save --snapshot PATH [--shards N] [--threads N]
+  rc load --snapshot PATH [--threads N]
   rc flight [--slowest K] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc trace [--chrome OUT.json] [--check FILE.json]
   rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
@@ -173,10 +188,14 @@ USAGE:
   rc help
 
 SNAPSHOTS (build once, query many):
-  --snapshot FILE.rcs points at a rightcrowd-store container. `explain`
-  and `flight` serve from it when it exists (and cold-build + cache it
-  when it does not); `bench` measures the save/load round trip against
-  it; `regress` additionally verifies its checksums.
+  --snapshot PATH points at a rightcrowd-store container: a monolithic
+  `.rcs` file, or a sharded directory (written by `rc save --shards N`,
+  detected by its `manifest.rcm`). `explain` and `flight` serve from
+  either layout when it exists (and cold-build + cache it when it does
+  not); `bench` measures the save/load round trip against it; `regress`
+  additionally verifies its checksums. Sharded snapshots decode with one
+  CRC pass per byte (and in parallel under `--threads N`), so they load
+  faster than the monolithic container.
 
 GLOBAL OPTIONS:
   --scale tiny|small|paper   dataset scale (overrides RIGHTCROWD_SCALE)
@@ -225,6 +244,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut chrome: Option<std::path::PathBuf> = None;
     let mut check: Option<std::path::PathBuf> = None;
     let mut snapshot: Option<std::path::PathBuf> = None;
+    let mut shards: Option<usize> = None;
+    let mut threads: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -265,6 +286,30 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                     .next()
                     .ok_or_else(|| ParseError("--snapshot needs a path".into()))?;
                 snapshot = Some(std::path::PathBuf::from(value));
+            }
+            "--shards" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--shards needs a number".into()))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --shards value {value:?}")))?;
+                if n == 0 {
+                    return Err(ParseError("--shards must be at least 1".into()));
+                }
+                shards = Some(n);
+            }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--threads needs a number".into()))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --threads value {value:?}")))?;
+                if n == 0 {
+                    return Err(ParseError("--threads must be at least 1".into()));
+                }
+                threads = Some(n);
             }
             "--scale" => {
                 let value = iter
@@ -332,14 +377,17 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         }
         "stats" => Command::Stats,
         "eval" => Command::Eval { platforms, distance },
-        "bench" => Command::Bench { out, snapshot },
+        "bench" => Command::Bench { out, snapshot, shards },
         "save" => Command::Save {
             snapshot: snapshot
-                .ok_or_else(|| ParseError("save needs --snapshot <file.rcs>".into()))?,
+                .ok_or_else(|| ParseError("save needs --snapshot <path>".into()))?,
+            shards,
+            threads,
         },
         "load" => Command::Load {
             snapshot: snapshot
-                .ok_or_else(|| ParseError("load needs --snapshot <file.rcs>".into()))?,
+                .ok_or_else(|| ParseError("load needs --snapshot <path>".into()))?,
+            threads,
         },
         "explain" => {
             let text = positional
@@ -443,32 +491,63 @@ mod tests {
     fn parses_bench() {
         assert_eq!(
             cmd(&["bench"]),
-            Command::Bench { out: std::path::PathBuf::from("."), snapshot: None }
+            Command::Bench { out: std::path::PathBuf::from("."), snapshot: None, shards: None }
         );
         assert_eq!(
             cmd(&["bench", "--out", "target/perf", "--snapshot", "target/perf/corpus.rcs"]),
             Command::Bench {
                 out: std::path::PathBuf::from("target/perf"),
                 snapshot: Some(std::path::PathBuf::from("target/perf/corpus.rcs")),
+                shards: None,
+            }
+        );
+        assert_eq!(
+            cmd(&["bench", "--snapshot", "target/perf/corpus.shards", "--shards", "4"]),
+            Command::Bench {
+                out: std::path::PathBuf::from("."),
+                snapshot: Some(std::path::PathBuf::from("target/perf/corpus.shards")),
+                shards: Some(4),
             }
         );
         assert!(parse(&args(&["bench", "--out"])).is_err());
         assert!(parse(&args(&["bench", "--snapshot"])).is_err());
+        assert!(parse(&args(&["bench", "--shards", "0"])).is_err());
     }
 
     #[test]
     fn parses_save_and_load() {
         assert_eq!(
             cmd(&["save", "--snapshot", "corpus.rcs"]),
-            Command::Save { snapshot: std::path::PathBuf::from("corpus.rcs") }
+            Command::Save {
+                snapshot: std::path::PathBuf::from("corpus.rcs"),
+                shards: None,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            cmd(&["save", "--snapshot", "corpus.shards", "--shards", "8", "--threads", "2"]),
+            Command::Save {
+                snapshot: std::path::PathBuf::from("corpus.shards"),
+                shards: Some(8),
+                threads: Some(2),
+            }
         );
         assert_eq!(
             cmd(&["load", "--snapshot", "corpus.rcs"]),
-            Command::Load { snapshot: std::path::PathBuf::from("corpus.rcs") }
+            Command::Load { snapshot: std::path::PathBuf::from("corpus.rcs"), threads: None }
+        );
+        assert_eq!(
+            cmd(&["load", "--snapshot", "corpus.shards", "--threads", "4"]),
+            Command::Load {
+                snapshot: std::path::PathBuf::from("corpus.shards"),
+                threads: Some(4),
+            }
         );
         // The container path is the whole point of these subcommands.
         assert!(parse(&args(&["save"])).is_err());
         assert!(parse(&args(&["load"])).is_err());
+        assert!(parse(&args(&["save", "--snapshot", "x", "--shards", "none"])).is_err());
+        assert!(parse(&args(&["load", "--snapshot", "x", "--threads", "0"])).is_err());
     }
 
     #[test]

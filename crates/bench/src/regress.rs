@@ -258,6 +258,10 @@ pub const LATENCY_KEYS: &[&str] = &[
     "analyze_ms",
     "cold_build_ms",
     "snapshot_load_ms",
+    "sharded_load_ms_t1",
+    "sharded_load_ms_t2",
+    "sharded_load_ms_t4",
+    "sharded_load_ms_t8",
     "query_p50_ms",
     "query_p99_ms",
     "alpha_sweep_naive_ms",
@@ -354,6 +358,35 @@ pub fn counter_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
     checks
 }
 
+/// The sharded-load speedup invariant, checked per snapshot that records
+/// both loads: a 4-thread sharded load must beat the monolithic load of
+/// the same corpus. The sharded path verifies every byte once (the
+/// manifest carries each shard's whole-file digest) where the monolithic
+/// path verifies twice (per-section and whole-file), so this holds even
+/// on a single core; losing it means the shard fan-out went sequentially
+/// slow or the single-pass verification regressed. Snapshots that predate
+/// sharding skip the check, like missing latency keys.
+pub fn sharded_speedup_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
+    let mut checks = Vec::new();
+    for (label, snap) in [("baseline", baseline), ("current", current)] {
+        let (Some(mono), Some(sharded)) = (
+            snap.get("snapshot_load_ms").and_then(Json::as_f64),
+            snap.get("sharded_load_ms_t4").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        checks.push(CounterCheck {
+            name: "sharded_load_speedup",
+            detail: format!(
+                "{label}: sharded t4 {sharded:.3} ms vs monolithic {mono:.3} ms ({:.2}×)",
+                if sharded > 0.0 { mono / sharded } else { f64::INFINITY }
+            ),
+            failed: sharded >= mono,
+        });
+    }
+    checks
+}
+
 /// One compared key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KeyDelta {
@@ -378,8 +411,12 @@ pub struct RegressReport {
     /// keys skipped).
     pub deltas: Vec<KeyDelta>,
     /// Counter-invariant verdicts (empty when the snapshots predate the
-    /// traversal counters). See [`counter_checks`].
+    /// traversal counters). See [`counter_checks`] and
+    /// [`sharded_speedup_checks`].
     pub counters: Vec<CounterCheck>,
+    /// Non-fatal advisories (e.g. a dirty-tree baseline): printed by
+    /// [`RegressReport::render`], never part of the verdict.
+    pub warnings: Vec<String>,
 }
 
 impl RegressReport {
@@ -405,7 +442,17 @@ impl RegressReport {
             let regressed = ratio > threshold && (c - b) > ABS_SLACK_BYTES;
             deltas.push(KeyDelta { key: SIZE_KEY, baseline: b, current: c, ratio, regressed });
         }
-        RegressReport { threshold, deltas, counters: counter_checks(baseline, current) }
+        let mut counters = counter_checks(baseline, current);
+        counters.extend(sharded_speedup_checks(baseline, current));
+        let mut warnings = Vec::new();
+        if baseline.get("git_dirty") == Some(&Json::Bool(true)) {
+            warnings.push(
+                "baseline was measured on a dirty work tree (git_dirty: true); its numbers are \
+                 not reproducible from its git_rev — regenerate it from a clean tree"
+                    .to_owned(),
+            );
+        }
+        RegressReport { threshold, deltas, counters, warnings }
     }
 
     /// Whether any latency key or counter invariant regressed.
@@ -429,6 +476,9 @@ impl RegressReport {
                 d.ratio * 100.0,
                 if d.regressed { "REGRESSED" } else { "ok" },
             ));
+        }
+        for w in &self.warnings {
+            out.push_str(&format!("warning: {w}\n"));
         }
         if !self.counters.is_empty() {
             out.push_str("counter invariants:\n");
@@ -552,6 +602,12 @@ mod tests {
             cold_build_ms: 910.0,
             snapshot_load_ms: 45.0,
             snapshot_bytes: 987_654,
+            shard_count: 4,
+            manifest_bytes: 4_096,
+            sharded_load_ms_t1: 40.0,
+            sharded_load_ms_t2: 28.0,
+            sharded_load_ms_t4: 20.0,
+            sharded_load_ms_t8: 19.0,
             retained_docs: 100,
             queries: 30,
             query_p50_ms: 1.0,
@@ -568,6 +624,8 @@ mod tests {
         assert_eq!(doc.get("query_p50_ms").and_then(Json::as_f64), Some(1.0));
         assert_eq!(doc.get("git_dirty"), Some(&Json::Bool(false)));
         assert_eq!(doc.get("snapshot_load_ms").and_then(Json::as_f64), Some(45.0));
+        assert_eq!(doc.get("shard_count").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("sharded_load_ms_t4").and_then(Json::as_f64), Some(20.0));
         assert_eq!(doc.get("snapshot_bytes").and_then(Json::as_f64), Some(987_654.0));
         assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
     }
@@ -580,6 +638,8 @@ mod tests {
         parse_json(&format!(
             r#"{{"generate_ms": 10.0, "analyze_ms": 1000.0, "cold_build_ms": 1010.0,
                 "snapshot_load_ms": 50.0, "snapshot_bytes": {bytes},
+                "sharded_load_ms_t1": 40.0, "sharded_load_ms_t2": 28.0,
+                "sharded_load_ms_t4": 20.0, "sharded_load_ms_t8": 19.0,
                 "query_p50_ms": {p50},
                 "query_p99_ms": {p99}, "alpha_sweep_naive_ms": 300.0,
                 "alpha_sweep_factored_ms": 60.0}}"#
@@ -745,15 +805,80 @@ mod tests {
 
     #[test]
     fn snapshots_without_counters_skip_the_checks() {
-        // Pre-observability snapshots carry no metrics block: no checks,
-        // no failure — mirroring the missing-latency-key behaviour.
+        // Pre-observability snapshots carry no metrics block: no traversal
+        // checks, no failure — mirroring the missing-latency-key
+        // behaviour. (The sharded speedup gate still runs; it keys on the
+        // load timings, not the metrics block.)
+        let traversal =
+            |c: &&CounterCheck| c.name == "maxscore_accounting" || c.name == "admission_ratio_drift";
         let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
-        assert!(r.counters.is_empty());
-        assert!(!r.render().contains("counter invariants:"));
+        assert!(!r.counters.iter().any(|c| traversal(&c)));
         // One-sided counters run the sanity check but cannot diff ratios.
         let r = RegressReport::compare(&snap(1.0, 2.0), &counter_snap(10, 4, 4), 0.2);
-        assert_eq!(r.counters.len(), 1);
-        assert_eq!(r.counters[0].name, "maxscore_accounting");
+        let checks: Vec<_> = r.counters.iter().filter(traversal).collect();
+        assert_eq!(checks.len(), 1);
+        assert_eq!(checks[0].name, "maxscore_accounting");
+    }
+
+    /// A minimal snapshot carrying only the two load timings the sharded
+    /// speedup gate compares.
+    fn load_snap(mono_ms: f64, sharded_t4_ms: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"snapshot_load_ms": {mono_ms}, "sharded_load_ms_t4": {sharded_t4_ms}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn sharded_speedup_holds_when_sharded_is_faster() {
+        let r = RegressReport::compare(&load_snap(50.0, 30.0), &load_snap(50.0, 28.0), 0.2);
+        let checks: Vec<_> =
+            r.counters.iter().filter(|c| c.name == "sharded_load_speedup").collect();
+        assert_eq!(checks.len(), 2, "one verdict per snapshot");
+        assert!(!r.any_regressed());
+        assert!(r.render().contains("sharded_load_speedup"));
+    }
+
+    #[test]
+    fn sharded_slower_than_monolithic_fails() {
+        // The current run's 4-thread sharded load lost to the monolithic
+        // load: the whole point of the sharded path regressed.
+        let r = RegressReport::compare(&load_snap(50.0, 30.0), &load_snap(50.0, 55.0), 0.2);
+        assert!(r.any_regressed());
+        let failed = r.counters.iter().find(|c| c.failed).unwrap();
+        assert_eq!(failed.name, "sharded_load_speedup");
+        assert!(failed.detail.contains("current"), "{}", failed.detail);
+        assert!(r.render().contains("VIOLATED"));
+    }
+
+    #[test]
+    fn pre_sharding_snapshots_skip_the_speedup_gate() {
+        // A monolithic-only snapshot (no sharded keys): no verdicts.
+        let old = parse_json(r#"{"snapshot_load_ms": 50.0, "query_p50_ms": 1.0}"#).unwrap();
+        let r = RegressReport::compare(&old, &old, 0.2);
+        assert!(r.counters.iter().all(|c| c.name != "sharded_load_speedup"));
+        // One-sided: only the snapshot that records both timings is gated.
+        let r = RegressReport::compare(&old, &load_snap(50.0, 20.0), 0.2);
+        assert_eq!(
+            r.counters.iter().filter(|c| c.name == "sharded_load_speedup").count(),
+            1
+        );
+    }
+
+    #[test]
+    fn dirty_baseline_warns_but_never_fails() {
+        let dirty = parse_json(r#"{"git_dirty": true, "query_p50_ms": 1.0}"#).unwrap();
+        let clean = parse_json(r#"{"git_dirty": false, "query_p50_ms": 1.0}"#).unwrap();
+        let r = RegressReport::compare(&dirty, &clean, 0.2);
+        assert_eq!(r.warnings.len(), 1);
+        assert!(r.warnings[0].contains("dirty work tree"), "{}", r.warnings[0]);
+        assert!(!r.any_regressed(), "a warning must not flip the verdict");
+        assert!(r.render().contains("warning: baseline was measured on a dirty work tree"));
+        // A dirty *current* run is the developer's own uncommitted work in
+        // flight — expected, not warned; and a clean baseline stays quiet.
+        let r = RegressReport::compare(&clean, &dirty, 0.2);
+        assert!(r.warnings.is_empty());
+        assert!(!r.render().contains("warning:"));
     }
 
     #[test]

@@ -44,6 +44,22 @@ pub struct BenchReport {
     pub snapshot_load_ms: f64,
     /// Store-container size, bytes.
     pub snapshot_bytes: u64,
+    /// Shard count of the sharded round trip measured below.
+    pub shard_count: usize,
+    /// Sharded-snapshot manifest size, bytes.
+    pub manifest_bytes: u64,
+    /// Sharded load (manifest + all shards, one CRC pass per shard) at 1
+    /// worker thread, milliseconds.
+    pub sharded_load_ms_t1: f64,
+    /// Sharded load at 2 worker threads, milliseconds.
+    pub sharded_load_ms_t2: f64,
+    /// Sharded load at 4 worker threads, milliseconds. `rc regress` gates
+    /// this against `snapshot_load_ms`: the sharded path must beat the
+    /// monolithic load even before parallelism (it verifies each byte
+    /// once, not twice).
+    pub sharded_load_ms_t4: f64,
+    /// Sharded load at 8 worker threads, milliseconds.
+    pub sharded_load_ms_t8: f64,
     /// Indexed documents after the language gate.
     pub retained_docs: usize,
     /// Workload size (number of queries measured).
@@ -118,20 +134,28 @@ impl BenchReport {
     /// distances, eleven α points) on both the naive per-α path and the
     /// factored single-traversal path.
     pub fn measure(bench: &Bench) -> Self {
-        Self::measure_with(bench, None)
+        Self::measure_with(bench, None, None)
     }
 
     /// [`BenchReport::measure`] with an explicit store-container path: the
     /// save → load round trip is measured against `snapshot` (kept on
-    /// disk for later `--snapshot` consumers) instead of a temp file.
-    pub fn measure_with(bench: &Bench, snapshot: Option<&std::path::Path>) -> Self {
+    /// disk for later `--snapshot` consumers) instead of a temp location.
+    /// When `shards` is given, `snapshot` names the sharded-snapshot
+    /// *directory* and the monolithic leg uses a temp file; otherwise
+    /// `snapshot` names the monolithic file and the sharded leg (always
+    /// measured, default 4 shards) uses a temp directory.
+    pub fn measure_with(
+        bench: &Bench,
+        snapshot: Option<&std::path::Path>,
+        shards: Option<usize>,
+    ) -> Self {
         // Snapshot round trip first, on a quiet machine state: save the
         // built corpus, then load + verify it back and check the
         // reconstruction, so `snapshot_load_ms` certifies a *usable*
         // container, not just an I/O pass.
         eprintln!("[bench] measuring snapshot save/load round trip...");
         let temp = std::env::temp_dir().join(format!("rc-bench-{}.rcs", std::process::id()));
-        let snap_path = snapshot.unwrap_or(&temp);
+        let snap_path = if shards.is_none() { snapshot.unwrap_or(&temp) } else { &temp };
         if let Some(dir) = snap_path.parent().filter(|d| !d.as_os_str().is_empty()) {
             std::fs::create_dir_all(dir).expect("snapshot directory must be creatable");
         }
@@ -144,7 +168,7 @@ impl BenchReport {
             bench.corpus.index(),
             "snapshot round trip must reconstruct the identical index"
         );
-        if snapshot.is_none() {
+        if snap_path == temp {
             std::fs::remove_file(&temp).ok();
         }
         eprintln!(
@@ -153,6 +177,39 @@ impl BenchReport {
             load_stats.elapsed_ms,
             bench.generate_ms + bench.analyze_ms,
         );
+
+        // Sharded round trip: same corpus split over per-term-range shards,
+        // loaded back at 1/2/4/8 worker threads so the snapshot records a
+        // load-scaling curve. Every load is parity-checked against the
+        // in-memory index — the curve certifies usable reconstructions.
+        let shard_count = shards.unwrap_or(4);
+        let temp_dir =
+            std::env::temp_dir().join(format!("rc-bench-{}.shards", std::process::id()));
+        let shard_dir = if shards.is_some() { snapshot.unwrap_or(&temp_dir) } else { &temp_dir };
+        eprintln!("[bench] measuring sharded load scaling ({shard_count} shards)...");
+        let sharded_saved = rightcrowd_store::save_sharded(
+            shard_dir,
+            &bench.ds,
+            &bench.corpus,
+            shard_count,
+            rightcrowd_core::par::default_threads(),
+        )
+        .expect("sharded snapshot save");
+        let mut sharded_ms = [0.0f64; 4];
+        for (slot, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
+            let (_, loaded, stats) =
+                rightcrowd_store::load_sharded(shard_dir, threads).expect("sharded snapshot load");
+            assert_eq!(
+                loaded.index(),
+                bench.corpus.index(),
+                "sharded round trip at {threads} threads must reconstruct the identical index"
+            );
+            sharded_ms[slot] = stats.elapsed_ms;
+            eprintln!("[bench]   {threads} thread(s): {:.0} ms", stats.elapsed_ms);
+        }
+        if shard_dir == temp_dir {
+            std::fs::remove_dir_all(&temp_dir).ok();
+        }
 
         let ctx = bench.ctx();
         let config = FinderConfig::default();
@@ -239,6 +296,12 @@ impl BenchReport {
             cold_build_ms: bench.generate_ms + bench.analyze_ms,
             snapshot_load_ms: load_stats.elapsed_ms,
             snapshot_bytes: saved.bytes,
+            shard_count,
+            manifest_bytes: sharded_saved.manifest_bytes,
+            sharded_load_ms_t1: sharded_ms[0],
+            sharded_load_ms_t2: sharded_ms[1],
+            sharded_load_ms_t4: sharded_ms[2],
+            sharded_load_ms_t8: sharded_ms[3],
             retained_docs: bench.corpus.retained(),
             queries: latencies_ms.len(),
             query_p50_ms: percentile(&sorted, 0.50),
@@ -277,6 +340,9 @@ impl BenchReport {
              \"threads\": {},\n  \"unix_time\": {},\n  \
              \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"cold_build_ms\": {},\n  \
              \"snapshot_load_ms\": {},\n  \"snapshot_bytes\": {},\n  \
+             \"shard_count\": {},\n  \"manifest_bytes\": {},\n  \
+             \"sharded_load_ms_t1\": {},\n  \"sharded_load_ms_t2\": {},\n  \
+             \"sharded_load_ms_t4\": {},\n  \"sharded_load_ms_t8\": {},\n  \
              \"retained_docs\": {},\n  \
              \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
              \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
@@ -295,6 +361,12 @@ impl BenchReport {
             num(self.cold_build_ms),
             num(self.snapshot_load_ms),
             self.snapshot_bytes,
+            self.shard_count,
+            self.manifest_bytes,
+            num(self.sharded_load_ms_t1),
+            num(self.sharded_load_ms_t2),
+            num(self.sharded_load_ms_t4),
+            num(self.sharded_load_ms_t8),
             self.retained_docs,
             self.queries,
             num(self.query_p50_ms),
@@ -344,6 +416,12 @@ mod tests {
             cold_build_ms: 812.75,
             snapshot_load_ms: 40.5,
             snapshot_bytes: 1_234_567,
+            shard_count: 4,
+            manifest_bytes: 9_876,
+            sharded_load_ms_t1: 38.0,
+            sharded_load_ms_t2: 24.0,
+            sharded_load_ms_t4: 15.5,
+            sharded_load_ms_t8: 14.0,
             retained_docs: 4321,
             queries: 30,
             query_p50_ms: 1.25,
@@ -382,6 +460,12 @@ mod tests {
             "cold_build_ms",
             "snapshot_load_ms",
             "snapshot_bytes",
+            "shard_count",
+            "manifest_bytes",
+            "sharded_load_ms_t1",
+            "sharded_load_ms_t2",
+            "sharded_load_ms_t4",
+            "sharded_load_ms_t8",
             "retained_docs",
             "queries",
             "query_p50_ms",
@@ -404,6 +488,9 @@ mod tests {
         assert!(json.contains("\"alpha_sweep_speedup\": 10.000"));
         // The snapshot size is an integer byte count, not a float.
         assert!(json.contains("\"snapshot_bytes\": 1234567"));
+        assert!(json.contains("\"shard_count\": 4"));
+        assert!(json.contains("\"manifest_bytes\": 9876"));
+        assert!(json.contains("\"sharded_load_ms_t4\": 15.500"));
         assert!(json.contains("\"cold_build_ms\": 812.750"));
         // The flight block is nested, escaped, and complete.
         for key in ["recorded", "retained", "mean_ms", "slowest_ms", "slowest_label"] {

@@ -63,12 +63,40 @@ impl Bench {
     /// is given: an existing file is loaded (verified checksums, no
     /// pipeline run — the *query many* half of the serving story), and a
     /// missing file is populated after the cold build so the next run —
-    /// or the next CI job — hits the cache. A damaged or mismatched
-    /// container is an error (its typed [`rightcrowd_store::StoreError`]
-    /// rendered), never a silent rebuild.
+    /// or the next CI job — hits the cache. The container kind is detected
+    /// at runtime: a directory holding `manifest.rcm` loads through the
+    /// parallel sharded path, anything else through the monolithic one. A
+    /// damaged or mismatched container is an error (its typed
+    /// [`rightcrowd_store::StoreError`] rendered), never a silent rebuild.
     pub fn prepare_with(snapshot: Option<&std::path::Path>) -> Result<Self, String> {
+        Self::prepare_with_opts(snapshot, None)
+    }
+
+    /// [`Bench::prepare_with`] with a shard policy for the cache-miss
+    /// path: when the snapshot is absent and `shards` is given, the cold
+    /// build is cached as a sharded directory instead of a monolithic
+    /// file. Loading always auto-detects, so `shards` never changes how an
+    /// *existing* snapshot is read.
+    pub fn prepare_with_opts(
+        snapshot: Option<&std::path::Path>,
+        shards: Option<usize>,
+    ) -> Result<Self, String> {
         let Some(path) = snapshot else { return Ok(Self::prepare()) };
-        if path.exists() {
+        let threads = rightcrowd_core::par::default_threads();
+        if rightcrowd_store::is_sharded(path) {
+            eprintln!("[bench] loading sharded snapshot {}...", path.display());
+            let (ds, corpus, stats) = rightcrowd_store::load_sharded(path, threads)
+                .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+            eprintln!(
+                "[bench]   {} retained docs from {} shards / {} bytes in {:.0} ms (pipeline skipped)",
+                corpus.retained(),
+                stats.shard_count,
+                stats.bytes,
+                stats.elapsed_ms,
+            );
+            return Ok(Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 });
+        }
+        if path.is_file() {
             eprintln!("[bench] loading snapshot {}...", path.display());
             let (ds, corpus, stats) = rightcrowd_store::load(path)
                 .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
@@ -81,16 +109,37 @@ impl Bench {
             // No pipeline ran, so there are no build timings to report.
             return Ok(Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 });
         }
-        let bench = Self::prepare();
-        match rightcrowd_store::save(path, &bench.ds, &bench.corpus) {
-            Ok(saved) => eprintln!(
-                "[bench]   cached snapshot {} ({} bytes, {:.0} ms)",
+        if path.is_dir() && shards.is_none() {
+            // An existing directory without a manifest is not a snapshot
+            // we can (or should) overwrite with a monolithic file.
+            return Err(format!(
+                "snapshot {}: directory exists but holds no {}",
                 path.display(),
-                saved.bytes,
-                saved.elapsed_ms,
-            ),
-            // A failed cache write only costs the next run a rebuild.
-            Err(e) => eprintln!("[bench]   warning: cannot cache {}: {e}", path.display()),
+                rightcrowd_store::MANIFEST_FILE
+            ));
+        }
+        let bench = Self::prepare();
+        match shards {
+            Some(n) => match rightcrowd_store::save_sharded(path, &bench.ds, &bench.corpus, n, threads) {
+                Ok(saved) => eprintln!(
+                    "[bench]   cached sharded snapshot {} ({} shards, {} bytes, {:.0} ms)",
+                    path.display(),
+                    saved.shard_count,
+                    saved.bytes,
+                    saved.elapsed_ms,
+                ),
+                Err(e) => eprintln!("[bench]   warning: cannot cache {}: {e}", path.display()),
+            },
+            None => match rightcrowd_store::save(path, &bench.ds, &bench.corpus) {
+                Ok(saved) => eprintln!(
+                    "[bench]   cached snapshot {} ({} bytes, {:.0} ms)",
+                    path.display(),
+                    saved.bytes,
+                    saved.elapsed_ms,
+                ),
+                // A failed cache write only costs the next run a rebuild.
+                Err(e) => eprintln!("[bench]   warning: cannot cache {}: {e}", path.display()),
+            },
         }
         Ok(bench)
     }
@@ -140,6 +189,24 @@ mod tests {
             Ok(_) => panic!("damaged snapshot must fail"),
         };
         assert!(err.contains("bad.rcs"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prepare_with_loads_a_sharded_directory() {
+        let (ds, corpus) = rightcrowd_core::testkit::tiny();
+        let dir = std::env::temp_dir().join(format!("rc-runner-sharded-{}", std::process::id()));
+        rightcrowd_store::save_sharded(&dir, ds, corpus, 3, 2).unwrap();
+        let bench = Bench::prepare_with(Some(&dir)).unwrap();
+        assert_eq!(bench.corpus.index(), corpus.index());
+        // A directory that is not a sharded snapshot must not be treated
+        // as a cache miss and silently overwritten.
+        std::fs::remove_file(rightcrowd_store::manifest_path(&dir)).unwrap();
+        let err = match Bench::prepare_with(Some(&dir)) {
+            Err(err) => err,
+            Ok(_) => panic!("manifest-less directory must fail"),
+        };
+        assert!(err.contains("no manifest.rcm"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

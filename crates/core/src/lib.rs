@@ -36,7 +36,7 @@ pub mod domain_aware;
 pub mod eval;
 pub mod explain;
 pub mod finder;
-pub(crate) mod par;
+pub mod par;
 pub mod pipeline;
 pub mod ranker;
 pub mod routing;

@@ -4,12 +4,13 @@
 //! parallel: a list of independent items, one result each, merged back in
 //! input order. This module is the one shared implementation — chunked
 //! `std::thread::scope` fan-out with a deterministic in-order merge — so
-//! every parallel path in the crate has identical semantics: the output of
-//! `par_map(items, t, f)` equals `items.iter().map(f).collect()` for every
-//! thread count `t`.
+//! every parallel path in the workspace (corpus analysis, workload
+//! evaluation, and the sharded snapshot save/load in `rightcrowd-store`)
+//! has identical semantics: the output of `par_map(items, t, f)` equals
+//! `items.iter().map(f).collect()` for every thread count `t`.
 
 /// Number of worker threads to use when the caller does not pin one.
-pub(crate) fn default_threads() -> usize {
+pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
@@ -18,7 +19,7 @@ pub(crate) fn default_threads() -> usize {
 ///
 /// With `threads <= 1` (or fewer than two items) this degrades to a plain
 /// sequential map on the calling thread — same results, no spawn cost.
-pub(crate) fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,

@@ -26,6 +26,7 @@ pub mod index;
 pub mod query;
 pub mod raw;
 pub mod reference;
+pub mod shard;
 pub mod stats;
 
 pub use bm25::Bm25Params;
@@ -36,4 +37,5 @@ pub use index::{
 };
 pub use query::Query;
 pub use raw::{EntityParts, IndexParts, TermParts};
+pub use shard::IndexShard;
 pub use stats::{take_traversal_stats, TraversalStats};

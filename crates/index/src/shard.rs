@@ -1,0 +1,400 @@
+//! Per-term-range sharding of the interned CSR state.
+//!
+//! A shard is a contiguous dense-id slice of both vocabularies — term ids
+//! `[term_range.0, term_range.1)` and entity slots `[entity_range.0,
+//! entity_range.1)` — carrying the CSR postings of exactly those lists
+//! with their precomputed `irf`/`eirf` and MaxScore bounds, offsets
+//! rebased to the shard. Because the term vocabulary is interned in
+//! lexicographic order (and entity slots ascending), a contiguous id
+//! range *is* a term range, so the snapshot store can partition a corpus
+//! into N independently decodable files and splice them back.
+//!
+//! Partitioning balances postings mass, not vocabulary size: shard
+//! boundaries are chosen so each shard holds ≈ `1/N` of the posting
+//! entries of its side, which is what makes a parallel load divide the
+//! decode work evenly. [`InvertedIndex::from_shards`] re-validates every
+//! cross-shard invariant (coverage from 0, no gap, no overlap, declared
+//! range ↔ slice shapes) before splicing, then runs the full
+//! [`InvertedIndex::from_parts`] CSR validation on the reassembled state,
+//! so a forged shard set is rejected with an error, never spliced into a
+//! corrupt index.
+
+use crate::index::InvertedIndex;
+use crate::raw::{EntityParts, IndexParts, TermParts};
+
+/// One contiguous slice of the index: the `index`-th of `count` shards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexShard {
+    /// Position of this shard in the sequence (0-based).
+    pub index: u32,
+    /// Dense term-id range `[lo, hi)` this shard carries.
+    pub term_range: (u32, u32),
+    /// Dense entity-slot range `[lo, hi)` this shard carries.
+    pub entity_range: (u32, u32),
+    /// Term-side slice: vocab/irf/max_tf for the range, offsets rebased
+    /// to start at 0, postings of exactly these lists.
+    pub terms: TermParts,
+    /// Entity-side slice, same shape.
+    pub entities: EntityParts,
+}
+
+/// Splits `[0, offsets.len() - 1)` into `n` contiguous ranges of roughly
+/// equal postings mass (offsets are the CSR prefix sums, so
+/// `offsets[i+1] - offsets[i]` is list `i`'s mass). Ranges may be empty
+/// when `n` exceeds the vocabulary or the mass is very skewed; together
+/// they always cover the id space exactly once, in order.
+fn partition_by_mass(offsets: &[u64], n: usize) -> Vec<(u32, u32)> {
+    let vocab = offsets.len().saturating_sub(1);
+    let total = offsets.last().copied().unwrap_or(0);
+    let mut bounds = Vec::with_capacity(n + 1);
+    bounds.push(0u32);
+    for k in 1..n {
+        let bound = if total == 0 {
+            // No postings to balance: fall back to an even vocab split.
+            (vocab * k / n) as u32
+        } else {
+            // First id whose prefix mass reaches k/n of the total.
+            let target = (total as u128 * k as u128 / n as u128) as u64;
+            offsets[..=vocab].partition_point(|&o| o < target) as u32
+        };
+        let prev = *bounds.last().expect("bounds start non-empty");
+        bounds.push(bound.clamp(prev, vocab as u32));
+    }
+    bounds.push(vocab as u32);
+    bounds.windows(2).map(|w| (w[0], w[1])).collect()
+}
+
+/// The term-side slice of one shard, offsets rebased to 0.
+fn slice_terms(t: &TermParts, lo: u32, hi: u32) -> TermParts {
+    let (lo, hi) = (lo as usize, hi as usize);
+    let base = t.offsets[lo];
+    let end = t.offsets[hi];
+    TermParts {
+        vocab: t.vocab[lo..hi].to_vec(),
+        offsets: t.offsets[lo..=hi].iter().map(|&o| o - base).collect(),
+        docs: t.docs[base as usize..end as usize].to_vec(),
+        tfs: t.tfs[base as usize..end as usize].to_vec(),
+        irf: t.irf[lo..hi].to_vec(),
+        max_tf: t.max_tf[lo..hi].to_vec(),
+    }
+}
+
+/// The entity-side slice of one shard, offsets rebased to 0.
+fn slice_entities(e: &EntityParts, lo: u32, hi: u32) -> EntityParts {
+    let (lo, hi) = (lo as usize, hi as usize);
+    let base = e.offsets[lo];
+    let end = e.offsets[hi];
+    EntityParts {
+        vocab: e.vocab[lo..hi].to_vec(),
+        offsets: e.offsets[lo..=hi].iter().map(|&o| o - base).collect(),
+        docs: e.docs[base as usize..end as usize].to_vec(),
+        efs: e.efs[base as usize..end as usize].to_vec(),
+        we: e.we[base as usize..end as usize].to_vec(),
+        eirf: e.eirf[lo..hi].to_vec(),
+        max_contrib: e.max_contrib[lo..hi].to_vec(),
+    }
+}
+
+fn check(ok: bool, msg: String) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(msg)
+    }
+}
+
+/// Validates that the declared ranges of a shard sequence tile an id
+/// space exactly: start at 0, no gap, no overlap, ascending.
+fn validate_tiling(side: &str, ranges: &[(u32, u32)]) -> Result<u32, String> {
+    let mut expected = 0u32;
+    for (i, &(lo, hi)) in ranges.iter().enumerate() {
+        check(
+            hi >= lo,
+            format!("{side}: shard {i} range [{lo}, {hi}) is inverted"),
+        )?;
+        check(
+            lo >= expected,
+            format!(
+                "{side}: shard {i} range [{lo}, {hi}) overlaps the previous shard (expected lo {expected})"
+            ),
+        )?;
+        check(
+            lo <= expected,
+            format!(
+                "{side}: gap before shard {i} — ids [{expected}, {lo}) are covered by no shard"
+            ),
+        )?;
+        expected = hi;
+    }
+    Ok(expected)
+}
+
+impl InvertedIndex {
+    /// Partitions the index into `shards` contiguous per-term-range (and
+    /// per-entity-range) slices, each side balanced by postings mass.
+    /// `shards` is clamped to at least 1. The output reassembles to an
+    /// index `==` to `self` via [`InvertedIndex::from_shards`].
+    pub fn to_shards(&self, shards: usize) -> Vec<IndexShard> {
+        let n = shards.max(1);
+        let parts = self.to_parts();
+        let term_ranges = partition_by_mass(&parts.terms.offsets, n);
+        let entity_ranges = partition_by_mass(&parts.entities.offsets, n);
+        term_ranges
+            .into_iter()
+            .zip(entity_ranges)
+            .enumerate()
+            .map(|(i, (tr, er))| IndexShard {
+                index: i as u32,
+                term_range: tr,
+                entity_range: er,
+                terms: slice_terms(&parts.terms, tr.0, tr.1),
+                entities: slice_entities(&parts.entities, er.0, er.1),
+            })
+            .collect()
+    }
+
+    /// Reassembles an index from a complete, in-order shard sequence plus
+    /// the per-document term lengths.
+    ///
+    /// Cross-shard invariants are checked first — sequential shard
+    /// indices, ranges tiling both id spaces from 0 with no gap or
+    /// overlap, every slice shaped exactly as its declared range — then
+    /// the spliced state runs the full [`InvertedIndex::from_parts`] CSR
+    /// validation. Any violation is a descriptive `Err`, never a panic.
+    pub fn from_shards(shards: Vec<IndexShard>, doc_lens: Vec<u32>) -> Result<Self, String> {
+        check(!shards.is_empty(), "shards: empty shard sequence".to_string())?;
+        for (i, s) in shards.iter().enumerate() {
+            check(
+                s.index == i as u32,
+                format!("shards: shard at position {i} declares index {}", s.index),
+            )?;
+        }
+        let term_ranges: Vec<_> = shards.iter().map(|s| s.term_range).collect();
+        let entity_ranges: Vec<_> = shards.iter().map(|s| s.entity_range).collect();
+        validate_tiling("terms", &term_ranges)?;
+        validate_tiling("entities", &entity_ranges)?;
+
+        for s in &shards {
+            let i = s.index;
+            let t_len = (s.term_range.1 - s.term_range.0) as usize;
+            check(
+                s.terms.vocab.len() == t_len && s.terms.offsets.len() == t_len + 1,
+                format!(
+                    "terms: shard {i} slice shape (vocab {}, offsets {}) disagrees with range [{}, {})",
+                    s.terms.vocab.len(),
+                    s.terms.offsets.len(),
+                    s.term_range.0,
+                    s.term_range.1
+                ),
+            )?;
+            check(
+                s.terms.offsets.first() == Some(&0),
+                format!("terms: shard {i} offsets are not rebased to 0"),
+            )?;
+            let e_len = (s.entity_range.1 - s.entity_range.0) as usize;
+            check(
+                s.entities.vocab.len() == e_len && s.entities.offsets.len() == e_len + 1,
+                format!(
+                    "entities: shard {i} slice shape (vocab {}, offsets {}) disagrees with range [{}, {})",
+                    s.entities.vocab.len(),
+                    s.entities.offsets.len(),
+                    s.entity_range.0,
+                    s.entity_range.1
+                ),
+            )?;
+            check(
+                s.entities.offsets.first() == Some(&0),
+                format!("entities: shard {i} offsets are not rebased to 0"),
+            )?;
+        }
+
+        // Splice. Offsets re-base onto the running postings totals; the
+        // leading 0 of every shard after the first is dropped.
+        let mut terms = TermParts {
+            vocab: Vec::new(),
+            offsets: vec![0],
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            irf: Vec::new(),
+            max_tf: Vec::new(),
+        };
+        let mut entities = EntityParts {
+            vocab: Vec::new(),
+            offsets: vec![0],
+            docs: Vec::new(),
+            efs: Vec::new(),
+            we: Vec::new(),
+            eirf: Vec::new(),
+            max_contrib: Vec::new(),
+        };
+        for s in shards {
+            let t_base = terms.docs.len() as u64;
+            terms.offsets.extend(s.terms.offsets[1..].iter().map(|&o| o + t_base));
+            terms.vocab.extend(s.terms.vocab);
+            terms.docs.extend(s.terms.docs);
+            terms.tfs.extend(s.terms.tfs);
+            terms.irf.extend(s.terms.irf);
+            terms.max_tf.extend(s.terms.max_tf);
+
+            let e_base = entities.docs.len() as u64;
+            entities.offsets.extend(s.entities.offsets[1..].iter().map(|&o| o + e_base));
+            entities.vocab.extend(s.entities.vocab);
+            entities.docs.extend(s.entities.docs);
+            entities.efs.extend(s.entities.efs);
+            entities.we.extend(s.entities.we);
+            entities.eirf.extend(s.entities.eirf);
+            entities.max_contrib.extend(s.entities.max_contrib);
+        }
+        InvertedIndex::from_parts(IndexParts { terms, entities, doc_lens })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::IndexBuilder;
+    use crate::query::Query;
+    use rightcrowd_types::EntityId;
+
+    fn sample() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        let terms = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        b.add_document(&terms(&["swim", "pool", "swim", "dive"]), &[(EntityId::new(3), 0.7)]);
+        b.add_document(&terms(&["cook", "pasta", "boil"]), &[(EntityId::new(1), 0.2)]);
+        b.add_document(&terms(&["swim", "cook", "train"]), &[(EntityId::new(3), 0.4), (EntityId::new(9), 0.1)]);
+        b.add_document(&terms(&["pool", "train"]), &[(EntityId::new(9), 0.9)]);
+        b.build()
+    }
+
+    fn doc_lens(idx: &InvertedIndex) -> Vec<u32> {
+        idx.to_parts().doc_lens
+    }
+
+    #[test]
+    fn roundtrip_is_identity_for_many_shard_counts() {
+        let idx = sample();
+        let lens = doc_lens(&idx);
+        for n in [1, 2, 3, 5, 7, 64] {
+            let shards = idx.to_shards(n);
+            assert_eq!(shards.len(), n, "shard count {n}");
+            let rebuilt = InvertedIndex::from_shards(shards, lens.clone()).unwrap();
+            assert_eq!(idx, rebuilt, "shard count {n}");
+            let q = Query {
+                terms: vec!["swim".into(), "cook".into()],
+                entities: vec![EntityId::new(3)],
+            };
+            assert_eq!(idx.score_all(&q, 0.6), rebuilt.score_all(&q, 0.6), "shard count {n}");
+        }
+    }
+
+    #[test]
+    fn ranges_tile_and_balance_mass() {
+        let idx = sample();
+        let parts = idx.to_parts();
+        let shards = idx.to_shards(3);
+        // Tiling: start at 0, contiguous, end at vocab length.
+        let mut expected = 0u32;
+        for s in &shards {
+            assert_eq!(s.term_range.0, expected);
+            expected = s.term_range.1;
+        }
+        assert_eq!(expected as usize, parts.terms.vocab.len());
+        // Mass balance: no shard carries everything when 3 are requested
+        // over 8 term lists.
+        let masses: Vec<usize> = shards.iter().map(|s| s.terms.docs.len()).collect();
+        assert_eq!(masses.iter().sum::<usize>(), parts.terms.docs.len());
+        assert!(masses.iter().all(|&m| m < parts.terms.docs.len()), "{masses:?}");
+    }
+
+    #[test]
+    fn more_shards_than_vocab_yields_empty_tail_shards() {
+        let idx = sample();
+        let shards = idx.to_shards(64);
+        assert_eq!(shards.len(), 64);
+        let non_empty = shards.iter().filter(|s| !s.terms.vocab.is_empty()).count();
+        assert!(non_empty <= 8);
+        let rebuilt = InvertedIndex::from_shards(shards, doc_lens(&idx)).unwrap();
+        assert_eq!(idx, rebuilt);
+    }
+
+    #[test]
+    fn rejects_gapped_overlapping_and_misordered_shards() {
+        let idx = sample();
+        let lens = doc_lens(&idx);
+
+        // Dropping a middle shard leaves a gap.
+        let mut shards = idx.to_shards(3);
+        shards.remove(1);
+        shards[1].index = 1;
+        let err = InvertedIndex::from_shards(shards, lens.clone()).unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+
+        // Duplicating a shard overlaps.
+        let mut shards = idx.to_shards(3);
+        let dup = shards[1].clone();
+        shards.insert(1, dup);
+        for (i, s) in shards.iter_mut().enumerate() {
+            s.index = i as u32;
+        }
+        let err = InvertedIndex::from_shards(shards, lens.clone()).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+
+        // Out-of-sequence indices are refused before any splicing.
+        let mut shards = idx.to_shards(2);
+        shards.swap(0, 1);
+        let err = InvertedIndex::from_shards(shards, lens.clone()).unwrap_err();
+        assert!(err.contains("declares index"), "{err}");
+
+        // Empty input.
+        let err = InvertedIndex::from_shards(Vec::new(), lens).unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_slices() {
+        let idx = sample();
+        let lens = doc_lens(&idx);
+
+        // A slice whose shape disagrees with its declared range.
+        let mut shards = idx.to_shards(2);
+        shards[0].terms.vocab.pop();
+        shards[0].terms.irf.pop();
+        shards[0].terms.max_tf.pop();
+        let err = InvertedIndex::from_shards(shards, lens.clone()).unwrap_err();
+        assert!(err.contains("slice shape"), "{err}");
+
+        // Offsets not rebased to 0.
+        let mut shards = idx.to_shards(2);
+        for o in &mut shards[1].terms.offsets {
+            *o += 5;
+        }
+        let err = InvertedIndex::from_shards(shards, lens.clone()).unwrap_err();
+        assert!(err.contains("rebased"), "{err}");
+
+        // Structural damage inside a shard is caught by the post-splice
+        // from_parts validation.
+        let mut shards = idx.to_shards(2);
+        if let Some(tf) = shards[1].terms.tfs.first_mut() {
+            *tf = 0;
+        }
+        let err = InvertedIndex::from_shards(shards, lens).unwrap_err();
+        assert!(err.contains("zero term frequency"), "{err}");
+    }
+
+    #[test]
+    fn partition_by_mass_handles_degenerate_inputs() {
+        // Empty vocabulary: every range is empty but the tiling holds.
+        assert_eq!(partition_by_mass(&[0], 3), vec![(0, 0), (0, 0), (0, 0)]);
+        // Zero postings: falls back to an even vocabulary split.
+        assert_eq!(partition_by_mass(&[0, 0, 0, 0, 0], 2), vec![(0, 2), (2, 4)]);
+        // One heavy list cannot be split below list granularity.
+        let ranges = partition_by_mass(&[0, 100, 101, 102], 3);
+        assert_eq!(ranges.iter().map(|r| r.1).next_back(), Some(3));
+        let mut expected = 0;
+        for &(lo, hi) in &ranges {
+            assert_eq!(lo, expected);
+            assert!(hi >= lo);
+            expected = hi;
+        }
+    }
+}

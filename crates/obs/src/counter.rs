@@ -51,11 +51,17 @@ pub enum CounterId {
     SnapshotBytesWritten,
     /// Bytes read and checksum-validated by `store::load`.
     SnapshotBytesRead,
+    /// Shard files decoded + digest-verified by `store::load_sharded`.
+    ShardsLoaded,
+    /// Bytes read and digest-validated across all shard files by
+    /// `store::load_sharded` (the manifest is counted under
+    /// `SnapshotBytesRead`).
+    ShardBytesRead,
 }
 
 impl CounterId {
     /// Every counter, in rendering order.
-    pub const ALL: [CounterId; 16] = [
+    pub const ALL: [CounterId; 18] = [
         CounterId::PostingsTraversed,
         CounterId::MaxscoreAdmitted,
         CounterId::MaxscorePruned,
@@ -72,6 +78,8 @@ impl CounterId {
         CounterId::AttributionShapesResident,
         CounterId::SnapshotBytesWritten,
         CounterId::SnapshotBytesRead,
+        CounterId::ShardsLoaded,
+        CounterId::ShardBytesRead,
     ];
 
     /// The counter's snake_case name (JSON key and table label).
@@ -93,6 +101,8 @@ impl CounterId {
             CounterId::AttributionShapesResident => "attribution_shapes_resident",
             CounterId::SnapshotBytesWritten => "snapshot_bytes_written",
             CounterId::SnapshotBytesRead => "snapshot_bytes_read",
+            CounterId::ShardsLoaded => "shards_loaded",
+            CounterId::ShardBytesRead => "shard_bytes_read",
         }
     }
 }

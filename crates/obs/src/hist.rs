@@ -26,15 +26,19 @@ pub enum HistId {
     AttributionComputeLatency,
     /// Full `store::load` latency: read + checksum + reconstruction.
     SnapshotLoadLatency,
+    /// Per-shard decode + digest-verify latency inside
+    /// `store::load_sharded` (recorded from `par_map` workers).
+    ShardLoadLatency,
 }
 
 impl HistId {
     /// Every histogram, in rendering order.
-    pub const ALL: [HistId; 4] = [
+    pub const ALL: [HistId; 5] = [
         HistId::QueryLatency,
         HistId::AnalyzeDocLatency,
         HistId::AttributionComputeLatency,
         HistId::SnapshotLoadLatency,
+        HistId::ShardLoadLatency,
     ];
 
     /// The histogram's snake_case name (JSON key and table label).
@@ -44,6 +48,7 @@ impl HistId {
             HistId::AnalyzeDocLatency => "analyze_doc_latency",
             HistId::AttributionComputeLatency => "attribution_compute_latency",
             HistId::SnapshotLoadLatency => "snapshot_load_latency",
+            HistId::ShardLoadLatency => "shard_load_latency",
         }
     }
 }
@@ -176,7 +181,7 @@ pub struct HistogramSummary {
 
 #[cfg(not(feature = "obs-off"))]
 static HISTS: [Histogram; HistId::ALL.len()] =
-    [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()];
+    [Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new(), Histogram::new()];
 
 /// Records `ns` into a global histogram (a no-op under `obs-off`).
 #[inline]

@@ -1,9 +1,15 @@
 //! The container envelope: magic, version, section table, checksums.
 //!
+//! The same envelope carries three file kinds, distinguished only by
+//! their 8-byte magic: monolithic snapshots (`RCSNAP01`), sharded-snapshot
+//! manifests (`RCMANI01`), and postings shards (`RCSHRD01`). There is one
+//! streaming decoder, [`read_container_with`]; the magic and the
+//! [`Integrity`] policy are its only parameters.
+//!
 //! ```text
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
-//!      0     8  magic  "RCSNAP01"
+//!      0     8  magic  (e.g. "RCSNAP01")
 //!      8     4  format version   (u32 LE)
 //!     12     4  feature flags    (u32 LE, must be 0)
 //!     16     4  section count    (u32 LE)
@@ -26,6 +32,13 @@
 //! 6. table crc                           → `ChecksumMismatch{"table"}`
 //! 7. each payload crc, in table order    → `ChecksumMismatch{<section>}`
 //! 8. whole-file crc                      → `ChecksumMismatch{"file"}`
+//!
+//! Under [`Integrity::External`] step 7 is skipped: the caller already
+//! holds the file's whole-file digest from a trusted manifest, so one
+//! streaming CRC pass (step 8, cross-checked against the external digest)
+//! covers every payload byte. That halves the checksum work per byte —
+//! the main reason a sharded load outruns a monolithic one even on a
+//! single core.
 //!
 //! Only after the envelope fully verifies does decoding start; structural
 //! problems found then are `Corrupt`.
@@ -81,6 +94,10 @@ pub mod kind {
     pub const TERM_INDEX: u32 = 6;
     /// Entity-side CSR postings.
     pub const ENTITY_INDEX: u32 = 7;
+    /// Sharded-snapshot manifest: shard ranges, byte lengths, digests.
+    pub const SHARD_TABLE: u32 = 8;
+    /// Per-shard identity: index, count, declared id ranges.
+    pub const SHARD_META: u32 = 9;
 }
 
 /// The section order a version-1 snapshot must use.
@@ -105,20 +122,30 @@ pub const fn section_name(kind_tag: u32) -> &'static str {
         kind::CORPUS => "corpus",
         kind::TERM_INDEX => "term_index",
         kind::ENTITY_INDEX => "entity_index",
+        kind::SHARD_TABLE => "shard_table",
+        kind::SHARD_META => "shard_meta",
         _ => "unknown",
     }
 }
 
 // ----- writing ----------------------------------------------------------
 
-/// Assembles the complete container from encoded section payloads.
+/// Assembles the complete container from encoded section payloads, under
+/// the monolithic-snapshot magic.
 pub fn assemble(sections: &[Section]) -> Vec<u8> {
+    assemble_with(&MAGIC, sections)
+}
+
+/// Assembles the complete container under an arbitrary magic. Every file
+/// kind (snapshot, manifest, shard) is written fully self-contained —
+/// per-section CRCs included — regardless of how it will be read back.
+pub fn assemble_with(magic: &[u8; 8], sections: &[Section]) -> Vec<u8> {
     let payload_total: usize = sections.iter().map(|s| s.payload.len()).sum();
     let mut out = Vec::with_capacity(
         HEADER_LEN + sections.len() * TABLE_ENTRY_LEN + 8 + payload_total + 8,
     );
 
-    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(magic);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
     out.extend_from_slice(&0u32.to_le_bytes()); // flags
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
@@ -161,15 +188,44 @@ impl<R: Read> HashingReader<R> {
     }
 }
 
-/// Streams and fully verifies a container, returning its sections in
-/// table order plus the total byte count.
+/// How payload bytes are verified while streaming a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Integrity {
+    /// Verify each per-section CRC *and* the trailing whole-file CRC — two
+    /// digest passes over every payload byte. The mode for files read
+    /// without outside knowledge (monolithic snapshots, manifests).
+    SelfContained,
+    /// The caller already knows the file's whole-file CRC-64 from a
+    /// trusted source (the manifest's shard table). Per-section CRCs are
+    /// skipped; the single streamed digest must match both the file's own
+    /// trailer and `digest`, or the read fails with
+    /// `ChecksumMismatch{"file"}`. One pass per byte instead of two.
+    External {
+        /// The expected whole-file CRC-64/XZ.
+        digest: u64,
+    },
+}
+
+/// Streams and fully verifies a monolithic snapshot container, returning
+/// its sections in table order plus the total byte count.
 pub fn read_container<R: Read>(reader: R) -> Result<(Vec<Section>, u64), StoreError> {
+    read_container_with(reader, &MAGIC, Integrity::SelfContained)
+}
+
+/// The one streaming container decoder: chunked reads, fixed
+/// detection-order error mapping, and the [`Integrity`] policy above.
+/// Monolithic snapshots, manifests, and shards all come through here.
+pub fn read_container_with<R: Read>(
+    reader: R,
+    magic: &[u8; 8],
+    integrity: Integrity,
+) -> Result<(Vec<Section>, u64), StoreError> {
     let mut r = HashingReader { inner: reader, digest: Crc64::new(), bytes_read: 0 };
 
     // Header: validate magic → version → flags → checksum, in that order.
     let mut header = [0u8; HEADER_LEN];
     r.read_exact(&mut header)?;
-    if header[0..8] != MAGIC {
+    if header[0..8] != *magic {
         return Err(StoreError::BadMagic);
     }
     let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
@@ -218,20 +274,26 @@ pub fn read_container<R: Read>(reader: R) -> Result<(Vec<Section>, u64), StoreEr
             payload.resize(start + take, 0);
             r.read_exact(&mut payload[start..])?;
         }
-        if crc64(&payload) != expected_crc {
+        if integrity == Integrity::SelfContained && crc64(&payload) != expected_crc {
             return Err(StoreError::ChecksumMismatch { section: section_name(kind_tag) });
         }
         sections.push(Section { kind: kind_tag, payload });
     }
 
     // Whole-file checksum: digest of everything streamed so far must match
-    // the trailing 8 bytes (which are read outside the digest).
+    // the trailing 8 bytes (which are read outside the digest) — and, in
+    // external mode, the digest the caller's manifest recorded.
     let computed = r.digest.finish();
     let mut trailer = [0u8; 8];
     r.inner.read_exact(&mut trailer).map_err(StoreError::from)?;
     r.bytes_read += 8;
     if computed != u64::from_le_bytes(trailer) {
         return Err(StoreError::ChecksumMismatch { section: "file" });
+    }
+    if let Integrity::External { digest } = integrity {
+        if computed != digest {
+            return Err(StoreError::ChecksumMismatch { section: "file" });
+        }
     }
     // Anything after the trailer is not ours.
     let mut probe = [0u8; 1];
@@ -264,10 +326,16 @@ pub struct SectionInfo {
 /// this to aim bit-flips and truncations at every region; `rc load`
 /// failures can use it to point at the damaged range.
 pub fn layout(bytes: &[u8]) -> Result<Vec<SectionInfo>, StoreError> {
+    layout_with(bytes, &MAGIC)
+}
+
+/// [`layout`] under an arbitrary magic, so manifest and shard files can be
+/// mapped (and fault-injected) the same way as monolithic snapshots.
+pub fn layout_with(bytes: &[u8], magic: &[u8; 8]) -> Result<Vec<SectionInfo>, StoreError> {
     if bytes.len() < HEADER_LEN {
         return Err(StoreError::Truncated);
     }
-    if bytes[0..8] != MAGIC {
+    if bytes[0..8] != *magic {
         return Err(StoreError::BadMagic);
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
@@ -406,5 +474,37 @@ mod tests {
     fn empty_input_is_truncated() {
         assert!(matches!(read_container(&[][..]), Err(StoreError::Truncated)));
         assert!(matches!(layout(&[]), Err(StoreError::Truncated)));
+    }
+
+    #[test]
+    fn external_digest_mode_roundtrips_and_detects_damage() {
+        let magic = b"RCTEST01";
+        let bytes = assemble_with(magic, &[Section { kind: kind::META, payload: vec![9; 50] }]);
+        let digest = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+        let (sections, n) =
+            read_container_with(&bytes[..], magic, Integrity::External { digest }).unwrap();
+        assert_eq!(n, bytes.len() as u64);
+        assert_eq!(sections[0].payload, vec![9; 50]);
+
+        // An internally consistent file that is not the one the caller's
+        // manifest promised still fails the whole-file check.
+        assert!(matches!(
+            read_container_with(&bytes[..], magic, Integrity::External { digest: digest ^ 1 }),
+            Err(StoreError::ChecksumMismatch { section: "file" })
+        ));
+
+        // Payload damage in external mode is caught by the single
+        // whole-file pass instead of the per-section pass.
+        let infos = layout_with(&bytes, magic).unwrap();
+        let meta = infos.iter().find(|i| i.name == "meta").unwrap();
+        let mut damaged = bytes.clone();
+        damaged[meta.offset] ^= 0xFF;
+        assert!(matches!(
+            read_container_with(&damaged[..], magic, Integrity::External { digest }),
+            Err(StoreError::ChecksumMismatch { section: "file" })
+        ));
+
+        // The monolithic-snapshot reader refuses the foreign magic.
+        assert!(matches!(read_container(&bytes[..]), Err(StoreError::BadMagic)));
     }
 }

@@ -11,8 +11,9 @@ use std::fmt;
 /// Why a snapshot could not be written or read.
 #[derive(Debug)]
 pub enum StoreError {
-    /// The file does not start with the `RCSNAP01` magic — it is not a
-    /// rightcrowd snapshot at all.
+    /// The file does not start with the magic its role requires
+    /// (`RCSNAP01` for snapshots, `RCMANI01` for manifests, `RCSHRD01`
+    /// for shards) — it is not that kind of rightcrowd file at all.
     BadMagic,
     /// The file is a snapshot, but of a format revision this build does
     /// not read.
@@ -39,6 +40,18 @@ pub enum StoreError {
     },
     /// The file ended before the declared layout did.
     Truncated,
+    /// The manifest promises a shard file that does not exist on disk.
+    ShardMissing {
+        /// The missing shard's index in the manifest's shard table.
+        index: u32,
+    },
+    /// A shard file's whole-file digest disagrees with the digest the
+    /// manifest recorded for it — the shard is damaged, or it is not the
+    /// file this manifest was written with.
+    ShardChecksumMismatch {
+        /// The offending shard's index in the manifest's shard table.
+        index: u32,
+    },
     /// Every checksum verified but the decoded structure violates an
     /// invariant (CSR shape, id ranges, knowledge-base fingerprint, …).
     /// Reachable only through a consistent rewrite of payload + checksums,
@@ -52,7 +65,10 @@ impl fmt::Display for StoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StoreError::BadMagic => {
-                write!(f, "not a rightcrowd snapshot (bad magic; expected \"RCSNAP01\")")
+                write!(
+                    f,
+                    "bad magic: not a rightcrowd snapshot (\"RCSNAP01\"), manifest (\"RCMANI01\") or shard (\"RCSHRD01\")"
+                )
             }
             StoreError::VersionMismatch { found, expected } => write!(
                 f,
@@ -67,6 +83,14 @@ impl fmt::Display for StoreError {
             StoreError::Truncated => {
                 write!(f, "snapshot is truncated — the file is incomplete; re-run `rc save`")
             }
+            StoreError::ShardMissing { index } => write!(
+                f,
+                "shard {index} is missing — the manifest promises it but the file is not on disk; re-run `rc save --shards N`"
+            ),
+            StoreError::ShardChecksumMismatch { index } => write!(
+                f,
+                "shard {index} failed its manifest digest — the file is corrupt or belongs to a different save; re-run `rc save --shards N`"
+            ),
             StoreError::Corrupt(what) => write!(f, "snapshot is structurally corrupt: {what}"),
             StoreError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
         }
@@ -106,6 +130,8 @@ mod tests {
             (StoreError::UnsupportedFlags { flags: 2 }, "0x00000002"),
             (StoreError::ChecksumMismatch { section: "graph" }, "`graph`"),
             (StoreError::Truncated, "truncated"),
+            (StoreError::ShardMissing { index: 4 }, "shard 4 is missing"),
+            (StoreError::ShardChecksumMismatch { index: 2 }, "shard 2 failed"),
             (StoreError::Corrupt("bad csr".into()), "bad csr"),
         ];
         for (err, needle) in cases {

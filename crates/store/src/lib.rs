@@ -35,15 +35,24 @@ pub mod codec;
 pub mod container;
 pub mod crc;
 pub mod err;
+pub mod shard;
 pub mod wire;
 
 pub use codec::Census;
-pub use container::{layout, section_name, SectionInfo, FORMAT_VERSION, MAGIC};
+pub use container::{
+    layout, layout_with, section_name, Integrity, SectionInfo, FORMAT_VERSION, MAGIC,
+};
 pub use crc::{crc64, Crc64};
 pub use err::StoreError;
+pub use shard::{
+    is_sharded, load_sharded, manifest_path, save_sharded, shard_path, ShardEntry,
+    ShardTable, ShardedLoadStats, ShardedSaveStats, MANIFEST_FILE, MANIFEST_MAGIC, SHARD_MAGIC,
+    SHARD_FORMAT_VERSION,
+};
 
 use container::{kind, Section, SECTION_ORDER};
 use rightcrowd_core::AnalyzedCorpus;
+use rightcrowd_graph::DocId;
 use rightcrowd_index::InvertedIndex;
 use rightcrowd_synth::{queries::workload, SyntheticDataset};
 use std::io::Read;
@@ -76,6 +85,25 @@ pub struct LoadStats {
 /// byte-identical.
 pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
     let _span = rightcrowd_obs::span!("store.encode");
+    let parts = corpus.index().to_parts();
+    let mut sections = study_sections(ds, corpus, &parts.doc_lens);
+    sections.push(Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&parts.terms) });
+    sections.push(Section {
+        kind: kind::ENTITY_INDEX,
+        payload: codec::encode_entity_index(&parts.entities),
+    });
+    container::assemble(&sections)
+}
+
+/// Encodes the five non-index sections every container kind shares —
+/// `meta`, `graph`, `web`, `truth`, `corpus` — in format order. Monolithic
+/// snapshots append the two index sections; sharded manifests append the
+/// shard table instead.
+pub(crate) fn study_sections(
+    ds: &SyntheticDataset,
+    corpus: &AnalyzedCorpus,
+    doc_lens: &[u32],
+) -> Vec<Section> {
     let (persons, profiles, resources, containers) = ds.graph().counts();
     let census = Census {
         persons,
@@ -85,8 +113,7 @@ pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
         pages: ds.web().len(),
         retained: corpus.retained(),
     };
-    let parts = corpus.index().to_parts();
-    let sections = [
+    vec![
         Section {
             kind: kind::META,
             payload: codec::encode_meta(ds.config(), ds.kb(), ds.queries(), census),
@@ -99,16 +126,31 @@ pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
         },
         Section {
             kind: kind::CORPUS,
-            payload: codec::encode_corpus(
-                corpus.doc_ids(),
-                corpus.dropped_non_english(),
-                &parts.doc_lens,
-            ),
+            payload: codec::encode_corpus(corpus.doc_ids(), corpus.dropped_non_english(), doc_lens),
         },
-        Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&parts.terms) },
-        Section { kind: kind::ENTITY_INDEX, payload: codec::encode_entity_index(&parts.entities) },
-    ];
-    container::assemble(&sections)
+    ]
+}
+
+/// Decodes the five shared study sections (in the order produced by
+/// [`study_sections`]), regenerating and fingerprint-checking the
+/// compiled-in constants, and replays the dataset. Returns the dataset
+/// plus the corpus ingredients that still await an index.
+pub(crate) fn decode_study(
+    payloads: [&[u8]; 5],
+) -> Result<(SyntheticDataset, Vec<DocId>, usize, Vec<u32>), StoreError> {
+    let [meta, graph, web, truth, corpus] = payloads;
+
+    // Regenerate the compiled-in constants the fingerprints verify against.
+    let kb = rightcrowd_kb::seed::standard();
+    let queries = workload();
+
+    let (config, census) = codec::decode_meta(meta, &kb, &queries)?;
+    let graph = codec::decode_graph(graph, census)?;
+    let web = codec::decode_web(web, census)?;
+    let (latent, answers, personas) = codec::decode_truth(truth, census, queries.len())?;
+    let (docs, dropped, doc_lens) = codec::decode_corpus(corpus, census)?;
+    let ds = SyntheticDataset::from_parts(config, graph, web, latent, answers, personas);
+    Ok((ds, docs, dropped, doc_lens))
 }
 
 /// Streams, verifies and reconstructs a snapshot from any reader.
@@ -132,23 +174,19 @@ pub fn from_reader<R: Read>(reader: R) -> Result<(SyntheticDataset, AnalyzedCorp
         )));
     }
 
-    // Regenerate the compiled-in constants the fingerprints verify against.
-    let kb = rightcrowd_kb::seed::standard();
-    let queries = workload();
-
-    let (config, census) = codec::decode_meta(&sections[0].payload, &kb, &queries)?;
-    let graph = codec::decode_graph(&sections[1].payload, census)?;
-    let web = codec::decode_web(&sections[2].payload, census)?;
-    let (latent, answers, personas) =
-        codec::decode_truth(&sections[3].payload, census, queries.len())?;
-    let (docs, dropped, doc_lens) = codec::decode_corpus(&sections[4].payload, census)?;
+    let (ds, docs, dropped, doc_lens) = decode_study([
+        &sections[0].payload,
+        &sections[1].payload,
+        &sections[2].payload,
+        &sections[3].payload,
+        &sections[4].payload,
+    ])?;
     let terms = codec::decode_term_index(&sections[5].payload)?;
     let entities = codec::decode_entity_index(&sections[6].payload)?;
 
     let index = InvertedIndex::from_parts(codec::assemble_index_parts(terms, entities, doc_lens))
         .map_err(StoreError::Corrupt)?;
     let corpus = AnalyzedCorpus::from_parts(index, docs, dropped).map_err(StoreError::Corrupt)?;
-    let ds = SyntheticDataset::from_parts(config, graph, web, latent, answers, personas);
 
     rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesRead, bytes);
     Ok((ds, corpus, bytes))

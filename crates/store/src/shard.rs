@@ -1,0 +1,588 @@
+//! Sharded snapshots: a manifest plus N per-term-range postings shards.
+//!
+//! A sharded snapshot is a *directory*:
+//!
+//! ```text
+//! <dir>/manifest.rcm       magic RCMANI01 — everything small: meta,
+//!                          graph, web, truth, corpus table, and the
+//!                          shard table (ranges, byte lengths, digests)
+//! <dir>/shard-000.rcshard  magic RCSHRD01 — shard identity + the CSR
+//! <dir>/shard-001.rcshard  term/entity postings of one contiguous
+//! …                        dense-id range, offsets rebased to 0
+//! ```
+//!
+//! Both file kinds reuse the envelope of `container` (same header, table,
+//! checksum layout — only the magic differs) and the section codecs of
+//! `codec` verbatim, so there is exactly one streaming decoder and one
+//! set of payload formats to maintain.
+//!
+//! Why shards load faster, even on one core: the manifest records each
+//! shard's trailing whole-file CRC-64, so [`load_sharded`] reads every
+//! shard under [`Integrity::External`] — a *single* digest pass per
+//! payload byte, checked simultaneously against the file's own trailer
+//! and the manifest's promise — where the monolithic path digests every
+//! byte twice (per-section CRC + whole-file CRC). With more cores,
+//! shards additionally decode + verify concurrently on the workspace's
+//! order-preserving `par_map` pool. Shard files are still written fully
+//! self-contained (per-section CRCs included), so any one shard can be
+//! inspected or verified on its own.
+//!
+//! The corruption contract extends the monolithic one: a promised shard
+//! file that is absent is [`StoreError::ShardMissing`]; a shard whose
+//! digest disagrees with the manifest is
+//! [`StoreError::ShardChecksumMismatch`]; duplicate, overlapping or
+//! gapped ranges in the shard table — and any disagreement between a
+//! shard's recorded identity and the manifest entry that named it — are
+//! [`StoreError::Corrupt`]; a `shard_format_version` this build does not
+//! write is [`StoreError::VersionMismatch`]. Nothing in this path panics
+//! on hostile input.
+
+use crate::codec;
+use crate::container::{assemble_with, kind, read_container_with, Integrity, Section};
+use crate::err::StoreError;
+use crate::wire::{put_len, put_u32, put_u64, Cursor};
+use crate::{decode_study, study_sections};
+use rightcrowd_core::par::par_map;
+use rightcrowd_core::AnalyzedCorpus;
+use rightcrowd_index::{IndexShard, InvertedIndex};
+use rightcrowd_synth::SyntheticDataset;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The 8-byte magic of a sharded-snapshot manifest.
+pub const MANIFEST_MAGIC: [u8; 8] = *b"RCMANI01";
+
+/// The 8-byte magic of a postings shard.
+pub const SHARD_MAGIC: [u8; 8] = *b"RCSHRD01";
+
+/// Revision of the shard *payload* format (shard table + shard meta +
+/// sliced postings). Recorded in the manifest's shard table and checked
+/// on load, independently of the envelope's `FORMAT_VERSION`.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// The manifest's file name inside a sharded-snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.rcm";
+
+/// Upper bound on the shard count a reader will accept; anything larger
+/// is a forged shard table.
+const MAX_SHARDS: usize = 4096;
+
+/// The section order a version-1 manifest must use.
+pub const MANIFEST_SECTION_ORDER: [u32; 6] = [
+    kind::META,
+    kind::GRAPH,
+    kind::WEB,
+    kind::TRUTH,
+    kind::CORPUS,
+    kind::SHARD_TABLE,
+];
+
+/// The section order a version-1 shard file must use.
+pub const SHARD_SECTION_ORDER: [u32; 3] = [kind::SHARD_META, kind::TERM_INDEX, kind::ENTITY_INDEX];
+
+/// One row of the manifest's shard table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// Dense term-id range `[lo, hi)` the shard carries.
+    pub term_range: (u32, u32),
+    /// Dense entity-slot range `[lo, hi)` the shard carries.
+    pub entity_range: (u32, u32),
+    /// Exact shard file size in bytes.
+    pub byte_len: u64,
+    /// The shard file's trailing whole-file CRC-64/XZ — the external
+    /// digest its load is verified against.
+    pub digest: u64,
+    /// Per-shard feature flags; reserved, must be 0.
+    pub flags: u32,
+}
+
+/// The manifest's `shard_table` section, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTable {
+    /// Shard payload format revision (see [`SHARD_FORMAT_VERSION`]).
+    pub shard_format_version: u32,
+    /// Total term vocabulary size the entries must tile.
+    pub term_count: u64,
+    /// Total entity vocabulary size the entries must tile.
+    pub entity_count: u64,
+    /// One row per shard, in shard order.
+    pub entries: Vec<ShardEntry>,
+}
+
+/// What [`save_sharded`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedSaveStats {
+    /// Total bytes written: manifest plus every shard.
+    pub bytes: u64,
+    /// Manifest file size in bytes.
+    pub manifest_bytes: u64,
+    /// Number of shard files written.
+    pub shard_count: usize,
+    /// Wall time of partition + encode + write, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// What [`load_sharded`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardedLoadStats {
+    /// Total bytes read and verified: manifest plus every shard.
+    pub bytes: u64,
+    /// Manifest file size in bytes.
+    pub manifest_bytes: u64,
+    /// Number of shard files loaded.
+    pub shard_count: usize,
+    /// Wall time of read + verify + splice + reconstruct, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// The manifest's path inside a sharded-snapshot directory.
+pub fn manifest_path(dir: impl AsRef<Path>) -> PathBuf {
+    dir.as_ref().join(MANIFEST_FILE)
+}
+
+/// The path of shard `index` inside a sharded-snapshot directory.
+pub fn shard_path(dir: impl AsRef<Path>, index: u32) -> PathBuf {
+    dir.as_ref().join(format!("shard-{index:03}.rcshard"))
+}
+
+/// Whether `path` is a sharded-snapshot directory (contains a manifest).
+/// Monolithic snapshots are plain files, so this is the dispatch test for
+/// `--snapshot` arguments that accept either layout.
+pub fn is_sharded(path: impl AsRef<Path>) -> bool {
+    manifest_path(path).is_file()
+}
+
+// ----- shard-table + shard-meta codecs ----------------------------------
+
+/// Bytes per shard-table row: four range bounds + len + digest + flags.
+const SHARD_ENTRY_LEN: usize = 4 * 4 + 8 + 8 + 4;
+
+fn encode_shard_table(table: &ShardTable) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(32 + table.entries.len() * SHARD_ENTRY_LEN);
+    put_u32(&mut buf, table.shard_format_version);
+    put_u64(&mut buf, table.term_count);
+    put_u64(&mut buf, table.entity_count);
+    put_len(&mut buf, table.entries.len());
+    for e in &table.entries {
+        put_u32(&mut buf, e.term_range.0);
+        put_u32(&mut buf, e.term_range.1);
+        put_u32(&mut buf, e.entity_range.0);
+        put_u32(&mut buf, e.entity_range.1);
+        put_u64(&mut buf, e.byte_len);
+        put_u64(&mut buf, e.digest);
+        put_u32(&mut buf, e.flags);
+    }
+    buf
+}
+
+/// Checks that `ranges` tile `[0, count)` exactly — ascending, no
+/// duplicate, no overlap, no gap.
+fn check_tiling(side: &str, ranges: impl Iterator<Item = (u32, u32)>, count: u64) -> Result<(), StoreError> {
+    let mut expected = 0u32;
+    for (i, (lo, hi)) in ranges.enumerate() {
+        if hi < lo {
+            return Err(StoreError::Corrupt(format!(
+                "shard table: {side} range [{lo}, {hi}) of shard {i} is inverted"
+            )));
+        }
+        if lo < expected {
+            return Err(StoreError::Corrupt(format!(
+                "shard table: {side} range [{lo}, {hi}) of shard {i} duplicates or overlaps the previous shard (expected lo {expected})"
+            )));
+        }
+        if lo > expected {
+            return Err(StoreError::Corrupt(format!(
+                "shard table: gap in {side} ranges — ids [{expected}, {lo}) before shard {i} are covered by no shard"
+            )));
+        }
+        expected = hi;
+    }
+    if u64::from(expected) != count {
+        return Err(StoreError::Corrupt(format!(
+            "shard table: {side} ranges end at {expected} but the vocabulary has {count} ids"
+        )));
+    }
+    Ok(())
+}
+
+/// Decodes and fully validates the manifest's shard table: format
+/// version, reserved flags, shard-count bounds, and exact tiling of both
+/// vocabularies.
+pub fn decode_shard_table(payload: &[u8]) -> Result<ShardTable, StoreError> {
+    let mut c = Cursor::new(payload);
+    let shard_format_version = c.u32()?;
+    if shard_format_version != SHARD_FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found: shard_format_version,
+            expected: SHARD_FORMAT_VERSION,
+        });
+    }
+    let term_count = c.u64()?;
+    let entity_count = c.u64()?;
+    let n = c.len(SHARD_ENTRY_LEN)?;
+    if n == 0 {
+        return Err(StoreError::Corrupt("shard table declares zero shards".into()));
+    }
+    if n > MAX_SHARDS {
+        return Err(StoreError::Corrupt(format!(
+            "shard table declares {n} shards, above the format limit {MAX_SHARDS}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let entry = ShardEntry {
+            term_range: (c.u32()?, c.u32()?),
+            entity_range: (c.u32()?, c.u32()?),
+            byte_len: c.u64()?,
+            digest: c.u64()?,
+            flags: c.u32()?,
+        };
+        if entry.flags != 0 {
+            return Err(StoreError::UnsupportedFlags { flags: entry.flags });
+        }
+        entries.push(entry);
+    }
+    c.finish("shard_table")?;
+    check_tiling("term", entries.iter().map(|e| e.term_range), term_count)?;
+    check_tiling("entity", entries.iter().map(|e| e.entity_range), entity_count)?;
+    Ok(ShardTable { shard_format_version, term_count, entity_count, entries })
+}
+
+fn encode_shard_meta(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24);
+    put_u32(&mut buf, shard.index);
+    put_u32(&mut buf, shard_count as u32);
+    put_u32(&mut buf, shard.term_range.0);
+    put_u32(&mut buf, shard.term_range.1);
+    put_u32(&mut buf, shard.entity_range.0);
+    put_u32(&mut buf, shard.entity_range.1);
+    buf
+}
+
+/// A shard file's recorded identity, cross-checked against the manifest
+/// entry that named it.
+struct ShardMeta {
+    index: u32,
+    shard_count: u32,
+    term_range: (u32, u32),
+    entity_range: (u32, u32),
+}
+
+fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, StoreError> {
+    let mut c = Cursor::new(payload);
+    let index = c.u32()?;
+    let shard_count = c.u32()?;
+    let term_range = (c.u32()?, c.u32()?);
+    let entity_range = (c.u32()?, c.u32()?);
+    c.finish("shard_meta")?;
+    Ok(ShardMeta { index, shard_count, term_range, entity_range })
+}
+
+// ----- saving -----------------------------------------------------------
+
+/// Serialises one shard into a complete, self-contained `RCSHRD01` file.
+fn encode_shard_file(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
+    let sections = [
+        Section { kind: kind::SHARD_META, payload: encode_shard_meta(shard, shard_count) },
+        Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&shard.terms) },
+        Section { kind: kind::ENTITY_INDEX, payload: codec::encode_entity_index(&shard.entities) },
+    ];
+    assemble_with(&SHARD_MAGIC, &sections)
+}
+
+/// The trailing whole-file CRC-64 of an assembled container.
+fn trailing_digest(bytes: &[u8]) -> u64 {
+    let tail: [u8; 8] = bytes[bytes.len() - 8..].try_into().expect("assembled container");
+    u64::from_le_bytes(tail)
+}
+
+/// Writes a sharded snapshot of `(ds, corpus)` into directory `dir`:
+/// `shards` per-term-range postings shards (encoded on up to `threads`
+/// workers) plus the manifest. Deterministic for a given `(ds, corpus,
+/// shards)`, like the monolithic writer. Stale `*.rcshard` files from an
+/// earlier, wider save are removed so the directory always equals the
+/// manifest's promise.
+pub fn save_sharded(
+    dir: impl AsRef<Path>,
+    ds: &SyntheticDataset,
+    corpus: &AnalyzedCorpus,
+    shards: usize,
+    threads: usize,
+) -> Result<ShardedSaveStats, StoreError> {
+    let _span = rightcrowd_obs::span!("store.save_sharded");
+    let start = Instant::now();
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+
+    let parts = corpus.index().to_parts();
+    let index_shards = corpus.index().to_shards(shards);
+    let shard_count = index_shards.len();
+
+    let files: Vec<Vec<u8>> =
+        par_map(&index_shards, threads, |s| encode_shard_file(s, shard_count));
+
+    let entries: Vec<ShardEntry> = index_shards
+        .iter()
+        .zip(&files)
+        .map(|(s, bytes)| ShardEntry {
+            term_range: s.term_range,
+            entity_range: s.entity_range,
+            byte_len: bytes.len() as u64,
+            digest: trailing_digest(bytes),
+            flags: 0,
+        })
+        .collect();
+    let table = ShardTable {
+        shard_format_version: SHARD_FORMAT_VERSION,
+        term_count: parts.terms.vocab.len() as u64,
+        entity_count: parts.entities.vocab.len() as u64,
+        entries,
+    };
+
+    let mut sections = study_sections(ds, corpus, &parts.doc_lens);
+    sections.push(Section { kind: kind::SHARD_TABLE, payload: encode_shard_table(&table) });
+    let manifest = assemble_with(&MANIFEST_MAGIC, &sections);
+
+    let mut total = manifest.len() as u64;
+    for (i, bytes) in files.iter().enumerate() {
+        std::fs::write(shard_path(dir, i as u32), bytes).map_err(StoreError::Io)?;
+        total += bytes.len() as u64;
+    }
+    std::fs::write(manifest_path(dir), &manifest).map_err(StoreError::Io)?;
+    remove_stale_shards(dir, shard_count)?;
+
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesWritten, total);
+    Ok(ShardedSaveStats {
+        bytes: total,
+        manifest_bytes: manifest.len() as u64,
+        shard_count,
+        elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+    })
+}
+
+/// Deletes `*.rcshard` files whose index is not addressed by the new
+/// manifest, so a narrower re-save cannot leave orphans that a future
+/// reader might mistake for live data.
+fn remove_stale_shards(dir: &Path, shard_count: usize) -> Result<(), StoreError> {
+    for entry in std::fs::read_dir(dir).map_err(StoreError::Io)? {
+        let path = entry.map_err(StoreError::Io)?.path();
+        if path.extension().is_some_and(|e| e == "rcshard")
+            && (0..shard_count as u32).all(|i| path != shard_path(dir, i))
+        {
+            std::fs::remove_file(&path).map_err(StoreError::Io)?;
+        }
+    }
+    Ok(())
+}
+
+// ----- loading ----------------------------------------------------------
+
+/// Reads, verifies and decodes one shard file under the manifest's
+/// external digest — the single-CRC-pass path.
+fn load_shard(dir: &Path, index: u32, entry: &ShardEntry, shard_count: usize) -> Result<(IndexShard, u64), StoreError> {
+    let _span = rightcrowd_obs::span!("store.load_shard");
+    let _timer = rightcrowd_obs::time(rightcrowd_obs::HistId::ShardLoadLatency);
+
+    let bytes = match std::fs::read(shard_path(dir, index)) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(StoreError::ShardMissing { index })
+        }
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let (sections, n) =
+        read_container_with(&bytes[..], &SHARD_MAGIC, Integrity::External { digest: entry.digest })
+            .map_err(|e| match e {
+                StoreError::ChecksumMismatch { section: "file" } => {
+                    StoreError::ShardChecksumMismatch { index }
+                }
+                other => other,
+            })?;
+
+    if sections.len() != SHARD_SECTION_ORDER.len()
+        || sections.iter().zip(SHARD_SECTION_ORDER).any(|(s, k)| s.kind != k)
+    {
+        return Err(StoreError::Corrupt(format!(
+            "shard {index} has unexpected section layout {:?} (want {SHARD_SECTION_ORDER:?})",
+            sections.iter().map(|s| s.kind).collect::<Vec<_>>()
+        )));
+    }
+
+    let meta = decode_shard_meta(&sections[0].payload)?;
+    let ShardMeta { index: recorded_index, shard_count: recorded_count, term_range, entity_range } =
+        meta;
+    if recorded_index != index
+        || recorded_count != shard_count as u32
+        || term_range != entry.term_range
+        || entity_range != entry.entity_range
+    {
+        return Err(StoreError::Corrupt(format!(
+            "shard {index} identity mismatch: file says shard {recorded_index}/{recorded_count} \
+             terms [{}, {}) entities [{}, {}), manifest says shard {index}/{shard_count} \
+             terms [{}, {}) entities [{}, {})",
+            term_range.0,
+            term_range.1,
+            entity_range.0,
+            entity_range.1,
+            entry.term_range.0,
+            entry.term_range.1,
+            entry.entity_range.0,
+            entry.entity_range.1,
+        )));
+    }
+
+    let terms = codec::decode_term_index(&sections[1].payload)?;
+    let entities = codec::decode_entity_index(&sections[2].payload)?;
+    Ok((IndexShard { index, term_range, entity_range, terms, entities }, n))
+}
+
+/// Reads, verifies and reconstructs a sharded snapshot from directory
+/// `dir`, decoding + digest-verifying shards on up to `threads` workers.
+///
+/// Bit-for-bit equivalent to loading the monolithic snapshot of the same
+/// study: the spliced index satisfies `==` against the monolithic one, so
+/// every scoring path behaves identically (the parity suite enforces
+/// this for several shard counts).
+pub fn load_sharded(
+    dir: impl AsRef<Path>,
+    threads: usize,
+) -> Result<(SyntheticDataset, AnalyzedCorpus, ShardedLoadStats), StoreError> {
+    let _span = rightcrowd_obs::span!("store.load_sharded");
+    let start = Instant::now();
+    let dir = dir.as_ref();
+
+    let manifest = std::fs::File::open(manifest_path(dir)).map_err(StoreError::Io)?;
+    let (sections, manifest_bytes) = read_container_with(
+        std::io::BufReader::new(manifest),
+        &MANIFEST_MAGIC,
+        Integrity::SelfContained,
+    )?;
+    if sections.len() != MANIFEST_SECTION_ORDER.len()
+        || sections.iter().zip(MANIFEST_SECTION_ORDER).any(|(s, k)| s.kind != k)
+    {
+        return Err(StoreError::Corrupt(format!(
+            "unexpected manifest section layout {:?} (want {MANIFEST_SECTION_ORDER:?})",
+            sections.iter().map(|s| s.kind).collect::<Vec<_>>()
+        )));
+    }
+
+    let table = decode_shard_table(&sections[5].payload)?;
+    let (ds, docs, dropped, doc_lens) = decode_study([
+        &sections[0].payload,
+        &sections[1].payload,
+        &sections[2].payload,
+        &sections[3].payload,
+        &sections[4].payload,
+    ])?;
+
+    // Decode + digest-verify every shard, concurrently when threads allow,
+    // with results back in shard order for the splice.
+    let shard_count = table.entries.len();
+    let jobs: Vec<(u32, ShardEntry)> =
+        table.entries.iter().enumerate().map(|(i, e)| (i as u32, *e)).collect();
+    let results = par_map(&jobs, threads, |(i, entry)| load_shard(dir, *i, entry, shard_count));
+
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut shard_bytes = 0u64;
+    for result in results {
+        let (shard, n) = result?;
+        shard_bytes += n;
+        shards.push(shard);
+    }
+
+    let index = InvertedIndex::from_shards(shards, doc_lens).map_err(StoreError::Corrupt)?;
+    let corpus = AnalyzedCorpus::from_parts(index, docs, dropped).map_err(StoreError::Corrupt)?;
+
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesRead, manifest_bytes);
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::ShardBytesRead, shard_bytes);
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::ShardsLoaded, shard_count as u64);
+    Ok((
+        ds,
+        corpus,
+        ShardedLoadStats {
+            bytes: manifest_bytes + shard_bytes,
+            manifest_bytes,
+            shard_count,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(term: (u32, u32), entity: (u32, u32)) -> ShardEntry {
+        ShardEntry { term_range: term, entity_range: entity, byte_len: 10, digest: 7, flags: 0 }
+    }
+
+    fn table(entries: Vec<ShardEntry>, term_count: u64, entity_count: u64) -> ShardTable {
+        ShardTable { shard_format_version: SHARD_FORMAT_VERSION, term_count, entity_count, entries }
+    }
+
+    #[test]
+    fn shard_table_roundtrip() {
+        let t = table(
+            vec![entry((0, 3), (0, 2)), entry((3, 3), (2, 5)), entry((3, 8), (5, 5))],
+            8,
+            5,
+        );
+        let decoded = decode_shard_table(&encode_shard_table(&t)).unwrap();
+        assert_eq!(decoded, t);
+    }
+
+    #[test]
+    fn shard_table_version_skew_is_version_mismatch() {
+        let mut t = table(vec![entry((0, 1), (0, 1))], 1, 1);
+        t.shard_format_version = 9;
+        match decode_shard_table(&encode_shard_table(&t)) {
+            Err(StoreError::VersionMismatch { found: 9, expected }) => {
+                assert_eq!(expected, SHARD_FORMAT_VERSION);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_table_rejects_bad_tilings() {
+        // Gap in term ranges.
+        let t = table(vec![entry((0, 2), (0, 1)), entry((3, 5), (1, 2))], 5, 2);
+        let err = decode_shard_table(&encode_shard_table(&t)).unwrap_err();
+        assert!(matches!(&err, StoreError::Corrupt(m) if m.contains("gap")), "{err:?}");
+
+        // Overlap / duplicate.
+        let t = table(vec![entry((0, 2), (0, 1)), entry((1, 5), (1, 2))], 5, 2);
+        let err = decode_shard_table(&encode_shard_table(&t)).unwrap_err();
+        assert!(matches!(&err, StoreError::Corrupt(m) if m.contains("overlap")), "{err:?}");
+
+        // Not ending at the vocabulary size.
+        let t = table(vec![entry((0, 2), (0, 2))], 5, 2);
+        let err = decode_shard_table(&encode_shard_table(&t)).unwrap_err();
+        assert!(matches!(&err, StoreError::Corrupt(m) if m.contains("end at 2")), "{err:?}");
+
+        // Zero shards.
+        let t = table(vec![], 0, 0);
+        let err = decode_shard_table(&encode_shard_table(&t)).unwrap_err();
+        assert!(matches!(&err, StoreError::Corrupt(m) if m.contains("zero shards")), "{err:?}");
+
+        // Reserved flags.
+        let mut bad = entry((0, 1), (0, 1));
+        bad.flags = 4;
+        let t = table(vec![bad], 1, 1);
+        let err = decode_shard_table(&encode_shard_table(&t)).unwrap_err();
+        assert!(matches!(err, StoreError::UnsupportedFlags { flags: 4 }), "{err:?}");
+    }
+
+    #[test]
+    fn paths_and_dispatch() {
+        let dir = std::env::temp_dir().join("rc-shard-dispatch-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!is_sharded(&dir));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(!is_sharded(&dir));
+        std::fs::write(manifest_path(&dir), b"stub").unwrap();
+        assert!(is_sharded(&dir));
+        assert_eq!(shard_path(&dir, 7).file_name().unwrap(), "shard-007.rcshard");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,357 @@
+//! Sharded-snapshot contract tests: parity against the monolithic path
+//! and fault injection over the manifest + shard files.
+//!
+//! Parity (ISSUE 5, satellite 3): `save_sharded → load_sharded → rank` is
+//! bit-identical to the monolithic snapshot of the same study for shard
+//! counts 1, 3 and 7. Fault injection: a missing shard file, duplicate /
+//! overlapping / gapped term ranges, a shard digest mismatch, and
+//! manifest/shard format-version skew each surface as the exact typed
+//! [`StoreError`] — never a panic.
+
+use rightcrowd_core::{testkit, ExpertFinder, FinderConfig};
+use rightcrowd_store::{
+    crc64, from_bytes, layout_with, load_sharded, manifest_path, save_sharded, shard_path,
+    to_bytes, StoreError, MANIFEST_MAGIC,
+};
+use std::path::{Path, PathBuf};
+
+/// A fresh temp directory for one test (removed-and-recreated so reruns
+/// are clean).
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcstore-sharded-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Saves the tiny study as an `n`-shard snapshot under a fresh directory.
+fn save_tiny_sharded(tag: &str, n: usize) -> PathBuf {
+    let dir = temp_dir(tag);
+    let (ds, corpus) = testkit::tiny();
+    let stats = save_sharded(&dir, ds, corpus, n, 2).expect("sharded save");
+    assert_eq!(stats.shard_count, n);
+    dir
+}
+
+/// Recomputes every checksum of a container after tampering: each
+/// section's table CRC entry, the table CRC, and the whole-file CRC. With
+/// the envelope re-signed, only the structural validators stand between
+/// the tampered bytes and the loader.
+fn resign(bytes: &mut [u8], magic: &[u8; 8]) {
+    let infos = layout_with(bytes, magic).expect("layout");
+    let table = infos.iter().find(|i| i.name == "table").expect("table region");
+    for info in infos.iter().filter(|i| i.kind != 0) {
+        let section_crc = crc64(&bytes[info.offset..info.offset + info.len]);
+        let entry_count = (table.len - 8) / 20;
+        for e in 0..entry_count {
+            let at = table.offset + e * 20;
+            let kind = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+            if kind == info.kind {
+                bytes[at + 12..at + 20].copy_from_slice(&section_crc.to_le_bytes());
+            }
+        }
+    }
+    let table_crc = crc64(&bytes[table.offset..table.offset + table.len - 8]);
+    let tc_at = table.offset + table.len - 8;
+    bytes[tc_at..tc_at + 8].copy_from_slice(&table_crc.to_le_bytes());
+    let end = bytes.len() - 8;
+    let file_crc = crc64(&bytes[..end]);
+    bytes[end..].copy_from_slice(&file_crc.to_le_bytes());
+}
+
+/// Byte offset of the `shard_table` payload inside the manifest, plus its
+/// length.
+fn shard_table_region(manifest: &[u8]) -> (usize, usize) {
+    let infos = layout_with(manifest, &MANIFEST_MAGIC).expect("manifest layout");
+    let info = infos.iter().find(|i| i.name == "shard_table").expect("shard_table section");
+    (info.offset, info.len)
+}
+
+/// Applies `tamper` to the manifest's shard-table payload, re-signs the
+/// envelope, and writes the result back.
+fn tamper_shard_table(dir: &Path, tamper: impl FnOnce(&mut [u8])) {
+    let path = manifest_path(dir);
+    let mut manifest = std::fs::read(&path).unwrap();
+    let (offset, len) = shard_table_region(&manifest);
+    tamper(&mut manifest[offset..offset + len]);
+    resign(&mut manifest, &MANIFEST_MAGIC);
+    std::fs::write(&path, &manifest).unwrap();
+}
+
+// Shard-table payload layout: version u32 | term_count u64 |
+// entity_count u64 | entry_count u64 | entries × 36 bytes
+// (term_lo u32 | term_hi u32 | entity_lo u32 | entity_hi u32 |
+//  byte_len u64 | digest u64 | flags u32).
+const TABLE_HEADER: usize = 4 + 8 + 8 + 8;
+const ENTRY_LEN: usize = 36;
+
+/// Offset of entry `i`'s term_lo field inside the shard-table payload.
+fn entry_term_lo(i: usize) -> usize {
+    TABLE_HEADER + i * ENTRY_LEN
+}
+
+#[test]
+fn sharded_parity_with_monolithic_for_1_3_7() {
+    let (ds, corpus) = testkit::tiny();
+    let monolithic = to_bytes(ds, corpus);
+
+    for n in [1usize, 3, 7] {
+        let (mono_ds, mono_corpus) = from_bytes(&monolithic).expect("monolithic load");
+        let dir = save_tiny_sharded(&format!("parity-{n}"), n);
+        let (sh_ds, sh_corpus, stats) = load_sharded(&dir, 2).expect("sharded load");
+        assert_eq!(stats.shard_count, n);
+        assert!(stats.manifest_bytes > 0 && stats.bytes > stats.manifest_bytes);
+
+        // The spliced index is *equal* to the monolithic one — every
+        // scoring path is observably identical.
+        assert_eq!(mono_corpus.index(), sh_corpus.index(), "{n} shards: index differs");
+        assert_eq!(mono_corpus.doc_ids(), sh_corpus.doc_ids(), "{n} shards");
+        assert_eq!(mono_ds.graph().counts(), sh_ds.graph().counts(), "{n} shards");
+
+        // Rank the whole workload through both stacks; scores must match
+        // bit for bit.
+        let config = FinderConfig::default();
+        let mono_finder = ExpertFinder::with_corpus(&mono_ds, mono_corpus, &config);
+        let sharded_finder = ExpertFinder::with_corpus(&sh_ds, sh_corpus, &config);
+        for need in ds.queries() {
+            let a = mono_finder.rank(need);
+            let b = sharded_finder.rank(need);
+            assert_eq!(a.len(), b.len(), "{n} shards, query {:?}", need.text);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.person, y.person, "{n} shards, query {:?}", need.text);
+                assert_eq!(
+                    x.score.to_bits(),
+                    y.score.to_bits(),
+                    "{n} shards, query {:?}: {} vs {}",
+                    need.text,
+                    x.score,
+                    y.score
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn sharded_save_is_deterministic() {
+    let a = save_tiny_sharded("determinism-a", 3);
+    let b = save_tiny_sharded("determinism-b", 3);
+    assert_eq!(
+        std::fs::read(manifest_path(&a)).unwrap(),
+        std::fs::read(manifest_path(&b)).unwrap(),
+        "manifests differ between identical saves"
+    );
+    for i in 0..3 {
+        assert_eq!(
+            std::fs::read(shard_path(&a, i)).unwrap(),
+            std::fs::read(shard_path(&b, i)).unwrap(),
+            "shard {i} differs between identical saves"
+        );
+    }
+    std::fs::remove_dir_all(&a).ok();
+    std::fs::remove_dir_all(&b).ok();
+}
+
+#[test]
+fn narrower_resave_removes_stale_shards() {
+    let dir = save_tiny_sharded("stale", 5);
+    let (ds, corpus) = testkit::tiny();
+    save_sharded(&dir, ds, corpus, 2, 1).unwrap();
+    assert!(shard_path(&dir, 1).is_file());
+    assert!(!shard_path(&dir, 2).is_file(), "stale shard 2 survived a narrower re-save");
+    assert!(!shard_path(&dir, 4).is_file(), "stale shard 4 survived a narrower re-save");
+    let (_, loaded, stats) = load_sharded(&dir, 1).expect("load after re-save");
+    assert_eq!(stats.shard_count, 2);
+    assert_eq!(loaded.retained(), corpus.retained());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn missing_shard_file_is_shard_missing() {
+    let dir = save_tiny_sharded("missing", 3);
+    std::fs::remove_file(shard_path(&dir, 1)).unwrap();
+    match load_sharded(&dir, 2) {
+        Err(StoreError::ShardMissing { index: 1 }) => {}
+        other => panic!("expected ShardMissing {{ index: 1 }}, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn damaged_shard_payload_is_shard_checksum_mismatch() {
+    let dir = save_tiny_sharded("crc", 3);
+    let path = shard_path(&dir, 2);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one payload bit past the envelope header; the manifest digest
+    // must catch it in the single whole-file pass.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    match load_sharded(&dir, 2) {
+        Err(StoreError::ShardChecksumMismatch { index: 2 }) => {}
+        other => panic!("expected ShardChecksumMismatch {{ index: 2 }}, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn swapped_shard_files_are_shard_checksum_mismatch() {
+    let dir = save_tiny_sharded("swap", 3);
+    let a = std::fs::read(shard_path(&dir, 0)).unwrap();
+    let b = std::fs::read(shard_path(&dir, 1)).unwrap();
+    std::fs::write(shard_path(&dir, 0), &b).unwrap();
+    std::fs::write(shard_path(&dir, 1), &a).unwrap();
+    // Each file is internally consistent, but not the file the manifest
+    // digested at that position.
+    match load_sharded(&dir, 1) {
+        Err(StoreError::ShardChecksumMismatch { index: 0 }) => {}
+        other => panic!("expected ShardChecksumMismatch {{ index: 0 }}, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_shard_is_truncated() {
+    let dir = save_tiny_sharded("shard-trunc", 3);
+    let path = shard_path(&dir, 0);
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [10, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match load_sharded(&dir, 1) {
+            Err(StoreError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_envelope_version_flip_is_version_mismatch() {
+    let dir = save_tiny_sharded("shard-version", 2);
+    let path = shard_path(&dir, 0);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8] ^= 0x02; // envelope version word, right after the magic
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(load_sharded(&dir, 1), Err(StoreError::VersionMismatch { .. })));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shard_magic_flip_is_bad_magic() {
+    let dir = save_tiny_sharded("shard-magic", 2);
+    let path = shard_path(&dir, 1);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(load_sharded(&dir, 1), Err(StoreError::BadMagic)));
+    // A monolithic snapshot dropped in place of a shard is also BadMagic.
+    let (ds, corpus) = testkit::tiny();
+    std::fs::write(&path, to_bytes(ds, corpus)).unwrap();
+    assert!(matches!(load_sharded(&dir, 1), Err(StoreError::BadMagic)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn manifest_format_version_skew_is_version_mismatch() {
+    let dir = save_tiny_sharded("skew", 2);
+    // The shard_format_version is the first u32 of the shard_table
+    // payload; bump it and re-sign so only the version check can object.
+    tamper_shard_table(&dir, |table| {
+        table[0..4].copy_from_slice(&99u32.to_le_bytes());
+    });
+    match load_sharded(&dir, 1) {
+        Err(StoreError::VersionMismatch { found: 99, expected: 1 }) => {}
+        other => panic!("expected VersionMismatch 99 vs 1, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gapped_term_ranges_are_corrupt() {
+    let dir = save_tiny_sharded("gap", 3);
+    tamper_shard_table(&dir, |table| {
+        // Push shard 1's term_lo one past shard 0's term_hi.
+        let at = entry_term_lo(1);
+        let lo = u32::from_le_bytes(table[at..at + 4].try_into().unwrap());
+        table[at..at + 4].copy_from_slice(&(lo + 1).to_le_bytes());
+    });
+    match load_sharded(&dir, 1) {
+        Err(StoreError::Corrupt(msg)) => assert!(msg.contains("gap"), "{msg}"),
+        other => panic!("expected Corrupt(gap), got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn overlapping_term_ranges_are_corrupt() {
+    let dir = save_tiny_sharded("overlap", 3);
+    tamper_shard_table(&dir, |table| {
+        // Pull shard 1's term_lo one below shard 0's term_hi.
+        let at = entry_term_lo(1);
+        let lo = u32::from_le_bytes(table[at..at + 4].try_into().unwrap());
+        assert!(lo > 0, "tiny corpus should give shard 0 a non-empty range");
+        table[at..at + 4].copy_from_slice(&(lo - 1).to_le_bytes());
+    });
+    match load_sharded(&dir, 1) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(msg.contains("overlap"), "{msg}");
+        }
+        other => panic!("expected Corrupt(overlap), got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn duplicate_shard_entries_are_corrupt() {
+    let dir = save_tiny_sharded("duplicate", 3);
+    tamper_shard_table(&dir, |table| {
+        // Overwrite entry 1 with a copy of entry 0 — a duplicated range.
+        let (e0, e1) = (entry_term_lo(0), entry_term_lo(1));
+        let entry0: Vec<u8> = table[e0..e0 + ENTRY_LEN].to_vec();
+        table[e1..e1 + ENTRY_LEN].copy_from_slice(&entry0);
+    });
+    match load_sharded(&dir, 1) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(msg.contains("duplicates or overlaps"), "{msg}");
+        }
+        other => panic!("expected Corrupt(duplicate), got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_manifest_is_truncated() {
+    let dir = save_tiny_sharded("mani-trunc", 2);
+    let path = manifest_path(&dir);
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [0, 10, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match load_sharded(&dir, 1) {
+            Err(StoreError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn monolithic_file_as_manifest_is_bad_magic() {
+    let dir = save_tiny_sharded("mani-magic", 2);
+    let (ds, corpus) = testkit::tiny();
+    std::fs::write(manifest_path(&dir), to_bytes(ds, corpus)).unwrap();
+    assert!(matches!(load_sharded(&dir, 1), Err(StoreError::BadMagic)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_stats_account_for_every_byte_on_disk() {
+    let dir = save_tiny_sharded("stats", 4);
+    let (_, _, stats) = load_sharded(&dir, 2).expect("load");
+    let mut on_disk = std::fs::metadata(manifest_path(&dir)).unwrap().len();
+    for i in 0..4 {
+        on_disk += std::fs::metadata(shard_path(&dir, i)).unwrap().len();
+    }
+    assert_eq!(stats.bytes, on_disk);
+    assert_eq!(stats.manifest_bytes, std::fs::metadata(manifest_path(&dir)).unwrap().len());
+    std::fs::remove_dir_all(&dir).ok();
+}
