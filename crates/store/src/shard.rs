@@ -298,7 +298,8 @@ fn trailing_digest(bytes: &[u8]) -> u64 {
 
 /// Writes a sharded snapshot of `(ds, corpus)` into directory `dir`:
 /// `shards` per-term-range postings shards (encoded on up to `threads`
-/// workers) plus the manifest. Deterministic for a given `(ds, corpus,
+/// workers, capped at the machine's available parallelism) plus the
+/// manifest. Deterministic for a given `(ds, corpus,
 /// shards)`, like the monolithic writer. Stale `*.rcshard` files from an
 /// earlier, wider save are removed so the directory always equals the
 /// manifest's promise.
@@ -318,6 +319,8 @@ pub fn save_sharded(
     let index_shards = corpus.index().to_shards(shards);
     let shard_count = index_shards.len();
 
+    // Encoding is pure CPU; cap workers at the core count (see load).
+    let threads = threads.min(rightcrowd_core::par::default_threads()).max(1);
     let files: Vec<Vec<u8>> =
         par_map(&index_shards, threads, |s| encode_shard_file(s, shard_count));
 
@@ -437,7 +440,9 @@ fn load_shard(dir: &Path, index: u32, entry: &ShardEntry, shard_count: usize) ->
 }
 
 /// Reads, verifies and reconstructs a sharded snapshot from directory
-/// `dir`, decoding + digest-verifying shards on up to `threads` workers.
+/// `dir`, decoding + digest-verifying shards on up to `threads` workers
+/// (capped at the machine's available parallelism — oversubscribing a
+/// CPU-bound decode only adds contention).
 ///
 /// Bit-for-bit equivalent to loading the monolithic snapshot of the same
 /// study: the spliced index satisfies `==` against the monolithic one, so
@@ -476,8 +481,12 @@ pub fn load_sharded(
     ])?;
 
     // Decode + digest-verify every shard, concurrently when threads allow,
-    // with results back in shard order for the splice.
+    // with results back in shard order for the splice. The worker count is
+    // capped at the machine's parallelism: shard files sit in the page
+    // cache after the manifest read, so the work is CPU-bound and workers
+    // past the core count only add scheduler contention.
     let shard_count = table.entries.len();
+    let threads = threads.min(rightcrowd_core::par::default_threads()).max(1);
     let jobs: Vec<(u32, ShardEntry)> =
         table.entries.iter().enumerate().map(|(i, e)| (i as u32, *e)).collect();
     let results = par_map(&jobs, threads, |(i, entry)| load_shard(dir, *i, entry, shard_count));
