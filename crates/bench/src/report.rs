@@ -50,10 +50,23 @@ pub struct BenchReport {
     pub snapshot_load_ms: f64,
     /// Store-container size, bytes.
     pub snapshot_bytes: u64,
+    /// On-disk payload bytes of the two posting-list sections in the
+    /// monolithic snapshot (block-compressed by default; flat CSR under
+    /// `blocks-off`).
+    pub postings_bytes: u64,
+    /// Flat-CSR postings encoding size ÷ `postings_bytes`: how much the
+    /// block-compressed layout undercuts the uncompressed reference
+    /// (1.0 under `blocks-off`, where the reference *is* the layout).
+    pub compression_ratio: f64,
     /// Shard count of the sharded round trip measured below.
     pub shard_count: usize,
     /// Sharded-snapshot manifest size, bytes.
     pub manifest_bytes: u64,
+    /// Mean shard-file size, bytes: `(total − manifest) / shard_count`.
+    /// Labels the load-scaling curve below — when shards are only a few
+    /// MB each, per-file fixed costs dominate and the curve flattens
+    /// (`rc regress` softens the t8 gate accordingly).
+    pub bytes_per_shard: u64,
     /// Sharded load (manifest + all shards, one CRC pass per shard) at 1
     /// worker thread, milliseconds.
     pub sharded_load_ms_t1: f64,
@@ -76,6 +89,11 @@ pub struct BenchReport {
     pub query_p99_ms: f64,
     /// Sequential single-query throughput.
     pub queries_per_sec: f64,
+    /// Fraction of compressed blocks skipped whole by the Block-Max
+    /// MaxScore bound over the latency workload: `blocks_skipped /
+    /// blocks_total`. Zero when no blocks were traversed (`blocks-off`)
+    /// or when the per-query deltas are compiled out (`obs-off`).
+    pub blocks_skipped_frac: f64,
     /// Number of α points in the sweep comparison.
     pub alpha_points: usize,
     /// Naive sweep (one posting traversal per (query, distance, α)), ms.
@@ -193,6 +211,39 @@ impl BenchReport {
             bench.generate_ms + bench.analyze_ms,
         );
 
+        // Postings footprint: what the two index sections cost on disk,
+        // against the flat-CSR encoding of the same lists as the
+        // uncompressed reference. Under `blocks-off` the reference *is*
+        // the written layout, so the ratio is exactly 1.
+        let parts = bench.corpus.index().to_parts();
+        let legacy_postings_bytes =
+            (rightcrowd_store::codec::encode_term_index(&parts.terms).len()
+                + rightcrowd_store::codec::encode_entity_index(&parts.entities).len())
+                as u64;
+        #[cfg(not(feature = "blocks-off"))]
+        let postings_bytes = {
+            let (packed_terms, packed_entities) = bench.corpus.index().packed_postings();
+            (rightcrowd_store::codec::encode_term_blocks(
+                &parts.terms.vocab,
+                &parts.terms.irf,
+                packed_terms,
+            )
+            .len()
+                + rightcrowd_store::codec::encode_entity_blocks(
+                    &parts.entities.vocab,
+                    &parts.entities.eirf,
+                    packed_entities,
+                )
+                .len()) as u64
+        };
+        #[cfg(feature = "blocks-off")]
+        let postings_bytes = legacy_postings_bytes;
+        let compression_ratio =
+            if postings_bytes > 0 { legacy_postings_bytes as f64 / postings_bytes as f64 } else { 0.0 };
+        eprintln!(
+            "[bench]   postings {postings_bytes} bytes ({compression_ratio:.2}x vs flat CSR)"
+        );
+
         // Sharded round trip: same corpus split over per-term-range shards,
         // loaded back at 1/2/4/8 worker threads so the snapshot records a
         // load-scaling curve. Every load is parity-checked against the
@@ -210,6 +261,11 @@ impl BenchReport {
             rightcrowd_core::par::default_threads(),
         )
         .expect("sharded snapshot save");
+        eprintln!(
+            "[bench]   {} bytes/shard — small shards pay per-file fixed costs, so \
+             the thread curve below flattens at this scale",
+            (sharded_saved.bytes - sharded_saved.manifest_bytes) / shard_count.max(1) as u64,
+        );
         let mut sharded_ms = [0.0f64; 4];
         for (slot, threads) in [1usize, 2, 4, 8].into_iter().enumerate() {
             let mut best = f64::INFINITY;
@@ -246,6 +302,7 @@ impl BenchReport {
         rightcrowd_obs::flight::reset_flight();
         rightcrowd_obs::flight::set_flight_enabled(true);
         let mut latencies_ms = Vec::with_capacity(bench.ds.queries().len());
+        let (mut blocks_total_sum, mut blocks_skipped_sum) = (0u64, 0u64);
         let started = Instant::now();
         for need in bench.ds.queries() {
             let _ = rightcrowd_index::take_traversal_stats();
@@ -254,6 +311,8 @@ impl BenchReport {
             let ranking = rank_query(&bench.corpus, &attribution, &config, &query, n);
             let elapsed = one.elapsed();
             let stats = rightcrowd_index::take_traversal_stats();
+            blocks_total_sum += stats.blocks_total;
+            blocks_skipped_sum += stats.blocks_skipped;
             rightcrowd_obs::flight::record(rightcrowd_obs::QueryRecord {
                 query_id: need.id.index() as u64,
                 label: need.text.clone(),
@@ -262,9 +321,9 @@ impl BenchReport {
                 max_distance: config.max_distance.level() as u8,
                 window: config.window.label(),
                 latency_ns: elapsed.as_nanos() as u64,
-                postings_traversed: stats.postings_traversed,
-                maxscore_admitted: stats.maxscore_admitted,
-                maxscore_pruned: stats.maxscore_pruned,
+                postings_traversed: stats.traversed,
+                maxscore_admitted: stats.admitted,
+                maxscore_pruned: stats.pruned,
                 top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
             });
             std::hint::black_box(ranking);
@@ -317,8 +376,12 @@ impl BenchReport {
             cold_build_ms: bench.generate_ms + bench.analyze_ms,
             snapshot_load_ms,
             snapshot_bytes: saved.bytes,
+            postings_bytes,
+            compression_ratio,
             shard_count,
             manifest_bytes: sharded_saved.manifest_bytes,
+            bytes_per_shard: (sharded_saved.bytes - sharded_saved.manifest_bytes)
+                / shard_count.max(1) as u64,
             sharded_load_ms_t1: sharded_ms[0],
             sharded_load_ms_t2: sharded_ms[1],
             sharded_load_ms_t4: sharded_ms[2],
@@ -328,6 +391,11 @@ impl BenchReport {
             query_p50_ms: percentile(&sorted, 0.50),
             query_p99_ms: percentile(&sorted, 0.99),
             queries_per_sec: if total_s > 0.0 { latencies_ms.len() as f64 / total_s } else { 0.0 },
+            blocks_skipped_frac: if blocks_total_sum > 0 {
+                blocks_skipped_sum as f64 / blocks_total_sum as f64
+            } else {
+                0.0
+            },
             alpha_points: alphas.len(),
             alpha_sweep_naive_ms: naive_ms,
             alpha_sweep_factored_ms: factored_ms,
@@ -361,12 +429,15 @@ impl BenchReport {
              \"threads\": {},\n  \"unix_time\": {},\n  \
              \"generate_ms\": {},\n  \"analyze_ms\": {},\n  \"cold_build_ms\": {},\n  \
              \"snapshot_load_ms\": {},\n  \"snapshot_bytes\": {},\n  \
+             \"postings_bytes\": {},\n  \"compression_ratio\": {},\n  \
              \"shard_count\": {},\n  \"manifest_bytes\": {},\n  \
+             \"bytes_per_shard\": {},\n  \
              \"sharded_load_ms_t1\": {},\n  \"sharded_load_ms_t2\": {},\n  \
              \"sharded_load_ms_t4\": {},\n  \"sharded_load_ms_t8\": {},\n  \
              \"retained_docs\": {},\n  \
              \"queries\": {},\n  \"query_p50_ms\": {},\n  \"query_p99_ms\": {},\n  \
-             \"queries_per_sec\": {},\n  \"alpha_points\": {},\n  \
+             \"queries_per_sec\": {},\n  \"blocks_skipped_frac\": {},\n  \
+             \"alpha_points\": {},\n  \
              \"alpha_sweep_naive_ms\": {},\n  \"alpha_sweep_factored_ms\": {},\n  \
              \"alpha_sweep_speedup\": {},\n  \"flight\": {{\n    \
              \"recorded\": {},\n    \"retained\": {},\n    \"mean_ms\": {},\n    \
@@ -382,8 +453,11 @@ impl BenchReport {
             num(self.cold_build_ms),
             num(self.snapshot_load_ms),
             self.snapshot_bytes,
+            self.postings_bytes,
+            num(self.compression_ratio),
             self.shard_count,
             self.manifest_bytes,
+            self.bytes_per_shard,
             num(self.sharded_load_ms_t1),
             num(self.sharded_load_ms_t2),
             num(self.sharded_load_ms_t4),
@@ -393,6 +467,7 @@ impl BenchReport {
             num(self.query_p50_ms),
             num(self.query_p99_ms),
             num(self.queries_per_sec),
+            num(self.blocks_skipped_frac),
             self.alpha_points,
             num(self.alpha_sweep_naive_ms),
             num(self.alpha_sweep_factored_ms),
@@ -437,8 +512,11 @@ mod tests {
             cold_build_ms: 812.75,
             snapshot_load_ms: 40.5,
             snapshot_bytes: 1_234_567,
+            postings_bytes: 222_333,
+            compression_ratio: 1.75,
             shard_count: 4,
             manifest_bytes: 9_876,
+            bytes_per_shard: 55_555,
             sharded_load_ms_t1: 38.0,
             sharded_load_ms_t2: 24.0,
             sharded_load_ms_t4: 15.5,
@@ -448,6 +526,7 @@ mod tests {
             query_p50_ms: 1.25,
             query_p99_ms: 4.75,
             queries_per_sec: 600.0,
+            blocks_skipped_frac: 0.25,
             alpha_points: 11,
             alpha_sweep_naive_ms: 500.0,
             alpha_sweep_factored_ms: 50.0,
@@ -481,8 +560,11 @@ mod tests {
             "cold_build_ms",
             "snapshot_load_ms",
             "snapshot_bytes",
+            "postings_bytes",
+            "compression_ratio",
             "shard_count",
             "manifest_bytes",
+            "bytes_per_shard",
             "sharded_load_ms_t1",
             "sharded_load_ms_t2",
             "sharded_load_ms_t4",
@@ -492,6 +574,7 @@ mod tests {
             "query_p50_ms",
             "query_p99_ms",
             "queries_per_sec",
+            "blocks_skipped_frac",
             "alpha_points",
             "alpha_sweep_naive_ms",
             "alpha_sweep_factored_ms",
@@ -511,6 +594,10 @@ mod tests {
         assert!(json.contains("\"snapshot_bytes\": 1234567"));
         assert!(json.contains("\"shard_count\": 4"));
         assert!(json.contains("\"manifest_bytes\": 9876"));
+        assert!(json.contains("\"postings_bytes\": 222333"));
+        assert!(json.contains("\"compression_ratio\": 1.750"));
+        assert!(json.contains("\"bytes_per_shard\": 55555"));
+        assert!(json.contains("\"blocks_skipped_frac\": 0.250"));
         assert!(json.contains("\"sharded_load_ms_t4\": 15.500"));
         assert!(json.contains("\"cold_build_ms\": 812.750"));
         // The flight block is nested, escaped, and complete.

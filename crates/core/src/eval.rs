@@ -157,9 +157,9 @@ impl<'a> EvalContext<'a> {
             max_distance: config.max_distance.level() as u8,
             window: config.window.label(),
             latency_ns: started.elapsed().as_nanos() as u64,
-            postings_traversed: stats.postings_traversed,
-            maxscore_admitted: stats.maxscore_admitted,
-            maxscore_pruned: stats.maxscore_pruned,
+            postings_traversed: stats.traversed,
+            maxscore_admitted: stats.admitted,
+            maxscore_pruned: stats.pruned,
             top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
         });
     }

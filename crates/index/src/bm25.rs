@@ -90,7 +90,10 @@ impl InvertedIndex {
             }
         }
 
-        crate::stats::publish(traversed, 0, 0);
+        crate::stats::publish(crate::stats::TraversalStats {
+            traversed,
+            ..crate::stats::TraversalStats::default()
+        });
         let mut scored: Vec<ScoredDoc> = acc
             .into_iter()
             .filter(|&(_, s)| s > 0.0)

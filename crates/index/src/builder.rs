@@ -147,11 +147,7 @@ impl IndexBuilder {
             entities.offsets.push(entities.docs.len());
         }
 
-        InvertedIndex {
-            terms,
-            entities,
-            doc_lens: self.doc_lens,
-        }
+        InvertedIndex::assemble(terms, entities, self.doc_lens)
     }
 }
 

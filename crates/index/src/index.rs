@@ -26,7 +26,9 @@
 //!   per document instead of re-traversing postings
 //!   ([`recombine`] / [`recombine_top_k`]).
 
+use crate::block::{self, PackedPostings, BLOCK_SIZE};
 use crate::query::Query;
+use crate::stats::TraversalStats;
 use rightcrowd_types::EntityId;
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -139,6 +141,13 @@ pub struct InvertedIndex {
     pub(crate) terms: TermTable,
     pub(crate) entities: EntityTable,
     pub(crate) doc_lens: Vec<u32>,
+    /// Block-compressed mirror of the term postings (empty when the
+    /// compressed path is compiled out via `blocks-off`). Derived
+    /// deterministically from the CSR arrays by [`InvertedIndex::assemble`],
+    /// so it adds no degrees of freedom to `PartialEq`.
+    pub(crate) packed_terms: PackedPostings,
+    /// Block-compressed mirror of the entity postings.
+    pub(crate) packed_entities: PackedPostings,
 }
 
 // ---------------------------------------------------------------------------
@@ -223,6 +232,36 @@ fn heap_capacity(k: usize) -> usize {
 }
 
 impl InvertedIndex {
+    /// Builds the final index from its interned tables, deriving the
+    /// block-compressed posting mirror (unless compiled out). Every
+    /// construction path — builder, snapshot decode, shard splice —
+    /// funnels through here, so the packed state always agrees with the
+    /// CSR arrays.
+    pub(crate) fn assemble(terms: TermTable, entities: EntityTable, doc_lens: Vec<u32>) -> Self {
+        #[cfg(not(feature = "blocks-off"))]
+        let (packed_terms, packed_entities) = (
+            block::pack_term_lists((0..terms.irf.len() as u32).map(|id| terms.list(id))),
+            block::pack_entity_lists((0..entities.eirf.len() as u32).map(|id| entities.list(id))),
+        );
+        #[cfg(feature = "blocks-off")]
+        let (packed_terms, packed_entities) =
+            (PackedPostings::default(), PackedPostings::default());
+        InvertedIndex { terms, entities, doc_lens, packed_terms, packed_entities }
+    }
+
+    /// The block-compressed `(terms, entities)` posting mirrors. Empty
+    /// (zero lists) when the compressed path is disabled — check with
+    /// [`PackedPostings::is_packed`].
+    pub fn packed_postings(&self) -> (&PackedPostings, &PackedPostings) {
+        (&self.packed_terms, &self.packed_entities)
+    }
+
+    /// Whether the scorer takes the block-compressed path.
+    #[inline]
+    fn blocks_enabled(&self) -> bool {
+        self.packed_terms.is_packed()
+    }
+
     /// Number of indexed documents (the collection size `N`).
     pub fn doc_count(&self) -> usize {
         self.doc_lens.len()
@@ -400,7 +439,7 @@ impl InvertedIndex {
         SCRATCH.with(|cell| {
             let s = &mut *cell.borrow_mut();
             let traversed = self.accumulate(query, alpha, s);
-            crate::stats::publish(traversed, 0, 0);
+            crate::stats::publish(TraversalStats { traversed, ..TraversalStats::default() });
             let mut scored: Vec<ScoredDoc> = s
                 .touched
                 .iter()
@@ -442,8 +481,8 @@ impl InvertedIndex {
 
         // Observability tallies, accumulated locally (no atomics in the
         // hot loop) and published once on the way out.
-        let mut traversed = 0u64;
-        let mut pruned = 0u64;
+        let mut st = TraversalStats::default();
+        let blocks = self.blocks_enabled();
 
         // Active posting lists in accumulation order (terms before
         // entities, query order within each side), each with an upper
@@ -493,6 +532,11 @@ impl InvertedIndex {
                     .or_insert_with(|| filter(DocIdx(doc)))
             };
 
+            // Decoded-block staging buffers (block path only).
+            let mut dbuf = [0u32; BLOCK_SIZE];
+            let mut fbuf = [0u32; BLOCK_SIZE];
+            let mut wbuf = [0.0f64; BLOCK_SIZE];
+
             let mut skip_new = false;
             for (j, (list, _)) in lists.iter().enumerate() {
                 // θ = k-th best eligible partial score. Scores only grow,
@@ -501,6 +545,7 @@ impl InvertedIndex {
                 // absorbs float reassociation between the bound sum and a
                 // document's actual accumulation order, keeping the skip
                 // decision sound.
+                let mut theta: Option<f64> = None;
                 if !skip_new && j > 0 && s.touched.len() >= k {
                     let mut partials: Vec<f64> = s
                         .touched
@@ -510,57 +555,172 @@ impl InvertedIndex {
                         .collect();
                     if partials.len() >= k {
                         let nth = partials.len() - k;
-                        let (_, &mut theta, _) = partials.select_nth_unstable_by(nth, |a, b| {
+                        let (_, &mut th, _) = partials.select_nth_unstable_by(nth, |a, b| {
                             a.partial_cmp(b).expect("scores are finite")
                         });
-                        if remaining[j] * (1.0 + 1e-9) < theta {
+                        theta = Some(th);
+                        if remaining[j] * (1.0 + 1e-9) < th {
                             skip_new = true;
                         }
                     }
                 }
 
+                // Sorted snapshot of the already-touched documents, built
+                // lazily the first time this list considers skipping a
+                // block. A document has at most one posting per list, so
+                // documents admitted *during* this list can never recur in
+                // a later block of it — the snapshot only has to cover
+                // documents admitted up to the moment it is taken, which
+                // it does by construction.
+                let mut touched_sorted: Option<Vec<u32>> = None;
+                let mut snapshot = |touched: &[u32], lo: u32, hi: u32| -> bool {
+                    let ts = touched_sorted.get_or_insert_with(|| {
+                        let mut v = touched.to_vec();
+                        v.sort_unstable();
+                        v
+                    });
+                    // Any touched doc inside [lo, hi]?
+                    ts.partition_point(|&d| d < lo) < ts.partition_point(|&d| d <= hi)
+                };
+
                 match list {
                     ListRef::Term(id) => {
                         let irf = self.terms.irf[*id as usize];
                         let w = alpha * irf * irf;
-                        let (docs, tfs) = self.terms.list(*id);
-                        traversed += docs.len() as u64;
-                        for (&doc, &tf) in docs.iter().zip(tfs) {
-                            let d = doc as usize;
-                            if s.stamps[d] != s.epoch {
-                                if skip_new {
-                                    pruned += 1;
+                        if blocks {
+                            let packed = &self.packed_terms;
+                            let (bs, be) = packed.list_blocks(*id);
+                            st.blocks_total += (be - bs) as u64;
+                            let mut prev = -1i64;
+                            for b in bs..be {
+                                let last = packed.last_doc[b];
+                                // A doc first seen in this block gains at
+                                // most the block max from this list plus
+                                // everything after it; below θ, the block
+                                // can only matter through already-touched
+                                // docs — skip it whole when none are in
+                                // its doc range.
+                                let prunable = skip_new
+                                    || theta.is_some_and(|t| {
+                                        (w * packed.max_score[b] + remaining[j + 1])
+                                            * (1.0 + 1e-9)
+                                            < t
+                                    });
+                                if prunable && !snapshot(&s.touched, (prev + 1) as u32, last) {
+                                    let count = packed.counts[b] as u64;
+                                    st.pruned += count;
+                                    st.postings_skipped += count;
+                                    st.blocks_skipped += 1;
+                                    prev = i64::from(last);
                                     continue;
                                 }
-                                s.stamps[d] = s.epoch;
-                                s.acc[d] = 0.0;
-                                s.touched.push(doc);
+                                let (n, bytes) =
+                                    packed.decode_block(b, prev, &mut dbuf, &mut fbuf);
+                                st.blocks_decoded += 1;
+                                st.postings_bytes_decoded += bytes;
+                                st.traversed += n as u64;
+                                for (&doc, &tf) in dbuf[..n].iter().zip(&fbuf[..n]) {
+                                    let d = doc as usize;
+                                    if s.stamps[d] != s.epoch {
+                                        if skip_new {
+                                            st.pruned += 1;
+                                            continue;
+                                        }
+                                        s.stamps[d] = s.epoch;
+                                        s.acc[d] = 0.0;
+                                        s.touched.push(doc);
+                                    }
+                                    s.acc[d] += w * tf as f64;
+                                }
+                                prev = i64::from(last);
                             }
-                            s.acc[d] += w * tf as f64;
+                        } else {
+                            let (docs, tfs) = self.terms.list(*id);
+                            st.traversed += docs.len() as u64;
+                            for (&doc, &tf) in docs.iter().zip(tfs) {
+                                let d = doc as usize;
+                                if s.stamps[d] != s.epoch {
+                                    if skip_new {
+                                        st.pruned += 1;
+                                        continue;
+                                    }
+                                    s.stamps[d] = s.epoch;
+                                    s.acc[d] = 0.0;
+                                    s.touched.push(doc);
+                                }
+                                s.acc[d] += w * tf as f64;
+                            }
                         }
                     }
                     ListRef::Entity(id) => {
                         let eirf = self.entities.eirf[*id as usize];
                         let w = (1.0 - alpha) * eirf * eirf;
-                        let (docs, efs, wes) = self.entities.list(*id);
-                        traversed += docs.len() as u64;
-                        for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
-                            let d = doc as usize;
-                            if s.stamps[d] != s.epoch {
-                                if skip_new {
-                                    pruned += 1;
+                        if blocks {
+                            let packed = &self.packed_entities;
+                            let (bs, be) = packed.list_blocks(*id);
+                            st.blocks_total += (be - bs) as u64;
+                            let mut prev = -1i64;
+                            for b in bs..be {
+                                let last = packed.last_doc[b];
+                                let prunable = skip_new
+                                    || theta.is_some_and(|t| {
+                                        (w * packed.max_score[b] + remaining[j + 1])
+                                            * (1.0 + 1e-9)
+                                            < t
+                                    });
+                                if prunable && !snapshot(&s.touched, (prev + 1) as u32, last) {
+                                    let count = packed.counts[b] as u64;
+                                    st.pruned += count;
+                                    st.postings_skipped += count;
+                                    st.blocks_skipped += 1;
+                                    prev = i64::from(last);
                                     continue;
                                 }
-                                s.stamps[d] = s.epoch;
-                                s.acc[d] = 0.0;
-                                s.touched.push(doc);
+                                let (n, bytes) = packed.decode_entity_block(
+                                    b, prev, &mut dbuf, &mut fbuf, &mut wbuf,
+                                );
+                                st.blocks_decoded += 1;
+                                st.postings_bytes_decoded += bytes;
+                                st.traversed += n as u64;
+                                for ((&doc, &ef), &we) in
+                                    dbuf[..n].iter().zip(&fbuf[..n]).zip(&wbuf[..n])
+                                {
+                                    let d = doc as usize;
+                                    if s.stamps[d] != s.epoch {
+                                        if skip_new {
+                                            st.pruned += 1;
+                                            continue;
+                                        }
+                                        s.stamps[d] = s.epoch;
+                                        s.acc[d] = 0.0;
+                                        s.touched.push(doc);
+                                    }
+                                    s.acc[d] += w * ef as f64 * we;
+                                }
+                                prev = i64::from(last);
                             }
-                            s.acc[d] += w * ef as f64 * we;
+                        } else {
+                            let (docs, efs, wes) = self.entities.list(*id);
+                            st.traversed += docs.len() as u64;
+                            for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                                let d = doc as usize;
+                                if s.stamps[d] != s.epoch {
+                                    if skip_new {
+                                        st.pruned += 1;
+                                        continue;
+                                    }
+                                    s.stamps[d] = s.epoch;
+                                    s.acc[d] = 0.0;
+                                    s.touched.push(doc);
+                                }
+                                s.acc[d] += w * ef as f64 * we;
+                            }
                         }
                     }
                 }
             }
-            crate::stats::publish(traversed, s.touched.len() as u64, pruned);
+            st.admitted = s.touched.len() as u64;
+            crate::stats::publish(st);
 
             let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(heap_capacity(k));
             for &doc in &s.touched {
@@ -627,7 +787,7 @@ impl InvertedIndex {
                     s.acc2[d] += w * ef as f64 * we;
                 }
             }
-            crate::stats::publish(traversed, 0, 0);
+            crate::stats::publish(TraversalStats { traversed, ..TraversalStats::default() });
             s.touched.sort_unstable();
             s.touched
                 .iter()

@@ -20,6 +20,7 @@
 //! sweep with a single posting traversal, and [`reference`] retains the
 //! definitional scorer as the parity oracle.
 
+pub mod block;
 pub mod bm25;
 pub mod builder;
 pub mod index;
@@ -29,6 +30,9 @@ pub mod reference;
 pub mod shard;
 pub mod stats;
 
+pub use block::{
+    pack_entity_parts, pack_term_parts, unpack_entities, unpack_terms, PackedPostings, BLOCK_SIZE,
+};
 pub use bm25::Bm25Params;
 pub use builder::IndexBuilder;
 pub use index::{

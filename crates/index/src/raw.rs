@@ -214,8 +214,8 @@ impl InvertedIndex {
             }
         }
 
-        Ok(InvertedIndex {
-            terms: TermTable {
+        Ok(InvertedIndex::assemble(
+            TermTable {
                 ids: term_ids,
                 offsets: term_offsets,
                 docs: parts.terms.docs,
@@ -223,7 +223,7 @@ impl InvertedIndex {
                 irf: parts.terms.irf,
                 max_tf: parts.terms.max_tf,
             },
-            entities: EntityTable {
+            EntityTable {
                 ids: entity_ids,
                 offsets: entity_offsets,
                 docs: parts.entities.docs,
@@ -232,8 +232,8 @@ impl InvertedIndex {
                 eirf: parts.entities.eirf,
                 max_contrib: parts.entities.max_contrib,
             },
-            doc_lens: parts.doc_lens,
-        })
+            parts.doc_lens,
+        ))
     }
 }
 

@@ -12,41 +12,84 @@ use std::cell::Cell;
 
 /// Counter deltas accumulated by the calling thread's scoring traversals
 /// since the last [`take_traversal_stats`].
+///
+/// The block fields obey two invariants the `rc regress` gate checks:
+/// `blocks_decoded + blocks_skipped == blocks_total`, and postings inside
+/// skipped blocks never enter `postings_traversed` (they are tallied under
+/// `maxscore_pruned` *and* `postings_skipped`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraversalStats {
-    /// Postings visited (term + entity sides, all scoring paths).
-    pub postings_traversed: u64,
+    /// Postings visited (term + entity sides, all scoring paths). On the
+    /// block-compressed path, only postings in *decoded* blocks count.
+    pub traversed: u64,
     /// Documents admitted into the MaxScore top-k accumulator.
-    pub maxscore_admitted: u64,
-    /// First-appearance documents skipped by the MaxScore bound.
-    pub maxscore_pruned: u64,
+    pub admitted: u64,
+    /// First-appearance documents skipped by the MaxScore bound — both
+    /// individually (decoded but not admitted) and via whole skipped
+    /// blocks.
+    pub pruned: u64,
+    /// Compressed blocks owned by the posting lists the top-k path walked.
+    pub blocks_total: u64,
+    /// Compressed blocks decompressed by the top-k path.
+    pub blocks_decoded: u64,
+    /// Compressed blocks skipped whole by their block-max bound.
+    pub blocks_skipped: u64,
+    /// Compressed payload bytes decompressed by the top-k path.
+    pub postings_bytes_decoded: u64,
+    /// Postings inside skipped blocks (a subset of `pruned`).
+    pub postings_skipped: u64,
 }
 
 thread_local! {
-    static DELTA: Cell<TraversalStats> = const {
-        Cell::new(TraversalStats {
-            postings_traversed: 0,
-            maxscore_admitted: 0,
-            maxscore_pruned: 0,
-        })
-    };
+    static DELTA: Cell<TraversalStats> = const { Cell::new(TraversalStats::zero()) };
+}
+
+impl TraversalStats {
+    /// All-zero stats (`Default`, usable in const position).
+    pub const fn zero() -> Self {
+        TraversalStats {
+            traversed: 0,
+            admitted: 0,
+            pruned: 0,
+            blocks_total: 0,
+            blocks_decoded: 0,
+            blocks_skipped: 0,
+            postings_bytes_decoded: 0,
+            postings_skipped: 0,
+        }
+    }
+
+    fn absorb(&mut self, d: &TraversalStats) {
+        self.traversed += d.traversed;
+        self.admitted += d.admitted;
+        self.pruned += d.pruned;
+        self.blocks_total += d.blocks_total;
+        self.blocks_decoded += d.blocks_decoded;
+        self.blocks_skipped += d.blocks_skipped;
+        self.postings_bytes_decoded += d.postings_bytes_decoded;
+        self.postings_skipped += d.postings_skipped;
+    }
 }
 
 /// Publishes one traversal's tallies: global counters plus the calling
 /// thread's delta. Compiled to nothing under `obs-off`.
 #[inline]
-pub(crate) fn publish(traversed: u64, admitted: u64, pruned: u64) {
+pub(crate) fn publish(delta: TraversalStats) {
     if !rightcrowd_obs::PROBES_ENABLED {
         return;
     }
-    rightcrowd_obs::add(rightcrowd_obs::CounterId::PostingsTraversed, traversed);
-    rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscoreAdmitted, admitted);
-    rightcrowd_obs::add(rightcrowd_obs::CounterId::MaxscorePruned, pruned);
+    use rightcrowd_obs::CounterId;
+    rightcrowd_obs::add(CounterId::PostingsTraversed, delta.traversed);
+    rightcrowd_obs::add(CounterId::MaxscoreAdmitted, delta.admitted);
+    rightcrowd_obs::add(CounterId::MaxscorePruned, delta.pruned);
+    rightcrowd_obs::add(CounterId::BlocksTotal, delta.blocks_total);
+    rightcrowd_obs::add(CounterId::BlocksDecoded, delta.blocks_decoded);
+    rightcrowd_obs::add(CounterId::BlocksSkipped, delta.blocks_skipped);
+    rightcrowd_obs::add(CounterId::PostingsBytesDecoded, delta.postings_bytes_decoded);
+    rightcrowd_obs::add(CounterId::PostingsSkipped, delta.postings_skipped);
     DELTA.with(|d| {
         let mut v = d.get();
-        v.postings_traversed += traversed;
-        v.maxscore_admitted += admitted;
-        v.maxscore_pruned += pruned;
+        v.absorb(&delta);
         d.set(v);
     });
 }
@@ -62,19 +105,35 @@ pub fn take_traversal_stats() -> TraversalStats {
 mod tests {
     use super::*;
 
+    fn sample(traversed: u64, admitted: u64, pruned: u64) -> TraversalStats {
+        TraversalStats { traversed, admitted, pruned, ..TraversalStats::default() }
+    }
+
     #[test]
     fn take_is_read_and_zero_per_thread() {
         let _ = take_traversal_stats();
-        publish(10, 3, 2);
-        publish(5, 0, 1);
+        publish(TraversalStats {
+            blocks_total: 4,
+            blocks_decoded: 3,
+            blocks_skipped: 1,
+            postings_bytes_decoded: 640,
+            postings_skipped: 2,
+            ..sample(10, 3, 2)
+        });
+        publish(sample(5, 0, 1));
         let stats = take_traversal_stats();
         if rightcrowd_obs::PROBES_ENABLED {
             assert_eq!(
                 stats,
                 TraversalStats {
-                    postings_traversed: 15,
-                    maxscore_admitted: 3,
-                    maxscore_pruned: 3
+                    traversed: 15,
+                    admitted: 3,
+                    pruned: 3,
+                    blocks_total: 4,
+                    blocks_decoded: 3,
+                    blocks_skipped: 1,
+                    postings_bytes_decoded: 640,
+                    postings_skipped: 2,
                 }
             );
         } else {
@@ -86,7 +145,7 @@ mod tests {
     #[test]
     fn deltas_are_thread_local() {
         let _ = take_traversal_stats();
-        publish(7, 0, 0);
+        publish(sample(7, 0, 0));
         std::thread::scope(|scope| {
             scope.spawn(|| {
                 assert_eq!(take_traversal_stats(), TraversalStats::default());
@@ -94,7 +153,7 @@ mod tests {
         });
         let stats = take_traversal_stats();
         if rightcrowd_obs::PROBES_ENABLED {
-            assert_eq!(stats.postings_traversed, 7);
+            assert_eq!(stats.traversed, 7);
         }
     }
 }

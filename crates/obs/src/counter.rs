@@ -23,6 +23,20 @@ pub enum CounterId {
     /// First-appearance documents skipped by the MaxScore bound (their
     /// best achievable score could not reach the top k).
     MaxscorePruned,
+    /// Compressed posting blocks owned by the lists the Block-Max top-k
+    /// path walked (decoded + skipped for those lists sum to this).
+    BlocksTotal,
+    /// Compressed posting blocks actually decompressed by the Block-Max
+    /// top-k path.
+    BlocksDecoded,
+    /// Compressed posting blocks skipped whole by their block-max upper
+    /// bound, without decompression.
+    BlocksSkipped,
+    /// Compressed payload bytes decompressed by the Block-Max top-k path.
+    PostingsBytesDecoded,
+    /// Postings inside skipped blocks — never decoded, so never part of
+    /// `postings_traversed` (they are counted under `maxscore_pruned`).
+    PostingsSkipped,
     /// `AttributionCache` lookups served from the memoised table.
     AttributionCacheHits,
     /// `AttributionCache` lookups that computed a new evidence walk.
@@ -49,7 +63,12 @@ pub enum CounterId {
     AttributionShapesResident,
     /// Bytes written by `store::save` (container header + sections).
     SnapshotBytesWritten,
-    /// Bytes read and checksum-validated by `store::load`.
+    /// Bytes read and checksum-validated by `store::load` (whole
+    /// container) and `store::load_sharded` (manifest only; shard files
+    /// count under `ShardBytesRead`). Cumulative across *every* load in
+    /// the process: a benchmark that loads the same snapshot `r` times
+    /// reads `r ×` its size, which is why `rc bench` legitimately reports
+    /// far more bytes read than written.
     SnapshotBytesRead,
     /// Shard files decoded + digest-verified by `store::load_sharded`.
     ShardsLoaded,
@@ -61,10 +80,15 @@ pub enum CounterId {
 
 impl CounterId {
     /// Every counter, in rendering order.
-    pub const ALL: [CounterId; 18] = [
+    pub const ALL: [CounterId; 23] = [
         CounterId::PostingsTraversed,
         CounterId::MaxscoreAdmitted,
         CounterId::MaxscorePruned,
+        CounterId::BlocksTotal,
+        CounterId::BlocksDecoded,
+        CounterId::BlocksSkipped,
+        CounterId::PostingsBytesDecoded,
+        CounterId::PostingsSkipped,
         CounterId::AttributionCacheHits,
         CounterId::AttributionCacheMisses,
         CounterId::QueriesAnalyzed,
@@ -88,6 +112,11 @@ impl CounterId {
             CounterId::PostingsTraversed => "postings_traversed",
             CounterId::MaxscoreAdmitted => "maxscore_admitted",
             CounterId::MaxscorePruned => "maxscore_pruned",
+            CounterId::BlocksTotal => "blocks_total",
+            CounterId::BlocksDecoded => "blocks_decoded",
+            CounterId::BlocksSkipped => "blocks_skipped",
+            CounterId::PostingsBytesDecoded => "postings_bytes_decoded",
+            CounterId::PostingsSkipped => "postings_skipped",
             CounterId::AttributionCacheHits => "attribution_cache_hits",
             CounterId::AttributionCacheMisses => "attribution_cache_misses",
             CounterId::QueriesAnalyzed => "queries_analyzed",

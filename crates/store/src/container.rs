@@ -11,7 +11,9 @@
 //! ------  ----  -----------------------------------------------------
 //!      0     8  magic  (e.g. "RCSNAP01")
 //!      8     4  format version   (u32 LE)
-//!     12     4  feature flags    (u32 LE, must be 0)
+//!     12     4  feature flags    (u32 LE, any bit outside KNOWN_FLAGS
+//!                                 refuses the file — see [`FLAG_PACKED_SECTIONS`],
+//!                                 [`FLAG_BLOCK_POSTINGS`])
 //!     16     4  section count    (u32 LE)
 //!     20     8  header crc64     (over bytes [0, 20))
 //!     28   20·n  section table:  n × { kind u32, len u64, crc64 u64 }
@@ -19,6 +21,12 @@
 //!      ...   …  payloads, concatenated in table order
 //!     end−8   8  file crc64      (over every preceding byte)
 //! ```
+//!
+//! Under [`FLAG_PACKED_SECTIONS`] every section payload carries a one-byte
+//! packing tag (raw or LZ-compressed; see [`crate::pack`]). Section CRCs,
+//! the layout table, and the whole-file CRC always cover the **on-disk**
+//! (wrapped) bytes; unwrapping happens only after the entire envelope has
+//! verified.
 //!
 //! Validation order is part of the format contract — each class of damage
 //! maps to exactly one [`StoreError`]:
@@ -52,6 +60,19 @@ pub const MAGIC: [u8; 8] = *b"RCSNAP01";
 
 /// The format revision this build writes and reads.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Header flag: every section payload is wrapped with a packing tag
+/// (raw or LZ-compressed — [`crate::pack`]).
+pub const FLAG_PACKED_SECTIONS: u32 = 1;
+
+/// Header flag: postings travel as block-compressed sections
+/// ([`kind::TERM_BLOCKS`] / [`kind::ENTITY_BLOCKS`]) instead of the
+/// legacy CSR sections ([`kind::TERM_INDEX`] / [`kind::ENTITY_INDEX`]).
+pub const FLAG_BLOCK_POSTINGS: u32 = 2;
+
+/// Every flag bit this build understands; any other set bit means the
+/// file needs a newer reader ([`StoreError::UnsupportedFlags`]).
+pub const KNOWN_FLAGS: u32 = FLAG_PACKED_SECTIONS | FLAG_BLOCK_POSTINGS;
 
 /// Fixed header size: magic + version + flags + count + header crc.
 pub const HEADER_LEN: usize = 28;
@@ -98,6 +119,19 @@ pub mod kind {
     pub const SHARD_TABLE: u32 = 8;
     /// Per-shard identity: index, count, declared id ranges.
     pub const SHARD_META: u32 = 9;
+    /// Term-side block-compressed postings (delta + bit-packed blocks).
+    pub const TERM_BLOCKS: u32 = 10;
+    /// Entity-side block-compressed postings.
+    pub const ENTITY_BLOCKS: u32 = 11;
+}
+
+/// Section kinds whose payloads are worth running through the byte
+/// compressor under [`FLAG_PACKED_SECTIONS`]: the synthetic-study
+/// sections (text-heavy, highly redundant). Postings sections are
+/// already bit-packed and shard tables are tiny, so they are wrapped
+/// raw.
+const fn compress_candidate(kind_tag: u32) -> bool {
+    matches!(kind_tag, kind::META | kind::GRAPH | kind::WEB | kind::TRUTH | kind::CORPUS)
 }
 
 /// The section order a version-1 snapshot must use.
@@ -109,6 +143,19 @@ pub const SECTION_ORDER: [u32; 7] = [
     kind::CORPUS,
     kind::TERM_INDEX,
     kind::ENTITY_INDEX,
+];
+
+/// The section order of a [`FLAG_BLOCK_POSTINGS`] snapshot: identical,
+/// with the CSR posting sections replaced by their block-compressed
+/// counterparts.
+pub const SECTION_ORDER_BLOCKS: [u32; 7] = [
+    kind::META,
+    kind::GRAPH,
+    kind::WEB,
+    kind::TRUTH,
+    kind::CORPUS,
+    kind::TERM_BLOCKS,
+    kind::ENTITY_BLOCKS,
 ];
 
 /// The human name of a section kind (used in error messages and
@@ -124,6 +171,8 @@ pub const fn section_name(kind_tag: u32) -> &'static str {
         kind::ENTITY_INDEX => "entity_index",
         kind::SHARD_TABLE => "shard_table",
         kind::SHARD_META => "shard_meta",
+        kind::TERM_BLOCKS => "term_blocks",
+        kind::ENTITY_BLOCKS => "entity_blocks",
         _ => "unknown",
     }
 }
@@ -131,15 +180,46 @@ pub const fn section_name(kind_tag: u32) -> &'static str {
 // ----- writing ----------------------------------------------------------
 
 /// Assembles the complete container from encoded section payloads, under
-/// the monolithic-snapshot magic.
+/// the monolithic-snapshot magic (legacy layout, flags = 0).
 pub fn assemble(sections: &[Section]) -> Vec<u8> {
     assemble_with(&MAGIC, sections)
 }
 
-/// Assembles the complete container under an arbitrary magic. Every file
-/// kind (snapshot, manifest, shard) is written fully self-contained —
-/// per-section CRCs included — regardless of how it will be read back.
+/// Assembles the complete container under an arbitrary magic (legacy
+/// layout, flags = 0). Every file kind (snapshot, manifest, shard) is
+/// written fully self-contained — per-section CRCs included — regardless
+/// of how it will be read back.
 pub fn assemble_with(magic: &[u8; 8], sections: &[Section]) -> Vec<u8> {
+    assemble_flags(magic, sections, 0)
+}
+
+/// [`assemble_with`] with explicit feature flags. Under
+/// [`FLAG_PACKED_SECTIONS`] each payload is wrapped with its packing tag
+/// here (compressing the study sections when that wins), so callers
+/// always hand over plain encoded payloads.
+pub fn assemble_flags(magic: &[u8; 8], sections: &[Section], flags: u32) -> Vec<u8> {
+    debug_assert_eq!(flags & !KNOWN_FLAGS, 0, "writer uses only known flags");
+    let wrapped: Vec<Section>;
+    let sections = if flags & FLAG_PACKED_SECTIONS != 0 {
+        wrapped = sections
+            .iter()
+            .map(|s| {
+                let payload = if compress_candidate(s.kind) {
+                    crate::pack::wrap(&s.payload)
+                } else {
+                    let mut raw = Vec::with_capacity(1 + s.payload.len());
+                    raw.push(crate::pack::TAG_RAW);
+                    raw.extend_from_slice(&s.payload);
+                    raw
+                };
+                Section { kind: s.kind, payload }
+            })
+            .collect();
+        &wrapped[..]
+    } else {
+        sections
+    };
+
     let payload_total: usize = sections.iter().map(|s| s.payload.len()).sum();
     let mut out = Vec::with_capacity(
         HEADER_LEN + sections.len() * TABLE_ENTRY_LEN + 8 + payload_total + 8,
@@ -147,7 +227,7 @@ pub fn assemble_with(magic: &[u8; 8], sections: &[Section]) -> Vec<u8> {
 
     out.extend_from_slice(magic);
     out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-    out.extend_from_slice(&0u32.to_le_bytes()); // flags
+    out.extend_from_slice(&flags.to_le_bytes());
     out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
     let header_crc = crc64(&out);
     out.extend_from_slice(&header_crc.to_le_bytes());
@@ -207,19 +287,23 @@ pub enum Integrity {
 }
 
 /// Streams and fully verifies a monolithic snapshot container, returning
-/// its sections in table order plus the total byte count.
-pub fn read_container<R: Read>(reader: R) -> Result<(Vec<Section>, u64), StoreError> {
+/// its sections in table order, the total byte count, and the header
+/// feature flags.
+pub fn read_container<R: Read>(reader: R) -> Result<(Vec<Section>, u64, u32), StoreError> {
     read_container_with(reader, &MAGIC, Integrity::SelfContained)
 }
 
 /// The one streaming container decoder: chunked reads, fixed
 /// detection-order error mapping, and the [`Integrity`] policy above.
 /// Monolithic snapshots, manifests, and shards all come through here.
+/// Returned payloads are already unwrapped when the file sets
+/// [`FLAG_PACKED_SECTIONS`]; the caller switches decoding on
+/// [`FLAG_BLOCK_POSTINGS`].
 pub fn read_container_with<R: Read>(
     reader: R,
     magic: &[u8; 8],
     integrity: Integrity,
-) -> Result<(Vec<Section>, u64), StoreError> {
+) -> Result<(Vec<Section>, u64, u32), StoreError> {
     let mut r = HashingReader { inner: reader, digest: Crc64::new(), bytes_read: 0 };
 
     // Header: validate magic → version → flags → checksum, in that order.
@@ -233,7 +317,7 @@ pub fn read_container_with<R: Read>(
         return Err(StoreError::VersionMismatch { found: version, expected: FORMAT_VERSION });
     }
     let flags = u32::from_le_bytes(header[12..16].try_into().unwrap());
-    if flags != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(StoreError::UnsupportedFlags { flags });
     }
     let count = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
@@ -303,7 +387,14 @@ pub fn read_container_with<R: Read>(
         Err(e) => return Err(StoreError::Io(e)),
     }
 
-    Ok((sections, r.bytes_read))
+    // Only now — every checksum verified — unwrap packed payloads.
+    if flags & FLAG_PACKED_SECTIONS != 0 {
+        for s in &mut sections {
+            s.payload = crate::pack::unwrap(section_name(s.kind), &s.payload)?;
+        }
+    }
+
+    Ok((sections, r.bytes_read, flags))
 }
 
 // ----- layout introspection ---------------------------------------------
@@ -388,12 +479,48 @@ mod tests {
     #[test]
     fn roundtrip() {
         let bytes = two_sections();
-        let (sections, n) = read_container(&bytes[..]).unwrap();
+        let (sections, n, flags) = read_container(&bytes[..]).unwrap();
         assert_eq!(n, bytes.len() as u64);
+        assert_eq!(flags, 0);
         assert_eq!(sections.len(), 2);
         assert_eq!(sections[0].kind, kind::META);
         assert_eq!(sections[0].payload, vec![1, 2, 3]);
         assert_eq!(sections[1].payload.len(), 100);
+    }
+
+    #[test]
+    fn packed_sections_roundtrip_and_shrink() {
+        // A redundant payload compresses; an already-dense one rides raw.
+        let redundant = b"social graph social graph social graph ".repeat(100);
+        let dense: Vec<u8> = (0..255u32).map(|i| (i.wrapping_mul(2654435761) >> 23) as u8).collect();
+        let sections = [
+            Section { kind: kind::GRAPH, payload: redundant.clone() },
+            Section { kind: kind::SHARD_TABLE, payload: dense.clone() },
+        ];
+        let legacy = assemble_with(&MAGIC, &sections);
+        let packed = assemble_flags(&MAGIC, &sections, FLAG_PACKED_SECTIONS);
+        assert!(packed.len() < legacy.len(), "{} vs {}", packed.len(), legacy.len());
+
+        let (got, n, flags) = read_container(&packed[..]).unwrap();
+        assert_eq!(n, packed.len() as u64);
+        assert_eq!(flags, FLAG_PACKED_SECTIONS);
+        assert_eq!(got[0].payload, redundant);
+        assert_eq!(got[1].payload, dense);
+
+        // On-disk, the non-candidate section is tag-RAW (1 byte overhead).
+        let infos = layout(&packed).unwrap();
+        let st = infos.iter().find(|i| i.name == "shard_table").unwrap();
+        assert_eq!(st.len, dense.len() + 1);
+        assert_eq!(packed[st.offset], crate::pack::TAG_RAW);
+    }
+
+    #[test]
+    fn packed_assembly_is_deterministic() {
+        let sections = [Section { kind: kind::WEB, payload: b"page page page page".repeat(50) }];
+        assert_eq!(
+            assemble_flags(&MAGIC, &sections, KNOWN_FLAGS),
+            assemble_flags(&MAGIC, &sections, KNOWN_FLAGS)
+        );
     }
 
     #[test]
@@ -433,13 +560,53 @@ mod tests {
     #[test]
     fn unknown_flags_refused() {
         let mut bytes = two_sections();
-        bytes[12] = 0b10;
-        // Flag damage is detected before the header checksum: flags are a
-        // compatibility statement, not just payload bytes.
+        bytes[12] = 0x80; // a bit no revision of this build defines
+        // Unknown-flag damage is detected before the header checksum:
+        // flags are a compatibility statement, not just payload bytes.
         assert!(matches!(
             read_container(&bytes[..]),
-            Err(StoreError::UnsupportedFlags { flags: 2 })
+            Err(StoreError::UnsupportedFlags { flags: 0x80 })
         ));
+    }
+
+    #[test]
+    fn known_flag_flip_fails_header_checksum() {
+        // Flipping a *defined* flag bit passes the compatibility gate and
+        // is then caught as header damage by the CRC.
+        let mut bytes = two_sections();
+        bytes[12] |= FLAG_PACKED_SECTIONS as u8;
+        assert!(matches!(
+            read_container(&bytes[..]),
+            Err(StoreError::ChecksumMismatch { section: "header" })
+        ));
+    }
+
+    #[test]
+    fn forged_packing_tag_is_corrupt_after_consistent_rewrite() {
+        // Structural damage below the checksums: rewrite a packed
+        // section's tag byte and re-sign every CRC. The envelope then
+        // verifies, and the unwrapper must still refuse the payload.
+        let sections = [Section { kind: kind::META, payload: vec![5; 40] }];
+        let mut bytes = assemble_flags(&MAGIC, &sections, FLAG_PACKED_SECTIONS);
+        let infos = layout(&bytes).unwrap();
+        let meta = infos.iter().find(|i| i.name == "meta").unwrap();
+        bytes[meta.offset] = 9; // unknown packing tag
+        // Re-sign: section crc in the table, table crc, file crc.
+        let payload_crc = crc64(&bytes[meta.offset..meta.offset + meta.len]);
+        let entry = HEADER_LEN; // first table entry
+        bytes[entry + 12..entry + 20].copy_from_slice(&payload_crc.to_le_bytes());
+        let table = infos.iter().find(|i| i.name == "table").unwrap();
+        let table_crc = crc64(&bytes[table.offset..table.offset + table.len - 8]);
+        let crc_at = table.offset + table.len - 8;
+        bytes[crc_at..crc_at + 8].copy_from_slice(&table_crc.to_le_bytes());
+        let file_crc = crc64(&bytes[..bytes.len() - 8]);
+        let at = bytes.len() - 8;
+        bytes[at..].copy_from_slice(&file_crc.to_le_bytes());
+
+        match read_container(&bytes[..]) {
+            Err(StoreError::Corrupt(msg)) => assert!(msg.contains("packing tag"), "{msg}"),
+            other => panic!("expected Corrupt(packing tag), got {other:?}"),
+        }
     }
 
     #[test]
@@ -481,7 +648,7 @@ mod tests {
         let magic = b"RCTEST01";
         let bytes = assemble_with(magic, &[Section { kind: kind::META, payload: vec![9; 50] }]);
         let digest = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
-        let (sections, n) =
+        let (sections, n, _) =
             read_container_with(&bytes[..], magic, Integrity::External { digest }).unwrap();
         assert_eq!(n, bytes.len() as u64);
         assert_eq!(sections[0].payload, vec![9; 50]);

@@ -23,9 +23,10 @@ pub enum StoreError {
         /// The version this build reads.
         expected: u32,
     },
-    /// The header carries feature flags this build does not know. Flags
-    /// are reserved for forward-compatible extensions; none are defined
-    /// yet, so any set bit is a refusal.
+    /// The header carries feature flags this build does not know. Two
+    /// flags are defined — packed sections and block postings (see
+    /// `container::KNOWN_FLAGS`); any *other* set bit means the file needs
+    /// a newer reader and is a refusal.
     UnsupportedFlags {
         /// The offending flag word.
         flags: u32,
@@ -33,7 +34,8 @@ pub enum StoreError {
     /// A checksum did not verify. `section` names the failing region:
     /// `"header"`, `"table"`, `"file"`, or one of the payload sections
     /// (`"meta"`, `"graph"`, `"web"`, `"truth"`, `"corpus"`,
-    /// `"term_index"`, `"entity_index"`).
+    /// `"term_index"`, `"entity_index"`, `"term_blocks"`,
+    /// `"entity_blocks"`).
     ChecksumMismatch {
         /// The region whose checksum failed.
         section: &'static str,

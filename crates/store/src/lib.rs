@@ -6,7 +6,8 @@
 //! A snapshot holds everything `EvalContext` needs to answer queries
 //! without re-running the synthesis + analysis pipeline: the social
 //! graph, the synthetic web, the ground-truth inputs, the
-//! retained-document table, and the interned CSR postings with their
+//! retained-document table, and the interned postings (block-compressed
+//! by default, flat CSR in the legacy flags-0 layout) with their
 //! precomputed `irf`/`eirf` and MaxScore bounds. Compiled-in constants
 //! (knowledge base, query workload) are *not* stored; they are
 //! regenerated at load and verified against fingerprints, so a snapshot
@@ -35,12 +36,14 @@ pub mod codec;
 pub mod container;
 pub mod crc;
 pub mod err;
+pub mod pack;
 pub mod shard;
 pub mod wire;
 
 pub use codec::Census;
 pub use container::{
-    layout, layout_with, section_name, Integrity, SectionInfo, FORMAT_VERSION, MAGIC,
+    layout, layout_with, section_name, Integrity, SectionInfo, FLAG_BLOCK_POSTINGS,
+    FLAG_PACKED_SECTIONS, FORMAT_VERSION, KNOWN_FLAGS, MAGIC,
 };
 pub use crc::{crc64, Crc64};
 pub use err::StoreError;
@@ -50,7 +53,7 @@ pub use shard::{
     SHARD_FORMAT_VERSION,
 };
 
-use container::{kind, Section, SECTION_ORDER};
+use container::{kind, Section, SECTION_ORDER, SECTION_ORDER_BLOCKS};
 use rightcrowd_core::AnalyzedCorpus;
 use rightcrowd_graph::DocId;
 use rightcrowd_index::InvertedIndex;
@@ -85,6 +88,51 @@ pub struct LoadStats {
 /// byte-identical.
 pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
     let _span = rightcrowd_obs::span!("store.encode");
+    let parts = corpus.index().to_parts();
+    let mut sections = study_sections(ds, corpus, &parts.doc_lens);
+
+    // Default layout: block-compressed postings plus packed (byte-compressed)
+    // study sections, declared by the header flags. Under `blocks-off` the
+    // index holds no packed lists, so the legacy flat-CSR flags-0 layout is
+    // written instead — which is also exactly what old readers expect.
+    #[cfg(not(feature = "blocks-off"))]
+    {
+        let (packed_terms, packed_entities) = corpus.index().packed_postings();
+        sections.push(Section {
+            kind: kind::TERM_BLOCKS,
+            payload: codec::encode_term_blocks(&parts.terms.vocab, &parts.terms.irf, packed_terms),
+        });
+        sections.push(Section {
+            kind: kind::ENTITY_BLOCKS,
+            payload: codec::encode_entity_blocks(
+                &parts.entities.vocab,
+                &parts.entities.eirf,
+                packed_entities,
+            ),
+        });
+        container::assemble_flags(
+            &MAGIC,
+            &sections,
+            container::FLAG_PACKED_SECTIONS | container::FLAG_BLOCK_POSTINGS,
+        )
+    }
+    #[cfg(feature = "blocks-off")]
+    {
+        sections.push(Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&parts.terms) });
+        sections.push(Section {
+            kind: kind::ENTITY_INDEX,
+            payload: codec::encode_entity_index(&parts.entities),
+        });
+        container::assemble(&sections)
+    }
+}
+
+/// Serialises the legacy flags-0 layout — flat CSR postings, no section
+/// packing — regardless of feature configuration. Every build reads both
+/// layouts; this writer exists as a downgrade path and anchors the
+/// compatibility suite (a "pre-blocks snapshot" can always be
+/// manufactured and must always load).
+pub fn to_bytes_legacy(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
     let parts = corpus.index().to_parts();
     let mut sections = study_sections(ds, corpus, &parts.doc_lens);
     sections.push(Section { kind: kind::TERM_INDEX, payload: codec::encode_term_index(&parts.terms) });
@@ -162,14 +210,19 @@ pub fn from_reader<R: Read>(reader: R) -> Result<(SyntheticDataset, AnalyzedCorp
     let _span = rightcrowd_obs::span!("store.load");
     let _timer = rightcrowd_obs::time(rightcrowd_obs::HistId::SnapshotLoadLatency);
 
-    let (sections, bytes) = container::read_container(reader)?;
+    let (sections, bytes, flags) = container::read_container(reader)?;
 
-    // Version 1 fixes the section order; anything else is a forged table.
-    if sections.len() != SECTION_ORDER.len()
-        || sections.iter().zip(SECTION_ORDER).any(|(s, k)| s.kind != k)
+    // Version 1 fixes the section order for each flags combination;
+    // anything else is a forged table. Both index layouts load regardless
+    // of this build's write-side feature, so old flags-0 snapshots and new
+    // block snapshots remain interchangeable.
+    let blocked = flags & container::FLAG_BLOCK_POSTINGS != 0;
+    let order = if blocked { &SECTION_ORDER_BLOCKS } else { &SECTION_ORDER };
+    if sections.len() != order.len()
+        || sections.iter().zip(order).any(|(s, &k)| s.kind != k)
     {
         return Err(StoreError::Corrupt(format!(
-            "unexpected section layout {:?} (want {SECTION_ORDER:?})",
+            "unexpected section layout {:?} (want {order:?})",
             sections.iter().map(|s| s.kind).collect::<Vec<_>>()
         )));
     }
@@ -181,8 +234,17 @@ pub fn from_reader<R: Read>(reader: R) -> Result<(SyntheticDataset, AnalyzedCorp
         &sections[3].payload,
         &sections[4].payload,
     ])?;
-    let terms = codec::decode_term_index(&sections[5].payload)?;
-    let entities = codec::decode_entity_index(&sections[6].payload)?;
+    let (terms, entities) = if blocked {
+        (
+            codec::decode_term_blocks(&sections[5].payload)?,
+            codec::decode_entity_blocks(&sections[6].payload)?,
+        )
+    } else {
+        (
+            codec::decode_term_index(&sections[5].payload)?,
+            codec::decode_entity_index(&sections[6].payload)?,
+        )
+    };
 
     let index = InvertedIndex::from_parts(codec::assemble_index_parts(terms, entities, doc_lens))
         .map_err(StoreError::Corrupt)?;

@@ -1,0 +1,304 @@
+//! Section-payload packing: a dependency-free LZ77 byte compressor and
+//! the per-section wrapping used when a container sets
+//! `FLAG_PACKED_SECTIONS`.
+//!
+//! # Wrapper format
+//!
+//! Each wrapped section payload starts with one tag byte:
+//!
+//! ```text
+//! tag 0:  raw          — the remaining bytes are the payload verbatim
+//! tag 1:  compressed   — u64 LE uncompressed length, then an LZ stream
+//! ```
+//!
+//! The writer compresses a section only when the wrapped compressed form
+//! is strictly smaller than the wrapped raw form, so packing never grows
+//! a container. Section CRCs and the layout table always cover the
+//! *on-disk* (wrapped) bytes; unwrapping happens after every checksum has
+//! verified, and any malformation past that point is writer dishonesty —
+//! [`StoreError::Corrupt`], never a panic or an over-allocation.
+//!
+//! # Stream format
+//!
+//! Classic LZSS over a 32 KiB window: groups of eight items share a flag
+//! byte (bit `i` set → item `i` is a back-reference). A literal is one
+//! byte; a back-reference is a little-endian `u16` distance (1-based)
+//! plus one byte encoding `length − 4` (match lengths 4..=259). The
+//! greedy hash-chain matcher is fully deterministic, which keeps
+//! re-saves byte-identical.
+
+use crate::err::StoreError;
+
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+/// Longest hash chain walked per position: bounds worst-case compression
+/// cost on repetitive input while finding long matches in practice.
+const MAX_CHAIN: usize = 32;
+
+const HASH_BITS: u32 = 15;
+
+/// Section-payload packing tags (first byte of a wrapped payload).
+pub const TAG_RAW: u8 = 0;
+/// See [`TAG_RAW`].
+pub const TAG_LZ: u8 = 1;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into a self-delimiting LZ stream (decompression
+/// additionally needs the uncompressed length). Deterministic.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    // head[h]: most recent position with hash h; prev[i & (WINDOW-1)]:
+    // previous position in i's chain. usize::MAX = no entry.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; WINDOW];
+
+    let mut flags_at = usize::MAX;
+    let mut flag_bit = 8u32;
+    let mut push_item = |out: &mut Vec<u8>, is_match: bool| {
+        if flag_bit == 8 {
+            flags_at = out.len();
+            out.push(0);
+            flag_bit = 0;
+        }
+        if is_match {
+            out[flags_at] |= 1 << flag_bit;
+        }
+        flag_bit += 1;
+    };
+
+    let mut i = 0usize;
+    let insert = |head: &mut [usize], prev: &mut [usize], at: usize, input: &[u8]| {
+        if at + MIN_MATCH <= input.len() {
+            let h = hash4(&input[at..]);
+            prev[at & (WINDOW - 1)] = head[h];
+            head[h] = at;
+        }
+    };
+    while i < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= input.len() {
+            let h = hash4(&input[i..]);
+            let mut cand = head[h];
+            let limit = (input.len() - i).min(MAX_MATCH);
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let mut len = 0usize;
+                while len < limit && input[cand + len] == input[i + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = i - cand;
+                    if len == limit {
+                        break;
+                    }
+                }
+                let next = prev[cand & (WINDOW - 1)];
+                // Chain entries only get older; stop on wraparound reuse.
+                if next >= cand {
+                    break;
+                }
+                cand = next;
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            push_item(&mut out, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            for _ in 0..best_len {
+                insert(&mut head, &mut prev, i, input);
+                i += 1;
+            }
+        } else {
+            push_item(&mut out, false);
+            out.push(input[i]);
+            insert(&mut head, &mut prev, i, input);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Decompresses a [`compress`] stream that must expand to exactly
+/// `expected_len` bytes. Fully bounds-checked: output grows as it is
+/// produced (a forged length cannot pre-allocate), distances must point
+/// inside the produced output, and both early exhaustion and trailing
+/// input are errors.
+pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, String> {
+    let mut out = Vec::with_capacity(expected_len.min(1 << 20));
+    let mut pos = 0usize;
+    while out.len() < expected_len {
+        let flags = *stream.get(pos).ok_or("compressed stream ends inside a flag byte")?;
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() == expected_len {
+                break;
+            }
+            if flags & (1 << bit) != 0 {
+                let enc = stream
+                    .get(pos..pos + 3)
+                    .ok_or("compressed stream ends inside a back-reference")?;
+                pos += 3;
+                let dist = u16::from_le_bytes([enc[0], enc[1]]) as usize;
+                let len = enc[2] as usize + MIN_MATCH;
+                if dist == 0 || dist > out.len() {
+                    return Err(format!(
+                        "back-reference distance {dist} outside the {} bytes produced",
+                        out.len()
+                    ));
+                }
+                if out.len() + len > expected_len {
+                    return Err("compressed stream overruns the declared length".into());
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are the RLE case; byte-by-byte is the
+                // defined semantics.
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            } else {
+                let b = *stream.get(pos).ok_or("compressed stream ends inside a literal")?;
+                pos += 1;
+                if out.len() == expected_len {
+                    return Err("compressed stream overruns the declared length".into());
+                }
+                out.push(b);
+            }
+        }
+    }
+    if pos != stream.len() {
+        return Err(format!("compressed stream has {} trailing bytes", stream.len() - pos));
+    }
+    Ok(out)
+}
+
+/// Wraps a section payload for a `FLAG_PACKED_SECTIONS` container,
+/// choosing whichever of raw/compressed is smaller on disk.
+pub fn wrap(payload: &[u8]) -> Vec<u8> {
+    let compressed = compress(payload);
+    if 1 + 8 + compressed.len() < 1 + payload.len() {
+        let mut out = Vec::with_capacity(9 + compressed.len());
+        out.push(TAG_LZ);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&compressed);
+        out
+    } else {
+        let mut out = Vec::with_capacity(1 + payload.len());
+        out.push(TAG_RAW);
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+/// Unwraps a `FLAG_PACKED_SECTIONS` section payload. Called only after
+/// every container checksum verified, so malformations are
+/// [`StoreError::Corrupt`].
+pub fn unwrap(section: &str, wrapped: &[u8]) -> Result<Vec<u8>, StoreError> {
+    let corrupt = |msg: String| StoreError::Corrupt(format!("section `{section}`: {msg}"));
+    match wrapped.first() {
+        Some(&TAG_RAW) => Ok(wrapped[1..].to_vec()),
+        Some(&TAG_LZ) => {
+            let header = wrapped
+                .get(1..9)
+                .ok_or_else(|| corrupt("packed payload ends inside its length header".into()))?;
+            let raw_len = u64::from_le_bytes(header.try_into().expect("8-byte header"));
+            let raw_len = usize::try_from(raw_len)
+                .map_err(|_| corrupt(format!("uncompressed length {raw_len} overflows usize")))?;
+            decompress(&wrapped[9..], raw_len).map_err(corrupt)
+        }
+        Some(&tag) => Err(corrupt(format!("unknown packing tag {tag}"))),
+        None => Err(corrupt("packed payload is empty (missing packing tag)".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("roundtrip");
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn roundtrips_various_shapes() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcabcabcabcabcabcabcabc");
+        roundtrip(&vec![0u8; 100_000]);
+        let mut mixed = Vec::new();
+        let mut x = 1u32;
+        for i in 0..50_000u32 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            mixed.push(if i % 7 < 4 { (x >> 24) as u8 } else { b'z' });
+        }
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn compresses_redundant_text() {
+        let text = "the quick brown fox jumps over the lazy dog. ".repeat(200);
+        let c = compress(text.as_bytes());
+        assert!(c.len() * 4 < text.len(), "{} vs {}", c.len(), text.len());
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i * 31 % 251) as u8).collect();
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn forged_streams_are_rejected_without_oom() {
+        // Truncated literal.
+        assert!(decompress(&[0x00], 3).is_err());
+        // Truncated flag byte.
+        assert!(decompress(&[], 1).is_err());
+        // Back-reference before the start of output.
+        assert!(decompress(&[0x02, b'a', 9, 0, 0], 6).is_err());
+        // Stream shorter than the declared (potentially huge) length:
+        // fails fast, no allocation of `expected_len`.
+        assert!(decompress(&[0x00, b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h'], usize::MAX / 2).is_err());
+        // Trailing garbage after the declared length.
+        assert!(decompress(&[0x00, b'a', b'b', b'c', b'd', b'e', b'f', b'g', b'h', 0xFF], 8).is_err());
+    }
+
+    #[test]
+    fn wrap_picks_the_smaller_form_and_unwraps() {
+        let redundant = b"abcdabcdabcdabcdabcdabcdabcdabcdabcdabcd".repeat(20);
+        let wrapped = wrap(&redundant);
+        assert_eq!(wrapped[0], TAG_LZ);
+        assert!(wrapped.len() < redundant.len());
+        assert_eq!(unwrap("test", &wrapped).unwrap(), redundant);
+
+        let incompressible: Vec<u8> = (0..64u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let wrapped = wrap(&incompressible);
+        assert_eq!(wrapped[0], TAG_RAW);
+        assert_eq!(wrapped.len(), incompressible.len() + 1);
+        assert_eq!(unwrap("test", &wrapped).unwrap(), incompressible);
+    }
+
+    #[test]
+    fn unwrap_rejects_malformed_wrappers() {
+        assert!(matches!(unwrap("s", &[]), Err(StoreError::Corrupt(_))));
+        assert!(matches!(unwrap("s", &[9, 1, 2]), Err(StoreError::Corrupt(_))));
+        assert!(matches!(unwrap("s", &[TAG_LZ, 1, 2]), Err(StoreError::Corrupt(_))));
+        // Declared length disagreeing with the stream.
+        let mut bad = vec![TAG_LZ];
+        bad.extend_from_slice(&100u64.to_le_bytes());
+        bad.extend_from_slice(&compress(b"abc"));
+        assert!(matches!(unwrap("s", &bad), Err(StoreError::Corrupt(_))));
+    }
+}

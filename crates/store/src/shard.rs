@@ -38,12 +38,20 @@
 //! on hostile input.
 
 use crate::codec;
-use crate::container::{assemble_with, kind, read_container_with, Integrity, Section};
+use crate::container::{
+    kind, read_container_with, Integrity, Section, FLAG_BLOCK_POSTINGS,
+};
+#[cfg(not(feature = "blocks-off"))]
+use crate::container::{assemble_flags, FLAG_PACKED_SECTIONS};
+#[cfg(feature = "blocks-off")]
+use crate::container::assemble_with;
 use crate::err::StoreError;
 use crate::wire::{put_len, put_u32, put_u64, Cursor};
 use crate::{decode_study, study_sections};
 use rightcrowd_core::par::par_map;
 use rightcrowd_core::AnalyzedCorpus;
+#[cfg(not(feature = "blocks-off"))]
+use rightcrowd_index::{pack_entity_parts, pack_term_parts};
 use rightcrowd_index::{IndexShard, InvertedIndex};
 use rightcrowd_synth::SyntheticDataset;
 use std::path::{Path, PathBuf};
@@ -77,8 +85,13 @@ pub const MANIFEST_SECTION_ORDER: [u32; 6] = [
     kind::SHARD_TABLE,
 ];
 
-/// The section order a version-1 shard file must use.
+/// The section order a version-1 flags-0 shard file must use.
 pub const SHARD_SECTION_ORDER: [u32; 3] = [kind::SHARD_META, kind::TERM_INDEX, kind::ENTITY_INDEX];
+
+/// The section order of a [`FLAG_BLOCK_POSTINGS`] shard file: identical,
+/// with the CSR posting sections replaced by block-compressed ones.
+pub const SHARD_SECTION_ORDER_BLOCKS: [u32; 3] =
+    [kind::SHARD_META, kind::TERM_BLOCKS, kind::ENTITY_BLOCKS];
 
 /// One row of the manifest's shard table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -281,6 +294,38 @@ fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, StoreError> {
 // ----- saving -----------------------------------------------------------
 
 /// Serialises one shard into a complete, self-contained `RCSHRD01` file.
+///
+/// The default layout carries block-compressed postings
+/// ([`FLAG_BLOCK_POSTINGS`]) with *raw* section wrapping — shard payloads
+/// are already bit-packed, and keeping them byte-addressable keeps the
+/// fault-injection suite's consistent-rewrite attacks expressible. Under
+/// `blocks-off` the legacy flags-0 CSR layout is written.
+#[cfg(not(feature = "blocks-off"))]
+fn encode_shard_file(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
+    let sections = [
+        Section { kind: kind::SHARD_META, payload: encode_shard_meta(shard, shard_count) },
+        Section {
+            kind: kind::TERM_BLOCKS,
+            payload: codec::encode_term_blocks(
+                &shard.terms.vocab,
+                &shard.terms.irf,
+                &pack_term_parts(&shard.terms),
+            ),
+        },
+        Section {
+            kind: kind::ENTITY_BLOCKS,
+            payload: codec::encode_entity_blocks(
+                &shard.entities.vocab,
+                &shard.entities.eirf,
+                &pack_entity_parts(&shard.entities),
+            ),
+        },
+    ];
+    assemble_flags(&SHARD_MAGIC, &sections, FLAG_BLOCK_POSTINGS)
+}
+
+/// See the default-feature variant above.
+#[cfg(feature = "blocks-off")]
 fn encode_shard_file(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
     let sections = [
         Section { kind: kind::SHARD_META, payload: encode_shard_meta(shard, shard_count) },
@@ -344,6 +389,12 @@ pub fn save_sharded(
 
     let mut sections = study_sections(ds, corpus, &parts.doc_lens);
     sections.push(Section { kind: kind::SHARD_TABLE, payload: encode_shard_table(&table) });
+    // The manifest carries the text-heavy study sections, so it alone gets
+    // the byte compressor ([`FLAG_PACKED_SECTIONS`]); postings compression
+    // lives in the shard files' block sections.
+    #[cfg(not(feature = "blocks-off"))]
+    let manifest = assemble_flags(&MANIFEST_MAGIC, &sections, FLAG_PACKED_SECTIONS);
+    #[cfg(feature = "blocks-off")]
     let manifest = assemble_with(&MANIFEST_MAGIC, &sections);
 
     let mut total = manifest.len() as u64;
@@ -393,7 +444,7 @@ fn load_shard(dir: &Path, index: u32, entry: &ShardEntry, shard_count: usize) ->
         }
         Err(e) => return Err(StoreError::Io(e)),
     };
-    let (sections, n) =
+    let (sections, n, flags) =
         read_container_with(&bytes[..], &SHARD_MAGIC, Integrity::External { digest: entry.digest })
             .map_err(|e| match e {
                 StoreError::ChecksumMismatch { section: "file" } => {
@@ -402,11 +453,13 @@ fn load_shard(dir: &Path, index: u32, entry: &ShardEntry, shard_count: usize) ->
                 other => other,
             })?;
 
-    if sections.len() != SHARD_SECTION_ORDER.len()
-        || sections.iter().zip(SHARD_SECTION_ORDER).any(|(s, k)| s.kind != k)
+    let blocked = flags & FLAG_BLOCK_POSTINGS != 0;
+    let order = if blocked { &SHARD_SECTION_ORDER_BLOCKS } else { &SHARD_SECTION_ORDER };
+    if sections.len() != order.len()
+        || sections.iter().zip(order).any(|(s, &k)| s.kind != k)
     {
         return Err(StoreError::Corrupt(format!(
-            "shard {index} has unexpected section layout {:?} (want {SHARD_SECTION_ORDER:?})",
+            "shard {index} has unexpected section layout {:?} (want {order:?})",
             sections.iter().map(|s| s.kind).collect::<Vec<_>>()
         )));
     }
@@ -434,8 +487,17 @@ fn load_shard(dir: &Path, index: u32, entry: &ShardEntry, shard_count: usize) ->
         )));
     }
 
-    let terms = codec::decode_term_index(&sections[1].payload)?;
-    let entities = codec::decode_entity_index(&sections[2].payload)?;
+    let (terms, entities) = if blocked {
+        (
+            codec::decode_term_blocks(&sections[1].payload)?,
+            codec::decode_entity_blocks(&sections[2].payload)?,
+        )
+    } else {
+        (
+            codec::decode_term_index(&sections[1].payload)?,
+            codec::decode_entity_index(&sections[2].payload)?,
+        )
+    };
     Ok((IndexShard { index, term_range, entity_range, terms, entities }, n))
 }
 
@@ -457,7 +519,7 @@ pub fn load_sharded(
     let dir = dir.as_ref();
 
     let manifest = std::fs::File::open(manifest_path(dir)).map_err(StoreError::Io)?;
-    let (sections, manifest_bytes) = read_container_with(
+    let (sections, manifest_bytes, _flags) = read_container_with(
         std::io::BufReader::new(manifest),
         &MANIFEST_MAGIC,
         Integrity::SelfContained,

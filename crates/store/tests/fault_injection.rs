@@ -32,6 +32,12 @@ fn layout_maps_the_whole_file() {
     let bytes = snapshot();
     let infos = layout(bytes).unwrap();
     let names: Vec<_> = infos.iter().map(|i| i.name).collect();
+    // The default build writes block-compressed postings sections; the
+    // `blocks-off` build writes the legacy flat-CSR ones.
+    #[cfg(not(feature = "blocks-off"))]
+    let postings = ["term_blocks", "entity_blocks"];
+    #[cfg(feature = "blocks-off")]
+    let postings = ["term_index", "entity_index"];
     assert_eq!(
         names,
         vec![
@@ -42,8 +48,8 @@ fn layout_maps_the_whole_file() {
             "web",
             "truth",
             "corpus",
-            "term_index",
-            "entity_index",
+            postings[0],
+            postings[1],
             "file_crc"
         ]
     );
@@ -104,11 +110,29 @@ fn bit_flip_in_version_is_version_mismatch() {
 
 #[test]
 fn bit_flip_in_flags_is_unsupported_flags() {
-    let mut damaged = snapshot().clone();
+    // Flipping an *unknown* flag bit is a compatibility refusal that
+    // reports the resulting flag word (pristine flags are no longer 0 in
+    // the default build, so compute the expectation from the file).
+    let bytes = snapshot();
+    let want = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) ^ 0x04;
+    let mut damaged = bytes.clone();
     damaged[12] ^= 0x04;
+    match from_bytes(&damaged) {
+        Err(StoreError::UnsupportedFlags { flags }) => assert_eq!(flags, want),
+        other => panic!("expected UnsupportedFlags, got {other:?}"),
+    }
+}
+
+#[test]
+fn bit_flip_in_known_flag_is_header_checksum() {
+    // Flipping a *defined* flag bit passes the compatibility gate (the
+    // result is still a known combination) and is then caught as header
+    // damage by the CRC.
+    let mut damaged = snapshot().clone();
+    damaged[12] ^= 0x01;
     assert!(matches!(
         from_bytes(&damaged),
-        Err(StoreError::UnsupportedFlags { flags: 4 })
+        Err(StoreError::ChecksumMismatch { section: "header" })
     ));
 }
 
@@ -186,40 +210,30 @@ fn truncation_at_every_boundary_is_truncated() {
     }
 }
 
-/// A consistent rewrite — payload tampered *and* every checksum fixed up —
-/// defeats the envelope, so the structural validators must catch it as
-/// `Corrupt`. This re-signs a damaged `corpus` section (an out-of-range
-/// document tag) with valid CRCs.
-#[test]
-fn checksum_valid_structural_damage_is_corrupt() {
+/// Re-signs a tampered section so the whole envelope verifies again:
+/// section CRC in the table entry, table CRC, whole-file CRC. The
+/// consistent-rewrite attacks below use this to get past every checksum
+/// and prove the *structural* validators still refuse the file.
+fn resign_section(damaged: &mut [u8], section_name: &str) {
     use rightcrowd_store::crc64;
+    let infos = layout(damaged).unwrap();
+    let target = *infos.iter().find(|i| i.name == section_name).unwrap();
+    let table = *infos.iter().find(|i| i.name == "table").unwrap();
 
-    let bytes = snapshot();
-    let infos = layout(bytes).unwrap();
-    let corpus = infos.iter().find(|i| i.name == "corpus").unwrap();
-    let table = infos.iter().find(|i| i.name == "table").unwrap();
-
-    let mut damaged = bytes.clone();
-    // The corpus payload starts with dropped(u64) + count(u64) + first
-    // document entry (tag u8 + id u32). Forge an invalid tag.
-    let tag_at = corpus.offset + 16;
-    damaged[tag_at] = 9;
-
-    // Re-sign: section crc lives in this section's table entry
+    // Section crc lives in this section's table entry
     // (kind u32 | len u64 | crc u64); find the entry by scanning kinds.
-    let section_crc = crc64(&damaged[corpus.offset..corpus.offset + corpus.len]);
-    let entries_start = table.offset;
+    let section_crc = crc64(&damaged[target.offset..target.offset + target.len]);
     let entry_count = (table.len - 8) / 20;
     let mut fixed = false;
     for i in 0..entry_count {
-        let at = entries_start + i * 20;
+        let at = table.offset + i * 20;
         let kind = u32::from_le_bytes(damaged[at..at + 4].try_into().unwrap());
-        if kind == corpus.kind {
+        if kind == target.kind {
             damaged[at + 12..at + 20].copy_from_slice(&section_crc.to_le_bytes());
             fixed = true;
         }
     }
-    assert!(fixed, "corpus table entry not found");
+    assert!(fixed, "table entry for `{section_name}` not found");
     // Re-sign the table crc (last 8 bytes of the table region)…
     let table_crc = crc64(&damaged[table.offset..table.offset + table.len - 8]);
     let tc_at = table.offset + table.len - 8;
@@ -228,10 +242,72 @@ fn checksum_valid_structural_damage_is_corrupt() {
     let end = damaged.len() - 8;
     let file_crc = crc64(&damaged[..end]);
     damaged[end..].copy_from_slice(&file_crc.to_le_bytes());
+}
+
+/// A consistent rewrite — payload tampered *and* every checksum fixed up —
+/// defeats the envelope, so the structural validators must catch it as
+/// `Corrupt`. The default layout wraps every section with a packing tag,
+/// so the first forgeable structural byte is the tag itself; the
+/// `blocks-off` legacy layout exposes the corpus document tags directly.
+#[test]
+fn checksum_valid_structural_damage_is_corrupt() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let corpus = infos.iter().find(|i| i.name == "corpus").unwrap();
+
+    let mut damaged = bytes.clone();
+    #[cfg(not(feature = "blocks-off"))]
+    let (forge_at, needle) = (corpus.offset, "packing tag");
+    // Legacy payload: dropped(u64) + count(u64) + first document entry
+    // (tag u8 + id u32). Forge an invalid document tag.
+    #[cfg(feature = "blocks-off")]
+    let (forge_at, needle) = (corpus.offset + 16, "document tag");
+    damaged[forge_at] = 9;
+    resign_section(&mut damaged, "corpus");
 
     match from_bytes(&damaged) {
         Err(StoreError::Corrupt(msg)) => {
-            assert!(msg.contains("document tag"), "unexpected corruption report: {msg}");
+            assert!(msg.contains(needle), "unexpected corruption report: {msg}");
+        }
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+}
+
+/// Consistent rewrite of *block metadata*: forge a term block's recorded
+/// `last_doc` inside the term_blocks section (re-signing every CRC), and
+/// the delta-decode cross-check must refuse the postings.
+#[cfg(not(feature = "blocks-off"))]
+#[test]
+fn checksum_valid_block_metadata_damage_is_corrupt() {
+    let bytes = snapshot();
+    let infos = layout(bytes).unwrap();
+    let tb = infos.iter().find(|i| i.name == "term_blocks").unwrap();
+
+    // Walk the wire layout to the last_doc array. Postings sections are
+    // wrapped raw, so the payload starts one tag byte in:
+    //   n_vocab u64, n_vocab × (len u64 + bytes), irf len u64 + 8·len,
+    //   block_offsets len u64 + 4·len, last_doc len u64 + 4·len, …
+    let payload = &bytes[tb.offset + 1..tb.offset + tb.len];
+    let u64_at = |at: usize| u64::from_le_bytes(payload[at..at + 8].try_into().unwrap()) as usize;
+    let mut at = 0usize;
+    let n_vocab = u64_at(at);
+    at += 8;
+    for _ in 0..n_vocab {
+        at += 8 + u64_at(at);
+    }
+    at += 8 + 8 * u64_at(at); // irf
+    at += 8 + 4 * u64_at(at); // block_offsets
+    let n_blocks = u64_at(at);
+    assert!(n_blocks > 0, "tiny snapshot should have at least one term block");
+    let last_doc_at = tb.offset + 1 + at + 8; // first last_doc entry on disk
+
+    let mut damaged = bytes.clone();
+    damaged[last_doc_at] ^= 0x01;
+    resign_section(&mut damaged, "term_blocks");
+
+    match from_bytes(&damaged) {
+        Err(StoreError::Corrupt(msg)) => {
+            assert!(msg.contains("last doc"), "unexpected corruption report: {msg}");
         }
         other => panic!("expected Corrupt, got {other:?}"),
     }

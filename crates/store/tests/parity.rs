@@ -88,6 +88,77 @@ fn second_save_of_loaded_state_is_byte_identical() {
 }
 
 #[test]
+fn legacy_flags0_snapshot_still_loads_with_identical_ranking() {
+    // A pre-blocks (flags-0, flat-CSR) snapshot must keep loading — and
+    // rank exactly like the current layout of the same study.
+    let cfg = DatasetConfig::tiny();
+    let ds = SyntheticDataset::generate(&cfg);
+    let corpus = AnalyzedCorpus::build(&ds);
+
+    let legacy = rightcrowd_store::to_bytes_legacy(&ds, &corpus);
+    let current = to_bytes(&ds, &corpus);
+    let (legacy_ds, legacy_corpus) = from_bytes(&legacy).expect("legacy layout must load");
+    let (current_ds, current_corpus) = from_bytes(&current).expect("current layout must load");
+    assert_eq!(legacy_corpus.index(), current_corpus.index());
+
+    let config = FinderConfig::default();
+    let a = ExpertFinder::with_corpus(&legacy_ds, legacy_corpus, &config);
+    let b = ExpertFinder::with_corpus(&current_ds, current_corpus, &config);
+    for need in ds.queries() {
+        let (ra, rb) = (a.rank(need), b.rank(need));
+        assert_eq!(ra.len(), rb.len(), "query {:?}", need.text);
+        for (x, y) in ra.iter().zip(&rb) {
+            assert_eq!(x.person, y.person, "query {:?}", need.text);
+            assert_eq!(x.score.to_bits(), y.score.to_bits(), "query {:?}", need.text);
+        }
+    }
+}
+
+#[cfg(not(feature = "blocks-off"))]
+#[test]
+fn block_snapshot_is_smaller_than_legacy() {
+    let cfg = DatasetConfig::tiny();
+    let ds = SyntheticDataset::generate(&cfg);
+    let corpus = AnalyzedCorpus::build(&ds);
+    let legacy = rightcrowd_store::to_bytes_legacy(&ds, &corpus);
+    let current = to_bytes(&ds, &corpus);
+    assert!(
+        current.len() < legacy.len(),
+        "block+packed layout ({}) should undercut the legacy layout ({})",
+        current.len(),
+        legacy.len()
+    );
+}
+
+/// `snapshot_bytes_read` is CUMULATIVE across loads in a process — it
+/// answers "how many container bytes has this process read and verified",
+/// not "how large was the last snapshot". Loading the same container
+/// twice therefore grows the counter by (at least, under concurrent
+/// tests) the container size each time.
+#[cfg(not(feature = "obs-off"))]
+#[test]
+fn snapshot_bytes_read_accumulates_across_loads() {
+    use rightcrowd_obs::CounterId;
+
+    let cfg = DatasetConfig::tiny();
+    let ds = SyntheticDataset::generate(&cfg);
+    let corpus = AnalyzedCorpus::build(&ds);
+    let bytes = to_bytes(&ds, &corpus);
+
+    let before = rightcrowd_obs::counter::get(CounterId::SnapshotBytesRead);
+    from_bytes(&bytes).expect("first load");
+    let after_one = rightcrowd_obs::counter::get(CounterId::SnapshotBytesRead);
+    from_bytes(&bytes).expect("second load");
+    let after_two = rightcrowd_obs::counter::get(CounterId::SnapshotBytesRead);
+
+    // ≥ rather than ==: the counter is process-global and other tests in
+    // this binary may load snapshots concurrently.
+    let len = bytes.len() as u64;
+    assert!(after_one >= before + len, "{after_one} vs {before} + {len}");
+    assert!(after_two >= after_one + len, "{after_two} vs {after_one} + {len}");
+}
+
+#[test]
 fn save_load_through_the_filesystem() {
     let cfg = DatasetConfig::tiny();
     let ds = SyntheticDataset::generate(&cfg);

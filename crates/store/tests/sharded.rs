@@ -72,7 +72,11 @@ fn tamper_shard_table(dir: &Path, tamper: impl FnOnce(&mut [u8])) {
     let path = manifest_path(dir);
     let mut manifest = std::fs::read(&path).unwrap();
     let (offset, len) = shard_table_region(&manifest);
-    tamper(&mut manifest[offset..offset + len]);
+    // Packed manifests wrap each section with a one-byte packing tag (the
+    // shard table itself rides raw); aim past it at the actual payload.
+    let flags = u32::from_le_bytes(manifest[12..16].try_into().unwrap());
+    let skip = usize::from(flags & rightcrowd_store::FLAG_PACKED_SECTIONS != 0);
+    tamper(&mut manifest[offset + skip..offset + len]);
     resign(&mut manifest, &MANIFEST_MAGIC);
     std::fs::write(&path, &manifest).unwrap();
 }
