@@ -13,7 +13,9 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- metrics --trace
 //! cargo run --release -p rightcrowd-bench --bin rc -- regress BENCH_small.json target/BENCH_small.json
 //! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --top 3
-//! cargo run --release -p rightcrowd-bench --bin rc -- flight --slowest 10
+//! cargo run --release -p rightcrowd-bench --bin rc -- flight --slowest 10 --capacity 1024
+//! cargo run --release -p rightcrowd-bench --bin rc -- soak --out target/perf --duration 30s --watch
+//! cargo run --release -p rightcrowd-bench --bin rc -- expose --out metrics.openmetrics --check metrics.openmetrics
 //! cargo run --release -p rightcrowd-bench --bin rc -- trace --chrome trace.chrome.json --check trace.chrome.json
 //! ```
 
@@ -280,12 +282,21 @@ fn main() {
                 );
             }
         }
-        Command::Flight { slowest, platforms, distance, snapshot } => {
+        Command::Flight { slowest, capacity, platforms, distance, snapshot } => {
             let bench = prepare_or_exit(snapshot.as_deref());
             let ctx = bench.ctx();
             let config = FinderConfig::default()
                 .with_platforms(platforms)
                 .with_distance(distance);
+            if let Some(n) = capacity {
+                // Swap in a fresh ring of the requested size before the
+                // run (drops anything previously recorded).
+                rightcrowd_obs::set_flight_capacity(n);
+                eprintln!(
+                    "[flight] ring capacity {}",
+                    rightcrowd_obs::flight::flight_capacity()
+                );
+            }
             rightcrowd_obs::flight::reset_flight();
             rightcrowd_obs::flight::set_flight_enabled(true);
             let outcome = ctx.run(&config);
@@ -308,6 +319,93 @@ fn main() {
             let names: Vec<&str> =
                 bench.ds.candidates().iter().map(|p| p.name.as_str()).collect();
             print!("{}", explain_fmt::render_flight(&summary, &records, &names));
+        }
+        Command::Soak { out, snapshot, duration_ms, queries, threads, tick_ms, watch } => {
+            let bench = prepare_or_exit(snapshot.as_deref());
+            let opts = rightcrowd_bench::soak::SoakOptions {
+                duration: std::time::Duration::from_millis(duration_ms),
+                query_budget: queries,
+                max_threads: threads,
+                tick: std::time::Duration::from_millis(tick_ms),
+                watch,
+                ..Default::default()
+            };
+            let report = rightcrowd_bench::soak::SoakReport::run(&bench, &opts);
+            for phase in &report.phases {
+                println!(
+                    "t{} {:<13} {:>8.0} qps  p50 {:>7.3} ms  p99 {:>7.3} ms  ({} queries in {:.1}s)",
+                    phase.threads,
+                    if phase.telemetry { "telemetry-on" } else { "telemetry-off" },
+                    phase.qps,
+                    phase.p50_ms,
+                    phase.p99_ms,
+                    phase.queries,
+                    phase.elapsed_s,
+                );
+            }
+            println!(
+                "telemetry overhead {:.2}% (budget {:.0}%); wide events {} seen / {} retained{}",
+                report.telemetry_overhead_frac * 100.0,
+                regress::OBS_OVERHEAD_MAX * 100.0,
+                report.events_seen,
+                report.events_retained,
+                report
+                    .rss_peak_bytes
+                    .map_or(String::new(), |b| format!("; peak RSS {:.1} MiB", b as f64 / (1 << 20) as f64)),
+            );
+            match report.write_to(&out) {
+                Ok(paths) => {
+                    for path in paths {
+                        println!("wrote {}", path.display());
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::Expose { out, check } => {
+            if let Some(path) = &out {
+                // Run the workload once so the registry holds a real
+                // serving profile, then expose it.
+                let bench = Bench::prepare();
+                let ctx = bench.ctx();
+                let outcome = ctx.run(&FinderConfig::default());
+                eprintln!(
+                    "[expose] workload MAP {:.3} over {} queries",
+                    outcome.mean.map,
+                    outcome.per_query.len()
+                );
+                let text = rightcrowd_obs::openmetrics_live(&rightcrowd_bench::soak::build_info());
+                if let Err(e) = rightcrowd_obs::validate_openmetrics(&text) {
+                    eprintln!("error: live exposition failed validation: {e}");
+                    std::process::exit(1);
+                }
+                if let Err(e) = std::fs::write(path, &text) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+                println!("wrote {}", path.display());
+            }
+            if let Some(path) = &check {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("error: cannot read {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                };
+                match rightcrowd_obs::validate_openmetrics(&text) {
+                    Ok(samples) => {
+                        println!("ok: {} valid samples in {}", samples, path.display())
+                    }
+                    Err(e) => {
+                        eprintln!("error: {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
         }
         Command::Trace { chrome, check, platforms, distance } => {
             if let Some(out_path) = &chrome {

@@ -97,12 +97,15 @@ pub enum Command {
         /// build + cache when the file is absent).
         snapshot: Option<std::path::PathBuf>,
     },
-    /// `rc flight [--slowest K] [--platform P] [--distance D]` — run the
-    /// workload with the flight recorder on and print the retained
-    /// records (all of them, or the K slowest).
+    /// `rc flight [--slowest K] [--capacity N] [--platform P]
+    /// [--distance D]` — run the workload with the flight recorder on and
+    /// print the retained records (all of them, or the K slowest).
     Flight {
         /// Print only the K slowest retained records.
         slowest: Option<usize>,
+        /// Replace the global recorder with an N-record ring before the
+        /// run (default 256).
+        capacity: Option<usize>,
         /// Platform restriction.
         platforms: PlatformMask,
         /// Distance cap.
@@ -110,6 +113,38 @@ pub enum Command {
         /// Serve from this store container instead of rebuilding (cold
         /// build + cache when the file is absent).
         snapshot: Option<std::path::PathBuf>,
+    },
+    /// `rc soak [--out DIR] [--snapshot PATH] [--duration 30s]
+    /// [--queries N] [--threads N] [--tick-ms MS] [--watch]` — the
+    /// closed-loop load harness: a telemetry-on thread ladder plus a
+    /// telemetry-off baseline, writing `SOAK_<scale>.json` (per-tick
+    /// series), the wide-event query log, a validated OpenMetrics
+    /// exposition, and merging the headline keys into
+    /// `BENCH_<scale>.json`.
+    Soak {
+        /// Directory the artifacts are written into.
+        out: std::path::PathBuf,
+        /// Serve from this store container instead of rebuilding.
+        snapshot: Option<std::path::PathBuf>,
+        /// Wall-clock length of each measured phase (ms).
+        duration_ms: u64,
+        /// Stop each phase early after this many queries.
+        queries: Option<u64>,
+        /// Cap the thread ladder (default rungs 1/2/4/8).
+        threads: Option<usize>,
+        /// Sampler tick: one series row per this many ms.
+        tick_ms: u64,
+        /// Print a live status line per tick.
+        watch: bool,
+    },
+    /// `rc expose [--out FILE] [--check FILE]` — run the workload and
+    /// write the live metric registry as OpenMetrics text, and/or
+    /// validate an exposition file.
+    Expose {
+        /// Write the OpenMetrics exposition here.
+        out: Option<std::path::PathBuf>,
+        /// Validate this exposition file instead of — or after — writing.
+        check: Option<std::path::PathBuf>,
     },
     /// `rc trace [--chrome OUT.json] [--check FILE.json]` — run the
     /// workload and export spans + flight records as Chrome trace-event
@@ -180,12 +215,25 @@ USAGE:
   rc bench [--out DIR] [--snapshot PATH] [--shards N]
   rc save --snapshot PATH [--shards N] [--threads N]
   rc load --snapshot PATH [--threads N]
-  rc flight [--slowest K] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc flight [--slowest K] [--capacity N] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
+  rc soak [--out DIR] [--snapshot PATH] [--duration 30s] [--queries N] [--threads N]
+          [--tick-ms MS] [--watch]
+  rc expose [--out FILE.openmetrics] [--check FILE.openmetrics]
   rc trace [--chrome OUT.json] [--check FILE.json]
   rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
   rc regress <baseline.json> <current.json> [--threshold F] [--warn-only] [--snapshot FILE.rcs]
   rc stats
   rc help
+
+SOAK (closed-loop load):
+  rc soak runs N worker threads over one shared corpus with a Zipf-skewed
+  query mix, walking a 1/2/4/8 thread ladder (capped by --threads) plus a
+  telemetry-off baseline. It writes SOAK_<scale>.json (per-tick series),
+  SOAK_<scale>.events.jsonl (the tail-sampled wide-event query log) and
+  SOAK_<scale>.openmetrics (validated exposition) into --out, and merges
+  qps_t{1,2,4,8}, p50/p99_under_load_t{N}_ms, soak_telemetry_overhead_frac
+  and rss_peak_bytes into BENCH_<scale>.json for `rc regress` to gate.
+  --duration accepts 500ms / 30s / 2m / plain seconds.
 
 SNAPSHOTS (build once, query many):
   --snapshot PATH points at a rightcrowd-store container: a monolithic
@@ -223,6 +271,28 @@ fn parse_distance(value: &str) -> Result<Distance, ParseError> {
         .ok_or_else(|| ParseError(format!("invalid distance {value:?} (use 0, 1 or 2)")))
 }
 
+/// Parses a human duration into milliseconds: `500ms`, `30s`, `2m`, or a
+/// bare number of seconds. Zero is rejected — a zero-length soak phase
+/// measures nothing.
+fn parse_duration_ms(value: &str) -> Result<u64, ParseError> {
+    let bad = || ParseError(format!("invalid duration {value:?} (use e.g. 500ms, 30s, 2m)"));
+    let (digits, unit_ms) = if let Some(n) = value.strip_suffix("ms") {
+        (n, 1u64)
+    } else if let Some(n) = value.strip_suffix('s') {
+        (n, 1_000)
+    } else if let Some(n) = value.strip_suffix('m') {
+        (n, 60_000)
+    } else {
+        (value, 1_000)
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    let ms = n.checked_mul(unit_ms).ok_or_else(bad)?;
+    if ms == 0 {
+        return Err(ParseError("duration must be positive".into()));
+    }
+    Ok(ms)
+}
+
 /// Parses `rc` arguments (without the program name).
 pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut iter = args.iter();
@@ -246,6 +316,12 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut snapshot: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut out_given = false;
+    let mut duration_ms = 30_000u64;
+    let mut queries: Option<u64> = None;
+    let mut tick_ms = 1_000u64;
+    let mut watch = false;
+    let mut capacity: Option<usize> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -337,8 +413,52 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             }
             "--out" => {
                 let value =
-                    iter.next().ok_or_else(|| ParseError("--out needs a directory".into()))?;
+                    iter.next().ok_or_else(|| ParseError("--out needs a path".into()))?;
                 out = std::path::PathBuf::from(value);
+                out_given = true;
+            }
+            "--duration" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--duration needs a value (e.g. 30s)".into()))?;
+                duration_ms = parse_duration_ms(value)?;
+            }
+            "--queries" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--queries needs a number".into()))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --queries value {value:?}")))?;
+                if n == 0 {
+                    return Err(ParseError("--queries must be at least 1".into()));
+                }
+                queries = Some(n);
+            }
+            "--tick-ms" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--tick-ms needs a number".into()))?;
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --tick-ms value {value:?}")))?;
+                if n == 0 {
+                    return Err(ParseError("--tick-ms must be at least 1".into()));
+                }
+                tick_ms = n;
+            }
+            "--watch" => watch = true,
+            "--capacity" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--capacity needs a number".into()))?;
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --capacity value {value:?}")))?;
+                if n == 0 {
+                    return Err(ParseError("--capacity must be at least 1".into()));
+                }
+                capacity = Some(n);
             }
             "--top" => {
                 let value = iter.next().ok_or_else(|| ParseError("--top needs a number".into()))?;
@@ -403,7 +523,25 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 snapshot,
             }
         }
-        "flight" => Command::Flight { slowest, platforms, distance, snapshot },
+        "flight" => Command::Flight { slowest, capacity, platforms, distance, snapshot },
+        "soak" => Command::Soak {
+            out,
+            snapshot,
+            duration_ms,
+            queries,
+            threads,
+            tick_ms,
+            watch,
+        },
+        "expose" => {
+            if !out_given && check.is_none() {
+                return Err(ParseError(
+                    "expose needs --out <file.openmetrics> and/or --check <file.openmetrics>"
+                        .into(),
+                ));
+            }
+            Command::Expose { out: out_given.then_some(out), check }
+        }
         "trace" => {
             if chrome.is_none() && check.is_none() {
                 return Err(ParseError(
@@ -604,15 +742,20 @@ mod tests {
             cmd(&["flight"]),
             Command::Flight {
                 slowest: None,
+                capacity: None,
                 platforms: PlatformMask::ALL,
                 distance: Distance::D2,
                 snapshot: None,
             }
         );
         assert_eq!(
-            cmd(&["flight", "--slowest", "5", "--platform", "fb", "--snapshot", "c.rcs"]),
+            cmd(&[
+                "flight", "--slowest", "5", "--capacity", "1024", "--platform", "fb",
+                "--snapshot", "c.rcs"
+            ]),
             Command::Flight {
                 slowest: Some(5),
+                capacity: Some(1024),
                 platforms: PlatformMask::only(Platform::Facebook),
                 distance: Distance::D2,
                 snapshot: Some(std::path::PathBuf::from("c.rcs")),
@@ -620,6 +763,79 @@ mod tests {
         );
         assert!(parse(&args(&["flight", "--slowest", "0"])).is_err());
         assert!(parse(&args(&["flight", "--slowest", "many"])).is_err());
+        assert!(parse(&args(&["flight", "--capacity", "0"])).is_err());
+        assert!(parse(&args(&["flight", "--capacity", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_soak() {
+        assert_eq!(
+            cmd(&["soak"]),
+            Command::Soak {
+                out: std::path::PathBuf::from("."),
+                snapshot: None,
+                duration_ms: 30_000,
+                queries: None,
+                threads: None,
+                tick_ms: 1_000,
+                watch: false,
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "soak", "--out", "target/perf", "--snapshot", "corpus.shards", "--duration",
+                "5s", "--queries", "1000", "--threads", "2", "--tick-ms", "250", "--watch"
+            ]),
+            Command::Soak {
+                out: std::path::PathBuf::from("target/perf"),
+                snapshot: Some(std::path::PathBuf::from("corpus.shards")),
+                duration_ms: 5_000,
+                queries: Some(1_000),
+                threads: Some(2),
+                tick_ms: 250,
+                watch: true,
+            }
+        );
+        assert!(parse(&args(&["soak", "--duration", "0s"])).is_err());
+        assert!(parse(&args(&["soak", "--queries", "0"])).is_err());
+        assert!(parse(&args(&["soak", "--tick-ms", "0"])).is_err());
+        assert!(parse(&args(&["soak", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_durations() {
+        assert_eq!(parse_duration_ms("500ms").unwrap(), 500);
+        assert_eq!(parse_duration_ms("30s").unwrap(), 30_000);
+        assert_eq!(parse_duration_ms("2m").unwrap(), 120_000);
+        assert_eq!(parse_duration_ms("7").unwrap(), 7_000);
+        assert!(parse_duration_ms("0").is_err());
+        assert!(parse_duration_ms("0ms").is_err());
+        assert!(parse_duration_ms("-5s").is_err());
+        assert!(parse_duration_ms("5h").is_err());
+        assert!(parse_duration_ms("fast").is_err());
+        assert!(parse_duration_ms("").is_err());
+    }
+
+    #[test]
+    fn parses_expose() {
+        assert_eq!(
+            cmd(&["expose", "--out", "metrics.om"]),
+            Command::Expose { out: Some(std::path::PathBuf::from("metrics.om")), check: None }
+        );
+        assert_eq!(
+            cmd(&["expose", "--check", "metrics.om"]),
+            Command::Expose { out: None, check: Some(std::path::PathBuf::from("metrics.om")) }
+        );
+        assert_eq!(
+            cmd(&["expose", "--out", "a.om", "--check", "a.om"]),
+            Command::Expose {
+                out: Some(std::path::PathBuf::from("a.om")),
+                check: Some(std::path::PathBuf::from("a.om")),
+            }
+        );
+        // Neither output nor validation target: nothing to do.
+        assert!(parse(&args(&["expose"])).is_err());
+        assert!(parse(&args(&["expose", "--out"])).is_err());
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod paper;
 pub mod regress;
 pub mod report;
 pub mod runner;
+pub mod soak;
 pub mod table;
 
 pub use report::BenchReport;

@@ -43,6 +43,95 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Inserts (or replaces) an object member; no-op on other variants.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(m) = self {
+            m.insert(key.to_owned(), value);
+        }
+    }
+
+    /// Pretty-prints the value as a JSON document (2-space indent,
+    /// alphabetical object keys — `BTreeMap` order — and a trailing
+    /// newline). Round-trips through [`parse_json`]; `rc soak` uses this
+    /// to merge its keys into an existing `BENCH_<scale>.json`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = |out: &mut String, depth: usize| {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                // Integral values print without a fractional part so
+                // counters survive a parse → render round trip verbatim.
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => render_json_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, depth + 1);
+                    item.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    pad(out, depth + 1);
+                    render_json_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, depth + 1);
+                }
+                out.push('\n');
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends `s` as a quoted JSON string with the required escapes.
+fn render_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// A parse failure with byte offset and message.
@@ -274,6 +363,26 @@ pub const LATENCY_KEYS: &[&str] = &[
 /// `manifest_bytes` keep the block-compression win from silently eroding.
 pub const SIZE_KEYS: &[&str] = &["snapshot_bytes", "postings_bytes", "manifest_bytes"];
 
+/// The under-load latency keys written by `rc soak`: closed-loop p50/p99
+/// at each rung of the thread ladder. Gated like [`LATENCY_KEYS`] but
+/// with a larger absolute slack — a saturated 8-thread run jitters far
+/// more than the sequential bench loop.
+pub const UNDER_LOAD_LATENCY_KEYS: &[&str] = &[
+    "p50_under_load_t1_ms",
+    "p50_under_load_t2_ms",
+    "p50_under_load_t4_ms",
+    "p50_under_load_t8_ms",
+    "p99_under_load_t1_ms",
+    "p99_under_load_t2_ms",
+    "p99_under_load_t4_ms",
+    "p99_under_load_t8_ms",
+];
+
+/// The soak throughput keys, gated in the *opposite* direction of the
+/// latency keys: a regression is the current run delivering fewer
+/// queries per second than the baseline.
+pub const THROUGHPUT_KEYS: &[&str] = &["qps_t1", "qps_t2", "qps_t4", "qps_t8"];
+
 /// Sub-millisecond latencies jitter hard between runs; a delta is only a
 /// regression when it also exceeds this absolute slack (ms).
 const ABS_SLACK_MS: f64 = 0.05;
@@ -282,6 +391,23 @@ const ABS_SLACK_MS: f64 = 0.05;
 /// corpus-statistics drift (varint-free fixed-width encoding keeps this
 /// rare) is forgiven below this absolute slack (bytes).
 const ABS_SLACK_BYTES: f64 = 1024.0;
+
+/// Under-load latencies jitter with scheduler preemption at saturation;
+/// a delta only regresses past this absolute slack (ms).
+const ABS_SLACK_UNDER_LOAD_MS: f64 = 0.5;
+
+/// A throughput drop only regresses when it also exceeds this many
+/// queries per second (tiny ladders at tiny scales are all noise).
+const ABS_SLACK_QPS: f64 = 25.0;
+
+/// Peak RSS moves with allocator arena behaviour and thread count; drift
+/// below this absolute slack (bytes) is forgiven.
+const ABS_SLACK_RSS_BYTES: f64 = 32.0 * 1024.0 * 1024.0;
+
+/// The telemetry-overhead invariant from the soak harness: a
+/// telemetry-on closed loop must deliver within this fraction of the
+/// telemetry-off throughput on the same corpus (ISSUE 7's ≤3% budget).
+pub const OBS_OVERHEAD_MAX: f64 = 0.03;
 
 /// Admission ratios are noisy across machines but should be stable for
 /// the same corpus seed; drift beyond this absolute slack (in ratio
@@ -444,6 +570,38 @@ pub fn sharded_speedup_checks(baseline: &Json, current: &Json) -> Vec<CounterChe
     checks
 }
 
+/// The telemetry-overhead invariant, checked per snapshot that records
+/// `soak_telemetry_overhead_frac` (written by `rc soak`): the measured
+/// throughput cost of running with live telemetry — window sampler,
+/// latency histogram, wide-event log — must stay within
+/// [`OBS_OVERHEAD_MAX`] of the telemetry-off closed loop. This is an
+/// absolute bound, not a baseline-relative one: each snapshot certifies
+/// its own measurement. Snapshots that predate the soak harness skip
+/// the check, like missing latency keys.
+pub fn soak_overhead_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
+    let mut checks = Vec::new();
+    for (label, snap) in [("baseline", baseline), ("current", current)] {
+        let Some(frac) = snap.get("soak_telemetry_overhead_frac").and_then(Json::as_f64)
+        else {
+            continue;
+        };
+        checks.push(CounterCheck {
+            name: "soak_telemetry_overhead",
+            detail: format!(
+                "{label}: telemetry-on soak {:.1}% slower than telemetry-off (budget {:.0}%)",
+                frac * 100.0,
+                OBS_OVERHEAD_MAX * 100.0
+            ),
+            // Written so NaN (incomparable) fails rather than passes.
+            failed: !matches!(
+                frac.partial_cmp(&OBS_OVERHEAD_MAX),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            ),
+        });
+    }
+    checks
+}
+
 /// One compared key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KeyDelta {
@@ -504,6 +662,29 @@ impl RegressReport {
             let regressed = ratio > key_threshold && (c - b) > ABS_SLACK_MS;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
+        for &key in UNDER_LOAD_LATENCY_KEYS {
+            let (Some(b), Some(c)) = (
+                baseline.get(key).and_then(Json::as_f64),
+                current.get(key).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            let ratio = if b > 0.0 { (c - b) / b } else { 0.0 };
+            let regressed = ratio > threshold && (c - b) > ABS_SLACK_UNDER_LOAD_MS;
+            deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
+        }
+        for &key in THROUGHPUT_KEYS {
+            let (Some(b), Some(c)) = (
+                baseline.get(key).and_then(Json::as_f64),
+                current.get(key).and_then(Json::as_f64),
+            ) else {
+                continue;
+            };
+            // Reversed direction: lower throughput is the regression.
+            let ratio = if b > 0.0 { (c - b) / b } else { 0.0 };
+            let regressed = -ratio > threshold && (b - c) > ABS_SLACK_QPS;
+            deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
+        }
         for &key in SIZE_KEYS {
             let (Some(b), Some(c)) = (
                 baseline.get(key).and_then(Json::as_f64),
@@ -515,8 +696,17 @@ impl RegressReport {
             let regressed = ratio > threshold && (c - b) > ABS_SLACK_BYTES;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
+        if let (Some(b), Some(c)) = (
+            baseline.get("rss_peak_bytes").and_then(Json::as_f64),
+            current.get("rss_peak_bytes").and_then(Json::as_f64),
+        ) {
+            let ratio = if b > 0.0 { (c - b) / b } else { 0.0 };
+            let regressed = ratio > threshold && (c - b) > ABS_SLACK_RSS_BYTES;
+            deltas.push(KeyDelta { key: "rss_peak_bytes", baseline: b, current: c, ratio, regressed });
+        }
         let mut counters = counter_checks(baseline, current);
         counters.extend(sharded_speedup_checks(baseline, current));
+        counters.extend(soak_overhead_checks(baseline, current));
         let mut warnings = Vec::new();
         if small_shards {
             warnings.push(
@@ -702,6 +892,8 @@ mod tests {
             alpha_sweep_factored_ms: 60.0,
             alpha_sweep_speedup: 5.0,
             flight: rightcrowd_obs::FlightSummary::default(),
+            rss_peak_bytes: Some(64 << 20),
+            build_metrics: rightcrowd_obs::snapshot(),
             metrics: rightcrowd_obs::snapshot(),
         };
         let doc = parse_json(&report.to_json()).unwrap();
@@ -809,6 +1001,120 @@ mod tests {
         let r = RegressReport::compare(&partial, &snap(1.0, 2.0), 0.2);
         assert_eq!(r.deltas.len(), 1);
         assert_eq!(r.deltas[0].key, "query_p50_ms");
+    }
+
+    /// A minimal snapshot carrying only soak-harness keys.
+    fn soak_snap(qps_t1: f64, p99_t1: f64, overhead: f64, rss: u64) -> Json {
+        parse_json(&format!(
+            r#"{{"qps_t1": {qps_t1}, "qps_t4": {q4}, "p99_under_load_t1_ms": {p99_t1},
+                "p50_under_load_t1_ms": {p50}, "soak_telemetry_overhead_frac": {overhead},
+                "rss_peak_bytes": {rss}}}"#,
+            q4 = qps_t1 * 3.0,
+            p50 = p99_t1 / 4.0,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn soak_keys_gate_in_both_directions() {
+        let base = soak_snap(2000.0, 4.0, 0.01, 200 << 20);
+        // Unchanged: everything ok, overhead within budget on both sides.
+        let r = RegressReport::compare(&base, &base.clone(), 0.2);
+        assert!(!r.any_regressed());
+        assert!(r.deltas.iter().any(|d| d.key == "qps_t1"));
+        assert!(r.deltas.iter().any(|d| d.key == "p99_under_load_t1_ms"));
+        assert!(r.deltas.iter().any(|d| d.key == "rss_peak_bytes"));
+        assert_eq!(
+            r.counters.iter().filter(|c| c.name == "soak_telemetry_overhead").count(),
+            2
+        );
+
+        // Throughput collapse regresses (reversed direction)…
+        let slow = soak_snap(1200.0, 4.0, 0.01, 200 << 20);
+        let r = RegressReport::compare(&base, &slow, 0.2);
+        assert!(r.deltas.iter().find(|d| d.key == "qps_t1").unwrap().regressed);
+        // …but a throughput *gain* never does, even a huge one.
+        let fast = soak_snap(9000.0, 4.0, 0.01, 200 << 20);
+        assert!(!RegressReport::compare(&base, &fast, 0.2).any_regressed());
+        // A drop inside the absolute qps slack is noise, not a regression.
+        let tiny_base = soak_snap(40.0, 4.0, 0.01, 200 << 20);
+        let tiny_drop = soak_snap(20.0, 4.0, 0.01, 200 << 20);
+        let r = RegressReport::compare(&tiny_base, &tiny_drop, 0.2);
+        assert!(!r.deltas.iter().find(|d| d.key == "qps_t1").unwrap().regressed);
+
+        // Under-load latency regresses past threshold + 0.5 ms slack…
+        let laggy = soak_snap(2000.0, 8.0, 0.01, 200 << 20);
+        let r = RegressReport::compare(&base, &laggy, 0.2);
+        assert!(r.deltas.iter().find(|d| d.key == "p99_under_load_t1_ms").unwrap().regressed);
+        // …while sub-slack jitter passes.
+        let jitter = soak_snap(2000.0, 4.3, 0.01, 200 << 20);
+        assert!(!RegressReport::compare(&base, &jitter, 0.2).any_regressed());
+    }
+
+    #[test]
+    fn rss_peak_gates_with_its_own_slack() {
+        let base = soak_snap(2000.0, 4.0, 0.01, 256 << 20);
+        // +50% and way past 32 MiB: a real footprint regression.
+        let fat = soak_snap(2000.0, 4.0, 0.01, 384 << 20);
+        let r = RegressReport::compare(&base, &fat, 0.2);
+        assert!(r.deltas.iter().find(|d| d.key == "rss_peak_bytes").unwrap().regressed);
+        // +50% of a tiny footprint stays under the absolute slack.
+        let small = soak_snap(2000.0, 4.0, 0.01, 20 << 20);
+        let small_fat = soak_snap(2000.0, 4.0, 0.01, 30 << 20);
+        assert!(!RegressReport::compare(&small, &small_fat, 0.2).any_regressed());
+    }
+
+    #[test]
+    fn telemetry_overhead_past_budget_fails() {
+        let base = soak_snap(2000.0, 4.0, 0.01, 200 << 20);
+        let costly = soak_snap(2000.0, 4.0, 0.08, 200 << 20);
+        let r = RegressReport::compare(&base, &costly, 0.2);
+        assert!(r.any_regressed());
+        let check = r
+            .counters
+            .iter()
+            .find(|c| c.name == "soak_telemetry_overhead" && c.failed)
+            .expect("the current snapshot's overhead check must fail");
+        assert!(check.detail.contains("current"), "{}", check.detail);
+        // NaN must not sneak past the budget comparison.
+        let nan = parse_json(r#"{"soak_telemetry_overhead_frac": 1e999}"#).unwrap();
+        let r = RegressReport::compare(&base, &nan, 0.2);
+        assert!(r.counters.iter().any(|c| c.name == "soak_telemetry_overhead" && c.failed));
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let text = r#"{
+  "arr": [1, 2.5, "x"],
+  "b": true,
+  "empty_arr": [],
+  "empty_obj": {},
+  "nested": {"k": null, "needs\tescape": "a\"b\\c\nd"},
+  "num": 42,
+  "wide": 9007199254740991
+}"#;
+        let doc = parse_json(text).unwrap();
+        let rendered = doc.render();
+        assert_eq!(parse_json(&rendered).unwrap(), doc, "{rendered}");
+        // Integers survive verbatim (no trailing `.0`), floats keep value.
+        assert!(rendered.contains("\"num\": 42"), "{rendered}");
+        assert!(rendered.contains("9007199254740991"), "{rendered}");
+        assert!(rendered.contains("2.5"), "{rendered}");
+        // And a second round trip is a fixed point.
+        assert_eq!(parse_json(&rendered).unwrap().render(), rendered);
+    }
+
+    #[test]
+    fn set_inserts_and_replaces_members() {
+        let mut doc = parse_json(r#"{"a": 1}"#).unwrap();
+        doc.set("b", Json::Num(2.0));
+        doc.set("a", Json::Str("replaced".into()));
+        assert_eq!(doc.get("b").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("a"), Some(&Json::Str("replaced".into())));
+        // No-op on non-objects.
+        let mut arr = Json::Arr(vec![]);
+        arr.set("x", Json::Null);
+        assert_eq!(arr, Json::Arr(vec![]));
     }
 
     /// A minimal snapshot carrying only the traversal counters.

@@ -106,13 +106,24 @@ pub struct BenchReport {
     /// measures latency *with* flight recording enabled, so the snapshot
     /// certifies the recorder's overhead stays inside the latency budget.
     pub flight: rightcrowd_obs::FlightSummary,
-    /// Counters, histograms and span timings accumulated over the run
-    /// (corpus build included — the bench does not reset the registry).
+    /// Peak resident set size at the end of the measurement (`VmHWM`
+    /// from `/proc/self/status`); `None` off Linux.
+    pub rss_peak_bytes: Option<u64>,
+    /// Registry state frozen at the end of the build/store phase
+    /// (dataset generation, corpus analysis, snapshot round trips).
+    /// Counters here are that phase's totals; the registry's counters
+    /// are reset right after this freeze.
+    pub build_metrics: rightcrowd_obs::MetricsSnapshot,
+    /// Registry state at the end of the run. Because the counters were
+    /// reset after the build/store phase, counter values here are
+    /// **query + sweep phase deltas**, not process totals (histograms
+    /// and spans still span the whole run — only counters reset).
     pub metrics: rightcrowd_obs::MetricsSnapshot,
 }
 
 /// The short revision of the repository containing the working directory.
-fn git_rev() -> String {
+/// Shared with `rc soak` / `rc expose` (the OpenMetrics `build_info`).
+pub(crate) fn git_rev() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
         .output()
@@ -137,8 +148,9 @@ fn git_dirty() -> bool {
 
 /// Linearly-interpolated percentile over an ascending sample, `p` in
 /// `[0, 1]` (the "linear" / type-7 estimator: rank `p·(n−1)`, interpolating
-/// between the straddling order statistics).
-fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+/// between the straddling order statistics). Shared with `rc soak`'s
+/// under-load percentiles.
+pub(crate) fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     if sorted_ms.is_empty() {
         return 0.0;
     }
@@ -288,6 +300,16 @@ impl BenchReport {
             std::fs::remove_dir_all(&temp_dir).ok();
         }
 
+        // End of the build/store phase: freeze its counter totals, then
+        // reset the counters so the final `metrics` block reports
+        // query + sweep deltas instead of cumulative process totals
+        // (`snapshot_bytes_read` alone accrues LOAD_REPS × (1 + thread
+        // points) container reads above). Histograms and spans are left
+        // accumulating — only counters have the cumulative-vs-delta
+        // ambiguity.
+        let build_metrics = rightcrowd_obs::snapshot();
+        rightcrowd_obs::reset_counters();
+
         let ctx = bench.ctx();
         let config = FinderConfig::default();
         let attribution = ctx.attribution(&config);
@@ -401,8 +423,11 @@ impl BenchReport {
             alpha_sweep_factored_ms: factored_ms,
             alpha_sweep_speedup: if factored_ms > 0.0 { naive_ms / factored_ms } else { 0.0 },
             flight,
-            // The registry is not reset at measure start, so corpus-build
-            // spans and pipeline counters survive into the snapshot.
+            rss_peak_bytes: rightcrowd_obs::rss_peak_bytes(),
+            build_metrics,
+            // Counters were reset after the build/store phase, so this
+            // block's counters are query + sweep deltas; its histograms
+            // and spans still cover the whole run.
             metrics: rightcrowd_obs::snapshot(),
         }
     }
@@ -442,6 +467,8 @@ impl BenchReport {
              \"alpha_sweep_speedup\": {},\n  \"flight\": {{\n    \
              \"recorded\": {},\n    \"retained\": {},\n    \"mean_ms\": {},\n    \
              \"slowest_ms\": {},\n    \"slowest_label\": {}\n  }},\n  \
+             \"rss_peak_bytes\": {},\n  \
+             \"build_metrics\": {},\n  \
              \"metrics\": {}\n}}\n",
             text(&self.scale),
             text(&self.git_rev),
@@ -477,6 +504,8 @@ impl BenchReport {
             num(self.flight.mean_ms),
             num(self.flight.slowest_ms),
             text(&self.flight.slowest_label),
+            self.rss_peak_bytes.map_or("null".to_owned(), |b| b.to_string()),
+            self.build_metrics.to_json(2),
             self.metrics.to_json(2),
         )
     }
@@ -538,6 +567,12 @@ mod tests {
                 slowest_ms: 4.75,
                 slowest_label: "slowest \"query\"".into(),
             },
+            rss_peak_bytes: Some(104_857_600),
+            build_metrics: rightcrowd_obs::MetricsSnapshot {
+                counters: vec![("snapshot_bytes_read", 999_999)],
+                histograms: vec![],
+                spans: vec![],
+            },
             metrics: rightcrowd_obs::MetricsSnapshot {
                 counters: vec![("postings_traversed", 1234)],
                 histograms: vec![],
@@ -580,6 +615,8 @@ mod tests {
             "alpha_sweep_factored_ms",
             "alpha_sweep_speedup",
             "flight",
+            "rss_peak_bytes",
+            "build_metrics",
             "metrics",
         ] {
             assert!(json.contains(&format!("\"{key}\": ")), "missing {key} in {json}");
@@ -607,6 +644,16 @@ mod tests {
         assert!(json.contains(r#""slowest_label": "slowest \"query\"""#));
         // The embedded metrics snapshot keeps its nested shape.
         assert!(json.contains("\"postings_traversed\": 1234"));
+        // rss is an integer byte count; both metrics blocks are present.
+        assert!(json.contains("\"rss_peak_bytes\": 104857600"));
+        assert!(json.contains("\"snapshot_bytes_read\": 999999"));
+    }
+
+    #[test]
+    fn json_renders_missing_rss_as_null() {
+        let mut report = sample();
+        report.rss_peak_bytes = None;
+        assert!(report.to_json().contains("\"rss_peak_bytes\": null"));
     }
 
     #[test]
@@ -670,5 +717,39 @@ mod tests {
         let sorted = [1.0, 2.0];
         assert_eq!(percentile(&sorted, -0.5), 1.0);
         assert_eq!(percentile(&sorted, 1.5), 2.0);
+    }
+
+    /// Pins the per-phase counter semantics: `build_metrics` carries the
+    /// build/store phase totals (≥ LOAD_REPS monolithic container reads
+    /// of `snapshot_bytes` each), and the final `metrics` block carries
+    /// query + sweep *deltas* — in particular zero snapshot reads,
+    /// because nothing loads containers after the reset.
+    #[test]
+    fn measure_reports_per_phase_counter_deltas() {
+        use rightcrowd_obs::CounterId;
+        let ds = rightcrowd_synth::SyntheticDataset::generate(
+            &rightcrowd_synth::DatasetConfig::tiny(),
+        );
+        let corpus = rightcrowd_core::AnalyzedCorpus::build(&ds);
+        let bench = Bench { ds, corpus, generate_ms: 1.0, analyze_ms: 1.0 };
+        let report = BenchReport::measure(&bench);
+        if !rightcrowd_obs::PROBES_ENABLED {
+            return;
+        }
+        let build_read = report.build_metrics.counter(CounterId::SnapshotBytesRead);
+        assert!(
+            build_read >= LOAD_REPS as u64 * report.snapshot_bytes,
+            "build phase must record its container reads: {build_read} < {} × {}",
+            LOAD_REPS,
+            report.snapshot_bytes
+        );
+        assert_eq!(
+            report.metrics.counter(CounterId::SnapshotBytesRead),
+            0,
+            "query/sweep phase loads no containers, so the post-reset delta is zero"
+        );
+        // The query phase's own counters do land in the final block.
+        assert!(report.metrics.counter(CounterId::PostingsTraversed) > 0);
+        assert!(report.metrics.counter(CounterId::QueriesAnalyzed) > 0);
     }
 }

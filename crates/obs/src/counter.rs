@@ -67,8 +67,10 @@ pub enum CounterId {
     /// container) and `store::load_sharded` (manifest only; shard files
     /// count under `ShardBytesRead`). Cumulative across *every* load in
     /// the process: a benchmark that loads the same snapshot `r` times
-    /// reads `r ×` its size, which is why `rc bench` legitimately reports
-    /// far more bytes read than written.
+    /// reads `r ×` its size. Multi-phase measurements that want per-phase
+    /// deltas instead of process totals snapshot and then call
+    /// [`reset_counters`] between phases (as `rc bench` does between its
+    /// store and query phases).
     SnapshotBytesRead,
     /// Shard files decoded + digest-verified by `store::load_sharded`.
     ShardsLoaded,
@@ -105,6 +107,13 @@ impl CounterId {
         CounterId::ShardsLoaded,
         CounterId::ShardBytesRead,
     ];
+
+    /// `true` for level-style counters written with [`set`] (rendered as
+    /// OpenMetrics gauges rather than `_total` counters, and excluded
+    /// from per-interval delta semantics in `obs::timeseries`).
+    pub const fn is_gauge(self) -> bool {
+        matches!(self, CounterId::AttributionShapesResident)
+    }
 
     /// The counter's snake_case name (JSON key and table label).
     pub const fn name(self) -> &'static str {

@@ -1,0 +1,521 @@
+//! Prometheus/OpenMetrics text exposition — hand-rolled and
+//! dependency-free like the JSON in `snapshot.rs`.
+//!
+//! [`openmetrics`] renders a metric set (counters, gauges, histograms,
+//! `build_info`) in the OpenMetrics text format: counters expose a
+//! `_total` sample under a family declared without the suffix,
+//! histograms expose cumulative `_bucket{le="…"}` samples in **seconds**
+//! plus `_sum`/`_count`, and the exposition terminates with `# EOF`.
+//! [`openmetrics_live`] renders the global registry;
+//! [`openmetrics_from_windows`] renders a saved time-series by folding
+//! window deltas back into totals. [`validate_openmetrics`] is the
+//! round-trip parser CI uses to prove the output is well-formed.
+
+use crate::counter::{self, CounterId};
+use crate::hist::{self, bucket_upper_ns, HistId, PlainHistogram, BUCKETS};
+use crate::timeseries::Window;
+
+/// Metric-name prefix for every exposed family.
+const PREFIX: &str = "rightcrowd_";
+
+/// Identity of the running build, exposed as the classic `build_info`
+/// gauge (value 1, identity in labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    /// Git revision (short hash, possibly suffixed `-dirty`), or
+    /// `"unknown"`.
+    pub revision: String,
+    /// Comma-separated active cargo features (e.g. `"obs-off"`), or
+    /// `"default"`.
+    pub features: String,
+}
+
+impl BuildInfo {
+    /// A build-info record from explicit parts.
+    pub fn new(revision: impl Into<String>, features: impl Into<String>) -> Self {
+        let revision = revision.into();
+        let features = features.into();
+        BuildInfo {
+            revision: if revision.is_empty() { "unknown".into() } else { revision },
+            features: if features.is_empty() { "default".into() } else { features },
+        }
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or when the file is absent.
+pub fn rss_peak_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Escapes a label value per the exposition format (`\`, `"`, newline).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders an OpenMetrics exposition from explicit metric sets.
+/// Counter and gauge names are bare (no prefix, no `_total`); histogram
+/// values are nanosecond histograms exposed in seconds.
+pub fn openmetrics(
+    build: &BuildInfo,
+    counters: &[(&str, u64)],
+    gauges: &[(&str, u64)],
+    hists: &[(&str, PlainHistogram)],
+) -> String {
+    let mut out = String::with_capacity(4096);
+
+    out.push_str(&format!("# TYPE {PREFIX}build_info gauge\n"));
+    out.push_str(&format!(
+        "# HELP {PREFIX}build_info Build identity of the exposing process.\n"
+    ));
+    out.push_str(&format!(
+        "{PREFIX}build_info{{revision=\"{}\",features=\"{}\"}} 1\n",
+        label_escape(&build.revision),
+        label_escape(&build.features),
+    ));
+
+    for &(name, value) in counters {
+        out.push_str(&format!("# TYPE {PREFIX}{name} counter\n"));
+        out.push_str(&format!("{PREFIX}{name}_total {value}\n"));
+    }
+
+    for &(name, value) in gauges {
+        out.push_str(&format!("# TYPE {PREFIX}{name} gauge\n"));
+        out.push_str(&format!("{PREFIX}{name} {value}\n"));
+    }
+
+    for (name, h) in hists {
+        out.push_str(&format!("# TYPE {PREFIX}{name}_seconds histogram\n"));
+        let mut cumulative = 0u64;
+        for (b, &n) in h.buckets.iter().enumerate() {
+            cumulative += n;
+            // Empty buckets are elided (the cumulative series stays
+            // monotone); the last bucket's bound is the +Inf line below.
+            if n == 0 || b >= BUCKETS - 1 {
+                continue;
+            }
+            let le = bucket_upper_ns(b) as f64 / 1e9;
+            out.push_str(&format!("{PREFIX}{name}_seconds_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+        out.push_str(&format!(
+            "{PREFIX}{name}_seconds_bucket{{le=\"+Inf\"}} {}\n",
+            h.count
+        ));
+        out.push_str(&format!(
+            "{PREFIX}{name}_seconds_sum {}\n",
+            h.sum_ns as f64 / 1e9
+        ));
+        out.push_str(&format!("{PREFIX}{name}_seconds_count {}\n", h.count));
+    }
+
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Renders the **global registry** (every counter, gauge and histogram,
+/// plus `rss_peak_bytes` when available) as an OpenMetrics exposition.
+/// Under `obs-off` the families are present with zero values.
+pub fn openmetrics_live(build: &BuildInfo) -> String {
+    let mut counters: Vec<(&str, u64)> = Vec::new();
+    let mut gauges: Vec<(&str, u64)> = Vec::new();
+    for &id in &CounterId::ALL {
+        let entry = (id.name(), counter::get(id));
+        if id.is_gauge() {
+            gauges.push(entry);
+        } else {
+            counters.push(entry);
+        }
+    }
+    if let Some(rss) = rss_peak_bytes() {
+        gauges.push(("rss_peak_bytes", rss));
+    }
+    let hists: Vec<(&str, PlainHistogram)> =
+        HistId::ALL.iter().map(|&id| (id.name(), hist::freeze(id))).collect();
+    openmetrics(build, &counters, &gauges, &hists)
+}
+
+/// Renders a saved time-series: folds every window's deltas back into
+/// totals (gauges take the latest level) and exposes those.
+pub fn openmetrics_from_windows(build: &BuildInfo, windows: &[Window]) -> String {
+    let mut counters: Vec<(&str, u64)> = Vec::new();
+    let mut gauges: Vec<(&str, u64)> = Vec::new();
+    for &id in &CounterId::ALL {
+        if id.is_gauge() {
+            let level = windows.last().map(|w| w.counter(id)).unwrap_or(0);
+            gauges.push((id.name(), level));
+        } else {
+            counters.push((id.name(), windows.iter().map(|w| w.counter(id)).sum()));
+        }
+    }
+    if let Some(rss) = rss_peak_bytes() {
+        gauges.push(("rss_peak_bytes", rss));
+    }
+    let hists: Vec<(&str, PlainHistogram)> = HistId::ALL
+        .iter()
+        .map(|&id| {
+            let mut merged = PlainHistogram::new();
+            for w in windows {
+                merged.merge_from(w.hist(id));
+            }
+            (id.name(), merged)
+        })
+        .collect();
+    openmetrics(build, &counters, &gauges, &hists)
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+/// Round-trip validation of an OpenMetrics exposition: every sample
+/// belongs to a declared family of the right type, histogram bucket
+/// series are cumulative with ascending `le` bounds and a `+Inf` bucket
+/// equal to `_count`, and the exposition terminates with `# EOF`.
+/// Returns the number of sample lines on success.
+pub fn validate_openmetrics(text: &str) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut saw_eof = false;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            return Err(format!("line {n}: content after # EOF"));
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            if rest == "EOF" {
+                saw_eof = true;
+            } else if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let (name, kind) = (parts.next(), parts.next());
+                match (name, kind, parts.next()) {
+                    (Some(name), Some(kind), None)
+                        if matches!(kind, "counter" | "gauge" | "histogram") =>
+                    {
+                        if types.insert(name.to_string(), kind.to_string()).is_some() {
+                            return Err(format!("line {n}: duplicate TYPE for {name}"));
+                        }
+                    }
+                    _ => return Err(format!("line {n}: malformed TYPE line")),
+                }
+            } else if !rest.starts_with("HELP ") && !rest.starts_with("UNIT ") {
+                return Err(format!("line {n}: unknown comment directive"));
+            }
+            continue;
+        }
+        samples.push(parse_sample(line).map_err(|e| format!("line {n}: {e}"))?);
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".into());
+    }
+
+    // Every sample must belong to a declared family with matching suffix.
+    for s in &samples {
+        let family = family_of(&s.name, &types)
+            .ok_or_else(|| format!("sample {} has no TYPE declaration", s.name))?;
+        let kind = &types[&family];
+        let suffix = &s.name[family.len()..];
+        let ok = match kind.as_str() {
+            "counter" => suffix == "_total",
+            "gauge" => suffix.is_empty(),
+            "histogram" => matches!(suffix, "_bucket" | "_sum" | "_count"),
+            _ => false,
+        };
+        if !ok {
+            return Err(format!("sample {} has suffix {suffix:?} invalid for {kind}", s.name));
+        }
+        if kind != "gauge" && suffix != "_sum" && s.value < 0.0 {
+            return Err(format!("sample {} is negative", s.name));
+        }
+    }
+
+    // Histogram series: ascending le, cumulative counts, +Inf == _count.
+    for (family, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let mut buckets: Vec<(f64, f64)> = Vec::new(); // (le, cumulative)
+        let mut inf: Option<f64> = None;
+        let mut count: Option<f64> = None;
+        let mut sum: Option<f64> = None;
+        for s in samples.iter().filter(|s| s.name.starts_with(family.as_str())) {
+            match &s.name[family.len()..] {
+                "_bucket" => {
+                    let le = s
+                        .labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| format!("{family}_bucket without le label"))?;
+                    if le == "+Inf" {
+                        if inf.replace(s.value).is_some() {
+                            return Err(format!("{family}: duplicate +Inf bucket"));
+                        }
+                    } else {
+                        let bound: f64 = le
+                            .parse()
+                            .map_err(|_| format!("{family}: unparseable le {le:?}"))?;
+                        buckets.push((bound, s.value));
+                    }
+                }
+                "_count" => count = Some(s.value),
+                "_sum" => sum = Some(s.value),
+                _ => {}
+            }
+        }
+        for pair in buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("{family}: le bounds not ascending"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("{family}: bucket counts not cumulative"));
+            }
+        }
+        let inf = inf.ok_or_else(|| format!("{family}: missing +Inf bucket"))?;
+        let count = count.ok_or_else(|| format!("{family}: missing _count"))?;
+        if sum.is_none() {
+            return Err(format!("{family}: missing _sum"));
+        }
+        if inf != count {
+            return Err(format!("{family}: +Inf bucket {inf} != _count {count}"));
+        }
+        if let Some(&(_, last)) = buckets.last() {
+            if last > inf {
+                return Err(format!("{family}: finite bucket exceeds +Inf"));
+            }
+        }
+    }
+
+    Ok(samples.len())
+}
+
+/// The declared family a sample name belongs to: the longest declared
+/// name that is a prefix of the sample name with a valid suffix.
+fn family_of(
+    sample: &str,
+    types: &std::collections::BTreeMap<String, String>,
+) -> Option<String> {
+    for candidate in [
+        sample,
+        sample.strip_suffix("_total").unwrap_or(sample),
+        sample.strip_suffix("_bucket").unwrap_or(sample),
+        sample.strip_suffix("_sum").unwrap_or(sample),
+        sample.strip_suffix("_count").unwrap_or(sample),
+    ] {
+        if types.contains_key(candidate) {
+            return Some(candidate.to_string());
+        }
+    }
+    None
+}
+
+/// Parses `name{label="value",…} number` (labels optional).
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unclosed label set")?;
+            (&line[..brace], (Some(&line[brace + 1..close]), &line[close + 1..]))
+        }
+        None => {
+            let space = line.find(' ').ok_or("sample without value")?;
+            (&line[..space], (None, &line[space..]))
+        }
+    };
+    if name_part.is_empty()
+        || !name_part
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name_part.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name {name_part:?}"));
+    }
+    let mut labels = Vec::new();
+    if let Some(body) = rest.0 {
+        let mut cursor = body;
+        while !cursor.is_empty() {
+            let eq = cursor.find('=').ok_or("label without =")?;
+            let key = cursor[..eq].trim().to_string();
+            let after = &cursor[eq + 1..];
+            if !after.starts_with('"') {
+                return Err("unquoted label value".into());
+            }
+            // Find the closing quote, skipping escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in after[1..].char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i + 1);
+                    break;
+                }
+            }
+            let end = end.ok_or("unterminated label value")?;
+            let raw = &after[1..end];
+            let mut value = String::new();
+            let mut esc = false;
+            for c in raw.chars() {
+                if esc {
+                    value.push(match c {
+                        'n' => '\n',
+                        other => other,
+                    });
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else {
+                    value.push(c);
+                }
+            }
+            labels.push((key, value));
+            cursor = after[end + 1..].trim_start_matches(',');
+        }
+    }
+    let value_str = rest.1.trim();
+    let value: f64 = value_str
+        .parse()
+        .map_err(|_| format!("unparseable value {value_str:?}"))?;
+    Ok(Sample { name: name_part.to_string(), labels, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_exposition() -> String {
+        let mut h = PlainHistogram::new();
+        for ns in [1_000u64, 2_000, 4_000, 1_000_000] {
+            h.record_ns(ns);
+        }
+        openmetrics(
+            &BuildInfo::new("abc1234", "default"),
+            &[("postings_traversed", 42), ("maxscore_pruned", 7)],
+            &[("attribution_shapes_resident", 3), ("rss_peak_bytes", 1 << 20)],
+            &[("query_latency", h)],
+        )
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_validator() {
+        let text = sample_exposition();
+        let n = validate_openmetrics(&text).expect("valid exposition");
+        assert!(n >= 8, "{n} samples:\n{text}");
+        assert!(text.contains("rightcrowd_postings_traversed_total 42\n"));
+        assert!(text.contains("rightcrowd_rss_peak_bytes 1048576\n"));
+        assert!(text.contains("le=\"+Inf\"} 4\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn live_registry_exposition_is_valid() {
+        let text = openmetrics_live(&BuildInfo::new("", ""));
+        validate_openmetrics(&text).expect("live exposition valid");
+        assert!(text.contains("revision=\"unknown\""));
+        assert!(text.contains("features=\"default\""));
+        // Every counter family appears exactly once.
+        for &id in &CounterId::ALL {
+            assert!(text.contains(&format!("rightcrowd_{}", id.name())), "{}", id.name());
+        }
+    }
+
+    #[test]
+    fn window_series_exposition_is_valid_and_folds_deltas() {
+        let mut w1 = Window::empty();
+        w1.counters[0] = 10;
+        w1.hists[0].record_ns(5_000);
+        let mut w2 = Window::empty();
+        w2.counters[0] = 32;
+        w2.hists[0].record_ns(9_000);
+        let text = openmetrics_from_windows(&BuildInfo::new("abc", "default"), &[w1, w2]);
+        validate_openmetrics(&text).expect("series exposition valid");
+        assert!(text.contains("rightcrowd_postings_traversed_total 42\n"), "{text}");
+        assert!(text.contains("rightcrowd_query_latency_seconds_count 2\n"));
+    }
+
+    #[test]
+    fn validator_rejects_tampering() {
+        let good = sample_exposition();
+        // Missing terminator.
+        let truncated = good.replace("# EOF\n", "");
+        assert!(validate_openmetrics(&truncated).is_err());
+        // Undeclared family.
+        let undeclared = good.replace("# EOF\n", "mystery_total 1\n# EOF\n");
+        assert!(validate_openmetrics(&undeclared).is_err());
+        // +Inf bucket disagreeing with _count.
+        let broken = good.replace("le=\"+Inf\"} 4", "le=\"+Inf\"} 5");
+        assert!(validate_openmetrics(&broken).is_err());
+        // Non-cumulative bucket series.
+        let text = "# TYPE rightcrowd_x_seconds histogram\n\
+                    rightcrowd_x_seconds_bucket{le=\"0.1\"} 5\n\
+                    rightcrowd_x_seconds_bucket{le=\"0.2\"} 3\n\
+                    rightcrowd_x_seconds_bucket{le=\"+Inf\"} 5\n\
+                    rightcrowd_x_seconds_sum 1\n\
+                    rightcrowd_x_seconds_count 5\n# EOF\n";
+        assert!(validate_openmetrics(text).is_err());
+        // Counter sample without the _total suffix.
+        let text = "# TYPE rightcrowd_y counter\nrightcrowd_y 5\n# EOF\n";
+        assert!(validate_openmetrics(text).is_err());
+        // Garbage value.
+        let text = "# TYPE rightcrowd_z gauge\nrightcrowd_z banana\n# EOF\n";
+        assert!(validate_openmetrics(text).is_err());
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let text = openmetrics(
+            &BuildInfo::new("a\"b\\c", "feat\nure"),
+            &[],
+            &[],
+            &[],
+        );
+        validate_openmetrics(&text).expect("escaped labels stay valid");
+        assert!(text.contains("revision=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn rss_peak_is_available_on_linux() {
+        let rss = rss_peak_bytes();
+        if cfg!(target_os = "linux") {
+            let bytes = rss.expect("VmHWM present on Linux");
+            assert!(bytes > 1024 * 1024, "{bytes}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_a_valid_series() {
+        let text = openmetrics(
+            &BuildInfo::new("abc", "default"),
+            &[],
+            &[],
+            &[("query_latency", PlainHistogram::new())],
+        );
+        validate_openmetrics(&text).expect("empty histogram valid");
+        assert!(text.contains("le=\"+Inf\"} 0\n"));
+    }
+}

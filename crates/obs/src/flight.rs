@@ -3,10 +3,11 @@
 //! rankings ("what did that slow query do?").
 //!
 //! Retention policy: **always keep the slowest P% plus the last N** —
-//! a ring of the [`RING_CAPACITY`] most recent records, plus a separate
-//! bounded set of the slowest records ([`SLOWEST_PERCENT`]% of the ring
-//! capacity) so a latency outlier survives long after the ring has lapped
-//! it.
+//! a ring of the most recent records (capacity [`RING_CAPACITY`] by
+//! default, configurable via [`FlightRecorder::with_capacity`] or
+//! [`set_flight_capacity`]), plus a separate bounded set of the slowest
+//! records ([`SLOWEST_PERCENT`]% of the ring capacity) so a latency
+//! outlier survives long after the ring has lapped it.
 //!
 //! The write path never blocks: the ring index is claimed with one
 //! relaxed `fetch_add`, slot writes use `try_lock` (a contended slot
@@ -16,13 +17,16 @@
 //! off by default ([`set_flight_enabled`]); when disabled, or under
 //! feature `obs-off`, every entry point is an empty inline function.
 
-/// Number of most-recent records retained in the ring.
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::Mutex;
+
+/// Default number of most-recent records retained in the ring.
 pub const RING_CAPACITY: usize = 256;
 
-/// The slowest-cohort size, as a percentage of [`RING_CAPACITY`].
+/// The slowest-cohort size, as a percentage of the ring capacity.
 pub const SLOWEST_PERCENT: usize = 10;
-
-const SLOWEST_CAPACITY: usize = RING_CAPACITY * SLOWEST_PERCENT / 100;
 
 /// One recorded query flight: identity, ranking configuration, latency,
 /// traversal-counter deltas and the top of the ranking. Plain data only —
@@ -77,48 +81,83 @@ pub struct FlightSummary {
     pub slowest_label: String,
 }
 
-// ---------------------------------------------------------------------------
-// Recorder (compiled out under obs-off)
+/// An owned flight recorder instance. The process-global recorder used
+/// by [`record`]/[`recent`]/… is one of these behind an `Arc`; harnesses
+/// that want isolated retention (or a different ring size) construct
+/// their own with [`FlightRecorder::with_capacity`]. Under `obs-off`
+/// only the capacity bookkeeping remains; every operation is a no-op.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    slowest_capacity: usize,
+    /// Ring slots; index claimed lock-free, slot body `try_lock`ed.
+    #[cfg(not(feature = "obs-off"))]
+    slots: Vec<Mutex<Option<QueryRecord>>>,
+    /// Total records ever offered; `cursor % capacity` is the next slot.
+    #[cfg(not(feature = "obs-off"))]
+    cursor: AtomicU64,
+    /// Slowest cohort, unordered, at most `slowest_capacity` entries.
+    #[cfg(not(feature = "obs-off"))]
+    slowest: Mutex<Vec<QueryRecord>>,
+    /// Latency of the fastest member of a *full* slowest cohort;
+    /// records at or below it skip the lock entirely.
+    #[cfg(not(feature = "obs-off"))]
+    slowest_floor_ns: AtomicU64,
+}
 
-#[cfg(not(feature = "obs-off"))]
-mod imp {
-    use super::{FlightSummary, QueryRecord, RING_CAPACITY, SLOWEST_CAPACITY};
-    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-    use std::sync::{Mutex, OnceLock};
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
-    pub(super) struct Recorder {
-        /// Ring slots; index claimed lock-free, slot body `try_lock`ed.
-        slots: Vec<Mutex<Option<QueryRecord>>>,
-        /// Total records ever offered; `cursor % RING_CAPACITY` is the
-        /// next slot.
-        cursor: AtomicU64,
-        /// Slowest cohort, unordered, at most `SLOWEST_CAPACITY` entries.
-        slowest: Mutex<Vec<QueryRecord>>,
-        /// Latency of the fastest member of a *full* slowest cohort;
-        /// records at or below it skip the lock entirely.
-        slowest_floor_ns: AtomicU64,
+impl FlightRecorder {
+    /// A recorder with the default ring capacity ([`RING_CAPACITY`]).
+    pub fn new() -> Self {
+        Self::with_capacity(RING_CAPACITY)
     }
 
-    pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
-
-    pub(super) fn recorder() -> &'static Recorder {
-        static RECORDER: OnceLock<Recorder> = OnceLock::new();
-        RECORDER.get_or_init(|| Recorder {
-            slots: (0..RING_CAPACITY).map(|_| Mutex::new(None)).collect(),
+    /// A recorder retaining the most recent `capacity` records (min 1)
+    /// plus a slowest cohort of [`SLOWEST_PERCENT`]% of that (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            slowest_capacity: (capacity * SLOWEST_PERCENT / 100).max(1),
+            #[cfg(not(feature = "obs-off"))]
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            #[cfg(not(feature = "obs-off"))]
             cursor: AtomicU64::new(0),
+            #[cfg(not(feature = "obs-off"))]
             slowest: Mutex::new(Vec::new()),
+            #[cfg(not(feature = "obs-off"))]
             slowest_floor_ns: AtomicU64::new(0),
-        })
+        }
     }
 
-    impl Recorder {
-        pub(super) fn record(&self, record: QueryRecord) {
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Slowest-cohort capacity in records.
+    pub fn slowest_capacity(&self) -> usize {
+        self.slowest_capacity
+    }
+
+    /// Offers a record (unconditionally — the global enable flag gates
+    /// the free functions, not owned instances).
+    pub fn record(&self, record: QueryRecord) {
+        #[cfg(feature = "obs-off")]
+        let _ = record;
+        #[cfg(not(feature = "obs-off"))]
+        {
             // Slowest cohort first (the ring write consumes the record).
             // One relaxed load filters out the common fast-query case.
             if record.latency_ns > self.slowest_floor_ns.load(Relaxed) {
                 if let Ok(mut slowest) = self.slowest.try_lock() {
                     slowest.push(record.clone());
-                    if slowest.len() > SLOWEST_CAPACITY {
+                    if slowest.len() > self.slowest_capacity {
                         let (min_idx, _) = slowest
                             .iter()
                             .enumerate()
@@ -132,28 +171,44 @@ mod imp {
                 }
             }
             let seq = self.cursor.fetch_add(1, Relaxed);
-            let slot = &self.slots[(seq % RING_CAPACITY as u64) as usize];
+            let slot = &self.slots[(seq % self.capacity as u64) as usize];
             // A contended slot means another writer lapped the ring onto
             // the same index; dropping one record beats blocking.
             if let Ok(mut guard) = slot.try_lock() {
                 *guard = Some(record);
             }
         }
+    }
 
-        pub(super) fn recent(&self) -> Vec<QueryRecord> {
+    /// The resident ring, oldest first (empty under `obs-off`).
+    pub fn recent(&self) -> Vec<QueryRecord> {
+        #[cfg(feature = "obs-off")]
+        return Vec::new();
+        #[cfg(not(feature = "obs-off"))]
+        {
             let total = self.cursor.load(Relaxed);
-            let len = (total as usize).min(RING_CAPACITY);
+            let len = (total as usize).min(self.capacity);
             let start = total.saturating_sub(len as u64);
             // Oldest → newest: walk the ring from the oldest live slot.
             (0..len as u64)
                 .filter_map(|i| {
-                    let idx = ((start + i) % RING_CAPACITY as u64) as usize;
+                    let idx = ((start + i) % self.capacity as u64) as usize;
                     self.slots[idx].lock().ok().and_then(|g| g.clone())
                 })
                 .collect()
         }
+    }
 
-        pub(super) fn slowest(&self, k: usize) -> Vec<QueryRecord> {
+    /// The `k` slowest retained records, slowest first — drawn from the
+    /// slowest cohort plus whatever the ring still holds.
+    pub fn slowest(&self, k: usize) -> Vec<QueryRecord> {
+        #[cfg(feature = "obs-off")]
+        {
+            let _ = k;
+            Vec::new()
+        }
+        #[cfg(not(feature = "obs-off"))]
+        {
             let mut pool = self.slowest.lock().map_or_else(|_| Vec::new(), |g| g.clone());
             // Fold in the ring: early in a run the cohort may not yet
             // have caught records the ring still holds.
@@ -170,8 +225,12 @@ mod imp {
             pool.truncate(k);
             pool
         }
+    }
 
-        pub(super) fn reset(&self) {
+    /// Drops every retained record and zeroes the sequence counter.
+    pub fn reset(&self) {
+        #[cfg(not(feature = "obs-off"))]
+        {
             for slot in &self.slots {
                 if let Ok(mut guard) = slot.lock() {
                     *guard = None;
@@ -183,8 +242,14 @@ mod imp {
             self.slowest_floor_ns.store(0, Relaxed);
             self.cursor.store(0, Relaxed);
         }
+    }
 
-        pub(super) fn summary(&self) -> FlightSummary {
+    /// Aggregate view of the recorder (all-zero under `obs-off`).
+    pub fn summary(&self) -> FlightSummary {
+        #[cfg(feature = "obs-off")]
+        return FlightSummary::default();
+        #[cfg(not(feature = "obs-off"))]
+        {
             let ring = self.recent();
             let slowest = self.slowest(1);
             let mean_ms = if ring.is_empty() {
@@ -204,6 +269,36 @@ mod imp {
                 slowest_label: slowest.first().map_or(String::new(), |r| r.label.clone()),
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The process-global recorder (compiled out under obs-off)
+
+#[cfg(not(feature = "obs-off"))]
+mod imp {
+    use super::FlightRecorder;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, RwLock};
+
+    pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
+
+    /// The global recorder, swappable so `rc flight --capacity N` can
+    /// resize the ring. Readers take a brief read-lock and clone the
+    /// `Arc`; recording is off by default so the query path normally
+    /// never gets here.
+    static GLOBAL: RwLock<Option<Arc<FlightRecorder>>> = RwLock::new(None);
+
+    pub(super) fn recorder() -> Arc<FlightRecorder> {
+        if let Some(r) = GLOBAL.read().unwrap_or_else(|e| e.into_inner()).as_ref() {
+            return Arc::clone(r);
+        }
+        let mut guard = GLOBAL.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(guard.get_or_insert_with(|| Arc::new(FlightRecorder::new())))
+    }
+
+    pub(super) fn replace(recorder: FlightRecorder) {
+        *GLOBAL.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(recorder));
     }
 }
 
@@ -229,7 +324,26 @@ pub fn flight_enabled() -> bool {
     false
 }
 
-/// Offers a record to the recorder. A no-op when disabled.
+/// Replaces the global recorder with a fresh one of ring capacity `n`
+/// (min 1). **Drops every currently retained record.** A no-op under
+/// `obs-off`.
+pub fn set_flight_capacity(n: usize) {
+    #[cfg(not(feature = "obs-off"))]
+    imp::replace(FlightRecorder::with_capacity(n));
+    #[cfg(feature = "obs-off")]
+    let _ = n;
+}
+
+/// The global recorder's ring capacity ([`RING_CAPACITY`] under
+/// `obs-off`, where no recorder exists).
+pub fn flight_capacity() -> usize {
+    #[cfg(not(feature = "obs-off"))]
+    return imp::recorder().capacity();
+    #[cfg(feature = "obs-off")]
+    RING_CAPACITY
+}
+
+/// Offers a record to the global recorder. A no-op when disabled.
 #[inline]
 pub fn record(record: QueryRecord) {
     #[cfg(not(feature = "obs-off"))]
@@ -266,7 +380,7 @@ pub fn reset_flight() {
     imp::recorder().reset();
 }
 
-/// Aggregate view of the recorder (all-zero under `obs-off`).
+/// Aggregate view of the global recorder (all-zero under `obs-off`).
 pub fn flight_summary() -> FlightSummary {
     #[cfg(not(feature = "obs-off"))]
     return imp::recorder().summary();
@@ -356,5 +470,70 @@ mod tests {
         assert!(all.len() <= RING_CAPACITY + RING_CAPACITY * SLOWEST_PERCENT / 100);
         assert_eq!(all[0].latency_ns, n * 1_000);
         reset_flight();
+    }
+
+    #[test]
+    fn owned_recorder_wraps_around_at_custom_capacity() {
+        // No global state: an owned 8-slot recorder, lapped 3×.
+        let rec8 = FlightRecorder::with_capacity(8);
+        assert_eq!(rec8.capacity(), 8);
+        assert_eq!(rec8.slowest_capacity(), 1);
+        // A slow outlier first, then 24 fast records to lap the ring.
+        rec8.record(rec(0, 9_000_000));
+        for i in 1..=24u64 {
+            rec8.record(rec(i, i));
+        }
+        if cfg!(feature = "obs-off") {
+            assert!(rec8.recent().is_empty());
+            return;
+        }
+        let ring = rec8.recent();
+        assert_eq!(ring.len(), 8, "ring bounded at the custom capacity");
+        let ids: Vec<u64> = ring.iter().map(|r| r.query_id).collect();
+        assert_eq!(ids, (17..=24).collect::<Vec<u64>>(), "last 8 in order");
+        // The outlier survived the wraparound via the slowest cohort.
+        let slowest = rec8.slowest(1);
+        assert_eq!(slowest[0].query_id, 0);
+        let summary = rec8.summary();
+        assert_eq!(summary.recorded, 25);
+        assert_eq!(summary.slowest_label, "q0");
+        rec8.reset();
+        assert!(rec8.recent().is_empty());
+        assert_eq!(rec8.summary().recorded, 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let r = FlightRecorder::with_capacity(0);
+        assert_eq!(r.capacity(), 1);
+        assert_eq!(r.slowest_capacity(), 1);
+        r.record(rec(1, 10));
+        r.record(rec(2, 20));
+        if cfg!(feature = "obs-off") {
+            return;
+        }
+        assert_eq!(r.recent().len(), 1);
+    }
+
+    #[test]
+    fn global_capacity_is_configurable() {
+        let _guard = lock();
+        reset_flight();
+        set_flight_capacity(4);
+        if cfg!(not(feature = "obs-off")) {
+            assert_eq!(flight_capacity(), 4);
+        }
+        set_flight_enabled(true);
+        for i in 0..10u64 {
+            record(rec(i, 100 + i));
+        }
+        set_flight_enabled(false);
+        if cfg!(not(feature = "obs-off")) {
+            assert_eq!(recent().len(), 4);
+        }
+        // Restore the default so other (serialised) tests see a fresh
+        // recorder of the standard size.
+        set_flight_capacity(RING_CAPACITY);
+        assert_eq!(flight_capacity(), RING_CAPACITY);
     }
 }

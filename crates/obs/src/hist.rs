@@ -11,7 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 #[cfg(not(feature = "obs-off"))]
 use std::time::Instant;
 
-const BUCKETS: usize = 64;
+/// Number of power-of-two buckets in every histogram.
+pub const BUCKETS: usize = 64;
 
 /// One global latency histogram. Names are the JSON keys of the
 /// `metrics.histograms` section of `BENCH_<scale>.json`.
@@ -112,34 +113,25 @@ impl Histogram {
     /// The `p`-th percentile (`0.0..=1.0`) in nanoseconds, resolved to the
     /// upper bound of the covering bucket; 0 when empty.
     pub fn percentile_ns(&self, p: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        // Nearest-rank over buckets: the smallest bucket whose cumulative
-        // count reaches ceil(p · count).
-        let target = ((p.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
+        self.freeze().percentile_ns(p)
+    }
+
+    /// Freezes the atomic histogram into a [`PlainHistogram`] value (one
+    /// relaxed load per bucket; no coordination with writers, so a freeze
+    /// taken mid-record may be off by in-flight observations).
+    pub fn freeze(&self) -> PlainHistogram {
+        let mut out = PlainHistogram::new();
         for (b, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Relaxed);
-            if seen >= target {
-                return bucket_upper_ns(b);
-            }
+            out.buckets[b] = bucket.load(Relaxed);
         }
-        bucket_upper_ns(BUCKETS - 1)
+        out.count = self.count.load(Relaxed);
+        out.sum_ns = self.sum_ns.load(Relaxed);
+        out
     }
 
     /// Freezes the histogram into a plain summary.
     pub fn summarize(&self) -> HistogramSummary {
-        let count = self.count();
-        HistogramSummary {
-            count,
-            mean_us: if count == 0 { 0.0 } else { self.sum_ns() as f64 / count as f64 / 1e3 },
-            p50_us: self.percentile_ns(0.50) as f64 / 1e3,
-            p90_us: self.percentile_ns(0.90) as f64 / 1e3,
-            p99_us: self.percentile_ns(0.99) as f64 / 1e3,
-            max_us: self.percentile_ns(1.0) as f64 / 1e3,
-        }
+        self.freeze().summarize()
     }
 
     /// Clears every bucket.
@@ -153,11 +145,113 @@ impl Histogram {
 }
 
 /// Upper bound of bucket `b` in nanoseconds.
-fn bucket_upper_ns(b: usize) -> u64 {
+pub fn bucket_upper_ns(b: usize) -> u64 {
     if b >= 63 {
         u64::MAX
     } else {
         1u64 << b
+    }
+}
+
+/// A frozen (non-atomic) histogram value: the same 64 power-of-two
+/// nanosecond buckets as [`Histogram`], but plain `u64`s, so it can be
+/// copied into time-series windows, diffed, merged and serialised without
+/// touching the atomic registry. `Histogram::freeze` produces one;
+/// [`PlainHistogram::merge_from`] folds windows back together bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlainHistogram {
+    /// Per-bucket observation counts (`bucket b` covers `[2^(b-1), 2^b)` ns).
+    pub buckets: [u64; BUCKETS],
+    /// Total number of observations.
+    pub count: u64,
+    /// Exact sum of observed nanoseconds.
+    pub sum_ns: u64,
+}
+
+impl Default for PlainHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlainHistogram {
+    /// An empty frozen histogram.
+    pub const fn new() -> Self {
+        PlainHistogram { buckets: [0; BUCKETS], count: 0, sum_ns: 0 }
+    }
+
+    /// Records one nanosecond observation (same bucketing as
+    /// [`Histogram::record_ns`]).
+    pub fn record_ns(&mut self, ns: u64) {
+        let b = (64 - ns.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        // The atomic histogram's fetch_add wraps on overflow; match it.
+        self.sum_ns = self.sum_ns.wrapping_add(ns);
+    }
+
+    /// Adds every observation of `other` into `self`, bucket-wise.
+    pub fn merge_from(&mut self, other: &PlainHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.wrapping_add(other.sum_ns);
+    }
+
+    /// The per-interval delta `self − prev`. A registry reset between
+    /// freezes (visible as a shrinking count) yields an empty window
+    /// instead of garbage; otherwise buckets and count subtract exactly
+    /// and the sum subtracts modulo 2⁶⁴, matching the wrapping adds of
+    /// the recorders, so merging deltas stays bit-exact even across a
+    /// sum overflow.
+    pub fn saturating_delta(&self, prev: &PlainHistogram) -> PlainHistogram {
+        if self.count < prev.count {
+            return PlainHistogram::new();
+        }
+        let mut out = PlainHistogram::new();
+        for (b, (cur, old)) in self.buckets.iter().zip(&prev.buckets).enumerate() {
+            out.buckets[b] = cur.saturating_sub(*old);
+        }
+        out.count = self.count - prev.count;
+        out.sum_ns = self.sum_ns.wrapping_sub(prev.sum_ns);
+        out
+    }
+
+    /// The `p`-th percentile (`0.0..=1.0`) in nanoseconds, resolved to the
+    /// upper bound of the covering bucket; 0 when empty. Identical
+    /// nearest-rank semantics to [`Histogram::percentile_ns`].
+    pub fn percentile_ns(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Nearest-rank over buckets: the smallest bucket whose cumulative
+        // count reaches ceil(p · count).
+        let target = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= target {
+                return bucket_upper_ns(b);
+            }
+        }
+        bucket_upper_ns(BUCKETS - 1)
+    }
+
+    /// Summarises the frozen histogram.
+    pub fn summarize(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean_us: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_ns as f64 / self.count as f64 / 1e3
+            },
+            p50_us: self.percentile_ns(0.50) as f64 / 1e3,
+            p90_us: self.percentile_ns(0.90) as f64 / 1e3,
+            p99_us: self.percentile_ns(0.99) as f64 / 1e3,
+            max_us: self.percentile_ns(1.0) as f64 / 1e3,
+        }
     }
 }
 
@@ -200,6 +294,17 @@ pub fn summarize(id: HistId) -> HistogramSummary {
     {
         let _ = id;
         HistogramSummary::default()
+    }
+}
+
+/// Freezes a global histogram into a plain value (empty under `obs-off`).
+pub fn freeze(id: HistId) -> PlainHistogram {
+    #[cfg(not(feature = "obs-off"))]
+    return HISTS[id as usize].freeze();
+    #[cfg(feature = "obs-off")]
+    {
+        let _ = id;
+        PlainHistogram::new()
     }
 }
 
@@ -299,6 +404,63 @@ mod tests {
         } else {
             assert!(s.count >= 1);
         }
+    }
+
+    #[test]
+    fn freeze_matches_atomic_state() {
+        let h = Histogram::new();
+        for ns in [100u64, 200, 400, 100_000] {
+            h.record_ns(ns);
+        }
+        let f = h.freeze();
+        assert_eq!(f.count, 4);
+        assert_eq!(f.sum_ns, 100_700);
+        assert_eq!(f.percentile_ns(0.25), h.percentile_ns(0.25));
+        assert_eq!(f.summarize(), h.summarize());
+    }
+
+    #[test]
+    fn plain_record_matches_atomic_bucketing() {
+        let atomic = Histogram::new();
+        let mut plain = PlainHistogram::new();
+        for ns in [0u64, 1, 2, 3, 1_000, 1 << 40, u64::MAX] {
+            atomic.record_ns(ns);
+            plain.record_ns(ns);
+        }
+        assert_eq!(atomic.freeze(), plain);
+    }
+
+    #[test]
+    fn saturating_delta_recovers_the_interval() {
+        let h = Histogram::new();
+        h.record_ns(1_000);
+        let before = h.freeze();
+        h.record_ns(2_000);
+        h.record_ns(4_000);
+        let delta = h.freeze().saturating_delta(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum_ns, 6_000);
+        // A reset between freezes saturates to zero instead of wrapping.
+        h.reset();
+        let after_reset = h.freeze().saturating_delta(&before);
+        assert_eq!(after_reset.count, 0);
+        assert_eq!(after_reset.sum_ns, 0);
+    }
+
+    #[test]
+    fn merging_window_deltas_rebuilds_the_total() {
+        // Freeze after every record (one window per observation), merge the
+        // per-window deltas, and recover the global histogram bit-exactly.
+        let h = Histogram::new();
+        let mut merged = PlainHistogram::new();
+        let mut prev = PlainHistogram::new();
+        for ns in [300u64, 900, 5_000, 70, 123_456] {
+            h.record_ns(ns);
+            let cur = h.freeze();
+            merged.merge_from(&cur.saturating_delta(&prev));
+            prev = cur;
+        }
+        assert_eq!(merged, h.freeze());
     }
 
     #[test]

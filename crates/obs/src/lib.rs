@@ -24,6 +24,18 @@
 //!   structured per-query [`QueryRecord`]s (config, latency, counter
 //!   deltas, top candidates) retaining the slowest P% plus the last N,
 //!   behind `rc flight` and the `flight` block of `BENCH_<scale>.json`.
+//! - **Time series** ([`timeseries`]) — a [`Sampler`] that freezes the
+//!   registry on a fixed tick and publishes per-interval deltas (every
+//!   counter, every histogram) into a seqlock ring of [`Window`]s with
+//!   derived rates (qps, postings/s, block-skip fraction) and windowed
+//!   percentiles; the substrate of `rc soak`.
+//! - **Exposition** ([`export`]) — hand-rolled Prometheus/OpenMetrics
+//!   text rendering of the live registry or a saved window series
+//!   (counters as `_total`, histograms as cumulative `_bucket` in
+//!   seconds, `build_info`), plus the round-trip validator CI runs.
+//! - **Wide events** ([`wide`]) — a tail-sampled JSONL query log that
+//!   always keeps errors and the slowest tail and reservoir-samples the
+//!   rest, one self-contained line per interesting query.
 //!
 //! [`snapshot()`] freezes counters, histograms and spans into a
 //! [`MetricsSnapshot`] that serialises to JSON (hand-rolled,
@@ -41,18 +53,24 @@
 //! binary is bit-for-bit as fast as an uninstrumented one.
 
 pub mod counter;
+pub mod export;
 pub mod flight;
 pub mod hist;
 pub mod snapshot;
 pub mod span;
+pub mod timeseries;
 pub mod trace_export;
+pub mod wide;
 
-pub use counter::CounterId;
-pub use flight::{FlightSummary, QueryRecord};
-pub use hist::HistId;
+pub use counter::{reset_counters, CounterId};
+pub use export::{openmetrics_live, rss_peak_bytes, validate_openmetrics, BuildInfo};
+pub use flight::{set_flight_capacity, FlightRecorder, FlightSummary, QueryRecord};
+pub use hist::{HistId, PlainHistogram};
 pub use snapshot::{reset, snapshot, MetricsSnapshot};
 pub use span::{set_spans_enabled, SpanGuard, SpanStat};
+pub use timeseries::{Sampler, Window};
 pub use trace_export::chrome_trace_json;
+pub use wide::{WideEvent, WideEventLog};
 
 /// `false` when the `obs-off` feature compiled the probes out. Lets
 /// dependent crates (which have no feature of their own) guard probe-side

@@ -1,0 +1,369 @@
+//! Wide events: a tail-sampled structured query log.
+//!
+//! One JSONL line per *interesting* query, carrying everything known
+//! about it — identity, config, latency, traversal-counter deltas,
+//! block-pruning stats, the θ threshold the top-k converged to, and the
+//! top-1 result — so a single line answers "what did that query do?"
+//! without correlating across systems.
+//!
+//! Retention mirrors the flight recorder's policy, adapted to streams
+//! too large to keep whole:
+//!
+//! - **errors are always kept** (bounded; overflow is counted, never
+//!   silently dropped),
+//! - **the slowest tail is always kept** — a bounded cohort with
+//!   min-eviction and an atomic-free latency floor, exactly like
+//!   `flight`'s slowest set,
+//! - **everything else is reservoir-sampled** (Algorithm R with a
+//!   hand-rolled xorshift64* generator, deterministic per seed), so the
+//!   kept lines stay a uniform sample of the boring majority. An event
+//!   evicted from the tail cohort is demoted into the reservoir stream
+//!   rather than discarded outright.
+//!
+//! The log is an owned value (no global): each soak run builds one,
+//! offers every query, and serialises the survivors with
+//! [`WideEventLog::to_jsonl`].
+
+use crate::flight::QueryRecord;
+use crate::snapshot::{fmt_f64, json_escape};
+
+/// One wide event: a [`QueryRecord`] plus the fields the flight ring
+/// does not carry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WideEvent {
+    /// Wall-clock timestamp, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Worker thread index that served the query.
+    pub thread: u32,
+    /// The per-query flight record (identity, config, latency, counter
+    /// deltas, top candidates).
+    pub record: QueryRecord,
+    /// Compressed posting blocks owned by the walked lists.
+    pub blocks_total: u64,
+    /// Blocks skipped whole by the Block-Max bound.
+    pub blocks_skipped: u64,
+    /// The θ (k-th best score) the top-k heap converged to; 0 when the
+    /// ranking had fewer than k results.
+    pub theta: f64,
+    /// Error description when the query failed (failed queries are
+    /// always retained).
+    pub error: Option<String>,
+}
+
+/// Why a retained event survived, rendered into the JSONL `kept` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kept {
+    Error,
+    Tail,
+    Sample,
+}
+
+impl Kept {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kept::Error => "error",
+            Kept::Tail => "tail",
+            Kept::Sample => "sample",
+        }
+    }
+}
+
+impl WideEvent {
+    /// Renders the event as one JSON line (no trailing newline).
+    fn to_jsonl(&self, kept: Kept) -> String {
+        let r = &self.record;
+        let (top1_person, top1_score) = match r.top_candidates.first() {
+            Some(&(p, s)) => (format!("{p}"), fmt_f64(s)),
+            None => ("null".into(), "null".into()),
+        };
+        let error = match &self.error {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".into(),
+        };
+        format!(
+            "{{\"ts_ms\": {}, \"thread\": {}, \"kept\": \"{}\", \"query_id\": {}, \
+             \"label\": \"{}\", \"domain\": \"{}\", \"alpha\": {}, \
+             \"max_distance\": {}, \"window\": \"{}\", \"latency_ms\": {}, \
+             \"postings_traversed\": {}, \"maxscore_admitted\": {}, \
+             \"maxscore_pruned\": {}, \"blocks_total\": {}, \
+             \"blocks_skipped\": {}, \"theta\": {}, \"top1_person\": {}, \
+             \"top1_score\": {}, \"error\": {}}}",
+            self.unix_ms,
+            self.thread,
+            kept.as_str(),
+            r.query_id,
+            json_escape(&r.label),
+            json_escape(&r.domain),
+            fmt_f64(r.alpha),
+            r.max_distance,
+            json_escape(&r.window),
+            fmt_f64(r.latency_ms()),
+            r.postings_traversed,
+            r.maxscore_admitted,
+            r.maxscore_pruned,
+            self.blocks_total,
+            self.blocks_skipped,
+            fmt_f64(self.theta),
+            top1_person,
+            top1_score,
+            error,
+        )
+    }
+}
+
+/// xorshift64*: tiny, deterministic, dependency-free — good enough for
+/// reservoir admission, nothing else.
+fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// The tail-sampled wide-event log. See the module docs for the
+/// retention policy.
+#[derive(Debug)]
+pub struct WideEventLog {
+    /// Errors, always kept up to `error_cap`.
+    errors: Vec<WideEvent>,
+    error_cap: usize,
+    /// Errors offered after `errors` filled (never silently dropped —
+    /// surfaced via [`WideEventLog::errors_dropped`]).
+    errors_dropped: u64,
+    /// Slowest tail cohort, unordered, min-evicted.
+    tail: Vec<WideEvent>,
+    tail_cap: usize,
+    /// Fastest member of a *full* tail; events at or below it go
+    /// straight to the reservoir.
+    tail_floor_ns: u64,
+    /// Uniform sample of the non-error, non-tail majority.
+    reservoir: Vec<WideEvent>,
+    reservoir_cap: usize,
+    /// Events that entered the reservoir stream (Algorithm R's `n`).
+    reservoir_seen: u64,
+    /// Every event ever offered.
+    seen: u64,
+    rng: u64,
+}
+
+impl WideEventLog {
+    /// A log keeping at most `reservoir_cap` sampled events plus
+    /// `tail_cap` slowest events plus `tail_cap` errors; `seed` fixes
+    /// the reservoir's admission sequence.
+    pub fn new(reservoir_cap: usize, tail_cap: usize, seed: u64) -> Self {
+        WideEventLog {
+            errors: Vec::new(),
+            error_cap: tail_cap.max(1),
+            errors_dropped: 0,
+            tail: Vec::new(),
+            tail_cap: tail_cap.max(1),
+            tail_floor_ns: 0,
+            reservoir: Vec::new(),
+            reservoir_cap: reservoir_cap.max(1),
+            reservoir_seen: 0,
+            seen: 0,
+            rng: seed | 1, // xorshift state must be non-zero
+        }
+    }
+
+    /// Offers one event; the log decides whether (and where) it
+    /// survives.
+    pub fn offer(&mut self, event: WideEvent) {
+        self.seen += 1;
+        if event.error.is_some() {
+            if self.errors.len() < self.error_cap {
+                self.errors.push(event);
+            } else {
+                self.errors_dropped += 1;
+            }
+            return;
+        }
+        if event.record.latency_ns > self.tail_floor_ns {
+            self.tail.push(event);
+            if self.tail.len() > self.tail_cap {
+                let (min_idx, _) = self
+                    .tail
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.record.latency_ns)
+                    .expect("non-empty");
+                let evicted = self.tail.swap_remove(min_idx);
+                self.tail_floor_ns =
+                    self.tail.iter().map(|e| e.record.latency_ns).min().unwrap_or(0);
+                // Demoted, not discarded: the evictee re-enters the
+                // boring-majority stream.
+                self.reservoir_offer(evicted);
+            }
+            return;
+        }
+        self.reservoir_offer(event);
+    }
+
+    /// Algorithm R: the first `cap` events fill the reservoir; event
+    /// `n > cap` replaces a uniformly random slot with probability
+    /// `cap / n`.
+    fn reservoir_offer(&mut self, event: WideEvent) {
+        self.reservoir_seen += 1;
+        if self.reservoir.len() < self.reservoir_cap {
+            self.reservoir.push(event);
+            return;
+        }
+        let j = xorshift64(&mut self.rng) % self.reservoir_seen;
+        if (j as usize) < self.reservoir_cap {
+            self.reservoir[j as usize] = event;
+        }
+    }
+
+    /// Every event ever offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Currently retained events (errors + tail + reservoir).
+    pub fn retained(&self) -> usize {
+        self.errors.len() + self.tail.len() + self.reservoir.len()
+    }
+
+    /// Errors that arrived after the error buffer filled.
+    pub fn errors_dropped(&self) -> u64 {
+        self.errors_dropped
+    }
+
+    /// Serialises every retained event as JSONL, ordered by timestamp
+    /// (ties broken by query id), one event per line, trailing newline.
+    pub fn to_jsonl(&self) -> String {
+        let mut lines: Vec<(u64, u64, String)> = Vec::with_capacity(self.retained());
+        for (bucket, kept) in [
+            (&self.errors, Kept::Error),
+            (&self.tail, Kept::Tail),
+            (&self.reservoir, Kept::Sample),
+        ] {
+            for e in bucket {
+                lines.push((e.unix_ms, e.record.query_id, e.to_jsonl(kept)));
+            }
+        }
+        lines.sort_by_key(|l| (l.0, l.1));
+        let mut out = String::new();
+        for (_, _, line) in lines {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(id: u64, latency_ns: u64) -> WideEvent {
+        WideEvent {
+            unix_ms: 1_700_000_000_000 + id,
+            thread: (id % 4) as u32,
+            record: QueryRecord {
+                query_id: id,
+                label: format!("q{id}"),
+                latency_ns,
+                ..QueryRecord::default()
+            },
+            ..WideEvent::default()
+        }
+    }
+
+    #[test]
+    fn errors_are_always_kept() {
+        let mut log = WideEventLog::new(2, 2, 42);
+        for i in 0..10u64 {
+            let mut e = event(i, 100);
+            if i % 2 == 0 {
+                e.error = Some(format!("boom {i}"));
+            }
+            log.offer(e);
+        }
+        assert_eq!(log.seen(), 10);
+        // error_cap == tail_cap == 2: first two errors kept, three more
+        // counted as dropped rather than vanishing.
+        assert_eq!(log.errors.len(), 2);
+        assert_eq!(log.errors_dropped(), 3);
+        let jsonl = log.to_jsonl();
+        assert!(jsonl.contains("\"kept\": \"error\""));
+        assert!(jsonl.contains("\"error\": \"boom 0\""));
+    }
+
+    #[test]
+    fn tail_keeps_the_slowest() {
+        let mut log = WideEventLog::new(4, 3, 7);
+        for i in 0..100u64 {
+            log.offer(event(i, (i + 1) * 1_000));
+        }
+        let mut tail_ids: Vec<u64> =
+            log.tail.iter().map(|e| e.record.query_id).collect();
+        tail_ids.sort_unstable();
+        assert_eq!(tail_ids, vec![97, 98, 99], "three slowest survive");
+        assert!(log.reservoir.len() <= 4);
+        assert_eq!(log.retained(), log.tail.len() + log.reservoir.len());
+    }
+
+    #[test]
+    fn reservoir_is_bounded_and_deterministic() {
+        let run = |seed: u64| {
+            let mut log = WideEventLog::new(8, 2, seed);
+            for i in 0..1_000u64 {
+                // Constant latency: after the tail fills, everything
+                // else flows into the reservoir.
+                log.offer(event(i, if i < 2 { 1_000_000 } else { 500 }));
+            }
+            let ids: Vec<u64> =
+                log.reservoir.iter().map(|e| e.record.query_id).collect();
+            (log.seen(), ids)
+        };
+        let (seen_a, ids_a) = run(123);
+        let (_, ids_b) = run(123);
+        let (_, ids_c) = run(456);
+        assert_eq!(seen_a, 1_000);
+        assert_eq!(ids_a.len(), 8);
+        assert_eq!(ids_a, ids_b, "same seed, same sample");
+        assert_ne!(ids_a, ids_c, "different seed, different sample");
+    }
+
+    #[test]
+    fn jsonl_lines_are_ordered_and_self_describing() {
+        let mut log = WideEventLog::new(8, 2, 1);
+        let mut slow = event(5, 9_000_000);
+        slow.theta = 0.25;
+        slow.blocks_total = 10;
+        slow.blocks_skipped = 4;
+        slow.record.top_candidates = vec![(17, 0.91), (3, 0.5)];
+        log.offer(slow);
+        log.offer(event(1, 100));
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // Ordered by timestamp (event 1 is earlier).
+        assert!(lines[0].contains("\"query_id\": 1"));
+        assert!(lines[1].contains("\"theta\": 0.250"));
+        assert!(lines[1].contains("\"top1_person\": 17"));
+        assert!(lines[1].contains("\"blocks_skipped\": 4"));
+        assert!(lines[1].contains("\"error\": null"));
+        // Every line is a single JSON object.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn tail_evictions_are_demoted_to_the_reservoir() {
+        let mut log = WideEventLog::new(100, 1, 9);
+        // Strictly increasing latencies: each new event evicts the
+        // previous tail occupant, which must land in the reservoir.
+        for i in 0..10u64 {
+            log.offer(event(i, (i + 1) * 1_000));
+        }
+        assert_eq!(log.tail.len(), 1);
+        assert_eq!(log.tail[0].record.query_id, 9);
+        assert_eq!(log.reservoir.len(), 9, "evictees demoted, not dropped");
+        assert_eq!(log.retained(), 10);
+    }
+}

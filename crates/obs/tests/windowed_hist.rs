@@ -1,0 +1,100 @@
+//! Property tests for windowed histograms: folding per-window deltas
+//! back together must bit-equal the global histogram, and windowed
+//! percentiles must agree with the atomic implementation.
+
+use proptest::prelude::*;
+use rightcrowd_obs::hist::{Histogram, PlainHistogram};
+
+const MAX_OBS: usize = 200;
+
+/// Random nanosecond observations spanning every bucket decade.
+fn observations() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![
+            0u64..16,                     // the bottom buckets
+            1_000u64..1_000_000,          // microsecond range
+            1_000_000u64..10_000_000_000, // ms .. tens of seconds
+            Just(u64::MAX),               // the saturating top bucket
+        ],
+        0..MAX_OBS,
+    )
+}
+
+/// Window assignments: observation `i` belongs to window
+/// `assignment[i % MAX_OBS] % 8`.
+fn assignments() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..8, MAX_OBS..=MAX_OBS)
+}
+
+proptest! {
+    /// Merging every window's delta histogram bit-equals one global
+    /// histogram of the same observations (buckets, count and sum).
+    #[test]
+    fn merged_windows_bit_equal_the_global_histogram(
+        obs in observations(),
+        windows in assignments(),
+    ) {
+        // The global histogram records everything in one stream.
+        let global = Histogram::new();
+        for &ns in &obs {
+            global.record_ns(ns);
+        }
+        // Each window accumulates only its own observations…
+        let mut per_window = vec![PlainHistogram::new(); 8];
+        for (i, &ns) in obs.iter().enumerate() {
+            per_window[windows[i % MAX_OBS] as usize % 8].record_ns(ns);
+        }
+        // …and folding the windows back recovers the global bit-for-bit.
+        let mut merged = PlainHistogram::new();
+        for w in &per_window {
+            merged.merge_from(w);
+        }
+        prop_assert_eq!(merged, global.freeze());
+    }
+
+    /// Delta-of-freezes windowing (what `obs::timeseries::Sampler` does)
+    /// also reassembles exactly: freeze after every batch, diff against
+    /// the previous freeze, merge the diffs.
+    #[test]
+    fn freeze_deltas_reassemble_exactly(
+        obs in observations(),
+        windows in assignments(),
+    ) {
+        let global = Histogram::new();
+        let mut merged = PlainHistogram::new();
+        let mut prev = PlainHistogram::new();
+        // Observations arrive in arbitrary batches (the assignment
+        // decides where freeze points fall).
+        for (i, &ns) in obs.iter().enumerate() {
+            global.record_ns(ns);
+            if windows[i % MAX_OBS] % 3 == 0 {
+                let cur = global.freeze();
+                merged.merge_from(&cur.saturating_delta(&prev));
+                prev = cur;
+            }
+        }
+        let cur = global.freeze();
+        merged.merge_from(&cur.saturating_delta(&prev));
+        prop_assert_eq!(merged, cur);
+    }
+
+    /// On single-window data the windowed `percentile_ns` agrees with
+    /// the atomic `Histogram::percentile_ns` at every probability
+    /// (including the exact endpoints).
+    #[test]
+    fn windowed_percentile_agrees_with_global(
+        obs in observations(),
+        p in 0.0f64..1.0,
+    ) {
+        let global = Histogram::new();
+        let mut window = PlainHistogram::new();
+        for &ns in &obs {
+            global.record_ns(ns);
+            window.record_ns(ns);
+        }
+        for p in [0.0, p, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(window.percentile_ns(p), global.percentile_ns(p));
+        }
+        prop_assert_eq!(window.summarize(), global.summarize());
+    }
+}
