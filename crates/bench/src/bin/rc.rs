@@ -15,6 +15,9 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --top 3
 //! cargo run --release -p rightcrowd-bench --bin rc -- flight --slowest 10 --capacity 1024
 //! cargo run --release -p rightcrowd-bench --bin rc -- soak --out target/perf --duration 30s --watch
+//! cargo run --release -p rightcrowd-bench --bin rc -- profile bench --out target/perf --hz 1000
+//! cargo run --release -p rightcrowd-bench --bin rc -- profile soak --duration 10s --svg flame.svg
+//! cargo run --release -p rightcrowd-bench --bin rc -- spans --json
 //! cargo run --release -p rightcrowd-bench --bin rc -- expose --out metrics.openmetrics --check metrics.openmetrics
 //! cargo run --release -p rightcrowd-bench --bin rc -- trace --chrome trace.chrome.json --check trace.chrome.json
 //! ```
@@ -320,7 +323,7 @@ fn main() {
                 bench.ds.candidates().iter().map(|p| p.name.as_str()).collect();
             print!("{}", explain_fmt::render_flight(&summary, &records, &names));
         }
-        Command::Soak { out, snapshot, duration_ms, queries, threads, tick_ms, watch } => {
+        Command::Soak { out, snapshot, duration_ms, queries, threads, tick_ms, watch, profile } => {
             let bench = prepare_or_exit(snapshot.as_deref());
             let opts = rightcrowd_bench::soak::SoakOptions {
                 duration: std::time::Duration::from_millis(duration_ms),
@@ -328,6 +331,7 @@ fn main() {
                 max_threads: threads,
                 tick: std::time::Duration::from_millis(tick_ms),
                 watch,
+                profile,
                 ..Default::default()
             };
             let report = rightcrowd_bench::soak::SoakReport::run(&bench, &opts);
@@ -353,6 +357,15 @@ fn main() {
                     .rss_peak_bytes
                     .map_or(String::new(), |b| format!("; peak RSS {:.1} MiB", b as f64 / (1 << 20) as f64)),
             );
+            if let Some(profile) = &report.profile {
+                println!(
+                    "profiler: {} samples over {} ticks ({:.0} µs interval); per-query CPU stamped on {} events",
+                    profile.samples,
+                    profile.ticks,
+                    profile.interval_ns as f64 / 1_000.0,
+                    profile.query_samples.len(),
+                );
+            }
             match report.write_to(&out) {
                 Ok(paths) => {
                     for path in paths {
@@ -467,7 +480,14 @@ fn main() {
             print!("{}", rightcrowd_obs::snapshot().render());
         }
         Command::Regress { baseline, current, threshold, warn_only, snapshot } => {
-            // The snapshot gate runs first: a container that fails its
+            // Every gate runs even after the first failure — one run
+            // reports ALL broken keys and invariants (a CI loop that
+            // surfaces failures one at a time costs a full rebuild per
+            // discovery). Failures accumulate here; the exit happens once
+            // at the end.
+            let mut failures: Vec<String> = Vec::new();
+
+            // Snapshot integrity gate: a container that fails its
             // checksums is a regression regardless of the latency diff.
             // Sharded directories gate the manifest plus every shard.
             if let Some(path) = &snapshot {
@@ -482,10 +502,7 @@ fn main() {
                             stats.elapsed_ms,
                             corpus.retained()
                         ),
-                        Err(e) => {
-                            eprintln!("error: snapshot {}: {e}", path.display());
-                            std::process::exit(1);
-                        }
+                        Err(e) => failures.push(format!("snapshot {}: {e}", path.display())),
                     }
                 } else {
                     match rightcrowd_store::load(path) {
@@ -496,24 +513,149 @@ fn main() {
                             stats.elapsed_ms,
                             corpus.retained()
                         ),
-                        Err(e) => {
-                            eprintln!("error: snapshot {}: {e}", path.display());
-                            std::process::exit(1);
-                        }
+                        Err(e) => failures.push(format!("snapshot {}: {e}", path.display())),
                     }
                 }
             }
+
+            // Profiler artifact gate: when a profile run left its folded
+            // stacks next to the current bench snapshot, they must still
+            // parse — a flamegraph nobody can re-render is not an
+            // artifact. Absence is fine (not every run profiles).
+            let folded_path = current
+                .parent()
+                .map(|dir| dir.join("profile.folded"))
+                .filter(|p| p.is_file());
+            if let Some(path) = &folded_path {
+                match std::fs::read_to_string(path) {
+                    Ok(text) => match rightcrowd_obs::validate_folded(&text) {
+                        Ok(samples) => println!(
+                            "profile {} ok: {} samples re-validated",
+                            path.display(),
+                            samples
+                        ),
+                        Err(e) => failures.push(format!("profile {}: {e}", path.display())),
+                    },
+                    Err(e) => {
+                        failures.push(format!("profile {}: cannot read: {e}", path.display()))
+                    }
+                }
+            }
+
+            // The snapshot diff itself: latency/size keys plus counter
+            // invariants (including the profiler overhead budget).
             match regress::compare_files(&baseline, &current, threshold) {
                 Ok(report) => {
                     print!("{}", report.render());
-                    if report.any_regressed() && !warn_only {
-                        std::process::exit(1);
+                    if report.any_regressed() {
+                        failures.push(format!(
+                            "{} regressed key(s)/invariant(s) in {}",
+                            report.regressed_count(),
+                            current.display()
+                        ));
+                    }
+                }
+                Err(e) => failures.push(e.to_string()),
+            }
+
+            if !failures.is_empty() {
+                eprintln!("{} gate(s) failed:", failures.len());
+                for failure in &failures {
+                    eprintln!("  - {failure}");
+                }
+                if !warn_only {
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::Profile { mode, out, snapshot, folded, svg, hz, duration_ms, threads } => {
+            if !rightcrowd_obs::PROBES_ENABLED {
+                // obs-off builds keep the command but compile the sampler
+                // (and every span it would observe) out. Degrade to a
+                // clear no-op — writing empty artifacts would look like a
+                // profiler bug rather than a build-flavour fact.
+                eprintln!(
+                    "rc profile: built with feature obs-off — the sampling profiler is \
+                     compiled out, nothing to profile (rebuild without obs-off)"
+                );
+                return;
+            }
+            let bench = prepare_or_exit(snapshot.as_deref());
+            let opts = rightcrowd_bench::profile::ProfileOptions {
+                mode,
+                hz,
+                duration: std::time::Duration::from_millis(duration_ms),
+                threads,
+            };
+            let report = rightcrowd_bench::profile::ProfileRunReport::run(&bench, &opts);
+            println!(
+                "profile: {} samples over {} ticks ({:.0} µs interval)",
+                report.profile.samples,
+                report.profile.ticks,
+                report.profile.interval_ns as f64 / 1_000.0,
+            );
+            if let Some(frac) = report.overhead_frac {
+                println!(
+                    "overhead: {:.2}% vs unprofiled floor (budget {:.0}%, gated by rc regress)",
+                    frac * 100.0,
+                    regress::PROFILE_OVERHEAD_MAX * 100.0,
+                );
+            }
+            for (i, (span, frac)) in report.profile.top_self(5).into_iter().enumerate() {
+                println!("  top{} {:<44} {:>5.1}% self", i + 1, span, frac * 100.0);
+            }
+            match report.write_to(&out, folded.as_deref(), svg.as_deref()) {
+                Ok(paths) => {
+                    for path in paths {
+                        println!("wrote {}", path.display());
                     }
                 }
                 Err(e) => {
                     eprintln!("error: {e}");
-                    std::process::exit(2);
+                    std::process::exit(1);
                 }
+            }
+        }
+        Command::Spans { json, platforms, distance } => {
+            // Run the evaluation workload once so the span registry holds
+            // a real serving profile, then expose the aggregated tree —
+            // the same rows `rc metrics` embeds, without the counters and
+            // histograms around them.
+            let bench = Bench::prepare();
+            let ctx = bench.ctx();
+            let config = FinderConfig::default()
+                .with_platforms(platforms)
+                .with_distance(distance);
+            let outcome = ctx.run(&config);
+            eprintln!(
+                "[spans] workload MAP {:.3} over {} queries",
+                outcome.mean.map,
+                outcome.per_query.len()
+            );
+            let spans = rightcrowd_obs::snapshot().spans;
+            if json {
+                let rows: Vec<regress::Json> = spans
+                    .iter()
+                    .map(|(path, stat)| {
+                        let mut row = std::collections::BTreeMap::new();
+                        row.insert("path".to_owned(), regress::Json::Str(path.clone()));
+                        row.insert("calls".to_owned(), regress::Json::Num(stat.calls as f64));
+                        row.insert(
+                            "total_ns".to_owned(),
+                            regress::Json::Num(stat.total_ns as f64),
+                        );
+                        row.insert(
+                            "self_ns".to_owned(),
+                            regress::Json::Num(stat.self_ns() as f64),
+                        );
+                        regress::Json::Obj(row)
+                    })
+                    .collect();
+                print!("{}", regress::Json::Arr(rows).render());
+            } else if spans.is_empty() {
+                eprintln!("no spans recorded (built with obs-off?)");
+            } else {
+                print!("{}", rightcrowd_obs::span::render_tree(&spans));
             }
         }
         Command::Eval { platforms, distance } => {

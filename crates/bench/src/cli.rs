@@ -136,6 +136,45 @@ pub enum Command {
         tick_ms: u64,
         /// Print a live status line per tick.
         watch: bool,
+        /// Run the sampling profiler over the telemetry-on ladder and
+        /// fold CPU estimates into the wide-event log.
+        profile: bool,
+    },
+    /// `rc profile <bench|soak> [--folded PATH] [--svg PATH] [--hz N]
+    /// [--out DIR] [--snapshot PATH] [--duration 30s] [--threads N]` —
+    /// run the workload under the in-process sampling profiler and write
+    /// collapsed stacks (Brendan Gregg folded format) plus a
+    /// self-contained flamegraph SVG, folding per-query CPU estimates
+    /// into the flight recorder and merging `profile_*` keys into
+    /// `BENCH_<scale>.json`.
+    Profile {
+        /// What to profile: the bench per-query workload loop, or the
+        /// closed-loop soak ladder.
+        mode: ProfileMode,
+        /// Directory the artifacts (and the merged bench JSON) live in.
+        out: std::path::PathBuf,
+        /// Serve from this store container instead of rebuilding.
+        snapshot: Option<std::path::PathBuf>,
+        /// Where the folded stacks go (default `<out>/profile.folded`).
+        folded: Option<std::path::PathBuf>,
+        /// Where the flamegraph SVG goes (default `<out>/flamegraph.svg`).
+        svg: Option<std::path::PathBuf>,
+        /// Sampling frequency (default ~1003 Hz: a prime 997 µs period).
+        hz: Option<u32>,
+        /// Wall-clock length of the profiled soak phase (ms; soak mode).
+        duration_ms: u64,
+        /// Worker threads for the profiled soak phase (soak mode).
+        threads: Option<usize>,
+    },
+    /// `rc spans [--json]` — run the workload once and print the
+    /// aggregated span tree (or its JSON form) without a full bench.
+    Spans {
+        /// Emit the span table as JSON instead of the indented tree.
+        json: bool,
+        /// Platform restriction.
+        platforms: PlatformMask,
+        /// Distance cap.
+        distance: Distance,
     },
     /// `rc expose [--out FILE] [--check FILE]` — run the workload and
     /// write the live metric registry as OpenMetrics text, and/or
@@ -180,6 +219,16 @@ pub enum Command {
     Help,
 }
 
+/// What `rc profile` drives while the sampler runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileMode {
+    /// The bench-style per-query workload loop (profiler on vs off, so
+    /// the run also measures `profile_overhead_frac`).
+    Bench,
+    /// One closed-loop soak phase under load.
+    Soak,
+}
+
 /// A fully parsed `rc` invocation: the subcommand plus global flags.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
@@ -217,7 +266,10 @@ USAGE:
   rc load --snapshot PATH [--threads N]
   rc flight [--slowest K] [--capacity N] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc soak [--out DIR] [--snapshot PATH] [--duration 30s] [--queries N] [--threads N]
-          [--tick-ms MS] [--watch]
+          [--tick-ms MS] [--watch] [--profile]
+  rc profile bench|soak [--folded PATH] [--svg PATH] [--hz N] [--out DIR]
+             [--snapshot PATH] [--duration 30s] [--threads N]
+  rc spans [--json] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc expose [--out FILE.openmetrics] [--check FILE.openmetrics]
   rc trace [--chrome OUT.json] [--check FILE.json]
   rc metrics [--platform all|fb|tw|li] [--distance 0|1|2]
@@ -234,6 +286,21 @@ SOAK (closed-loop load):
   qps_t{1,2,4,8}, p50/p99_under_load_t{N}_ms, soak_telemetry_overhead_frac
   and rss_peak_bytes into BENCH_<scale>.json for `rc regress` to gate.
   --duration accepts 500ms / 30s / 2m / plain seconds.
+
+PROFILE (in-process sampling profiler):
+  rc profile runs the workload with a sampler thread snapshotting every
+  instrumented thread's live span stack on a prime ~997 µs interval (no
+  ptrace, no perf, no external tools). `bench` mode replays the query
+  workload twice — profiler off then on — so it also measures
+  profile_overhead_frac; `soak` mode profiles one closed-loop load phase.
+  Both write collapsed stacks (--folded, default <out>/profile.folded)
+  and a self-contained flamegraph SVG (--svg, default
+  <out>/flamegraph.svg), fold per-query CPU estimates into the flight
+  recorder (`rc flight` / `rc explain` show cpu_ms), and merge
+  profile_samples, profile_overhead_frac and the top-5 self-time spans
+  into BENCH_<scale>.json for `rc regress` to gate. `rc soak --profile`
+  samples the telemetry-on ladder and stamps cpu_est_us into the
+  wide-event log.
 
 SNAPSHOTS (build once, query many):
   --snapshot PATH points at a rightcrowd-store container: a monolithic
@@ -322,6 +389,10 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut tick_ms = 1_000u64;
     let mut watch = false;
     let mut capacity: Option<usize> = None;
+    let mut folded: Option<std::path::PathBuf> = None;
+    let mut svg: Option<std::path::PathBuf> = None;
+    let mut hz: Option<u32> = None;
+    let mut profile = false;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -448,6 +519,28 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                 tick_ms = n;
             }
             "--watch" => watch = true,
+            "--profile" => profile = true,
+            "--folded" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--folded needs a path".into()))?;
+                folded = Some(std::path::PathBuf::from(value));
+            }
+            "--svg" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--svg needs a path".into()))?;
+                svg = Some(std::path::PathBuf::from(value));
+            }
+            "--hz" => {
+                let value =
+                    iter.next().ok_or_else(|| ParseError("--hz needs a number".into()))?;
+                let n: u32 = value
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid --hz value {value:?}")))?;
+                if n == 0 || n > 10_000 {
+                    return Err(ParseError("--hz must be between 1 and 10000".into()));
+                }
+                hz = Some(n);
+            }
             "--capacity" => {
                 let value = iter
                     .next()
@@ -532,7 +625,22 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             threads,
             tick_ms,
             watch,
+            profile,
         },
+        "profile" => {
+            let mode = match positional.first().map(|s| s.as_str()) {
+                Some("bench") => ProfileMode::Bench,
+                Some("soak") => ProfileMode::Soak,
+                Some(other) => {
+                    return Err(ParseError(format!(
+                        "unknown profile mode {other:?} (use bench or soak)"
+                    )))
+                }
+                None => return Err(ParseError("profile needs a mode: bench or soak".into())),
+            };
+            Command::Profile { mode, out, snapshot, folded, svg, hz, duration_ms, threads }
+        }
+        "spans" => Command::Spans { json, platforms, distance },
         "expose" => {
             if !out_given && check.is_none() {
                 return Err(ParseError(
@@ -779,12 +887,14 @@ mod tests {
                 threads: None,
                 tick_ms: 1_000,
                 watch: false,
+                profile: false,
             }
         );
         assert_eq!(
             cmd(&[
                 "soak", "--out", "target/perf", "--snapshot", "corpus.shards", "--duration",
-                "5s", "--queries", "1000", "--threads", "2", "--tick-ms", "250", "--watch"
+                "5s", "--queries", "1000", "--threads", "2", "--tick-ms", "250", "--watch",
+                "--profile"
             ]),
             Command::Soak {
                 out: std::path::PathBuf::from("target/perf"),
@@ -794,12 +904,71 @@ mod tests {
                 threads: Some(2),
                 tick_ms: 250,
                 watch: true,
+                profile: true,
             }
         );
         assert!(parse(&args(&["soak", "--duration", "0s"])).is_err());
         assert!(parse(&args(&["soak", "--queries", "0"])).is_err());
         assert!(parse(&args(&["soak", "--tick-ms", "0"])).is_err());
         assert!(parse(&args(&["soak", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_profile() {
+        assert_eq!(
+            cmd(&["profile", "bench"]),
+            Command::Profile {
+                mode: ProfileMode::Bench,
+                out: std::path::PathBuf::from("."),
+                snapshot: None,
+                folded: None,
+                svg: None,
+                hz: None,
+                duration_ms: 30_000,
+                threads: None,
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "profile", "soak", "--out", "target/perf", "--snapshot", "corpus.shards",
+                "--folded", "p.folded", "--svg", "f.svg", "--hz", "500", "--duration", "5s",
+                "--threads", "2"
+            ]),
+            Command::Profile {
+                mode: ProfileMode::Soak,
+                out: std::path::PathBuf::from("target/perf"),
+                snapshot: Some(std::path::PathBuf::from("corpus.shards")),
+                folded: Some(std::path::PathBuf::from("p.folded")),
+                svg: Some(std::path::PathBuf::from("f.svg")),
+                hz: Some(500),
+                duration_ms: 5_000,
+                threads: Some(2),
+            }
+        );
+        // The mode is required and closed.
+        assert!(parse(&args(&["profile"])).is_err());
+        assert!(parse(&args(&["profile", "everything"])).is_err());
+        assert!(parse(&args(&["profile", "bench", "--hz", "0"])).is_err());
+        assert!(parse(&args(&["profile", "bench", "--hz", "20000"])).is_err());
+        assert!(parse(&args(&["profile", "bench", "--hz", "fast"])).is_err());
+        assert!(parse(&args(&["profile", "bench", "--folded"])).is_err());
+        assert!(parse(&args(&["profile", "bench", "--svg"])).is_err());
+    }
+
+    #[test]
+    fn parses_spans() {
+        assert_eq!(
+            cmd(&["spans"]),
+            Command::Spans { json: false, platforms: PlatformMask::ALL, distance: Distance::D2 }
+        );
+        assert_eq!(
+            cmd(&["spans", "--json", "--platform", "li", "--distance", "1"]),
+            Command::Spans {
+                json: true,
+                platforms: PlatformMask::only(Platform::LinkedIn),
+                distance: Distance::D1,
+            }
+        );
     }
 
     #[test]

@@ -220,18 +220,26 @@ pub fn render_flight(
         return out;
     }
     out.push_str(&format!(
-        "{:>5} {:>10} {:>9} {:>7} {:>7} {:>5} {:>2} {:>8}  {:<28} {}\n",
-        "query", "latency_ms", "postings", "admit", "prune", "α", "d", "window", "top candidate", "text"
+        "{:>5} {:>10} {:>8} {:>9} {:>7} {:>7} {:>5} {:>2} {:>8}  {:<28} {}\n",
+        "query", "latency_ms", "cpu_ms", "postings", "admit", "prune", "α", "d", "window", "top candidate", "text"
     ));
     for r in records {
         let top = r
             .top_candidates
             .first()
             .map_or_else(String::new, |&(p, s)| format!("{} ({s:.2})", name_of(names, p)));
+        // Estimated CPU only exists when a sampling profiler ran over
+        // the workload; "-" keeps unprofiled runs honest.
+        let cpu = if r.cpu_est_us == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.3}", r.cpu_est_ms())
+        };
         out.push_str(&format!(
-            "{:>5} {:>10.3} {:>9} {:>7} {:>7} {:>5.2} {:>2} {:>8}  {:<28} {}\n",
+            "{:>5} {:>10.3} {:>8} {:>9} {:>7} {:>7} {:>5.2} {:>2} {:>8}  {:<28} {}\n",
             r.query_id,
             r.latency_ms(),
+            cpu,
             r.postings_traversed,
             r.maxscore_admitted,
             r.maxscore_pruned,
@@ -339,12 +347,19 @@ mod tests {
             maxscore_admitted: 56,
             maxscore_pruned: 78,
             top_candidates: vec![(0, 12.5)],
+            cpu_est_us: 1_750,
         }];
         let out = render_flight(&summary, &records, &["Alice Example"]);
         assert!(out.contains("2 recorded"));
         assert!(out.contains("1234"));
+        assert!(out.contains("cpu_ms"));
+        assert!(out.contains("1.750"), "profiled CPU estimate rendered:\n{out}");
         assert!(out.contains("Alice Example (12.50)"));
         assert!(out.contains("who knows php"));
+        let mut unprofiled = records;
+        unprofiled[0].cpu_est_us = 0;
+        let out = render_flight(&summary, &unprofiled, &["Alice Example"]);
+        assert!(out.contains(" - "), "unprofiled records show a dash");
         let empty = render_flight(&FlightSummary::default(), &[], &[]);
         assert!(empty.contains("no records retained"));
     }

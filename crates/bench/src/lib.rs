@@ -19,7 +19,7 @@
 //! | `exp_ablation` | design-choice ablations (weights, normalisation, enrichment, voting, location policy) |
 //! | `exp_rankers`  | retrieval (VSM vs. BM25) × fusion (Eq. 3 vs. voting models) comparison |
 //! | `exp_all`      | everything above, in order, sharing one in-process [`Bench`] |
-//! | `rc`           | interactive CLI: `rc query`, `rc explain`, `rc eval`, `rc stats`, `rc bench`, `rc save`, `rc load`, `rc flight`, `rc trace`, `rc metrics`, `rc regress` |
+//! | `rc`           | interactive CLI: `rc query`, `rc explain`, `rc eval`, `rc stats`, `rc bench`, `rc save`, `rc load`, `rc flight`, `rc trace`, `rc metrics`, `rc regress`, `rc soak`, `rc profile`, `rc spans` |
 //!
 //! `rc bench` measures the retrieval hot path (per-query latency, the
 //! factored-vs-naive α-sweep speedup) and writes a `BENCH_<scale>.json`
@@ -52,6 +52,7 @@ pub mod cli;
 pub mod experiments;
 pub mod explain_fmt;
 pub mod paper;
+pub mod profile;
 pub mod regress;
 pub mod report;
 pub mod runner;

@@ -1,0 +1,468 @@
+//! `rc profile` — the sampling-profiler run harness.
+//!
+//! Drives a workload with [`rightcrowd_obs::Profiler`] attached and turns
+//! the collected stack samples into artifacts:
+//!
+//! * `profile.folded` — collapsed stacks in Brendan Gregg's folded
+//!   format, re-validated by [`rightcrowd_obs::validate_folded`] before
+//!   anything is written (an artifact this binary cannot re-parse is a
+//!   bug, not an artifact — same policy as the soak exposition).
+//! * `flamegraph.svg` — a self-contained flamegraph rendered by
+//!   [`rightcrowd_obs::flamegraph_svg`] and checked by
+//!   [`rightcrowd_obs::validate_flamegraph_svg`].
+//! * `profile_*` keys merged into `BENCH_<scale>.json` — sample count,
+//!   the measured profiler overhead, and the top self-time spans — so
+//!   `rc regress` gates the overhead budget
+//!   ([`crate::regress::PROFILE_OVERHEAD_MAX`]) alongside the latency
+//!   keys.
+//!
+//! Two modes, matching the CLI:
+//!
+//! * **bench** replays the per-query workload loop in three passes —
+//!   profiler off, on, off again — and reports `profile_overhead_frac`
+//!   as the profiled pass total against the mean of its two unprofiled
+//!   brackets (totals charge every sampler interruption fairly; the
+//!   bracket cancels linear clock-speed drift). The flight recorder is
+//!   on in *all* passes (so the comparison isolates the sampler, not the
+//!   recorder), and per-query CPU estimates are folded back into the
+//!   retained records: `rc flight` / `rc explain` then show `cpu_ms`
+//!   next to wall time.
+//! * **soak** runs one [`crate::soak::SoakReport`] ladder with
+//!   [`crate::soak::SoakOptions::profile`] set, reusing the profile that
+//!   run collected (and its wide-event CPU attribution) for the
+//!   artifacts. No overhead fraction: the soak harness already measures
+//!   its own telemetry tax.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use rightcrowd_core::ranker::rank_query;
+use rightcrowd_core::FinderConfig;
+use rightcrowd_obs::ProfileReport;
+
+use crate::cli::ProfileMode;
+use crate::regress::{parse_json, Json};
+use crate::runner::Bench;
+use crate::soak::{SoakOptions, SoakReport};
+
+/// How many top self-time spans are merged into `BENCH_<scale>.json`
+/// (`profile_top{1..N}_span` / `_frac`).
+const TOP_SELF_SPANS: usize = 5;
+
+/// Minimum wall clock each bench-mode pass should cover; the profiled
+/// pass is additionally stretched to at least [`MIN_TICKS_PER_PASS`]
+/// sampler intervals, so coarse single-core sampling still collects a
+/// profile dense enough to rank spans by.
+const MIN_PASS: Duration = Duration::from_millis(300);
+
+/// Sampler wakeups the profiled pass should at least span.
+const MIN_TICKS_PER_PASS: u64 = 96;
+
+/// Rep-count bounds for the bench-mode passes.
+const MIN_REPS: usize = 3;
+const MAX_REPS: usize = 400;
+
+/// Knobs of one `rc profile` run.
+#[derive(Debug, Clone)]
+pub struct ProfileOptions {
+    /// What to drive while the sampler runs.
+    pub mode: ProfileMode,
+    /// Sampling frequency override (`None` = the prime ~997 µs default).
+    pub hz: Option<u32>,
+    /// Wall-clock length of the profiled soak phase (soak mode).
+    pub duration: Duration,
+    /// Worker-thread cap for the soak ladder (soak mode).
+    pub threads: Option<usize>,
+}
+
+impl Default for ProfileOptions {
+    fn default() -> Self {
+        ProfileOptions {
+            mode: ProfileMode::Bench,
+            hz: None,
+            duration: Duration::from_secs(30),
+            threads: None,
+        }
+    }
+}
+
+/// Everything one `rc profile` run produced.
+#[derive(Debug, Clone)]
+pub struct ProfileRunReport {
+    /// Dataset scale label.
+    pub scale: String,
+    /// The mode the run drove.
+    pub mode: ProfileMode,
+    /// The raw sampling profile.
+    pub profile: ProfileReport,
+    /// `(best profiled rep − best unprofiled rep) / best unprofiled rep`,
+    /// floored at zero. `None` in soak mode.
+    pub overhead_frac: Option<f64>,
+    /// Queries the bench-mode workload covered per rep (0 in soak mode).
+    pub queries: usize,
+}
+
+fn start_profiler(opts: &ProfileOptions) -> rightcrowd_obs::Profiler {
+    match opts.hz {
+        Some(hz) => rightcrowd_obs::Profiler::start_hz(hz),
+        None => rightcrowd_obs::Profiler::start(),
+    }
+}
+
+/// One rep of the bench-mode workload: the full serving path for every
+/// query, flight-recorded, each iteration scoped to its query id.
+/// Returns the rep's wall clock.
+fn workload_rep(
+    bench: &Bench,
+    pipeline: &rightcrowd_core::AnalysisPipeline<'_>,
+    attribution: &rightcrowd_core::Attribution,
+    config: &FinderConfig,
+) -> Duration {
+    let n = bench.ds.candidates().len();
+    let started = Instant::now();
+    for need in bench.ds.queries() {
+        let _cpu = rightcrowd_obs::prof::query_scope(need.id.index() as u64);
+        let one = Instant::now();
+        let query = pipeline.analyze_query(&need.text);
+        let ranking = rank_query(&bench.corpus, attribution, config, &query, n);
+        let elapsed = one.elapsed();
+        let stats = rightcrowd_index::take_traversal_stats();
+        rightcrowd_obs::flight::record(rightcrowd_obs::QueryRecord {
+            query_id: need.id.index() as u64,
+            label: need.text.clone(),
+            domain: need.domain.label().to_string(),
+            alpha: config.alpha,
+            max_distance: config.max_distance.level() as u8,
+            window: config.window.label(),
+            latency_ns: elapsed.as_nanos() as u64,
+            postings_traversed: stats.traversed,
+            maxscore_admitted: stats.admitted,
+            maxscore_pruned: stats.pruned,
+            top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
+            cpu_est_us: 0,
+        });
+        std::hint::black_box(ranking);
+    }
+    started.elapsed()
+}
+
+impl ProfileRunReport {
+    /// Runs the requested mode under the profiler.
+    pub fn run(bench: &Bench, opts: &ProfileOptions) -> ProfileRunReport {
+        match opts.mode {
+            ProfileMode::Bench => Self::run_bench(bench, opts),
+            ProfileMode::Soak => Self::run_soak(bench, opts),
+        }
+    }
+
+    fn run_bench(bench: &Bench, opts: &ProfileOptions) -> ProfileRunReport {
+        let ctx = bench.ctx();
+        let config = FinderConfig::default();
+        let attribution = ctx.attribution(&config);
+        let pipeline = rightcrowd_core::AnalysisPipeline::new(bench.ds.kb());
+        rightcrowd_obs::flight::reset_flight();
+        rightcrowd_obs::flight::set_flight_enabled(true);
+
+        // Calibration rep (untouched by either measurement) sizes the
+        // rep count so every pass covers at least MIN_PASS wall clock
+        // and the profiled pass spans enough sampler ticks to be worth
+        // folding.
+        let interval_ns = match opts.hz {
+            Some(hz) => rightcrowd_obs::prof::hz_interval_ns(hz),
+            None => rightcrowd_obs::prof::default_interval_ns(),
+        };
+        let calibration = workload_rep(bench, &pipeline, &attribution, &config);
+        let pass = MIN_PASS.max(Duration::from_nanos(MIN_TICKS_PER_PASS * interval_ns));
+        let reps = (pass.as_secs_f64() / calibration.as_secs_f64().max(1e-9)).ceil() as usize;
+        let reps = reps.clamp(MIN_REPS, MAX_REPS);
+        let run_pass = || {
+            let started = Instant::now();
+            for _ in 0..reps {
+                workload_rep(bench, &pipeline, &attribution, &config);
+            }
+            started.elapsed()
+        };
+
+        // The overhead estimate alternates unprofiled and profiled
+        // passes (b p b p b p b) and takes the MEDIAN of each profiled
+        // pass against the mean of its two unprofiled brackets. Pass
+        // totals charge every sampler interruption fairly (minima would
+        // let the profiled side win by luck of a rep no tick landed in),
+        // each bracket cancels linear clock-speed drift, and the median
+        // survives one pass polluted by an unrelated CPU-steal burst —
+        // the dominant noise on small shared hosts. Flight recording
+        // stays on throughout: the fraction must isolate the sampler, so
+        // everything else is identical across the passes.
+        const ROUNDS: usize = 3;
+        eprintln!(
+            "[profile] measuring overhead: {ROUNDS} rounds of bracketed passes, {reps} reps each..."
+        );
+        let mut profile = rightcrowd_obs::ProfileReport::default();
+        let mut bases = Vec::with_capacity(ROUNDS + 1);
+        let mut ratios = Vec::with_capacity(ROUNDS);
+        bases.push(run_pass());
+        for round in 0..ROUNDS {
+            let profiler = start_profiler(opts);
+            let profiled = run_pass();
+            profile.merge(&profiler.stop());
+            bases.push(run_pass());
+            let base =
+                (bases[round].as_secs_f64() + bases[round + 1].as_secs_f64()) / 2.0;
+            ratios.push((profiled.as_secs_f64() - base) / base.max(1e-9));
+        }
+        rightcrowd_obs::flight::set_flight_enabled(false);
+
+        // Per-query CPU estimates land on the retained flight records;
+        // every record of a repeated query id carries the id's aggregate
+        // cost across the profiled reps (documented on `cpu_est_us`).
+        let cpu = profile.query_cpu_us();
+        rightcrowd_obs::flight::attribute_cpu(&cpu);
+
+        ratios.sort_by(f64::total_cmp);
+        let overhead = ratios[ratios.len() / 2];
+        eprintln!(
+            "[profile] {} samples over {} ticks; overhead {:+.2}% (budget {:.0}%)",
+            profile.samples,
+            profile.ticks,
+            overhead * 100.0,
+            crate::regress::PROFILE_OVERHEAD_MAX * 100.0,
+        );
+        ProfileRunReport {
+            scale: crate::runner::scale_label(),
+            mode: ProfileMode::Bench,
+            profile,
+            overhead_frac: Some(overhead.max(0.0)),
+            queries: bench.ds.queries().len(),
+        }
+    }
+
+    fn run_soak(bench: &Bench, opts: &ProfileOptions) -> ProfileRunReport {
+        let soak_opts = SoakOptions {
+            duration: opts.duration,
+            max_threads: opts.threads,
+            profile: true,
+            ..SoakOptions::default()
+        };
+        let report = SoakReport::run(bench, &soak_opts);
+        ProfileRunReport {
+            scale: crate::runner::scale_label(),
+            mode: ProfileMode::Soak,
+            profile: report.profile.unwrap_or_default(),
+            overhead_frac: None,
+            queries: 0,
+        }
+    }
+
+    /// The folded collapsed-stack text, validated.
+    pub fn folded(&self) -> Result<String, String> {
+        let text = self.profile.to_folded();
+        rightcrowd_obs::validate_folded(&text)
+            .map_err(|e| format!("folded output failed validation: {e}"))?;
+        Ok(text)
+    }
+
+    /// The flamegraph SVG, validated.
+    pub fn svg(&self) -> Result<String, String> {
+        let svg = rightcrowd_obs::flamegraph_svg(&self.profile.folded);
+        rightcrowd_obs::validate_flamegraph_svg(&svg)
+            .map_err(|e| format!("flamegraph SVG failed validation: {e}"))?;
+        Ok(svg)
+    }
+
+    /// The keys merged into `BENCH_<scale>.json`: sample volume, the
+    /// measured overhead (bench mode), and the top self-time spans.
+    pub fn bench_entries(&self) -> Vec<(String, Json)> {
+        let mut entries = vec![
+            ("profile_samples".to_owned(), Json::Num(self.profile.samples as f64)),
+            (
+                "profile_interval_us".to_owned(),
+                Json::Num(self.profile.interval_ns as f64 / 1_000.0),
+            ),
+        ];
+        if let Some(frac) = self.overhead_frac {
+            entries.push(("profile_overhead_frac".to_owned(), Json::Num(frac)));
+        }
+        for (i, (span, frac)) in
+            self.profile.top_self(TOP_SELF_SPANS).into_iter().enumerate()
+        {
+            entries.push((format!("profile_top{}_span", i + 1), Json::Str(span)));
+            entries.push((format!("profile_top{}_frac", i + 1), Json::Num(frac)));
+        }
+        entries
+    }
+
+    /// Merges [`ProfileRunReport::bench_entries`] into the bench snapshot
+    /// at `path` (parse → insert → re-render, like the soak merge). A
+    /// missing snapshot becomes a minimal one.
+    pub fn merge_into_bench(&self, path: &std::path::Path) -> Result<(), String> {
+        let mut doc = match std::fs::read_to_string(path) {
+            Ok(text) => parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut m = BTreeMap::new();
+                m.insert("scale".to_owned(), Json::Str(self.scale.clone()));
+                m.insert("git_rev".to_owned(), Json::Str(crate::report::git_rev()));
+                Json::Obj(m)
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        for (key, value) in self.bench_entries() {
+            doc.set(&key, value);
+        }
+        std::fs::write(path, doc.render())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Writes the folded stacks and the flamegraph SVG (validated first)
+    /// and merges the `profile_*` keys into `BENCH_<scale>.json` under
+    /// `dir`. `folded_to` / `svg_to` override the default artifact paths
+    /// (`<dir>/profile.folded`, `<dir>/flamegraph.svg`). Returns the
+    /// paths written.
+    pub fn write_to(
+        &self,
+        dir: &std::path::Path,
+        folded_to: Option<&std::path::Path>,
+        svg_to: Option<&std::path::Path>,
+    ) -> Result<Vec<std::path::PathBuf>, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut written = Vec::new();
+
+        let folded_path =
+            folded_to.map_or_else(|| dir.join("profile.folded"), |p| p.to_path_buf());
+        if let Some(parent) = folded_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&folded_path, self.folded()?)
+            .map_err(|e| format!("cannot write {}: {e}", folded_path.display()))?;
+        written.push(folded_path);
+
+        let svg_path = svg_to.map_or_else(|| dir.join("flamegraph.svg"), |p| p.to_path_buf());
+        if let Some(parent) = svg_path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(&svg_path, self.svg()?)
+            .map_err(|e| format!("cannot write {}: {e}", svg_path.display()))?;
+        written.push(svg_path);
+
+        let bench_path = dir.join(format!("BENCH_{}.json", self.scale));
+        self.merge_into_bench(&bench_path)?;
+        written.push(bench_path);
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench() -> Bench {
+        let ds = rightcrowd_synth::SyntheticDataset::generate(
+            &rightcrowd_synth::DatasetConfig::tiny(),
+        );
+        let corpus = rightcrowd_core::AnalyzedCorpus::build(&ds);
+        Bench { ds, corpus, generate_ms: 1.0, analyze_ms: 1.0 }
+    }
+
+    /// The profiler is observation-only: the ranking a query produces
+    /// with the sampler attached is bit-identical to the ranking without
+    /// it — same order, same float scores.
+    #[test]
+    fn rankings_are_bit_identical_with_the_profiler_attached() {
+        let bench = tiny_bench();
+        let ctx = bench.ctx();
+        let config = FinderConfig::default();
+        let attribution = ctx.attribution(&config);
+        let pipeline = rightcrowd_core::AnalysisPipeline::new(bench.ds.kb());
+        let n = bench.ds.candidates().len();
+        let rank_all = || -> Vec<Vec<(u32, f64)>> {
+            bench
+                .ds
+                .queries()
+                .iter()
+                .map(|need| {
+                    let query = pipeline.analyze_query(&need.text);
+                    rank_query(&bench.corpus, &attribution, &config, &query, n)
+                        .into_iter()
+                        .map(|r| (r.person.0, r.score))
+                        .collect()
+                })
+                .collect()
+        };
+        let unprofiled = rank_all();
+        let profiler = rightcrowd_obs::Profiler::start();
+        let profiled = rank_all();
+        let _ = profiler.stop();
+        assert_eq!(unprofiled, profiled, "sampling must never perturb scores");
+    }
+
+    #[test]
+    fn bench_mode_produces_valid_artifacts_and_attribution() {
+        let bench = tiny_bench();
+        let opts = ProfileOptions { hz: Some(4_000), ..ProfileOptions::default() };
+        let report = ProfileRunReport::run(&bench, &opts);
+        assert_eq!(report.mode, ProfileMode::Bench);
+        let overhead = report.overhead_frac.expect("bench mode measures overhead");
+        assert!(overhead.is_finite() && overhead >= 0.0);
+
+        // Both artifacts pass their validators (vacuously under obs-off:
+        // an empty profile folds to an empty file and a root-only SVG).
+        let folded = report.folded().expect("folded must validate");
+        let svg = report.svg().expect("svg must validate");
+        assert!(svg.contains("</svg>"));
+
+        // The BENCH merge lands next to existing keys without clobbering.
+        let dir = std::env::temp_dir().join(format!("rc-profile-test-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench_json = dir.join(format!("BENCH_{}.json", report.scale));
+        std::fs::write(&bench_json, "{\n  \"query_p50_ms\": 1.25\n}\n").unwrap();
+        let written = report.write_to(&dir, None, None).expect("artifacts must write");
+        assert_eq!(written.len(), 3);
+        let merged = parse_json(&std::fs::read_to_string(&bench_json).unwrap()).unwrap();
+        assert_eq!(merged.get("query_p50_ms").and_then(Json::as_f64), Some(1.25));
+        assert!(merged.get("profile_samples").is_some());
+        assert!(merged.get("profile_overhead_frac").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+
+        if rightcrowd_obs::PROBES_ENABLED {
+            assert!(report.profile.samples > 0, "the workload must be sampled");
+            assert!(!folded.is_empty());
+            // Per-query CPU reached the flight recorder: at least one
+            // retained record carries a non-zero estimate.
+            let attributed = rightcrowd_obs::flight::recent()
+                .iter()
+                .chain(rightcrowd_obs::flight::slowest(8).iter())
+                .any(|r| r.cpu_est_us > 0);
+            assert!(attributed, "flight records must carry cpu_est_us");
+        } else {
+            assert_eq!(report.profile.samples, 0);
+        }
+    }
+
+    #[test]
+    fn soak_mode_reuses_the_ladder_profile() {
+        let bench = tiny_bench();
+        let opts = ProfileOptions {
+            mode: ProfileMode::Soak,
+            duration: Duration::from_millis(250),
+            threads: Some(1),
+            ..ProfileOptions::default()
+        };
+        let report = ProfileRunReport::run(&bench, &opts);
+        assert_eq!(report.mode, ProfileMode::Soak);
+        assert!(report.overhead_frac.is_none(), "soak mode measures no overhead");
+        report.folded().expect("folded must validate");
+        report.svg().expect("svg must validate");
+        if rightcrowd_obs::PROBES_ENABLED {
+            assert!(report.profile.samples > 0, "the ladder must be sampled");
+        }
+        // No overhead key in the merge, but samples and interval are there.
+        let entries = report.bench_entries();
+        let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"profile_samples"));
+        assert!(keys.contains(&"profile_interval_us"));
+        assert!(!keys.contains(&"profile_overhead_frac"));
+    }
+}

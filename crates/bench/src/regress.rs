@@ -409,6 +409,13 @@ const ABS_SLACK_RSS_BYTES: f64 = 32.0 * 1024.0 * 1024.0;
 /// telemetry-off throughput on the same corpus (ISSUE 7's ≤3% budget).
 pub const OBS_OVERHEAD_MAX: f64 = 0.03;
 
+/// The sampling-profiler overhead budget: running the workload with the
+/// in-process sampler attached must cost at most this fraction of the
+/// unprofiled throughput (ISSUE 8). The publisher's per-span cost is a
+/// handful of relaxed stores on a thread-owned cache line, so the budget
+/// mostly bounds sampler-side interference.
+pub const PROFILE_OVERHEAD_MAX: f64 = 0.03;
+
 /// Admission ratios are noisy across machines but should be stable for
 /// the same corpus seed; drift beyond this absolute slack (in ratio
 /// points) flags a MaxScore accounting or bound-quality change.
@@ -602,6 +609,35 @@ pub fn soak_overhead_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck
     checks
 }
 
+/// The profiler-overhead invariant, checked per snapshot that records
+/// `profile_overhead_frac` (written by `rc profile bench`): the workload
+/// slowdown with the sampling profiler attached must stay within
+/// [`PROFILE_OVERHEAD_MAX`]. Like the telemetry check this is an
+/// absolute bound per snapshot, not a baseline-relative diff; snapshots
+/// that never ran `rc profile` skip it.
+pub fn profile_overhead_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
+    let mut checks = Vec::new();
+    for (label, snap) in [("baseline", baseline), ("current", current)] {
+        let Some(frac) = snap.get("profile_overhead_frac").and_then(Json::as_f64) else {
+            continue;
+        };
+        checks.push(CounterCheck {
+            name: "profile_overhead",
+            detail: format!(
+                "{label}: profiled workload {:.1}% slower than unprofiled (budget {:.0}%)",
+                frac * 100.0,
+                PROFILE_OVERHEAD_MAX * 100.0
+            ),
+            // Written so NaN (incomparable) fails rather than passes.
+            failed: !matches!(
+                frac.partial_cmp(&PROFILE_OVERHEAD_MAX),
+                Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+            ),
+        });
+    }
+    checks
+}
+
 /// One compared key.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KeyDelta {
@@ -707,6 +743,7 @@ impl RegressReport {
         let mut counters = counter_checks(baseline, current);
         counters.extend(sharded_speedup_checks(baseline, current));
         counters.extend(soak_overhead_checks(baseline, current));
+        counters.extend(profile_overhead_checks(baseline, current));
         let mut warnings = Vec::new();
         if small_shards {
             warnings.push(
@@ -728,6 +765,14 @@ impl RegressReport {
     /// Whether any latency key or counter invariant regressed.
     pub fn any_regressed(&self) -> bool {
         self.deltas.iter().any(|d| d.regressed) || self.counters.iter().any(|c| c.failed)
+    }
+
+    /// How many latency keys and counter invariants regressed, so the
+    /// CLI's collected-failure summary can say "3 regressed" instead of
+    /// just "something regressed".
+    pub fn regressed_count(&self) -> usize {
+        self.deltas.iter().filter(|d| d.regressed).count()
+            + self.counters.iter().filter(|c| c.failed).count()
     }
 
     /// The comparison as an aligned table with a verdict line.
@@ -1080,6 +1125,31 @@ mod tests {
         let nan = parse_json(r#"{"soak_telemetry_overhead_frac": 1e999}"#).unwrap();
         let r = RegressReport::compare(&base, &nan, 0.2);
         assert!(r.counters.iter().any(|c| c.name == "soak_telemetry_overhead" && c.failed));
+    }
+
+    #[test]
+    fn profile_overhead_past_budget_fails() {
+        let base = parse_json(r#"{"profile_overhead_frac": 0.005}"#).unwrap();
+        let r = RegressReport::compare(&base, &base.clone(), 0.2);
+        assert_eq!(r.counters.iter().filter(|c| c.name == "profile_overhead").count(), 2);
+        assert!(!r.any_regressed());
+
+        let costly = parse_json(r#"{"profile_overhead_frac": 0.09}"#).unwrap();
+        let r = RegressReport::compare(&base, &costly, 0.2);
+        assert!(r.any_regressed());
+        let check = r
+            .counters
+            .iter()
+            .find(|c| c.name == "profile_overhead" && c.failed)
+            .expect("the current snapshot's overhead check must fail");
+        assert!(check.detail.contains("current"), "{}", check.detail);
+        // NaN must not sneak past the budget comparison.
+        let nan = parse_json(r#"{"profile_overhead_frac": 1e999}"#).unwrap();
+        let r = RegressReport::compare(&base, &nan, 0.2);
+        assert!(r.counters.iter().any(|c| c.name == "profile_overhead" && c.failed));
+        // Snapshots that never ran `rc profile` skip the check entirely.
+        let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
+        assert!(r.counters.iter().all(|c| c.name != "profile_overhead"));
     }
 
     #[test]

@@ -328,6 +328,9 @@ impl BenchReport {
         let started = Instant::now();
         for need in bench.ds.queries() {
             let _ = rightcrowd_index::take_traversal_stats();
+            // Tag profiler samples landing in this iteration with the
+            // query id, so `rc profile bench` can attribute CPU per query.
+            let _cpu = rightcrowd_obs::prof::query_scope(need.id.index() as u64);
             let one = Instant::now();
             let query = pipeline.analyze_query(&need.text);
             let ranking = rank_query(&bench.corpus, &attribution, &config, &query, n);
@@ -347,6 +350,7 @@ impl BenchReport {
                 maxscore_admitted: stats.admitted,
                 maxscore_pruned: stats.pruned,
                 top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
+                cpu_est_us: 0,
             });
             std::hint::black_box(ranking);
             rightcrowd_obs::record(rightcrowd_obs::HistId::QueryLatency, elapsed);

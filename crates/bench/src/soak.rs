@@ -87,6 +87,9 @@ pub struct SoakOptions {
     pub tick: Duration,
     /// Print a live status line per tick (stderr).
     pub watch: bool,
+    /// Run the sampling profiler over the telemetry-on ladder and fold
+    /// per-query CPU estimates into the wide-event log.
+    pub profile: bool,
     /// Seed for the query mix and the wide-event reservoir.
     pub seed: u64,
 }
@@ -99,6 +102,7 @@ impl Default for SoakOptions {
             max_threads: None,
             tick: Duration::from_secs(1),
             watch: false,
+            profile: false,
             seed: 0x50AC_BEEF,
         }
     }
@@ -286,6 +290,9 @@ pub struct SoakReport {
     pub events_jsonl: String,
     /// OpenMetrics exposition rebuilt from the final phase's windows.
     pub openmetrics: String,
+    /// The sampling profile of the measured ladder, when the run was
+    /// started with [`SoakOptions::profile`] (empty under `obs-off`).
+    pub profile: Option<rightcrowd_obs::ProfileReport>,
 }
 
 /// What one worker brought home.
@@ -335,6 +342,10 @@ fn run_phase(
                         }
                         let need = &needs[zipf.pick(next_unit(&mut rng))];
                         let _ = rightcrowd_index::take_traversal_stats();
+                        // Tag profiler samples with the in-flight query id
+                        // so `--profile` can stamp cpu_est_us per event.
+                        let _cpu =
+                            rightcrowd_obs::prof::query_scope(need.id.index() as u64);
                         let one = Instant::now();
                         let query = pipeline.analyze_query(&need.text);
                         let ranking =
@@ -364,6 +375,7 @@ fn run_phase(
                                             .map(|r| (r.person.0, r.score))
                                             .into_iter()
                                             .collect(),
+                                        cpu_est_us: 0,
                                     },
                                     blocks_total: stats.blocks_total,
                                     blocks_skipped: stats.blocks_skipped,
@@ -479,6 +491,13 @@ impl SoakReport {
         eprintln!("[soak] warmup: {} threads for {:.1}s...", ladder[ladder.len() - 1], warmup.as_secs_f64());
         let _ = run_phase(bench, opts, ladder[ladder.len() - 1], true, warmup, None);
 
+        // The profiler samples the measured ladder only (warmup is
+        // discarded, so sampling it would just dilute the profile). The
+        // telemetry-off twin runs inside the sampled region too — its
+        // spans are compiled in, only the soak-level probes are skipped —
+        // which keeps the on/off phase pair thermally back-to-back.
+        let profiler = opts.profile.then(rightcrowd_obs::Profiler::start);
+
         let mut phases = Vec::new();
         let mut last_windows = Vec::new();
 
@@ -519,7 +538,19 @@ impl SoakReport {
         let telemetry_overhead_frac =
             if qps_off > 0.0 { ((qps_off - qps_on) / qps_off).max(0.0) } else { 0.0 };
 
-        let wide = wide.into_inner().expect("wide-event log poisoned");
+        let mut wide = wide.into_inner().expect("wide-event log poisoned");
+        let profile = profiler.map(rightcrowd_obs::Profiler::stop);
+        if let Some(profile) = &profile {
+            let cpu = profile.query_cpu_us();
+            wide.attribute_cpu(&cpu);
+            rightcrowd_obs::flight::attribute_cpu(&cpu);
+            eprintln!(
+                "[soak] profiler: {} samples over {} ticks, CPU attributed to {} queries",
+                profile.samples,
+                profile.ticks,
+                cpu.len()
+            );
+        }
         let openmetrics = rightcrowd_obs::export::openmetrics_from_windows(
             &build_info(),
             &last_windows,
@@ -540,6 +571,7 @@ impl SoakReport {
             events_retained: wide.retained(),
             events_jsonl: wide.to_jsonl(),
             openmetrics,
+            profile,
         }
     }
 
@@ -725,12 +757,15 @@ mod tests {
             query_budget: Some(400),
             max_threads: Some(2),
             tick: Duration::from_millis(100),
+            // Exercise the profiled path too — a no-op under obs-off.
+            profile: true,
             ..SoakOptions::default()
         };
         let report = SoakReport::run(&bench, &opts);
 
         // Ladder [1, 2] telemetry-on plus the off twin at rung 1.
         assert_eq!(report.phases.len(), 3);
+        assert!(report.profile.is_some(), "--profile must yield a profile report");
         assert!(report.phases.iter().all(|p| p.queries > 0 && p.qps > 0.0));
         assert!(report.phases.iter().all(|p| p.p50_ms <= p.p99_ms));
         let off: Vec<_> = report.phases.iter().filter(|p| !p.telemetry).collect();

@@ -161,6 +161,8 @@ impl<'a> EvalContext<'a> {
             maxscore_admitted: stats.admitted,
             maxscore_pruned: stats.pruned,
             top_candidates: ranking.iter().take(5).map(|r| (r.person.0, r.score)).collect(),
+            // Attributed post-hoc by the sampling profiler, when one ran.
+            cpu_est_us: 0,
         });
     }
 
@@ -185,6 +187,9 @@ impl<'a> EvalContext<'a> {
             self.ds.queries(),
             crate::par::default_threads(),
             |need| {
+                // Profiler samples taken while this closure runs
+                // attribute to the query id (nothing runs otherwise).
+                let _cpu = rightcrowd_obs::prof::query_scope(need.id.index() as u64);
                 let started = Self::flight_start();
                 let query = pipeline.analyze_query(&need.text);
                 let ranking = rank_query(self.corpus, attribution, config, &query, n);
@@ -224,6 +229,7 @@ impl<'a> EvalContext<'a> {
             self.ds.queries(),
             crate::par::default_threads(),
             |need| {
+                let _cpu = rightcrowd_obs::prof::query_scope(need.id.index() as u64);
                 let started = Self::flight_start();
                 let query = pipeline.analyze_query(&need.text);
                 let components = crate::ranker::attributed_components(

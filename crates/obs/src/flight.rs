@@ -56,12 +56,23 @@ pub struct QueryRecord {
     pub maxscore_pruned: u64,
     /// `(person id, score)` head of the ranking, best first.
     pub top_candidates: Vec<(u32, f64)>,
+    /// Estimated CPU microseconds the sampling profiler attributed to
+    /// this query id (0 when no profiler ran). Folded in *after* the
+    /// run by [`attribute_cpu`] — attribution covers every execution of
+    /// the id within the profiled window, so repeated queries carry
+    /// their aggregate cost.
+    pub cpu_est_us: u64,
 }
 
 impl QueryRecord {
     /// Latency in milliseconds.
     pub fn latency_ms(&self) -> f64 {
         self.latency_ns as f64 / 1e6
+    }
+
+    /// Estimated CPU in milliseconds (0 when no profiler ran).
+    pub fn cpu_est_ms(&self) -> f64 {
+        self.cpu_est_us as f64 / 1e3
     }
 }
 
@@ -227,6 +238,33 @@ impl FlightRecorder {
         }
     }
 
+    /// Folds profiler CPU attribution into every retained record: a
+    /// record whose `query_id` appears in `cpu_us` gets its
+    /// [`QueryRecord::cpu_est_us`] set. A no-op under `obs-off`.
+    pub fn attribute_cpu(&self, cpu_us: &std::collections::BTreeMap<u64, u64>) {
+        #[cfg(feature = "obs-off")]
+        let _ = cpu_us;
+        #[cfg(not(feature = "obs-off"))]
+        {
+            for slot in &self.slots {
+                if let Ok(mut guard) = slot.lock() {
+                    if let Some(record) = guard.as_mut() {
+                        if let Some(&us) = cpu_us.get(&record.query_id) {
+                            record.cpu_est_us = us;
+                        }
+                    }
+                }
+            }
+            if let Ok(mut slowest) = self.slowest.lock() {
+                for record in slowest.iter_mut() {
+                    if let Some(&us) = cpu_us.get(&record.query_id) {
+                        record.cpu_est_us = us;
+                    }
+                }
+            }
+        }
+    }
+
     /// Drops every retained record and zeroes the sequence counter.
     pub fn reset(&self) {
         #[cfg(not(feature = "obs-off"))]
@@ -380,6 +418,16 @@ pub fn reset_flight() {
     imp::recorder().reset();
 }
 
+/// Folds profiler CPU attribution (query id → estimated µs, as from
+/// `prof::ProfileReport::query_cpu_us`) into the global recorder's
+/// retained records. A no-op under `obs-off`.
+pub fn attribute_cpu(cpu_us: &std::collections::BTreeMap<u64, u64>) {
+    #[cfg(not(feature = "obs-off"))]
+    imp::recorder().attribute_cpu(cpu_us);
+    #[cfg(feature = "obs-off")]
+    let _ = cpu_us;
+}
+
 /// Aggregate view of the global recorder (all-zero under `obs-off`).
 pub fn flight_summary() -> FlightSummary {
     #[cfg(not(feature = "obs-off"))]
@@ -500,6 +548,33 @@ mod tests {
         rec8.reset();
         assert!(rec8.recent().is_empty());
         assert_eq!(rec8.summary().recorded, 0);
+    }
+
+    #[test]
+    fn cpu_attribution_folds_into_retained_records() {
+        let r = FlightRecorder::with_capacity(4);
+        // One slow outlier (query 9) that the slowest cohort keeps after
+        // the ring laps it, plus enough records to lap.
+        r.record(rec(9, 50_000_000));
+        for i in 0..6u64 {
+            r.record(rec(i, 1_000 + i));
+        }
+        let cpu = std::collections::BTreeMap::from([(9u64, 4_200u64), (3, 77)]);
+        r.attribute_cpu(&cpu);
+        if cfg!(feature = "obs-off") {
+            return;
+        }
+        let slowest = r.slowest(1);
+        assert_eq!(slowest[0].query_id, 9);
+        assert_eq!(slowest[0].cpu_est_us, 4_200, "slowest-cohort record attributed");
+        assert!((slowest[0].cpu_est_ms() - 4.2).abs() < 1e-12);
+        let ring = r.recent();
+        let q3 = ring.iter().find(|r| r.query_id == 3).expect("in ring");
+        assert_eq!(q3.cpu_est_us, 77, "ring record attributed");
+        assert!(
+            ring.iter().filter(|r| r.query_id != 3).all(|r| r.cpu_est_us == 0),
+            "unattributed ids stay at zero"
+        );
     }
 
     #[test]

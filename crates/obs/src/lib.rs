@@ -36,6 +36,12 @@
 //! - **Wide events** ([`wide`]) — a tail-sampled JSONL query log that
 //!   always keeps errors and the slowest tail and reservoir-samples the
 //!   rest, one self-contained line per interesting query.
+//! - **Sampling profiler** ([`prof`]) — every instrumented thread
+//!   publishes its live span stack (plus the active query id) into a
+//!   per-thread seqlock slot; a [`Profiler`] thread snapshots the
+//!   registry on a prime ~997 µs interval and folds the samples into
+//!   collapsed stacks, a hand-rolled flamegraph SVG, and per-query
+//!   estimated CPU (`cpu_est_us`) — the substrate of `rc profile`.
 //!
 //! [`snapshot()`] freezes counters, histograms and spans into a
 //! [`MetricsSnapshot`] that serialises to JSON (hand-rolled,
@@ -56,6 +62,7 @@ pub mod counter;
 pub mod export;
 pub mod flight;
 pub mod hist;
+pub mod prof;
 pub mod snapshot;
 pub mod span;
 pub mod timeseries;
@@ -66,6 +73,9 @@ pub use counter::{reset_counters, CounterId};
 pub use export::{openmetrics_live, rss_peak_bytes, validate_openmetrics, BuildInfo};
 pub use flight::{set_flight_capacity, FlightRecorder, FlightSummary, QueryRecord};
 pub use hist::{HistId, PlainHistogram};
+pub use prof::{
+    flamegraph_svg, validate_flamegraph_svg, validate_folded, ProfileReport, Profiler,
+};
 pub use snapshot::{reset, snapshot, MetricsSnapshot};
 pub use span::{set_spans_enabled, SpanGuard, SpanStat};
 pub use timeseries::{Sampler, Window};

@@ -1,0 +1,982 @@
+//! In-process sampling profiler: "where do the cycles go?" without
+//! external tooling.
+//!
+//! Every instrumented thread continuously publishes its **live span
+//! stack** (plus the active query id, when inside a flight-recorded
+//! query) into a per-thread seqlock slot in a global thread registry.
+//! The publication rides the existing [`crate::span`] enter/exit hooks:
+//! a push or pop is two sequence stores plus two relaxed cell stores on
+//! a cache line owned by the publishing thread, so the hot path never
+//! takes a lock and never blocks on the sampler.
+//!
+//! A [`Profiler`] spawns one sampler thread that wakes on a **prime
+//! interval** (default [`DEFAULT_INTERVAL_NS`] ≈ 997 µs, so it cannot
+//! phase-lock with millisecond tick loops; a single-core host defaults
+//! to the coarser [`SINGLE_CORE_INTERVAL_NS`] because each wake preempts
+//! the workload there), snapshots every registered stack lock-free
+//! (seqlock read with bounded retries, torn or lapped slots skipped),
+//! and accumulates collapsed-stack counts. Stopping the
+//! profiler yields a [`ProfileReport`]:
+//!
+//! - Brendan Gregg **folded format** ([`ProfileReport::to_folded`],
+//!   round-trip checked by [`validate_folded`]),
+//! - a self-contained, dependency-free **flamegraph SVG**
+//!   ([`flamegraph_svg`], structurally checked by
+//!   [`validate_flamegraph_svg`] the way `validate_openmetrics` checks
+//!   exposition),
+//! - **per-query CPU attribution**: samples keyed by the active query id
+//!   convert to estimated CPU microseconds
+//!   ([`ProfileReport::query_cpu_us`]) that harnesses fold back into
+//!   [`crate::flight::QueryRecord::cpu_est_us`] and the wide-event log.
+//!
+//! Stacks deeper than [`MAX_DEPTH`] publish their outermost frames and
+//! truncate the leaves (the roots carry the attribution). Threads
+//! unregister their slot when they exit — the registry holds `Arc`s, so
+//! a sampler mid-read keeps the slot alive and simply stops seeing the
+//! thread on the next tick; there is no dangling read by construction.
+//!
+//! Under `obs-off` the registry, the publisher and the sampler all
+//! compile to no-ops: [`Profiler::stop`] returns an empty report and
+//! [`registered_threads`] is 0.
+
+use std::collections::BTreeMap;
+
+#[cfg(not(feature = "obs-off"))]
+use std::collections::HashMap;
+#[cfg(not(feature = "obs-off"))]
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+#[cfg(not(feature = "obs-off"))]
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Deepest span stack a thread publishes; deeper nesting keeps the
+/// outermost frames.
+pub const MAX_DEPTH: usize = 32;
+
+/// Default sampling interval on multi-core hosts: a prime number of
+/// microseconds close to 1 kHz, so the sampler cannot lock step with
+/// 1 ms tick loops.
+pub const DEFAULT_INTERVAL_NS: u64 = 997_000;
+
+/// Default sampling interval when the host exposes a single CPU: every
+/// sampler wake preempts the workload there, so the default drops to a
+/// coarser prime (~200 Hz — still above `perf`'s canonical 99 Hz) to
+/// stay inside the profiler overhead budget. `--hz` overrides it.
+pub const SINGLE_CORE_INTERVAL_NS: u64 = 4_999_000;
+
+/// The interval [`Profiler::start`] uses: [`DEFAULT_INTERVAL_NS`] when
+/// more than one CPU is available, [`SINGLE_CORE_INTERVAL_NS`] when the
+/// sampler would share the workload's only core.
+pub fn default_interval_ns() -> u64 {
+    match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => DEFAULT_INTERVAL_NS,
+        _ => SINGLE_CORE_INTERVAL_NS,
+    }
+}
+
+/// The interval [`Profiler::start_hz`] uses for `hz` (clamped to
+/// [1, 10_000] Hz, floored at 100 µs).
+pub fn hz_interval_ns(hz: u32) -> u64 {
+    (1_000_000_000 / u64::from(hz).clamp(1, 10_000)).max(100_000)
+}
+
+/// Seqlock read retries before the sampler skips a slot the writer
+/// keeps lapping (mirrors `timeseries::READ_RETRIES`).
+#[cfg(not(feature = "obs-off"))]
+const READ_RETRIES: usize = 64;
+
+// ---------------------------------------------------------------------------
+// Name interning: span names are &'static str; the published stack is a
+// sequence of small ids resolved back to names at report time.
+
+#[cfg(not(feature = "obs-off"))]
+#[derive(Default)]
+struct InternTable {
+    map: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn intern_table() -> &'static Mutex<InternTable> {
+    static TABLE: OnceLock<Mutex<InternTable>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(InternTable::default()))
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn intern(name: &'static str) -> u32 {
+    let mut table = intern_table().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&id) = table.map.get(name) {
+        return id;
+    }
+    let id = table.names.len() as u32;
+    table.names.push(name);
+    table.map.insert(name, id);
+    id
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn resolve(ids: &[u32]) -> Vec<&'static str> {
+    let table = intern_table().lock().unwrap_or_else(|e| e.into_inner());
+    ids.iter()
+        .map(|&id| table.names.get(id as usize).copied().unwrap_or("?"))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread seqlock slot
+
+/// One thread's published state: `seq` is even when stable, odd while
+/// the owning thread is mid-store. `query` holds the active query id
+/// plus one (0 = no flight-recorded query in progress).
+#[cfg(not(feature = "obs-off"))]
+struct ThreadSlot {
+    seq: AtomicU64,
+    depth: AtomicU64,
+    query: AtomicU64,
+    frames: [AtomicU64; MAX_DEPTH],
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl ThreadSlot {
+    fn new() -> Self {
+        ThreadSlot {
+            seq: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            query: AtomicU64::new(0),
+            frames: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Runs `mutate` under the seqlock write protocol: odd sequence
+    /// while the cells change, even again after.
+    fn write(&self, mutate: impl FnOnce(&Self)) {
+        let seq = self.seq.load(Relaxed);
+        self.seq.store(seq.wrapping_add(1), Release); // odd: in progress
+        mutate(self);
+        self.seq.store(seq.wrapping_add(2), Release); // even: stable
+    }
+
+    /// Seqlock read of `(stack frame ids, active query id)`; `None`
+    /// when the writer lapped us `READ_RETRIES` times in a row.
+    #[cfg(test)]
+    fn read(&self) -> Option<(Vec<u32>, Option<u64>)> {
+        let mut ids = Vec::new();
+        let query = self.read_into(&mut ids)?;
+        Some((ids, query))
+    }
+
+    /// [`ThreadSlot::read`] into a caller-owned buffer — the sampler
+    /// calls this once per registered thread per tick, and on a
+    /// single-core host every byte it allocates comes straight out of
+    /// the workload's cache.
+    fn read_into(&self, ids: &mut Vec<u32>) -> Option<Option<u64>> {
+        for _ in 0..READ_RETRIES {
+            let before = self.seq.load(Acquire);
+            if before % 2 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let depth = (self.depth.load(Relaxed) as usize).min(MAX_DEPTH);
+            let query = self.query.load(Relaxed);
+            ids.clear();
+            ids.extend(self.frames[..depth].iter().map(|f| f.load(Relaxed) as u32));
+            // Order the cell loads before the second check: an equal
+            // sequence number means no writer touched the slot meanwhile.
+            std::sync::atomic::fence(Acquire);
+            if self.seq.load(Acquire) == before {
+                return Some(query.checked_sub(1));
+            }
+        }
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global thread registry
+
+#[cfg(not(feature = "obs-off"))]
+fn registry() -> &'static Mutex<Vec<Arc<ThreadSlot>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadSlot>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Bumped on every register/unregister; the sampler re-clones the
+/// registry only when this moves, so a steady-state tick touches no lock
+/// and frees no `Arc`s.
+#[cfg(not(feature = "obs-off"))]
+static REGISTRY_GEN: AtomicU64 = AtomicU64::new(0);
+
+/// Number of threads currently publishing a span stack (0 under
+/// `obs-off`). A thread registers on its first span and unregisters —
+/// reclaiming its registry slot — when it exits.
+pub fn registered_threads() -> usize {
+    #[cfg(not(feature = "obs-off"))]
+    return registry().lock().unwrap_or_else(|e| e.into_inner()).len();
+    #[cfg(feature = "obs-off")]
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local publisher (driven by span::enter / span::exit)
+
+/// The publishing side of one thread: the full logical stack (so depths
+/// beyond [`MAX_DEPTH`] recover on pop), a thread-local intern cache
+/// (steady state never touches the global table), and the registered
+/// slot. Dropping the publisher — the thread-local destructor — removes
+/// the slot from the registry.
+#[cfg(not(feature = "obs-off"))]
+struct Publisher {
+    slot: Arc<ThreadSlot>,
+    ids: Vec<u32>,
+    cache: HashMap<&'static str, u32>,
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Publisher {
+    fn new() -> Self {
+        let slot = Arc::new(ThreadSlot::new());
+        registry().lock().unwrap_or_else(|e| e.into_inner()).push(Arc::clone(&slot));
+        REGISTRY_GEN.fetch_add(1, Release);
+        Publisher { slot, ids: Vec::with_capacity(MAX_DEPTH), cache: HashMap::new() }
+    }
+
+    fn push(&mut self, name: &'static str) {
+        let id = *self.cache.entry(name).or_insert_with(|| intern(name));
+        self.ids.push(id);
+        let depth = self.ids.len();
+        self.slot.write(|s| {
+            if depth <= MAX_DEPTH {
+                s.frames[depth - 1].store(id as u64, Relaxed);
+            }
+            s.depth.store(depth.min(MAX_DEPTH) as u64, Relaxed);
+        });
+    }
+
+    fn pop(&mut self) {
+        if self.ids.pop().is_none() {
+            return; // unbalanced guard after a mid-span reset; ignore
+        }
+        let depth = self.ids.len();
+        self.slot.write(|s| s.depth.store(depth.min(MAX_DEPTH) as u64, Relaxed));
+    }
+
+    fn set_query(&self, query: Option<u64>) {
+        let encoded = query.map_or(0, |q| q.wrapping_add(1));
+        self.slot.write(|s| s.query.store(encoded, Relaxed));
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+impl Drop for Publisher {
+    fn drop(&mut self) {
+        let mut slots = registry().lock().unwrap_or_else(|e| e.into_inner());
+        slots.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        REGISTRY_GEN.fetch_add(1, Release);
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+thread_local! {
+    static PUBLISHER: std::cell::RefCell<Publisher> = std::cell::RefCell::new(Publisher::new());
+}
+
+/// Publishes a span entry on the calling thread (called by
+/// [`crate::span::enter`], whose `obs-off` variant compiles the call
+/// away). `try_with` so late spans during thread teardown degrade to a
+/// no-op instead of panicking.
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+pub(crate) fn on_span_enter(name: &'static str) {
+    let _ = PUBLISHER.try_with(|p| p.borrow_mut().push(name));
+}
+
+/// Publishes a span exit on the calling thread.
+#[cfg(not(feature = "obs-off"))]
+#[inline]
+pub(crate) fn on_span_exit() {
+    let _ = PUBLISHER.try_with(|p| p.borrow_mut().pop());
+}
+
+/// Marks the calling thread as serving `query_id` until the returned
+/// guard drops; samples taken meanwhile attribute to that query.
+/// Scopes do not nest (the innermost wins and the guard clears).
+#[must_use = "the query scope clears when its guard drops"]
+pub fn query_scope(query_id: u64) -> QueryScope {
+    #[cfg(not(feature = "obs-off"))]
+    let _ = PUBLISHER.try_with(|p| p.borrow().set_query(Some(query_id)));
+    #[cfg(feature = "obs-off")]
+    let _ = query_id;
+    QueryScope { _private: () }
+}
+
+/// Guard returned by [`query_scope`]; clears the thread's active query
+/// id on drop.
+#[derive(Debug)]
+pub struct QueryScope {
+    _private: (),
+}
+
+impl Drop for QueryScope {
+    fn drop(&mut self) {
+        #[cfg(not(feature = "obs-off"))]
+        let _ = PUBLISHER.try_with(|p| p.borrow().set_query(None));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sampler
+
+/// What the sampler thread hands back on stop.
+#[cfg(not(feature = "obs-off"))]
+#[derive(Default)]
+struct RawProfile {
+    ticks: u64,
+    samples: u64,
+    counts: HashMap<Vec<u32>, u64>,
+    query: HashMap<u64, u64>,
+}
+
+/// A running sampling profiler: one background thread snapshotting
+/// every registered span stack on a fixed interval. Construct with
+/// [`Profiler::start`] / [`Profiler::start_hz`], finish with
+/// [`Profiler::stop`]. Under `obs-off` no thread is spawned and the
+/// report is empty.
+#[derive(Debug)]
+pub struct Profiler {
+    interval_ns: u64,
+    #[cfg(not(feature = "obs-off"))]
+    stop: Arc<AtomicBool>,
+    #[cfg(not(feature = "obs-off"))]
+    handle: Option<std::thread::JoinHandle<RawProfile>>,
+}
+
+impl Profiler {
+    /// Starts sampling on the default prime interval
+    /// ([`default_interval_ns`]: ~1 kHz, or ~200 Hz on a single-core
+    /// host where every wake preempts the workload).
+    pub fn start() -> Profiler {
+        Self::start_interval(default_interval_ns())
+    }
+
+    /// Starts sampling at roughly `hz` samples per second (clamped to
+    /// [1, 10_000]).
+    pub fn start_hz(hz: u32) -> Profiler {
+        Self::start_interval(hz_interval_ns(hz))
+    }
+
+    /// Starts sampling every `interval_ns` nanoseconds (min 100 µs: the
+    /// sampler must never become the workload).
+    pub fn start_interval(interval_ns: u64) -> Profiler {
+        let interval_ns = interval_ns.max(100_000);
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let stop = Arc::new(AtomicBool::new(false));
+            let stop_flag = Arc::clone(&stop);
+            let handle = std::thread::Builder::new()
+                .name("rc-profiler".into())
+                .spawn(move || sample_loop(&stop_flag, interval_ns))
+                .ok();
+            Profiler { interval_ns, stop, handle }
+        }
+        #[cfg(feature = "obs-off")]
+        Profiler { interval_ns }
+    }
+
+    /// The sampling interval in nanoseconds.
+    pub fn interval_ns(&self) -> u64 {
+        self.interval_ns
+    }
+
+    /// Stops the sampler thread and folds its observations into a
+    /// [`ProfileReport`].
+    pub fn stop(self) -> ProfileReport {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            self.stop.store(true, Release);
+            let raw = match self.handle {
+                Some(handle) => handle.join().unwrap_or_default(),
+                None => RawProfile::default(),
+            };
+            let mut folded = BTreeMap::new();
+            for (ids, count) in &raw.counts {
+                *folded.entry(resolve(ids).join(";")).or_insert(0) += count;
+            }
+            ProfileReport {
+                interval_ns: self.interval_ns,
+                ticks: raw.ticks,
+                samples: raw.samples,
+                folded,
+                query_samples: raw.query.into_iter().collect(),
+            }
+        }
+        #[cfg(feature = "obs-off")]
+        ProfileReport {
+            interval_ns: self.interval_ns,
+            ticks: 0,
+            samples: 0,
+            folded: BTreeMap::new(),
+            query_samples: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(not(feature = "obs-off"))]
+fn sample_loop(stop: &AtomicBool, interval_ns: u64) -> RawProfile {
+    let mut raw = RawProfile::default();
+    let interval = std::time::Duration::from_nanos(interval_ns);
+    // The tick is kept allocation-free in steady state: on a single-core
+    // host every sampler wake preempts the workload, so each byte this
+    // loop touches is workload cache evicted. The registry clone
+    // refreshes only when the generation counter says membership moved,
+    // the frame buffer is reused across ticks, and the count lookup
+    // borrows the buffer (owned keys are built only for never-seen
+    // stacks).
+    let mut slots: Vec<Arc<ThreadSlot>> = Vec::new();
+    let mut seen_gen = u64::MAX;
+    let mut ids: Vec<u32> = Vec::with_capacity(MAX_DEPTH);
+    while !stop.load(Acquire) {
+        std::thread::sleep(interval);
+        raw.ticks += 1;
+        let gen = REGISTRY_GEN.load(Acquire);
+        if gen != seen_gen {
+            // Snapshot the registry under a brief lock (a handful of
+            // Arcs), then read every slot lock-free. A slot whose thread
+            // exits between refreshes stays alive through our Arc clone
+            // and simply publishes an empty stack.
+            slots.clone_from(&registry().lock().unwrap_or_else(|e| e.into_inner()));
+            seen_gen = gen;
+        }
+        for slot in &slots {
+            let Some(query) = slot.read_into(&mut ids) else { continue };
+            if ids.is_empty() {
+                continue; // idle thread: no open span, nothing to attribute
+            }
+            raw.samples += 1;
+            match raw.counts.get_mut(ids.as_slice()) {
+                Some(count) => *count += 1,
+                None => {
+                    raw.counts.insert(ids.clone(), 1);
+                }
+            }
+            if let Some(q) = query {
+                *raw.query.entry(q).or_insert(0) += 1;
+            }
+        }
+    }
+    raw
+}
+
+// ---------------------------------------------------------------------------
+// The report
+
+/// Accumulated profile of one sampling run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileReport {
+    /// Sampling interval in nanoseconds.
+    pub interval_ns: u64,
+    /// Sampler wakeups (every interval, whether or not anything ran).
+    pub ticks: u64,
+    /// Stack samples collected (one per registered non-idle thread per
+    /// tick).
+    pub samples: u64,
+    /// Collapsed stacks: `"root;child;leaf"` → sample count.
+    pub folded: BTreeMap<String, u64>,
+    /// Samples attributed to each active query id.
+    pub query_samples: BTreeMap<u64, u64>,
+}
+
+impl ProfileReport {
+    /// Folds another report into this one (summed ticks, samples, stack
+    /// and query counts). Harnesses that interleave profiled and
+    /// unprofiled phases stop the profiler around each phase and merge
+    /// the pieces into one report; the interval is taken from whichever
+    /// report has one (0 = unset).
+    pub fn merge(&mut self, other: &ProfileReport) {
+        if self.interval_ns == 0 {
+            self.interval_ns = other.interval_ns;
+        }
+        self.ticks += other.ticks;
+        self.samples += other.samples;
+        for (stack, count) in &other.folded {
+            *self.folded.entry(stack.clone()).or_insert(0) += count;
+        }
+        for (&query, &count) in &other.query_samples {
+            *self.query_samples.entry(query).or_insert(0) += count;
+        }
+    }
+
+    /// Renders the collapsed stacks in Brendan Gregg's folded format:
+    /// one `frame;frame;frame count` line per distinct stack, sorted,
+    /// trailing newline (empty string when no samples landed).
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Estimated CPU per query id in microseconds: sample count ×
+    /// sampling interval. An estimate by construction — wall-clock
+    /// samples of the serving thread, not scheduler-reported CPU time.
+    pub fn query_cpu_us(&self) -> BTreeMap<u64, u64> {
+        self.query_samples
+            .iter()
+            .map(|(&q, &n)| (q, n * self.interval_ns / 1_000))
+            .collect()
+    }
+
+    /// The `n` spans with the most **self** samples (samples where the
+    /// span was the innermost frame), as `(name, fraction of all
+    /// samples)`, largest first.
+    pub fn top_self(&self, n: usize) -> Vec<(String, f64)> {
+        let mut by_leaf: BTreeMap<&str, u64> = BTreeMap::new();
+        for (stack, count) in &self.folded {
+            let leaf = stack.rsplit(';').next().unwrap_or(stack);
+            *by_leaf.entry(leaf).or_insert(0) += count;
+        }
+        let mut rows: Vec<(String, f64)> = by_leaf
+            .into_iter()
+            .map(|(name, count)| (name.to_string(), count as f64 / self.samples.max(1) as f64))
+            .collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Folded-format validator
+
+/// Structurally validates folded collapsed-stack output (the round-trip
+/// check `rc profile` and `rc regress` run on everything they write):
+/// every line is `frame(;frame)* count`, frames are non-empty and
+/// semicolon-free, counts are positive integers, stacks are unique and
+/// sorted. Returns the total sample count.
+pub fn validate_folded(text: &str) -> Result<u64, String> {
+    let mut total = 0u64;
+    let mut previous: Option<&str> = None;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.is_empty() {
+            return Err(format!("line {n}: empty line"));
+        }
+        let Some((stack, count)) = line.rsplit_once(' ') else {
+            return Err(format!("line {n}: missing ' count' separator"));
+        };
+        let count: u64 = count
+            .parse()
+            .map_err(|_| format!("line {n}: count {count:?} is not an integer"))?;
+        if count == 0 {
+            return Err(format!("line {n}: zero sample count"));
+        }
+        if stack.is_empty() {
+            return Err(format!("line {n}: empty stack"));
+        }
+        if stack.split(';').any(str::is_empty) {
+            return Err(format!("line {n}: empty frame in {stack:?}"));
+        }
+        if stack.contains(' ') {
+            return Err(format!("line {n}: frame contains a space: {stack:?}"));
+        }
+        if let Some(prev) = previous {
+            if stack <= prev {
+                return Err(format!(
+                    "line {n}: stacks not strictly sorted ({prev:?} then {stack:?})"
+                ));
+            }
+        }
+        previous = Some(stack);
+        total += count;
+    }
+    Ok(total)
+}
+
+// ---------------------------------------------------------------------------
+// Flamegraph SVG
+
+/// Canvas width of the generated flamegraph, CSS pixels.
+const SVG_WIDTH: f64 = 1200.0;
+/// Height of one frame row.
+const FRAME_H: f64 = 17.0;
+/// Outer margin (title above, axis below).
+const MARGIN: f64 = 10.0;
+/// Vertical space reserved for the title line.
+const TITLE_H: f64 = 24.0;
+/// Frames narrower than this render without a text label.
+const MIN_LABEL_W: f64 = 35.0;
+
+/// One merged flamegraph tree node.
+#[derive(Default)]
+struct FlameNode {
+    value: u64,
+    children: BTreeMap<String, FlameNode>,
+}
+
+impl FlameNode {
+    fn insert(&mut self, frames: &[&str], count: u64) {
+        self.value += count;
+        if let Some((head, rest)) = frames.split_first() {
+            self.children.entry((*head).to_string()).or_default().insert(rest, count);
+        }
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.values().map(FlameNode::depth).max().unwrap_or(0)
+    }
+}
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Deterministic warm-palette fill from the frame name (djb2 hash).
+fn frame_color(name: &str) -> String {
+    let mut h: u32 = 5381;
+    for b in name.bytes() {
+        h = h.wrapping_mul(33) ^ u32::from(b);
+    }
+    let r = 205 + (h % 50);
+    let g = (h / 50) % 180;
+    let b = (h / 9000) % 55;
+    format!("rgb({r},{g},{b})")
+}
+
+/// Renders a collapsed-stack map (as in [`ProfileReport::folded`]) as a
+/// self-contained flamegraph SVG: an implicit `all` root, one
+/// `<g><title/><rect/><text/></g>` per frame, x-extent proportional to
+/// inclusive samples, root row at the bottom. No scripts, no external
+/// references — viewable anywhere, validated by
+/// [`validate_flamegraph_svg`].
+pub fn flamegraph_svg(folded: &BTreeMap<String, u64>) -> String {
+    let mut root = FlameNode::default();
+    for (stack, &count) in folded {
+        let frames: Vec<&str> = stack.split(';').collect();
+        root.insert(&frames, count);
+    }
+    let depth = root.depth(); // ≥ 1: the `all` row always renders
+    let height = TITLE_H + depth as f64 * FRAME_H + 2.0 * MARGIN;
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" standalone=\"no\"?>\n");
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{SVG_WIDTH}\" \
+         height=\"{height}\" viewBox=\"0 0 {SVG_WIDTH} {height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    ));
+    out.push_str(&format!(
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"15\">\
+         rightcrowd flamegraph · {} samples</text>\n",
+        SVG_WIDTH / 2.0,
+        MARGIN + 14.0,
+        root.value,
+    ));
+    let usable = SVG_WIDTH - 2.0 * MARGIN;
+    let base_y = height - MARGIN - FRAME_H; // root row at the bottom
+    emit_frame(&mut out, "all", &root, root.value.max(1), MARGIN, base_y, usable);
+    out.push_str("</svg>\n");
+    out
+}
+
+fn emit_frame(
+    out: &mut String,
+    name: &str,
+    node: &FlameNode,
+    total: u64,
+    x: f64,
+    y: f64,
+    width: f64,
+) {
+    let pct = node.value as f64 * 100.0 / total as f64;
+    let label = svg_escape(name);
+    out.push_str(&format!(
+        "<g><title>{label} ({} samples, {pct:.2}%)</title>\
+         <rect x=\"{x:.2}\" y=\"{y:.2}\" width=\"{width:.2}\" height=\"{FRAME_H}\" \
+         fill=\"{}\" stroke=\"white\" stroke-width=\"0.5\"/>",
+        node.value,
+        frame_color(name),
+    ));
+    if width >= MIN_LABEL_W {
+        // Clip the label to what plausibly fits (~6.6 px per glyph).
+        let fit = ((width - 6.0) / 6.6) as usize;
+        let shown: String = if name.chars().count() <= fit {
+            name.to_string()
+        } else {
+            name.chars().take(fit.saturating_sub(2)).chain("..".chars()).collect()
+        };
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.2}\">{}</text>",
+            x + 3.0,
+            y + FRAME_H - 4.5,
+            svg_escape(&shown),
+        ));
+    }
+    out.push_str("</g>\n");
+    let mut child_x = x;
+    for (child_name, child) in &node.children {
+        let child_w = width * child.value as f64 / node.value.max(1) as f64;
+        emit_frame(out, child_name, child, total, child_x, y - FRAME_H, child_w);
+        child_x += child_w;
+    }
+}
+
+/// Structurally validates a flamegraph SVG produced by
+/// [`flamegraph_svg`]: XML declaration, one root `<svg>` with numeric
+/// dimensions, every frame a `<g>` holding exactly one `<title>` and
+/// one `<rect>` whose coordinates parse and stay inside the canvas,
+/// balanced tags throughout. Returns the number of frame rects.
+pub fn validate_flamegraph_svg(text: &str) -> Result<usize, String> {
+    if !text.starts_with("<?xml") {
+        return Err("missing XML declaration".into());
+    }
+    let svg_open = text.find("<svg ").ok_or("missing <svg> root")?;
+    if !text.trim_end().ends_with("</svg>") {
+        return Err("missing </svg> terminator".into());
+    }
+    let attr = |name: &str| -> Result<f64, String> {
+        let tag = &text[svg_open..text[svg_open..].find('>').map_or(text.len(), |e| svg_open + e)];
+        let needle = format!("{name}=\"");
+        let start = tag.find(&needle).ok_or(format!("svg missing {name}"))? + needle.len();
+        let rest = &tag[start..];
+        let end = rest.find('"').ok_or(format!("unterminated {name}"))?;
+        rest[..end].parse::<f64>().map_err(|_| format!("{name} is not numeric"))
+    };
+    let (canvas_w, canvas_h) = (attr("width")?, attr("height")?);
+    if !(canvas_w.is_finite() && canvas_h.is_finite() && canvas_w > 0.0 && canvas_h > 0.0) {
+        return Err("degenerate canvas dimensions".into());
+    }
+
+    let count_of = |needle: &str| text.matches(needle).count();
+    let groups = count_of("<g>");
+    if groups != count_of("</g>") {
+        return Err("unbalanced <g> tags".into());
+    }
+    let rects = count_of("<rect ");
+    let titles = count_of("<title>");
+    if rects != groups || titles != groups {
+        return Err(format!(
+            "every frame needs one <g>, <title> and <rect>: {groups} groups, \
+             {titles} titles, {rects} rects"
+        ));
+    }
+    if titles != count_of("</title>") {
+        return Err("unbalanced <title> tags".into());
+    }
+    if rects == 0 {
+        return Err("no frame rects (not a flamegraph)".into());
+    }
+
+    // Every rect's geometry parses and stays inside the canvas.
+    let num_attr = |tag: &str, name: &str| -> Result<f64, String> {
+        let needle = format!("{name}=\"");
+        let start = tag.find(&needle).ok_or(format!("rect missing {name}"))? + needle.len();
+        let rest = &tag[start..];
+        let end = rest.find('"').ok_or(format!("unterminated rect {name}"))?;
+        rest[..end].parse::<f64>().map_err(|_| format!("rect {name} is not numeric"))
+    };
+    for (i, chunk) in text.split("<rect ").skip(1).enumerate() {
+        let tag = &chunk[..chunk.find("/>").ok_or(format!("rect {i}: unterminated"))?];
+        let x = num_attr(tag, "x")?;
+        let y = num_attr(tag, "y")?;
+        let w = num_attr(tag, "width")?;
+        let h = num_attr(tag, "height")?;
+        if !(x.is_finite() && y.is_finite() && w.is_finite() && h.is_finite()) {
+            return Err(format!("rect {i}: non-finite geometry"));
+        }
+        if x < -0.01 || y < -0.01 || w < 0.0 || h <= 0.0 {
+            return Err(format!("rect {i}: negative geometry (x {x}, y {y}, w {w}, h {h})"));
+        }
+        if x + w > canvas_w + 0.5 || y + h > canvas_h + 0.5 {
+            return Err(format!("rect {i}: escapes the canvas (x {x} + w {w}, y {y} + h {h})"));
+        }
+    }
+    Ok(rects)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folded_fixture() -> BTreeMap<String, u64> {
+        BTreeMap::from([
+            ("eval.run_workload;index.score_top_k".to_string(), 60),
+            ("eval.run_workload;analyze.query".to_string(), 25),
+            ("eval.run_workload".to_string(), 10),
+            ("corpus.build".to_string(), 5),
+        ])
+    }
+
+    #[test]
+    fn folded_output_round_trips_through_the_validator() {
+        let report = ProfileReport {
+            interval_ns: DEFAULT_INTERVAL_NS,
+            ticks: 100,
+            samples: 100,
+            folded: folded_fixture(),
+            query_samples: BTreeMap::from([(3, 40), (7, 20)]),
+        };
+        let text = report.to_folded();
+        assert_eq!(validate_folded(&text), Ok(100));
+        assert!(text.contains("eval.run_workload;index.score_top_k 60\n"));
+        // CPU attribution: samples × interval, in µs.
+        let cpu = report.query_cpu_us();
+        assert_eq!(cpu[&3], 40 * DEFAULT_INTERVAL_NS / 1_000);
+        assert_eq!(cpu[&7], 20 * DEFAULT_INTERVAL_NS / 1_000);
+        // Self-time ranking: the leaf with the most samples wins.
+        let top = report.top_self(2);
+        assert_eq!(top[0].0, "index.score_top_k");
+        assert!((top[0].1 - 0.6).abs() < 1e-12);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn folded_validator_rejects_malformed_lines() {
+        assert!(validate_folded("no_count\n").is_err());
+        assert!(validate_folded("a;b zero\n").is_err());
+        assert!(validate_folded("a;b 0\n").is_err());
+        assert!(validate_folded("a;;b 3\n").is_err());
+        assert!(validate_folded("b 1\na 1\n").is_err(), "unsorted stacks rejected");
+        assert!(validate_folded("a 1\na 2\n").is_err(), "duplicate stacks rejected");
+        assert_eq!(validate_folded(""), Ok(0));
+        assert_eq!(validate_folded("a 1\nb 2\n"), Ok(3));
+    }
+
+    #[test]
+    fn flamegraph_svg_passes_its_own_validator() {
+        let svg = flamegraph_svg(&folded_fixture());
+        // all + corpus.build + eval.run_workload + 2 leaves = 5 frames.
+        assert_eq!(validate_flamegraph_svg(&svg), Ok(5));
+        assert!(svg.contains("rightcrowd flamegraph · 100 samples"));
+        assert!(svg.contains("index.score_top_k"));
+        // The empty profile still renders a valid single-frame graph.
+        let empty = flamegraph_svg(&BTreeMap::new());
+        assert_eq!(validate_flamegraph_svg(&empty), Ok(1));
+    }
+
+    #[test]
+    fn svg_validator_rejects_structural_damage() {
+        let svg = flamegraph_svg(&folded_fixture());
+        assert!(validate_flamegraph_svg(&svg.replace("<?xml", "<!xml")).is_err());
+        assert!(validate_flamegraph_svg(svg.trim_end_matches("</svg>\n")).is_err());
+        assert!(validate_flamegraph_svg(&svg.replacen("<title>", "<title>x</title><title>", 1))
+            .is_err());
+        // Shrinking the canvas makes every frame rect escape it.
+        let shrunk = svg.replacen("width=\"1200\"", "width=\"100\"", 1);
+        assert_ne!(shrunk, svg, "canvas width attribute present");
+        assert!(validate_flamegraph_svg(&shrunk).is_err(), "rect escaping canvas rejected");
+    }
+
+    #[test]
+    fn threads_publish_stacks_the_sampler_can_fold() {
+        let profiler = Profiler::start_interval(200_000);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let worker_stop = std::sync::Arc::clone(&stop);
+        let worker = std::thread::spawn(move || {
+            while !worker_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let _outer = crate::span!("prof_test_outer");
+                let _q = query_scope(41);
+                let _inner = crate::span!("prof_test_inner");
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        worker.join().expect("worker");
+        let report = profiler.stop();
+        if !crate::PROBES_ENABLED {
+            assert_eq!(report.samples, 0);
+            return;
+        }
+        assert!(report.ticks > 0);
+        assert!(report.samples > 0, "sampler saw the worker: {report:?}");
+        assert!(
+            report.folded.keys().any(|s| s.contains("prof_test_outer")),
+            "folded stacks carry the live spans: {:?}",
+            report.folded
+        );
+        assert!(
+            report.folded.keys().any(|s| s == "prof_test_outer;prof_test_inner"),
+            "nesting preserved root-first: {:?}",
+            report.folded
+        );
+        assert!(report.query_samples.contains_key(&41), "query attribution: {report:?}");
+        assert_eq!(validate_folded(&report.to_folded()), Ok(report.samples));
+        let svg = flamegraph_svg(&report.folded);
+        assert!(validate_flamegraph_svg(&svg).is_ok());
+    }
+
+    #[test]
+    fn exited_threads_reclaim_their_registry_slot() {
+        let profiler = Profiler::start_interval(150_000);
+        #[cfg(not(feature = "obs-off"))]
+        let slot = std::thread::spawn(|| {
+            let _s = crate::span!("prof_test_transient");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            PUBLISHER.with(|p| Arc::clone(&p.borrow().slot))
+        })
+        .join()
+        .expect("transient thread");
+        #[cfg(feature = "obs-off")]
+        std::thread::spawn(|| {
+            let _s = crate::span!("prof_test_transient");
+        })
+        .join()
+        .expect("transient thread");
+        #[cfg(not(feature = "obs-off"))]
+        {
+            // The thread-local destructor unregistered the slot: the
+            // registry no longer holds it (no future samples, slot
+            // reclaimed) and our clone is the only Arc left (nothing for
+            // the sampler to dangle on).
+            let registry = registry().lock().unwrap_or_else(|e| e.into_inner());
+            assert!(registry.iter().all(|s| !Arc::ptr_eq(s, &slot)), "slot still registered");
+            drop(registry);
+            // The sampler may still hold its per-tick clone for a few
+            // microseconds — that clone (not a raw pointer) is exactly
+            // what makes the mid-read exit safe. Wait it out.
+            for _ in 0..200 {
+                if Arc::strong_count(&slot) == 1 {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(Arc::strong_count(&slot), 1, "registry released its reference");
+        }
+        // …and the sampler keeps running against the shrunk registry.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let report = profiler.stop();
+        if crate::PROBES_ENABLED {
+            assert!(report.ticks > 0, "sampler survived the unregister");
+        } else {
+            assert_eq!(registered_threads(), 0);
+        }
+    }
+
+    #[test]
+    fn deep_stacks_truncate_to_the_outermost_frames() {
+        #[cfg(not(feature = "obs-off"))]
+        {
+            let mut publisher = Publisher::new();
+            for _ in 0..MAX_DEPTH + 8 {
+                publisher.push("prof_test_deep");
+            }
+            let (ids, _) = publisher.slot.read().expect("stable read");
+            assert_eq!(ids.len(), MAX_DEPTH, "published depth capped");
+            for _ in 0..9 {
+                publisher.pop();
+            }
+            let (ids, _) = publisher.slot.read().expect("stable read");
+            assert_eq!(ids.len(), MAX_DEPTH - 1, "depth recovers after pops");
+            // Popping past empty is ignored, like the span collector.
+            for _ in 0..MAX_DEPTH * 2 {
+                publisher.pop();
+            }
+            let (ids, _) = publisher.slot.read().expect("stable read");
+            assert!(ids.is_empty());
+        }
+    }
+}

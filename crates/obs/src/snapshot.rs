@@ -121,13 +121,19 @@ impl MetricsSnapshot {
         out
     }
 
-    /// Human-readable tables: counters, histograms, then the span tree —
-    /// the body of `rc metrics`.
+    /// Human-readable tables: counters (plus the process gauges),
+    /// histograms, then the span tree — the body of `rc metrics`.
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str("== counters ==\n");
         for (name, value) in &self.counters {
             out.push_str(&format!("  {name:<28} {value:>14}\n"));
+        }
+        // Process-level peak RSS (VmHWM): previously only in `rc expose`
+        // and the bench JSON, surfaced here so `rc metrics` answers the
+        // memory question too.
+        if let Some(rss) = crate::export::rss_peak_bytes() {
+            out.push_str(&format!("  {:<28} {rss:>14}\n", "rss_peak_bytes"));
         }
         out.push_str("\n== histograms (µs) ==\n");
         out.push_str(&format!(
@@ -208,5 +214,10 @@ mod tests {
         assert!(text.contains("== counters =="));
         assert!(text.contains("== histograms"));
         assert!(text.contains("== spans =="));
+        // The peak-RSS gauge rides the counters section wherever
+        // /proc/self/status is readable (everywhere we run CI).
+        if crate::export::rss_peak_bytes().is_some() {
+            assert!(text.contains("rss_peak_bytes"));
+        }
     }
 }

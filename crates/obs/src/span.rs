@@ -199,7 +199,12 @@ pub fn enter(name: &'static str) -> SpanGuard {
         return SpanGuard { active: false };
     }
     #[cfg(not(feature = "obs-off"))]
-    COLLECTOR.with(|c| c.borrow_mut().enter(name));
+    {
+        COLLECTOR.with(|c| c.borrow_mut().enter(name));
+        // Mirror the push into the profiler's per-thread seqlock slot so
+        // a sampler can snapshot the live stack lock-free.
+        crate::prof::on_span_enter(name);
+    }
     #[cfg(feature = "obs-off")]
     let _ = name;
     SpanGuard { active: true }
@@ -211,6 +216,7 @@ impl Drop for SpanGuard {
         #[cfg(not(feature = "obs-off"))]
         if self.active {
             COLLECTOR.with(|c| c.borrow_mut().exit());
+            crate::prof::on_span_exit();
         }
         #[cfg(feature = "obs-off")]
         let _ = self.active;

@@ -478,6 +478,64 @@ mod tests {
     }
 
     #[test]
+    fn lapped_slot_reads_skip_without_tearing() {
+        // One writer republishing a single slot as fast as it can; the
+        // readers hammer that same slot. Every window is built so all
+        // its cells agree on the writer iteration (counters all equal to
+        // the index, duration derived from it): a torn read — cells from
+        // two different publishes — cannot satisfy the invariant. A
+        // reader that keeps losing the race gets `None` (lapped, skip),
+        // never a mangled window.
+        let slot = std::sync::Arc::new(Slot::new());
+        let publish = |index: u64| {
+            let mut w = Window::empty();
+            w.index = index;
+            w.duration_ns = index * 3 + 1;
+            w.counters = [index; N_COUNTERS];
+            slot.publish(&w);
+        };
+        // The first publish happens before any reader starts: a pristine
+        // slot reads as an all-zero window, which the invariant below
+        // would misdiagnose as a tear.
+        publish(0);
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let slot = slot.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                let (mut seen, mut skipped) = (0u64, 0u64);
+                while !stop.load(Relaxed) {
+                    match slot.read() {
+                        Some(w) => {
+                            assert!(
+                                w.counters.iter().all(|&c| c == w.index),
+                                "torn read: {:?} vs index {}",
+                                w.counters,
+                                w.index
+                            );
+                            assert_eq!(w.duration_ns, w.index * 3 + 1, "torn timing");
+                            seen += 1;
+                        }
+                        None => skipped += 1, // lapped: skipped, not torn
+                    }
+                }
+                (seen, skipped)
+            }));
+        }
+        for index in 1..50_000u64 {
+            publish(index);
+        }
+        stop.store(true, Relaxed);
+        let mut total_seen = 0;
+        for r in readers {
+            let (seen, _skipped) = r.join().expect("reader panicked");
+            total_seen += seen;
+        }
+        assert!(total_seen > 0, "readers observed stable windows");
+    }
+
+    #[test]
     fn concurrent_readers_never_observe_torn_windows() {
         // One writer publishing distinguishable windows, several readers
         // validating internal consistency of everything they see.

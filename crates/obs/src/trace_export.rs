@@ -169,6 +169,7 @@ mod tests {
                 maxscore_admitted: 10,
                 maxscore_pruned: 5,
                 top_candidates: vec![(3, 1.25)],
+                cpu_est_us: 0,
             },
             QueryRecord { query_id: 8, latency_ns: 1_000_000, ..QueryRecord::default() },
         ];

@@ -84,6 +84,7 @@ impl WideEvent {
             "{{\"ts_ms\": {}, \"thread\": {}, \"kept\": \"{}\", \"query_id\": {}, \
              \"label\": \"{}\", \"domain\": \"{}\", \"alpha\": {}, \
              \"max_distance\": {}, \"window\": \"{}\", \"latency_ms\": {}, \
+             \"cpu_est_us\": {}, \
              \"postings_traversed\": {}, \"maxscore_admitted\": {}, \
              \"maxscore_pruned\": {}, \"blocks_total\": {}, \
              \"blocks_skipped\": {}, \"theta\": {}, \"top1_person\": {}, \
@@ -98,6 +99,7 @@ impl WideEvent {
             r.max_distance,
             json_escape(&r.window),
             fmt_f64(r.latency_ms()),
+            r.cpu_est_us,
             r.postings_traversed,
             r.maxscore_admitted,
             r.maxscore_pruned,
@@ -231,6 +233,19 @@ impl WideEventLog {
         self.errors_dropped
     }
 
+    /// Folds profiler CPU attribution (query id → estimated µs) into
+    /// every retained event, mirroring `flight::attribute_cpu` — run
+    /// after the profiler stops, before [`WideEventLog::to_jsonl`].
+    pub fn attribute_cpu(&mut self, cpu_us: &std::collections::BTreeMap<u64, u64>) {
+        for bucket in [&mut self.errors, &mut self.tail, &mut self.reservoir] {
+            for event in bucket.iter_mut() {
+                if let Some(&us) = cpu_us.get(&event.record.query_id) {
+                    event.record.cpu_est_us = us;
+                }
+            }
+        }
+    }
+
     /// Serialises every retained event as JSONL, ordered by timestamp
     /// (ties broken by query id), one event per line, trailing newline.
     pub fn to_jsonl(&self) -> String {
@@ -338,11 +353,15 @@ mod tests {
         slow.record.top_candidates = vec![(17, 0.91), (3, 0.5)];
         log.offer(slow);
         log.offer(event(1, 100));
+        // Post-hoc CPU attribution lands in the serialised lines.
+        log.attribute_cpu(&std::collections::BTreeMap::from([(5u64, 1_500u64)]));
         let jsonl = log.to_jsonl();
         let lines: Vec<&str> = jsonl.lines().collect();
         assert_eq!(lines.len(), 2);
         // Ordered by timestamp (event 1 is earlier).
         assert!(lines[0].contains("\"query_id\": 1"));
+        assert!(lines[0].contains("\"cpu_est_us\": 0"));
+        assert!(lines[1].contains("\"cpu_est_us\": 1500"));
         assert!(lines[1].contains("\"theta\": 0.250"));
         assert!(lines[1].contains("\"top1_person\": 17"));
         assert!(lines[1].contains("\"blocks_skipped\": 4"));
