@@ -15,6 +15,8 @@
 //! cargo run --release -p rightcrowd-bench --bin rc -- explain "famous freestyle swimmers" --top 3
 //! cargo run --release -p rightcrowd-bench --bin rc -- flight --slowest 10 --capacity 1024
 //! cargo run --release -p rightcrowd-bench --bin rc -- soak --out target/perf --duration 30s --watch
+//! cargo run --release -p rightcrowd-bench --bin rc -- serve --snapshot corpus.shards --addr 127.0.0.1:7700
+//! cargo run --release -p rightcrowd-bench --bin rc -- soak --connect 127.0.0.1:7700 --duration 10s
 //! cargo run --release -p rightcrowd-bench --bin rc -- profile bench --out target/perf --hz 1000
 //! cargo run --release -p rightcrowd-bench --bin rc -- profile soak --duration 10s --svg flame.svg
 //! cargo run --release -p rightcrowd-bench --bin rc -- spans --json
@@ -206,34 +208,29 @@ fn main() {
             }
         }
         Command::Load { snapshot, threads } => {
-            // Container kind is detected on disk, not declared: a
-            // directory with a manifest loads through the sharded path.
+            // Container kind is detected on disk, not declared: the
+            // shared loader routes a manifest-bearing directory through
+            // the sharded path, anything else through the monolithic one.
             let threads = threads.unwrap_or_else(rightcrowd_core::par::default_threads);
-            let loaded = if rightcrowd_store::is_sharded(&snapshot) {
-                rightcrowd_store::load_sharded(&snapshot, threads).map(|(ds, corpus, stats)| {
-                    println!(
-                        "verified {} ({} shards, {} bytes in {:.0} ms, {} threads)",
-                        snapshot.display(),
-                        stats.shard_count,
-                        stats.bytes,
-                        stats.elapsed_ms,
-                        threads
-                    );
-                    (ds, corpus)
-                })
-            } else {
-                rightcrowd_store::load(&snapshot).map(|(ds, corpus, stats)| {
-                    println!(
-                        "verified {} ({} bytes in {:.0} ms)",
-                        snapshot.display(),
-                        stats.bytes,
-                        stats.elapsed_ms
-                    );
-                    (ds, corpus)
-                })
-            };
-            match loaded {
-                Ok((ds, corpus)) => {
+            match rightcrowd_bench::runner::load_snapshot(&snapshot, threads) {
+                Ok((ds, corpus, load)) => {
+                    if load.sharded {
+                        println!(
+                            "verified {} ({} shards, {} bytes in {:.0} ms, {} threads)",
+                            snapshot.display(),
+                            load.shard_count,
+                            load.bytes,
+                            load.elapsed_ms,
+                            threads
+                        );
+                    } else {
+                        println!(
+                            "verified {} ({} bytes in {:.0} ms)",
+                            snapshot.display(),
+                            load.bytes,
+                            load.elapsed_ms
+                        );
+                    }
                     let (persons, profiles, resources, containers) = ds.graph().counts();
                     println!(
                         "  {persons} candidates / {profiles} profiles / {resources} resources / {containers} containers"
@@ -246,7 +243,7 @@ fn main() {
                     );
                 }
                 Err(e) => {
-                    eprintln!("error: snapshot {}: {e}", snapshot.display());
+                    eprintln!("error: {e}");
                     std::process::exit(1);
                 }
             }
@@ -323,7 +320,17 @@ fn main() {
                 bench.ds.candidates().iter().map(|p| p.name.as_str()).collect();
             print!("{}", explain_fmt::render_flight(&summary, &records, &names));
         }
-        Command::Soak { out, snapshot, duration_ms, queries, threads, tick_ms, watch, profile } => {
+        Command::Soak {
+            out,
+            snapshot,
+            connect,
+            duration_ms,
+            queries,
+            threads,
+            tick_ms,
+            watch,
+            profile,
+        } => {
             let bench = prepare_or_exit(snapshot.as_deref());
             let opts = rightcrowd_bench::soak::SoakOptions {
                 duration: std::time::Duration::from_millis(duration_ms),
@@ -334,6 +341,39 @@ fn main() {
                 profile,
                 ..Default::default()
             };
+            if let Some(addr) = connect {
+                // Connect mode: the ladder drives a running `rc serve`
+                // daemon over TCP instead of ranking in-process. The
+                // local bench only supplies the query workload and the
+                // bit-identity reference.
+                let report =
+                    match rightcrowd_bench::soak::ConnectReport::run(&bench, &addr, &opts) {
+                        Ok(report) => report,
+                        Err(e) => {
+                            eprintln!("error: {e}");
+                            std::process::exit(1);
+                        }
+                    };
+                for phase in &report.phases {
+                    println!(
+                        "t{} over-tcp       {:>8.0} qps  p50 {:>7.3} ms  p99 {:>7.3} ms  ({} queries in {:.1}s)",
+                        phase.threads, phase.qps, phase.p50_ms, phase.p99_ms, phase.queries,
+                        phase.elapsed_s,
+                    );
+                }
+                match report.write_to(&out) {
+                    Ok(paths) => {
+                        for path in paths {
+                            println!("wrote {}", path.display());
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
             let report = rightcrowd_bench::soak::SoakReport::run(&bench, &opts);
             for phase in &report.phases {
                 println!(
@@ -372,6 +412,90 @@ fn main() {
                         println!("wrote {}", path.display());
                     }
                 }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Command::Serve { snapshot, addr, threads, out } => {
+            use std::sync::atomic::Ordering;
+
+            // Warm once: snapshot when it exists (monolithic or sharded,
+            // detected on disk), cold build + cache otherwise — the same
+            // policy every other snapshot-taking subcommand follows.
+            let decode_threads = rightcrowd_core::par::default_threads();
+            let (bench, load) = if rightcrowd_store::is_sharded(&snapshot)
+                || snapshot.is_file()
+            {
+                match rightcrowd_bench::runner::load_snapshot(&snapshot, decode_threads) {
+                    Ok((ds, corpus, load)) => (
+                        Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 },
+                        Some(load),
+                    ),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                (prepare_or_exit(Some(&snapshot)), None)
+            };
+
+            // Queries served over HTTP land in the flight ring like any
+            // other instrumented run, so `rc flight`-style debugging
+            // works against a daemon too.
+            rightcrowd_obs::flight::set_flight_enabled(true);
+            let app = rightcrowd_bench::serve_app::RankApp::new(
+                bench,
+                snapshot.display().to_string(),
+                load,
+            );
+            let mut server_config = rightcrowd_serve::ServerConfig {
+                addr,
+                ..rightcrowd_serve::ServerConfig::default()
+            };
+            if let Some(n) = threads {
+                server_config.threads = n;
+            }
+            let workers = server_config.threads;
+            let server = match rightcrowd_serve::Server::bind(server_config) {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            };
+            match server.local_addr() {
+                Some(bound) => println!(
+                    "serving on http://{bound} ({workers} workers) — POST /rank, POST /explain, \
+                     GET /metrics, GET /healthz, WS /rank"
+                ),
+                None => eprintln!("warning: cannot read bound address"),
+            }
+            println!(
+                "snapshot fingerprint {}; SIGTERM/SIGINT drains in-flight queries and \
+                 flushes the event log into {}",
+                app.fingerprint(),
+                out.display()
+            );
+            server.run(&app);
+
+            // Past this point the drain contract holds: every accepted
+            // request finished. Flush, report, exit 0.
+            let stats = server.stats();
+            eprintln!(
+                "[serve] drained: {} queries over {} requests ({} connections, {} shed, \
+                 {} ws upgrades, {} faults answered)",
+                app.served(),
+                stats.requests.load(Ordering::Relaxed),
+                stats.accepted.load(Ordering::Relaxed),
+                stats.shed.load(Ordering::Relaxed),
+                stats.ws_upgrades.load(Ordering::Relaxed),
+                stats.faults_answered.load(Ordering::Relaxed),
+            );
+            match app.flush_events(&out) {
+                Ok(path) => println!("wrote {}", path.display()),
                 Err(e) => {
                     eprintln!("error: {e}");
                     std::process::exit(1);
@@ -489,32 +613,28 @@ fn main() {
 
             // Snapshot integrity gate: a container that fails its
             // checksums is a regression regardless of the latency diff.
-            // Sharded directories gate the manifest plus every shard.
+            // The shared loader routes sharded directories through the
+            // manifest-plus-every-shard path, monolithic files through
+            // the single-container one.
             if let Some(path) = &snapshot {
-                if rightcrowd_store::is_sharded(path) {
-                    let threads = rightcrowd_core::par::default_threads();
-                    match rightcrowd_store::load_sharded(path, threads) {
-                        Ok((_, corpus, stats)) => println!(
-                            "snapshot {} ok: {} shards / {} bytes verified in {:.0} ms ({} retained docs)",
-                            path.display(),
-                            stats.shard_count,
-                            stats.bytes,
-                            stats.elapsed_ms,
-                            corpus.retained()
-                        ),
-                        Err(e) => failures.push(format!("snapshot {}: {e}", path.display())),
-                    }
-                } else {
-                    match rightcrowd_store::load(path) {
-                        Ok((_, corpus, stats)) => println!(
-                            "snapshot {} ok: {} bytes verified in {:.0} ms ({} retained docs)",
-                            path.display(),
-                            stats.bytes,
-                            stats.elapsed_ms,
-                            corpus.retained()
-                        ),
-                        Err(e) => failures.push(format!("snapshot {}: {e}", path.display())),
-                    }
+                let threads = rightcrowd_core::par::default_threads();
+                match rightcrowd_bench::runner::load_snapshot(path, threads) {
+                    Ok((_, corpus, load)) if load.sharded => println!(
+                        "snapshot {} ok: {} shards / {} bytes verified in {:.0} ms ({} retained docs)",
+                        path.display(),
+                        load.shard_count,
+                        load.bytes,
+                        load.elapsed_ms,
+                        corpus.retained()
+                    ),
+                    Ok((_, corpus, load)) => println!(
+                        "snapshot {} ok: {} bytes verified in {:.0} ms ({} retained docs)",
+                        path.display(),
+                        load.bytes,
+                        load.elapsed_ms,
+                        corpus.retained()
+                    ),
+                    Err(e) => failures.push(e),
                 }
             }
 
@@ -544,9 +664,11 @@ fn main() {
 
             // The snapshot diff itself: latency/size keys plus counter
             // invariants (including the profiler overhead budget).
+            let mut provenance: Option<String> = None;
             match regress::compare_files(&baseline, &current, threshold) {
                 Ok(report) => {
                     print!("{}", report.render());
+                    provenance = Some(report.provenance());
                     if report.any_regressed() {
                         failures.push(format!(
                             "{} regressed key(s)/invariant(s) in {}",
@@ -559,7 +681,13 @@ fn main() {
             }
 
             if !failures.is_empty() {
-                eprintln!("{} gate(s) failed:", failures.len());
+                // The summary names the baseline the run compared
+                // against — a failed gate against a dirty-tree baseline
+                // reads very differently from one against a clean rev.
+                match &provenance {
+                    Some(p) => eprintln!("{} gate(s) failed ({p}):", failures.len()),
+                    None => eprintln!("{} gate(s) failed:", failures.len()),
+                }
                 for failure in &failures {
                     eprintln!("  - {failure}");
                 }

@@ -114,18 +114,23 @@ pub enum Command {
         /// build + cache when the file is absent).
         snapshot: Option<std::path::PathBuf>,
     },
-    /// `rc soak [--out DIR] [--snapshot PATH] [--duration 30s]
-    /// [--queries N] [--threads N] [--tick-ms MS] [--watch]` — the
-    /// closed-loop load harness: a telemetry-on thread ladder plus a
-    /// telemetry-off baseline, writing `SOAK_<scale>.json` (per-tick
-    /// series), the wide-event query log, a validated OpenMetrics
-    /// exposition, and merging the headline keys into
-    /// `BENCH_<scale>.json`.
+    /// `rc soak [--out DIR] [--snapshot PATH] [--connect ADDR]
+    /// [--duration 30s] [--queries N] [--threads N] [--tick-ms MS]
+    /// [--watch]` — the closed-loop load harness: a telemetry-on thread
+    /// ladder plus a telemetry-off baseline, writing `SOAK_<scale>.json`
+    /// (per-tick series), the wide-event query log, a validated
+    /// OpenMetrics exposition, and merging the headline keys into
+    /// `BENCH_<scale>.json`. With `--connect` the same ladder drives a
+    /// running `rc serve` daemon over real TCP instead of in-process
+    /// calls, merging `serve_qps_t{N}` / `serve_p50/p99_under_load_t{N}_ms`.
     Soak {
         /// Directory the artifacts are written into.
         out: std::path::PathBuf,
         /// Serve from this store container instead of rebuilding.
         snapshot: Option<std::path::PathBuf>,
+        /// Drive a running `rc serve` daemon at this address over HTTP
+        /// instead of ranking in-process.
+        connect: Option<String>,
         /// Wall-clock length of each measured phase (ms).
         duration_ms: u64,
         /// Stop each phase early after this many queries.
@@ -139,6 +144,23 @@ pub enum Command {
         /// Run the sampling profiler over the telemetry-on ladder and
         /// fold CPU estimates into the wide-event log.
         profile: bool,
+    },
+    /// `rc serve --snapshot PATH [--addr HOST:PORT] [--threads N]
+    /// [--out DIR]` — promote the snapshot to a resident query daemon:
+    /// warm once, then serve `POST /rank`, `POST /explain`,
+    /// `GET /metrics`, `GET /healthz` and `WS /rank` until SIGTERM,
+    /// which drains in-flight queries, flushes the wide-event log into
+    /// `--out`, and exits 0.
+    Serve {
+        /// The container to warm from: a `.rcs` file or a sharded
+        /// directory (cold build + cache when absent).
+        snapshot: std::path::PathBuf,
+        /// Listen address (default 127.0.0.1:7700).
+        addr: String,
+        /// Worker threads (default: available parallelism).
+        threads: Option<usize>,
+        /// Directory the drain-time wide-event log is flushed into.
+        out: std::path::PathBuf,
     },
     /// `rc profile <bench|soak> [--folded PATH] [--svg PATH] [--hz N]
     /// [--out DIR] [--snapshot PATH] [--duration 30s] [--threads N]` —
@@ -265,8 +287,9 @@ USAGE:
   rc save --snapshot PATH [--shards N] [--threads N]
   rc load --snapshot PATH [--threads N]
   rc flight [--slowest K] [--capacity N] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
-  rc soak [--out DIR] [--snapshot PATH] [--duration 30s] [--queries N] [--threads N]
-          [--tick-ms MS] [--watch] [--profile]
+  rc soak [--out DIR] [--snapshot PATH] [--connect HOST:PORT] [--duration 30s] [--queries N]
+          [--threads N] [--tick-ms MS] [--watch] [--profile]
+  rc serve --snapshot PATH [--addr HOST:PORT] [--threads N] [--out DIR]
   rc profile bench|soak [--folded PATH] [--svg PATH] [--hz N] [--out DIR]
              [--snapshot PATH] [--duration 30s] [--threads N]
   rc spans [--json] [--platform all|fb|tw|li] [--distance 0|1|2]
@@ -286,6 +309,15 @@ SOAK (closed-loop load):
   qps_t{1,2,4,8}, p50/p99_under_load_t{N}_ms, soak_telemetry_overhead_frac
   and rss_peak_bytes into BENCH_<scale>.json for `rc regress` to gate.
   --duration accepts 500ms / 30s / 2m / plain seconds.
+
+SERVE (resident query daemon):
+  rc serve warms the snapshot once and answers over a zero-dependency
+  HTTP/1.1 + WebSocket front end until SIGTERM/SIGINT, which drains
+  in-flight queries, flushes SERVE_<scale>.events.jsonl into --out, and
+  exits 0. `rc soak --connect HOST:PORT` replays the soak ladder against
+  a running daemon over real TCP — after checking that served responses
+  are byte-identical to in-process ranking — and merges serve_qps_t{N}
+  and serve_p50/p99_under_load_t{N}_ms into BENCH_<scale>.json.
 
 PROFILE (in-process sampling profiler):
   rc profile runs the workload with a sampler thread snapshotting every
@@ -393,6 +425,8 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut svg: Option<std::path::PathBuf> = None;
     let mut hz: Option<u32> = None;
     let mut profile = false;
+    let mut addr: Option<String> = None;
+    let mut connect: Option<String> = None;
     let mut positional: Vec<&String> = Vec::new();
 
     while let Some(arg) = iter.next() {
@@ -520,6 +554,18 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             }
             "--watch" => watch = true,
             "--profile" => profile = true,
+            "--addr" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--addr needs host:port".into()))?;
+                addr = Some(value.clone());
+            }
+            "--connect" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--connect needs host:port".into()))?;
+                connect = Some(value.clone());
+            }
             "--folded" => {
                 let value =
                     iter.next().ok_or_else(|| ParseError("--folded needs a path".into()))?;
@@ -617,15 +663,32 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
             }
         }
         "flight" => Command::Flight { slowest, capacity, platforms, distance, snapshot },
-        "soak" => Command::Soak {
-            out,
-            snapshot,
-            duration_ms,
-            queries,
+        "soak" => {
+            if connect.is_some() && snapshot.is_some() {
+                return Err(ParseError(
+                    "soak takes --snapshot (in-process) or --connect (daemon), not both; \
+                     the daemon already owns the snapshot"
+                        .into(),
+                ));
+            }
+            Command::Soak {
+                out,
+                snapshot,
+                connect,
+                duration_ms,
+                queries,
+                threads,
+                tick_ms,
+                watch,
+                profile,
+            }
+        }
+        "serve" => Command::Serve {
+            snapshot: snapshot
+                .ok_or_else(|| ParseError("serve needs --snapshot <path>".into()))?,
+            addr: addr.unwrap_or_else(|| "127.0.0.1:7700".to_owned()),
             threads,
-            tick_ms,
-            watch,
-            profile,
+            out: if out_given { out } else { std::path::PathBuf::from("target/perf") },
         },
         "profile" => {
             let mode = match positional.first().map(|s| s.as_str()) {
@@ -882,6 +945,7 @@ mod tests {
             Command::Soak {
                 out: std::path::PathBuf::from("."),
                 snapshot: None,
+                connect: None,
                 duration_ms: 30_000,
                 queries: None,
                 threads: None,
@@ -899,6 +963,7 @@ mod tests {
             Command::Soak {
                 out: std::path::PathBuf::from("target/perf"),
                 snapshot: Some(std::path::PathBuf::from("corpus.shards")),
+                connect: None,
                 duration_ms: 5_000,
                 queries: Some(1_000),
                 threads: Some(2),
@@ -911,6 +976,56 @@ mod tests {
         assert!(parse(&args(&["soak", "--queries", "0"])).is_err());
         assert!(parse(&args(&["soak", "--tick-ms", "0"])).is_err());
         assert!(parse(&args(&["soak", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn parses_soak_connect() {
+        assert_eq!(
+            cmd(&["soak", "--connect", "127.0.0.1:7700", "--duration", "3s"]),
+            Command::Soak {
+                out: std::path::PathBuf::from("."),
+                snapshot: None,
+                connect: Some("127.0.0.1:7700".into()),
+                duration_ms: 3_000,
+                queries: None,
+                threads: None,
+                tick_ms: 1_000,
+                watch: false,
+                profile: false,
+            }
+        );
+        // The daemon owns the snapshot; pointing the client at another
+        // one would measure an incoherent pair.
+        assert!(parse(&args(&["soak", "--connect", "h:1", "--snapshot", "c.rcs"])).is_err());
+        assert!(parse(&args(&["soak", "--connect"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            cmd(&["serve", "--snapshot", "corpus.shards"]),
+            Command::Serve {
+                snapshot: std::path::PathBuf::from("corpus.shards"),
+                addr: "127.0.0.1:7700".into(),
+                threads: None,
+                out: std::path::PathBuf::from("target/perf"),
+            }
+        );
+        assert_eq!(
+            cmd(&[
+                "serve", "--snapshot", "c.rcs", "--addr", "0.0.0.0:8080", "--threads", "4",
+                "--out", "artifacts"
+            ]),
+            Command::Serve {
+                snapshot: std::path::PathBuf::from("c.rcs"),
+                addr: "0.0.0.0:8080".into(),
+                threads: Some(4),
+                out: std::path::PathBuf::from("artifacts"),
+            }
+        );
+        assert!(parse(&args(&["serve"])).is_err());
+        assert!(parse(&args(&["serve", "--snapshot", "c.rcs", "--addr"])).is_err());
+        assert!(parse(&args(&["serve", "--snapshot", "c.rcs", "--threads", "0"])).is_err());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod profile;
 pub mod regress;
 pub mod report;
 pub mod runner;
+pub mod serve_app;
 pub mod soak;
 pub mod table;
 

@@ -383,6 +383,27 @@ pub const UNDER_LOAD_LATENCY_KEYS: &[&str] = &[
 /// queries per second than the baseline.
 pub const THROUGHPUT_KEYS: &[&str] = &["qps_t1", "qps_t2", "qps_t4", "qps_t8"];
 
+/// The served round-trip latency keys written by `rc soak --connect`:
+/// closed-loop p50/p99 through a live `rc serve` daemon over TCP.
+/// Gated like [`UNDER_LOAD_LATENCY_KEYS`] (same absolute slack — the
+/// network round trip jitters at least as hard as the in-process loop).
+pub const SERVE_UNDER_LOAD_LATENCY_KEYS: &[&str] = &[
+    "serve_p50_under_load_t1_ms",
+    "serve_p50_under_load_t2_ms",
+    "serve_p50_under_load_t4_ms",
+    "serve_p50_under_load_t8_ms",
+    "serve_p99_under_load_t1_ms",
+    "serve_p99_under_load_t2_ms",
+    "serve_p99_under_load_t4_ms",
+    "serve_p99_under_load_t8_ms",
+];
+
+/// The served throughput keys, gated in the reversed direction with the
+/// same slack as [`THROUGHPUT_KEYS`]: fewer served queries per second
+/// than the baseline is the regression.
+pub const SERVE_THROUGHPUT_KEYS: &[&str] =
+    &["serve_qps_t1", "serve_qps_t2", "serve_qps_t4", "serve_qps_t8"];
+
 /// Sub-millisecond latencies jitter hard between runs; a delta is only a
 /// regression when it also exceeds this absolute slack (ms).
 const ABS_SLACK_MS: f64 = 0.05;
@@ -668,6 +689,14 @@ pub struct RegressReport {
     /// Non-fatal advisories (e.g. a dirty-tree baseline): printed by
     /// [`RegressReport::render`], never part of the verdict.
     pub warnings: Vec<String>,
+    /// The baseline's `git_rev`, when the snapshot records one — so a
+    /// failure summary can say which tree produced the numbers it is
+    /// failing against.
+    pub baseline_rev: Option<String>,
+    /// Whether the baseline snapshot says it was measured on a dirty
+    /// work tree (`git_dirty: true`). `None` when the snapshot predates
+    /// the provenance keys.
+    pub baseline_dirty: Option<bool>,
 }
 
 impl RegressReport {
@@ -698,7 +727,7 @@ impl RegressReport {
             let regressed = ratio > key_threshold && (c - b) > ABS_SLACK_MS;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
-        for &key in UNDER_LOAD_LATENCY_KEYS {
+        for &key in UNDER_LOAD_LATENCY_KEYS.iter().chain(SERVE_UNDER_LOAD_LATENCY_KEYS) {
             let (Some(b), Some(c)) = (
                 baseline.get(key).and_then(Json::as_f64),
                 current.get(key).and_then(Json::as_f64),
@@ -709,7 +738,7 @@ impl RegressReport {
             let regressed = ratio > threshold && (c - b) > ABS_SLACK_UNDER_LOAD_MS;
             deltas.push(KeyDelta { key, baseline: b, current: c, ratio, regressed });
         }
-        for &key in THROUGHPUT_KEYS {
+        for &key in THROUGHPUT_KEYS.iter().chain(SERVE_THROUGHPUT_KEYS) {
             let (Some(b), Some(c)) = (
                 baseline.get(key).and_then(Json::as_f64),
                 current.get(key).and_then(Json::as_f64),
@@ -759,7 +788,28 @@ impl RegressReport {
                     .to_owned(),
             );
         }
-        RegressReport { threshold, deltas, counters, warnings }
+        let baseline_rev = match baseline.get("git_rev") {
+            Some(Json::Str(rev)) => Some(rev.clone()),
+            _ => None,
+        };
+        let baseline_dirty = match baseline.get("git_dirty") {
+            Some(Json::Bool(dirty)) => Some(*dirty),
+            _ => None,
+        };
+        RegressReport { threshold, deltas, counters, warnings, baseline_rev, baseline_dirty }
+    }
+
+    /// One-line baseline provenance for failure summaries: which
+    /// revision the baseline claims, and whether its tree was dirty —
+    /// the first question a failed gate raises ("what am I actually
+    /// regressing against?") answered without re-opening the snapshot.
+    pub fn provenance(&self) -> String {
+        match (&self.baseline_rev, self.baseline_dirty) {
+            (Some(rev), Some(true)) => format!("baseline {rev} (DIRTY tree)"),
+            (Some(rev), Some(false)) => format!("baseline {rev} (clean tree)"),
+            (Some(rev), None) => format!("baseline {rev} (dirtiness unrecorded)"),
+            (None, _) => "baseline provenance unrecorded".to_owned(),
+        }
     }
 
     /// Whether any latency key or counter invariant regressed.
@@ -1094,6 +1144,71 @@ mod tests {
         // …while sub-slack jitter passes.
         let jitter = soak_snap(2000.0, 4.3, 0.01, 200 << 20);
         assert!(!RegressReport::compare(&base, &jitter, 0.2).any_regressed());
+    }
+
+    /// A minimal snapshot carrying only `rc soak --connect` keys.
+    fn serve_snap(qps_t1: f64, p99_t1: f64) -> Json {
+        parse_json(&format!(
+            r#"{{"serve_qps_t1": {qps_t1}, "serve_qps_t4": {q4},
+                "serve_p50_under_load_t1_ms": {p50},
+                "serve_p99_under_load_t1_ms": {p99_t1}}}"#,
+            q4 = qps_t1 * 3.0,
+            p50 = p99_t1 / 4.0,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_keys_gate_with_the_soak_slack_rules() {
+        let base = serve_snap(1500.0, 6.0);
+        let r = RegressReport::compare(&base, &base.clone(), 0.2);
+        assert!(!r.any_regressed());
+        assert!(r.deltas.iter().any(|d| d.key == "serve_qps_t1"));
+        assert!(r.deltas.iter().any(|d| d.key == "serve_p99_under_load_t1_ms"));
+
+        // Served throughput collapse regresses (reversed direction)…
+        let slow = serve_snap(900.0, 6.0);
+        let r = RegressReport::compare(&base, &slow, 0.2);
+        assert!(r.deltas.iter().find(|d| d.key == "serve_qps_t1").unwrap().regressed);
+        // …a gain never does…
+        assert!(!RegressReport::compare(&base, &serve_snap(5000.0, 6.0), 0.2).any_regressed());
+        // …and a drop inside the absolute qps slack is noise.
+        let r = RegressReport::compare(&serve_snap(40.0, 6.0), &serve_snap(20.0, 6.0), 0.2);
+        assert!(!r.deltas.iter().find(|d| d.key == "serve_qps_t1").unwrap().regressed);
+
+        // Round-trip latency past threshold + 0.5 ms slack regresses;
+        // sub-slack jitter passes.
+        let laggy = serve_snap(1500.0, 12.0);
+        let r = RegressReport::compare(&base, &laggy, 0.2);
+        assert!(r
+            .deltas
+            .iter()
+            .find(|d| d.key == "serve_p99_under_load_t1_ms")
+            .unwrap()
+            .regressed);
+        assert!(!RegressReport::compare(&base, &serve_snap(1500.0, 6.4), 0.2).any_regressed());
+    }
+
+    #[test]
+    fn provenance_reports_the_baseline_rev_and_dirtiness() {
+        let clean = parse_json(r#"{"git_rev": "abc1234", "git_dirty": false}"#).unwrap();
+        let none = parse_json("{}").unwrap();
+        let r = RegressReport::compare(&clean, &none, 0.2);
+        assert_eq!(r.baseline_rev.as_deref(), Some("abc1234"));
+        assert_eq!(r.baseline_dirty, Some(false));
+        assert_eq!(r.provenance(), "baseline abc1234 (clean tree)");
+
+        let dirty = parse_json(r#"{"git_rev": "abc1234", "git_dirty": true}"#).unwrap();
+        let r = RegressReport::compare(&dirty, &none, 0.2);
+        assert_eq!(r.provenance(), "baseline abc1234 (DIRTY tree)");
+
+        let old = parse_json(r#"{"git_rev": "abc1234"}"#).unwrap();
+        let r = RegressReport::compare(&old, &none, 0.2);
+        assert_eq!(r.provenance(), "baseline abc1234 (dirtiness unrecorded)");
+
+        let r = RegressReport::compare(&none, &none, 0.2);
+        assert_eq!(r.baseline_rev, None);
+        assert_eq!(r.provenance(), "baseline provenance unrecorded");
     }
 
     #[test]

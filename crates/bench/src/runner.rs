@@ -22,6 +22,66 @@ pub fn load_dataset() -> SyntheticDataset {
     SyntheticDataset::generate(&config)
 }
 
+/// How an existing snapshot container was loaded, for progress output
+/// and the daemon's `/healthz` report.
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotLoad {
+    /// Whether the container was a sharded directory (vs a monolithic
+    /// file).
+    pub sharded: bool,
+    /// Shard files read (1 for a monolithic container).
+    pub shard_count: usize,
+    /// Total bytes read and verified.
+    pub bytes: u64,
+    /// Wall time of read + verify + reconstruct, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Loads an *existing* snapshot container, auto-detecting the layout: a
+/// directory holding `manifest.rcm` goes through the parallel sharded
+/// path, a file through the monolithic one, and anything else (including
+/// a manifest-less directory) is a typed error. This is the one loader
+/// every `--snapshot` consumer shares — `rc bench`, `explain`, `flight`,
+/// `regress`, `soak`, and the resident `rc serve` daemon — so sharded
+/// detection and integrity failures behave identically everywhere.
+pub fn load_snapshot(
+    path: &std::path::Path,
+    threads: usize,
+) -> Result<(SyntheticDataset, AnalyzedCorpus, SnapshotLoad), String> {
+    if rightcrowd_store::is_sharded(path) {
+        let (ds, corpus, stats) = rightcrowd_store::load_sharded(path, threads)
+            .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+        let load = SnapshotLoad {
+            sharded: true,
+            shard_count: stats.shard_count,
+            bytes: stats.bytes,
+            elapsed_ms: stats.elapsed_ms,
+        };
+        return Ok((ds, corpus, load));
+    }
+    if path.is_file() {
+        let (ds, corpus, stats) = rightcrowd_store::load(path)
+            .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+        let load = SnapshotLoad {
+            sharded: false,
+            shard_count: 1,
+            bytes: stats.bytes,
+            elapsed_ms: stats.elapsed_ms,
+        };
+        return Ok((ds, corpus, load));
+    }
+    if path.is_dir() {
+        // An existing directory without a manifest is not a snapshot we
+        // can load (or should ever overwrite).
+        return Err(format!(
+            "snapshot {}: directory exists but holds no {}",
+            path.display(),
+            rightcrowd_store::MANIFEST_FILE
+        ));
+    }
+    Err(format!("snapshot {}: no such file or directory", path.display()))
+}
+
 /// A ready-to-run experiment bench: dataset + analysed corpus, plus the
 /// build timings recorded for the perf trajectory (`BENCH_<scale>.json`).
 pub struct Bench {
@@ -83,28 +143,19 @@ impl Bench {
     ) -> Result<Self, String> {
         let Some(path) = snapshot else { return Ok(Self::prepare()) };
         let threads = rightcrowd_core::par::default_threads();
-        if rightcrowd_store::is_sharded(path) {
-            eprintln!("[bench] loading sharded snapshot {}...", path.display());
-            let (ds, corpus, stats) = rightcrowd_store::load_sharded(path, threads)
-                .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+        if rightcrowd_store::is_sharded(path) || path.is_file() {
             eprintln!(
-                "[bench]   {} retained docs from {} shards / {} bytes in {:.0} ms (pipeline skipped)",
-                corpus.retained(),
-                stats.shard_count,
-                stats.bytes,
-                stats.elapsed_ms,
+                "[bench] loading {}snapshot {}...",
+                if rightcrowd_store::is_sharded(path) { "sharded " } else { "" },
+                path.display()
             );
-            return Ok(Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 });
-        }
-        if path.is_file() {
-            eprintln!("[bench] loading snapshot {}...", path.display());
-            let (ds, corpus, stats) = rightcrowd_store::load(path)
-                .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
+            let (ds, corpus, load) = load_snapshot(path, threads)?;
             eprintln!(
-                "[bench]   {} retained docs from {} bytes in {:.0} ms (pipeline skipped)",
+                "[bench]   {} retained docs from {} shard(s) / {} bytes in {:.0} ms (pipeline skipped)",
                 corpus.retained(),
-                stats.bytes,
-                stats.elapsed_ms,
+                load.shard_count,
+                load.bytes,
+                load.elapsed_ms,
             );
             // No pipeline ran, so there are no build timings to report.
             return Ok(Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 });
@@ -208,6 +259,13 @@ mod tests {
         };
         assert!(err.contains("no manifest.rcm"), "{err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_snapshot_types_a_missing_path() {
+        let missing = std::path::Path::new("/nonexistent/rc-snap.rcs");
+        let err = load_snapshot(missing, 2).unwrap_err();
+        assert!(err.contains("no such file"), "{err}");
     }
 
     #[test]

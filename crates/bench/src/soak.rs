@@ -683,6 +683,398 @@ impl SoakReport {
     }
 }
 
+/// A minimal keep-alive HTTP/1.1 client for driving `rc serve` over
+/// real TCP: enough protocol for `POST /rank`, `GET /healthz` and the
+/// chunked `GET /metrics` exposition.
+pub struct SoakClient {
+    stream: std::net::TcpStream,
+    carry: Vec<u8>,
+}
+
+impl SoakClient {
+    /// Connects to the daemon with a request timeout.
+    pub fn connect(addr: &str) -> Result<SoakClient, String> {
+        let stream = std::net::TcpStream::connect(addr)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
+            .and_then(|()| stream.set_nodelay(true))
+            .map_err(|e| format!("cannot configure socket to {addr}: {e}"))?;
+        Ok(SoakClient { stream, carry: Vec::new() })
+    }
+
+    /// `POST path` with a JSON body; returns `(status, body)`.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<(u16, Vec<u8>), String> {
+        use std::io::Write;
+        let request = format!(
+            "POST {path} HTTP/1.1\r\nHost: rc\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        self.read_response()
+    }
+
+    /// `GET path`; returns `(status, body)`.
+    pub fn get(&mut self, path: &str) -> Result<(u16, Vec<u8>), String> {
+        use std::io::Write;
+        let request = format!("GET {path} HTTP/1.1\r\nHost: rc\r\n\r\n");
+        self.stream.write_all(request.as_bytes()).map_err(|e| format!("send: {e}"))?;
+        self.read_response()
+    }
+
+    /// Reads one response off the keep-alive connection —
+    /// Content-Length-framed or chunked — leaving any pipelined surplus
+    /// in the carry buffer.
+    fn read_response(&mut self) -> Result<(u16, Vec<u8>), String> {
+        let head_end = loop {
+            if let Some(i) =
+                self.carry.windows(4).position(|w| w == b"\r\n\r\n")
+            {
+                break i + 4;
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.carry[..head_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line: {:?}", head.lines().next()))?;
+        let header = |name: &str| {
+            head.lines().find_map(|l| {
+                let (n, value) = l.split_once(':')?;
+                n.eq_ignore_ascii_case(name).then(|| value.trim().to_owned())
+            })
+        };
+        let chunked = header("transfer-encoding")
+            .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        if chunked {
+            self.carry.drain(..head_end);
+            return Ok((status, self.read_chunked_body()?));
+        }
+        let length: usize = header("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| "response without Content-Length".to_owned())?;
+        self.carry.drain(..head_end);
+        while self.carry.len() < length {
+            self.fill()?;
+        }
+        let body: Vec<u8> = self.carry.drain(..length).collect();
+        Ok((status, body))
+    }
+
+    /// Reassembles a chunked body: `size-hex\r\n data \r\n` repeated,
+    /// terminated by a zero-size chunk.
+    fn read_chunked_body(&mut self) -> Result<Vec<u8>, String> {
+        let mut body = Vec::new();
+        loop {
+            let line_end = loop {
+                if let Some(i) = self.carry.windows(2).position(|w| w == b"\r\n") {
+                    break i;
+                }
+                self.fill()?;
+            };
+            let size_line = String::from_utf8_lossy(&self.carry[..line_end]).into_owned();
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| format!("malformed chunk size {size_line:?}"))?;
+            self.carry.drain(..line_end + 2);
+            while self.carry.len() < size + 2 {
+                self.fill()?;
+            }
+            body.extend(self.carry.drain(..size));
+            self.carry.drain(..2); // the chunk's trailing CRLF
+            if size == 0 {
+                return Ok(body);
+            }
+        }
+    }
+
+    /// Reads more bytes from the daemon into the carry buffer.
+    fn fill(&mut self) -> Result<(), String> {
+        use std::io::Read;
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk).map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection mid-response".to_owned());
+        }
+        self.carry.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+/// The `/rank` request body connect-mode sends for `text` — also what
+/// the bit-identity pre-check posts, so the two cannot diverge.
+fn rank_body(text: &str) -> String {
+    format!("{{\"query\": {}, \"top\": 10}}", rightcrowd_serve::http::json_escape(text))
+}
+
+/// Runs one closed-loop connect-mode phase: `threads` workers, each on
+/// its own keep-alive connection, posting Zipf-picked queries to the
+/// daemon until the deadline or budget. Latency is the full round trip
+/// (serialise + TCP + daemon rank + response), which is the number a
+/// client of the daemon actually experiences.
+fn run_connect_phase(
+    bench: &Bench,
+    opts: &SoakOptions,
+    addr: &str,
+    threads: usize,
+    duration: Duration,
+) -> Result<SoakPhase, String> {
+    let needs = bench.ds.queries();
+    let zipf = ZipfPicker::new(needs.len().max(1), ZIPF_S);
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+
+    let started = Instant::now();
+    let deadline = started + duration;
+    let outs: Vec<Result<WorkerOut, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let (stop, completed, zipf) = (&stop, &completed, &zipf);
+                scope.spawn(move || {
+                    let mut client = SoakClient::connect(addr)?;
+                    let mut rng =
+                        opts.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    let mut latencies_ns = Vec::new();
+                    while !stop.load(Ordering::Acquire) && !needs.is_empty() {
+                        let need = &needs[zipf.pick(next_unit(&mut rng))];
+                        let body = rank_body(&need.text);
+                        let one = Instant::now();
+                        let (status, _) = client.post("/rank", &body)?;
+                        let elapsed = one.elapsed();
+                        if status != 200 {
+                            return Err(format!(
+                                "daemon answered {status} to a well-formed /rank request"
+                            ));
+                        }
+                        latencies_ns.push(elapsed.as_nanos() as u64);
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if opts.query_budget.is_some_and(|budget| done >= budget) {
+                            stop.store(true, Ordering::Release);
+                        }
+                    }
+                    Ok(WorkerOut { latencies_ns })
+                })
+            })
+            .collect();
+
+        while Instant::now() < deadline && !stop.load(Ordering::Acquire) {
+            std::thread::sleep(
+                Duration::from_millis(25)
+                    .min(deadline.saturating_duration_since(Instant::now())),
+            );
+        }
+        stop.store(true, Ordering::Release);
+        handles.into_iter().map(|h| h.join().expect("connect worker panicked")).collect()
+    });
+    let elapsed_s = started.elapsed().as_secs_f64().max(1e-9);
+
+    let mut latencies_ms = Vec::new();
+    for out in outs {
+        latencies_ms
+            .extend(out?.latencies_ns.iter().map(|&ns| ns as f64 / 1e6));
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let queries = latencies_ms.len() as u64;
+    Ok(SoakPhase {
+        threads,
+        // Client-side phases carry no sampler: the daemon owns the live
+        // registry (scrape `GET /metrics` for it).
+        telemetry: false,
+        queries,
+        elapsed_s,
+        qps: queries as f64 / elapsed_s,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p90_ms: percentile(&latencies_ms, 0.90),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        series: Vec::new(),
+    })
+}
+
+/// Everything one `rc soak --connect` run produced: the thread ladder
+/// replayed against a live daemon over TCP.
+pub struct ConnectReport {
+    /// Dataset scale label (checked against the daemon's `/healthz`).
+    pub scale: String,
+    /// Short git revision of the measuring tree.
+    pub git_rev: String,
+    /// Seconds since the Unix epoch at measurement time.
+    pub unix_time: u64,
+    /// The daemon address driven.
+    pub addr: String,
+    /// Per-phase duration the run was configured with (ms).
+    pub duration_ms: u64,
+    /// Queries whose served bytes were verified against in-process
+    /// ranking before the ladder ran.
+    pub identity_checked: usize,
+    /// Measured phases in ladder order (the warmup is discarded).
+    pub phases: Vec<SoakPhase>,
+}
+
+impl ConnectReport {
+    /// Runs the connect-mode soak: verifies the daemon serves this
+    /// tree's exact bytes (scale via `/healthz`, then byte-identity of
+    /// `/rank` against in-process [`crate::serve_app::rank_response`]
+    /// for a prefix of the workload), then walks the thread ladder.
+    pub fn run(bench: &Bench, addr: &str, opts: &SoakOptions) -> Result<ConnectReport, String> {
+        let scale = crate::runner::scale_label();
+        let mut probe = SoakClient::connect(addr)?;
+        let (status, health) = probe.get("/healthz")?;
+        if status != 200 {
+            return Err(format!("{addr}/healthz answered {status}"));
+        }
+        let health = parse_json(&String::from_utf8_lossy(&health))
+            .map_err(|e| format!("{addr}/healthz body is not JSON: {e}"))?;
+        match health.get("scale") {
+            Some(Json::Str(daemon_scale)) if *daemon_scale == scale => {}
+            Some(Json::Str(daemon_scale)) => {
+                return Err(format!(
+                    "scale mismatch: daemon serves {daemon_scale:?}, this run is {scale:?} \
+                     (set RIGHTCROWD_SCALE or --scale to match)"
+                ));
+            }
+            _ => return Err(format!("{addr}/healthz reports no scale")),
+        }
+
+        // Bit-identity: the served response must be byte-for-byte what
+        // in-process ranking renders, or every latency this run measures
+        // describes some other computation.
+        let config = FinderConfig::default();
+        let attribution = bench.ctx().attribution(&config);
+        let checked: Vec<&rightcrowd_synth::ExpertiseNeed> =
+            bench.ds.queries().iter().take(3).collect();
+        for need in &checked {
+            let (expected, _) =
+                crate::serve_app::rank_response(bench, &attribution, &config, &need.text, 10);
+            let (status, served) = probe.post("/rank", &rank_body(&need.text))?;
+            if status != 200 {
+                return Err(format!("{addr}/rank answered {status} during identity check"));
+            }
+            if served != expected.as_bytes() {
+                return Err(format!(
+                    "served response for {:?} differs from in-process ranking \
+                     ({} vs {} bytes) — daemon built from a different tree or snapshot?",
+                    need.text,
+                    served.len(),
+                    expected.len()
+                ));
+            }
+        }
+        eprintln!(
+            "[soak] identity: {} served responses byte-identical to in-process ranking",
+            checked.len()
+        );
+
+        let ladder = thread_ladder(opts.max_threads);
+        let warmup = opts
+            .duration
+            .div_f64(5.0)
+            .clamp(Duration::from_millis(200), Duration::from_secs(2));
+        eprintln!(
+            "[soak] warmup: {} connection(s) against {addr} for {:.1}s...",
+            ladder[ladder.len() - 1],
+            warmup.as_secs_f64()
+        );
+        let _ = run_connect_phase(bench, opts, addr, ladder[ladder.len() - 1], warmup)?;
+
+        let mut phases = Vec::new();
+        for &threads in &ladder {
+            eprintln!(
+                "[soak] measuring {threads} connection(s) against {addr} for {:.1}s...",
+                opts.duration.as_secs_f64()
+            );
+            phases.push(run_connect_phase(bench, opts, addr, threads, opts.duration)?);
+        }
+        Ok(ConnectReport {
+            scale,
+            git_rev: crate::report::git_rev(),
+            unix_time: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            addr: addr.to_owned(),
+            duration_ms: opts.duration.as_millis() as u64,
+            identity_checked: checked.len(),
+            phases,
+        })
+    }
+
+    /// The headline keys merged into `BENCH_<scale>.json`: served
+    /// throughput and under-load round-trip percentiles per default
+    /// ladder rung, gated by `rc regress` with the same reversed-slack
+    /// rules as the in-process soak keys.
+    pub fn bench_entries(&self) -> Vec<(String, Json)> {
+        let mut entries = Vec::new();
+        for phase in &self.phases {
+            if ![1usize, 2, 4, 8].contains(&phase.threads) {
+                continue;
+            }
+            let t = phase.threads;
+            entries.push((format!("serve_qps_t{t}"), Json::Num(phase.qps)));
+            entries.push((format!("serve_p50_under_load_t{t}_ms"), Json::Num(phase.p50_ms)));
+            entries.push((format!("serve_p99_under_load_t{t}_ms"), Json::Num(phase.p99_ms)));
+        }
+        entries
+    }
+
+    /// The full report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("scale".to_owned(), Json::Str(self.scale.clone()));
+        m.insert("git_rev".to_owned(), Json::Str(self.git_rev.clone()));
+        m.insert("unix_time".to_owned(), Json::Num(self.unix_time as f64));
+        m.insert("addr".to_owned(), Json::Str(self.addr.clone()));
+        m.insert("duration_ms".to_owned(), Json::Num(self.duration_ms as f64));
+        m.insert("identity_checked".to_owned(), Json::Num(self.identity_checked as f64));
+        m.insert(
+            "phases".to_owned(),
+            Json::Arr(self.phases.iter().map(SoakPhase::to_json).collect()),
+        );
+        for (key, value) in self.bench_entries() {
+            m.entry(key).or_insert(value);
+        }
+        Json::Obj(m).render()
+    }
+
+    /// Writes `SERVE_<scale>.json` into `dir` and merges the headline
+    /// keys into `BENCH_<scale>.json` there (same parse → insert →
+    /// re-render contract as the in-process soak). Returns the paths
+    /// written.
+    pub fn write_to(&self, dir: &std::path::Path) -> Result<Vec<std::path::PathBuf>, String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let mut written = Vec::new();
+
+        let json_path = dir.join(format!("SERVE_{}.json", self.scale));
+        std::fs::write(&json_path, self.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        written.push(json_path);
+
+        let bench_path = dir.join(format!("BENCH_{}.json", self.scale));
+        let mut doc = match std::fs::read_to_string(&bench_path) {
+            Ok(text) => {
+                parse_json(&text).map_err(|e| format!("{}: {e}", bench_path.display()))?
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                let mut m = std::collections::BTreeMap::new();
+                m.insert("scale".to_owned(), Json::Str(self.scale.clone()));
+                m.insert("git_rev".to_owned(), Json::Str(self.git_rev.clone()));
+                Json::Obj(m)
+            }
+            Err(e) => return Err(format!("cannot read {}: {e}", bench_path.display())),
+        };
+        for (key, value) in self.bench_entries() {
+            doc.set(&key, value);
+        }
+        std::fs::write(&bench_path, doc.render())
+            .map_err(|e| format!("cannot write {}: {e}", bench_path.display()))?;
+        written.push(bench_path);
+        Ok(written)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -806,5 +1198,85 @@ mod tests {
             assert!(merged.get("soak_telemetry_overhead_frac").is_some());
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn connect_mode_soaks_a_live_daemon_over_tcp() {
+        use rightcrowd_serve::{Server, ServerConfig};
+
+        // The scale label must agree between the in-process bench and
+        // the daemon's /healthz, and both read RIGHTCROWD_SCALE — but a
+        // parallel test could have set it differently, so build both
+        // sides from the same tiny dataset and only compare /healthz
+        // against whatever scale_label() currently says.
+        let ds = rightcrowd_synth::SyntheticDataset::generate(
+            &rightcrowd_synth::DatasetConfig::tiny(),
+        );
+        let corpus = rightcrowd_core::AnalyzedCorpus::build(&ds);
+        let bench = Bench { ds, corpus, generate_ms: 1.0, analyze_ms: 1.0 };
+        let ds2 = rightcrowd_synth::SyntheticDataset::generate(
+            &rightcrowd_synth::DatasetConfig::tiny(),
+        );
+        let corpus2 = rightcrowd_core::AnalyzedCorpus::build(&ds2);
+        let daemon_bench = Bench { ds: ds2, corpus: corpus2, generate_ms: 1.0, analyze_ms: 1.0 };
+        let app = crate::serve_app::RankApp::new(daemon_bench, "in-memory".to_owned(), None);
+
+        rightcrowd_serve::reset_stop();
+        let server = Server::bind(ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            threads: 2,
+            ..ServerConfig::default()
+        })
+        .expect("ephemeral bind");
+        let addr = server.local_addr().expect("bound address").to_string();
+
+        // Requests a drain on drop so a failing assertion below still
+        // stops the server instead of deadlocking the scope join.
+        struct StopOnDrop;
+        impl Drop for StopOnDrop {
+            fn drop(&mut self) {
+                rightcrowd_serve::request_stop();
+            }
+        }
+
+        std::thread::scope(|scope| {
+            let run = scope.spawn(|| server.run(&app));
+            let stopper = StopOnDrop;
+
+            let opts = SoakOptions {
+                duration: Duration::from_millis(250),
+                query_budget: Some(200),
+                max_threads: Some(2),
+                ..SoakOptions::default()
+            };
+            let report =
+                ConnectReport::run(&bench, &addr, &opts).expect("connect soak must succeed");
+            assert_eq!(report.identity_checked, 3);
+            assert_eq!(report.phases.len(), 2, "ladder [1, 2]");
+            assert!(report.phases.iter().all(|p| p.queries > 0 && p.qps > 0.0));
+            assert!(report.phases.iter().all(|p| p.p50_ms <= p.p99_ms));
+
+            // The report is valid JSON carrying the serve_* keys, and
+            // the artifacts merge into an existing BENCH snapshot.
+            let doc = parse_json(&report.to_json()).expect("connect json must parse");
+            assert!(doc.get("serve_qps_t1").and_then(Json::as_f64).is_some_and(|q| q > 0.0));
+            assert!(doc.get("serve_p99_under_load_t2_ms").is_some());
+            let dir =
+                std::env::temp_dir().join(format!("rc-connect-test-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            std::fs::create_dir_all(&dir).unwrap();
+            let existing = dir.join(format!("BENCH_{}.json", report.scale));
+            std::fs::write(&existing, "{\n  \"qps_t1\": 100.0\n}\n").unwrap();
+            let written = report.write_to(&dir).expect("artifacts must write");
+            assert_eq!(written.len(), 2);
+            let merged = parse_json(&std::fs::read_to_string(&existing).unwrap()).unwrap();
+            assert_eq!(merged.get("qps_t1").and_then(Json::as_f64), Some(100.0));
+            assert!(merged.get("serve_qps_t1").is_some());
+            std::fs::remove_dir_all(&dir).ok();
+
+            drop(stopper);
+            run.join().expect("server thread");
+        });
+        rightcrowd_serve::reset_stop();
     }
 }

@@ -1,0 +1,109 @@
+//! End-to-end contract for the resident daemon: the bytes a live
+//! `rightcrowd_serve::Server` running [`RankApp`] puts on a real TCP
+//! socket are **bit-identical** to the in-process rendering of the same
+//! query over the same (deterministically regenerated) tiny dataset.
+//! This is the wire-level twin of the in-process identity unit test in
+//! `serve_app` — it exercises the full stack: HTTP parsing, routing,
+//! keep-alive, chunked metrics, WebSocket framing, and graceful drain.
+
+use rightcrowd_bench::runner::Bench;
+use rightcrowd_bench::serve_app::{rank_response, RankApp};
+use rightcrowd_bench::soak::SoakClient;
+use rightcrowd_core::{AnalyzedCorpus, FinderConfig};
+use rightcrowd_serve::http::json_escape;
+use rightcrowd_serve::{request_stop, reset_stop, Server, ServerConfig};
+use rightcrowd_synth::{DatasetConfig, SyntheticDataset};
+
+/// Builds a fresh tiny bench. Generation is deterministic, so two calls
+/// yield identical datasets — one feeds the daemon, one computes the
+/// expected responses client-side.
+fn tiny_bench() -> Bench {
+    let ds = SyntheticDataset::generate(&DatasetConfig::tiny());
+    let corpus = AnalyzedCorpus::build(&ds);
+    Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 }
+}
+
+/// Requests a drain on drop so a failing assertion inside the scope
+/// still stops the server instead of deadlocking the scope join.
+struct StopOnDrop;
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        request_stop();
+    }
+}
+
+#[test]
+fn served_rank_is_bit_identical_to_in_process_rank_over_tcp() {
+    let client_bench = tiny_bench();
+    let config = FinderConfig::default();
+    let attribution = client_bench.ctx().attribution(&config);
+
+    let app = RankApp::new(tiny_bench(), "in-memory".to_owned(), None);
+
+    reset_stop();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    let addr = server.local_addr().expect("bound address").to_string();
+
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&app));
+        let stopper = StopOnDrop;
+
+        let mut client = SoakClient::connect(&addr).expect("connect");
+
+        // Every query in the tiny workload round-trips bit-identically,
+        // all over ONE keep-alive connection.
+        let queries: Vec<String> =
+            client_bench.ds.queries().iter().map(|q| q.text.clone()).collect();
+        for text in &queries {
+            let (expected, ranking) =
+                rank_response(&client_bench, &attribution, &config, text, 10);
+            let body = format!("{{\"query\": {}, \"top\": 10}}", json_escape(text));
+            let (status, served) = client.post("/rank", &body).expect("POST /rank");
+            assert_eq!(status, 200, "query {text:?}");
+            assert_eq!(
+                served,
+                expected.as_bytes(),
+                "served /rank must be bit-identical for {text:?}"
+            );
+            assert!(!ranking.is_empty(), "tiny corpus ranks at least one expert");
+        }
+
+        // /explain smoke: decomposition JSON with the config echo.
+        let body = format!("{{\"query\": {}, \"top\": 3}}", json_escape(&queries[0]));
+        let (status, explained) = client.post("/explain", &body).expect("POST /explain");
+        assert_eq!(status, 200);
+        let explained = String::from_utf8(explained).expect("explain is UTF-8");
+        assert!(explained.contains("\"experts\""), "explain carries the ranking");
+        assert!(explained.contains("\"alpha\""), "explain echoes the config");
+
+        // /healthz agrees with the app's own identity and served count.
+        let (status, health) = client.get("/healthz").expect("GET /healthz");
+        assert_eq!(status, 200);
+        let health = String::from_utf8(health).expect("healthz is UTF-8");
+        assert!(health.contains(app.fingerprint()), "fingerprint surfaces in /healthz");
+        assert!(health.contains("\"status\": \"ok\""));
+
+        // /metrics is valid OpenMetrics even when served chunked.
+        let (status, metrics) = client.get("/metrics").expect("GET /metrics");
+        assert_eq!(status, 200);
+        let metrics = String::from_utf8(metrics).expect("metrics is UTF-8");
+        if rightcrowd_obs::PROBES_ENABLED {
+            let families = rightcrowd_obs::validate_openmetrics(&metrics)
+                .expect("served exposition must validate");
+            assert!(families > 0, "live registry exposes at least one family");
+        } else {
+            assert!(metrics.ends_with("# EOF\n"), "obs-off exposition still terminates");
+        }
+
+        assert_eq!(app.served(), queries.len() as u64 + 1, "rank + explain count as served");
+
+        drop(stopper);
+        run.join().expect("server thread");
+    });
+    reset_stop();
+}

@@ -1,0 +1,134 @@
+//! The typed error taxonomy of the wire protocol.
+//!
+//! Every way a connection can go wrong maps to exactly one variant, and
+//! every variant maps to exactly one observable behaviour: either an HTTP
+//! status the worker writes back before closing ([`ServeError::status`]
+//! returns `Some`), or a silent close (`None` — the peer is gone or never
+//! finished a request, so there is nobody to answer). Nothing in the
+//! protocol path panics on peer-controlled input; the fault-injection
+//! suite (`tests/faults.rs`) drives every variant from the socket side.
+
+/// A wire-protocol failure on one connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The peer closed the connection cleanly between requests — the
+    /// normal end of a keep-alive conversation, not a fault.
+    Closed,
+    /// EOF arrived mid-request: a truncated request line, header block or
+    /// body. There is no complete request to answer.
+    Truncated,
+    /// A read or write deadline expired.
+    Timeout,
+    /// The request line is malformed (wrong token count, empty method,
+    /// or over the line-length limit).
+    BadRequestLine(String),
+    /// A header line is malformed (no colon, empty name, bad encoding) or
+    /// carries something the server refuses (request bodies with
+    /// `Transfer-Encoding`).
+    BadHeader(String),
+    /// The header block exceeded its byte or count budget.
+    HeadersTooLarge,
+    /// `Content-Length` is unparseable or self-contradictory.
+    BadContentLength(String),
+    /// The declared body exceeds the per-request budget.
+    BodyTooLarge {
+        /// The configured budget in bytes.
+        limit: usize,
+        /// What the request declared.
+        declared: usize,
+    },
+    /// An HTTP version this server does not speak.
+    UnsupportedVersion(String),
+    /// A WebSocket upgrade request missing an RFC 6455 precondition.
+    BadUpgrade(String),
+    /// A malformed WebSocket frame (reserved bits, unknown opcode,
+    /// unmasked client payload, fragmentation, invalid UTF-8 text).
+    BadFrame(String),
+    /// A WebSocket payload over the per-frame budget.
+    FrameTooLarge {
+        /// The configured budget in bytes.
+        limit: usize,
+        /// What the frame header declared.
+        declared: usize,
+    },
+    /// Any other socket-level failure.
+    Io(std::io::ErrorKind),
+    /// The listener could not bind or configure its address.
+    Bind(String),
+}
+
+impl ServeError {
+    /// The HTTP status the worker answers this error with, or `None`
+    /// when the connection just closes (peer gone, nothing to answer).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ServeError::BadRequestLine(_)
+            | ServeError::BadHeader(_)
+            | ServeError::BadContentLength(_)
+            | ServeError::BadUpgrade(_) => Some(400),
+            ServeError::Timeout => Some(408),
+            ServeError::BodyTooLarge { .. } => Some(413),
+            ServeError::HeadersTooLarge => Some(431),
+            ServeError::UnsupportedVersion(_) => Some(505),
+            ServeError::Closed
+            | ServeError::Truncated
+            | ServeError::BadFrame(_)
+            | ServeError::FrameTooLarge { .. }
+            | ServeError::Io(_)
+            | ServeError::Bind(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "connection closed by peer"),
+            ServeError::Truncated => write!(f, "connection closed mid-request"),
+            ServeError::Timeout => write!(f, "read/write deadline expired"),
+            ServeError::BadRequestLine(why) => write!(f, "malformed request line: {why}"),
+            ServeError::BadHeader(why) => write!(f, "malformed header: {why}"),
+            ServeError::HeadersTooLarge => write!(f, "header block over budget"),
+            ServeError::BadContentLength(why) => write!(f, "bad content-length: {why}"),
+            ServeError::BodyTooLarge { limit, declared } => {
+                write!(f, "body of {declared} bytes over the {limit} byte budget")
+            }
+            ServeError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            ServeError::BadUpgrade(why) => write!(f, "invalid websocket handshake: {why}"),
+            ServeError::BadFrame(why) => write!(f, "malformed websocket frame: {why}"),
+            ServeError::FrameTooLarge { limit, declared } => {
+                write!(f, "websocket payload of {declared} bytes over the {limit} byte budget")
+            }
+            ServeError::Io(kind) => write!(f, "socket error: {kind}"),
+            ServeError::Bind(why) => write!(f, "cannot bind: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_client_fault_maps_to_a_4xx_or_silent_close() {
+        assert_eq!(ServeError::BadRequestLine("x".into()).status(), Some(400));
+        assert_eq!(ServeError::BadHeader("x".into()).status(), Some(400));
+        assert_eq!(ServeError::BadContentLength("x".into()).status(), Some(400));
+        assert_eq!(ServeError::BadUpgrade("x".into()).status(), Some(400));
+        assert_eq!(ServeError::Timeout.status(), Some(408));
+        assert_eq!(ServeError::BodyTooLarge { limit: 1, declared: 2 }.status(), Some(413));
+        assert_eq!(ServeError::HeadersTooLarge.status(), Some(431));
+        assert_eq!(ServeError::UnsupportedVersion("HTTP/2".into()).status(), Some(505));
+        for silent in [
+            ServeError::Closed,
+            ServeError::Truncated,
+            ServeError::BadFrame("x".into()),
+            ServeError::FrameTooLarge { limit: 1, declared: 2 },
+            ServeError::Io(std::io::ErrorKind::ConnectionReset),
+        ] {
+            assert_eq!(silent.status(), None, "{silent}");
+        }
+    }
+}

@@ -1,0 +1,498 @@
+//! The hand-rolled HTTP/1.1 subset: request line + headers,
+//! `Content-Length` bodies, keep-alive, and plain or chunked responses.
+//!
+//! The parser is incremental and split-read tolerant: bytes accumulate in
+//! a per-connection carry buffer until a full head (`\r\n\r\n`) and body
+//! are present, so a request arriving one byte per TCP segment parses
+//! identically to one arriving whole. Bytes after the body stay in the
+//! carry buffer for the next keep-alive request (pipelining tolerance).
+//! Every malformed input maps to a typed [`ServeError`]; nothing here
+//! panics on peer-controlled bytes.
+
+use std::io::{Read, Write};
+
+use crate::err::ServeError;
+
+/// Per-request resource budgets. Exceeding any of them is a typed error
+/// (and a 4xx), never unbounded buffering.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line (method + target + version), bytes.
+    pub max_request_line: usize,
+    /// Whole head budget (request line + every header), bytes.
+    pub max_head_bytes: usize,
+    /// Most headers accepted on one request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`, bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_request_line: 4 * 1024,
+            max_head_bytes: 16 * 1024,
+            max_headers: 64,
+            max_body: 1024 * 1024,
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path plus any query string).
+    pub target: String,
+    /// `HTTP/1.1` or `HTTP/1.0`.
+    pub version: String,
+    /// Headers in arrival order, names as sent.
+    pub headers: Vec<(String, String)>,
+    /// The `Content-Length` body (empty when none was declared).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (ASCII case-insensitive), trimmed.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Whether the client asked to keep the connection open after this
+    /// request (HTTP/1.1 defaults to yes, HTTP/1.0 to no).
+    pub fn wants_keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => false,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => true,
+            _ => self.version == "HTTP/1.1",
+        }
+    }
+}
+
+/// Maps an I/O failure mid-parse onto the protocol taxonomy: deadline
+/// expiries become [`ServeError::Timeout`], the rest keep their kind.
+fn map_io(e: std::io::Error) -> ServeError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ServeError::Timeout,
+        kind => ServeError::Io(kind),
+    }
+}
+
+/// The position right after the first `\r\n\r\n`, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads until `carry` holds at least `want` bytes (used for bodies).
+fn fill(stream: &mut dyn Read, carry: &mut Vec<u8>, want: usize) -> Result<(), ServeError> {
+    let mut chunk = [0u8; 4096];
+    while carry.len() < want {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ServeError::Truncated),
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(map_io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one request from `stream`, carrying split-read remainders in
+/// `carry` across calls (keep-alive connections reuse one buffer).
+pub fn read_request(
+    stream: &mut dyn Read,
+    carry: &mut Vec<u8>,
+    limits: &Limits,
+) -> Result<Request, ServeError> {
+    // Accumulate until the whole head is present. The budget check runs
+    // per iteration, so a peer streaming garbage is cut off at the limit
+    // rather than buffered forever.
+    let head_len = loop {
+        if let Some(end) = head_end(carry) {
+            break end;
+        }
+        if carry.len() > limits.max_head_bytes {
+            return Err(ServeError::HeadersTooLarge);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if carry.is_empty() {
+                    ServeError::Closed
+                } else {
+                    ServeError::Truncated
+                })
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(map_io(e)),
+        }
+    };
+    if head_len > limits.max_head_bytes {
+        return Err(ServeError::HeadersTooLarge);
+    }
+
+    let head = std::str::from_utf8(&carry[..head_len - 4])
+        .map_err(|_| ServeError::BadHeader("head is not valid UTF-8".into()))?
+        .to_owned();
+    let mut lines = head.split("\r\n");
+
+    let request_line = lines.next().unwrap_or_default();
+    if request_line.len() > limits.max_request_line {
+        return Err(ServeError::BadRequestLine(format!(
+            "{} bytes over the {} byte limit",
+            request_line.len(),
+            limits.max_request_line
+        )));
+    }
+    let mut tokens = request_line.split(' ').filter(|t| !t.is_empty());
+    let (method, target, version) = match (tokens.next(), tokens.next(), tokens.next(), tokens.next())
+    {
+        (Some(m), Some(t), Some(v), None) => (m.to_owned(), t.to_owned(), v.to_owned()),
+        _ => {
+            return Err(ServeError::BadRequestLine(format!(
+                "expected \"METHOD target HTTP/1.1\", got {request_line:?}"
+            )))
+        }
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(ServeError::BadRequestLine(format!("bad method token {method:?}")));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServeError::UnsupportedVersion(version));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if headers.len() >= limits.max_headers {
+            return Err(ServeError::HeadersTooLarge);
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::BadHeader(format!("no colon in {line:?}")));
+        };
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(ServeError::BadHeader(format!("bad header name in {line:?}")));
+        }
+        headers.push((name.to_owned(), value.trim().to_owned()));
+    }
+
+    // Request bodies arrive by Content-Length only; chunked uploads are
+    // out of the subset and refused loudly rather than misparsed.
+    if headers.iter().any(|(n, _)| n.eq_ignore_ascii_case("transfer-encoding")) {
+        return Err(ServeError::BadHeader(
+            "transfer-encoding request bodies are not supported".into(),
+        ));
+    }
+    let mut content_length = 0usize;
+    let mut seen: Option<&str> = None;
+    for (n, v) in &headers {
+        if n.eq_ignore_ascii_case("content-length") {
+            if seen.is_some_and(|prev| prev != v) {
+                return Err(ServeError::BadContentLength("conflicting values".into()));
+            }
+            seen = Some(v);
+            content_length = v
+                .parse::<usize>()
+                .map_err(|_| ServeError::BadContentLength(format!("unparseable value {v:?}")))?;
+        }
+    }
+    if content_length > limits.max_body {
+        return Err(ServeError::BodyTooLarge { limit: limits.max_body, declared: content_length });
+    }
+
+    fill(stream, carry, head_len + content_length)?;
+    let body = carry[head_len..head_len + content_length].to_vec();
+    carry.drain(..head_len + content_length);
+    Ok(Request { method, target, version, headers, body })
+}
+
+/// One response to write. `chunked` streams the body with
+/// `Transfer-Encoding: chunked` instead of `Content-Length`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: String,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers appended after the standard ones.
+    pub headers: Vec<(String, String)>,
+    /// Stream the body in chunked transfer encoding.
+    pub chunked: bool,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            content_type: "application/json".into(),
+            body: body.into_bytes(),
+            headers: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8".into(),
+            body: body.as_bytes().to_vec(),
+            headers: Vec::new(),
+            chunked: false,
+        }
+    }
+
+    /// Switches this response to chunked transfer encoding.
+    pub fn into_chunked(mut self) -> Self {
+        self.chunked = true;
+        self
+    }
+
+    /// Appends a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_owned(), value.to_owned()));
+        self
+    }
+}
+
+/// The canonical reason phrase of a status code (the subset this server
+/// emits; anything else renders as `Status`).
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        101 => "Switching Protocols",
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Status",
+    }
+}
+
+/// Size of one chunk in a chunked-encoded body.
+const CHUNK_BYTES: usize = 4096;
+
+/// Writes `resp` (head + body) and flushes. `keep_alive` selects the
+/// `Connection` header; the caller closes the socket when it is `false`.
+pub fn write_response(
+    stream: &mut dyn Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> Result<(), ServeError> {
+    let mut head = format!("HTTP/1.1 {} {}\r\n", resp.status, reason(resp.status));
+    head.push_str(&format!("Content-Type: {}\r\n", resp.content_type));
+    if resp.chunked {
+        head.push_str("Transfer-Encoding: chunked\r\n");
+    } else {
+        head.push_str(&format!("Content-Length: {}\r\n", resp.body.len()));
+    }
+    head.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+
+    let write_all = |stream: &mut dyn Write, bytes: &[u8]| -> Result<(), ServeError> {
+        stream.write_all(bytes).map_err(map_io)
+    };
+    write_all(stream, head.as_bytes())?;
+    if resp.chunked {
+        for chunk in resp.body.chunks(CHUNK_BYTES) {
+            write_all(stream, format!("{:x}\r\n", chunk.len()).as_bytes())?;
+            write_all(stream, chunk)?;
+            write_all(stream, b"\r\n")?;
+        }
+        write_all(stream, b"0\r\n\r\n")?;
+    } else {
+        write_all(stream, &resp.body)?;
+    }
+    stream.flush().map_err(map_io)
+}
+
+/// Escapes a string into a JSON literal (for error bodies; the app layer
+/// brings its own JSON machinery for everything else).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The standard error body for a typed protocol error.
+pub fn error_body(err: &ServeError) -> String {
+    format!("{{\"error\": {}}}", json_escape(&err.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reader handing out its script in fixed-size pieces, so tests
+    /// can replay arbitrary TCP segmentations deterministically.
+    struct SplitReader {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+
+    impl Read for SplitReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.step.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn parse_with_step(raw: &[u8], step: usize) -> Result<Request, ServeError> {
+        let mut reader = SplitReader { data: raw.to_vec(), pos: 0, step };
+        let mut carry = Vec::new();
+        read_request(&mut reader, &mut carry, &Limits::default())
+    }
+
+    const POST: &[u8] =
+        b"POST /rank HTTP/1.1\r\nHost: x\r\nContent-Length: 15\r\n\r\n{\"query\": \"ab\"}";
+
+    #[test]
+    fn parses_identically_at_every_segmentation() {
+        let whole = parse_with_step(POST, POST.len()).unwrap();
+        assert_eq!(whole.method, "POST");
+        assert_eq!(whole.path(), "/rank");
+        assert_eq!(whole.body, b"{\"query\": \"ab\"}");
+        for step in 1..=POST.len() {
+            assert_eq!(parse_with_step(POST, step).unwrap(), whole, "step {step}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_pipelining_leaves_the_next_request_in_the_carry() {
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n".to_vec();
+        let mut reader = SplitReader { data: two.clone(), pos: 0, step: two.len() };
+        let mut carry = Vec::new();
+        let first = read_request(&mut reader, &mut carry, &Limits::default()).unwrap();
+        assert_eq!(first.target, "/a");
+        let second = read_request(&mut reader, &mut carry, &Limits::default()).unwrap();
+        assert_eq!(second.target, "/b");
+        assert!(carry.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_is_typed_never_a_panic() {
+        for cut in 1..POST.len() {
+            let err = parse_with_step(&POST[..cut], POST.len()).unwrap_err();
+            assert!(
+                matches!(err, ServeError::Truncated),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+        assert!(matches!(parse_with_step(b"", 1).unwrap_err(), ServeError::Closed));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_their_variant() {
+        let parse = |raw: &[u8]| parse_with_step(raw, raw.len()).unwrap_err();
+        assert!(matches!(parse(b"GET\r\n\r\n"), ServeError::BadRequestLine(_)));
+        assert!(matches!(parse(b"get /x HTTP/1.1\r\n\r\n"), ServeError::BadRequestLine(_)));
+        assert!(matches!(parse(b"GET /x HTTP/2.0\r\n\r\n"), ServeError::UnsupportedVersion(_)));
+        assert!(matches!(parse(b"GET /x HTTP/1.1\r\nNoColon\r\n\r\n"), ServeError::BadHeader(_)));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: many\r\n\r\n"),
+            ServeError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n"),
+            ServeError::BadContentLength(_)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ServeError::BadHeader(_)
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"),
+            ServeError::BodyTooLarge { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_heads_are_cut_off_at_the_budget() {
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice("X-Pad: ".as_bytes());
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        let err = parse_with_step(&raw, 4096).unwrap_err();
+        assert!(matches!(err, ServeError::HeadersTooLarge), "{err:?}");
+
+        // Too many small headers trips the count limit.
+        let mut raw = b"GET /x HTTP/1.1\r\n".to_vec();
+        for i in 0..100 {
+            raw.extend_from_slice(format!("X-{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let err = parse_with_step(&raw, raw.len()).unwrap_err();
+        assert!(matches!(err, ServeError::HeadersTooLarge), "{err:?}");
+    }
+
+    #[test]
+    fn responses_render_plain_and_chunked() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::json(200, "{\"a\": 1}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 8\r\n"), "{text}");
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+        assert!(text.ends_with("{\"a\": 1}"), "{text}");
+
+        let mut out = Vec::new();
+        let body = "x".repeat(CHUNK_BYTES + 10);
+        write_response(&mut out, &Response::text(200, &body).into_chunked(), false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.contains(&format!("{CHUNK_BYTES:x}\r\n")), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+        assert!(!text.contains("Content-Length"), "{text}");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_follows_version_and_connection() {
+        let req = |raw: &[u8]| parse_with_step(raw, raw.len()).unwrap();
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").wants_keep_alive());
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_keep_alive());
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_keep_alive());
+    }
+
+    #[test]
+    fn error_bodies_are_valid_json() {
+        let body = error_body(&ServeError::BadHeader("a \"quoted\"\nthing".into()));
+        assert!(body.starts_with("{\"error\": \""), "{body}");
+        assert!(body.contains("\\\"quoted\\\""), "{body}");
+        assert!(body.contains("\\n"), "{body}");
+    }
+}

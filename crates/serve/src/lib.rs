@@ -1,0 +1,23 @@
+//! `rightcrowd-serve` — the zero-dependency transport tier of the
+//! resident query daemon (re-exported as `rightcrowd::serve`).
+//!
+//! The crate is pure mechanism, no policy: a hand-rolled HTTP/1.1 subset
+//! ([`http`]), a minimal RFC 6455 WebSocket codec ([`ws`]), a typed
+//! error taxonomy ([`err`]) in which every peer-triggerable fault is a
+//! status or a silent close — never a panic — and a thread-pool server
+//! ([`server`]) with a bounded accept queue, 503 load shedding,
+//! per-socket deadlines, and SIGTERM graceful drain. What the endpoints
+//! *mean* (ranking, explanations, metrics) lives behind the [`App`]
+//! trait, implemented by the bench crate's `serve_app`, keeping this
+//! crate dependency-free in both directions.
+
+pub mod err;
+pub mod http;
+pub mod server;
+pub mod ws;
+
+pub use err::ServeError;
+pub use http::{Limits, Request, Response};
+pub use server::{
+    request_stop, reset_stop, stop_requested, App, Server, ServerConfig, ServerStats,
+};

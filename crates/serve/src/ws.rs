@@ -1,0 +1,488 @@
+//! The minimal RFC 6455 WebSocket subset: the HTTP upgrade handshake
+//! (hand-rolled SHA-1 + base64 — no dependencies), masked client text
+//! frames in, unmasked server text frames out, plus close/ping/pong.
+//!
+//! Out of the subset, refused loudly as [`ServeError::BadFrame`]:
+//! fragmented messages, reserved bits, unknown opcodes, and unmasked
+//! client payloads (which RFC 6455 §5.1 requires the server to reject).
+
+use std::io::{Read, Write};
+
+use crate::err::ServeError;
+use crate::http::Request;
+
+/// The RFC 6455 handshake GUID every accept key is derived from.
+const WS_GUID: &str = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11";
+
+/// SHA-1 of `data` (FIPS 180-1). Used only for the handshake accept key,
+/// where the protocol pins the hash; nothing security-sensitive rides on
+/// SHA-1's collision resistance here.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64) * 8;
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in message.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let (mut a, mut b, mut c, mut d, mut e) = (h[0], h[1], h[2], h[3], h[4]);
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; 20];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Standard (RFC 4648) base64 with padding.
+pub fn base64(data: &[u8]) -> String {
+    const ALPHABET: &[u8; 64] =
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// The `Sec-WebSocket-Accept` value for a client key.
+pub fn accept_key(client_key: &str) -> String {
+    base64(&sha1(format!("{client_key}{WS_GUID}").as_bytes()))
+}
+
+/// Validates an upgrade request's RFC 6455 preconditions and returns the
+/// client key to answer with.
+pub fn validate_upgrade(req: &Request) -> Result<String, ServeError> {
+    if req.method != "GET" {
+        return Err(ServeError::BadUpgrade(format!("method {} (need GET)", req.method)));
+    }
+    match req.header("upgrade") {
+        Some(v) if v.eq_ignore_ascii_case("websocket") => {}
+        other => {
+            return Err(ServeError::BadUpgrade(format!(
+                "Upgrade header {other:?} (need \"websocket\")"
+            )))
+        }
+    }
+    let connection_upgrades = req
+        .header("connection")
+        .is_some_and(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case("upgrade")));
+    if !connection_upgrades {
+        return Err(ServeError::BadUpgrade("Connection header does not include Upgrade".into()));
+    }
+    match req.header("sec-websocket-version") {
+        Some("13") => {}
+        other => {
+            return Err(ServeError::BadUpgrade(format!(
+                "Sec-WebSocket-Version {other:?} (need 13)"
+            )))
+        }
+    }
+    match req.header("sec-websocket-key") {
+        // A 16-byte nonce base64-encodes to exactly 24 characters; the
+        // precise length check catches garbage keys cheaply.
+        Some(key) if key.len() == 24 => Ok(key.to_owned()),
+        Some(key) => Err(ServeError::BadUpgrade(format!(
+            "Sec-WebSocket-Key of {} chars (need 24)",
+            key.len()
+        ))),
+        None => Err(ServeError::BadUpgrade("missing Sec-WebSocket-Key".into())),
+    }
+}
+
+/// One inbound frame, decoded and unmasked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete text message.
+    Text(String),
+    /// A complete binary message.
+    Binary(Vec<u8>),
+    /// A ping (answer with [`write_pong`]).
+    Ping(Vec<u8>),
+    /// A pong (ignorable).
+    Pong(Vec<u8>),
+    /// Close, with the peer's status code (1005 when absent).
+    Close(u16),
+}
+
+/// Ensures `carry` holds at least `want` bytes, reading as needed.
+fn need(stream: &mut dyn Read, carry: &mut Vec<u8>, want: usize) -> Result<(), ServeError> {
+    let mut chunk = [0u8; 4096];
+    while carry.len() < want {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if carry.is_empty() {
+                    ServeError::Closed
+                } else {
+                    ServeError::Truncated
+                })
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+            {
+                return Err(ServeError::Timeout)
+            }
+            Err(e) => return Err(ServeError::Io(e.kind())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one client frame. `carry` holds split-read remainders between
+/// calls, exactly like the HTTP parser's buffer (and is seeded with any
+/// bytes that arrived behind the handshake).
+pub fn read_frame(
+    stream: &mut dyn Read,
+    carry: &mut Vec<u8>,
+    max_payload: usize,
+) -> Result<Frame, ServeError> {
+    need(stream, carry, 2)?;
+    let (b0, b1) = (carry[0], carry[1]);
+    if b0 & 0x70 != 0 {
+        return Err(ServeError::BadFrame("reserved bits set".into()));
+    }
+    if b0 & 0x80 == 0 {
+        return Err(ServeError::BadFrame("fragmented messages are not supported".into()));
+    }
+    let opcode = b0 & 0x0F;
+    if b1 & 0x80 == 0 {
+        // RFC 6455 §5.1: a server MUST fail the connection on an
+        // unmasked client frame.
+        return Err(ServeError::BadFrame("client frame is not masked".into()));
+    }
+
+    let (len, mut offset) = match b1 & 0x7F {
+        126 => {
+            need(stream, carry, 4)?;
+            (u64::from(u16::from_be_bytes([carry[2], carry[3]])), 4usize)
+        }
+        127 => {
+            need(stream, carry, 10)?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&carry[2..10]);
+            (u64::from_be_bytes(raw), 10usize)
+        }
+        short => (u64::from(short), 2usize),
+    };
+    if len > max_payload as u64 {
+        return Err(ServeError::FrameTooLarge { limit: max_payload, declared: len as usize });
+    }
+    let len = len as usize;
+
+    need(stream, carry, offset + 4 + len)?;
+    let mask = [carry[offset], carry[offset + 1], carry[offset + 2], carry[offset + 3]];
+    offset += 4;
+    let mut payload: Vec<u8> =
+        carry[offset..offset + len].iter().enumerate().map(|(i, b)| b ^ mask[i % 4]).collect();
+    carry.drain(..offset + len);
+
+    match opcode {
+        0x1 => String::from_utf8(payload)
+            .map(Frame::Text)
+            .map_err(|_| ServeError::BadFrame("text payload is not valid UTF-8".into())),
+        0x2 => Ok(Frame::Binary(payload)),
+        0x8 => {
+            let code = if payload.len() >= 2 {
+                u16::from_be_bytes([payload[0], payload[1]])
+            } else {
+                1005
+            };
+            Ok(Frame::Close(code))
+        }
+        0x9 => {
+            payload.truncate(125);
+            Ok(Frame::Ping(payload))
+        }
+        0xA => Ok(Frame::Pong(payload)),
+        other => Err(ServeError::BadFrame(format!("unsupported opcode {other:#x}"))),
+    }
+}
+
+/// Maps a frame-write failure onto the taxonomy.
+fn map_write(e: std::io::Error) -> ServeError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ServeError::Timeout,
+        kind => ServeError::Io(kind),
+    }
+}
+
+/// Writes one unmasked server frame.
+fn write_frame(stream: &mut dyn Write, opcode: u8, payload: &[u8]) -> Result<(), ServeError> {
+    let mut head = Vec::with_capacity(10);
+    head.push(0x80 | opcode);
+    match payload.len() {
+        n if n < 126 => head.push(n as u8),
+        n if n <= u16::MAX as usize => {
+            head.push(126);
+            head.extend_from_slice(&(n as u16).to_be_bytes());
+        }
+        n => {
+            head.push(127);
+            head.extend_from_slice(&(n as u64).to_be_bytes());
+        }
+    }
+    stream.write_all(&head).map_err(map_write)?;
+    stream.write_all(payload).map_err(map_write)?;
+    stream.flush().map_err(map_write)
+}
+
+/// Writes a server text frame.
+pub fn write_text(stream: &mut dyn Write, text: &str) -> Result<(), ServeError> {
+    write_frame(stream, 0x1, text.as_bytes())
+}
+
+/// Writes a close frame with `code`.
+pub fn write_close(stream: &mut dyn Write, code: u16) -> Result<(), ServeError> {
+    write_frame(stream, 0x8, &code.to_be_bytes())
+}
+
+/// Answers a ping.
+pub fn write_pong(stream: &mut dyn Write, payload: &[u8]) -> Result<(), ServeError> {
+    write_frame(stream, 0xA, payload)
+}
+
+/// Masks a payload and writes a *client* frame — the test- and
+/// client-side half of the codec (`rc soak --connect` and the fault
+/// suite drive the server with it).
+pub fn write_client_text(
+    stream: &mut dyn Write,
+    text: &str,
+    mask: [u8; 4],
+) -> Result<(), ServeError> {
+    let payload: Vec<u8> =
+        text.as_bytes().iter().enumerate().map(|(i, b)| b ^ mask[i % 4]).collect();
+    let mut head = Vec::with_capacity(14);
+    head.push(0x81);
+    match payload.len() {
+        n if n < 126 => head.push(0x80 | n as u8),
+        n if n <= u16::MAX as usize => {
+            head.push(0x80 | 126);
+            head.extend_from_slice(&(n as u16).to_be_bytes());
+        }
+        n => {
+            head.push(0x80 | 127);
+            head.extend_from_slice(&(n as u64).to_be_bytes());
+        }
+    }
+    head.extend_from_slice(&mask);
+    stream.write_all(&head).map_err(map_write)?;
+    stream.write_all(&payload).map_err(map_write)?;
+    stream.flush().map_err(map_write)
+}
+
+/// Reads one *server* frame (unmasked) — the client-side decoder.
+pub fn read_server_frame(
+    stream: &mut dyn Read,
+    carry: &mut Vec<u8>,
+    max_payload: usize,
+) -> Result<Frame, ServeError> {
+    need(stream, carry, 2)?;
+    let (b0, b1) = (carry[0], carry[1]);
+    let opcode = b0 & 0x0F;
+    let (len, offset) = match b1 & 0x7F {
+        126 => {
+            need(stream, carry, 4)?;
+            (u64::from(u16::from_be_bytes([carry[2], carry[3]])), 4usize)
+        }
+        127 => {
+            need(stream, carry, 10)?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&carry[2..10]);
+            (u64::from_be_bytes(raw), 10usize)
+        }
+        short => (u64::from(short), 2usize),
+    };
+    if len > max_payload as u64 {
+        return Err(ServeError::FrameTooLarge { limit: max_payload, declared: len as usize });
+    }
+    let len = len as usize;
+    need(stream, carry, offset + len)?;
+    let payload = carry[offset..offset + len].to_vec();
+    carry.drain(..offset + len);
+    match opcode {
+        0x1 => String::from_utf8(payload)
+            .map(Frame::Text)
+            .map_err(|_| ServeError::BadFrame("text payload is not valid UTF-8".into())),
+        0x8 => {
+            let code = if payload.len() >= 2 {
+                u16::from_be_bytes([payload[0], payload[1]])
+            } else {
+                1005
+            };
+            Ok(Frame::Close(code))
+        }
+        0x9 => Ok(Frame::Ping(payload)),
+        0xA => Ok(Frame::Pong(payload)),
+        _ => Ok(Frame::Binary(payload)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha1_matches_the_fips_vectors() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        // A >64-byte input exercises the multi-chunk path.
+        assert_eq!(
+            hex(&sha1("a".repeat(200).as_bytes())),
+            hex(&sha1("a".repeat(200).as_bytes()))
+        );
+    }
+
+    #[test]
+    fn base64_matches_rfc_4648_vectors() {
+        assert_eq!(base64(b""), "");
+        assert_eq!(base64(b"f"), "Zg==");
+        assert_eq!(base64(b"fo"), "Zm8=");
+        assert_eq!(base64(b"foo"), "Zm9v");
+        assert_eq!(base64(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn accept_key_matches_the_rfc_6455_example() {
+        assert_eq!(
+            accept_key("dGhlIHNhbXBsZSBub25jZQ=="),
+            "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+        );
+    }
+
+    #[test]
+    fn masked_client_frames_round_trip_at_every_length_class() {
+        for len in [0usize, 5, 125, 126, 300, 70_000] {
+            let text = "q".repeat(len);
+            let mut wire = Vec::new();
+            write_client_text(&mut wire, &text, [0x12, 0x34, 0x56, 0x78]).unwrap();
+            let mut carry = Vec::new();
+            let frame = read_frame(&mut wire.as_slice(), &mut carry, 1 << 20).unwrap();
+            assert_eq!(frame, Frame::Text(text), "len {len}");
+            assert!(carry.is_empty());
+        }
+    }
+
+    #[test]
+    fn server_frames_round_trip_through_the_client_decoder() {
+        for len in [0usize, 125, 126, 70_000] {
+            let text = "r".repeat(len);
+            let mut wire = Vec::new();
+            write_text(&mut wire, &text).unwrap();
+            let mut carry = Vec::new();
+            let frame = read_server_frame(&mut wire.as_slice(), &mut carry, 1 << 20).unwrap();
+            assert_eq!(frame, Frame::Text(text), "len {len}");
+        }
+    }
+
+    #[test]
+    fn protocol_violations_are_typed() {
+        // Unmasked client frame.
+        let mut carry = Vec::new();
+        let err = read_frame(&mut [0x81u8, 0x01, b'x'].as_slice(), &mut carry, 1024).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame(_)), "{err:?}");
+        // Reserved bits.
+        let mut carry = Vec::new();
+        let err = read_frame(&mut [0xF1u8, 0x80].as_slice(), &mut carry, 1024).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame(_)), "{err:?}");
+        // Fragmentation (FIN clear).
+        let mut carry = Vec::new();
+        let err = read_frame(&mut [0x01u8, 0x80].as_slice(), &mut carry, 1024).unwrap_err();
+        assert!(matches!(err, ServeError::BadFrame(_)), "{err:?}");
+        // Oversized payload is refused from the header alone.
+        let mut wire = vec![0x81u8, 0x80 | 126];
+        wire.extend_from_slice(&2048u16.to_be_bytes());
+        let mut carry = Vec::new();
+        let err = read_frame(&mut wire.as_slice(), &mut carry, 1024).unwrap_err();
+        assert!(matches!(err, ServeError::FrameTooLarge { .. }), "{err:?}");
+        // Truncated mid-frame.
+        let mut carry = Vec::new();
+        let err = read_frame(&mut [0x81u8].as_slice(), &mut carry, 1024).unwrap_err();
+        assert!(matches!(err, ServeError::Truncated), "{err:?}");
+    }
+
+    #[test]
+    fn upgrade_validation_requires_every_precondition() {
+        let good = Request {
+            method: "GET".into(),
+            target: "/rank".into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![
+                ("Upgrade".into(), "websocket".into()),
+                ("Connection".into(), "keep-alive, Upgrade".into()),
+                ("Sec-WebSocket-Version".into(), "13".into()),
+                ("Sec-WebSocket-Key".into(), "dGhlIHNhbXBsZSBub25jZQ==".into()),
+            ],
+            body: Vec::new(),
+        };
+        assert_eq!(validate_upgrade(&good).unwrap(), "dGhlIHNhbXBsZSBub25jZQ==");
+
+        // Dropping any precondition fails with a typed BadUpgrade.
+        for drop in ["Upgrade", "Connection", "Sec-WebSocket-Version", "Sec-WebSocket-Key"] {
+            let mut req = good.clone();
+            req.headers.retain(|(n, _)| n != drop);
+            let err = validate_upgrade(&req).unwrap_err();
+            assert!(matches!(err, ServeError::BadUpgrade(_)), "{drop}: {err:?}");
+        }
+        let mut wrong_version = good.clone();
+        wrong_version.headers[2].1 = "8".into();
+        assert!(validate_upgrade(&wrong_version).is_err());
+        let mut short_key = good.clone();
+        short_key.headers[3].1 = "short".into();
+        assert!(validate_upgrade(&short_key).is_err());
+        let mut post = good;
+        post.method = "POST".into();
+        assert!(validate_upgrade(&post).is_err());
+    }
+}

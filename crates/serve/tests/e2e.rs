@@ -1,0 +1,215 @@
+//! End-to-end behaviour of the transport tier over real sockets:
+//! keep-alive conversations, chunked responses, the WebSocket happy
+//! path, and the graceful-drain contract.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rightcrowd_serve::server::{request_stop, reset_stop};
+use rightcrowd_serve::ws;
+use rightcrowd_serve::{App, Request, Response, Server, ServerConfig};
+
+/// The stop latch is process-global, so tests that start servers must
+/// not overlap within this binary.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct Demo;
+
+impl App for Demo {
+    fn handle(&self, req: &Request) -> Response {
+        match req.path() {
+            "/big" => Response::text(200, &"z".repeat(10_000)).into_chunked(),
+            "/slow" => {
+                std::thread::sleep(Duration::from_millis(400));
+                Response::text(200, "finished in-flight work")
+            }
+            path => Response::text(200, &format!("{} {}", req.method, path)),
+        }
+    }
+    fn upgrade_allowed(&self, path: &str) -> bool {
+        path == "/rank"
+    }
+    fn ws_message(&self, text: &str) -> Vec<String> {
+        // One frame per comma-separated item: the streamed-batch shape.
+        text.split(',').map(|item| format!("result:{item}")).collect()
+    }
+}
+
+/// Requests a drain on drop, so a panicking assertion inside the scope
+/// still stops the server instead of deadlocking the join.
+struct StopOnDrop;
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        request_stop();
+    }
+}
+
+fn with_server(exercise: impl FnOnce(SocketAddr)) {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    reset_stop();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&Demo));
+        let stopper = StopOnDrop;
+        exercise(addr);
+        drop(stopper);
+        run.join().unwrap();
+    });
+    reset_stop();
+}
+
+/// Reads one response off a keep-alive connection: head through
+/// `\r\n\r\n`, then exactly `Content-Length` body bytes.
+fn read_keep_alive_response(conn: &mut TcpStream) -> (String, Vec<u8>) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        conn.read_exact(&mut byte).unwrap();
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    let length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .expect("keep-alive responses carry Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; length];
+    conn.read_exact(&mut body).unwrap();
+    (head, body)
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    with_server(|addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        for i in 0..5 {
+            conn.write_all(format!("GET /req{i} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes())
+                .unwrap();
+            let (head, body) = read_keep_alive_response(&mut conn);
+            assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
+            assert!(head.contains("Connection: keep-alive\r\n"), "{head}");
+            assert_eq!(String::from_utf8(body).unwrap(), format!("GET /req{i}"));
+        }
+        // An explicit close is honoured.
+        conn.write_all(b"GET /bye HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut rest = Vec::new();
+        conn.read_to_end(&mut rest).unwrap();
+        let text = String::from_utf8_lossy(&rest);
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("GET /bye"), "{text}");
+    });
+}
+
+#[test]
+fn chunked_responses_reassemble_to_the_full_body() {
+    with_server(|addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(b"GET /big HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        let mut raw = Vec::new();
+        conn.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"), "{text}");
+        assert!(text.ends_with("0\r\n\r\n"), "{text}");
+
+        // Reassemble the chunked body and compare to the app's output.
+        let (_, mut rest) = text.split_once("\r\n\r\n").unwrap();
+        let mut body = String::new();
+        loop {
+            let (size_line, after) = rest.split_once("\r\n").unwrap();
+            let size = usize::from_str_radix(size_line, 16).unwrap();
+            if size == 0 {
+                break;
+            }
+            body.push_str(&after[..size]);
+            rest = &after[size + 2..];
+        }
+        assert_eq!(body, "z".repeat(10_000));
+    });
+}
+
+#[test]
+fn websocket_batches_stream_one_frame_per_result() {
+    with_server(|addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(
+            b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n",
+        )
+        .unwrap();
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            conn.read_exact(&mut byte).unwrap();
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        assert!(head.starts_with("HTTP/1.1 101 Switching Protocols\r\n"), "{head}");
+        // The RFC 6455 §1.3 example key must produce the example accept.
+        assert!(head.contains("Sec-WebSocket-Accept: s3pPLMBiTxaQ9kYGzzhZRbK+xOo=\r\n"), "{head}");
+
+        ws::write_client_text(&mut conn, "a,b,c", [5, 6, 7, 8]).unwrap();
+        let mut carry = Vec::new();
+        for expect in ["result:a", "result:b", "result:c"] {
+            let frame = ws::read_server_frame(&mut conn, &mut carry, 1 << 20).unwrap();
+            assert_eq!(frame, ws::Frame::Text(expect.into()));
+        }
+
+        // Ping is answered with pong; close is answered with close.
+        let mut ping = vec![0x89u8, 0x84, 0, 0, 0, 0];
+        ping.extend_from_slice(b"beat");
+        conn.write_all(&ping).unwrap();
+        let frame = ws::read_server_frame(&mut conn, &mut carry, 1 << 20).unwrap();
+        assert_eq!(frame, ws::Frame::Pong(b"beat".to_vec()));
+        conn.write_all(&[0x88u8, 0x82, 0, 0, 0, 0, 0x03, 0xE8]).unwrap(); // masked close 1000
+        let frame = ws::read_server_frame(&mut conn, &mut carry, 1 << 20).unwrap();
+        assert_eq!(frame, ws::Frame::Close(1000));
+    });
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_requests_before_stopping() {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    reset_stop();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&Demo));
+
+        // Put a slow request in flight, then request the drain while the
+        // handler is still sleeping.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(b"GET /slow HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        request_stop();
+
+        // The in-flight response still arrives complete...
+        let mut raw = Vec::new();
+        conn.read_to_end(&mut raw).unwrap();
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.ends_with("finished in-flight work"), "{text}");
+
+        // ...and the pool joins promptly afterwards.
+        run.join().unwrap();
+    });
+    assert_eq!(server.stats().requests.load(std::sync::atomic::Ordering::Relaxed), 1);
+    reset_stop();
+}

@@ -1,0 +1,335 @@
+//! Wire-protocol fault injection over real TCP sockets.
+//!
+//! Every case drives a live server from the client side with malformed,
+//! truncated, oversized, or mid-flight-abandoned traffic, and asserts
+//! the contract from `err.rs`: a typed 4xx/5xx answer or a silent
+//! close — never a panic, and never a wedged worker (each hostile
+//! exchange is followed by a well-formed request that must still get a
+//! 200 from the same server).
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use rightcrowd_serve::server::{request_stop, reset_stop};
+use rightcrowd_serve::ws;
+use rightcrowd_serve::{App, Request, Response, Server, ServerConfig};
+
+/// The stop latch is process-global, so tests that start servers must
+/// not overlap within this binary.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+struct Echo;
+
+impl App for Echo {
+    fn handle(&self, req: &Request) -> Response {
+        Response::text(200, &format!("{} {}", req.method, req.path()))
+    }
+    fn upgrade_allowed(&self, path: &str) -> bool {
+        path == "/rank"
+    }
+    fn ws_message(&self, text: &str) -> Vec<String> {
+        vec![format!("ok:{text}")]
+    }
+}
+
+/// Requests a drain on drop, so a panicking assertion inside the scope
+/// still stops the server instead of deadlocking the join.
+struct StopOnDrop;
+impl Drop for StopOnDrop {
+    fn drop(&mut self) {
+        request_stop();
+    }
+}
+
+/// Boots a server on an ephemeral port, runs `exercise` against it from
+/// the calling thread, then drains and joins.
+fn with_server(config: ServerConfig, exercise: impl FnOnce(SocketAddr)) {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    reset_stop();
+    let server = Server::bind(ServerConfig { addr: "127.0.0.1:0".into(), ..config }).unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&Echo));
+        let stopper = StopOnDrop;
+        exercise(addr);
+        drop(stopper);
+        run.join().expect("the server must not panic under hostile traffic");
+    });
+    reset_stop();
+}
+
+/// Sends raw bytes, half-closes the write side, and returns whatever the
+/// server answered (empty on a silent close).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> String {
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    conn.write_all(raw).unwrap();
+    conn.shutdown(Shutdown::Write).unwrap();
+    let mut out = Vec::new();
+    let _ = conn.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The liveness probe: a well-formed request that must succeed.
+fn assert_alive(addr: SocketAddr) {
+    let answer = exchange(addr, b"GET /alive HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert!(answer.starts_with("HTTP/1.1 200 OK\r\n"), "worker wedged? got {answer:?}");
+}
+
+const GOOD_POST: &[u8] =
+    b"POST /rank HTTP/1.1\r\nHost: t\r\nContent-Length: 15\r\nConnection: close\r\n\r\n{\"query\": \"ab\"}";
+
+#[test]
+fn split_reads_parse_identically_to_whole_requests() {
+    with_server(ServerConfig::default(), |addr| {
+        let whole = exchange(addr, GOOD_POST);
+        assert!(whole.starts_with("HTTP/1.1 200 OK\r\n"), "{whole}");
+        // Replay the same bytes one segment at a time: one byte per
+        // write, then a few coarser segmentations.
+        for step in [1usize, 3, 7, GOOD_POST.len() / 2] {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            for segment in GOOD_POST.chunks(step) {
+                conn.write_all(segment).unwrap();
+                conn.flush().unwrap();
+            }
+            conn.shutdown(Shutdown::Write).unwrap();
+            let mut out = Vec::new();
+            let _ = conn.read_to_end(&mut out);
+            assert_eq!(
+                String::from_utf8_lossy(&out),
+                whole,
+                "step {step} must parse identically"
+            );
+        }
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn every_truncation_point_closes_cleanly_and_leaves_workers_alive() {
+    with_server(ServerConfig::default(), |addr| {
+        for cut in 1..GOOD_POST.len() {
+            let answer = exchange(addr, &GOOD_POST[..cut]);
+            // EOF mid-request is a silent close (nothing to answer);
+            // a complete head with a short body is also truncation.
+            assert!(
+                answer.is_empty(),
+                "cut at {cut}: expected silent close, got {answer:?}"
+            );
+        }
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn malformed_requests_answer_typed_statuses() {
+    with_server(ServerConfig::default(), |addr| {
+        let cases: &[(&[u8], &str)] = &[
+            (b"GARBAGE\r\n\r\n", "HTTP/1.1 400 "),
+            (b"get /x HTTP/1.1\r\n\r\n", "HTTP/1.1 400 "),
+            (b"GET /x HTTP/2.0\r\n\r\n", "HTTP/1.1 505 "),
+            (b"GET /x HTTP/1.1\r\nNoColon\r\n\r\n", "HTTP/1.1 400 "),
+            (b"GET /x HTTP/1.1\r\nContent-Length: many\r\n\r\n", "HTTP/1.1 400 "),
+            (b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", "HTTP/1.1 400 "),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n", "HTTP/1.1 413 "),
+        ];
+        for (raw, expect) in cases {
+            let answer = exchange(addr, raw);
+            assert!(
+                answer.starts_with(expect),
+                "{:?} should answer {expect}, got {answer:?}",
+                String::from_utf8_lossy(raw)
+            );
+            assert!(answer.contains("\"error\""), "{answer:?}");
+        }
+
+        // An unbounded header stream is cut off at the budget with 431.
+        let mut oversized = b"GET /x HTTP/1.1\r\nX-Pad: ".to_vec();
+        oversized.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        let answer = exchange(addr, &oversized);
+        assert!(answer.starts_with("HTTP/1.1 431 "), "{answer:?}");
+
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn invalid_websocket_handshakes_answer_400() {
+    with_server(ServerConfig::default(), |addr| {
+        let cases: &[&[u8]] = &[
+            // Missing Sec-WebSocket-Key.
+            b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\n\r\n",
+            // Wrong version.
+            b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 8\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n",
+            // Connection header missing the Upgrade token.
+            b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: keep-alive\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n",
+            // Key of the wrong length.
+            b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: short\r\n\r\n",
+            // Upgrade attempt on a non-websocket path.
+            b"GET /healthz HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n",
+        ];
+        for raw in cases {
+            let answer = exchange(addr, raw);
+            assert!(
+                answer.starts_with("HTTP/1.1 400 "),
+                "{:?} should answer 400, got {answer:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn protocol_violations_inside_a_websocket_close_the_socket_not_the_worker() {
+    with_server(ServerConfig::default(), |addr| {
+        let handshake = b"GET /rank HTTP/1.1\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Version: 13\r\nSec-WebSocket-Key: dGhlIHNhbXBsZSBub25jZQ==\r\n\r\n";
+
+        // An unmasked client frame after a good handshake: the server
+        // must fail the connection (RFC 6455 §5.1), ideally with a 1002
+        // close frame, and survive.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(handshake).unwrap();
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            conn.read_exact(&mut byte).unwrap();
+            head.push(byte[0]);
+        }
+        assert!(String::from_utf8_lossy(&head).starts_with("HTTP/1.1 101"), "{head:?}");
+        conn.write_all(&[0x81, 0x02, b'h', b'i']).unwrap(); // mask bit clear
+        let mut rest = Vec::new();
+        let _ = conn.read_to_end(&mut rest);
+        // Whatever came back (a 1002 close frame or plain EOF), the
+        // socket is closed and the server is still alive.
+        drop(conn);
+        assert_alive(addr);
+
+        // A frame declaring a payload over budget is refused from its
+        // header alone.
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(handshake).unwrap();
+        let mut head = Vec::new();
+        while !head.ends_with(b"\r\n\r\n") {
+            conn.read_exact(&mut byte).unwrap();
+            head.push(byte[0]);
+        }
+        let mut frame = vec![0x81u8, 0x80 | 127];
+        frame.extend_from_slice(&(u64::MAX / 2).to_be_bytes());
+        frame.extend_from_slice(&[0, 0, 0, 0]);
+        conn.write_all(&frame).unwrap();
+        let mut rest = Vec::new();
+        let _ = conn.read_to_end(&mut rest);
+        drop(conn);
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn mid_response_disconnects_do_not_wedge_workers() {
+    with_server(ServerConfig::default(), |addr| {
+        for _ in 0..8 {
+            let mut conn = TcpStream::connect(addr).unwrap();
+            conn.write_all(b"GET /x HTTP/1.1\r\n\r\n").unwrap();
+            // Hang up without reading a byte of the response.
+            drop(conn);
+        }
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn slow_loris_peers_hit_the_read_deadline_and_answer_408() {
+    let config = ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        write_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr| {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // A forever-unfinished request line.
+        conn.write_all(b"GET /slow HT").unwrap();
+        let mut out = Vec::new();
+        let _ = conn.read_to_end(&mut out);
+        let answer = String::from_utf8_lossy(&out);
+        assert!(answer.starts_with("HTTP/1.1 408 "), "{answer:?}");
+        assert_alive(addr);
+    });
+}
+
+#[test]
+fn connections_above_queue_capacity_are_shed_with_503() {
+    struct Slow;
+    impl App for Slow {
+        fn handle(&self, _req: &Request) -> Response {
+            std::thread::sleep(Duration::from_millis(800));
+            Response::text(200, "slow but served")
+        }
+    }
+
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    reset_stop();
+    let server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        threads: 1,
+        queue_cap: 1,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(&Slow));
+        let stopper = StopOnDrop;
+
+        // First connection occupies the only worker...
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        busy.write_all(b"GET /a HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+
+        // ...the second fills the queue...
+        let mut queued = TcpStream::connect(addr).unwrap();
+        queued.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        queued.write_all(b"GET /b HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+
+        // ...and the third is shed on the spot.
+        let mut shed = TcpStream::connect(addr).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut out = Vec::new();
+        let _ = shed.read_to_end(&mut out);
+        let answer = String::from_utf8_lossy(&out);
+        assert!(answer.starts_with("HTTP/1.1 503 "), "{answer:?}");
+        assert!(answer.contains("Retry-After: 1"), "{answer:?}");
+
+        // The occupied and queued connections are still served in full.
+        let mut out = Vec::new();
+        let _ = busy.read_to_end(&mut out);
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200 "), "{out:?}");
+        let mut out = Vec::new();
+        let _ = queued.read_to_end(&mut out);
+        assert!(String::from_utf8_lossy(&out).starts_with("HTTP/1.1 200 "), "{out:?}");
+
+        assert!(server.stats().shed.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+        drop(stopper);
+        run.join().unwrap();
+    });
+    reset_stop();
+}
+
+#[test]
+fn the_client_side_codec_agrees_with_the_server() {
+    // Sanity-check the helper the soak client reuses: a masked frame the
+    // server accepts must round-trip through its own decoder.
+    let mut wire = Vec::new();
+    ws::write_client_text(&mut wire, "probe", [1, 2, 3, 4]).unwrap();
+    let mut carry = Vec::new();
+    let frame = ws::read_frame(&mut wire.as_slice(), &mut carry, 1 << 20).unwrap();
+    assert_eq!(frame, ws::Frame::Text("probe".into()));
+}

@@ -36,6 +36,7 @@ pub use rightcrowd_kb as kb;
 pub use rightcrowd_langid as langid;
 pub use rightcrowd_metrics as metrics;
 pub use rightcrowd_obs as obs;
+pub use rightcrowd_serve as serve;
 pub use rightcrowd_store as store;
 pub use rightcrowd_synth as synth;
 pub use rightcrowd_text as text;
