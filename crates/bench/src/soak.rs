@@ -687,8 +687,12 @@ impl SoakReport {
 /// real TCP: enough protocol for `POST /rank`, `GET /healthz` and the
 /// chunked `GET /metrics` exposition.
 pub struct SoakClient {
+    addr: String,
     stream: std::net::TcpStream,
     carry: Vec<u8>,
+    /// The last response carried `Connection: close` — the daemon caps
+    /// requests per connection, so the next request needs a fresh one.
+    close_after: bool,
 }
 
 impl SoakClient {
@@ -701,25 +705,53 @@ impl SoakClient {
             .and_then(|()| stream.set_write_timeout(Some(Duration::from_secs(10))))
             .and_then(|()| stream.set_nodelay(true))
             .map_err(|e| format!("cannot configure socket to {addr}: {e}"))?;
-        Ok(SoakClient { stream, carry: Vec::new() })
+        Ok(SoakClient { addr: addr.to_owned(), stream, carry: Vec::new(), close_after: false })
+    }
+
+    /// Replaces the connection (announced close, request cap, idle
+    /// timeout) — the reconnect cost lands in the measured latency,
+    /// which is what a real client of the daemon would pay too.
+    fn reconnect(&mut self) -> Result<(), String> {
+        *self = SoakClient::connect(&self.addr)?;
+        Ok(())
     }
 
     /// `POST path` with a JSON body; returns `(status, body)`.
     pub fn post(&mut self, path: &str, body: &str) -> Result<(u16, Vec<u8>), String> {
-        use std::io::Write;
         let request = format!(
             "POST {path} HTTP/1.1\r\nHost: rc\r\nContent-Type: application/json\r\n\
              Content-Length: {}\r\n\r\n{body}",
             body.len()
         );
-        self.stream.write_all(request.as_bytes()).map_err(|e| format!("send: {e}"))?;
-        self.read_response()
+        self.round_trip(&request)
     }
 
     /// `GET path`; returns `(status, body)`.
     pub fn get(&mut self, path: &str) -> Result<(u16, Vec<u8>), String> {
-        use std::io::Write;
         let request = format!("GET {path} HTTP/1.1\r\nHost: rc\r\n\r\n");
+        self.round_trip(&request)
+    }
+
+    /// Sends one request and reads its response, transparently taking
+    /// a fresh connection when the daemon announced a close — and
+    /// retrying once on a fresh connection when the old one died
+    /// unannounced (keep-alive idled out between requests). A failure
+    /// on the fresh connection is real and propagates.
+    fn round_trip(&mut self, request: &str) -> Result<(u16, Vec<u8>), String> {
+        if self.close_after {
+            self.reconnect()?;
+        }
+        match self.send_and_read(request) {
+            Ok(response) => Ok(response),
+            Err(_) => {
+                self.reconnect()?;
+                self.send_and_read(request)
+            }
+        }
+    }
+
+    fn send_and_read(&mut self, request: &str) -> Result<(u16, Vec<u8>), String> {
+        use std::io::Write;
         self.stream.write_all(request.as_bytes()).map_err(|e| format!("send: {e}"))?;
         self.read_response()
     }
@@ -748,6 +780,8 @@ impl SoakClient {
                 n.eq_ignore_ascii_case(name).then(|| value.trim().to_owned())
             })
         };
+        self.close_after =
+            header("connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
         let chunked = header("transfer-encoding")
             .is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
         if chunked {
