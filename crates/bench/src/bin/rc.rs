@@ -173,19 +173,31 @@ fn main() {
                 }
             }
         }
-        Command::Save { snapshot, shards, threads } => {
+        Command::Save { snapshot, shards, threads, layout } => {
             let bench = Bench::prepare();
             let threads = threads.unwrap_or_else(rightcrowd_core::par::default_threads);
             match shards {
                 Some(n) => {
-                    match rightcrowd_store::save_sharded(&snapshot, &bench.ds, &bench.corpus, n, threads) {
+                    match rightcrowd_store::save_sharded_with(
+                        &snapshot,
+                        &bench.ds,
+                        &bench.corpus,
+                        n,
+                        threads,
+                        layout,
+                    ) {
                         Ok(stats) => println!(
-                            "wrote {} ({} shards + {} byte manifest, {} bytes total in {:.0} ms)",
+                            "wrote {} ({} shards + {} byte manifest, {} bytes total in {:.0} ms{})",
                             snapshot.display(),
                             stats.shard_count,
                             stats.manifest_bytes,
                             stats.bytes,
-                            stats.elapsed_ms
+                            stats.elapsed_ms,
+                            if layout == rightcrowd_store::SnapshotLayout::Mapped {
+                                ", mapped layout + sidecars"
+                            } else {
+                                ""
+                            },
                         ),
                         Err(e) => {
                             eprintln!("error: cannot save {}: {e}", snapshot.display());
@@ -212,16 +224,18 @@ fn main() {
             // shared loader routes a manifest-bearing directory through
             // the sharded path, anything else through the monolithic one.
             let threads = threads.unwrap_or_else(rightcrowd_core::par::default_threads);
+            let rss_before = rightcrowd_obs::rss_now_bytes();
             match rightcrowd_bench::runner::load_snapshot(&snapshot, threads) {
                 Ok((ds, corpus, load)) => {
                     if load.sharded {
                         println!(
-                            "verified {} ({} shards, {} bytes in {:.0} ms, {} threads)",
+                            "verified {} ({} shards, {} bytes in {:.0} ms, {} threads{})",
                             snapshot.display(),
                             load.shard_count,
                             load.bytes,
                             load.elapsed_ms,
-                            threads
+                            threads,
+                            if load.mapped { ", mapped zero-copy" } else { "" },
                         );
                     } else {
                         println!(
@@ -230,6 +244,42 @@ fn main() {
                             load.bytes,
                             load.elapsed_ms
                         );
+                    }
+                    // The RSS delta across the open is the point of the
+                    // mapped layout: borrowed pages are counted only as
+                    // they are touched, so a mapped open should cost a
+                    // fraction of the streamed reconstruction.
+                    if let (Some(before), Some(after)) =
+                        (rss_before, rightcrowd_obs::rss_now_bytes())
+                    {
+                        println!(
+                            "  rss delta across the open: {:+} KiB (now {} KiB)",
+                            (after as i64 - before as i64) / 1024,
+                            after / 1024
+                        );
+                    }
+                    // On the mapped layout the full load above verified (or
+                    // re-signed) every sidecar, so re-opening just the index
+                    // shows the steady-state warm cost: a stat + sidecar
+                    // read + mmap per shard, no CRC pass. Best of three
+                    // keeps one scheduler hiccup from skewing the report.
+                    if load.mapped {
+                        let mut best: Option<rightcrowd_store::MappedOpenStats> = None;
+                        for _ in 0..3 {
+                            if let Ok((_, stats)) = rightcrowd_store::open_mapped(&snapshot) {
+                                if best.as_ref().is_none_or(|b| stats.elapsed_ms < b.elapsed_ms)
+                                {
+                                    best = Some(stats);
+                                }
+                            }
+                        }
+                        if let Some(stats) = best {
+                            println!(
+                                "  warm index open: {:.3} ms ({}, best of 3)",
+                                stats.elapsed_ms,
+                                if stats.warm { "warm" } else { "cold" },
+                            );
+                        }
                     }
                     let (persons, profiles, resources, containers) = ds.graph().counts();
                     println!(
@@ -425,6 +475,7 @@ fn main() {
             // detected on disk), cold build + cache otherwise — the same
             // policy every other snapshot-taking subcommand follows.
             let decode_threads = rightcrowd_core::par::default_threads();
+            let rss_before = rightcrowd_obs::rss_now_bytes();
             let (bench, load) = if rightcrowd_store::is_sharded(&snapshot)
                 || snapshot.is_file()
             {
@@ -441,6 +492,26 @@ fn main() {
             } else {
                 (prepare_or_exit(Some(&snapshot)), None)
             };
+            if let Some(l) = &load {
+                // Startup cost report: wall time next to the RSS delta the
+                // open actually charged this process — near zero on the
+                // mapped path, where the index stays in borrowed page
+                // cache until queries touch it.
+                match (rss_before, rightcrowd_obs::rss_now_bytes()) {
+                    (Some(before), Some(after)) => eprintln!(
+                        "[serve] warmed in {:.0} ms ({}): rss delta {:+} KiB (now {} KiB)",
+                        l.elapsed_ms,
+                        if l.mapped { "mapped zero-copy" } else { "streamed" },
+                        (after as i64 - before as i64) / 1024,
+                        after / 1024
+                    ),
+                    _ => eprintln!(
+                        "[serve] warmed in {:.0} ms ({})",
+                        l.elapsed_ms,
+                        if l.mapped { "mapped zero-copy" } else { "streamed" },
+                    ),
+                }
+            }
 
             // Queries served over HTTP land in the flight ring like any
             // other instrumented run, so `rc flight`-style debugging

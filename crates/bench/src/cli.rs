@@ -45,10 +45,13 @@ pub enum Command {
         /// (default 4).
         shards: Option<usize>,
     },
-    /// `rc save --snapshot FILE.rcs [--shards N] [--threads N]` — build
-    /// the corpus at the selected scale and serialise it as a store
-    /// container (monolithic file, or a sharded directory with
-    /// `--shards`).
+    /// `rc save --snapshot FILE.rcs [--shards N] [--threads N]
+    /// [--layout streamed|mapped]` — build the corpus at the selected
+    /// scale and serialise it as a store container (monolithic file, or
+    /// a sharded directory with `--shards`). `--layout mapped` writes
+    /// `RCSHRD02` fixed-layout shards plus validity sidecars, the format
+    /// every consumer opens zero-copy via `mmap(2)`; it implies
+    /// `--shards` (default 4).
     Save {
         /// Where the container is written (a directory with `--shards`).
         snapshot: std::path::PathBuf,
@@ -57,6 +60,9 @@ pub enum Command {
         shards: Option<usize>,
         /// Worker threads for the sharded encode.
         threads: Option<usize>,
+        /// Shard encoding: streamed (`RCSHRD01`, the default) or mapped
+        /// (`RCSHRD02` + sidecars, opened zero-copy).
+        layout: rightcrowd_store::SnapshotLayout,
     },
     /// `rc load --snapshot PATH [--threads N]` — verify + reconstruct a
     /// store container (monolithic file or sharded directory, detected by
@@ -284,7 +290,7 @@ USAGE:
                                [--platform all|fb|tw|li] [--distance 0|1|2]
   rc eval [--platform all|fb|tw|li] [--distance 0|1|2]
   rc bench [--out DIR] [--snapshot PATH] [--shards N]
-  rc save --snapshot PATH [--shards N] [--threads N]
+  rc save --snapshot PATH [--shards N] [--threads N] [--layout streamed|mapped]
   rc load --snapshot PATH [--threads N]
   rc flight [--slowest K] [--capacity N] [--snapshot FILE.rcs] [--platform all|fb|tw|li] [--distance 0|1|2]
   rc soak [--out DIR] [--snapshot PATH] [--connect HOST:PORT] [--duration 30s] [--queries N]
@@ -342,7 +348,12 @@ SNAPSHOTS (build once, query many):
   not); `bench` measures the save/load round trip against it; `regress`
   additionally verifies its checksums. Sharded snapshots decode with one
   CRC pass per byte (and in parallel under `--threads N`), so they load
-  faster than the monolithic container.
+  faster than the monolithic container. `rc save --layout mapped` writes
+  fixed-layout shards plus `.rcv` validity sidecars: every consumer
+  auto-detects them and opens zero-copy via mmap(2) — the first open
+  streams one CRC pass to earn the sidecar, every later open verifies
+  the sidecar and maps in microseconds, and the page cache shares one
+  physical copy of the index across processes.
 
 GLOBAL OPTIONS:
   --scale tiny|small|paper   dataset scale (overrides RIGHTCROWD_SCALE)
@@ -415,6 +426,7 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
     let mut snapshot: Option<std::path::PathBuf> = None;
     let mut shards: Option<usize> = None;
     let mut threads: Option<usize> = None;
+    let mut layout: Option<rightcrowd_store::SnapshotLayout> = None;
     let mut out_given = false;
     let mut duration_ms = 30_000u64;
     let mut queries: Option<u64> = None;
@@ -479,6 +491,20 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
                     return Err(ParseError("--shards must be at least 1".into()));
                 }
                 shards = Some(n);
+            }
+            "--layout" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ParseError("--layout needs streamed|mapped".into()))?;
+                layout = Some(match value.as_str() {
+                    "streamed" => rightcrowd_store::SnapshotLayout::Streamed,
+                    "mapped" => rightcrowd_store::SnapshotLayout::Mapped,
+                    other => {
+                        return Err(ParseError(format!(
+                            "unknown layout {other:?} (use streamed|mapped)"
+                        )))
+                    }
+                });
             }
             "--threads" => {
                 let value = iter
@@ -637,12 +663,22 @@ pub fn parse(args: &[String]) -> Result<Invocation, ParseError> {
         "stats" => Command::Stats,
         "eval" => Command::Eval { platforms, distance },
         "bench" => Command::Bench { out, snapshot, shards },
-        "save" => Command::Save {
-            snapshot: snapshot
-                .ok_or_else(|| ParseError("save needs --snapshot <path>".into()))?,
-            shards,
-            threads,
-        },
+        "save" => {
+            let layout = layout.unwrap_or_default();
+            // The mapped layout only exists sharded: without an explicit
+            // count it gets the same default the bench harness measures.
+            let shards = match (layout, shards) {
+                (rightcrowd_store::SnapshotLayout::Mapped, None) => Some(4),
+                (_, shards) => shards,
+            };
+            Command::Save {
+                snapshot: snapshot
+                    .ok_or_else(|| ParseError("save needs --snapshot <path>".into()))?,
+                shards,
+                threads,
+                layout,
+            }
+        }
         "load" => Command::Load {
             snapshot: snapshot
                 .ok_or_else(|| ParseError("load needs --snapshot <path>".into()))?,
@@ -831,6 +867,7 @@ mod tests {
                 snapshot: std::path::PathBuf::from("corpus.rcs"),
                 shards: None,
                 threads: None,
+                layout: rightcrowd_store::SnapshotLayout::Streamed,
             }
         );
         assert_eq!(
@@ -839,8 +876,30 @@ mod tests {
                 snapshot: std::path::PathBuf::from("corpus.shards"),
                 shards: Some(8),
                 threads: Some(2),
+                layout: rightcrowd_store::SnapshotLayout::Streamed,
             }
         );
+        // The mapped layout only exists sharded: bare --layout mapped
+        // implies the default shard count.
+        assert_eq!(
+            cmd(&["save", "--snapshot", "corpus.shards", "--layout", "mapped"]),
+            Command::Save {
+                snapshot: std::path::PathBuf::from("corpus.shards"),
+                shards: Some(4),
+                threads: None,
+                layout: rightcrowd_store::SnapshotLayout::Mapped,
+            }
+        );
+        assert_eq!(
+            cmd(&["save", "--snapshot", "c", "--shards", "2", "--layout", "streamed"]),
+            Command::Save {
+                snapshot: std::path::PathBuf::from("c"),
+                shards: Some(2),
+                threads: None,
+                layout: rightcrowd_store::SnapshotLayout::Streamed,
+            }
+        );
+        assert!(parse(&args(&["save", "--snapshot", "x", "--layout", "zerocopy"])).is_err());
         assert_eq!(
             cmd(&["load", "--snapshot", "corpus.rcs"]),
             Command::Load { snapshot: std::path::PathBuf::from("corpus.rcs"), threads: None }

@@ -351,6 +351,8 @@ pub const LATENCY_KEYS: &[&str] = &[
     "sharded_load_ms_t2",
     "sharded_load_ms_t4",
     "sharded_load_ms_t8",
+    "warm_open_ms",
+    "cold_open_ms",
     "query_p50_ms",
     "query_p99_ms",
     "alpha_sweep_naive_ms",
@@ -361,7 +363,8 @@ pub const LATENCY_KEYS: &[&str] = &[
 /// as the latency keys (the encoder is deterministic, so unexplained
 /// growth is a format or content change, not noise). `postings_bytes` and
 /// `manifest_bytes` keep the block-compression win from silently eroding.
-pub const SIZE_KEYS: &[&str] = &["snapshot_bytes", "postings_bytes", "manifest_bytes"];
+pub const SIZE_KEYS: &[&str] =
+    &["snapshot_bytes", "postings_bytes", "manifest_bytes", "mapped_bytes"];
 
 /// The under-load latency keys written by `rc soak`: closed-loop p50/p99
 /// at each rung of the thread ladder. Gated like [`LATENCY_KEYS`] but
@@ -446,8 +449,18 @@ const ADMISSION_DRIFT_SLACK: f64 = 0.05;
 /// one verification pass per file) dominate the parallel sharded load:
 /// the thread curve flattens and `sharded_load_ms_t8` moves with
 /// scheduler noise rather than real work. The t8 key then gates at twice
-/// the relative threshold (see [`RegressReport::compare`]).
-const SMALL_SHARD_BYTES: f64 = 4.0 * 1024.0 * 1024.0;
+/// the relative threshold (see [`RegressReport::compare`]). The bench
+/// report labels this condition explicitly (`sharded_load_copy_bound`);
+/// the constant doubles as that label's definition.
+pub const SMALL_SHARD_BYTES: f64 = 4.0 * 1024.0 * 1024.0;
+
+/// The warm-open contract of the mapped snapshot layout: a sidecar-
+/// attested `open_mapped` must be at least this many times faster than
+/// the single-threaded streamed sharded load of the same snapshot. The
+/// warm path maps files and checks layouts without streaming a byte, so
+/// anything below two orders of magnitude means verification snuck back
+/// onto the hot path.
+pub const WARM_OPEN_MIN_SPEEDUP: f64 = 100.0;
 
 /// One counter-invariant verdict (see [`counter_checks`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -598,6 +611,37 @@ pub fn sharded_speedup_checks(baseline: &Json, current: &Json) -> Vec<CounterChe
     checks
 }
 
+/// The warm-open speedup invariant, checked per snapshot that records
+/// both `warm_open_ms` and `sharded_load_ms_t1`: a sidecar-attested
+/// mapped open must be at least [`WARM_OPEN_MIN_SPEEDUP`]× faster than
+/// the single-threaded streamed load of the same snapshot. Absolute per
+/// snapshot, like the overhead budgets; snapshots that predate the
+/// mapped layout skip it.
+pub fn warm_open_checks(baseline: &Json, current: &Json) -> Vec<CounterCheck> {
+    let mut checks = Vec::new();
+    for (label, snap) in [("baseline", baseline), ("current", current)] {
+        let (Some(warm), Some(streamed)) = (
+            snap.get("warm_open_ms").and_then(Json::as_f64),
+            snap.get("sharded_load_ms_t1").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        checks.push(CounterCheck {
+            name: "warm_open_speedup",
+            detail: format!(
+                "{label}: warm open {warm:.3} ms vs streamed t1 {streamed:.3} ms ({:.0}×, need \
+                 ≥{WARM_OPEN_MIN_SPEEDUP:.0}×)",
+                if warm > 0.0 { streamed / warm } else { f64::INFINITY }
+            ),
+            // Written so NaN (incomparable) fails rather than passes.
+            failed: (warm * WARM_OPEN_MIN_SPEEDUP)
+                .partial_cmp(&streamed)
+                .is_none_or(|ord| ord == std::cmp::Ordering::Greater),
+        });
+    }
+    checks
+}
+
 /// The telemetry-overhead invariant, checked per snapshot that records
 /// `soak_telemetry_overhead_frac` (written by `rc soak`): the measured
 /// throughput cost of running with live telemetry — window sampler,
@@ -706,11 +750,18 @@ impl RegressReport {
         // When the current run's shards average under `SMALL_SHARD_BYTES`,
         // the t8 load is fixed-cost bound (the scaling curve is flat by
         // construction) and its timing is mostly scheduler noise: gate it
-        // at double the threshold instead of dropping it entirely.
-        let small_shards = current
-            .get("bytes_per_shard")
-            .and_then(Json::as_f64)
-            .is_some_and(|b| b < SMALL_SHARD_BYTES);
+        // at double the threshold instead of dropping it entirely. The
+        // bench report labels this condition (`sharded_load_copy_bound`);
+        // the label scopes the softened slack exactly — when present it
+        // is authoritative, and only snapshots that predate it fall back
+        // to inferring from `bytes_per_shard`.
+        let small_shards = match current.get("sharded_load_copy_bound") {
+            Some(Json::Bool(copy_bound)) => *copy_bound,
+            _ => current
+                .get("bytes_per_shard")
+                .and_then(Json::as_f64)
+                .is_some_and(|b| b < SMALL_SHARD_BYTES),
+        };
         for &key in LATENCY_KEYS {
             let (Some(b), Some(c)) = (
                 baseline.get(key).and_then(Json::as_f64),
@@ -771,6 +822,7 @@ impl RegressReport {
         }
         let mut counters = counter_checks(baseline, current);
         counters.extend(sharded_speedup_checks(baseline, current));
+        counters.extend(warm_open_checks(baseline, current));
         counters.extend(soak_overhead_checks(baseline, current));
         counters.extend(profile_overhead_checks(baseline, current));
         let mut warnings = Vec::new();
@@ -976,6 +1028,10 @@ mod tests {
             sharded_load_ms_t2: 28.0,
             sharded_load_ms_t4: 20.0,
             sharded_load_ms_t8: 19.0,
+            sharded_load_copy_bound: true,
+            warm_open_ms: 0.2,
+            cold_open_ms: 35.0,
+            mapped_bytes: 800_000,
             retained_docs: 100,
             queries: 30,
             query_p50_ms: 1.0,
@@ -1001,6 +1057,10 @@ mod tests {
         assert_eq!(doc.get("postings_bytes").and_then(Json::as_f64), Some(123_456.0));
         assert_eq!(doc.get("compression_ratio").and_then(Json::as_f64), Some(1.5));
         assert_eq!(doc.get("bytes_per_shard").and_then(Json::as_f64), Some(200_000.0));
+        assert_eq!(doc.get("sharded_load_copy_bound"), Some(&Json::Bool(true)));
+        assert_eq!(doc.get("warm_open_ms").and_then(Json::as_f64), Some(0.2));
+        assert_eq!(doc.get("cold_open_ms").and_then(Json::as_f64), Some(35.0));
+        assert_eq!(doc.get("mapped_bytes").and_then(Json::as_f64), Some(800_000.0));
         assert_eq!(doc.get("blocks_skipped_frac").and_then(Json::as_f64), Some(0.4));
         assert!(doc.get("metrics").and_then(|m| m.get("counters")).is_some());
     }
@@ -1015,6 +1075,7 @@ mod tests {
                 "snapshot_load_ms": 50.0, "snapshot_bytes": {bytes},
                 "sharded_load_ms_t1": 40.0, "sharded_load_ms_t2": 28.0,
                 "sharded_load_ms_t4": 20.0, "sharded_load_ms_t8": 19.0,
+                "warm_open_ms": 0.2, "cold_open_ms": 35.0,
                 "query_p50_ms": {p50},
                 "query_p99_ms": {p99}, "alpha_sweep_naive_ms": 300.0,
                 "alpha_sweep_factored_ms": 60.0}}"#
@@ -1475,6 +1536,63 @@ mod tests {
         }
         let r = RegressReport::compare(&base, &curr, 0.2);
         assert!(r.deltas.iter().any(|d| d.key == "sharded_load_ms_t8" && d.regressed));
+    }
+
+    #[test]
+    fn copy_bound_label_scopes_the_softened_t8_slack() {
+        // +30% on t8, shards under the floor — but the report says the
+        // run was NOT copy-bound: the explicit label is authoritative, so
+        // the full gate applies and the key fails.
+        let mut base = snap(1.0, 2.0);
+        let mut curr = snap(1.0, 2.0);
+        for (json, t8) in [(&mut base, 19.0), (&mut curr, 24.7)] {
+            if let Json::Obj(m) = json {
+                m.insert("sharded_load_ms_t8".into(), Json::Num(t8));
+                m.insert("bytes_per_shard".into(), Json::Num(3.0 * 1024.0 * 1024.0));
+                m.insert("sharded_load_copy_bound".into(), Json::Bool(false));
+            }
+        }
+        let r = RegressReport::compare(&base, &curr, 0.2);
+        assert!(
+            r.deltas.iter().any(|d| d.key == "sharded_load_ms_t8" && d.regressed),
+            "{}",
+            r.render()
+        );
+        // Labelled copy-bound: the doubled slack applies even when the
+        // (stale or absent) bytes_per_shard key would say otherwise.
+        for json in [&mut base, &mut curr] {
+            if let Json::Obj(m) = json {
+                m.insert("bytes_per_shard".into(), Json::Num(64.0 * 1024.0 * 1024.0));
+                m.insert("sharded_load_copy_bound".into(), Json::Bool(true));
+            }
+        }
+        let r = RegressReport::compare(&base, &curr, 0.2);
+        assert!(!r.any_regressed(), "{}", r.render());
+    }
+
+    #[test]
+    fn warm_open_speedup_gate() {
+        // snap() records warm 0.2 ms vs streamed t1 40 ms: 200×, passes.
+        let r = RegressReport::compare(&snap(1.0, 2.0), &snap(1.0, 2.0), 0.2);
+        let checks: Vec<_> = r.counters.iter().filter(|c| c.name == "warm_open_speedup").collect();
+        assert_eq!(checks.len(), 2, "one verdict per snapshot");
+        assert!(checks.iter().all(|c| !c.failed));
+        assert!(r.render().contains("warm_open_speedup"));
+        // A warm open that lost two orders of magnitude fails its snapshot.
+        let mut curr = snap(1.0, 2.0);
+        if let Json::Obj(m) = &mut curr {
+            m.insert("warm_open_ms".into(), Json::Num(1.0));
+        }
+        let r = RegressReport::compare(&snap(1.0, 2.0), &curr, 0.2);
+        let failed: Vec<_> =
+            r.counters.iter().filter(|c| c.name == "warm_open_speedup" && c.failed).collect();
+        assert_eq!(failed.len(), 1);
+        assert!(failed[0].detail.contains("current"), "{}", failed[0].detail);
+        assert!(r.any_regressed());
+        // Snapshots that predate the mapped layout skip the gate.
+        let old = parse_json(r#"{"sharded_load_ms_t1": 40.0}"#).unwrap();
+        let r = RegressReport::compare(&old, &old, 0.2);
+        assert!(r.counters.iter().all(|c| c.name != "warm_open_speedup"));
     }
 
     #[test]

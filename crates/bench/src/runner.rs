@@ -29,10 +29,18 @@ pub struct SnapshotLoad {
     /// Whether the container was a sharded directory (vs a monolithic
     /// file).
     pub sharded: bool,
+    /// Whether the shards were `RCSHRD02` files opened zero-copy via
+    /// `mmap(2)` (always `false` for monolithic containers).
+    pub mapped: bool,
     /// Shard files read (1 for a monolithic container).
     pub shard_count: usize,
     /// Total bytes read and verified.
     pub bytes: u64,
+    /// The sharded manifest's whole-file digest — the snapshot identity
+    /// `/healthz` fingerprints on the mapped path (it attests the shard
+    /// table and thus every shard without paging the index in). `None`
+    /// for monolithic containers.
+    pub manifest_digest: Option<u64>,
     /// Wall time of read + verify + reconstruct, milliseconds.
     pub elapsed_ms: f64,
 }
@@ -53,8 +61,10 @@ pub fn load_snapshot(
             .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
         let load = SnapshotLoad {
             sharded: true,
+            mapped: stats.mapped,
             shard_count: stats.shard_count,
             bytes: stats.bytes,
+            manifest_digest: Some(stats.manifest_digest),
             elapsed_ms: stats.elapsed_ms,
         };
         return Ok((ds, corpus, load));
@@ -64,8 +74,10 @@ pub fn load_snapshot(
             .map_err(|e| format!("snapshot {}: {e}", path.display()))?;
         let load = SnapshotLoad {
             sharded: false,
+            mapped: false,
             shard_count: 1,
             bytes: stats.bytes,
+            manifest_digest: None,
             elapsed_ms: stats.elapsed_ms,
         };
         return Ok((ds, corpus, load));

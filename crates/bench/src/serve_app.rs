@@ -175,6 +175,7 @@ pub struct RankApp {
     fingerprint: String,
     snapshot_label: String,
     sharded: Option<bool>,
+    mapped: Option<bool>,
     started: Instant,
     served: AtomicU64,
     wide: Mutex<WideEventLog>,
@@ -188,25 +189,41 @@ impl RankApp {
     pub fn new(bench: Bench, snapshot_label: String, load: Option<SnapshotLoad>) -> RankApp {
         let config = FinderConfig::default();
         let attribution = bench.ctx().attribution(&config);
-        let (persons, profiles, resources, containers) = bench.ds.graph().counts();
-        let identity = format!(
-            "{}|{}|{}|{}|{}|{}|{}|{}",
-            crate::runner::scale_label(),
-            persons,
-            profiles,
-            resources,
-            containers,
-            bench.corpus.retained(),
-            bench.corpus.dropped_non_english(),
-            bench.ds.queries().len(),
-        );
+        // On the mapped path the index is borrowed from `mmap(2)` pages
+        // that may not be resident yet: fingerprint the snapshot by its
+        // manifest digest (already verified against the sidecar at open
+        // time — it attests the shard table and thus every shard's
+        // bytes) instead of hashing corpus content, which would force a
+        // full page-in on daemon boot.
+        let fingerprint = match load {
+            Some(l) if l.mapped => {
+                let digest = l.manifest_digest.expect("mapped loads carry the manifest digest");
+                format!("{digest:016x}")
+            }
+            _ => {
+                let (persons, profiles, resources, containers) = bench.ds.graph().counts();
+                let identity = format!(
+                    "{}|{}|{}|{}|{}|{}|{}|{}",
+                    crate::runner::scale_label(),
+                    persons,
+                    profiles,
+                    resources,
+                    containers,
+                    bench.corpus.retained(),
+                    bench.corpus.dropped_non_english(),
+                    bench.ds.queries().len(),
+                );
+                format!("{:016x}", fnv1a(identity.as_bytes()))
+            }
+        };
         RankApp {
             bench,
             attribution,
             config,
-            fingerprint: format!("{:016x}", fnv1a(identity.as_bytes())),
+            fingerprint,
             snapshot_label,
             sharded: load.map(|l| l.sharded),
+            mapped: load.map(|l| l.mapped),
             started: Instant::now(),
             served: AtomicU64::new(0),
             wide: Mutex::new(WideEventLog::new(WIDE_RESERVOIR, WIDE_TAIL, 0x005E_12ED)),
@@ -304,6 +321,10 @@ impl RankApp {
         doc.insert(
             "sharded".to_owned(),
             self.sharded.map_or(Json::Null, Json::Bool),
+        );
+        doc.insert(
+            "mapped".to_owned(),
+            self.mapped.map_or(Json::Null, Json::Bool),
         );
         doc.insert("fingerprint".to_owned(), Json::Str(self.fingerprint.clone()));
         doc.insert("git_rev".to_owned(), Json::Str(crate::report::git_rev()));
@@ -494,6 +515,52 @@ mod tests {
         let body = format!("{{\"query\": {}}}", json_escape(&text));
         assert_eq!(app.handle(&post("/rank", &body)).status, 200);
         assert_eq!(app.served(), 1);
+    }
+
+    #[test]
+    fn mapped_loads_fingerprint_by_manifest_digest() {
+        // A mapped open hands the app the manifest digest, and the app
+        // must use it verbatim — hashing corpus content instead would
+        // force a full page-in of the borrowed index on daemon boot.
+        let make = |load: Option<SnapshotLoad>| {
+            let ds = rightcrowd_synth::SyntheticDataset::generate(
+                &rightcrowd_synth::DatasetConfig::tiny(),
+            );
+            let corpus = rightcrowd_core::AnalyzedCorpus::build(&ds);
+            let bench = Bench { ds, corpus, generate_ms: 0.0, analyze_ms: 0.0 };
+            RankApp::new(bench, "snap".to_owned(), load)
+        };
+        let mapped_load = SnapshotLoad {
+            sharded: true,
+            mapped: true,
+            shard_count: 2,
+            bytes: 1024,
+            manifest_digest: Some(0xDEAD_BEEF_0BAD_F00D),
+            elapsed_ms: 0.1,
+        };
+        let app = make(Some(mapped_load));
+        assert_eq!(app.fingerprint(), "deadbeef0badf00d");
+        let doc = parse_json(
+            std::str::from_utf8(&app.handle(&get("/healthz")).body).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(doc.get("mapped"), Some(&Json::Bool(true)));
+        assert_eq!(
+            doc.get("fingerprint"),
+            Some(&Json::Str("deadbeef0badf00d".to_owned()))
+        );
+        // A streamed sharded load keeps the identity-hash fingerprint.
+        let streamed = make(Some(SnapshotLoad {
+            mapped: false,
+            manifest_digest: Some(0xDEAD_BEEF_0BAD_F00D),
+            ..mapped_load
+        }));
+        assert_ne!(streamed.fingerprint(), "deadbeef0badf00d");
+        let doc = parse_json(
+            std::str::from_utf8(&streamed.handle(&get("/healthz")).body).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(doc.get("mapped"), Some(&Json::Bool(false)));
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! forged block metadata is rejected instead of silently unsoundly
 //! pruning.
 
+use crate::backing::Seg;
 use crate::raw::{EntityParts, TermParts};
 
 /// Postings per block. 128 keeps a whole decoded block (docs + freqs +
@@ -43,24 +44,27 @@ pub const BLOCK_SIZE: usize = 128;
 /// and the per-block metadata arrays are indexed by block id. The
 /// variable-width payloads live concatenated in `data`, addressed through
 /// `data_offsets`.
+/// Every array is a [`Seg`], so a packed side can either own its storage
+/// (builder / streamed decode) or borrow it from an mmap'd `RCSHRD02`
+/// shard — the decode loops below read through `Deref<[T]>` either way.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PackedPostings {
     /// CSR over blocks: `n_lists + 1` entries, ascending.
-    pub block_offsets: Vec<u32>,
+    pub block_offsets: Seg<u32>,
     /// Last doc id of each block — the skip test reads this, not the data.
-    pub last_doc: Vec<u32>,
+    pub last_doc: Seg<u32>,
     /// Postings in each block (`1..=BLOCK_SIZE`).
-    pub counts: Vec<u32>,
+    pub counts: Seg<u32>,
     /// Bit width of the block's doc-gap values (`0..=32`).
-    pub doc_bits: Vec<u8>,
+    pub doc_bits: Seg<u8>,
     /// Bit width of the block's frequency values (`0..=32`).
-    pub aux_bits: Vec<u8>,
+    pub aux_bits: Seg<u8>,
     /// Block-max weight: `max tf` (terms) or `max ef·we` (entities).
-    pub max_score: Vec<f64>,
+    pub max_score: Seg<f64>,
     /// Payload extents: `n_blocks + 1` entries into `data`.
-    pub data_offsets: Vec<u64>,
+    pub data_offsets: Seg<u64>,
     /// Concatenated block payloads.
-    pub data: Vec<u8>,
+    pub data: Seg<u8>,
 }
 
 /// Bits needed to represent `v` (0 for 0).
@@ -138,8 +142,8 @@ impl Packer {
     fn new() -> Self {
         Packer {
             p: PackedPostings {
-                block_offsets: vec![0],
-                data_offsets: vec![0],
+                block_offsets: vec![0].into(),
+                data_offsets: vec![0].into(),
                 ..PackedPostings::default()
             },
         }
@@ -156,10 +160,10 @@ impl Packer {
         }
         let n = docs.len();
         let width = bits_for(gaps[..n].iter().copied().max().unwrap_or(0));
-        self.p.last_doc.push(*docs.last().expect("blocks are never empty"));
-        self.p.counts.push(n as u32);
-        self.p.doc_bits.push(width);
-        pack_bits(&gaps[..n], width, &mut self.p.data);
+        self.p.last_doc.to_mut().push(*docs.last().expect("blocks are never empty"));
+        self.p.counts.to_mut().push(n as u32);
+        self.p.doc_bits.to_mut().push(width);
+        pack_bits(&gaps[..n], width, self.p.data.to_mut());
         (prev, width)
     }
 
@@ -172,16 +176,18 @@ impl Packer {
         }
         let n = freqs.len();
         let width = bits_for(aux[..n].iter().copied().max().unwrap_or(0));
-        self.p.aux_bits.push(width);
-        pack_bits(&aux[..n], width, &mut self.p.data);
+        self.p.aux_bits.to_mut().push(width);
+        pack_bits(&aux[..n], width, self.p.data.to_mut());
     }
 
     fn end_block(&mut self) {
-        self.p.data_offsets.push(self.p.data.len() as u64);
+        let len = self.p.data.len() as u64;
+        self.p.data_offsets.to_mut().push(len);
     }
 
     fn end_list(&mut self) {
-        self.p.block_offsets.push(self.p.counts.len() as u32);
+        let blocks = self.p.counts.len() as u32;
+        self.p.block_offsets.to_mut().push(blocks);
     }
 }
 
@@ -196,7 +202,7 @@ pub fn pack_term_lists<'a>(
         for (db, tb) in docs.chunks(BLOCK_SIZE).zip(tfs.chunks(BLOCK_SIZE)) {
             (prev, _) = pk.push_docs(db, prev);
             pk.push_freqs(tb);
-            pk.p.max_score.push(tb.iter().copied().max().unwrap_or(0) as f64);
+            pk.p.max_score.to_mut().push(tb.iter().copied().max().unwrap_or(0) as f64);
             pk.end_block();
         }
         pk.end_list();
@@ -220,9 +226,9 @@ pub fn pack_entity_lists<'a>(
         {
             (prev, _) = pk.push_docs(db, prev);
             pk.push_freqs(eb);
-            pk.p.max_score.push(entity_block_max(eb, wb));
+            pk.p.max_score.to_mut().push(entity_block_max(eb, wb));
             for &w in wb {
-                pk.p.data.extend_from_slice(&w.to_bits().to_le_bytes());
+                pk.p.data.to_mut().extend_from_slice(&w.to_bits().to_le_bytes());
             }
             pk.end_block();
         }
@@ -344,8 +350,14 @@ fn check(ok: bool, msg: impl FnOnce() -> String) -> Result<(), String> {
 }
 
 /// Validates the structure-of-arrays shape shared by both sides and
-/// returns the block count.
-fn validate_shape(p: &PackedPostings, n_lists: usize, with_weights: bool) -> Result<usize, String> {
+/// returns the block count. Also the memory-safety gate for mapped
+/// stores (see [`crate::mapped`]): passing it guarantees every
+/// `decode_block` stays in bounds.
+pub(crate) fn validate_shape(
+    p: &PackedPostings,
+    n_lists: usize,
+    with_weights: bool,
+) -> Result<usize, String> {
     let nblocks = p.counts.len();
     check(p.block_offsets.len() == n_lists + 1, || {
         format!("blocks: block_offsets length {} != lists {} + 1", p.block_offsets.len(), n_lists)

@@ -59,34 +59,34 @@ impl InvertedIndex {
 
         if alpha > 0.0 {
             for term in &query.terms {
-                let Some((docs, tfs)) = self.term_list(term) else {
+                let Some(r) = self.resolve_term(term) else {
                     continue;
                 };
-                traversed += docs.len() as u64;
-                let idf = bm25_idf(n, docs.len());
-                for (&doc, &tf) in docs.iter().zip(tfs) {
+                traversed += r.df as u64;
+                let idf = bm25_idf(n, r.df);
+                self.visit_term_list(&r, |doc, tf| {
                     let tf = tf as f64;
                     let len = self.doc_lens[doc as usize] as f64;
                     let denom = tf + params.k1 * (1.0 - params.b + params.b * len / avg_len);
                     *acc.entry(doc).or_insert(0.0) += alpha * idf * tf * (params.k1 + 1.0) / denom;
-                }
+                });
             }
         }
         if alpha < 1.0 {
             for &entity in &query.entities {
-                let Some((docs, efs, wes)) = self.entity_list(entity) else {
+                let Some(r) = self.resolve_entity(entity) else {
                     continue;
                 };
-                traversed += docs.len() as u64;
-                let idf = bm25_idf(n, docs.len());
-                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                traversed += r.df as u64;
+                let idf = bm25_idf(n, r.df);
+                self.visit_entity_list(&r, |doc, ef, we| {
                     let ef = ef as f64;
                     // Entities are sparse; saturation without length
                     // normalisation (annotation counts don't scale with
                     // document length the way terms do).
                     let sat = ef * (params.k1 + 1.0) / (ef + params.k1);
                     *acc.entry(doc).or_insert(0.0) += (1.0 - alpha) * idf * sat * we;
-                }
+                });
             }
         }
 

@@ -27,6 +27,7 @@
 //!   ([`recombine`] / [`recombine_top_k`]).
 
 use crate::block::{self, PackedPostings, BLOCK_SIZE};
+use crate::mapped::{self, MappedShardView, MappedStore};
 use crate::query::Query;
 use crate::stats::TraversalStats;
 use rightcrowd_types::EntityId;
@@ -131,12 +132,47 @@ impl EntityTable {
     }
 }
 
+/// A query term resolved against whichever store backs the index, carrying
+/// everything the scorer needs: the precomputed weights, the document
+/// frequency (known before traversal, e.g. for BM25's idf), and the list's
+/// address. On the flat store `flat` is the dense CSR id and `packed` is
+/// the whole-index mirror; on the mapped store `flat` is `None` and
+/// `packed`/`local` address the owning shard view.
+pub(crate) struct ResolvedTerm<'a> {
+    pub(crate) irf: f64,
+    pub(crate) max_tf: u32,
+    pub(crate) df: usize,
+    pub(crate) packed: &'a PackedPostings,
+    pub(crate) local: u32,
+    pub(crate) flat: Option<u32>,
+}
+
+/// Entity-side twin of [`ResolvedTerm`].
+pub(crate) struct ResolvedEntity<'a> {
+    pub(crate) eirf: f64,
+    pub(crate) max_contrib: f64,
+    pub(crate) df: usize,
+    pub(crate) packed: &'a PackedPostings,
+    pub(crate) local: u32,
+    pub(crate) flat: Option<u32>,
+}
+
 /// The immutable dual (term + entity) inverted index.
 ///
-/// `PartialEq` compares the full interned state — term/entity vocabularies,
-/// CSR layout, frequencies and precomputed irf/eirf/we tables — so equality
-/// means the indexes are observably identical on every scoring path.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// The postings live in one of two stores: the *flat* store (interned
+/// `HashMap` vocabularies + CSR arrays + block-compressed mirrors, all
+/// owned) that the builder and the streamed snapshot decoder produce, or
+/// the *mapped* store ([`crate::mapped`]) whose arrays are borrowed
+/// zero-copy from `mmap`'d shard files. Every public accessor and every
+/// scoring path dispatches on the store and produces bit-identical
+/// results either way — the mapped store decodes the same blocks in the
+/// same order with the same arithmetic.
+///
+/// `PartialEq` means the indexes are observably identical on every
+/// scoring path: flat/flat comparisons check the interned state directly;
+/// as soon as a mapped store is involved, both sides export their
+/// canonical raw parts ([`InvertedIndex::to_parts`]) and compare those.
+#[derive(Debug, Clone, Default)]
 pub struct InvertedIndex {
     pub(crate) terms: TermTable,
     pub(crate) entities: EntityTable,
@@ -148,6 +184,24 @@ pub struct InvertedIndex {
     pub(crate) packed_terms: PackedPostings,
     /// Block-compressed mirror of the entity postings.
     pub(crate) packed_entities: PackedPostings,
+    /// The zero-copy store; when set, the flat tables above are empty and
+    /// every access goes through the mapped shard views.
+    pub(crate) mapped: Option<Box<MappedStore>>,
+}
+
+impl PartialEq for InvertedIndex {
+    fn eq(&self, other: &Self) -> bool {
+        if self.mapped.is_none() && other.mapped.is_none() {
+            self.terms == other.terms
+                && self.entities == other.entities
+                && self.doc_lens == other.doc_lens
+                && self.packed_terms == other.packed_terms
+                && self.packed_entities == other.packed_entities
+        } else {
+            // Backing-independent equality: compare the canonical export.
+            self.doc_lens == other.doc_lens && self.to_parts() == other.to_parts()
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -246,20 +300,44 @@ impl InvertedIndex {
         #[cfg(feature = "blocks-off")]
         let (packed_terms, packed_entities) =
             (PackedPostings::default(), PackedPostings::default());
-        InvertedIndex { terms, entities, doc_lens, packed_terms, packed_entities }
+        InvertedIndex { terms, entities, doc_lens, packed_terms, packed_entities, mapped: None }
     }
 
-    /// The block-compressed `(terms, entities)` posting mirrors. Empty
-    /// (zero lists) when the compressed path is disabled — check with
-    /// [`PackedPostings::is_packed`].
+    /// Builds an index over zero-copy shard views (typically borrowed from
+    /// `mmap`'d `RCSHRD02` files; see [`crate::mapped`]). The views must
+    /// tile the global term/entity id spaces and pass the mapped store's
+    /// shape validation — the memory-safety gate that makes subsequent
+    /// unchecked block decodes sound.
+    pub fn from_mapped(views: Vec<MappedShardView>, doc_lens: Vec<u32>) -> Result<Self, String> {
+        let store = MappedStore::new(views, doc_lens.len())?;
+        Ok(InvertedIndex {
+            terms: TermTable::default(),
+            entities: EntityTable::default(),
+            doc_lens,
+            packed_terms: PackedPostings::default(),
+            packed_entities: PackedPostings::default(),
+            mapped: Some(Box::new(store)),
+        })
+    }
+
+    /// Whether this index reads through the zero-copy mapped store.
+    pub fn is_mapped(&self) -> bool {
+        self.mapped.is_some()
+    }
+
+    /// The block-compressed `(terms, entities)` posting mirrors of the
+    /// *flat* store. Empty (zero lists) when the compressed path is
+    /// disabled — check with [`PackedPostings::is_packed`] — and also on a
+    /// mapped index, whose packed state lives per shard view.
     pub fn packed_postings(&self) -> (&PackedPostings, &PackedPostings) {
         (&self.packed_terms, &self.packed_entities)
     }
 
-    /// Whether the scorer takes the block-compressed path.
+    /// Whether the scorer takes the block-compressed path. A mapped index
+    /// always does: its postings only exist in packed form.
     #[inline]
     fn blocks_enabled(&self) -> bool {
-        self.packed_terms.is_packed()
+        self.mapped.is_some() || self.packed_terms.is_packed()
     }
 
     /// Number of indexed documents (the collection size `N`).
@@ -274,60 +352,60 @@ impl InvertedIndex {
 
     /// Number of distinct interned terms.
     pub fn term_count(&self) -> usize {
-        self.terms.irf.len()
+        match self.mapped.as_deref() {
+            None => self.terms.irf.len(),
+            Some(m) => m.term_count(),
+        }
     }
 
     /// Number of distinct interned entities.
     pub fn entity_count(&self) -> usize {
-        self.entities.eirf.len()
+        match self.mapped.as_deref() {
+            None => self.entities.eirf.len(),
+            Some(m) => m.entity_count(),
+        }
     }
 
     /// Document frequency of a term.
     pub fn term_df(&self, term: &str) -> usize {
-        self.terms
-            .ids
-            .get(term)
-            .map_or(0, |&id| self.terms.list(id).0.len())
+        self.resolve_term(term).map_or(0, |r| r.df)
     }
 
     /// Document frequency of an entity.
     pub fn entity_df(&self, entity: EntityId) -> usize {
-        self.entities
-            .ids
-            .get(&entity)
-            .map_or(0, |&id| self.entities.list(id).0.len())
+        self.resolve_entity(entity).map_or(0, |r| r.df)
     }
 
     /// Inverse resource frequency: `ln(1 + N / df)`. Zero for unseen terms
     /// (they can never contribute anyway).
     pub fn irf(&self, term: &str) -> f64 {
-        self.terms
-            .ids
-            .get(term)
-            .map_or(0.0, |&id| self.terms.irf[id as usize])
+        self.resolve_term(term).map_or(0.0, |r| r.irf)
     }
 
     /// Inverse resource frequency of an entity, same form as [`Self::irf`].
     pub fn eirf(&self, entity: EntityId) -> f64 {
-        self.entities
-            .ids
-            .get(&entity)
-            .map_or(0.0, |&id| self.entities.eirf[id as usize])
+        self.resolve_entity(entity).map_or(0.0, |r| r.eirf)
     }
 
     /// Term frequency of `term` in `doc` (0 when absent).
     pub fn tf(&self, term: &str, doc: DocIdx) -> u32 {
-        self.terms.ids.get(term).map_or(0, |&id| {
-            let (docs, tfs) = self.terms.list(id);
-            docs.binary_search(&doc.0).map_or(0, |i| tfs[i])
+        self.resolve_term(term).map_or(0, |r| match r.flat {
+            Some(id) => {
+                let (docs, tfs) = self.terms.list(id);
+                docs.binary_search(&doc.0).map_or(0, |i| tfs[i])
+            }
+            None => mapped::lookup_freq(r.packed, r.local, doc.0).unwrap_or(0),
         })
     }
 
     /// Entity frequency of `entity` in `doc` (0 when absent).
     pub fn ef(&self, entity: EntityId, doc: DocIdx) -> u32 {
-        self.entities.ids.get(&entity).map_or(0, |&id| {
-            let (docs, efs, _) = self.entities.list(id);
-            docs.binary_search(&doc.0).map_or(0, |i| efs[i])
+        self.resolve_entity(entity).map_or(0, |r| match r.flat {
+            Some(id) => {
+                let (docs, efs, _) = self.entities.list(id);
+                docs.binary_search(&doc.0).map_or(0, |i| efs[i])
+            }
+            None => mapped::lookup_entity_freq(r.packed, r.local, doc.0).map_or(0, |(ef, _)| ef),
         })
     }
 
@@ -335,45 +413,170 @@ impl InvertedIndex {
     /// dscore over the entity's annotations in the document); 0 when the
     /// entity is not annotated in the document.
     pub fn entity_weight(&self, entity: EntityId, doc: DocIdx) -> f64 {
-        self.entities.ids.get(&entity).map_or(0.0, |&id| {
-            let (docs, _, we) = self.entities.list(id);
-            docs.binary_search(&doc.0).map_or(0.0, |i| we[i])
+        self.resolve_entity(entity).map_or(0.0, |r| match r.flat {
+            Some(id) => {
+                let (docs, _, we) = self.entities.list(id);
+                docs.binary_search(&doc.0).map_or(0.0, |i| we[i])
+            }
+            None => {
+                mapped::lookup_entity_freq(r.packed, r.local, doc.0).map_or(0.0, |(_, we)| we)
+            }
         })
     }
 
     /// The postings of `term` as `(doc, tf)` pairs in ascending doc order
     /// (empty for unseen terms).
     pub fn term_postings(&self, term: &str) -> impl Iterator<Item = (DocIdx, u32)> + '_ {
-        let (docs, tfs) = self
-            .terms
-            .ids
-            .get(term)
-            .map_or((&[][..], &[][..]), |&id| self.terms.list(id));
-        docs.iter()
-            .zip(tfs)
-            .map(|(&d, &tf)| (DocIdx(d), tf))
+        let iter: Box<dyn Iterator<Item = (DocIdx, u32)> + '_> = match self.resolve_term(term) {
+            None => Box::new(std::iter::empty()),
+            Some(r) => match r.flat {
+                Some(id) => {
+                    let (docs, tfs) = self.terms.list(id);
+                    Box::new(docs.iter().zip(tfs).map(|(&d, &tf)| (DocIdx(d), tf)))
+                }
+                None => {
+                    let mut out = Vec::with_capacity(r.df);
+                    self.visit_term_list(&r, |d, tf| out.push((DocIdx(d), tf)));
+                    Box::new(out.into_iter())
+                }
+            },
+        };
+        iter
     }
 
     /// The postings of `entity` in ascending doc order (empty for unseen
     /// entities).
     pub fn entity_postings(&self, entity: EntityId) -> impl Iterator<Item = EntityPostingView> + '_ {
-        let (docs, efs, we) = self
-            .entities
-            .ids
-            .get(&entity)
-            .map_or((&[][..], &[][..], &[][..]), |&id| self.entities.list(id));
-        docs.iter()
-            .zip(efs)
-            .zip(we)
-            .map(|((&d, &ef), &we)| EntityPostingView { doc: DocIdx(d), ef, we })
+        let iter: Box<dyn Iterator<Item = EntityPostingView> + '_> =
+            match self.resolve_entity(entity) {
+                None => Box::new(std::iter::empty()),
+                Some(r) => match r.flat {
+                    Some(id) => {
+                        let (docs, efs, we) = self.entities.list(id);
+                        Box::new(docs.iter().zip(efs).zip(we).map(|((&d, &ef), &we)| {
+                            EntityPostingView { doc: DocIdx(d), ef, we }
+                        }))
+                    }
+                    None => {
+                        let mut out = Vec::with_capacity(r.df);
+                        self.visit_entity_list(&r, |d, ef, we| {
+                            out.push(EntityPostingView { doc: DocIdx(d), ef, we });
+                        });
+                        Box::new(out.into_iter())
+                    }
+                },
+            };
+        iter
     }
 
-    pub(crate) fn term_list(&self, term: &str) -> Option<(&[u32], &[u32])> {
-        self.terms.ids.get(term).map(|&id| self.terms.list(id))
+    /// Resolves a term to its scoring ingredients on whichever store backs
+    /// this index. `flat` carries the dense CSR id on the flat store (the
+    /// packed mirror may be compiled out there); on the mapped store the
+    /// postings only exist packed, so `flat` is `None` and `packed`/`local`
+    /// address the owning shard view.
+    pub(crate) fn resolve_term(&self, term: &str) -> Option<ResolvedTerm<'_>> {
+        match self.mapped.as_deref() {
+            None => {
+                let &id = self.terms.ids.get(term)?;
+                Some(ResolvedTerm {
+                    irf: self.terms.irf[id as usize],
+                    max_tf: self.terms.max_tf[id as usize],
+                    df: self.terms.list(id).0.len(),
+                    packed: &self.packed_terms,
+                    local: id,
+                    flat: Some(id),
+                })
+            }
+            Some(m) => {
+                let g = m.find_term(term)?;
+                let (t, local) = m.term_side(g);
+                Some(ResolvedTerm {
+                    irf: t.irf[local as usize],
+                    max_tf: t.max_tf[local as usize],
+                    df: mapped::list_len(&t.packed, local),
+                    packed: &t.packed,
+                    local,
+                    flat: None,
+                })
+            }
+        }
     }
 
-    pub(crate) fn entity_list(&self, entity: EntityId) -> Option<(&[u32], &[u32], &[f64])> {
-        self.entities.ids.get(&entity).map(|&id| self.entities.list(id))
+    /// Entity-side twin of [`Self::resolve_term`].
+    pub(crate) fn resolve_entity(&self, entity: EntityId) -> Option<ResolvedEntity<'_>> {
+        match self.mapped.as_deref() {
+            None => {
+                let &id = self.entities.ids.get(&entity)?;
+                Some(ResolvedEntity {
+                    eirf: self.entities.eirf[id as usize],
+                    max_contrib: self.entities.max_contrib[id as usize],
+                    df: self.entities.list(id).0.len(),
+                    packed: &self.packed_entities,
+                    local: id,
+                    flat: Some(id),
+                })
+            }
+            Some(m) => {
+                let g = m.find_entity(entity.0)?;
+                let (e, local) = m.entity_side(g);
+                Some(ResolvedEntity {
+                    eirf: e.eirf[local as usize],
+                    max_contrib: e.max_contrib[local as usize],
+                    df: mapped::list_len(&e.packed, local),
+                    packed: &e.packed,
+                    local,
+                    flat: None,
+                })
+            }
+        }
+    }
+
+    /// Streams the `(doc, tf)` pairs of a resolved term list in ascending
+    /// doc order. The flat store walks its CSR slice; the mapped store
+    /// decodes blocks sequentially — the same posting sequence either way,
+    /// so downstream float accumulation is bit-identical.
+    pub(crate) fn visit_term_list(&self, r: &ResolvedTerm<'_>, mut f: impl FnMut(u32, u32)) {
+        if let Some(id) = r.flat {
+            let (docs, tfs) = self.terms.list(id);
+            for (&d, &tf) in docs.iter().zip(tfs) {
+                f(d, tf);
+            }
+            return;
+        }
+        let (bs, be) = r.packed.list_blocks(r.local);
+        let mut dbuf = [0u32; BLOCK_SIZE];
+        let mut fbuf = [0u32; BLOCK_SIZE];
+        let mut prev = -1i64;
+        for b in bs..be {
+            let (n, _) = r.packed.decode_block(b, prev, &mut dbuf, &mut fbuf);
+            for (&d, &tf) in dbuf[..n].iter().zip(&fbuf[..n]) {
+                f(d, tf);
+            }
+            prev = i64::from(r.packed.last_doc[b]);
+        }
+    }
+
+    /// Entity-side twin of [`Self::visit_term_list`]: `(doc, ef, we)`.
+    pub(crate) fn visit_entity_list(&self, r: &ResolvedEntity<'_>, mut f: impl FnMut(u32, u32, f64)) {
+        if let Some(id) = r.flat {
+            let (docs, efs, wes) = self.entities.list(id);
+            for ((&d, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                f(d, ef, we);
+            }
+            return;
+        }
+        let (bs, be) = r.packed.list_blocks(r.local);
+        let mut dbuf = [0u32; BLOCK_SIZE];
+        let mut fbuf = [0u32; BLOCK_SIZE];
+        let mut wbuf = [0.0f64; BLOCK_SIZE];
+        let mut prev = -1i64;
+        for b in bs..be {
+            let (n, _) = r.packed.decode_entity_block(b, prev, &mut dbuf, &mut fbuf, &mut wbuf);
+            for ((&d, &ef), &we) in dbuf[..n].iter().zip(&fbuf[..n]).zip(&wbuf[..n]) {
+                f(d, ef, we);
+            }
+            prev = i64::from(r.packed.last_doc[b]);
+        }
     }
 
     /// Eq. 1 accumulation into the dense scratch: one combined score per
@@ -389,14 +592,12 @@ impl InvertedIndex {
         s.begin(self.doc_count());
         if alpha > 0.0 {
             for term in &query.terms {
-                let Some(&id) = self.terms.ids.get(term) else {
+                let Some(r) = self.resolve_term(term) else {
                     continue;
                 };
-                let irf = self.terms.irf[id as usize];
-                let w = alpha * irf * irf;
-                let (docs, tfs) = self.terms.list(id);
-                traversed += docs.len() as u64;
-                for (&doc, &tf) in docs.iter().zip(tfs) {
+                let w = alpha * r.irf * r.irf;
+                traversed += r.df as u64;
+                self.visit_term_list(&r, |doc, tf| {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
                         s.stamps[d] = s.epoch;
@@ -404,19 +605,17 @@ impl InvertedIndex {
                         s.touched.push(doc);
                     }
                     s.acc[d] += w * tf as f64;
-                }
+                });
             }
         }
         if alpha < 1.0 {
             for &entity in &query.entities {
-                let Some(&id) = self.entities.ids.get(&entity) else {
+                let Some(r) = self.resolve_entity(entity) else {
                     continue;
                 };
-                let eirf = self.entities.eirf[id as usize];
-                let w = (1.0 - alpha) * eirf * eirf;
-                let (docs, efs, wes) = self.entities.list(id);
-                traversed += docs.len() as u64;
-                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                let w = (1.0 - alpha) * r.eirf * r.eirf;
+                traversed += r.df as u64;
+                self.visit_entity_list(&r, |doc, ef, we| {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
                         s.stamps[d] = s.epoch;
@@ -424,7 +623,7 @@ impl InvertedIndex {
                         s.touched.push(doc);
                     }
                     s.acc[d] += w * ef as f64 * we;
-                }
+                });
             }
         }
         traversed
@@ -485,30 +684,29 @@ impl InvertedIndex {
         let blocks = self.blocks_enabled();
 
         // Active posting lists in accumulation order (terms before
-        // entities, query order within each side), each with an upper
-        // bound on its per-document contribution.
-        enum ListRef {
-            Term(u32),
-            Entity(u32),
+        // entities, query order within each side), each resolved against
+        // the backing store and paired with an upper bound on its
+        // per-document contribution.
+        enum ListRef<'a> {
+            Term(ResolvedTerm<'a>),
+            Entity(ResolvedEntity<'a>),
         }
-        let mut lists: Vec<(ListRef, f64)> = Vec::new();
+        let mut lists: Vec<(ListRef<'_>, f64)> = Vec::new();
         if alpha > 0.0 {
             for term in &query.terms {
-                if let Some(&id) = self.terms.ids.get(term) {
-                    let irf = self.terms.irf[id as usize];
-                    let w = alpha * irf * irf;
-                    let ub = w * self.terms.max_tf[id as usize] as f64;
-                    lists.push((ListRef::Term(id), ub));
+                if let Some(r) = self.resolve_term(term) {
+                    let w = alpha * r.irf * r.irf;
+                    let ub = w * r.max_tf as f64;
+                    lists.push((ListRef::Term(r), ub));
                 }
             }
         }
         if alpha < 1.0 {
             for &entity in &query.entities {
-                if let Some(&id) = self.entities.ids.get(&entity) {
-                    let eirf = self.entities.eirf[id as usize];
-                    let w = (1.0 - alpha) * eirf * eirf;
-                    let ub = w * self.entities.max_contrib[id as usize];
-                    lists.push((ListRef::Entity(id), ub));
+                if let Some(r) = self.resolve_entity(entity) {
+                    let w = (1.0 - alpha) * r.eirf * r.eirf;
+                    let ub = w * r.max_contrib;
+                    lists.push((ListRef::Entity(r), ub));
                 }
             }
         }
@@ -584,12 +782,11 @@ impl InvertedIndex {
                 };
 
                 match list {
-                    ListRef::Term(id) => {
-                        let irf = self.terms.irf[*id as usize];
-                        let w = alpha * irf * irf;
+                    ListRef::Term(r) => {
+                        let w = alpha * r.irf * r.irf;
                         if blocks {
-                            let packed = &self.packed_terms;
-                            let (bs, be) = packed.list_blocks(*id);
+                            let packed = r.packed;
+                            let (bs, be) = packed.list_blocks(r.local);
                             st.blocks_total += (be - bs) as u64;
                             let mut prev = -1i64;
                             for b in bs..be {
@@ -635,7 +832,8 @@ impl InvertedIndex {
                                 prev = i64::from(last);
                             }
                         } else {
-                            let (docs, tfs) = self.terms.list(*id);
+                            let (docs, tfs) =
+                                self.terms.list(r.flat.expect("flat store when blocks are off"));
                             st.traversed += docs.len() as u64;
                             for (&doc, &tf) in docs.iter().zip(tfs) {
                                 let d = doc as usize;
@@ -652,12 +850,11 @@ impl InvertedIndex {
                             }
                         }
                     }
-                    ListRef::Entity(id) => {
-                        let eirf = self.entities.eirf[*id as usize];
-                        let w = (1.0 - alpha) * eirf * eirf;
+                    ListRef::Entity(r) => {
+                        let w = (1.0 - alpha) * r.eirf * r.eirf;
                         if blocks {
-                            let packed = &self.packed_entities;
-                            let (bs, be) = packed.list_blocks(*id);
+                            let packed = r.packed;
+                            let (bs, be) = packed.list_blocks(r.local);
                             st.blocks_total += (be - bs) as u64;
                             let mut prev = -1i64;
                             for b in bs..be {
@@ -700,7 +897,9 @@ impl InvertedIndex {
                                 prev = i64::from(last);
                             }
                         } else {
-                            let (docs, efs, wes) = self.entities.list(*id);
+                            let (docs, efs, wes) = self
+                                .entities
+                                .list(r.flat.expect("flat store when blocks are off"));
                             st.traversed += docs.len() as u64;
                             for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
                                 let d = doc as usize;
@@ -750,14 +949,12 @@ impl InvertedIndex {
             let s = &mut *cell.borrow_mut();
             s.begin(self.doc_count());
             for term in &query.terms {
-                let Some(&id) = self.terms.ids.get(term) else {
+                let Some(r) = self.resolve_term(term) else {
                     continue;
                 };
-                let irf = self.terms.irf[id as usize];
-                let w = irf * irf;
-                let (docs, tfs) = self.terms.list(id);
-                traversed += docs.len() as u64;
-                for (&doc, &tf) in docs.iter().zip(tfs) {
+                let w = r.irf * r.irf;
+                traversed += r.df as u64;
+                self.visit_term_list(&r, |doc, tf| {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
                         s.stamps[d] = s.epoch;
@@ -766,17 +963,15 @@ impl InvertedIndex {
                         s.touched.push(doc);
                     }
                     s.acc[d] += w * tf as f64;
-                }
+                });
             }
             for &entity in &query.entities {
-                let Some(&id) = self.entities.ids.get(&entity) else {
+                let Some(r) = self.resolve_entity(entity) else {
                     continue;
                 };
-                let eirf = self.entities.eirf[id as usize];
-                let w = eirf * eirf;
-                let (docs, efs, wes) = self.entities.list(id);
-                traversed += docs.len() as u64;
-                for ((&doc, &ef), &we) in docs.iter().zip(efs).zip(wes) {
+                let w = r.eirf * r.eirf;
+                traversed += r.df as u64;
+                self.visit_entity_list(&r, |doc, ef, we| {
                     let d = doc as usize;
                     if s.stamps[d] != s.epoch {
                         s.stamps[d] = s.epoch;
@@ -785,7 +980,7 @@ impl InvertedIndex {
                         s.touched.push(doc);
                     }
                     s.acc2[d] += w * ef as f64 * we;
-                }
+                });
             }
             crate::stats::publish(TraversalStats { traversed, ..TraversalStats::default() });
             s.touched.sort_unstable();

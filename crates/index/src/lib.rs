@@ -20,16 +20,19 @@
 //! sweep with a single posting traversal, and [`reference`] retains the
 //! definitional scorer as the parity oracle.
 
+pub mod backing;
 pub mod block;
 pub mod bm25;
 pub mod builder;
 pub mod index;
+pub mod mapped;
 pub mod query;
 pub mod raw;
 pub mod reference;
 pub mod shard;
 pub mod stats;
 
+pub use backing::Seg;
 pub use block::{
     pack_entity_parts, pack_term_parts, unpack_entities, unpack_terms, PackedPostings, BLOCK_SIZE,
 };
@@ -39,6 +42,7 @@ pub use index::{
     recombine, recombine_top_k, ComponentScore, DocIdx, EntityPostingView, InvertedIndex,
     ScoredDoc,
 };
+pub use mapped::{MappedEntitySide, MappedShardView, MappedTermSide};
 pub use query::Query;
 pub use raw::{EntityParts, IndexParts, TermParts};
 pub use shard::IndexShard;

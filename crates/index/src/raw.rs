@@ -9,7 +9,9 @@
 //! paths rely on, so a corrupted snapshot that survives its checksums is
 //! still rejected with an error instead of corrupting a query.
 
+use crate::block::BLOCK_SIZE;
 use crate::index::{EntityTable, InvertedIndex, TermTable};
+use crate::mapped::MappedStore;
 use rightcrowd_types::EntityId;
 use std::collections::HashMap;
 
@@ -131,6 +133,9 @@ impl InvertedIndex {
     /// pure function of the index (no hash-iteration order leaks through),
     /// so two equal indexes always export identical parts.
     pub fn to_parts(&self) -> IndexParts {
+        if let Some(m) = self.mapped.as_deref() {
+            return self.mapped_to_parts(m);
+        }
         let mut term_vocab = vec![String::new(); self.terms.irf.len()];
         for (term, &id) in &self.terms.ids {
             term_vocab[id as usize] = term.clone();
@@ -159,6 +164,67 @@ impl InvertedIndex {
             },
             doc_lens: self.doc_lens.clone(),
         }
+    }
+
+    /// The mapped-store half of [`Self::to_parts`]: walks the shard views
+    /// in global id order, decoding every packed list back into CSR form.
+    /// The export is byte-identical to what the original flat index
+    /// produced — block packing is loss-free — so backing-independent
+    /// equality and re-sharding both route through here.
+    fn mapped_to_parts(&self, m: &MappedStore) -> IndexParts {
+        let mut terms = TermParts {
+            vocab: Vec::with_capacity(m.term_count()),
+            offsets: vec![0],
+            docs: Vec::new(),
+            tfs: Vec::new(),
+            irf: Vec::with_capacity(m.term_count()),
+            max_tf: Vec::with_capacity(m.term_count()),
+        };
+        let mut dbuf = [0u32; BLOCK_SIZE];
+        let mut fbuf = [0u32; BLOCK_SIZE];
+        let mut wbuf = [0.0f64; BLOCK_SIZE];
+        for g in 0..m.term_count() as u32 {
+            let (t, local) = m.term_side(g);
+            terms.vocab.push(m.term_str(g).to_owned());
+            terms.irf.push(t.irf[local as usize]);
+            terms.max_tf.push(t.max_tf[local as usize]);
+            let (bs, be) = t.packed.list_blocks(local);
+            let mut prev = -1i64;
+            for b in bs..be {
+                let (n, _) = t.packed.decode_block(b, prev, &mut dbuf, &mut fbuf);
+                terms.docs.extend_from_slice(&dbuf[..n]);
+                terms.tfs.extend_from_slice(&fbuf[..n]);
+                prev = i64::from(t.packed.last_doc[b]);
+            }
+            terms.offsets.push(terms.docs.len() as u64);
+        }
+        let mut entities = EntityParts {
+            vocab: Vec::with_capacity(m.entity_count()),
+            offsets: vec![0],
+            docs: Vec::new(),
+            efs: Vec::new(),
+            we: Vec::new(),
+            eirf: Vec::with_capacity(m.entity_count()),
+            max_contrib: Vec::with_capacity(m.entity_count()),
+        };
+        for g in 0..m.entity_count() as u32 {
+            let (e, local) = m.entity_side(g);
+            entities.vocab.push(EntityId::new(m.entity_at(g)));
+            entities.eirf.push(e.eirf[local as usize]);
+            entities.max_contrib.push(e.max_contrib[local as usize]);
+            let (bs, be) = e.packed.list_blocks(local);
+            let mut prev = -1i64;
+            for b in bs..be {
+                let (n, _) =
+                    e.packed.decode_entity_block(b, prev, &mut dbuf, &mut fbuf, &mut wbuf);
+                entities.docs.extend_from_slice(&dbuf[..n]);
+                entities.efs.extend_from_slice(&fbuf[..n]);
+                entities.we.extend_from_slice(&wbuf[..n]);
+                prev = i64::from(e.packed.last_doc[b]);
+            }
+            entities.offsets.push(entities.docs.len() as u64);
+        }
+        IndexParts { terms, entities, doc_lens: self.doc_lens.clone() }
     }
 
     /// Rebuilds an index from exported parts, re-validating every CSR

@@ -78,11 +78,24 @@ pub enum CounterId {
     /// `store::load_sharded` (the manifest is counted under
     /// `SnapshotBytesRead`).
     ShardBytesRead,
+    /// `mmap(2)` calls issued by the zero-copy snapshot opener (one per
+    /// shard file mapped; re-opens of an already-resident file still
+    /// count — the kernel shares the pages).
+    MmapOpens,
+    /// Shard/manifest opens whose validity sidecar matched (length,
+    /// mtime and digest), skipping the streamed checksum pass.
+    SidecarHits,
+    /// Opens that had to fall back to the full streamed verification
+    /// because the sidecar was absent, stale, or malformed.
+    SidecarMisses,
+    /// Bytes of shard payload placed behind live memory mappings (file
+    /// sizes at `mmap` time; cumulative like the byte counters above).
+    MappedBytes,
 }
 
 impl CounterId {
     /// Every counter, in rendering order.
-    pub const ALL: [CounterId; 23] = [
+    pub const ALL: [CounterId; 27] = [
         CounterId::PostingsTraversed,
         CounterId::MaxscoreAdmitted,
         CounterId::MaxscorePruned,
@@ -106,6 +119,10 @@ impl CounterId {
         CounterId::SnapshotBytesRead,
         CounterId::ShardsLoaded,
         CounterId::ShardBytesRead,
+        CounterId::MmapOpens,
+        CounterId::SidecarHits,
+        CounterId::SidecarMisses,
+        CounterId::MappedBytes,
     ];
 
     /// `true` for level-style counters written with [`set`] (rendered as
@@ -141,6 +158,10 @@ impl CounterId {
             CounterId::SnapshotBytesRead => "snapshot_bytes_read",
             CounterId::ShardsLoaded => "shards_loaded",
             CounterId::ShardBytesRead => "shard_bytes_read",
+            CounterId::MmapOpens => "mmap_opens",
+            CounterId::SidecarHits => "sidecar_hits",
+            CounterId::SidecarMisses => "sidecar_misses",
+            CounterId::MappedBytes => "mapped_bytes",
         }
     }
 }

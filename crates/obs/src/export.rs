@@ -45,9 +45,23 @@ impl BuildInfo {
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`); `None` off Linux or when the file is absent.
 pub fn rss_peak_bytes() -> Option<u64> {
+    proc_status_bytes("VmHWM:")
+}
+
+/// Current resident set size of this process in bytes (`VmRSS` from
+/// `/proc/self/status`); `None` off Linux or when the file is absent.
+/// Unlike [`rss_peak_bytes`] this can go *down* — deltas across a
+/// snapshot open show how much physical memory the open actually
+/// touched (a mapped open faults pages in lazily, so its delta is
+/// near zero until queries run).
+pub fn rss_now_bytes() -> Option<u64> {
+    proc_status_bytes("VmRSS:")
+}
+
+fn proc_status_bytes(key: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
+        if let Some(rest) = line.strip_prefix(key) {
             let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
             return Some(kb * 1024);
         }

@@ -70,7 +70,7 @@ pub mod trace_export;
 pub mod wide;
 
 pub use counter::{reset_counters, CounterId};
-pub use export::{openmetrics_live, rss_peak_bytes, validate_openmetrics, BuildInfo};
+pub use export::{openmetrics_live, rss_now_bytes, rss_peak_bytes, validate_openmetrics, BuildInfo};
 pub use flight::{set_flight_capacity, FlightRecorder, FlightSummary, QueryRecord};
 pub use hist::{HistId, PlainHistogram};
 pub use prof::{

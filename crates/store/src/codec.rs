@@ -728,11 +728,11 @@ fn put_packed(buf: &mut Vec<u8>, p: &PackedPostings) {
     put_blob(buf, &p.doc_bits);
     put_blob(buf, &p.aux_bits);
     put_len(buf, p.max_score.len());
-    for &v in &p.max_score {
+    for &v in p.max_score.iter() {
         put_f64(buf, v);
     }
     put_len(buf, p.data_offsets.len());
-    for &o in &p.data_offsets {
+    for &o in p.data_offsets.iter() {
         put_u64(buf, o);
     }
     put_blob(buf, &p.data);
@@ -740,14 +740,14 @@ fn put_packed(buf: &mut Vec<u8>, p: &PackedPostings) {
 
 fn read_packed(c: &mut Cursor) -> Result<PackedPostings, StoreError> {
     Ok(PackedPostings {
-        block_offsets: c.u32s()?,
-        last_doc: c.u32s()?,
-        counts: c.u32s()?,
-        doc_bits: c.blob()?,
-        aux_bits: c.blob()?,
-        max_score: c.f64s()?,
-        data_offsets: c.u64s()?,
-        data: c.blob()?,
+        block_offsets: c.u32s()?.into(),
+        last_doc: c.u32s()?.into(),
+        counts: c.u32s()?.into(),
+        doc_bits: c.blob()?.into(),
+        aux_bits: c.blob()?.into(),
+        max_score: c.f64s()?.into(),
+        data_offsets: c.u64s()?.into(),
+        data: c.blob()?.into(),
     })
 }
 

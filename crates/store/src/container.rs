@@ -123,6 +123,9 @@ pub mod kind {
     pub const TERM_BLOCKS: u32 = 10;
     /// Entity-side block-compressed postings.
     pub const ENTITY_BLOCKS: u32 = 11;
+    /// Raw per-document term lengths (mapped-layout manifests only):
+    /// warm opens read this tiny section instead of unpacking `CORPUS`.
+    pub const DOC_LENS: u32 = 12;
 }
 
 /// Section kinds whose payloads are worth running through the byte
@@ -173,6 +176,7 @@ pub const fn section_name(kind_tag: u32) -> &'static str {
         kind::SHARD_META => "shard_meta",
         kind::TERM_BLOCKS => "term_blocks",
         kind::ENTITY_BLOCKS => "entity_blocks",
+        kind::DOC_LENS => "doc_lens",
         _ => "unknown",
     }
 }

@@ -36,8 +36,11 @@ pub mod codec;
 pub mod container;
 pub mod crc;
 pub mod err;
+pub mod mapped;
+pub mod mmap;
 pub mod pack;
 pub mod shard;
+pub mod sidecar;
 pub mod wire;
 
 pub use codec::Census;
@@ -47,11 +50,14 @@ pub use container::{
 };
 pub use crc::{crc64, Crc64};
 pub use err::StoreError;
+pub use mapped::{MAPPED_ALIGN, MAPPED_SHARD_MAGIC};
 pub use shard::{
-    is_sharded, load_sharded, manifest_path, save_sharded, shard_path, ShardEntry,
-    ShardTable, ShardedLoadStats, ShardedSaveStats, MANIFEST_FILE, MANIFEST_MAGIC, SHARD_MAGIC,
-    SHARD_FORMAT_VERSION,
+    is_mapped_snapshot, is_sharded, load_sharded, manifest_path, open_mapped, save_sharded,
+    save_sharded_with, shard_path, MappedOpenStats, ShardEntry, ShardTable, ShardedLoadStats,
+    ShardedSaveStats, SnapshotLayout, MANIFEST_FILE, MANIFEST_MAGIC, SHARD_FORMAT_VERSION,
+    SHARD_FORMAT_VERSION_MAPPED, SHARD_MAGIC,
 };
+pub use sidecar::{read_sidecar, sidecar_path, write_sidecar, Sidecar};
 
 use container::{kind, Section, SECTION_ORDER, SECTION_ORDER_BLOCKS};
 use rightcrowd_core::AnalyzedCorpus;
@@ -97,7 +103,19 @@ pub fn to_bytes(ds: &SyntheticDataset, corpus: &AnalyzedCorpus) -> Vec<u8> {
     // written instead — which is also exactly what old readers expect.
     #[cfg(not(feature = "blocks-off"))]
     {
-        let (packed_terms, packed_entities) = corpus.index().packed_postings();
+        // A mapped index keeps its packed lists per shard, not in the
+        // flat `packed_postings()` store (which is empty there) — for a
+        // monolithic save they are regenerated from the canonical parts.
+        let regenerated;
+        let (packed_terms, packed_entities) = if corpus.index().is_mapped() {
+            regenerated = (
+                rightcrowd_index::pack_term_parts(&parts.terms),
+                rightcrowd_index::pack_entity_parts(&parts.entities),
+            );
+            (&regenerated.0, &regenerated.1)
+        } else {
+            corpus.index().packed_postings()
+        };
         sections.push(Section {
             kind: kind::TERM_BLOCKS,
             payload: codec::encode_term_blocks(&parts.terms.vocab, &parts.terms.irf, packed_terms),

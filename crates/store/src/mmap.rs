@@ -1,0 +1,240 @@
+//! Zero-dependency read-only memory mapping.
+//!
+//! The mapped snapshot opener needs exactly one thing from the OS: a
+//! shared, read-only view of a shard file whose pages live in the page
+//! cache — so N processes opening the same snapshot share one physical
+//! copy, and a warm open costs page-table setup instead of a copy. That
+//! is a single `mmap(2)`/`munmap(2)` pair, declared here directly
+//! against libc's C ABI rather than through a crate dependency (the
+//! workspace is zero-dep by policy).
+//!
+//! Off Unix — or whenever `mmap` fails (e.g. an empty file, which Linux
+//! rejects with `EINVAL`) — [`FileBytes::open`] falls back to reading
+//! the file into an 8-byte-aligned heap buffer. Callers see the same
+//! `&[u8]` either way; only the sharing/residency behaviour differs.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_SHARED: c_int = 1;
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// A read-only `MAP_SHARED` mapping of an entire file. Unmapped on drop.
+#[cfg(unix)]
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime and
+// the pointer/length pair never changes after construction.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+impl Mmap {
+    /// Maps `len` bytes of `file` read-only. Fails (with the OS error)
+    /// for `len == 0` — Linux rejects zero-length mappings.
+    pub fn map(file: &File, len: u64) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space"))?;
+        // SAFETY: fd is a live file descriptor owned by `file`; we request
+        // a fresh address (addr = null) and validate the result.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED || ptr.is_null() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr: ptr as *const u8, len })
+    }
+
+    /// The mapped bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: ptr/len describe the live mapping established in `map`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: exactly the region returned by mmap in `map`; errors on
+        // unmap are unrecoverable and ignored (the address space leaks).
+        unsafe {
+            sys::munmap(self.ptr as *mut _, self.len);
+        }
+    }
+}
+
+/// A heap buffer over `u64` words, so the byte view is 8-byte aligned —
+/// enough for every array type an `RCSHRD02` section can hold.
+struct AlignedBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBuf {
+    fn read_from(file: &mut File, len: u64) -> io::Result<AlignedBuf> {
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space"))?;
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the Vec's buffer holds len.div_ceil(8) * 8 >= len
+        // initialised bytes; u64 -> u8 reinterpretation is always valid.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, len)
+        };
+        file.read_exact(bytes)?;
+        Ok(AlignedBuf { words, len })
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        // SAFETY: same reinterpretation as in `read_from`.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr() as *const u8, self.len) }
+    }
+}
+
+/// The bytes of one opened snapshot file: a shared mapping when the
+/// platform provides one, an aligned owned copy otherwise. Cheap to
+/// clone and share across threads; [`crate::Seg`]s borrow from it via
+/// the `Arc` owner handle.
+#[derive(Clone)]
+pub struct FileBytes {
+    inner: Arc<Inner>,
+    mapped: bool,
+}
+
+enum Inner {
+    #[cfg(unix)]
+    Mapped(Mmap),
+    Owned(AlignedBuf),
+}
+
+impl Inner {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Inner::Mapped(m) => m.as_slice(),
+            Inner::Owned(b) => b.as_slice(),
+        }
+    }
+}
+
+impl FileBytes {
+    /// Opens `path` (whose size must be `len`) as shared read-only bytes:
+    /// `mmap` where available, aligned read fallback otherwise.
+    pub fn open(path: &Path, len: u64) -> io::Result<FileBytes> {
+        let mut file = File::open(path)?;
+        #[cfg(unix)]
+        if len > 0 {
+            if let Ok(m) = Mmap::map(&file, len) {
+                return Ok(FileBytes { inner: Arc::new(Inner::Mapped(m)), mapped: true });
+            }
+        }
+        let buf = AlignedBuf::read_from(&mut file, len)?;
+        Ok(FileBytes { inner: Arc::new(Inner::Owned(buf)), mapped: false })
+    }
+
+    /// The file's bytes.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        self.inner.as_slice()
+    }
+
+    /// Whether the bytes come from a true `mmap` (false on the owned
+    /// fallback path).
+    pub fn is_mapped(&self) -> bool {
+        self.mapped
+    }
+
+    /// The owner handle that keeps the bytes alive — what mapped `Seg`s
+    /// hold on to.
+    pub fn owner(&self) -> Arc<dyn std::any::Any + Send + Sync> {
+        Arc::clone(&self.inner) as Arc<dyn std::any::Any + Send + Sync>
+    }
+}
+
+// SAFETY: both variants are immutable byte stores; Mmap is Send + Sync by
+// the impls above and AlignedBuf is ordinary owned data.
+unsafe impl Send for Inner {}
+unsafe impl Sync for Inner {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!("rc-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn maps_and_reads_back() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        let p = tmp("roundtrip", &data);
+        let fb = FileBytes::open(&p, data.len() as u64).unwrap();
+        assert_eq!(fb.as_slice(), &data[..]);
+        #[cfg(unix)]
+        assert!(fb.is_mapped());
+        // The owner handle keeps the bytes alive independently.
+        let owner = fb.owner();
+        drop(fb);
+        drop(owner);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn empty_file_falls_back_to_owned() {
+        let p = tmp("empty", &[]);
+        let fb = FileBytes::open(&p, 0).unwrap();
+        assert!(fb.as_slice().is_empty());
+        assert!(!fb.is_mapped());
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn buffer_is_8_byte_aligned_even_when_owned() {
+        let data = vec![7u8; 123];
+        let p = tmp("aligned", &data);
+        let mut f = File::open(&p).unwrap();
+        let buf = AlignedBuf::read_from(&mut f, data.len() as u64).unwrap();
+        assert_eq!(buf.as_slice().as_ptr() as usize % 8, 0);
+        assert_eq!(buf.as_slice(), &data[..]);
+        std::fs::remove_file(&p).unwrap();
+    }
+}

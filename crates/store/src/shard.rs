@@ -46,6 +46,7 @@ use crate::container::{assemble_flags, FLAG_PACKED_SECTIONS};
 #[cfg(feature = "blocks-off")]
 use crate::container::assemble_with;
 use crate::err::StoreError;
+use crate::sidecar::{write_sidecar, Sidecar};
 use crate::wire::{put_len, put_u32, put_u64, Cursor};
 use crate::{decode_study, study_sections};
 use rightcrowd_core::par::par_map;
@@ -63,10 +64,14 @@ pub const MANIFEST_MAGIC: [u8; 8] = *b"RCMANI01";
 /// The 8-byte magic of a postings shard.
 pub const SHARD_MAGIC: [u8; 8] = *b"RCSHRD01";
 
-/// Revision of the shard *payload* format (shard table + shard meta +
-/// sliced postings). Recorded in the manifest's shard table and checked
-/// on load, independently of the envelope's `FORMAT_VERSION`.
+/// Revision of the streamed shard *payload* format (shard table + shard
+/// meta + sliced postings). Recorded in the manifest's shard table and
+/// checked on load, independently of the envelope's `FORMAT_VERSION`.
 pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// Revision of the mapped (`RCSHRD02`) shard format: fixed layout,
+/// 64-byte-aligned payloads, zero-copy openable (see [`crate::mapped`]).
+pub const SHARD_FORMAT_VERSION_MAPPED: u32 = 2;
 
 /// The manifest's file name inside a sharded-snapshot directory.
 pub const MANIFEST_FILE: &str = "manifest.rcm";
@@ -75,13 +80,26 @@ pub const MANIFEST_FILE: &str = "manifest.rcm";
 /// is a forged shard table.
 const MAX_SHARDS: usize = 4096;
 
-/// The section order a version-1 manifest must use.
+/// The section order a streamed-layout manifest must use.
 pub const MANIFEST_SECTION_ORDER: [u32; 6] = [
     kind::META,
     kind::GRAPH,
     kind::WEB,
     kind::TRUTH,
     kind::CORPUS,
+    kind::SHARD_TABLE,
+];
+
+/// The section order a mapped-layout manifest must use: the streamed one
+/// plus a raw `doc_lens` section, so an index-only warm open never has
+/// to unpack the corpus.
+pub const MANIFEST_SECTION_ORDER_MAPPED: [u32; 7] = [
+    kind::META,
+    kind::GRAPH,
+    kind::WEB,
+    kind::TRUTH,
+    kind::CORPUS,
+    kind::DOC_LENS,
     kind::SHARD_TABLE,
 ];
 
@@ -144,6 +162,14 @@ pub struct ShardedLoadStats {
     pub manifest_bytes: u64,
     /// Number of shard files loaded.
     pub shard_count: usize,
+    /// Whether the shards were `RCSHRD02` files borrowed via `mmap(2)`
+    /// (vs streamed + reconstructed).
+    pub mapped: bool,
+    /// The manifest's whole-file digest: a cheap identity fingerprint
+    /// of the snapshot (it covers the shard table and thus every shard
+    /// digest). Consumers like `/healthz` report it instead of hashing
+    /// the corpus — which would page in every mapped byte on boot.
+    pub manifest_digest: u64,
     /// Wall time of read + verify + splice + reconstruct, milliseconds.
     pub elapsed_ms: f64,
 }
@@ -224,10 +250,12 @@ fn check_tiling(side: &str, ranges: impl Iterator<Item = (u32, u32)>, count: u64
 pub fn decode_shard_table(payload: &[u8]) -> Result<ShardTable, StoreError> {
     let mut c = Cursor::new(payload);
     let shard_format_version = c.u32()?;
-    if shard_format_version != SHARD_FORMAT_VERSION {
+    if shard_format_version != SHARD_FORMAT_VERSION
+        && shard_format_version != SHARD_FORMAT_VERSION_MAPPED
+    {
         return Err(StoreError::VersionMismatch {
             found: shard_format_version,
-            expected: SHARD_FORMAT_VERSION,
+            expected: SHARD_FORMAT_VERSION_MAPPED,
         });
     }
     let term_count = c.u64()?;
@@ -261,7 +289,7 @@ pub fn decode_shard_table(payload: &[u8]) -> Result<ShardTable, StoreError> {
     Ok(ShardTable { shard_format_version, term_count, entity_count, entries })
 }
 
-fn encode_shard_meta(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
+pub(crate) fn encode_shard_meta(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
     let mut buf = Vec::with_capacity(24);
     put_u32(&mut buf, shard.index);
     put_u32(&mut buf, shard_count as u32);
@@ -274,14 +302,14 @@ fn encode_shard_meta(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
 
 /// A shard file's recorded identity, cross-checked against the manifest
 /// entry that named it.
-struct ShardMeta {
-    index: u32,
-    shard_count: u32,
-    term_range: (u32, u32),
-    entity_range: (u32, u32),
+pub(crate) struct ShardMeta {
+    pub(crate) index: u32,
+    pub(crate) shard_count: u32,
+    pub(crate) term_range: (u32, u32),
+    pub(crate) entity_range: (u32, u32),
 }
 
-fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, StoreError> {
+pub(crate) fn decode_shard_meta(payload: &[u8]) -> Result<ShardMeta, StoreError> {
     let mut c = Cursor::new(payload);
     let index = c.u32()?;
     let shard_count = c.u32()?;
@@ -336,18 +364,24 @@ fn encode_shard_file(shard: &IndexShard, shard_count: usize) -> Vec<u8> {
 }
 
 /// The trailing whole-file CRC-64 of an assembled container.
-fn trailing_digest(bytes: &[u8]) -> u64 {
+pub(crate) fn trailing_digest(bytes: &[u8]) -> u64 {
     let tail: [u8; 8] = bytes[bytes.len() - 8..].try_into().expect("assembled container");
     u64::from_le_bytes(tail)
 }
 
-/// Writes a sharded snapshot of `(ds, corpus)` into directory `dir`:
-/// `shards` per-term-range postings shards (encoded on up to `threads`
-/// workers, capped at the machine's available parallelism) plus the
-/// manifest. Deterministic for a given `(ds, corpus,
-/// shards)`, like the monolithic writer. Stale `*.rcshard` files from an
-/// earlier, wider save are removed so the directory always equals the
-/// manifest's promise.
+/// On-disk layout of a sharded snapshot's shard files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotLayout {
+    /// `RCSHRD01`: streamed, self-contained shard files (the default).
+    #[default]
+    Streamed,
+    /// `RCSHRD02`: fixed-layout, alignment-padded shard files that every
+    /// `--snapshot` consumer opens zero-copy via `mmap(2)` (see
+    /// [`crate::mapped`]).
+    Mapped,
+}
+
+/// [`save_sharded_with`] in the default streamed layout.
 pub fn save_sharded(
     dir: impl AsRef<Path>,
     ds: &SyntheticDataset,
@@ -355,10 +389,34 @@ pub fn save_sharded(
     shards: usize,
     threads: usize,
 ) -> Result<ShardedSaveStats, StoreError> {
+    save_sharded_with(dir, ds, corpus, shards, threads, SnapshotLayout::Streamed)
+}
+
+/// Writes a sharded snapshot of `(ds, corpus)` into directory `dir`:
+/// `shards` per-term-range postings shards (encoded on up to `threads`
+/// workers, capped at the machine's available parallelism) plus the
+/// manifest. Deterministic for a given `(ds, corpus, shards, layout)`,
+/// like the monolithic writer. Stale `*.rcshard` files (and their `.rcv`
+/// sidecars) from an earlier, wider save are removed so the directory
+/// always equals the manifest's promise.
+///
+/// Under [`SnapshotLayout::Mapped`] the shards are `RCSHRD02` files, the
+/// manifest additionally carries the raw `doc_lens` section, and validity
+/// sidecars are written for every file — the writer just computed each
+/// digest, so the *first* open is already a warm one.
+pub fn save_sharded_with(
+    dir: impl AsRef<Path>,
+    ds: &SyntheticDataset,
+    corpus: &AnalyzedCorpus,
+    shards: usize,
+    threads: usize,
+    layout: SnapshotLayout,
+) -> Result<ShardedSaveStats, StoreError> {
     let _span = rightcrowd_obs::span!("store.save_sharded");
     let start = Instant::now();
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir).map_err(StoreError::Io)?;
+    remove_all_sidecars(dir)?;
 
     let parts = corpus.index().to_parts();
     let index_shards = corpus.index().to_shards(shards);
@@ -366,8 +424,10 @@ pub fn save_sharded(
 
     // Encoding is pure CPU; cap workers at the core count (see load).
     let threads = threads.min(rightcrowd_core::par::default_threads()).max(1);
-    let files: Vec<Vec<u8>> =
-        par_map(&index_shards, threads, |s| encode_shard_file(s, shard_count));
+    let files: Vec<Vec<u8>> = par_map(&index_shards, threads, |s| match layout {
+        SnapshotLayout::Streamed => encode_shard_file(s, shard_count),
+        SnapshotLayout::Mapped => crate::mapped::encode_mapped_shard(s, shard_count),
+    });
 
     let entries: Vec<ShardEntry> = index_shards
         .iter()
@@ -380,14 +440,24 @@ pub fn save_sharded(
             flags: 0,
         })
         .collect();
+    let shard_format_version = match layout {
+        SnapshotLayout::Streamed => SHARD_FORMAT_VERSION,
+        SnapshotLayout::Mapped => SHARD_FORMAT_VERSION_MAPPED,
+    };
     let table = ShardTable {
-        shard_format_version: SHARD_FORMAT_VERSION,
+        shard_format_version,
         term_count: parts.terms.vocab.len() as u64,
         entity_count: parts.entities.vocab.len() as u64,
         entries,
     };
 
     let mut sections = study_sections(ds, corpus, &parts.doc_lens);
+    if layout == SnapshotLayout::Mapped {
+        sections.push(Section {
+            kind: kind::DOC_LENS,
+            payload: crate::mapped::encode_doc_lens(&parts.doc_lens),
+        });
+    }
     sections.push(Section { kind: kind::SHARD_TABLE, payload: encode_shard_table(&table) });
     // The manifest carries the text-heavy study sections, so it alone gets
     // the byte compressor ([`FLAG_PACKED_SECTIONS`]); postings compression
@@ -404,6 +474,25 @@ pub fn save_sharded(
     }
     std::fs::write(manifest_path(dir), &manifest).map_err(StoreError::Io)?;
     remove_stale_shards(dir, shard_count)?;
+
+    if layout == SnapshotLayout::Mapped {
+        // The writer just computed every digest, so it can honestly attest
+        // each file: the first open gets the microsecond path for free.
+        for (i, bytes) in files.iter().enumerate() {
+            let path = shard_path(dir, i as u32);
+            if let Ok(sc) =
+                Sidecar::for_file(&path, SHARD_FORMAT_VERSION_MAPPED, trailing_digest(bytes))
+            {
+                let _ = write_sidecar(&path, &sc);
+            }
+        }
+        let mpath = manifest_path(dir);
+        if let Ok(sc) =
+            Sidecar::for_file(&mpath, SHARD_FORMAT_VERSION_MAPPED, trailing_digest(&manifest))
+        {
+            let _ = write_sidecar(&mpath, &sc);
+        }
+    }
 
     rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesWritten, total);
     Ok(ShardedSaveStats {
@@ -423,6 +512,19 @@ fn remove_stale_shards(dir: &Path, shard_count: usize) -> Result<(), StoreError>
         if path.extension().is_some_and(|e| e == "rcshard")
             && (0..shard_count as u32).all(|i| path != shard_path(dir, i))
         {
+            std::fs::remove_file(&path).map_err(StoreError::Io)?;
+        }
+    }
+    Ok(())
+}
+
+/// Deletes every `*.rcv` validity sidecar in `dir`. A save is about to
+/// change the files the sidecars attest, so all of them are stale by
+/// construction; the mapped writer re-creates fresh ones afterwards.
+fn remove_all_sidecars(dir: &Path) -> Result<(), StoreError> {
+    for entry in std::fs::read_dir(dir).map_err(StoreError::Io)? {
+        let path = entry.map_err(StoreError::Io)?.path();
+        if path.extension().is_some_and(|e| e == crate::sidecar::SIDECAR_EXT) {
             std::fs::remove_file(&path).map_err(StoreError::Io)?;
         }
     }
@@ -518,22 +620,44 @@ pub fn load_sharded(
     let start = Instant::now();
     let dir = dir.as_ref();
 
-    let manifest = std::fs::File::open(manifest_path(dir)).map_err(StoreError::Io)?;
+    let manifest_file = std::fs::read(manifest_path(dir)).map_err(StoreError::Io)?;
+    let manifest_digest =
+        if manifest_file.len() >= 8 { trailing_digest(&manifest_file) } else { 0 };
     let (sections, manifest_bytes, _flags) = read_container_with(
-        std::io::BufReader::new(manifest),
+        &manifest_file[..],
         &MANIFEST_MAGIC,
         Integrity::SelfContained,
     )?;
-    if sections.len() != MANIFEST_SECTION_ORDER.len()
-        || sections.iter().zip(MANIFEST_SECTION_ORDER).any(|(s, k)| s.kind != k)
-    {
+    let mapped_layout = match sections.len() {
+        n if n == MANIFEST_SECTION_ORDER.len()
+            && sections.iter().zip(MANIFEST_SECTION_ORDER).all(|(s, k)| s.kind == k) =>
+        {
+            false
+        }
+        n if n == MANIFEST_SECTION_ORDER_MAPPED.len()
+            && sections.iter().zip(MANIFEST_SECTION_ORDER_MAPPED).all(|(s, k)| s.kind == k) =>
+        {
+            true
+        }
+        _ => {
+            return Err(StoreError::Corrupt(format!(
+                "unexpected manifest section layout {:?} (want {MANIFEST_SECTION_ORDER:?} or \
+                 {MANIFEST_SECTION_ORDER_MAPPED:?})",
+                sections.iter().map(|s| s.kind).collect::<Vec<_>>()
+            )))
+        }
+    };
+
+    let table = decode_shard_table(&sections.last().expect("checked order").payload)?;
+    let expected_version =
+        if mapped_layout { SHARD_FORMAT_VERSION_MAPPED } else { SHARD_FORMAT_VERSION };
+    if table.shard_format_version != expected_version {
         return Err(StoreError::Corrupt(format!(
-            "unexpected manifest section layout {:?} (want {MANIFEST_SECTION_ORDER:?})",
-            sections.iter().map(|s| s.kind).collect::<Vec<_>>()
+            "manifest section layout implies shard format {expected_version} but the shard \
+             table declares {}",
+            table.shard_format_version
         )));
     }
-
-    let table = decode_shard_table(&sections[5].payload)?;
     let (ds, docs, dropped, doc_lens) = decode_study([
         &sections[0].payload,
         &sections[1].payload,
@@ -541,6 +665,16 @@ pub fn load_sharded(
         &sections[3].payload,
         &sections[4].payload,
     ])?;
+    if mapped_layout {
+        // The raw doc_lens section exists for index-only warm opens; a
+        // full load cross-checks it against the corpus-derived truth.
+        let raw = crate::mapped::decode_doc_lens(&sections[5].payload)?;
+        if raw != doc_lens {
+            return Err(StoreError::Corrupt(
+                "manifest doc_lens section disagrees with the corpus section".into(),
+            ));
+        }
+    }
 
     // Decode + digest-verify every shard, concurrently when threads allow,
     // with results back in shard order for the splice. The worker count is
@@ -551,17 +685,42 @@ pub fn load_sharded(
     let threads = threads.min(rightcrowd_core::par::default_threads()).max(1);
     let jobs: Vec<(u32, ShardEntry)> =
         table.entries.iter().enumerate().map(|(i, e)| (i as u32, *e)).collect();
-    let results = par_map(&jobs, threads, |(i, entry)| load_shard(dir, *i, entry, shard_count));
 
-    let mut shards = Vec::with_capacity(shard_count);
-    let mut shard_bytes = 0u64;
-    for result in results {
-        let (shard, n) = result?;
-        shard_bytes += n;
-        shards.push(shard);
+    let (index, shard_bytes);
+    if mapped_layout {
+        let results = par_map(&jobs, threads, |(i, entry)| {
+            crate::mapped::open_mapped_shard(&shard_path(dir, *i), *i, entry, shard_count)
+        });
+        let mut views = Vec::with_capacity(shard_count);
+        let mut bytes = 0u64;
+        for result in results {
+            let opened = result?;
+            bytes += opened.bytes;
+            views.push(opened.view);
+        }
+        index = InvertedIndex::from_mapped(views, doc_lens).map_err(StoreError::Corrupt)?;
+        shard_bytes = bytes;
+        // The full manifest verification that just happened earns the
+        // manifest its sidecar, so the next open takes the fast path.
+        let mpath = manifest_path(dir);
+        if let Ok(sc) =
+            crate::sidecar::Sidecar::for_file(&mpath, SHARD_FORMAT_VERSION_MAPPED, manifest_digest)
+        {
+            let _ = write_sidecar(&mpath, &sc);
+        }
+    } else {
+        let results =
+            par_map(&jobs, threads, |(i, entry)| load_shard(dir, *i, entry, shard_count));
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut bytes = 0u64;
+        for result in results {
+            let (shard, n) = result?;
+            bytes += n;
+            shards.push(shard);
+        }
+        index = InvertedIndex::from_shards(shards, doc_lens).map_err(StoreError::Corrupt)?;
+        shard_bytes = bytes;
     }
-
-    let index = InvertedIndex::from_shards(shards, doc_lens).map_err(StoreError::Corrupt)?;
     let corpus = AnalyzedCorpus::from_parts(index, docs, dropped).map_err(StoreError::Corrupt)?;
 
     rightcrowd_obs::add(rightcrowd_obs::CounterId::SnapshotBytesRead, manifest_bytes);
@@ -574,9 +733,94 @@ pub fn load_sharded(
             bytes: manifest_bytes + shard_bytes,
             manifest_bytes,
             shard_count,
+            mapped: mapped_layout,
+            manifest_digest,
             elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
         },
     ))
+}
+
+// ----- zero-copy (index-only) opens -------------------------------------
+
+/// What [`open_mapped`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MappedOpenStats {
+    /// Bytes of shard payload now behind memory mappings.
+    pub mapped_bytes: u64,
+    /// Bytes actually read from the manifest (tiny when its sidecar hit).
+    pub manifest_bytes_read: u64,
+    /// Number of shard files mapped.
+    pub shard_count: usize,
+    /// Whether every sidecar (manifest + shards) hit — the
+    /// microsecond-class path with no streamed verification anywhere.
+    pub warm: bool,
+    /// The manifest's whole-file digest — a cheap fingerprint of the
+    /// snapshot's identity (covers the shard table and thus every shard
+    /// digest) that never forces a page-in.
+    pub manifest_digest: u64,
+    /// Wall time of the whole open, milliseconds.
+    pub elapsed_ms: f64,
+}
+
+/// Opens the *index* of a mapped-layout sharded snapshot zero-copy:
+/// verify-sidecar-then-map per file, no study decode, no postings copy.
+///
+/// This is the warm-open entry point for query-serving consumers that
+/// don't need the synthetic study (daemon boot, bench open legs). The
+/// returned index borrows every array from the mappings and scores
+/// bit-identically to the streamed load (the parity suites pin this).
+/// Fails with [`StoreError::VersionMismatch`] on a streamed-layout
+/// (`shard_format_version` 1) snapshot.
+pub fn open_mapped(dir: impl AsRef<Path>) -> Result<(InvertedIndex, MappedOpenStats), StoreError> {
+    let _span = rightcrowd_obs::span!("store.open_mapped");
+    let start = Instant::now();
+    let dir = dir.as_ref();
+
+    let manifest = crate::mapped::read_manifest_index_only(dir)?;
+    if manifest.table.shard_format_version != SHARD_FORMAT_VERSION_MAPPED {
+        return Err(StoreError::VersionMismatch {
+            found: manifest.table.shard_format_version,
+            expected: SHARD_FORMAT_VERSION_MAPPED,
+        });
+    }
+    let shard_count = manifest.table.entries.len();
+    let mut views = Vec::with_capacity(shard_count);
+    let mut mapped_bytes = 0u64;
+    let mut warm = manifest.warm;
+    for (i, entry) in manifest.table.entries.iter().enumerate() {
+        let opened =
+            crate::mapped::open_mapped_shard(&shard_path(dir, i as u32), i as u32, entry, shard_count)?;
+        mapped_bytes += opened.bytes;
+        warm &= opened.warm;
+        views.push(opened.view);
+    }
+    let index = InvertedIndex::from_mapped(views, manifest.doc_lens).map_err(StoreError::Corrupt)?;
+    rightcrowd_obs::add(rightcrowd_obs::CounterId::ShardsLoaded, shard_count as u64);
+    Ok((
+        index,
+        MappedOpenStats {
+            mapped_bytes,
+            manifest_bytes_read: manifest.bytes_read,
+            shard_count,
+            warm,
+            manifest_digest: manifest.digest,
+            elapsed_ms: start.elapsed().as_secs_f64() * 1e3,
+        },
+    ))
+}
+
+/// Whether `path` is a *mapped-layout* sharded snapshot, detected from
+/// the first shard file's magic without touching the manifest.
+pub fn is_mapped_snapshot(path: impl AsRef<Path>) -> bool {
+    let shard0 = shard_path(path, 0);
+    let mut magic = [0u8; 8];
+    match std::fs::File::open(shard0) {
+        Ok(mut f) => {
+            std::io::Read::read_exact(&mut f, &mut magic).is_ok()
+                && magic == crate::mapped::MAPPED_SHARD_MAGIC
+        }
+        Err(_) => false,
+    }
 }
 
 #[cfg(test)]
@@ -608,9 +852,19 @@ mod tests {
         t.shard_format_version = 9;
         match decode_shard_table(&encode_shard_table(&t)) {
             Err(StoreError::VersionMismatch { found: 9, expected }) => {
-                assert_eq!(expected, SHARD_FORMAT_VERSION);
+                assert_eq!(expected, SHARD_FORMAT_VERSION_MAPPED);
             }
             other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_table_accepts_both_live_versions() {
+        for version in [SHARD_FORMAT_VERSION, SHARD_FORMAT_VERSION_MAPPED] {
+            let mut t = table(vec![entry((0, 1), (0, 1))], 1, 1);
+            t.shard_format_version = version;
+            let decoded = decode_shard_table(&encode_shard_table(&t)).unwrap();
+            assert_eq!(decoded.shard_format_version, version);
         }
     }
 

@@ -1,0 +1,227 @@
+//! Validity sidecars (`.rcv`): the receipt that lets a snapshot open
+//! skip its streamed checksum pass.
+//!
+//! The first open of a shard (or manifest) file pays the full streamed
+//! CRC-64 verification, then writes a tiny sidecar next to the file
+//! recording what was verified: the file's length, its mtime, its
+//! whole-file digest and the format revision. A later open `stat(2)`s
+//! the file, compares length + mtime against the sidecar, and — crucially
+//! — compares the sidecar's digest against an *independently trusted*
+//! expectation (the manifest's shard-table entry for shard files; the
+//! manifest's own trailing digest bytes for the manifest). A sidecar can
+//! therefore only ever *waive the streamed re-verification of bytes that
+//! some earlier open fully checked*; a forged or stale sidecar merely
+//! forces the slow path or a typed error, never a silently-trusted map.
+//!
+//! Format (`RCSIDE01`, fixed 56 bytes, little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "RCSIDE01"
+//!      8     4  sidecar revision (1)
+//!     12     4  attested file's format revision (shard format 1 or 2)
+//!     16     8  attested file length in bytes
+//!     24     8  attested file mtime, seconds since epoch (i64)
+//!     32     4  attested file mtime, nanoseconds
+//!     36     4  reserved (0)
+//!     40     8  attested whole-file CRC-64 digest
+//!     48     8  CRC-64 of bytes 0..48
+//! ```
+
+use crate::crc::crc64;
+use crate::err::StoreError;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
+
+const MAGIC: &[u8; 8] = b"RCSIDE01";
+const REV: u32 = 1;
+/// Encoded sidecar size.
+pub const SIDECAR_LEN: usize = 56;
+/// Sidecar file extension (appended to the attested file's full name).
+pub const SIDECAR_EXT: &str = "rcv";
+
+/// One decoded validity sidecar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sidecar {
+    /// Format revision of the attested file (shard format 1 or 2).
+    pub format_rev: u32,
+    /// Attested file length in bytes.
+    pub file_len: u64,
+    /// Attested file mtime as `(seconds, nanoseconds)` since the epoch.
+    pub mtime: (i64, u32),
+    /// Attested whole-file CRC-64 digest (== the file's trailing 8 bytes
+    /// under the container convention).
+    pub digest: u64,
+}
+
+/// `<file>.rcv` next to the attested file.
+pub fn sidecar_path(file: &Path) -> PathBuf {
+    let mut name = file.file_name().unwrap_or_default().to_os_string();
+    name.push(".");
+    name.push(SIDECAR_EXT);
+    file.with_file_name(name)
+}
+
+/// `(len, mtime)` of `path`, in sidecar representation.
+pub fn stat_file(path: &Path) -> io::Result<(u64, (i64, u32))> {
+    let meta = fs::metadata(path)?;
+    let mtime = match meta.modified()?.duration_since(UNIX_EPOCH) {
+        Ok(d) => (d.as_secs() as i64, d.subsec_nanos()),
+        // Pre-epoch mtimes round toward negative seconds.
+        Err(e) => {
+            let d = e.duration();
+            (-(d.as_secs() as i64) - i64::from(d.subsec_nanos() > 0), 0)
+        }
+    };
+    Ok((meta.len(), mtime))
+}
+
+impl Sidecar {
+    /// A sidecar attesting `path` as it exists right now, with the given
+    /// already-verified digest.
+    pub fn for_file(path: &Path, format_rev: u32, digest: u64) -> io::Result<Sidecar> {
+        let (file_len, mtime) = stat_file(path)?;
+        Ok(Sidecar { format_rev, file_len, mtime, digest })
+    }
+
+    /// Serialises to the fixed 56-byte wire form.
+    pub fn encode(&self) -> [u8; SIDECAR_LEN] {
+        let mut out = [0u8; SIDECAR_LEN];
+        out[0..8].copy_from_slice(MAGIC);
+        out[8..12].copy_from_slice(&REV.to_le_bytes());
+        out[12..16].copy_from_slice(&self.format_rev.to_le_bytes());
+        out[16..24].copy_from_slice(&self.file_len.to_le_bytes());
+        out[24..32].copy_from_slice(&self.mtime.0.to_le_bytes());
+        out[32..36].copy_from_slice(&self.mtime.1.to_le_bytes());
+        out[40..48].copy_from_slice(&self.digest.to_le_bytes());
+        let crc = crc64(&out[..48]);
+        out[48..56].copy_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and structurally validates a sidecar.
+    pub fn decode(bytes: &[u8]) -> Result<Sidecar, StoreError> {
+        if bytes.len() != SIDECAR_LEN {
+            return Err(StoreError::Truncated);
+        }
+        if &bytes[0..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let u32le = |a: usize| u32::from_le_bytes(bytes[a..a + 4].try_into().expect("4 bytes"));
+        let u64le = |a: usize| u64::from_le_bytes(bytes[a..a + 8].try_into().expect("8 bytes"));
+        let rev = u32le(8);
+        if rev != REV {
+            return Err(StoreError::VersionMismatch { found: rev, expected: REV });
+        }
+        if crc64(&bytes[..48]) != u64le(48) {
+            return Err(StoreError::ChecksumMismatch { section: "sidecar" });
+        }
+        Ok(Sidecar {
+            format_rev: u32le(12),
+            file_len: u64le(16),
+            mtime: (i64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes")), u32le(32)),
+            digest: u64le(40),
+        })
+    }
+
+    /// Whether this sidecar still attests `path`: same length, same
+    /// mtime, expected format revision, and — the trust anchor — the
+    /// digest the *caller* expects (from the manifest's shard table or
+    /// the manifest's own trailer), not whatever the sidecar claims.
+    pub fn attests(&self, path: &Path, format_rev: u32, expected_digest: u64) -> bool {
+        if self.format_rev != format_rev || self.digest != expected_digest {
+            return false;
+        }
+        matches!(stat_file(path), Ok((len, mtime)) if len == self.file_len && mtime == self.mtime)
+    }
+}
+
+/// Reads and decodes `<file>.rcv`; any miss (absent, short, corrupt,
+/// wrong revision) comes back as an error so callers fall to the slow
+/// verified path.
+pub fn read_sidecar(file: &Path) -> Result<Sidecar, StoreError> {
+    let bytes = fs::read(sidecar_path(file))?;
+    Sidecar::decode(&bytes)
+}
+
+/// Writes `<file>.rcv`. Failures are reported but safe to ignore: the
+/// sidecar is purely an acceleration, never a correctness requirement.
+pub fn write_sidecar(file: &Path, sc: &Sidecar) -> io::Result<()> {
+    fs::write(sidecar_path(file), sc.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("rc-sidecar-{}-{name}", std::process::id()));
+        let mut f = fs::File::create(&p).unwrap();
+        f.write_all(bytes).unwrap();
+        p
+    }
+
+    #[test]
+    fn round_trips_and_attests() {
+        let p = tmp("rt", b"some shard bytes");
+        let sc = Sidecar::for_file(&p, 2, 0xDEAD_BEEF).unwrap();
+        write_sidecar(&p, &sc).unwrap();
+        let back = read_sidecar(&p).unwrap();
+        assert_eq!(back, sc);
+        assert!(back.attests(&p, 2, 0xDEAD_BEEF));
+        // Wrong expectations never attest.
+        assert!(!back.attests(&p, 1, 0xDEAD_BEEF), "format rev mismatch");
+        assert!(!back.attests(&p, 2, 0xDEAD_BEF0), "digest mismatch");
+        fs::remove_file(sidecar_path(&p)).unwrap();
+        fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn stale_after_rewrite_or_resize() {
+        let p = tmp("stale", b"original");
+        let sc = Sidecar::for_file(&p, 2, 7).unwrap();
+        // Same length, different mtime.
+        let later = UNIX_EPOCH + std::time::Duration::from_secs(86_400);
+        fs::File::options().append(true).open(&p).unwrap().set_modified(later).unwrap();
+        assert!(!sc.attests(&p, 2, 7), "mtime change must invalidate");
+        // Different length.
+        fs::write(&p, b"original plus growth").unwrap();
+        assert!(!sc.attests(&p, 2, 7), "length change must invalidate");
+        // Missing file.
+        fs::remove_file(&p).unwrap();
+        assert!(!sc.attests(&p, 2, 7));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        let good = Sidecar { format_rev: 2, file_len: 9, mtime: (1234, 5), digest: 42 }.encode();
+        assert!(matches!(Sidecar::decode(&good[..40]), Err(StoreError::Truncated)));
+        let mut bad = good;
+        bad[0] = b'X';
+        assert!(matches!(Sidecar::decode(&bad), Err(StoreError::BadMagic)));
+        let mut bad = good;
+        bad[8] = 99;
+        assert!(matches!(
+            Sidecar::decode(&bad),
+            Err(StoreError::VersionMismatch { found: 99, expected: 1 })
+        ));
+        let mut bad = good;
+        bad[20] ^= 1; // flip a payload bit without fixing the crc
+        assert!(matches!(
+            Sidecar::decode(&bad),
+            Err(StoreError::ChecksumMismatch { section: "sidecar" })
+        ));
+    }
+
+    #[test]
+    fn sidecar_path_appends_extension() {
+        assert_eq!(
+            sidecar_path(Path::new("/x/shard-000.rcshard")),
+            Path::new("/x/shard-000.rcshard.rcv")
+        );
+        assert_eq!(sidecar_path(Path::new("manifest.rcm")), Path::new("manifest.rcm.rcv"));
+    }
+}
